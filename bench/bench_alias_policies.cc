@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Memory disambiguation ablation (paper Section 2).
+ *
+ * "The DAG construction algorithm may have to treat memory as a
+ * single resource, which leads to serialization of all loads and
+ * stores.  It has been observed that if two memory references use the
+ * same base register but different offsets, they cannot refer to the
+ * same location. ... Warren noted that storage classes (e.g., heap
+ * vs. stack) typically do not overlap."
+ *
+ * Sweeps the four disambiguation policies over the FP workloads and
+ * reports arc counts, construction time, and scheduled cycles —
+ * quantifying how much each step of Section 2's ladder buys.
+ */
+
+#include "bench_util.hh"
+
+using namespace sched91;
+using namespace sched91::bench;
+
+int
+main()
+{
+    banner("Memory disambiguation ladder (paper Section 2)");
+
+    MachineModel machine = sparcstation2();
+    const AliasPolicy policies[] = {
+        AliasPolicy::SerializeAll,
+        AliasPolicy::BaseOffset,
+        AliasPolicy::StorageClassed,
+        AliasPolicy::SymbolicExpr,
+    };
+
+    for (const Workload &w :
+         {Workload{"linpack", "linpack", 0},
+          Workload{"lloops", "lloops", 0},
+          Workload{"tomcatv", "tomcatv", 0},
+          Workload{"fpppp-1000", "fpppp", 1000}}) {
+        std::printf("\n-- %s --\n", w.display.c_str());
+        std::vector<int> widths{17, 10, 10, 10, 10, 8};
+        printCells({"policy", "arcs/blk", "build-ms", "cyc-orig",
+                    "cyc-sched", "gain"},
+                   widths);
+        printRule(widths);
+
+        for (AliasPolicy policy : policies) {
+            PipelineOptions opts;
+            opts.builder = BuilderKind::TableForward;
+            opts.algorithm = AlgorithmKind::Krishnamurthy;
+            opts.build.memPolicy = policy;
+            opts.evaluate = true;
+            ProgramResult r = timedPipeline(w, machine, opts, 3);
+
+            double gain =
+                r.cyclesOriginal
+                    ? 100.0 * (r.cyclesOriginal - r.cyclesScheduled) /
+                          static_cast<double>(r.cyclesOriginal)
+                    : 0.0;
+            printCells({std::string(aliasPolicyName(policy)),
+                        formatFixed(r.dagStats.arcsPerBlock.avg(), 1),
+                        formatFixed(r.buildSeconds * 1e3, 2),
+                        std::to_string(r.cyclesOriginal),
+                        std::to_string(r.cyclesScheduled),
+                        formatFixed(gain, 1) + "%"},
+                       widths);
+        }
+    }
+
+    std::printf("\nReading: serialize-all chains every access and "
+                "strangles the scheduler;\neach disambiguation step "
+                "removes arcs and unlocks reordering.  The\n"
+                "expression-as-resource model (the paper's own "
+                "accounting) is the fully\ndisambiguated end of the "
+                "ladder.\n");
+    return 0;
+}

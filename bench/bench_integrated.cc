@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Integrated scheduling + register allocation (paper Section 3:
+ * "The integration of register allocation and instruction scheduling
+ * into one pass has also been studied by other authors [2,5]").
+ *
+ * Compares three realistic compilation flows on the FP workloads,
+ * sweeping the register-file size:
+ *
+ *   postpass-only : allocate the original order, then schedule the
+ *                   allocated block (spill code and all);
+ *   prepass-only  : schedule first (latency-driven), then allocate —
+ *                   lifetimes stretched by scheduling now cost spills;
+ *   pre+post      : liveness-aware prepass, allocate, then a postpass
+ *                   reschedule of the allocated block (Warren's
+ *                   intended double duty).
+ *
+ * Final cycles are measured by simulating the *allocated* block —
+ * spill stores and reloads execute like any other instruction.
+ */
+
+#include "bench_util.hh"
+#include "heuristics/register_pressure.hh"
+#include "regalloc/local_allocator.hh"
+
+using namespace sched91;
+using namespace sched91::bench;
+
+namespace
+{
+
+/** Schedule one block with a config; returns block-relative order. */
+std::vector<std::uint32_t>
+scheduleOrder(const BlockView &block, const MachineModel &machine,
+              const SchedulerConfig &config)
+{
+    BuildOptions bopts;
+    bopts.memPolicy = AliasPolicy::SymbolicExpr;
+    Dag dag = TableForwardBuilder().build(block, machine, bopts);
+    runAllStaticPasses(dag);
+    computeRegisterPressure(dag);
+    ListScheduler scheduler(config, machine);
+    return scheduler.run(dag).order;
+}
+
+/** Cycles of an allocated instruction list, optionally rescheduled. */
+long long
+cyclesOf(const std::vector<Instruction> &insts,
+         const MachineModel &machine, const SchedulerConfig *postpass)
+{
+    Program prog;
+    for (const Instruction &inst : insts)
+        prog.append(inst);
+    auto blocks = partitionBlocks(prog);
+
+    long long total = 0;
+    for (const auto &bb : blocks) {
+        BlockView block(prog, bb);
+        BuildOptions bopts;
+        bopts.memPolicy = AliasPolicy::SymbolicExpr;
+        Dag dag = TableForwardBuilder().build(block, machine, bopts);
+        std::vector<std::uint32_t> order;
+        if (postpass) {
+            runAllStaticPasses(dag);
+            ListScheduler scheduler(*postpass, machine);
+            order = scheduler.run(dag).order;
+        } else {
+            order = originalOrderSchedule(dag).order;
+        }
+        total += simulateSchedule(dag, order, machine).cycles;
+    }
+    return total;
+}
+
+SchedulerConfig
+livenessFirstConfig()
+{
+    SchedulerConfig c;
+    c.name = "liveness-first";
+    c.ranking = {
+        {Heuristic::Liveness, /*preferLarger=*/true},
+        {Heuristic::EarliestExecutionTime, false},
+        {Heuristic::MaxDelayToLeaf, true},
+    };
+    c.needsBackwardPass = true;
+    c.needsRegisterPressure = true;
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Integrated scheduling x register allocation "
+           "(paper Section 3, refs [2,5])");
+
+    MachineModel machine = sparcstation2();
+    SchedulerConfig latency =
+        algorithmSpec(AlgorithmKind::Krishnamurthy).config;
+    SchedulerConfig liveness = livenessFirstConfig();
+
+    for (const Workload &w :
+         {Workload{"linpack", "linpack", 0},
+          Workload{"lloops", "lloops", 0},
+          Workload{"tomcatv", "tomcatv", 0}}) {
+        Program prog = loadProgram(w);
+        auto blocks = partitionBlocks(prog);
+
+        for (int pairs : {4, 6, 10}) {
+            AllocatorOptions aopts;
+            aopts.fpPool.clear();
+            for (int i = 0; i < pairs; ++i)
+                aopts.fpPool.push_back(2 * i);
+            aopts.intPool = {8, 9, 10, 11, 12, 13, 16, 17};
+
+            long long cyc[3] = {0, 0, 0};
+            long long spill[3] = {0, 0, 0};
+            int covered = 0;
+
+            for (const auto &bb : blocks) {
+                BlockView block(prog, bb);
+                std::vector<std::uint32_t> identity(block.size());
+                for (std::uint32_t i = 0; i < identity.size(); ++i)
+                    identity[i] = i;
+
+                // All three flows must allocate successfully for an
+                // apples-to-apples comparison.
+                auto post_only = allocateBlock(block, identity, aopts);
+                auto pre_latency = allocateBlock(
+                    block, scheduleOrder(block, machine, latency),
+                    aopts);
+                auto pre_liveness = allocateBlock(
+                    block, scheduleOrder(block, machine, liveness),
+                    aopts);
+                if (!post_only || !pre_latency || !pre_liveness)
+                    continue;
+                ++covered;
+
+                cyc[0] += cyclesOf(post_only->insts, machine, &latency);
+                spill[0] += post_only->overhead();
+                cyc[1] += cyclesOf(pre_latency->insts, machine, nullptr);
+                spill[1] += pre_latency->overhead();
+                cyc[2] +=
+                    cyclesOf(pre_liveness->insts, machine, &latency);
+                spill[2] += pre_liveness->overhead();
+            }
+
+            std::printf("\n%s, %d FP pairs (%d blocks covered)\n",
+                        w.display.c_str(), pairs, covered);
+            std::vector<int> widths{26, 10, 12};
+            printCells({"flow", "cycles", "spill-insts"}, widths);
+            printRule(widths);
+            const char *labels[3] = {"postpass-only",
+                                     "prepass-latency",
+                                     "pre+post (liveness)"};
+            for (int f = 0; f < 3; ++f)
+                printCells({labels[f], std::to_string(cyc[f]),
+                            std::to_string(spill[f])},
+                           widths);
+        }
+    }
+
+    std::printf("\nReading: with a tight register file the "
+                "latency-driven prepass pays its\nstretched lifetimes "
+                "back as spill code; the liveness-aware prepass plus\n"
+                "postpass reschedule recovers most of the latency "
+                "without the spills —\nthe motivation for integrated "
+                "approaches [2,5].\n");
+    return 0;
+}

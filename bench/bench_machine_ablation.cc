@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Machine-model ablation for the Section 2 delay subtleties: WAR
+ * shortening, double-word register-pair skew, asymmetric bypass
+ * (RS/6000-like), store bypass, and the 2-issue superscalar model.
+ *
+ * For each machine variant the bench reports (a) how much the DAG's
+ * timing weights change (total arc delay over the daxpy/livermore
+ * kernels) and (b) what that does to scheduled cycles — making
+ * concrete the paper's warning that "care must be exercised" with
+ * dependence-kind-specific delays.
+ */
+
+#include "bench_util.hh"
+
+using namespace sched91;
+using namespace sched91::bench;
+
+namespace
+{
+
+long long
+totalArcDelay(const Dag &dag)
+{
+    long long sum = 0;
+    for (const Arc &arc : dag.arcs())
+        sum += arc.delay;
+    return sum;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Machine-model ablation: Section 2 delay effects");
+
+    struct Variant
+    {
+        const char *label;
+        MachineModel machine;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"sparcstation2 (baseline)", sparcstation2()});
+
+    MachineModel war3 = sparcstation2();
+    war3.name = "war=3";
+    war3.warDelay = 3;
+    variants.push_back({"WAR delay 3 (no early-read)", war3});
+
+    MachineModel skew = sparcstation2();
+    skew.name = "pair-skew";
+    skew.pairSkew = true;
+    variants.push_back({"double-word pair skew", skew});
+
+    MachineModel bypass = sparcstation2();
+    bypass.name = "asym";
+    bypass.asymmetricBypass = true;
+    variants.push_back({"asymmetric bypass (+1 on 2nd src)", bypass});
+
+    MachineModel store_b = sparcstation2();
+    store_b.name = "store-bypass";
+    store_b.storeBypassSaving = 1;
+    variants.push_back({"store bypass (-1 into stores)", store_b});
+
+    variants.push_back({"rs6000like (all of the above)", rs6000Like()});
+
+    std::vector<int> widths{34, 12, 10, 10};
+    printCells({"machine variant", "arc-delays", "cycles", "vs base"},
+               widths);
+    printRule(widths);
+
+    long long base_cycles = 0;
+    for (const Variant &v : variants) {
+        long long delays = 0;
+        long long cycles = 0;
+        for (const char *kernel : {"daxpy", "livermore1", "tomcatv"}) {
+            Program prog = kernelProgram(kernel);
+            auto blocks = partitionBlocks(prog);
+            for (const auto &bb : blocks) {
+                BlockView block(prog, bb);
+                PipelineOptions opts;
+                opts.algorithm = AlgorithmKind::Krishnamurthy;
+                auto result = scheduleBlock(block, v.machine, opts);
+                delays += totalArcDelay(result.dag);
+                cycles += simulateSchedule(result.dag,
+                                           result.sched.order,
+                                           v.machine)
+                              .cycles;
+            }
+        }
+        if (base_cycles == 0)
+            base_cycles = cycles;
+        printCells({v.label, std::to_string(delays),
+                    std::to_string(cycles),
+                    formatFixed(100.0 * (cycles - base_cycles) /
+                                    static_cast<double>(base_cycles),
+                                1) + "%"},
+                   widths);
+    }
+
+    banner("Superscalar (2-issue) vs single issue, alternate-type "
+           "aware scheduling");
+
+    std::vector<int> w2{11, 13, 13, 9};
+    printCells({"workload", "1-issue", "2-issue", "speedup"}, w2);
+    printRule(w2);
+    MachineModel single = sparcstation2();
+    MachineModel dual = superscalar2();
+    for (const Workload &w :
+         {Workload{"linpack", "linpack", 0},
+          Workload{"lloops", "lloops", 0},
+          Workload{"tomcatv", "tomcatv", 0}}) {
+        long long c1 = 0, c2 = 0;
+        Program prog = loadProgram(w);
+        auto blocks = partitionBlocks(prog);
+        for (const auto &bb : blocks) {
+            BlockView block(prog, bb);
+            PipelineOptions opts;
+            opts.algorithm = AlgorithmKind::Warren; // alternate-type
+            opts.builder = BuilderKind::N2Forward;
+            auto r1 = scheduleBlock(block, single, opts);
+            c1 += simulateSchedule(r1.dag, r1.sched.order, single)
+                      .cycles;
+            auto r2 = scheduleBlock(block, dual, opts);
+            c2 += simulateSchedule(r2.dag, r2.sched.order, dual).cycles;
+        }
+        printCells({w.display, std::to_string(c1), std::to_string(c2),
+                    formatFixed(static_cast<double>(c1) / c2, 2) + "x"},
+                   w2);
+    }
+
+    std::printf("\nReading: dependence-kind-specific delays shift the "
+                "DAG's timing weights\n(arc-delay column) and move "
+                "scheduled cycles by a few percent each; the\n2-issue "
+                "model shows the alternate-type heuristic converting "
+                "class diversity\ninto dual-issue slots.\n");
+    return 0;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the DAG machinery and the
+ * ablations of DESIGN.md section 6: add_arc throughput (with and
+ * without reachability maps), bitmap OR/popcount, per-builder cost on
+ * single blocks of varying size, and duplicate-arc merge cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/sched91.hh"
+#include "workload/generator.hh"
+
+using namespace sched91;
+
+namespace
+{
+
+/** One FP-heavy synthetic block of the requested size. */
+Program
+syntheticBlock(int size)
+{
+    WorkloadProfile p = profileByName("lloops");
+    p.numBlocks = 2;
+    p.totalInsts = size + 4;
+    p.maxBlock = size;
+    p.secondBlock = 0;
+    p.branchProb = 0.0;
+    p.callProb = 0.0;
+    return generateProgram(p);
+}
+
+void
+BM_BitmapOrPopcount(benchmark::State &state)
+{
+    std::size_t bits = static_cast<std::size_t>(state.range(0));
+    Bitmap a(bits), b(bits);
+    for (std::size_t i = 0; i < bits; i += 3)
+        b.set(i);
+    for (auto _ : state) {
+        a.orWith(b);
+        benchmark::DoNotOptimize(a.count());
+    }
+}
+BENCHMARK(BM_BitmapOrPopcount)->Arg(256)->Arg(1024)->Arg(11750);
+
+void
+BM_Builder(benchmark::State &state, BuilderKind kind, bool reach_maps)
+{
+    int size = static_cast<int>(state.range(0));
+    Program prog = syntheticBlock(size);
+    auto blocks = partitionBlocks(prog);
+    // Largest block is the one we measure.
+    BasicBlock big = blocks[0];
+    for (const auto &bb : blocks)
+        if (bb.size() > big.size())
+            big = bb;
+    BlockView block(prog, big);
+    MachineModel machine = sparcstation2();
+    BuildOptions opts;
+    opts.maintainReachMaps = reach_maps;
+    auto builder = makeBuilder(kind);
+
+    for (auto _ : state) {
+        Dag dag = builder->build(block, machine, opts);
+        benchmark::DoNotOptimize(dag.numArcs());
+    }
+    state.SetItemsProcessed(state.iterations() * block.size());
+}
+
+void
+BM_TableForward(benchmark::State &state)
+{
+    BM_Builder(state, BuilderKind::TableForward, false);
+}
+void
+BM_TableBackward(benchmark::State &state)
+{
+    BM_Builder(state, BuilderKind::TableBackward, false);
+}
+void
+BM_TableBackwardReachMaps(benchmark::State &state)
+{
+    BM_Builder(state, BuilderKind::TableBackward, true);
+}
+void
+BM_N2Forward(benchmark::State &state)
+{
+    BM_Builder(state, BuilderKind::N2Forward, false);
+}
+void
+BM_N2Landskov(benchmark::State &state)
+{
+    BM_Builder(state, BuilderKind::N2Landskov, false);
+}
+
+BENCHMARK(BM_TableForward)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_TableBackward)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_TableBackwardReachMaps)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_N2Forward)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_N2Landskov)->Arg(64)->Arg(256);
+
+void
+BM_StaticPasses(benchmark::State &state, PassImpl impl)
+{
+    Program prog = syntheticBlock(static_cast<int>(state.range(0)));
+    auto blocks = partitionBlocks(prog);
+    BasicBlock big = blocks[0];
+    for (const auto &bb : blocks)
+        if (bb.size() > big.size())
+            big = bb;
+    MachineModel machine = sparcstation2();
+    Dag dag = TableForwardBuilder().build(BlockView(prog, big), machine,
+                                          BuildOptions{});
+    for (auto _ : state) {
+        runAllStaticPasses(dag, impl);
+        benchmark::DoNotOptimize(dag.node(0).ann.maxDelayToLeaf);
+    }
+}
+
+void
+BM_PassReverseWalk(benchmark::State &state)
+{
+    BM_StaticPasses(state, PassImpl::ReverseWalk);
+}
+void
+BM_PassLevelLists(benchmark::State &state)
+{
+    BM_StaticPasses(state, PassImpl::LevelLists);
+}
+BENCHMARK(BM_PassReverseWalk)->Arg(256)->Arg(1024);
+BENCHMARK(BM_PassLevelLists)->Arg(256)->Arg(1024);
+
+void
+BM_ListScheduler(benchmark::State &state)
+{
+    Program prog = syntheticBlock(static_cast<int>(state.range(0)));
+    auto blocks = partitionBlocks(prog);
+    BasicBlock big = blocks[0];
+    for (const auto &bb : blocks)
+        if (bb.size() > big.size())
+            big = bb;
+    MachineModel machine = sparcstation2();
+    Dag dag = TableForwardBuilder().build(BlockView(prog, big), machine,
+                                          BuildOptions{});
+    runAllStaticPasses(dag);
+    SchedulerConfig config = simpleForwardConfig();
+    ListScheduler scheduler(config, machine);
+    for (auto _ : state) {
+        Schedule s = scheduler.run(dag);
+        benchmark::DoNotOptimize(s.makespan);
+    }
+}
+BENCHMARK(BM_ListScheduler)->Arg(64)->Arg(256)->Arg(1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Prepass vs postpass scheduling (paper Section 3, register usage):
+ * "This kind of heuristic ... [is] useful in prepass scheduling
+ * (i.e., before register allocation).  In fact, an algorithm like
+ * Warren's is designed to be performed both prepass as well as
+ * postpass."
+ *
+ * For each FP workload and register-file size, the bench compares a
+ * latency-only schedule (Krishnamurthy), Warren's liveness-aware
+ * ranking, and a liveness-first prepass configuration on two axes:
+ * simulated cycles (the postpass objective) and estimated spilled
+ * values under a Belady-style local allocator (the prepass
+ * objective).  The tension between the two is exactly why the
+ * integrated approaches of Goodman & Hsu [5] and Bradlee et al. [2]
+ * exist.
+ */
+
+#include "bench_util.hh"
+#include "heuristics/register_pressure.hh"
+
+using namespace sched91;
+using namespace sched91::bench;
+
+namespace
+{
+
+struct Contender
+{
+    const char *label;
+    SchedulerConfig config;
+};
+
+std::vector<Contender>
+contenders()
+{
+    SchedulerConfig pressure_first;
+    pressure_first.name = "liveness-first";
+    pressure_first.ranking = {
+        {Heuristic::Liveness, /*preferLarger=*/true},
+        {Heuristic::EarliestExecutionTime, false},
+        {Heuristic::MaxDelayToLeaf, true},
+    };
+    pressure_first.needsBackwardPass = true;
+    pressure_first.needsRegisterPressure = true;
+
+    return {
+        {"krishnamurthy (latency)",
+         algorithmSpec(AlgorithmKind::Krishnamurthy).config},
+        {"warren (liveness rank 4)",
+         algorithmSpec(AlgorithmKind::Warren).config},
+        {"liveness-first prepass", pressure_first},
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Prepass register pressure vs postpass latency "
+           "(register-usage heuristics)");
+
+    MachineModel machine = sparcstation2();
+    const int reg_files[] = {8, 12, 16};
+
+    for (const Workload &w :
+         {Workload{"linpack", "linpack", 0},
+          Workload{"lloops", "lloops", 0},
+          Workload{"tomcatv", "tomcatv", 0}}) {
+        std::printf("\n-- %s --\n", w.display.c_str());
+        std::vector<int> widths{26, 9, 8, 8, 8};
+        printCells({"scheduler", "cycles", "sp@8", "sp@12", "sp@16"},
+                   widths);
+        printRule(widths);
+
+        Program prog = loadProgram(w);
+        auto blocks = partitionBlocks(prog);
+
+        for (const Contender &c : contenders()) {
+            ListScheduler scheduler(c.config, machine);
+            long long cycles = 0;
+            long long spills[3] = {0, 0, 0};
+
+            for (const auto &bb : blocks) {
+                BlockView block(prog, bb);
+                BuildOptions bopts;
+                bopts.memPolicy = AliasPolicy::SymbolicExpr;
+                Dag dag = TableForwardBuilder().build(block, machine,
+                                                      bopts);
+                runAllStaticPasses(dag);
+                computeRegisterPressure(dag);
+                Schedule sched = scheduler.run(dag);
+                cycles +=
+                    simulateSchedule(dag, sched.order, machine).cycles;
+                for (int k = 0; k < 3; ++k)
+                    spills[k] += estimateSpilledValues(dag, sched.order,
+                                                       reg_files[k]);
+            }
+
+            printCells({c.label, std::to_string(cycles),
+                        std::to_string(spills[0]),
+                        std::to_string(spills[1]),
+                        std::to_string(spills[2])},
+                       widths);
+        }
+    }
+
+    std::printf("\nReading: latency-first scheduling wins cycles but "
+                "stretches lifetimes and\nspills more under small "
+                "register files; the liveness-first prepass inverts\n"
+                "the trade — Warren's ranking (liveness at rank 4) "
+                "sits between, which is\nwhy it can serve both "
+                "prepass and postpass roles.\n");
+    return 0;
+}

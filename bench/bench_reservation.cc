@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reservation-table scheduling vs list scheduling (paper Section 1:
+ * the "more refined form of scheduling" with explicit resource
+ * reservation tables, "more popular for use with processors having a
+ * large number of multi-cycle instructions").
+ *
+ * Compares the earliest-fit reservation scheduler against the list
+ * schedulers on machines with progressively more multi-cycle /
+ * multi-resource instructions — the regime the paper says favors
+ * reservation tables.
+ */
+
+#include "bench_util.hh"
+#include "sched/reservation.hh"
+
+using namespace sched91;
+using namespace sched91::bench;
+
+namespace
+{
+
+long long
+listCycles(Program &prog, const MachineModel &machine,
+           AlgorithmKind kind)
+{
+    auto blocks = partitionBlocks(prog);
+    long long total = 0;
+    for (const auto &bb : blocks) {
+        BlockView block(prog, bb);
+        PipelineOptions opts;
+        opts.algorithm = kind;
+        opts.build.memPolicy = AliasPolicy::SymbolicExpr;
+        auto r = scheduleBlock(block, machine, opts);
+        total += simulateSchedule(r.dag, r.sched.order, machine).cycles;
+    }
+    return total;
+}
+
+long long
+reservationCycles(Program &prog, const MachineModel &machine)
+{
+    auto blocks = partitionBlocks(prog);
+    long long total = 0;
+    for (const auto &bb : blocks) {
+        BlockView block(prog, bb);
+        BuildOptions bopts;
+        bopts.memPolicy = AliasPolicy::SymbolicExpr;
+        Dag dag = TableForwardBuilder().build(block, machine, bopts);
+        runAllStaticPasses(dag);
+        ReservationResult r = scheduleWithReservationTable(dag, machine);
+        total += simulateSchedule(dag, r.sched.order, machine).cycles;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Reservation-table vs list scheduling (paper Section 1)");
+
+    // A divide-heavy machine: FP adds/multiplies also non-pipelined,
+    // the regime reservation tables were built for.
+    MachineModel heavy = sparcstation2();
+    heavy.name = "non-pipelined-fp";
+    heavy.fuDesc(FuKind::FpAdd).pipelined = false;
+    heavy.fuDesc(FuKind::FpMul).pipelined = false;
+
+    for (const MachineModel &machine : {sparcstation2(), heavy}) {
+        std::printf("\n-- machine: %s --\n", machine.name.c_str());
+        std::vector<int> widths{11, 12, 13, 13, 13};
+        printCells({"workload", "orig", "krishnamur.", "shieh-papa.",
+                    "reservation"},
+                   widths);
+        printRule(widths);
+
+        for (const Workload &w :
+             {Workload{"linpack", "linpack", 0},
+              Workload{"lloops", "lloops", 0},
+              Workload{"tomcatv", "tomcatv", 0}}) {
+            Program prog = loadProgram(w);
+
+            // Baseline: original order cycles.
+            long long orig = 0;
+            {
+                auto blocks = partitionBlocks(prog);
+                for (const auto &bb : blocks) {
+                    BlockView block(prog, bb);
+                    BuildOptions bopts;
+                    bopts.memPolicy = AliasPolicy::SymbolicExpr;
+                    Dag dag = TableForwardBuilder().build(block, machine,
+                                                          bopts);
+                    orig += simulateSchedule(
+                                dag, originalOrderSchedule(dag).order,
+                                machine)
+                                .cycles;
+                }
+            }
+
+            printCells(
+                {w.display, std::to_string(orig),
+                 std::to_string(
+                     listCycles(prog, machine,
+                                AlgorithmKind::Krishnamurthy)),
+                 std::to_string(
+                     listCycles(prog, machine,
+                                AlgorithmKind::ShiehPapachristou)),
+                 std::to_string(reservationCycles(prog, machine))},
+                widths);
+        }
+    }
+
+    std::printf("\nReading: the earliest-fit reservation scheduler "
+                "clearly beats the list\nscheduler that lacks timing "
+                "awareness (Shieh & Papachristou), but the\n"
+                "EET-plus-FU-busy list scheduler (Krishnamurthy) "
+                "retains the edge — its\nrank-2 FPU-interlock "
+                "heuristic already encodes the reservation table's\n"
+                "knowledge, which is exactly why the paper lists busy "
+                "times among the 26.\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduces Table 5: "Scheduling run times and structural data for
+ * table-building approaches" — forward (Krishnamurthy-like) and
+ * backward (Section 2 pseudocode) table building paired with the same
+ * simple forward scheduling pass, over all twelve workload rows
+ * including the full 11750-instruction fpppp block.
+ *
+ * Expected shape (paper): both table builders handle every workload
+ * without an instruction window (grep 2.0s ... fpppp 26.5s on a
+ * SPARCstation-2), the forward and backward variants are essentially
+ * equal, and arc counts stay an order of magnitude below Table 4's.
+ */
+
+#include "bench_util.hh"
+
+using namespace sched91;
+using namespace sched91::bench;
+
+namespace
+{
+
+struct PaperRow
+{
+    const char *name;
+    double fwd_seconds;
+    double bwd_seconds;
+    int max_children;
+    double avg_children;
+    int max_arcs;
+    double avg_arcs;
+};
+
+const PaperRow kPaper[] = {
+    {"grep", 2.0, 2.0, 4, 0.52, 42, 1.23},
+    {"regex", 2.7, 2.7, 4, 0.53, 41, 1.46},
+    {"dfa", 4.5, 4.5, 10, 0.62, 65, 1.81},
+    {"cccp", 8.1, 8.0, 7, 0.52, 47, 1.31},
+    {"linpack", 3.4, 3.4, 17, 1.02, 258, 8.88},
+    {"lloops", 3.7, 3.7, 9, 1.07, 219, 15.29},
+    {"tomcatv", 2.3, 2.2, 9, 1.52, 744, 26.14},
+    {"nasa7", 9.3, 9.2, 26, 1.26, 572, 17.73},
+    {"fpppp-1000", 23.2, 23.1, 185, 2.33, 3098, 88.35},
+    {"fpppp-2000", 23.9, 23.6, 403, 2.43, 6345, 93.10},
+    {"fpppp-4000", 24.5, 24.5, 503, 2.53, 13059, 97.15},
+    {"fpppp", 26.5, 26.8, 503, 2.60, 37881, 100.27},
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 5: run times and structural data, table-building "
+           "approaches");
+
+    std::vector<int> widths{11, 9, 9, 9, 9, 6, 6, 7, 7};
+    printCells({"benchmark", "fwd(ms)", "bwd(ms)", "pap-f(s)",
+                "pap-b(s)", "ch", "ch", "arcs", "arcs"},
+               widths);
+    printCells({"", "", "", "", "", "max", "avg", "max", "avg"}, widths);
+    printRule(widths);
+
+    MachineModel machine = sparcstation2();
+    auto workloads = allWorkloads();
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const Workload &w = workloads[i];
+
+        PipelineOptions fwd;
+        fwd.builder = BuilderKind::TableForward;
+        fwd.build.memPolicy = AliasPolicy::SymbolicExpr;
+        fwd.algorithm = AlgorithmKind::SimpleForward;
+        ProgramResult rf = timedPipeline(w, machine, fwd);
+
+        PipelineOptions bwd = fwd;
+        bwd.builder = BuilderKind::TableBackward;
+        ProgramResult rb = timedPipeline(w, machine, bwd);
+
+        printCells(
+            {w.display, formatFixed(rf.totalSeconds() * 1e3, 1),
+             formatFixed(rb.totalSeconds() * 1e3, 1),
+             formatFixed(kPaper[i].fwd_seconds, 1),
+             formatFixed(kPaper[i].bwd_seconds, 1),
+             std::to_string(
+                 static_cast<int>(rf.dagStats.childrenPerInst.max())),
+             formatFixed(rf.dagStats.childrenPerInst.avg(), 2),
+             std::to_string(
+                 static_cast<int>(rf.dagStats.arcsPerBlock.max())),
+             formatFixed(rf.dagStats.arcsPerBlock.avg(), 2)},
+            widths);
+    }
+
+    std::printf("\nShape check: (1) no instruction window needed even "
+                "for the 11750-inst\nfpppp block; (2) forward and "
+                "backward table building are essentially equal;\n(3) "
+                "run time grows roughly linearly in instructions, not "
+                "block size; (4) arc\ncounts are an order of magnitude "
+                "below the n**2 builder's (Table 4).\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared helpers for the table-reproduction benches: workload loading
+ * (including the fpppp instruction-window variants), repeated-run
+ * timing in the paper's style ("average of user+sys over five runs"),
+ * and fixed-width table printing.
+ */
+
+#ifndef SCHED91_BENCH_BENCH_UTIL_HH
+#define SCHED91_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sched91.hh"
+#include "support/string_util.hh"
+
+namespace sched91::bench
+{
+
+/** A benchmark row: profile name plus optional instruction window. */
+struct Workload
+{
+    std::string display;  ///< "fpppp-1000"
+    std::string profile;  ///< "fpppp"
+    int window = 0;       ///< 0 = none
+};
+
+/** The nine Table 3 benchmarks in order. */
+inline std::vector<Workload>
+baseWorkloads()
+{
+    return {
+        {"grep", "grep", 0},       {"regex", "regex", 0},
+        {"dfa", "dfa", 0},         {"cccp", "cccp", 0},
+        {"linpack", "linpack", 0}, {"lloops", "lloops", 0},
+        {"tomcatv", "tomcatv", 0}, {"nasa7", "nasa7", 0},
+    };
+}
+
+/** All twelve Table 3 rows (adds the fpppp window variants). */
+inline std::vector<Workload>
+allWorkloads()
+{
+    auto v = baseWorkloads();
+    v.push_back({"fpppp-1000", "fpppp", 1000});
+    v.push_back({"fpppp-2000", "fpppp", 2000});
+    v.push_back({"fpppp-4000", "fpppp", 4000});
+    v.push_back({"fpppp", "fpppp", 0});
+    return v;
+}
+
+/** Fresh copy of a workload's program (cached generation). */
+inline Program
+loadProgram(const Workload &w)
+{
+    return cachedProgram(w.profile);
+}
+
+/** Run the pipeline @p runs times; returns the fastest-of-runs result
+ * with times averaged over the runs (paper: average of five). */
+inline ProgramResult
+timedPipeline(const Workload &w, const MachineModel &machine,
+              PipelineOptions opts, int runs = 5)
+{
+    opts.partition.window = w.window;
+    ProgramResult sum{};
+    for (int r = 0; r < runs; ++r) {
+        Program prog = loadProgram(w);
+        ProgramResult res = runPipeline(prog, machine, opts);
+        if (r == 0)
+            sum = res;
+        else {
+            sum.buildSeconds += res.buildSeconds;
+            sum.heurSeconds += res.heurSeconds;
+            sum.schedSeconds += res.schedSeconds;
+        }
+    }
+    sum.buildSeconds /= runs;
+    sum.heurSeconds /= runs;
+    sum.schedSeconds /= runs;
+    return sum;
+}
+
+/** printf a row of right-aligned cells. */
+inline void
+printCells(const std::vector<std::string> &cells,
+           const std::vector<int> &widths)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::string pad = i == 0 ? padRight(cells[i], widths[i])
+                                 : padLeft(cells[i], widths[i]);
+        std::fputs(pad.c_str(), stdout);
+        std::fputs(i + 1 == cells.size() ? "\n" : "  ", stdout);
+    }
+}
+
+/** Horizontal rule sized to the column widths. */
+inline void
+printRule(const std::vector<int> &widths)
+{
+    int total = 0;
+    for (int w : widths)
+        total += w + 2;
+    for (int i = 0; i < total - 2; ++i)
+        std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+}
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace sched91::bench
+
+#endif // SCHED91_BENCH_BENCH_UTIL_HH

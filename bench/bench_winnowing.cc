@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Which heuristics actually decide? (paper Section 5)
+ *
+ * "Some algorithms combine the heuristic information into a single
+ * priority value per node, while others apply heuristics in a given
+ * order in a winnowing-like process ... the use of minimum path to a
+ * root in Shieh and Papachristou could possibly be omitted or
+ * replaced with little effect because it is the last heuristic to be
+ * applied."
+ *
+ * This bench runs every algorithm's winnowing chain with decision
+ * accounting over the workload suite and prints, per rank, how often
+ * that heuristic was the one that singled out the winner — a direct
+ * quantitative test of the paper's omission claim.
+ */
+
+#include "bench_util.hh"
+
+using namespace sched91;
+using namespace sched91::bench;
+
+int
+main()
+{
+    banner("Winnowing decisiveness per heuristic rank "
+           "(paper Section 5)");
+
+    MachineModel machine = sparcstation2();
+    std::vector<Workload> workloads{
+        {"grep", "grep", 0},       {"cccp", "cccp", 0},
+        {"linpack", "linpack", 0}, {"lloops", "lloops", 0},
+        {"tomcatv", "tomcatv", 0}, {"nasa7", "nasa7", 0},
+    };
+
+    for (AlgorithmKind kind : publishedAlgorithms()) {
+        AlgorithmSpec spec = algorithmSpec(kind);
+        ListScheduler scheduler(spec.config, machine);
+        std::unique_ptr<DagBuilder> builder =
+            makeBuilder(spec.preferredBuilder);
+
+        DecisionStats stats;
+        for (const Workload &w : workloads) {
+            Program prog = loadProgram(w);
+            auto blocks = partitionBlocks(prog);
+            for (const auto &bb : blocks) {
+                BlockView block(prog, bb);
+                PipelineOptions opts;
+                opts.algorithm = kind;
+                opts.builder = spec.preferredBuilder;
+                Dag dag = builder->build(block, machine, opts.build);
+                runAllStaticPasses(dag, PassImpl::ReverseWalk,
+                                   spec.config.needsDescendants);
+                if (spec.config.needsRegisterPressure)
+                    computeRegisterPressure(dag);
+                scheduler.run(dag, &stats);
+            }
+        }
+
+        std::printf("%s  (%lld picks, %lld single-candidate)\n",
+                    std::string(algorithmName(kind)).c_str(),
+                    stats.totalPicks, stats.trivialPicks);
+        long long contested = stats.totalPicks - stats.trivialPicks;
+        for (std::size_t r = 0; r < stats.decidedAtRank.size(); ++r) {
+            double pct = contested
+                             ? 100.0 * stats.decidedAtRank[r] /
+                                   static_cast<double>(contested)
+                             : 0.0;
+            std::printf("  rank %zu %-38s %8lld  (%5.1f%%)\n", r + 1,
+                        heuristicInfo(spec.config.ranking[r].heuristic)
+                            .name,
+                        stats.decidedAtRank[r], pct);
+        }
+        double tie_pct = contested
+                             ? 100.0 * stats.originalOrderTies /
+                                   static_cast<double>(contested)
+                             : 0.0;
+        std::printf("  ----- original order tie break %15lld  "
+                    "(%5.1f%%)\n\n",
+                    stats.originalOrderTies, tie_pct);
+    }
+
+    std::printf("Reading: a rank that decides ~0%% of contested picks "
+                "is removable with\nlittle effect — the paper's "
+                "Section 5 conjecture about Shieh & Papachristou's\n"
+                "last heuristic, now measured.\n");
+    return 0;
+}

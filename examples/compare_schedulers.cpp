@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Run all six published scheduling algorithms (paper Table 2) on the
+ * daxpy and tomcatv kernels and compare the schedules they produce.
+ */
+
+#include <cstdio>
+
+#include "core/sched91.hh"
+
+using namespace sched91;
+
+namespace
+{
+
+void
+compareOn(const std::string &kernel)
+{
+    std::printf("\n== kernel: %s ==\n", kernel.c_str());
+    Program prog = kernelProgram(kernel);
+    MachineModel machine = sparcstation2();
+    auto blocks = partitionBlocks(prog);
+    BlockView block(prog, blocks.at(0));
+
+    Dag ground_truth =
+        TableForwardBuilder().build(block, machine, BuildOptions{});
+    int original = simulateSchedule(
+                       ground_truth,
+                       originalOrderSchedule(ground_truth).order, machine)
+                       .cycles;
+    std::printf("%-20s %5d cycles (baseline)\n", "original order",
+                original);
+
+    for (AlgorithmKind kind : publishedAlgorithms()) {
+        AlgorithmSpec spec = algorithmSpec(kind);
+        PipelineOptions opts;
+        opts.algorithm = kind;
+        opts.builder = spec.preferredBuilder;
+        BlockScheduleResult result = scheduleBlock(block, machine, opts);
+        int cycles =
+            simulateSchedule(ground_truth, result.sched.order, machine)
+                .cycles;
+        std::printf("%-20s %5d cycles (%+.1f%%)  [%s pass, %s]\n",
+                    std::string(algorithmName(kind)).c_str(), cycles,
+                    100.0 * (cycles - original) / original,
+                    spec.config.forward ? "forward" : "backward",
+                    std::string(builderKindName(spec.preferredBuilder))
+                        .c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    compareOn("daxpy");
+    compareOn("tomcatv");
+    compareOn("divide-chain");
+    return 0;
+}

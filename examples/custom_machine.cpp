@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Building your own machine model and scheduling algorithm.
+ *
+ * The six Table 2 algorithms are just SchedulerConfig values over the
+ * generic list-scheduling engine, and machine models are plain data —
+ * this example defines a deep-pipeline machine (slow loads, fast FP)
+ * and a custom winnowing chain tuned for it, then checks the result
+ * against the stock algorithms and the branch-and-bound optimum.
+ */
+
+#include <cstdio>
+
+#include "core/sched91.hh"
+
+using namespace sched91;
+
+int
+main()
+{
+    // --- a custom machine: deep pipeline, 4-cycle loads ------------
+    MachineModel machine;
+    machine.name = "deep-pipeline";
+    machine.setLatency(InstClass::IntAlu, 1);
+    machine.setLatency(InstClass::Load, 4);
+    machine.setLatency(InstClass::LoadDouble, 5);
+    machine.setLatency(InstClass::Store, 2);
+    machine.setLatency(InstClass::StoreDouble, 2);
+    machine.setLatency(InstClass::FpAdd, 2);
+    machine.setLatency(InstClass::FpMul, 3);
+    machine.setLatency(InstClass::FpDiv, 12);
+    machine.setLatency(InstClass::Branch, 1);
+    machine.warDelay = 1;
+    machine.fuDesc(FuKind::MemPort).count = 2; // dual-ported cache
+
+    // --- a custom algorithm: loads first, then critical path --------
+    SchedulerConfig config;
+    config.name = "loads-first";
+    config.ranking = {
+        {Heuristic::EarliestExecutionTime, /*preferLarger=*/false},
+        {Heuristic::InterlockWithChild, true}, // long-delay producers
+        {Heuristic::MaxDelayToLeaf, true},
+        {Heuristic::NumUncoveredChildren, true},
+    };
+    config.needsBackwardPass = true;
+
+    Program prog = kernelProgram("daxpy");
+    auto blocks = partitionBlocks(prog);
+    BlockView block(prog, blocks.at(0));
+
+    BuildOptions bopts;
+    bopts.memPolicy = AliasPolicy::SymbolicExpr;
+    Dag dag = TableForwardBuilder().build(block, machine, bopts);
+    runAllStaticPasses(dag);
+
+    ListScheduler scheduler(config, machine);
+    DecisionStats stats;
+    Schedule mine = scheduler.run(dag, &stats);
+
+    int original = simulateSchedule(
+                       dag, originalOrderSchedule(dag).order, machine)
+                       .cycles;
+    int custom = simulateSchedule(dag, mine.order, machine).cycles;
+    std::printf("daxpy on %s: original %d cycles, %s %d cycles\n",
+                machine.name.c_str(), original, config.name.c_str(),
+                custom);
+
+    std::printf("decisions: ");
+    for (std::size_t r = 0; r < stats.decidedAtRank.size(); ++r)
+        std::printf("rank%zu=%lld ", r + 1, stats.decidedAtRank[r]);
+    std::printf("ties=%lld trivial=%lld\n", stats.originalOrderTies,
+                stats.trivialPicks);
+
+    // --- sanity: stock algorithms and the optimum -------------------
+    for (AlgorithmKind kind :
+         {AlgorithmKind::Krishnamurthy, AlgorithmKind::Warren}) {
+        PipelineOptions opts;
+        opts.algorithm = kind;
+        opts.build.memPolicy = AliasPolicy::SymbolicExpr;
+        auto r = scheduleBlock(block, machine, opts);
+        std::printf("%-22s %d cycles\n",
+                    std::string(algorithmName(kind)).c_str(),
+                    simulateSchedule(dag, r.sched.order, machine).cycles);
+    }
+
+    Dag opt_dag = TableForwardBuilder().build(block, machine, bopts);
+    BnbResult optimal = scheduleOptimal(opt_dag, machine);
+    std::printf("%-22s %d cycles (%s)\n", "branch-and-bound",
+                optimal.cycles,
+                optimal.optimal ? "proven optimal" : "budget-best");
+
+    std::printf("\ntimeline of the custom schedule:\n%s",
+                renderTimeline(dag, mine.order, machine).c_str());
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Prepass (pre-register-allocation) scheduling with the register-usage
+ * heuristics of Table 1: #registers born, #registers killed, and
+ * Warren-style liveness.
+ *
+ * Demonstrates the classic tension the paper's register-usage category
+ * addresses: aggressive latency-hiding schedules lengthen value
+ * lifetimes and raise register pressure; a liveness-aware ranking
+ * (Warren, Tiemann/GCC) trades a little latency for fewer
+ * simultaneously live registers.
+ */
+
+#include <cstdio>
+
+#include "core/sched91.hh"
+
+using namespace sched91;
+
+int
+main()
+{
+    // Eight independent load/use pairs: hoisting all loads first hides
+    // latency but makes eight values live at once.
+    Program prog = parseAssembly(R"(
+        ld [%i0+0],  %l0
+        st %l0, [%i1+0]
+        ld [%i0+4],  %l1
+        st %l1, [%i1+4]
+        ld [%i0+8],  %l2
+        st %l2, [%i1+8]
+        ld [%i0+12], %l3
+        st %l3, [%i1+12]
+        ld [%i0+16], %l4
+        st %l4, [%i1+16]
+        ld [%i0+20], %l5
+        st %l5, [%i1+20]
+        ld [%i0+24], %l6
+        st %l6, [%i1+24]
+        ld [%i0+28], %l7
+        st %l7, [%i1+28]
+    )");
+
+    MachineModel machine = sparcstation2();
+    auto blocks = partitionBlocks(prog);
+    BlockView block(prog, blocks.at(0));
+
+    BuildOptions gt_opts;
+    gt_opts.memPolicy = AliasPolicy::SymbolicExpr;
+    Dag gt = TableForwardBuilder().build(block, machine, gt_opts);
+    computeRegisterPressure(gt);
+
+    std::printf("per-instruction register pressure annotations:\n");
+    for (std::uint32_t i = 0; i < gt.size(); ++i) {
+        const NodeAnnotations &a = gt.node(i).ann;
+        std::printf("  %-18s born %d  killed %d  liveness %+d\n",
+                    block.inst(i).toString().c_str(), a.regsBorn,
+                    a.regsKilled, a.liveness);
+    }
+
+    struct Contender
+    {
+        const char *label;
+        AlgorithmKind kind;
+    };
+    const Contender contenders[] = {
+        {"krishnamurthy (latency only)", AlgorithmKind::Krishnamurthy},
+        {"warren (liveness-aware)", AlgorithmKind::Warren},
+        {"tiemann (birthing, backward)", AlgorithmKind::Tiemann},
+    };
+
+    std::printf("\n%-32s %8s %10s\n", "scheduler", "cycles", "max live");
+    std::printf("%-32s %8d %10d\n", "original order",
+                simulateSchedule(gt, originalOrderSchedule(gt).order,
+                                 machine)
+                    .cycles,
+                maxLiveRegisters(gt, originalOrderSchedule(gt).order));
+
+    for (const Contender &c : contenders) {
+        PipelineOptions opts;
+        opts.build.memPolicy = AliasPolicy::SymbolicExpr;
+        opts.algorithm = c.kind;
+        BlockScheduleResult result = scheduleBlock(block, machine, opts);
+        std::printf("%-32s %8d %10d\n", c.label,
+                    simulateSchedule(gt, result.sched.order, machine)
+                        .cycles,
+                    maxLiveRegisters(gt, result.sched.order));
+    }
+
+    // The engine is fully configurable: a prepass-oriented ranking
+    // that puts liveness first trades stall cycles for minimal
+    // pressure.
+    SchedulerConfig pressure_first;
+    pressure_first.name = "pressure-first";
+    pressure_first.ranking = {
+        {Heuristic::Liveness, /*preferLarger=*/true},
+        {Heuristic::EarliestExecutionTime, false},
+        {Heuristic::MaxDelayToLeaf, true},
+    };
+    Dag dag = TableForwardBuilder().build(block, machine, gt_opts);
+    computeRegisterPressure(dag);
+    Schedule s = ListScheduler(pressure_first, machine).run(dag);
+    std::printf("%-32s %8d %10d\n", "custom liveness-first prepass",
+                simulateSchedule(gt, s.order, machine).cycles,
+                maxLiveRegisters(gt, s.order));
+
+    std::printf("\nPrepass scheduling (before register allocation) "
+                "wants low 'max live';\npostpass wants low cycles — "
+                "Warren's algorithm is designed to run as both\n"
+                "(paper Section 3, register usage).\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: parse a basic block, build its dependence DAG, run the
+ * heuristic passes, schedule it, and show the cycle improvement.
+ *
+ * Build and run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/sched91.hh"
+
+using namespace sched91;
+
+int
+main()
+{
+    // A load-use heavy block as a compiler might emit it: every load
+    // feeds the very next instruction, stalling a pipelined machine.
+    Program prog = parseAssembly(R"(
+        ld    [%i0+0], %l0
+        add   %l0, 1, %l1
+        st    %l1, [%i1+0]
+        ld    [%i0+4], %l2
+        add   %l2, 1, %l3
+        st    %l3, [%i1+4]
+        lddf  [%i2+0], %f0
+        fmuld %f0, %f2, %f4
+        stdf  %f4, [%i3+0]
+        cmp   %l3, 100
+        bl    loop
+    )");
+
+    MachineModel machine = sparcstation2();
+    auto blocks = partitionBlocks(prog);
+    BlockView block(prog, blocks.at(0));
+
+    // Build the DAG with the table-building forward constructor
+    // (Krishnamurthy-like) and schedule with Krishnamurthy's
+    // algorithm: earliest execution time first, then FP-unit
+    // interlocks, path and delay to leaf, plus a postpass fixup.
+    PipelineOptions opts;
+    // Distinct incoming pointers: use the paper's expression-as-resource
+    // memory model so independent accesses do not serialize.
+    opts.build.memPolicy = AliasPolicy::SymbolicExpr;
+    opts.builder = BuilderKind::TableForward;
+    opts.algorithm = AlgorithmKind::Krishnamurthy;
+    BlockScheduleResult result = scheduleBlock(block, machine, opts);
+
+    std::printf("dependence DAG: %u nodes, %zu arcs\n", result.dag.size(),
+                result.dag.numArcs());
+    for (const Arc &arc : result.dag.arcs()) {
+        std::printf("  %2u -> %-2u %-4s delay %d%s\n", arc.from, arc.to,
+                    std::string(depKindName(arc.kind)).c_str(), arc.delay,
+                    arc.res.valid()
+                        ? ("  on " + arc.res.toString()).c_str()
+                        : "");
+    }
+
+    std::printf("\n%-4s %-28s -> %-4s %s\n", "pos", "original", "pos",
+                "scheduled");
+    for (std::uint32_t i = 0; i < block.size(); ++i) {
+        std::printf("%-4u %-28s -> %-4u %s\n", i,
+                    block.inst(i).toString().c_str(),
+                    result.sched.order[i],
+                    block.inst(result.sched.order[i]).toString().c_str());
+    }
+
+    SimResult before = simulateSchedule(
+        result.dag, originalOrderSchedule(result.dag).order, machine);
+    SimResult after =
+        simulateSchedule(result.dag, result.sched.order, machine);
+    std::printf("\ncycles: original %d (stalls %d)  ->  scheduled %d "
+                "(stalls %d)\n",
+                before.cycles, before.stallCycles, after.cycles,
+                after.stallCycles);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The "alternate type" heuristic on a 2-issue superscalar model
+ * (paper Section 3, instruction class category): "the instruction
+ * scheduler attempts to reorder the instruction stream so that as
+ * many instructions as possible can be issued each cycle".
+ *
+ * The 2-way machine pairs at most one instruction per issue group per
+ * cycle; a stream that alternates integer and floating-point work
+ * dual-issues, while a stream with all the integer work first cannot.
+ */
+
+#include <cstdio>
+
+#include "core/sched91.hh"
+
+using namespace sched91;
+
+int
+main()
+{
+    // Independent integer and FP strands, laid out strand-by-strand
+    // (worst case for a 2-way machine).
+    Program prog = parseAssembly(R"(
+        add %l0, 1, %l1
+        add %l0, 2, %l2
+        add %l0, 3, %l3
+        add %l0, 4, %l4
+        add %l0, 5, %l5
+        add %l0, 6, %l6
+        fadds %f0, %f1, %f2
+        fadds %f0, %f1, %f3
+        fadds %f0, %f1, %f4
+        fadds %f0, %f1, %f5
+        fadds %f0, %f1, %f6
+        fadds %f0, %f1, %f7
+    )");
+
+    MachineModel machine = superscalar2();
+    auto blocks = partitionBlocks(prog);
+    BlockView block(prog, blocks.at(0));
+    Dag gt = TableForwardBuilder().build(block, machine, BuildOptions{});
+
+    int original = simulateSchedule(
+                       gt, originalOrderSchedule(gt).order, machine)
+                       .lastIssue +
+                   1;
+
+    // Warren's ranking includes alternate-type at rank 2.
+    PipelineOptions opts;
+    opts.algorithm = AlgorithmKind::Warren;
+    opts.builder = BuilderKind::N2Forward;
+    BlockScheduleResult result = scheduleBlock(block, machine, opts);
+    int scheduled =
+        simulateSchedule(gt, result.sched.order, machine).lastIssue + 1;
+
+    std::printf("scheduled order (issue group alternation):\n");
+    for (std::uint32_t n : result.sched.order)
+        std::printf("  %s\n", block.inst(n).toString().c_str());
+
+    std::printf("\nissue cycles on the 2-way machine: original order "
+                "%d, scheduled %d\n",
+                original, scheduled);
+    std::printf("(12 instructions, perfect dual-issue = 6 cycles)\n");
+
+    // Contrast with a single-issue machine: alternation buys nothing.
+    MachineModel single = sparcstation2();
+    int single_orig = simulateSchedule(
+                          gt, originalOrderSchedule(gt).order, single)
+                          .lastIssue +
+                      1;
+    int single_sched =
+        simulateSchedule(gt, result.sched.order, single).lastIssue + 1;
+    std::printf("on the single-issue machine the same orders take %d "
+                "and %d cycles.\n",
+                single_orig, single_sched);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Walk through the paper's Figure 1 interactively: why transitive
+ * arcs carry timing information, and what each DAG construction
+ * algorithm does with the example.
+ */
+
+#include <cstdio>
+
+#include "core/sched91.hh"
+
+using namespace sched91;
+
+int
+main()
+{
+    std::printf("Figure 1 of the paper:\n\n"
+                "  1: DIVF R1,R2,R3 (R3 = R1/R2, 20 cycles)\n"
+                "  2: ADDF R4,R5,R1 (R1 = R4+R5,  4 cycles)\n"
+                "  3: ADDF R1,R3,R6 (R6 = R1+R3,  4 cycles)\n\n"
+                "In our dialect (R1=%%f0, R2=%%f2, R3=%%f4, R4=%%f6, "
+                "R5=%%f8, R6=%%f10):\n\n");
+
+    Program prog = figure1Program();
+    for (const auto &inst : prog.insts())
+        std::printf("  %u: %s\n", inst.index() + 1,
+                    inst.toString().c_str());
+
+    MachineModel machine = figure1Machine();
+    auto blocks = partitionBlocks(prog);
+    BlockView block(prog, blocks.at(0));
+
+    std::printf("\nArc 1->3 is *transitive* (1 -> 2 -> 3 also "
+                "connects them), but the path\ncarries only 1 + 4 = 5 "
+                "cycles of delay while the arc carries the divide's\n"
+                "full 20-cycle latency.\n\n");
+
+    for (BuilderKind kind : allBuilderKinds()) {
+        Dag dag = makeBuilder(kind)->build(block, machine,
+                                           BuildOptions{});
+        runAllStaticPasses(dag);
+        std::printf("%-14s: %zu arcs, divide's max delay to leaf = %d",
+                    std::string(builderKindName(kind)).c_str(),
+                    dag.numArcs(), dag.node(0).ann.maxDelayToLeaf);
+        if (dag.suppressedCount() > 0)
+            std::printf("  (suppressed %zu transitive arc attempts!)",
+                        dag.suppressedCount());
+        std::printf("\n");
+    }
+
+    std::printf("\nDynamic heuristic check (earliest execution time of "
+                "node 3 after nodes 1\nand 2 issue back-to-back):\n");
+    for (BuilderKind kind :
+         {BuilderKind::TableForward, BuilderKind::N2Landskov}) {
+        Dag dag = makeBuilder(kind)->build(block, machine,
+                                           BuildOptions{});
+        initDynamicState(dag);
+        onScheduledForward(dag, 0, 0);
+        onScheduledForward(dag, 1, 1);
+        std::printf("  %-14s EET(node 3) = %d  (truth: 20)\n",
+                    std::string(builderKindName(kind)).c_str(),
+                    dag.node(2).ann.earliestExecTime);
+    }
+
+    std::printf("\nConclusion 3 of the paper: do not prune transitive "
+                "arcs; the table-building\nconstructors retain the "
+                "important ones for free.\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+#include "core/backend.hh"
+
+#include "dag/table_forward.hh"
+#include "heuristics/register_pressure.hh"
+#include "sched/list_scheduler.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Schedule a block view, returning the order. */
+std::vector<std::uint32_t>
+scheduleOrder(const BlockView &block, const MachineModel &machine,
+              AlgorithmKind algorithm, BuilderKind builder,
+              AliasPolicy policy)
+{
+    PipelineOptions opts;
+    opts.algorithm = algorithm;
+    opts.builder = builder;
+    opts.build.memPolicy = policy;
+    return scheduleBlock(block, machine, opts).sched.order;
+}
+
+} // namespace
+
+BackendResult
+compileProgram(Program &prog, const MachineModel &machine,
+               const BackendOptions &opts)
+{
+    auto blocks = partitionBlocks(prog);
+    BackendResult result;
+    result.blocks = blocks.size();
+
+    // Phase 1: emit the rewritten program block by block.
+    for (const BasicBlock &bb : blocks) {
+        BlockView block(prog, bb);
+        std::vector<std::uint32_t> order = scheduleOrder(
+            block, machine, opts.prepass, opts.builder, opts.memPolicy);
+
+        std::optional<AllocationResult> allocated;
+        if (opts.allocate)
+            allocated = allocateBlock(block, order, opts.allocator);
+
+        result.program.addLabel("B" + std::to_string(bb.begin));
+        if (allocated) {
+            ++result.allocatedBlocks;
+            result.spillStores += allocated->spillStores;
+            result.spillLoads += allocated->spillLoads;
+            for (Instruction &inst : allocated->insts)
+                result.program.append(std::move(inst));
+        } else {
+            // Allocation skipped or infeasible: emit the scheduled
+            // order unallocated.
+            for (std::uint32_t n : order)
+                result.program.append(block.inst(n));
+        }
+    }
+    stampMemGenerations(result.program);
+
+    // Phase 2: optional postpass reschedule over the allocated code,
+    // emitting the final program and measuring it.
+    auto out_blocks = partitionBlocks(result.program);
+    Program final_prog;
+    for (const BasicBlock &bb : out_blocks) {
+        BlockView block(result.program, bb);
+        BuildOptions bopts;
+        bopts.memPolicy = opts.memPolicy;
+        Dag dag = TableForwardBuilder().build(block, machine, bopts);
+
+        std::vector<std::uint32_t> order;
+        if (opts.postpass) {
+            PipelineOptions popts;
+            popts.algorithm = *opts.postpass;
+            popts.builder = opts.builder;
+            popts.build.memPolicy = opts.memPolicy;
+            order = scheduleBlock(block, machine, popts).sched.order;
+        } else {
+            order = originalOrderSchedule(dag).order;
+        }
+        result.cycles += simulateSchedule(dag, order, machine).cycles;
+
+        final_prog.addLabel("B" + std::to_string(bb.begin));
+        for (std::uint32_t n : order)
+            final_prog.append(block.inst(n));
+    }
+    stampMemGenerations(final_prog);
+    result.program = std::move(final_prog);
+    return result;
+}
+
+} // namespace sched91

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Whole-program backend flows: prepass scheduling, local register
+ * allocation, postpass scheduling — the compilation pipelines the
+ * paper's register-usage discussion assumes ("an algorithm like
+ * Warren's is designed to be performed both prepass as well as
+ * postpass", Section 3).
+ *
+ * compileProgram() rewrites every basic block: it schedules with the
+ * prepass algorithm, allocates block-defined values onto a bounded
+ * register pool (inserting spill code), optionally reschedules the
+ * allocated block, and emits a new Program.  Blocks the allocator
+ * cannot handle (calls, integer pairs, pools smaller than one
+ * instruction's operands) pass through scheduled but unallocated, and
+ * are reported.
+ */
+
+#ifndef SCHED91_CORE_BACKEND_HH
+#define SCHED91_CORE_BACKEND_HH
+
+#include <optional>
+
+#include "core/pipeline.hh"
+#include "regalloc/local_allocator.hh"
+
+namespace sched91
+{
+
+/** Backend flow configuration. */
+struct BackendOptions
+{
+    /** Prepass scheduling algorithm (SimpleForward = latency-driven). */
+    AlgorithmKind prepass = AlgorithmKind::Krishnamurthy;
+
+    /** Run register allocation at all. */
+    bool allocate = true;
+
+    /** Allocator pools / spill area. */
+    AllocatorOptions allocator;
+
+    /** Reschedule each allocated block (postpass); nullopt = skip. */
+    std::optional<AlgorithmKind> postpass = AlgorithmKind::Krishnamurthy;
+
+    /** DAG construction / memory model for both scheduling passes. */
+    BuilderKind builder = BuilderKind::TableForward;
+    AliasPolicy memPolicy = AliasPolicy::BaseOffset;
+};
+
+/** Backend outcome. */
+struct BackendResult
+{
+    Program program;          ///< rewritten program
+    std::size_t blocks = 0;
+    std::size_t allocatedBlocks = 0; ///< blocks the allocator handled
+    int spillStores = 0;
+    int spillLoads = 0;
+
+    /** Simulated cycles of the rewritten program (sum over blocks). */
+    long long cycles = 0;
+};
+
+/**
+ * Run the full backend flow over @p prog.  The input program is only
+ * mutated by memory-generation stamping.
+ */
+BackendResult compileProgram(Program &prog, const MachineModel &machine,
+                             const BackendOptions &opts = {});
+
+} // namespace sched91
+
+#endif // SCHED91_CORE_BACKEND_HH

@@ -1,0 +1,108 @@
+#include "core/pipeline.hh"
+
+#include "dag/table_forward.hh"
+#include "heuristics/register_pressure.hh"
+#include "sched/list_scheduler.hh"
+#include "support/timer.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Run the static heuristic passes an algorithm declares it needs. */
+void
+runNeededPasses(Dag &dag, const SchedulerConfig &config, PassImpl impl)
+{
+    if (config.needsForwardPass)
+        runForwardPass(dag, impl);
+    if (config.needsBackwardPass)
+        runBackwardPass(dag, impl, config.needsDescendants);
+    if (config.needsForwardPass && config.needsBackwardPass)
+        computeSlack(dag);
+    if (config.needsRegisterPressure)
+        computeRegisterPressure(dag);
+}
+
+} // namespace
+
+ProgramResult
+runPipeline(Program &prog, const MachineModel &machine,
+            const PipelineOptions &opts)
+{
+    std::vector<BasicBlock> blocks = partitionBlocks(prog, opts.partition);
+    AlgorithmSpec spec = algorithmSpec(opts.algorithm);
+    std::unique_ptr<DagBuilder> builder = makeBuilder(opts.builder);
+    ListScheduler scheduler(spec.config, machine);
+
+    ProgramResult result;
+    result.numBlocks = blocks.size();
+    result.numInsts = prog.size();
+
+    for (const BasicBlock &bb : blocks) {
+        BlockView block(prog, bb);
+
+        Timer t;
+        Dag dag = builder->build(block, machine, opts.build);
+        result.buildSeconds += t.seconds();
+
+        t.reset();
+        runNeededPasses(dag, spec.config, opts.passImpl);
+        result.heurSeconds += t.seconds();
+
+        t.reset();
+        Schedule sched = scheduler.run(dag);
+        result.schedSeconds += t.seconds();
+
+        result.dagStats.accumulate(dag);
+
+        if (opts.evaluate) {
+            // Ground truth: a timing-complete DAG.  Table-built DAGs
+            // preserve every timing constraint (Section 2), so reuse
+            // the scheduler's DAG when it came from a table builder
+            // without transitive prevention; otherwise rebuild.
+            bool reusable =
+                (opts.builder == BuilderKind::TableForward ||
+                 opts.builder == BuilderKind::TableBackward) &&
+                !opts.build.preventTransitive;
+            if (reusable) {
+                result.cyclesOriginal +=
+                    simulateSchedule(dag, originalOrderSchedule(dag).order,
+                                     machine)
+                        .cycles;
+                result.cyclesScheduled +=
+                    simulateSchedule(dag, sched.order, machine).cycles;
+            } else {
+                BuildOptions gt_opts = opts.build;
+                gt_opts.preventTransitive = false;
+                gt_opts.maintainReachMaps = false;
+                Dag gt = TableForwardBuilder().build(block, machine,
+                                                     gt_opts);
+                result.cyclesOriginal +=
+                    simulateSchedule(gt, originalOrderSchedule(gt).order,
+                                     machine)
+                        .cycles;
+                result.cyclesScheduled +=
+                    simulateSchedule(gt, sched.order, machine).cycles;
+            }
+        }
+    }
+
+    return result;
+}
+
+BlockScheduleResult
+scheduleBlock(const BlockView &block, const MachineModel &machine,
+              const PipelineOptions &opts)
+{
+    AlgorithmSpec spec = algorithmSpec(opts.algorithm);
+    std::unique_ptr<DagBuilder> builder = makeBuilder(opts.builder);
+    Dag dag = builder->build(block, machine, opts.build);
+    runNeededPasses(dag, spec.config, opts.passImpl);
+    ListScheduler scheduler(spec.config, machine);
+    Schedule sched = scheduler.run(dag);
+    return BlockScheduleResult{std::move(dag), std::move(sched)};
+}
+
+} // namespace sched91

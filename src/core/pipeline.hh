@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Top-level scheduling pipeline: the paper's three-step structure
+ * (Section 1) over a whole program.
+ *
+ *  1. DAG construction for each basic block (Section 2);
+ *  2. the intermediate heuristic calculation step, run in the
+ *     direction(s) the chosen algorithm actually needs (Section 4);
+ *  3. the scheduling pass (Section 5).
+ *
+ * The pipeline reports per-phase wall-clock time and DAG structural
+ * statistics — the quantities of Tables 4 and 5 — and can optionally
+ * evaluate schedule quality in cycles with the in-order pipeline
+ * simulator against a timing-complete table-built ground-truth DAG.
+ */
+
+#ifndef SCHED91_CORE_PIPELINE_HH
+#define SCHED91_CORE_PIPELINE_HH
+
+#include <cstdint>
+
+#include "dag/builder.hh"
+#include "dag/dag_stats.hh"
+#include "heuristics/static_passes.hh"
+#include "ir/basic_block.hh"
+#include "machine/machine_model.hh"
+#include "sched/pipeline_sim.hh"
+#include "sched/registry.hh"
+
+namespace sched91
+{
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    BuilderKind builder = BuilderKind::TableForward;
+    AlgorithmKind algorithm = AlgorithmKind::SimpleForward;
+    BuildOptions build;
+    PassImpl passImpl = PassImpl::ReverseWalk;
+    PartitionOptions partition;
+
+    /**
+     * Measure schedule quality: simulate original and scheduled order
+     * of every block on the machine model (adds simulation time that
+     * is *not* charged to the three scheduling phases).
+     */
+    bool evaluate = false;
+};
+
+/** Aggregated outcome of scheduling a whole program. */
+struct ProgramResult
+{
+    std::size_t numBlocks = 0;
+    std::size_t numInsts = 0;
+
+    // Phase wall-clock times (summed over blocks).
+    double buildSeconds = 0.0;
+    double heurSeconds = 0.0;
+    double schedSeconds = 0.0;
+
+    double
+    totalSeconds() const
+    {
+        return buildSeconds + heurSeconds + schedSeconds;
+    }
+
+    /** Tables 4/5 structural statistics. */
+    DagStructure dagStats;
+
+    // Quality (only when PipelineOptions::evaluate).
+    long long cyclesOriginal = 0;  ///< sum over blocks, original order
+    long long cyclesScheduled = 0; ///< sum over blocks, scheduled order
+};
+
+/**
+ * Run the full pipeline over @p prog.  The program is mutated only by
+ * memory-generation stamping (idempotent).
+ */
+ProgramResult runPipeline(Program &prog, const MachineModel &machine,
+                          const PipelineOptions &opts);
+
+/** Single-block result: the annotated DAG and its schedule. */
+struct BlockScheduleResult
+{
+    Dag dag;
+    Schedule sched;
+};
+
+/**
+ * Convenience single-block entry point: build, annotate with the
+ * passes the algorithm needs, schedule.
+ */
+BlockScheduleResult scheduleBlock(const BlockView &block,
+                                  const MachineModel &machine,
+                                  const PipelineOptions &opts);
+
+} // namespace sched91
+
+#endif // SCHED91_CORE_PIPELINE_HH

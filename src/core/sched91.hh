@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Umbrella header for the sched91 library — a reproduction of
+ * Smotherman, Krishnamurthy, Aravind & Hunnicutt, "Efficient DAG
+ * Construction and Heuristic Calculation for Instruction Scheduling",
+ * MICRO-24, 1991.
+ *
+ * Typical use:
+ *
+ *     #include "core/sched91.hh"
+ *     using namespace sched91;
+ *
+ *     Program prog = parseAssembly(text);
+ *     MachineModel machine = sparcstation2();
+ *     PipelineOptions opts;
+ *     opts.builder = BuilderKind::TableForward;
+ *     opts.algorithm = AlgorithmKind::Krishnamurthy;
+ *     ProgramResult result = runPipeline(prog, machine, opts);
+ */
+
+#ifndef SCHED91_CORE_SCHED91_HH
+#define SCHED91_CORE_SCHED91_HH
+
+#include "core/backend.hh"
+#include "core/pipeline.hh"
+#include "dag/builder.hh"
+#include "dag/dag.hh"
+#include "dag/dag_stats.hh"
+#include "dag/memdep.hh"
+#include "dag/n2_forward.hh"
+#include "dag/n2_landskov.hh"
+#include "dag/table_backward.hh"
+#include "dag/table_forward.hh"
+#include "heuristics/dynamic.hh"
+#include "heuristics/heuristic.hh"
+#include "heuristics/register_pressure.hh"
+#include "heuristics/static_passes.hh"
+#include "ir/basic_block.hh"
+#include "ir/parser.hh"
+#include "ir/program.hh"
+#include "machine/function_unit.hh"
+#include "machine/machine_model.hh"
+#include "machine/presets.hh"
+#include "regalloc/local_allocator.hh"
+#include "sched/algorithms/algorithms.hh"
+#include "sched/branch_and_bound.hh"
+#include "sched/delay_slot.hh"
+#include "sched/fixup.hh"
+#include "sched/global_info.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/pipeline_sim.hh"
+#include "sched/registry.hh"
+#include "sched/report.hh"
+#include "sched/reservation.hh"
+#include "sched/schedule.hh"
+#include "sched/simple_forward.hh"
+#include "sched/timeline.hh"
+#include "sim/executor.hh"
+#include "workload/generator.hh"
+#include "workload/kernels.hh"
+#include "workload/profiles.hh"
+
+#endif // SCHED91_CORE_SCHED91_HH

@@ -1,0 +1,149 @@
+#include "dag/builder.hh"
+
+#include "dag/n2_forward.hh"
+#include "dag/n2_landskov.hh"
+#include "dag/table_backward.hh"
+#include "dag/table_forward.hh"
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+Dag
+DagBuilder::build(const BlockView &block, const MachineModel &machine,
+                  const BuildOptions &opts) const
+{
+    Dag dag(block);
+    dag.setLevelOrigin(isForward() ? Dag::LevelOrigin::Roots
+                                   : Dag::LevelOrigin::Leaves);
+
+    if (opts.maintainReachMaps || opts.preventTransitive) {
+        dag.enableReachMaps(isForward() ? ReachMode::Ancestors
+                                        : ReachMode::Descendants);
+        dag.setPreventTransitive(opts.preventTransitive);
+    }
+
+    // Node-time ('a') annotations that need the machine model.
+    for (std::uint32_t i = 0; i < dag.size(); ++i) {
+        NodeAnnotations &ann = dag.node(i).ann;
+        const Instruction &inst = *dag.node(i).inst;
+        ann.execTime = machine.latency(inst.cls());
+        ann.altType = static_cast<int>(inst.group());
+    }
+
+    addArcs(dag, block, machine, opts);
+
+    // Anchor a block-ending control transfer below all true leaves so
+    // it is scheduled last.
+    if (opts.anchorBranch && dag.size() > 1) {
+        std::uint32_t last = dag.size() - 1;
+        const Instruction &tail = *dag.node(last).inst;
+        if (isControlTransfer(tail.cls()) ||
+            tail.cls() == InstClass::WindowOp) {
+            dag.beginArcGroup(last);
+            std::vector<std::uint32_t> leaves = dag.leaves();
+            bool added = false;
+            for (std::uint32_t leaf : leaves) {
+                if (leaf != last &&
+                    dag.addArc(leaf, last, DepKind::CTRL, 1) ==
+                        Dag::AddArcResult::Added) {
+                    added = true;
+                }
+            }
+            if (added && !isForward()) {
+                // Late arc insertion invalidates the leaf-origin
+                // levels of the leaves' ancestors.
+                dag.recomputeLevels();
+            }
+            if (added && dag.reachMode() == ReachMode::Descendants) {
+                // Every node reaches some leaf, and all leaves now
+                // reach the branch: patch the maintained maps exactly.
+                for (std::uint32_t i = 0; i < dag.size(); ++i)
+                    if (i != last)
+                        dag.reachMapMutable(i).set(last);
+            }
+        }
+    }
+
+    return dag;
+}
+
+void
+addPairwiseArcs(Dag &dag, std::uint32_t i, std::uint32_t j,
+                const MachineModel &machine, const MemDisambiguator &mem)
+{
+    const Instruction &earlier = *dag.node(i).inst;
+    const Instruction &later = *dag.node(j).inst;
+
+    // Register-like resources.
+    for (Resource r : later.uses())
+        if (earlier.definesResource(r))
+            dag.addArc(i, j, DepKind::RAW,
+                       machine.depDelay(earlier, later, DepKind::RAW, r), r);
+    for (Resource r : later.defs()) {
+        if (earlier.usesResource(r))
+            dag.addArc(i, j, DepKind::WAR,
+                       machine.depDelay(earlier, later, DepKind::WAR, r), r);
+        if (earlier.definesResource(r))
+            dag.addArc(i, j, DepKind::WAW,
+                       machine.depDelay(earlier, later, DepKind::WAW, r), r);
+    }
+
+    // Memory.
+    if (earlier.mem().has_value() && later.mem().has_value()) {
+        bool e_store = earlier.isStore();
+        bool l_store = later.isStore();
+        if (e_store || l_store) {
+            AliasResult rel = mem.alias(*earlier.mem(), *later.mem());
+            if (rel != AliasResult::NoAlias) {
+                DepKind kind = e_store
+                                   ? (l_store ? DepKind::WAW : DepKind::RAW)
+                                   : DepKind::WAR;
+                dag.addArc(i, j, kind,
+                           machine.depDelay(earlier, later, kind,
+                                            Resource()));
+            }
+        }
+    }
+}
+
+std::unique_ptr<DagBuilder>
+makeBuilder(BuilderKind kind)
+{
+    switch (kind) {
+      case BuilderKind::N2Forward:
+        return std::make_unique<N2ForwardBuilder>();
+      case BuilderKind::N2Backward:
+        return std::make_unique<N2BackwardBuilder>();
+      case BuilderKind::N2Landskov:
+        return std::make_unique<N2LandskovBuilder>();
+      case BuilderKind::TableForward:
+        return std::make_unique<TableForwardBuilder>();
+      case BuilderKind::TableBackward:
+        return std::make_unique<TableBackwardBuilder>();
+    }
+    panic("bad builder kind");
+}
+
+std::vector<BuilderKind>
+allBuilderKinds()
+{
+    return {BuilderKind::N2Forward, BuilderKind::N2Backward,
+            BuilderKind::N2Landskov, BuilderKind::TableForward,
+            BuilderKind::TableBackward};
+}
+
+std::string_view
+builderKindName(BuilderKind kind)
+{
+    switch (kind) {
+      case BuilderKind::N2Forward: return "n**2 fwd";
+      case BuilderKind::N2Backward: return "n**2 bwd";
+      case BuilderKind::N2Landskov: return "n**2 landskov";
+      case BuilderKind::TableForward: return "table fwd";
+      case BuilderKind::TableBackward: return "table bwd";
+    }
+    return "?";
+}
+
+} // namespace sched91

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * DAG builder interface and shared construction plumbing.
+ *
+ * Four builders implement the algorithms compared in the paper:
+ *
+ *  - N2ForwardBuilder      — compare-against-all, forward (Warren-like)
+ *  - N2LandskovBuilder     — compare-against-all with transitive-arc
+ *                            pruning (Landskov et al.), the variant
+ *                            Section 2 recommends against
+ *  - TableForwardBuilder   — table building, forward (Krishnamurthy-like)
+ *  - TableBackwardBuilder  — table building, backward (Section 2
+ *                            pseudocode, with optional reachability-map
+ *                            transitive prevention)
+ */
+
+#ifndef SCHED91_DAG_BUILDER_HH
+#define SCHED91_DAG_BUILDER_HH
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "dag/dag.hh"
+#include "dag/memdep.hh"
+#include "machine/machine_model.hh"
+
+namespace sched91
+{
+
+/** Options shared by all DAG builders. */
+struct BuildOptions
+{
+    /** Memory disambiguation aggressiveness. */
+    AliasPolicy memPolicy = AliasPolicy::BaseOffset;
+
+    /**
+     * Maintain reachability bit maps during construction (needed for
+     * the O(1) #descendants heuristic and for transitive prevention).
+     */
+    bool maintainReachMaps = false;
+
+    /**
+     * Suppress transitive arcs.  Implies reach maps.  This reproduces
+     * the Landskov-style pruning for the Figure 1 experiment; note the
+     * paper's conclusion 3 recommends *against* it.
+     */
+    bool preventTransitive = false;
+
+    /**
+     * Add control arcs from every true leaf to a block-ending control
+     * transfer "to ensure that the branch is the last node to be
+     * scheduled" (Section 2).
+     */
+    bool anchorBranch = true;
+};
+
+/** Abstract DAG construction algorithm. */
+class DagBuilder
+{
+  public:
+    virtual ~DagBuilder() = default;
+
+    /** Algorithm name for tables ("n**2 fwd", "table fwd", ...). */
+    virtual std::string_view name() const = 0;
+
+    /** Construction pass direction. */
+    virtual bool isForward() const = 0;
+
+    /** Build the dependence DAG for one basic block. */
+    Dag build(const BlockView &block, const MachineModel &machine,
+              const BuildOptions &opts = {}) const;
+
+  protected:
+    /** Algorithm-specific arc insertion over a prepared DAG. */
+    virtual void addArcs(Dag &dag, const BlockView &block,
+                         const MachineModel &machine,
+                         const BuildOptions &opts) const = 0;
+};
+
+/** Known builder kinds for registries and benches. */
+enum class BuilderKind : std::uint8_t {
+    N2Forward,
+    N2Backward,
+    N2Landskov,
+    TableForward,
+    TableBackward,
+};
+
+/** Instantiate a builder by kind. */
+std::unique_ptr<DagBuilder> makeBuilder(BuilderKind kind);
+
+/** All builder kinds, for parameterized tests. */
+std::vector<BuilderKind> allBuilderKinds();
+
+/** Display name of a builder kind. */
+std::string_view builderKindName(BuilderKind kind);
+
+/**
+ * Add every pairwise dependence arc between earlier instruction @p i
+ * and later instruction @p j.  Shared by the compare-against-all
+ * builders and by the ground-truth DAG used in validation.
+ */
+void addPairwiseArcs(Dag &dag, std::uint32_t i, std::uint32_t j,
+                     const MachineModel &machine,
+                     const MemDisambiguator &mem);
+
+} // namespace sched91
+
+#endif // SCHED91_DAG_BUILDER_HH

@@ -1,0 +1,257 @@
+#include "dag/dag.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+Dag::Dag(const BlockView &block) : block_(block)
+{
+    std::uint32_t n = block.size();
+    nodes_.resize(n);
+    dupStamp_.assign(n, 0);
+    dupArc_.assign(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i)
+        nodes_[i].inst = &block.inst(i);
+}
+
+void
+Dag::enableReachMaps(ReachMode mode)
+{
+    SCHED91_ASSERT(arcs_.empty(), "reach maps must precede arcs");
+    reachMode_ = mode;
+    if (mode == ReachMode::None) {
+        reach_.clear();
+        return;
+    }
+    reach_.assign(nodes_.size(), Bitmap(nodes_.size()));
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+        reach_[i].set(i); // "each node's map ... can reach itself"
+}
+
+void
+Dag::setPreventTransitive(bool prevent)
+{
+    if (prevent)
+        SCHED91_ASSERT(reachMode_ != ReachMode::None,
+                       "transitive prevention requires reach maps");
+    preventTransitive_ = prevent;
+}
+
+void
+Dag::beginArcGroup(std::uint32_t node)
+{
+    groupNode_ = node;
+    ++epoch_;
+}
+
+std::uint32_t
+Dag::findArc(std::uint32_t from, std::uint32_t to) const
+{
+    for (std::uint32_t a : nodes_[from].succArcs)
+        if (arcs_[a].to == to)
+            return a;
+    return ~std::uint32_t{0};
+}
+
+Dag::AddArcResult
+Dag::addArc(std::uint32_t from, std::uint32_t to, DepKind kind, int delay,
+            Resource res)
+{
+    SCHED91_ASSERT(from < nodes_.size() && to < nodes_.size());
+    SCHED91_ASSERT(from != to, "self arc");
+    levelListsValid_ = false;
+
+    // Duplicate detection: O(1) when one endpoint is the current arc
+    // group's node, linear scan of the successor list otherwise.
+    std::uint32_t existing = ~std::uint32_t{0};
+    bool keyed = from == groupNode_ || to == groupNode_;
+    std::uint32_t other = from == groupNode_ ? to : from;
+    if (keyed) {
+        if (dupStamp_[other] == epoch_)
+            existing = dupArc_[other];
+    } else {
+        existing = findArc(from, to);
+    }
+
+    if (existing != ~std::uint32_t{0}) {
+        Arc &arc = arcs_[existing];
+        SCHED91_ASSERT(arc.from == from && arc.to == to);
+        // Keep the maximum delay so no timing constraint is lost; a RAW
+        // classification wins for reporting purposes.
+        if (delay > arc.delay) {
+            arc.delay = delay;
+            arc.kind = kind;
+            arc.res = res;
+        } else if (kind == DepKind::RAW && arc.kind != DepKind::RAW &&
+                   delay == arc.delay) {
+            arc.kind = kind;
+            arc.res = res;
+        }
+        ++duplicates_;
+        return AddArcResult::Duplicate;
+    }
+
+    // Transitive-arc prevention (the Landskov-style behaviour).
+    if (preventTransitive_) {
+        bool reachable = reachMode_ == ReachMode::Descendants
+                             ? reach_[from].test(to)
+                             : reach_[to].test(from);
+        if (reachable) {
+            ++suppressed_;
+            return AddArcResult::Suppressed;
+        }
+    }
+
+    std::uint32_t id = static_cast<std::uint32_t>(arcs_.size());
+    arcs_.push_back(Arc{from, to, kind, delay, res});
+    nodes_[from].succArcs.push_back(id);
+    nodes_[to].predArcs.push_back(id);
+    ++nodes_[from].numChildren;
+    ++nodes_[to].numParents;
+
+    if (keyed) {
+        dupStamp_[other] = epoch_;
+        dupArc_[other] = id;
+    }
+
+    // 'a'-class heuristic bookkeeping (Table 1, legend "a").
+    NodeAnnotations &fa = nodes_[from].ann;
+    NodeAnnotations &ta = nodes_[to].ann;
+    fa.sumDelaysToChildren += delay;
+    fa.maxDelayToChild = std::max(fa.maxDelayToChild, delay);
+    ta.sumDelaysFromParents += delay;
+    ta.maxDelayFromParents = std::max(ta.maxDelayFromParents, delay);
+    if (delay > 1)
+        fa.interlockWithChild = true;
+
+    // Level maintenance.
+    if (levelOrigin_ == LevelOrigin::Roots)
+        nodes_[to].level = std::max(nodes_[to].level, nodes_[from].level + 1);
+    else
+        nodes_[from].level =
+            std::max(nodes_[from].level, nodes_[to].level + 1);
+
+    // Reachability maps.
+    if (reachMode_ == ReachMode::Descendants)
+        reach_[from].orWith(reach_[to]);
+    else if (reachMode_ == ReachMode::Ancestors)
+        reach_[to].orWith(reach_[from]);
+
+    return AddArcResult::Added;
+}
+
+void
+Dag::recomputeLevels()
+{
+    levelListsValid_ = false;
+    for (auto &node : nodes_)
+        node.level = 0;
+    if (levelOrigin_ == LevelOrigin::Roots) {
+        for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+            for (std::uint32_t a : nodes_[i].succArcs) {
+                DagNode &to = nodes_[arcs_[a].to];
+                to.level = std::max(to.level, nodes_[i].level + 1);
+            }
+    } else {
+        for (std::uint32_t i = size(); i-- > 0;)
+            for (std::uint32_t a : nodes_[i].succArcs)
+                nodes_[i].level = std::max(
+                    nodes_[i].level, nodes_[arcs_[a].to].level + 1);
+    }
+}
+
+std::vector<std::uint32_t>
+Dag::roots() const
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i].numParents == 0)
+            out.push_back(i);
+    return out;
+}
+
+std::vector<std::uint32_t>
+Dag::leaves() const
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i].numChildren == 0)
+            out.push_back(i);
+    return out;
+}
+
+const std::vector<std::vector<std::uint32_t>> &
+Dag::levelLists() const
+{
+    if (!levelListsValid_) {
+        levelLists_.clear();
+        int max_level = 0;
+        for (const auto &n : nodes_)
+            max_level = std::max(max_level, n.level);
+        levelLists_.resize(static_cast<std::size_t>(max_level) + 1);
+        for (std::uint32_t i = 0; i < nodes_.size(); ++i)
+            levelLists_[nodes_[i].level].push_back(i);
+        levelListsValid_ = true;
+    }
+    return levelLists_;
+}
+
+std::vector<Bitmap>
+Dag::computeDescendantMaps() const
+{
+    std::vector<Bitmap> desc(nodes_.size(), Bitmap(nodes_.size()));
+    for (std::uint32_t i = size(); i-- > 0;) {
+        desc[i].set(i);
+        for (std::uint32_t a : nodes_[i].succArcs)
+            desc[i].orWith(desc[arcs_[a].to]);
+    }
+    return desc;
+}
+
+std::size_t
+Dag::countForestTrees() const
+{
+    // Union-find over undirected connectivity.
+    std::vector<std::uint32_t> parent(nodes_.size());
+    for (std::uint32_t i = 0; i < parent.size(); ++i)
+        parent[i] = i;
+    auto find = [&parent](std::uint32_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (const Arc &arc : arcs_)
+        parent[find(arc.from)] = find(arc.to);
+    std::size_t trees = 0;
+    for (std::uint32_t i = 0; i < parent.size(); ++i)
+        if (find(i) == i)
+            ++trees;
+    return trees;
+}
+
+std::size_t
+Dag::countTransitiveArcs() const
+{
+    std::vector<Bitmap> desc = computeDescendantMaps();
+    std::size_t count = 0;
+    for (const auto &node : nodes_) {
+        for (std::uint32_t a : node.succArcs) {
+            std::uint32_t b = arcs_[a].to;
+            for (std::uint32_t a2 : node.succArcs) {
+                std::uint32_t c = arcs_[a2].to;
+                if (c != b && desc[c].test(b)) {
+                    ++count;
+                    break;
+                }
+            }
+        }
+    }
+    return count;
+}
+
+} // namespace sched91

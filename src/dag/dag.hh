@@ -1,0 +1,274 @@
+/**
+ * @file
+ * The dependence DAG: nodes, typed weighted arcs, and the add_arc
+ * bookkeeping the paper attributes to construction time.
+ *
+ * Node ids equal instruction positions within the basic block, so
+ * program order is always a topological order (every builder adds arcs
+ * from earlier to later instructions, whichever direction it scans).
+ *
+ * add_arc maintains the "a"-class heuristics of Table 1 (those
+ * "determined when an instruction node or dependency arc is added"):
+ * #children, #parents, phi-delays to children / from parents, and the
+ * interlock-with-child flag.  It can also maintain reachability bit
+ * maps — used either to *prevent* transitive arcs (the Landskov-style
+ * behaviour the paper recommends against) or merely to enable the O(1)
+ * #descendants population count of Section 3.
+ */
+
+#ifndef SCHED91_DAG_DAG_HH
+#define SCHED91_DAG_DAG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/basic_block.hh"
+#include "ir/instruction.hh"
+#include "ir/program.hh"
+#include "machine/machine_model.hh"
+#include "support/bitmap.hh"
+
+namespace sched91
+{
+
+/** Read-only view of one basic block's instructions. */
+class BlockView
+{
+  public:
+    BlockView(const Program &prog, BasicBlock bb) : prog_(&prog), bb_(bb) {}
+
+    std::uint32_t size() const { return bb_.size(); }
+
+    /** Instruction @p i of the block (0-based). */
+    const Instruction &
+    inst(std::uint32_t i) const
+    {
+        return (*prog_)[bb_.begin + i];
+    }
+
+    const Program &program() const { return *prog_; }
+    const BasicBlock &block() const { return bb_; }
+
+  private:
+    const Program *prog_;
+    BasicBlock bb_;
+};
+
+/** A dependence arc. */
+struct Arc
+{
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    DepKind kind = DepKind::RAW;
+    std::int32_t delay = 1;
+    Resource res;  ///< invalid for memory and control arcs
+};
+
+/**
+ * Per-node heuristic annotations (all 26 heuristics of Table 1 draw on
+ * these slots).  The 'a' fields are filled during DAG construction,
+ * the 'f'/'b' fields by the intermediate heuristic pass, and the
+ * dynamic fields evolve during scheduling.
+ */
+struct NodeAnnotations
+{
+    // --- 'a': determined when the node / arc is added ---------------
+    int execTime = 0;             ///< operation latency
+    bool interlockWithChild = false;
+    int sumDelaysToChildren = 0;  ///< phi=sum delays to children
+    int maxDelayToChild = 0;      ///< phi=max delays to children
+    int sumDelaysFromParents = 0; ///< phi=sum delays from parents
+    int maxDelayFromParents = 0;  ///< phi=max delays from parents
+    int altType = 0;              ///< issue group (alternate type)
+    int regsBorn = 0;
+    int regsKilled = 0;
+    int liveness = 0;             ///< Warren-style kills - births
+
+    // --- 'f': forward heuristic pass ---------------------------------
+    int maxPathFromRoot = 0;
+    int maxDelayFromRoot = 0;
+    int earliestStart = 0;        ///< EST (node-latency based, [12])
+
+    // --- 'b': backward heuristic pass ---------------------------------
+    int maxPathToLeaf = 0;
+    int maxDelayToLeaf = 0;
+    int latestStart = 0;          ///< LST (node-latency based, [12])
+    int numDescendants = 0;
+    long long sumExecOfDescendants = 0;
+
+    // --- derived -------------------------------------------------------
+    int slack = 0;                ///< LST - EST
+
+    // --- 'v': dynamic scheduling state ---------------------------------
+    int inheritedEet = 0;         ///< cross-block latency floor
+    int earliestExecTime = 0;
+    int unscheduledParents = 0;
+    int unscheduledChildren = 0;
+    double priorityBoost = 0.0;   ///< Tiemann birthing adjustment
+    bool scheduled = false;
+};
+
+/** One DAG node. */
+struct DagNode
+{
+    const Instruction *inst = nullptr; ///< null only for dummy nodes
+    std::vector<std::uint32_t> succArcs; ///< indices into Dag::arcs()
+    std::vector<std::uint32_t> predArcs;
+    int numChildren = 0;  ///< unique child count (deduped arcs)
+    int numParents = 0;
+    int level = 0;
+    NodeAnnotations ann;
+};
+
+/** Reachability-map maintenance mode. */
+enum class ReachMode : std::uint8_t {
+    None,         ///< no maps
+    Descendants,  ///< map[i] = nodes reachable from i (backward builds)
+    Ancestors,    ///< map[i] = nodes reaching i (forward builds)
+};
+
+/** The dependence DAG for one basic block. */
+class Dag
+{
+  public:
+    /** Outcome of an addArc() attempt. */
+    enum class AddArcResult : std::uint8_t {
+        Added,
+        Duplicate,   ///< (from,to) arc existed; delay maximized
+        Suppressed,  ///< dropped by transitive-arc prevention
+    };
+
+    /** Create one node per block instruction, in program order. */
+    explicit Dag(const BlockView &block);
+
+    /** Enable reachability maps (call before any addArc). */
+    void enableReachMaps(ReachMode mode);
+
+    /**
+     * When true, an arc whose endpoints are already connected through
+     * intermediate nodes is suppressed (requires reach maps).  This is
+     * the transitive-arc-avoidance behaviour of Landskov et al. that
+     * Section 2 argues loses important timing information.
+     */
+    void setPreventTransitive(bool prevent);
+
+    /** Level numbering origin: roots (forward) or leaves (backward). */
+    enum class LevelOrigin : std::uint8_t { Roots, Leaves };
+    void setLevelOrigin(LevelOrigin origin) { levelOrigin_ = origin; }
+    LevelOrigin levelOrigin() const { return levelOrigin_; }
+
+    /**
+     * Recompute all node levels from scratch (one sweep in program
+     * order, which is topological).  Needed after arcs are inserted
+     * out of construction order — e.g. the branch-anchoring control
+     * arcs added at the end of a backward build, which would otherwise
+     * leave ancestors' leaf-origin levels stale.
+     */
+    void recomputeLevels();
+
+    /**
+     * Hint that subsequent addArc calls all involve @p node as one
+     * endpoint; enables O(1) duplicate detection.
+     */
+    void beginArcGroup(std::uint32_t node);
+
+    /** Add (or merge) a dependence arc from @p from to @p to. */
+    AddArcResult addArc(std::uint32_t from, std::uint32_t to, DepKind kind,
+                        int delay, Resource res = Resource());
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+
+    DagNode &node(std::uint32_t i) { return nodes_[i]; }
+    const DagNode &node(std::uint32_t i) const { return nodes_[i]; }
+
+    const std::vector<DagNode> &nodes() const { return nodes_; }
+    std::vector<DagNode> &nodes() { return nodes_; }
+
+    const Arc &arc(std::uint32_t i) const { return arcs_[i]; }
+    const std::vector<Arc> &arcs() const { return arcs_; }
+
+    /** Unique arcs added (excludes duplicates and suppressed arcs). */
+    std::size_t numArcs() const { return arcs_.size(); }
+
+    /** Duplicate (from,to) attempts merged into existing arcs. */
+    std::size_t duplicateCount() const { return duplicates_; }
+
+    /** Arcs dropped by transitive prevention. */
+    std::size_t suppressedCount() const { return suppressed_; }
+
+    /** Nodes with no parents. */
+    std::vector<std::uint32_t> roots() const;
+
+    /** Nodes with no children. */
+    std::vector<std::uint32_t> leaves() const;
+
+    /** Reachability map of a node (requires enableReachMaps). */
+    const Bitmap &reachMap(std::uint32_t i) const { return reach_[i]; }
+
+    /** Mutable reachability map (builders' late fix-ups only). */
+    Bitmap &reachMapMutable(std::uint32_t i) { return reach_[i]; }
+
+    ReachMode reachMode() const { return reachMode_; }
+
+    /**
+     * Node lists bucketed by level (Section 4's level algorithm data
+     * structure), built on demand.
+     */
+    const std::vector<std::vector<std::uint32_t>> &levelLists() const;
+
+    /**
+     * Compute descendant bitmaps by a reverse-topological sweep
+     * (program order is topological).  Used for #descendants when the
+     * builder did not maintain maps, and by countTransitiveArcs().
+     */
+    std::vector<Bitmap> computeDescendantMaps() const;
+
+    /**
+     * Count arcs that are transitive, i.e. whose endpoints are also
+     * connected through at least one intermediate node.
+     */
+    std::size_t countTransitiveArcs() const;
+
+    /**
+     * Number of weakly connected components — the paper's Section 2:
+     * "A basic block may result in a collection of one or more DAGs,
+     * called a *forest*."  Construction algorithms that want a single
+     * candidate-list entry point join them under a dummy root; this
+     * library instead seeds the candidate list with every root.
+     */
+    std::size_t countForestTrees() const;
+
+    const BlockView &block() const { return block_; }
+
+  private:
+    BlockView block_;
+    std::vector<DagNode> nodes_;
+    std::vector<Arc> arcs_;
+
+    ReachMode reachMode_ = ReachMode::None;
+    bool preventTransitive_ = false;
+    LevelOrigin levelOrigin_ = LevelOrigin::Roots;
+    std::vector<Bitmap> reach_;
+
+    std::size_t duplicates_ = 0;
+    std::size_t suppressed_ = 0;
+
+    // O(1) duplicate detection within one arc group.
+    std::uint32_t groupNode_ = ~std::uint32_t{0};
+    std::uint32_t epoch_ = 0;
+    std::vector<std::uint32_t> dupStamp_;
+    std::vector<std::uint32_t> dupArc_;
+
+    mutable std::vector<std::vector<std::uint32_t>> levelLists_;
+    mutable bool levelListsValid_ = false;
+
+    /** Find an existing (from,to) arc; returns arc id or ~0. */
+    std::uint32_t findArc(std::uint32_t from, std::uint32_t to) const;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_DAG_DAG_HH

@@ -1,0 +1,33 @@
+#include "dag/dag_stats.hh"
+
+namespace sched91
+{
+
+void
+DagStructure::accumulate(const Dag &dag)
+{
+    for (const auto &node : dag.nodes())
+        childrenPerInst.add(node.numChildren);
+    arcsPerBlock.add(static_cast<double>(dag.numArcs()));
+    treesPerBlock.add(static_cast<double>(dag.countForestTrees()));
+    totalArcs += dag.numArcs();
+    totalNodes += dag.size();
+    ++totalBlocks;
+    duplicateArcAttempts += dag.duplicateCount();
+    suppressedArcs += dag.suppressedCount();
+}
+
+void
+DagStructure::merge(const DagStructure &other)
+{
+    childrenPerInst.merge(other.childrenPerInst);
+    arcsPerBlock.merge(other.arcsPerBlock);
+    treesPerBlock.merge(other.treesPerBlock);
+    totalArcs += other.totalArcs;
+    totalNodes += other.totalNodes;
+    totalBlocks += other.totalBlocks;
+    duplicateArcAttempts += other.duplicateArcAttempts;
+    suppressedArcs += other.suppressedArcs;
+}
+
+} // namespace sched91

@@ -1,0 +1,72 @@
+#include "dag/dot_export.hh"
+
+#include <sstream>
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Escape double quotes for DOT string literals. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+const char *
+arcStyle(DepKind kind)
+{
+    switch (kind) {
+      case DepKind::RAW: return "solid";
+      case DepKind::WAR: return "dashed";
+      case DepKind::WAW: return "dotted";
+      case DepKind::CTRL: return "solid";
+    }
+    return "solid";
+}
+
+} // namespace
+
+std::string
+toDot(const Dag &dag, const DotOptions &opts)
+{
+    std::ostringstream os;
+    os << "digraph " << opts.graphName << " {\n"
+       << "  node [shape=box, fontname=\"monospace\"];\n"
+       << "  rankdir=TB;\n";
+
+    for (std::uint32_t i = 0; i < dag.size(); ++i) {
+        os << "  n" << i << " [label=\"" << i << ": "
+           << escape(dag.node(i).inst->toString());
+        if (opts.showHeuristics) {
+            os << "\\nd2l=" << dag.node(i).ann.maxDelayToLeaf
+               << " est=" << dag.node(i).ann.earliestStart
+               << " slk=" << dag.node(i).ann.slack;
+        }
+        os << "\"];\n";
+    }
+
+    for (const Arc &arc : dag.arcs()) {
+        os << "  n" << arc.from << " -> n" << arc.to << " [style="
+           << arcStyle(arc.kind);
+        if (arc.kind == DepKind::CTRL)
+            os << ", color=gray";
+        if (opts.showDelays)
+            os << ", label=\"" << depKindName(arc.kind) << " "
+               << arc.delay << "\"";
+        os << "];\n";
+    }
+
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace sched91

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Graphviz (DOT) rendering of dependence DAGs, for inspection and
+ * documentation.  Arc styles encode the dependence kind: solid for
+ * RAW, dashed for WAR, dotted for WAW, gray for control anchors; arc
+ * labels carry the delay, node labels the instruction and optionally
+ * selected heuristic values.
+ */
+
+#ifndef SCHED91_DAG_DOT_EXPORT_HH
+#define SCHED91_DAG_DOT_EXPORT_HH
+
+#include <string>
+
+#include "dag/dag.hh"
+
+namespace sched91
+{
+
+/** DOT rendering options. */
+struct DotOptions
+{
+    bool showDelays = true;       ///< label arcs with their delay
+    bool showHeuristics = false;  ///< annotate nodes with delay-to-leaf
+    const char *graphName = "dag";
+};
+
+/** Render @p dag as a DOT digraph. */
+std::string toDot(const Dag &dag, const DotOptions &opts = {});
+
+} // namespace sched91
+
+#endif // SCHED91_DAG_DOT_EXPORT_HH

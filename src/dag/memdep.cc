@@ -1,0 +1,72 @@
+#include "dag/memdep.hh"
+
+namespace sched91
+{
+
+std::string_view
+aliasPolicyName(AliasPolicy policy)
+{
+    switch (policy) {
+      case AliasPolicy::SerializeAll: return "serialize-all";
+      case AliasPolicy::BaseOffset: return "base-offset";
+      case AliasPolicy::StorageClassed: return "storage-classed";
+      case AliasPolicy::SymbolicExpr: return "symbolic-expr";
+    }
+    return "?";
+}
+
+AliasResult
+MemDisambiguator::alias(const MemOperand &a, const MemOperand &b) const
+{
+    if (policy_ == AliasPolicy::SerializeAll)
+        return AliasResult::MustAlias;
+
+    // Identical expression with identical base/index generations is the
+    // same location.
+    bool same_shape = a.base == b.base && a.index == b.index &&
+                      a.symbol == b.symbol;
+    bool same_gens = a.baseGen == b.baseGen && a.indexGen == b.indexGen;
+    if (same_shape && same_gens && a.offset == b.offset)
+        return AliasResult::MustAlias;
+
+    // Storage-class separation (Warren): stack vs static never overlap.
+    if (policy_ == AliasPolicy::StorageClassed) {
+        StorageClass ca = a.storageClass();
+        StorageClass cb = b.storageClass();
+        if (ca != cb && ca != StorageClass::Unknown &&
+            cb != StorageClass::Unknown) {
+            return AliasResult::NoAlias;
+        }
+    }
+
+    // Expression-as-resource model: references through *different*
+    // base registers or symbols are distinct resources outright
+    // (generation stamps are per-register counters — they are only
+    // comparable between references sharing a base).  Same-shape
+    // references continue to the shared logic below, which demands
+    // matching generations before proving anything.
+    if (policy_ == AliasPolicy::SymbolicExpr && a.index < 0 &&
+        b.index < 0 && !same_shape) {
+        return AliasResult::NoAlias;
+    }
+
+    // Same-base different-offset reasoning, valid only when neither
+    // reference has an index register and the base generations match.
+    if (same_shape && same_gens && a.index < 0) {
+        std::int64_t a_end = a.offset + a.width;
+        std::int64_t b_end = b.offset + b.width;
+        if (a.offset >= b_end || b.offset >= a_end)
+            return AliasResult::NoAlias;
+        return AliasResult::MayAlias; // partial overlap
+    }
+
+    // Two distinct symbols with no registers are distinct objects.
+    if (a.base < 0 && a.index < 0 && b.base < 0 && b.index < 0 &&
+        !a.symbol.empty() && !b.symbol.empty() && a.symbol != b.symbol) {
+        return AliasResult::NoAlias;
+    }
+
+    return AliasResult::MayAlias;
+}
+
+} // namespace sched91

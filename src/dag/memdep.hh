@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Memory dependence disambiguation (paper Section 2).
+ *
+ * "The DAG construction algorithm may have to treat memory as a single
+ * resource, which leads to serialization of all loads and stores"
+ * (AliasPolicy::SerializeAll).  "If two memory references use the same
+ * base register but different offsets, they cannot refer to the same
+ * location" (AliasPolicy::BaseOffset) — guarded here by base-register
+ * generation stamps, since the observation only holds while the base
+ * register is unchanged.  "Warren noted that storage classes (e.g.,
+ * heap vs. stack) typically do not overlap" (AliasPolicy::StorageClassed
+ * additionally separates %sp/%fp-based from symbol-based references).
+ */
+
+#ifndef SCHED91_DAG_MEMDEP_HH
+#define SCHED91_DAG_MEMDEP_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "ir/operand.hh"
+
+namespace sched91
+{
+
+/** Disambiguation aggressiveness, weakest to strongest. */
+enum class AliasPolicy : std::uint8_t {
+    SerializeAll,   ///< memory is one resource
+    BaseOffset,     ///< same base reg + disjoint offsets are independent
+    StorageClassed, ///< BaseOffset + stack/static class separation
+    /**
+     * Each unique symbolic address expression is its own resource —
+     * the model the paper's tooling used (Table 3 counts "unique
+     * memory expressions" exactly because each one gets a
+     * definition-entry/use-list pair).  Distinct stable expressions
+     * are treated as independent; references whose base registers
+     * were redefined (generation mismatch) or that use index
+     * registers stay conservative.  Not sound for arbitrary code (two
+     * different base registers may hold the same address) but
+     * faithful to the 1991 implementations and to compiler output
+     * where distinct expressions name distinct locations.
+     */
+    SymbolicExpr,
+};
+
+std::string_view aliasPolicyName(AliasPolicy policy);
+
+/** Three-valued alias verdict. */
+enum class AliasResult : std::uint8_t {
+    NoAlias,   ///< provably different locations
+    MayAlias,  ///< cannot tell; serialize conservatively
+    MustAlias, ///< provably the same location
+};
+
+/** Stateless alias oracle over parsed memory operands. */
+class MemDisambiguator
+{
+  public:
+    explicit MemDisambiguator(AliasPolicy policy) : policy_(policy) {}
+
+    AliasPolicy policy() const { return policy_; }
+
+    /** Alias verdict for two references within one basic block. */
+    AliasResult alias(const MemOperand &a, const MemOperand &b) const;
+
+  private:
+    AliasPolicy policy_;
+};
+
+/**
+ * Per-expression definition/use table entry used by the table-building
+ * DAG constructors: "a record of the last definition of a resource and
+ * the set of current uses" (Section 2), extended to memory expressions.
+ * Node ids are block-relative.
+ */
+struct MemEntry
+{
+    MemOperand ref;                 ///< representative reference
+    std::int64_t def = -1;          ///< node of the governing store
+    std::vector<std::uint32_t> uses;///< loads since/until that store
+};
+
+} // namespace sched91
+
+#endif // SCHED91_DAG_MEMDEP_HH

@@ -1,0 +1,33 @@
+#include "dag/n2_forward.hh"
+
+namespace sched91
+{
+
+void
+N2ForwardBuilder::addArcs(Dag &dag, const BlockView &block,
+                          const MachineModel &machine,
+                          const BuildOptions &opts) const
+{
+    MemDisambiguator mem(opts.memPolicy);
+    std::uint32_t n = block.size();
+    for (std::uint32_t j = 1; j < n; ++j) {
+        dag.beginArcGroup(j);
+        for (std::uint32_t i = 0; i < j; ++i)
+            addPairwiseArcs(dag, i, j, machine, mem);
+    }
+}
+
+void
+N2BackwardBuilder::addArcs(Dag &dag, const BlockView &block,
+                           const MachineModel &machine,
+                           const BuildOptions &opts) const
+{
+    MemDisambiguator mem(opts.memPolicy);
+    for (std::uint32_t i = block.size(); i-- > 0;) {
+        dag.beginArcGroup(i);
+        for (std::uint32_t j = i + 1; j < block.size(); ++j)
+            addPairwiseArcs(dag, i, j, machine, mem);
+    }
+}
+
+} // namespace sched91

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Compare-against-all (n**2) forward DAG construction (Warren-like).
+ *
+ * "Compare-against-all is an O(n**2) approach in which the new node is
+ * compared against all previous nodes" (Section 2).  This builder
+ * retains every dependence arc, including the "huge number" of
+ * transitive arcs the paper measures in Table 4.
+ */
+
+#ifndef SCHED91_DAG_N2_FORWARD_HH
+#define SCHED91_DAG_N2_FORWARD_HH
+
+#include "dag/builder.hh"
+
+namespace sched91
+{
+
+/** Warren-like n**2 forward builder. */
+class N2ForwardBuilder : public DagBuilder
+{
+  public:
+    std::string_view name() const override { return "n**2 fwd"; }
+    bool isForward() const override { return true; }
+
+  protected:
+    void addArcs(Dag &dag, const BlockView &block,
+                 const MachineModel &machine,
+                 const BuildOptions &opts) const override;
+};
+
+/**
+ * Backward-scan compare-against-all builder.  "Gibbons and Muchnick
+ * used backward-pass DAG construction to handle condition code
+ * dependencies in a special way" (Section 5); the arc set is identical
+ * to the forward n**2 build, but the pass direction (and hence level
+ * numbering and reach-map orientation) is reversed.
+ */
+class N2BackwardBuilder : public DagBuilder
+{
+  public:
+    std::string_view name() const override { return "n**2 bwd"; }
+    bool isForward() const override { return false; }
+
+  protected:
+    void addArcs(Dag &dag, const BlockView &block,
+                 const MachineModel &machine,
+                 const BuildOptions &opts) const override;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_DAG_N2_FORWARD_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * n**2 forward construction with transitive-arc pruning.
+ *
+ * "The algorithm presented by Landskov, et al., is a modification of
+ * the n**2 forward algorithm; it examines leaves first and prunes away
+ * any ancestors whenever a dependency is observed" (Section 2).  This
+ * builder scans previous nodes from most recent to oldest and uses
+ * ancestor reachability maps to suppress any arc whose source is
+ * already an ancestor of the new node — producing a DAG with *no*
+ * transitive arcs.
+ *
+ * The paper's conclusion 3 recommends against this: transitive arcs
+ * such as the RAW arc of Figure 1 carry timing information (a 20-cycle
+ * divide latency) that the remaining WAR-then-RAW path (1 + 4 cycles)
+ * does not, so timing heuristics computed on this DAG are wrong.
+ */
+
+#ifndef SCHED91_DAG_N2_LANDSKOV_HH
+#define SCHED91_DAG_N2_LANDSKOV_HH
+
+#include "dag/builder.hh"
+
+namespace sched91
+{
+
+/** Landskov-style transitive-arc-free n**2 builder. */
+class N2LandskovBuilder : public DagBuilder
+{
+  public:
+    std::string_view name() const override { return "n**2 landskov"; }
+    bool isForward() const override { return true; }
+
+  protected:
+    void addArcs(Dag &dag, const BlockView &block,
+                 const MachineModel &machine,
+                 const BuildOptions &opts) const override;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_DAG_N2_LANDSKOV_HH

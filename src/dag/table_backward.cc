@@ -1,0 +1,113 @@
+#include "dag/table_backward.hh"
+
+#include <array>
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Definition entry + use list for one register-like resource slot. */
+struct SlotEntry
+{
+    std::int64_t def = -1;
+    std::vector<std::uint32_t> uses;
+};
+
+} // namespace
+
+void
+TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
+                              const MachineModel &machine,
+                              const BuildOptions &opts) const
+{
+    MemDisambiguator disamb(opts.memPolicy);
+    std::array<SlotEntry, Resource::kNumSlots> table{};
+    std::vector<MemEntry> mem_entries;
+
+    for (std::uint32_t j = block.size(); j-- > 0;) {
+        const Instruction &inst = block.inst(j);
+        dag.beginArcGroup(j);
+
+        // --- resources defined (processed before uses) ---------------
+        for (Resource r : inst.defs()) {
+            SlotEntry &e = table[r.slot()];
+            if (e.def >= 0 && e.uses.empty()) {
+                std::uint32_t d = static_cast<std::uint32_t>(e.def);
+                dag.addArc(j, d, DepKind::WAW,
+                           machine.depDelay(inst, block.inst(d),
+                                            DepKind::WAW, r), r);
+            }
+            for (std::uint32_t u : e.uses)
+                dag.addArc(j, u, DepKind::RAW,
+                           machine.depDelay(inst, block.inst(u),
+                                            DepKind::RAW, r), r);
+            e.uses.clear();
+            e.def = j;
+        }
+
+        if (inst.isStore() && inst.mem().has_value()) {
+            const MemOperand &ref = *inst.mem();
+            bool claimed = false;
+            for (MemEntry &e : mem_entries) {
+                AliasResult rel = disamb.alias(ref, e.ref);
+                if (rel == AliasResult::NoAlias)
+                    continue;
+                if (e.def >= 0 && e.uses.empty()) {
+                    std::uint32_t d = static_cast<std::uint32_t>(e.def);
+                    dag.addArc(j, d, DepKind::WAW,
+                               machine.depDelay(inst, block.inst(d),
+                                                DepKind::WAW, Resource()));
+                }
+                for (std::uint32_t u : e.uses)
+                    dag.addArc(j, u, DepKind::RAW,
+                               machine.depDelay(inst, block.inst(u),
+                                                DepKind::RAW, Resource()));
+                if (rel == AliasResult::MustAlias) {
+                    e.uses.clear();
+                    e.def = j;
+                    claimed = true;
+                }
+            }
+            if (!claimed)
+                mem_entries.push_back(MemEntry{ref, j, {}});
+        }
+
+        // --- resources used -------------------------------------------
+        for (Resource r : inst.uses()) {
+            SlotEntry &e = table[r.slot()];
+            if (e.def >= 0 && e.def != j) {
+                std::uint32_t d = static_cast<std::uint32_t>(e.def);
+                dag.addArc(j, d, DepKind::WAR,
+                           machine.depDelay(inst, block.inst(d),
+                                            DepKind::WAR, r), r);
+            }
+            e.uses.push_back(j);
+        }
+
+        if (inst.isLoad() && inst.mem().has_value()) {
+            const MemOperand &ref = *inst.mem();
+            bool claimed = false;
+            for (MemEntry &e : mem_entries) {
+                AliasResult rel = disamb.alias(ref, e.ref);
+                if (rel == AliasResult::NoAlias)
+                    continue;
+                if (e.def >= 0 && e.def != static_cast<std::int64_t>(j)) {
+                    std::uint32_t d = static_cast<std::uint32_t>(e.def);
+                    dag.addArc(j, d, DepKind::WAR,
+                               machine.depDelay(inst, block.inst(d),
+                                                DepKind::WAR, Resource()));
+                }
+                if (rel == AliasResult::MustAlias) {
+                    e.uses.push_back(j);
+                    claimed = true;
+                }
+            }
+            if (!claimed)
+                mem_entries.push_back(MemEntry{ref, -1, {j}});
+        }
+    }
+}
+
+} // namespace sched91

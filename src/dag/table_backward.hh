@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table-building backward DAG construction (Section 2 pseudocode).
+ *
+ * Processing instructions from last to first, with each instruction's
+ * *definitions* processed before its *uses* [7]:
+ *
+ *     /" process resources defined "/
+ *     if (resource[definition_entry] not empty and
+ *         resource[uselist] is empty )
+ *         add_arc(WAW, newnode, resource[definition_entry]);
+ *     foreach (uselist_entry in resource[uselist] in ascending order)
+ *         add_arc(RAW, newnode, uselist_entry);  delete entry;
+ *     insert newnode as resource[definition_entry];
+ *     /" process resources used "/
+ *     if (resource[definition_entry] not empty)
+ *         add_arc(WAR, newnode, resource[definition_entry]);
+ *     add newnode as a uselist_entry into resource[uselist];
+ *
+ * Because the backward build sees each node's descendants completely
+ * before any parent, descendant reachability maps can be maintained
+ * exactly, enabling both the O(1) #descendants heuristic and — when
+ * BuildOptions::preventTransitive is set — the reachability-bit-map
+ * transitive-arc prevention the paper describes (and measures the
+ * downside of in Figure 1).
+ */
+
+#ifndef SCHED91_DAG_TABLE_BACKWARD_HH
+#define SCHED91_DAG_TABLE_BACKWARD_HH
+
+#include "dag/builder.hh"
+
+namespace sched91
+{
+
+/** Backward-pass table-building builder. */
+class TableBackwardBuilder : public DagBuilder
+{
+  public:
+    std::string_view name() const override { return "table bwd"; }
+    bool isForward() const override { return false; }
+
+  protected:
+    void addArcs(Dag &dag, const BlockView &block,
+                 const MachineModel &machine,
+                 const BuildOptions &opts) const override;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_DAG_TABLE_BACKWARD_HH

@@ -1,0 +1,119 @@
+#include "dag/table_forward.hh"
+
+#include <array>
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Definition entry + use list for one register-like resource slot. */
+struct SlotEntry
+{
+    std::int64_t def = -1;
+    std::vector<std::uint32_t> uses;
+};
+
+} // namespace
+
+void
+TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
+                             const MachineModel &machine,
+                             const BuildOptions &opts) const
+{
+    MemDisambiguator disamb(opts.memPolicy);
+    std::array<SlotEntry, Resource::kNumSlots> table{};
+    std::vector<MemEntry> mem_entries;
+
+    std::uint32_t n = block.size();
+    for (std::uint32_t j = 0; j < n; ++j) {
+        const Instruction &inst = block.inst(j);
+        dag.beginArcGroup(j);
+
+        // --- resources used (processed before definitions) ----------
+        for (Resource r : inst.uses()) {
+            SlotEntry &e = table[r.slot()];
+            if (e.def >= 0) {
+                std::uint32_t d = static_cast<std::uint32_t>(e.def);
+                dag.addArc(d, j, DepKind::RAW,
+                           machine.depDelay(block.inst(d), inst,
+                                            DepKind::RAW, r), r);
+            }
+            e.uses.push_back(j);
+        }
+
+        if (inst.isLoad() && inst.mem().has_value()) {
+            const MemOperand &ref = *inst.mem();
+            bool claimed = false;
+            for (MemEntry &e : mem_entries) {
+                AliasResult rel = disamb.alias(ref, e.ref);
+                if (rel == AliasResult::NoAlias)
+                    continue;
+                if (e.def >= 0) {
+                    std::uint32_t d = static_cast<std::uint32_t>(e.def);
+                    dag.addArc(d, j, DepKind::RAW,
+                               machine.depDelay(block.inst(d), inst,
+                                                DepKind::RAW, Resource()));
+                }
+                if (rel == AliasResult::MustAlias) {
+                    e.uses.push_back(j);
+                    claimed = true;
+                }
+            }
+            if (!claimed)
+                mem_entries.push_back(MemEntry{ref, -1, {j}});
+        }
+
+        // --- resources defined ---------------------------------------
+        for (Resource r : inst.defs()) {
+            SlotEntry &e = table[r.slot()];
+            if (!e.uses.empty()) {
+                for (std::uint32_t u : e.uses)
+                    if (u != j)
+                        dag.addArc(u, j, DepKind::WAR,
+                                   machine.depDelay(block.inst(u), inst,
+                                                    DepKind::WAR, r), r);
+                e.uses.clear();
+            } else if (e.def >= 0) {
+                std::uint32_t d = static_cast<std::uint32_t>(e.def);
+                dag.addArc(d, j, DepKind::WAW,
+                           machine.depDelay(block.inst(d), inst,
+                                            DepKind::WAW, r), r);
+            }
+            e.def = j;
+        }
+
+        if (inst.isStore() && inst.mem().has_value()) {
+            const MemOperand &ref = *inst.mem();
+            bool claimed = false;
+            for (MemEntry &e : mem_entries) {
+                AliasResult rel = disamb.alias(ref, e.ref);
+                if (rel == AliasResult::NoAlias)
+                    continue;
+                if (!e.uses.empty()) {
+                    for (std::uint32_t u : e.uses)
+                        if (u != j)
+                            dag.addArc(u, j, DepKind::WAR,
+                                       machine.depDelay(block.inst(u), inst,
+                                                        DepKind::WAR,
+                                                        Resource()));
+                } else if (e.def >= 0) {
+                    std::uint32_t d = static_cast<std::uint32_t>(e.def);
+                    dag.addArc(d, j, DepKind::WAW,
+                               machine.depDelay(block.inst(d), inst,
+                                                DepKind::WAW, Resource()));
+                }
+                if (rel == AliasResult::MustAlias) {
+                    e.def = j;
+                    e.uses.clear();
+                    claimed = true;
+                }
+            }
+            if (!claimed)
+                mem_entries.push_back(MemEntry{ref, j, {}});
+        }
+    }
+}
+
+} // namespace sched91

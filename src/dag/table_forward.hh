@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table-building forward DAG construction (Krishnamurthy-like).
+ *
+ * "Table building is an approach that keeps a record of the last
+ * definition of a resource and the set of current uses" (Section 2).
+ * The forward version processes each instruction's resource *uses*
+ * before its *definitions* [7,8]:
+ *
+ *   - use of r:   RAW arc from the recorded definition; join use list
+ *   - def of r:   WAR arcs from every recorded use (then clear them);
+ *                 a WAW arc from the recorded definition only when no
+ *                 uses intervened (otherwise the RAW + WAR chain covers
+ *                 the write ordering); become the recorded definition
+ *
+ * Memory references extend the same table discipline to one entry per
+ * distinct symbolic address expression, with a MayAlias verdict adding
+ * ordering arcs without claiming the entry (see dag/memdep.hh).
+ *
+ * Table building omits most transitive arcs but — crucially for the
+ * paper's Figure 1 — retains transitive arcs like a long-latency RAW
+ * that parallels a WAR-then-RAW path, because the definition entry for
+ * the divide's result register survives the WAR processing.
+ */
+
+#ifndef SCHED91_DAG_TABLE_FORWARD_HH
+#define SCHED91_DAG_TABLE_FORWARD_HH
+
+#include "dag/builder.hh"
+
+namespace sched91
+{
+
+/** Krishnamurthy-like table-building forward builder. */
+class TableForwardBuilder : public DagBuilder
+{
+  public:
+    std::string_view name() const override { return "table fwd"; }
+    bool isForward() const override { return true; }
+
+  protected:
+    void addArcs(Dag &dag, const BlockView &block,
+                 const MachineModel &machine,
+                 const BuildOptions &opts) const override;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_DAG_TABLE_FORWARD_HH

@@ -1,0 +1,102 @@
+#include "heuristics/dynamic.hh"
+
+#include <algorithm>
+
+namespace sched91
+{
+
+void
+initDynamicState(Dag &dag)
+{
+    for (auto &node : dag.nodes()) {
+        NodeAnnotations &a = node.ann;
+        a.earliestExecTime = a.inheritedEet;
+        a.unscheduledParents = node.numParents;
+        a.unscheduledChildren = node.numChildren;
+        a.priorityBoost = 0.0;
+        a.scheduled = false;
+    }
+}
+
+int
+numSingleParentChildren(const Dag &dag, std::uint32_t n)
+{
+    int count = 0;
+    for (std::uint32_t arc_id : dag.node(n).succArcs)
+        if (dag.node(dag.arc(arc_id).to).ann.unscheduledParents == 1)
+            ++count;
+    return count;
+}
+
+int
+sumDelaysToSingleParentChildren(const Dag &dag, std::uint32_t n)
+{
+    int sum = 0;
+    for (std::uint32_t arc_id : dag.node(n).succArcs) {
+        const Arc &arc = dag.arc(arc_id);
+        if (dag.node(arc.to).ann.unscheduledParents == 1)
+            sum += arc.delay;
+    }
+    return sum;
+}
+
+int
+numUncoveredChildren(const Dag &dag, std::uint32_t n)
+{
+    int count = 0;
+    for (std::uint32_t arc_id : dag.node(n).succArcs) {
+        const Arc &arc = dag.arc(arc_id);
+        if (arc.delay == 1 &&
+            dag.node(arc.to).ann.unscheduledParents == 1) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+bool
+interlocksWithPrevious(const Dag &dag, std::uint32_t candidate,
+                       std::int64_t last_scheduled)
+{
+    if (last_scheduled < 0)
+        return false;
+    for (std::uint32_t arc_id : dag.node(candidate).predArcs) {
+        const Arc &arc = dag.arc(arc_id);
+        if (arc.from == static_cast<std::uint32_t>(last_scheduled) &&
+            arc.delay > 1) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+onScheduledForward(Dag &dag, std::uint32_t n, int issue_time)
+{
+    DagNode &node = dag.node(n);
+    node.ann.scheduled = true;
+    for (std::uint32_t arc_id : node.succArcs) {
+        const Arc &arc = dag.arc(arc_id);
+        NodeAnnotations &c = dag.node(arc.to).ann;
+        --c.unscheduledParents;
+        c.earliestExecTime =
+            std::max(c.earliestExecTime, issue_time + arc.delay);
+    }
+}
+
+void
+onScheduledBackward(Dag &dag, std::uint32_t n, bool birthing,
+                    double birthing_boost)
+{
+    DagNode &node = dag.node(n);
+    node.ann.scheduled = true;
+    for (std::uint32_t arc_id : node.predArcs) {
+        const Arc &arc = dag.arc(arc_id);
+        NodeAnnotations &p = dag.node(arc.from).ann;
+        --p.unscheduledChildren;
+        if (birthing && arc.kind == DepKind::RAW)
+            p.priorityBoost += birthing_boost;
+    }
+}
+
+} // namespace sched91

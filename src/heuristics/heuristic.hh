@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The 26 instruction scheduling heuristics surveyed in Table 1 of the
+ * paper, as a programmatic metadata table: category, relationship- vs
+ * timing-based, calculation pass ("a" = at add-arc/add-node time,
+ * "f" = forward pass, "b" = backward pass, "f+b" = both, "v" = node
+ * visitation during scheduling), and whether the table marks the
+ * heuristic's calculation as affected by transitive arcs ("**").
+ */
+
+#ifndef SCHED91_HEURISTICS_HEURISTIC_HH
+#define SCHED91_HEURISTICS_HEURISTIC_HH
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "dag/dag.hh"
+
+namespace sched91
+{
+
+/** All heuristics of Table 1, in table order. */
+enum class Heuristic : std::uint8_t {
+    // stall behavior
+    InterlockWithPrevious,
+    EarliestExecutionTime,
+    InterlockWithChild,
+    ExecutionTime,
+    // instruction class
+    AlternateType,
+    FpuBusyTimes,
+    // critical path
+    MaxPathToLeaf,
+    MaxDelayToLeaf,
+    MaxPathFromRoot,
+    MaxDelayFromRoot,
+    EarliestStartTime,
+    LatestStartTime,
+    Slack,
+    // uncovering
+    NumChildren,
+    DelaysToChildren,            ///< phi(sum or max) delays to children
+    NumSingleParentChildren,
+    SumDelaysToSingleParentChildren,
+    NumUncoveredChildren,
+    // structural
+    NumParents,
+    DelaysFromParents,           ///< phi(sum or max) delays from parents
+    NumDescendants,
+    SumExecTimesOfDescendants,
+    // register usage
+    RegistersBorn,
+    RegistersKilled,
+    Liveness,
+    BirthingInstruction,
+    kNumHeuristics,
+};
+
+constexpr int kNumHeuristics = static_cast<int>(Heuristic::kNumHeuristics);
+
+/** Table 1's six broad categories. */
+enum class HeuristicCategory : std::uint8_t {
+    StallBehavior,
+    InstructionClass,
+    CriticalPath,
+    Uncovering,
+    Structural,
+    RegisterUsage,
+};
+
+/** How / when a heuristic can be calculated (Table 1 legend). */
+enum class CalcPass : std::uint8_t {
+    AddArc,          ///< "a": during DAG construction
+    Forward,         ///< "f": forward pass over the block
+    Backward,        ///< "b": backward pass over the block
+    ForwardBackward, ///< "f+b": both passes (slack)
+    Visitation,      ///< "v": node visitation during scheduling
+};
+
+/** Static description of one heuristic (one Table 1 row entry). */
+struct HeuristicInfo
+{
+    Heuristic heuristic;
+    const char *name;
+    HeuristicCategory category;
+    bool timingBased;          ///< timing column vs relationship column
+    CalcPass pass;
+    bool transitiveSensitive;  ///< "**" in Table 1
+};
+
+/** Metadata for one heuristic. */
+const HeuristicInfo &heuristicInfo(Heuristic h);
+
+/** The full table, in Table 1 order. */
+std::span<const HeuristicInfo> allHeuristics();
+
+/** Category display name. */
+std::string_view heuristicCategoryName(HeuristicCategory cat);
+
+/** Pass legend letter ("a", "f", "b", "f+b", "v"). */
+std::string_view calcPassName(CalcPass pass);
+
+/**
+ * Value of a *static* heuristic from a node's annotations, as filled
+ * by DAG construction and the static passes.  Dynamic ("v") heuristics
+ * are evaluated by the scheduler (see heuristics/dynamic.hh); querying
+ * one here returns the value of its scheduling-state slot when
+ * meaningful (e.g. EarliestExecutionTime) and 0 otherwise.
+ *
+ * For the phi heuristics this returns the sum form; staticValueMax()
+ * returns the max form.
+ */
+long long staticValue(const DagNode &node, Heuristic h);
+
+/** phi = max variant for DelaysToChildren / DelaysFromParents. */
+long long staticValueMax(const DagNode &node, Heuristic h);
+
+} // namespace sched91
+
+#endif // SCHED91_HEURISTICS_HEURISTIC_HH

@@ -1,0 +1,164 @@
+#include "heuristics/register_pressure.hh"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Allocatable registers only (int + FP); CCs etc. are not allocated. */
+bool
+allocatable(Resource r)
+{
+    return r.kind() == Resource::Kind::IntReg ||
+           r.kind() == Resource::Kind::FpReg;
+}
+
+constexpr int kNoNode = -1;
+
+/** One live value: its defining node (or none for live-in) and users. */
+struct Chain
+{
+    int def = kNoNode;
+    std::vector<std::uint32_t> uses;
+};
+
+/** Extract def-use chains per register slot from block program order. */
+std::vector<Chain>
+extractChains(const Dag &dag)
+{
+    std::vector<Chain> chains;
+    std::array<int, Resource::kNumSlots> open{};
+    open.fill(kNoNode);
+
+    auto open_chain = [&](int slot, int def_node) {
+        chains.push_back(Chain{def_node, {}});
+        open[slot] = static_cast<int>(chains.size()) - 1;
+    };
+
+    for (std::uint32_t i = 0; i < dag.size(); ++i) {
+        const Instruction &inst = *dag.node(i).inst;
+        for (Resource r : inst.uses()) {
+            if (!allocatable(r))
+                continue;
+            int slot = r.slot();
+            if (open[slot] == kNoNode)
+                open_chain(slot, kNoNode); // live-in value
+            chains[open[slot]].uses.push_back(i);
+        }
+        for (Resource r : inst.defs()) {
+            if (!allocatable(r))
+                continue;
+            open_chain(r.slot(), static_cast<int>(i));
+        }
+    }
+    return chains;
+}
+
+} // namespace
+
+void
+computeRegisterPressure(Dag &dag)
+{
+    for (auto &node : dag.nodes()) {
+        node.ann.regsBorn = 0;
+        node.ann.regsKilled = 0;
+    }
+
+    for (const Chain &chain : extractChains(dag)) {
+        if (chain.def != kNoNode)
+            ++dag.node(static_cast<std::uint32_t>(chain.def)).ann.regsBorn;
+        if (!chain.uses.empty()) {
+            // Program order makes the final entry the last use.
+            ++dag.node(chain.uses.back()).ann.regsKilled;
+        }
+    }
+
+    for (auto &node : dag.nodes())
+        node.ann.liveness = node.ann.regsKilled - node.ann.regsBorn;
+}
+
+int
+maxLiveRegisters(const Dag &dag, const std::vector<std::uint32_t> &order)
+{
+    SCHED91_ASSERT(order.size() == dag.size(), "order/DAG size mismatch");
+    std::vector<int> pos(dag.size());
+    for (std::uint32_t p = 0; p < order.size(); ++p)
+        pos[order[p]] = static_cast<int>(p);
+
+    std::vector<int> delta(dag.size() + 1, 0);
+    for (const Chain &chain : extractChains(dag)) {
+        int start = chain.def == kNoNode ? 0 : pos[chain.def];
+        int end = start;
+        for (std::uint32_t u : chain.uses)
+            end = std::max(end, pos[u]);
+        ++delta[start];
+        --delta[end + 1];
+    }
+
+    int live = 0;
+    int max_live = 0;
+    for (int d : delta) {
+        live += d;
+        max_live = std::max(max_live, live);
+    }
+    return max_live;
+}
+
+int
+estimateSpilledValues(const Dag &dag,
+                      const std::vector<std::uint32_t> &order,
+                      int num_regs)
+{
+    SCHED91_ASSERT(order.size() == dag.size(), "order/DAG size mismatch");
+    SCHED91_ASSERT(num_regs > 0);
+    std::vector<int> pos(dag.size());
+    for (std::uint32_t p = 0; p < order.size(); ++p)
+        pos[order[p]] = static_cast<int>(p);
+
+    struct Interval
+    {
+        int start;
+        int end;
+    };
+    std::vector<Interval> intervals;
+    for (const Chain &chain : extractChains(dag)) {
+        int start = chain.def == kNoNode ? 0 : pos[chain.def];
+        int end = start;
+        for (std::uint32_t u : chain.uses)
+            end = std::max(end, pos[u]);
+        intervals.push_back(Interval{start, end});
+    }
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start;
+              });
+
+    // Belady-style eviction: keep the active set's ends in a heap;
+    // when a new interval overflows the register file, evict the
+    // furthest-ending active interval.
+    std::vector<int> active_ends; // max-heap
+    int spills = 0;
+    for (const Interval &iv : intervals) {
+        // Expire intervals that ended before this start.
+        std::erase_if(active_ends,
+                      [&iv](int end) { return end < iv.start; });
+        std::make_heap(active_ends.begin(), active_ends.end());
+        active_ends.push_back(iv.end);
+        std::push_heap(active_ends.begin(), active_ends.end());
+        if (static_cast<int>(active_ends.size()) > num_regs) {
+            std::pop_heap(active_ends.begin(), active_ends.end());
+            active_ends.pop_back(); // furthest end spills
+            ++spills;
+        }
+    }
+    return spills;
+}
+
+} // namespace sched91

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Register-usage heuristics: #registers born, #registers killed, and
+ * Warren-style liveness, for pre-register-allocation ("prepass")
+ * scheduling (paper Section 3, register usage category).
+ *
+ * A definition of an allocatable register (integer or FP) *births* a
+ * value; the last use of a value within the block (before its next
+ * redefinition or the block end) *kills* it.  The liveness measure is
+ * kills - births: scheduling an instruction with positive liveness
+ * reduces the number of simultaneously live registers.
+ */
+
+#ifndef SCHED91_HEURISTICS_REGISTER_PRESSURE_HH
+#define SCHED91_HEURISTICS_REGISTER_PRESSURE_HH
+
+#include "dag/dag.hh"
+
+namespace sched91
+{
+
+/**
+ * Fill regsBorn / regsKilled / liveness annotations for every node of
+ * @p dag from a linear scan of its block.
+ */
+void computeRegisterPressure(Dag &dag);
+
+/**
+ * Maximum number of simultaneously live allocatable registers when the
+ * block executes in the order given by @p order (block-relative node
+ * ids).  Values live at block entry or exit are counted while live
+ * inside the block.  Used to evaluate prepass scheduling quality.
+ */
+int maxLiveRegisters(const Dag &dag,
+                     const std::vector<std::uint32_t> &order);
+
+/**
+ * Estimate how many values a local register allocator with
+ * @p num_regs allocatable registers would have to spill under the
+ * given order: live intervals are derived from the block's def-use
+ * chains, and whenever more than @p num_regs intervals overlap, the
+ * interval with the furthest end is evicted (Belady-style).  Each
+ * eviction approximates one spill store plus its reloads.
+ *
+ * This is the cost side of the paper's register-usage heuristics: a
+ * prepass schedule that stretches lifetimes to hide latency pays here
+ * (paper Section 3, register usage category; Goodman & Hsu [5],
+ * Bradlee et al. [2]).
+ */
+int estimateSpilledValues(const Dag &dag,
+                          const std::vector<std::uint32_t> &order,
+                          int num_regs);
+
+} // namespace sched91
+
+#endif // SCHED91_HEURISTICS_REGISTER_PRESSURE_HH

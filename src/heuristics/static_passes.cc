@@ -1,0 +1,169 @@
+#include "heuristics/static_passes.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/**
+ * Visit nodes in topological order (parents before children) using the
+ * selected mechanism.  Program order is always topological because
+ * every builder adds arcs from earlier to later instructions.
+ */
+template <typename F>
+void
+forEachTopo(const Dag &dag, PassImpl impl, F &&fn)
+{
+    if (impl == PassImpl::ReverseWalk) {
+        for (std::uint32_t i = 0; i < dag.size(); ++i)
+            fn(i);
+        return;
+    }
+    const auto &lists = dag.levelLists();
+    if (dag.levelOrigin() == Dag::LevelOrigin::Roots) {
+        for (const auto &level : lists)
+            for (std::uint32_t n : level)
+                fn(n);
+    } else {
+        for (auto it = lists.rbegin(); it != lists.rend(); ++it)
+            for (std::uint32_t n : *it)
+                fn(n);
+    }
+}
+
+/** Visit nodes in reverse topological order (children first). */
+template <typename F>
+void
+forEachReverseTopo(const Dag &dag, PassImpl impl, F &&fn)
+{
+    if (impl == PassImpl::ReverseWalk) {
+        for (std::uint32_t i = dag.size(); i-- > 0;)
+            fn(i);
+        return;
+    }
+    const auto &lists = dag.levelLists();
+    if (dag.levelOrigin() == Dag::LevelOrigin::Roots) {
+        for (auto it = lists.rbegin(); it != lists.rend(); ++it)
+            for (std::uint32_t n : *it)
+                fn(n);
+    } else {
+        for (const auto &level : lists)
+            for (std::uint32_t n : level)
+                fn(n);
+    }
+}
+
+} // namespace
+
+std::string_view
+passImplName(PassImpl impl)
+{
+    return impl == PassImpl::ReverseWalk ? "reverse-walk" : "level-lists";
+}
+
+void
+runForwardPass(Dag &dag, PassImpl impl)
+{
+    forEachTopo(dag, impl, [&dag](std::uint32_t i) {
+        DagNode &node = dag.node(i);
+        NodeAnnotations &a = node.ann;
+        a.maxPathFromRoot = 0;
+        a.maxDelayFromRoot = 0;
+        a.earliestStart = 0;
+        for (std::uint32_t arc_id : node.predArcs) {
+            const Arc &arc = dag.arc(arc_id);
+            const NodeAnnotations &p = dag.node(arc.from).ann;
+            a.maxPathFromRoot =
+                std::max(a.maxPathFromRoot, p.maxPathFromRoot + 1);
+            a.maxDelayFromRoot = std::max(a.maxDelayFromRoot,
+                                          p.maxDelayFromRoot + arc.delay);
+            a.earliestStart =
+                std::max(a.earliestStart, p.earliestStart + p.execTime);
+        }
+    });
+}
+
+void
+runBackwardPass(Dag &dag, PassImpl impl, bool compute_descendants)
+{
+    // Descendant maps: reuse the builder's when it maintained
+    // descendant-mode maps (backward table building), else compute them
+    // with one sweep.
+    std::vector<Bitmap> local_maps;
+    const std::vector<Bitmap> *maps = nullptr;
+    if (compute_descendants) {
+        if (dag.reachMode() == ReachMode::Descendants) {
+            // Builder-maintained; accessed per node below.
+        } else {
+            local_maps = dag.computeDescendantMaps();
+            maps = &local_maps;
+        }
+    }
+
+    // Block finish time: the EST the paper's block-terminating dummy
+    // node would receive (max over leaves of EST + latency).  LST of a
+    // leaf is then finish - latency, i.e. dummy-node semantics without
+    // materializing the dummy.
+    int finish = 0;
+    for (const auto &node : dag.nodes())
+        if (node.succArcs.empty())
+            finish = std::max(finish,
+                              node.ann.earliestStart + node.ann.execTime);
+
+    forEachReverseTopo(dag, impl, [&](std::uint32_t i) {
+        DagNode &node = dag.node(i);
+        NodeAnnotations &a = node.ann;
+        a.maxPathToLeaf = 0;
+        a.maxDelayToLeaf = 0;
+        bool leaf = node.succArcs.empty();
+        int min_child_lst = std::numeric_limits<int>::max();
+        for (std::uint32_t arc_id : node.succArcs) {
+            const Arc &arc = dag.arc(arc_id);
+            const NodeAnnotations &c = dag.node(arc.to).ann;
+            a.maxPathToLeaf = std::max(a.maxPathToLeaf, c.maxPathToLeaf + 1);
+            a.maxDelayToLeaf =
+                std::max(a.maxDelayToLeaf, c.maxDelayToLeaf + arc.delay);
+            min_child_lst = std::min(min_child_lst, c.latestStart);
+        }
+        // LST(leaf) derives from the dummy node's EST; otherwise min
+        // over children minus own latency ([12]).
+        a.latestStart =
+            leaf ? finish - a.execTime : min_child_lst - a.execTime;
+
+        if (compute_descendants) {
+            const Bitmap &map =
+                maps ? (*maps)[i] : dag.reachMap(i);
+            a.numDescendants = static_cast<int>(map.count()) - 1;
+            long long sum = 0;
+            map.forEachSet([&](std::size_t bit) {
+                if (bit != i)
+                    sum += dag.node(static_cast<std::uint32_t>(bit))
+                               .ann.execTime;
+            });
+            a.sumExecOfDescendants = sum;
+        }
+    });
+}
+
+void
+computeSlack(Dag &dag)
+{
+    for (auto &node : dag.nodes())
+        node.ann.slack = node.ann.latestStart - node.ann.earliestStart;
+}
+
+void
+runAllStaticPasses(Dag &dag, PassImpl impl, bool compute_descendants)
+{
+    runForwardPass(dag, impl);
+    runBackwardPass(dag, impl, compute_descendants);
+    computeSlack(dag);
+}
+
+} // namespace sched91

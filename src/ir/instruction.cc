@@ -1,0 +1,388 @@
+#include "ir/instruction.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+int
+Instruction::usePosition(Resource r) const
+{
+    for (std::size_t i = 0; i < uses_.size(); ++i)
+        if (uses_[i] == r)
+            return usePositions_[i];
+    return -1;
+}
+
+int
+Instruction::defPairHalf(Resource r) const
+{
+    for (std::size_t i = 0; i < defs_.size(); ++i)
+        if (defs_[i] == r)
+            return defPairHalves_[i];
+    return -1;
+}
+
+bool
+Instruction::definesResource(Resource r) const
+{
+    return std::find(defs_.begin(), defs_.end(), r) != defs_.end();
+}
+
+bool
+Instruction::usesResource(Resource r) const
+{
+    return std::find(uses_.begin(), uses_.end(), r) != uses_.end();
+}
+
+std::string
+Instruction::toString() const
+{
+    if (!text_.empty())
+        return text_;
+
+    const OpcodeInfo &info = opcodeInfo(op_);
+    std::string out(info.mnemonic);
+    if (annul_)
+        out += ",a";
+
+    // First register at a given source position (pairs render as the
+    // even register only).
+    auto src = [this](int pos) -> std::string {
+        for (std::size_t i = 0; i < uses_.size(); ++i)
+            if (usePositions_[i] == pos)
+                return uses_[i].toString();
+        return "%g0";
+    };
+    auto dst = [this]() -> std::string {
+        return defs_.empty() ? "%g0" : defs_.front().toString();
+    };
+    auto src_or_imm = [&](int pos) -> std::string {
+        return usesImm_ ? std::to_string(imm_) : src(pos);
+    };
+
+    switch (info.sig) {
+      case OperandSig::Alu3:
+        out += " " + src(0) + ", " + src_or_imm(1) + ", " + dst();
+        break;
+      case OperandSig::Cmp2:
+        out += " " + src(0) + ", " + src_or_imm(1);
+        break;
+      case OperandSig::Mov2:
+        out += " " + src_or_imm(0) + ", " + dst();
+        break;
+      case OperandSig::Sethi2:
+        out += " " + std::to_string(imm_) + ", " + dst();
+        break;
+      case OperandSig::LoadOp:
+        out += " " + (mem_ ? mem_->toString() : "[%g0]") + ", " + dst();
+        break;
+      case OperandSig::StoreOp:
+        out += " " + src(0) + ", " + (mem_ ? mem_->toString() : "[%g0]");
+        break;
+      case OperandSig::Fp3:
+        out += " " + src(0) + ", " + src(1) + ", " + dst();
+        break;
+      case OperandSig::Fp2:
+        out += " " + src(0) + ", " + dst();
+        break;
+      case OperandSig::Fcmp2:
+        out += " " + src(0) + ", " + src(1);
+        break;
+      case OperandSig::BranchOp:
+      case OperandSig::CallOp:
+        out += " " + (target_.empty() ? std::string(".L0") : target_);
+        break;
+      case OperandSig::JmplOp:
+        out += " " + src(0) + ", " + dst();
+        break;
+      case OperandSig::None:
+        // Three-operand restore carries ALU-style operands.
+        if (op_ == Opcode::Restore && !defs_.empty())
+            out += " " + src(0) + ", " + src_or_imm(1) + ", " + dst();
+        break;
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Does a Fp2 opcode read a double-precision source? */
+bool
+fp2SrcDouble(Opcode op)
+{
+    switch (op) {
+      case Opcode::Fsqrtd:
+      case Opcode::Fdtoi:
+      case Opcode::Fdtos:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Does a Fp2 opcode write a double-precision destination? */
+bool
+fp2DstDouble(Opcode op)
+{
+    switch (op) {
+      case Opcode::Fsqrtd:
+      case Opcode::Fitod:
+      case Opcode::Fstod:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Add a possibly-paired FP use at source position @p pos. */
+void
+addFpUse(Instruction &inst, Resource r, bool dbl, int pos)
+{
+    inst.addUse(r, pos);
+    if (dbl && r.kind() == Resource::Kind::FpReg)
+        inst.addUse(Resource::fpReg(r.index() + 1), pos);
+}
+
+/** Add a possibly-paired def; the second register is pair half 1. */
+void
+addPairDef(Instruction &inst, Resource r, bool dbl)
+{
+    inst.addDef(r, 0);
+    if (dbl) {
+        if (r.kind() == Resource::Kind::FpReg)
+            inst.addDef(Resource::fpReg(r.index() + 1), 1);
+        else if (r.kind() == Resource::Kind::IntReg)
+            inst.addDef(Resource::intReg(r.index() + 1), 1);
+    }
+}
+
+} // namespace
+
+Instruction
+makeInstruction(Opcode op, Resource rs1, Resource rs2, Resource rd,
+                std::optional<MemOperand> mem, std::int64_t imm)
+{
+    Instruction inst(op);
+    const OpcodeInfo &info = opcodeInfo(op);
+    inst.setImm(imm);
+
+    switch (info.sig) {
+      case OperandSig::Alu3:
+        inst.addUse(rs1, 0);
+        if (rs2.valid())
+            inst.addUse(rs2, 1);
+        else
+            inst.setUsesImm(true);
+        inst.addDef(rd);
+        if (op == Opcode::Addcc || op == Opcode::Subcc)
+            inst.addDef(Resource::icc());
+        if (op == Opcode::Smul)
+            inst.addDef(Resource::y());
+        if (op == Opcode::Sdiv)
+            inst.addUse(Resource::y(), 2);
+        if (op == Opcode::Save || op == Opcode::Restore) {
+            inst.addUse(Resource::callState(), 2);
+            inst.addDef(Resource::callState());
+        }
+        break;
+
+      case OperandSig::Cmp2:
+        inst.addUse(rs1, 0);
+        if (rs2.valid())
+            inst.addUse(rs2, 1);
+        else
+            inst.setUsesImm(true);
+        inst.addDef(Resource::icc());
+        break;
+
+      case OperandSig::Mov2:
+        if (rs1.valid())
+            inst.addUse(rs1, 0);
+        else
+            inst.setUsesImm(true);
+        inst.addDef(rd);
+        break;
+
+      case OperandSig::Sethi2:
+        inst.setUsesImm(true);
+        inst.addDef(rd);
+        break;
+
+      case OperandSig::LoadOp:
+        SCHED91_ASSERT(mem.has_value(), "load without memory operand");
+        if (mem->base >= 0)
+            inst.addUse(Resource::intReg(mem->base), 0);
+        if (mem->index >= 0)
+            inst.addUse(Resource::intReg(mem->index), 0);
+        addPairDef(inst, rd, info.isDouble);
+        break;
+
+      case OperandSig::StoreOp:
+        SCHED91_ASSERT(mem.has_value(), "store without memory operand");
+        inst.addUse(rs1, 0);
+        if (info.isDouble) {
+            if (rs1.kind() == Resource::Kind::FpReg)
+                inst.addUse(Resource::fpReg(rs1.index() + 1), 0);
+            else if (rs1.kind() == Resource::Kind::IntReg)
+                inst.addUse(Resource::intReg(rs1.index() + 1), 0);
+        }
+        if (mem->base >= 0)
+            inst.addUse(Resource::intReg(mem->base), 1);
+        if (mem->index >= 0)
+            inst.addUse(Resource::intReg(mem->index), 1);
+        break;
+
+      case OperandSig::Fp3:
+        addFpUse(inst, rs1, info.isDouble, 0);
+        addFpUse(inst, rs2, info.isDouble, 1);
+        addPairDef(inst, rd, info.isDouble);
+        break;
+
+      case OperandSig::Fp2:
+        addFpUse(inst, rs1, fp2SrcDouble(op), 0);
+        addPairDef(inst, rd, fp2DstDouble(op));
+        break;
+
+      case OperandSig::Fcmp2:
+        addFpUse(inst, rs1, info.isDouble, 0);
+        addFpUse(inst, rs2, info.isDouble, 1);
+        inst.addDef(Resource::fcc());
+        break;
+
+      case OperandSig::BranchOp:
+        if (op == Opcode::Ba || op == Opcode::Bn) {
+            // unconditional: no condition-code use
+        } else if (info.isFloat) {
+            inst.addUse(Resource::fcc(), 0);
+        } else if (op == Opcode::Ret) {
+            inst.addUse(Resource::intReg(31), 0); // %i7
+        } else if (op == Opcode::Retl) {
+            inst.addUse(Resource::intReg(15), 0); // %o7
+        } else {
+            inst.addUse(Resource::icc(), 0);
+        }
+        break;
+
+      case OperandSig::CallOp:
+        // Outgoing argument registers %o0-%o5 and the stack pointer are
+        // live into a call; %o7 receives the return address and the
+        // call clobbers the caller-saved %o registers.
+        for (int i = 8; i <= 13; ++i)
+            inst.addUse(Resource::intReg(i), 0);
+        inst.addUse(Resource::intReg(14), 0); // %sp
+        inst.addUse(Resource::callState(), 0);
+        for (int i = 8; i <= 13; ++i)
+            inst.addDef(Resource::intReg(i));
+        inst.addDef(Resource::intReg(15)); // %o7
+        inst.addDef(Resource::callState());
+        break;
+
+      case OperandSig::JmplOp:
+        inst.addUse(rs1, 0);
+        inst.addDef(rd);
+        break;
+
+      case OperandSig::None:
+        if (op == Opcode::Ret)
+            inst.addUse(Resource::intReg(31), 0); // %i7
+        if (op == Opcode::Retl)
+            inst.addUse(Resource::intReg(15), 0); // %o7
+        if (op == Opcode::Restore) {
+            inst.addUse(Resource::callState(), 0);
+            inst.addDef(Resource::callState());
+        }
+        break;
+
+      default:
+        break;
+    }
+
+    if (mem.has_value())
+        inst.mem() = std::move(mem);
+    return inst;
+}
+
+Instruction
+renameRegisters(const Instruction &inst,
+                const std::function<Resource(Resource)> &rename_use,
+                const std::function<Resource(Resource)> &rename_def)
+{
+    const OpcodeInfo &info = opcodeInfo(inst.op());
+
+    // First register at a given source-operand position (pairs are
+    // represented by their even register).
+    auto src = [&inst](int pos) -> Resource {
+        const auto &uses = inst.uses();
+        const auto &positions = inst.usePositions();
+        for (std::size_t i = 0; i < uses.size(); ++i)
+            if (positions[i] == pos)
+                return uses[i];
+        return Resource();
+    };
+    auto ren_u = [&rename_use](Resource r) {
+        return r.valid() ? rename_use(r) : r;
+    };
+    auto ren_d = [&rename_def](Resource r) {
+        return r.valid() ? rename_def(r) : r;
+    };
+
+    Resource rs1, rs2, rd;
+    std::optional<MemOperand> mem = inst.mem();
+    if (mem.has_value()) {
+        if (mem->base >= 0)
+            mem->base = ren_u(Resource::intReg(mem->base)).index();
+        if (mem->index >= 0)
+            mem->index = ren_u(Resource::intReg(mem->index)).index();
+    }
+
+    switch (info.sig) {
+      case OperandSig::Alu3:
+      case OperandSig::Cmp2:
+      case OperandSig::Fp3:
+      case OperandSig::Fcmp2:
+        rs1 = ren_u(src(0));
+        if (!inst.usesImm())
+            rs2 = ren_u(src(1));
+        rd = inst.defs().empty() ? Resource()
+                                 : ren_d(inst.defs().front());
+        break;
+      case OperandSig::Mov2:
+      case OperandSig::Fp2:
+      case OperandSig::JmplOp:
+        rs1 = ren_u(src(0));
+        rd = inst.defs().empty() ? Resource()
+                                 : ren_d(inst.defs().front());
+        break;
+      case OperandSig::Sethi2:
+        rd = inst.defs().empty() ? Resource()
+                                 : ren_d(inst.defs().front());
+        break;
+      case OperandSig::LoadOp:
+        rd = inst.defs().empty() ? Resource()
+                                 : ren_d(inst.defs().front());
+        break;
+      case OperandSig::StoreOp:
+        rs1 = ren_u(src(0));
+        break;
+      case OperandSig::BranchOp:
+      case OperandSig::CallOp:
+      case OperandSig::None:
+        // No renamable explicit register operands (implicit resources
+        // like %icc / %o7 are not allocatable).
+        break;
+    }
+
+    Instruction out = makeInstruction(inst.op(), rs1, rs2, rd,
+                                      std::move(mem), inst.imm());
+    out.setUsesImm(inst.usesImm());
+    out.setTarget(inst.target());
+    out.setAnnul(inst.annul());
+    out.setIndex(inst.index());
+    return out;
+}
+
+} // namespace sched91

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Instruction representation: opcode plus resource definitions/uses.
+ *
+ * An instruction records, in operand order, the register-like resources
+ * it uses and defines (Section 2 of the paper: dependencies are
+ * determined on "general registers, special purpose registers ... and
+ * memory locations").  Use order matters because asymmetric
+ * bypass/forwarding paths (the paper's IBM RS/6000 example) give
+ * different RAW delays to a value consumed as the first vs second
+ * source operand.  Definition order matters for double-word register
+ * pairs, whose two halves can become available on different cycles.
+ */
+
+#ifndef SCHED91_IR_INSTRUCTION_HH
+#define SCHED91_IR_INSTRUCTION_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hh"
+#include "ir/operand.hh"
+#include "ir/resource.hh"
+
+namespace sched91
+{
+
+/** One assembly instruction. */
+class Instruction
+{
+  public:
+    Instruction() = default;
+
+    explicit Instruction(Opcode op) : op_(op) {}
+
+    Opcode op() const { return op_; }
+    InstClass cls() const { return instClass(op_); }
+    IssueGroup group() const { return issueGroup(cls()); }
+
+    /** Position of this instruction within its Program. */
+    std::uint32_t index() const { return index_; }
+    void setIndex(std::uint32_t idx) { index_ = idx; }
+
+    /** Register-like resources read, in source-operand order. */
+    const std::vector<Resource> &uses() const { return uses_; }
+
+    /** Register-like resources written, pair-first order. */
+    const std::vector<Resource> &defs() const { return defs_; }
+
+    /**
+     * Source operand position (0-based) of each entry of uses(); a
+     * double-precision operand contributes two uses with the same
+     * position.  Drives the asymmetric-bypass delay adjustment.
+     */
+    const std::vector<std::uint8_t> &usePositions() const
+    {
+        return usePositions_;
+    }
+
+    /**
+     * Pair half (0 = even/first, 1 = odd/second) of each entry of
+     * defs().  The odd half of a double-word load can become available
+     * a cycle later (paper Section 2).
+     */
+    const std::vector<std::uint8_t> &defPairHalves() const
+    {
+        return defPairHalves_;
+    }
+
+    /** Memory operand, if the instruction accesses memory. */
+    const std::optional<MemOperand> &mem() const { return mem_; }
+    std::optional<MemOperand> &mem() { return mem_; }
+
+    /** True when the instruction reads memory. */
+    bool isLoad() const { return isLoadClass(cls()); }
+
+    /** True when the instruction writes memory. */
+    bool isStore() const { return isStoreClass(cls()); }
+
+    /** True for control transfers / window ops that end a basic block. */
+    bool
+    endsBlock() const
+    {
+        return isControlTransfer(cls()) || cls() == InstClass::WindowOp;
+    }
+
+    /** Annulling branch (",a" suffix). */
+    bool annul() const { return annul_; }
+    void setAnnul(bool a) { annul_ = a; }
+
+    /** Immediate operand value (0 when absent). */
+    std::int64_t imm() const { return imm_; }
+    void setImm(std::int64_t v) { imm_ = v; }
+
+    /** True when the second ALU source is the immediate. */
+    bool usesImm() const { return usesImm_; }
+    void setUsesImm(bool b) { usesImm_ = b; }
+
+    /** Branch / call target label (empty when absent). */
+    const std::string &target() const { return target_; }
+    void setTarget(std::string t) { target_ = std::move(t); }
+
+    /** Record a use at source-operand position @p pos (%g0 dropped). */
+    void
+    addUse(Resource r, int pos = 0)
+    {
+        if (r.valid() && !r.isZeroReg()) {
+            uses_.push_back(r);
+            usePositions_.push_back(static_cast<std::uint8_t>(pos));
+        }
+    }
+
+    /** Record a definition; @p half selects the register-pair half. */
+    void
+    addDef(Resource r, int half = 0)
+    {
+        if (r.valid() && !r.isZeroReg()) {
+            defs_.push_back(r);
+            defPairHalves_.push_back(static_cast<std::uint8_t>(half));
+        }
+    }
+
+    /** Source-operand position at which @p r is used, or -1. */
+    int usePosition(Resource r) const;
+
+    /** Pair half in which @p r is defined, or -1 when not defined. */
+    int defPairHalf(Resource r) const;
+
+    /** True when the instruction defines @p r. */
+    bool definesResource(Resource r) const;
+
+    /** True when the instruction uses @p r. */
+    bool usesResource(Resource r) const;
+
+    /** Assembly text as parsed or synthesized. */
+    const std::string &text() const { return text_; }
+    void setText(std::string t) { text_ = std::move(t); }
+
+    /** Render the instruction as assembly. */
+    std::string toString() const;
+
+  private:
+    Opcode op_ = Opcode::Invalid;
+    std::uint32_t index_ = 0;
+    std::vector<Resource> uses_;
+    std::vector<Resource> defs_;
+    std::vector<std::uint8_t> usePositions_;
+    std::vector<std::uint8_t> defPairHalves_;
+    std::optional<MemOperand> mem_;
+    std::int64_t imm_ = 0;
+    bool usesImm_ = false;
+    bool annul_ = false;
+    std::string target_;
+    std::string text_;
+};
+
+/**
+ * Build an instruction's def/use sets from its opcode and operand
+ * resources.  Used by both the parser and the synthetic generators so
+ * the dependence semantics live in exactly one place.
+ *
+ * @param op      opcode
+ * @param rs1,rs2 source registers (invalid when absent)
+ * @param rd      destination register (invalid when absent)
+ * @param mem     memory operand when the opcode accesses memory
+ * @param imm     immediate value (used when rs2 invalid for ALU ops)
+ */
+Instruction makeInstruction(Opcode op, Resource rs1, Resource rs2,
+                            Resource rd,
+                            std::optional<MemOperand> mem = std::nullopt,
+                            std::int64_t imm = 0);
+
+/**
+ * Rebuild @p inst with its register operands replaced: source
+ * operands (including memory base/index registers) go through
+ * @p rename_use and destination operands through @p rename_def — two
+ * maps because an instruction that reads and writes the same register
+ * (add %l0, 1, %l0) refers to two different *values* after
+ * allocation.  Register pairs are renamed through their even (first)
+ * register; the functions must map even registers to even registers
+ * for double-precision operands.  Used by the local register
+ * allocator.
+ */
+Instruction renameRegisters(
+    const Instruction &inst,
+    const std::function<Resource(Resource)> &rename_use,
+    const std::function<Resource(Resource)> &rename_def);
+
+} // namespace sched91
+
+#endif // SCHED91_IR_INSTRUCTION_HH

@@ -1,0 +1,184 @@
+#include "ir/operand.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/string_util.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Is this token a register name? */
+bool
+isRegisterToken(std::string_view t)
+{
+    return !t.empty() && t[0] == '%' && parseRegister(t).valid();
+}
+
+/** Parse a plain integer (decimal or 0x hex), optionally signed. */
+std::optional<std::int64_t>
+parsePlainInt(std::string_view t)
+{
+    if (t.empty())
+        return std::nullopt;
+    std::string s(t);
+    char *end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 0);
+    if (end != s.c_str() + s.size())
+        return std::nullopt;
+    return v;
+}
+
+} // namespace
+
+StorageClass
+MemOperand::storageClass() const
+{
+    if (base < 0 && !symbol.empty())
+        return StorageClass::Static;
+    if (base == 14 || base == 30) // %sp, %fp
+        return StorageClass::Stack;
+    return StorageClass::Unknown;
+}
+
+std::string
+MemOperand::exprKey() const
+{
+    std::string key;
+    if (!symbol.empty())
+        key += symbol;
+    if (base >= 0) {
+        if (!key.empty())
+            key += '+';
+        key += Resource::intReg(base).toString();
+    }
+    if (index >= 0) {
+        key += '+';
+        key += Resource::intReg(index).toString();
+    }
+    if (offset != 0 || key.empty()) {
+        if (offset >= 0 && !key.empty())
+            key += '+';
+        key += std::to_string(offset);
+    }
+    return key;
+}
+
+std::string
+MemOperand::toString() const
+{
+    return "[" + exprKey() + "]";
+}
+
+std::optional<MemOperand>
+MemOperand::parse(std::string_view text, std::uint8_t width)
+{
+    std::string_view t = trim(text);
+    if (t.size() < 3 || t.front() != '[' || t.back() != ']')
+        return std::nullopt;
+    t = trim(t.substr(1, t.size() - 2));
+    if (t.empty())
+        return std::nullopt;
+
+    MemOperand out;
+    out.width = width;
+
+    // Split on top-level + and - (keeping the sign with the piece).
+    std::vector<std::string> pieces;
+    std::size_t start = 0;
+    for (std::size_t i = 1; i <= t.size(); ++i) {
+        if (i == t.size() || ((t[i] == '+' || t[i] == '-') &&
+                              t[i - 1] != '(')) {
+            pieces.emplace_back(trim(t.substr(start, i - start)));
+            if (i < t.size() && t[i] == '-')
+                start = i; // keep the minus sign
+            else
+                start = i + 1;
+        }
+    }
+
+    for (std::string_view piece : pieces) {
+        bool negative = false;
+        if (!piece.empty() && piece[0] == '-' && piece.size() > 1 &&
+            !std::isdigit(static_cast<unsigned char>(piece[1]))) {
+            return std::nullopt; // -%reg makes no sense
+        }
+        if (startsWith(piece, "%lo(") && piece.back() == ')') {
+            // %lo(sym) contributes the symbol.
+            out.symbol = std::string(piece.substr(4, piece.size() - 5));
+            continue;
+        }
+        if (isRegisterToken(piece)) {
+            Resource r = parseRegister(piece);
+            if (r.kind() != Resource::Kind::IntReg)
+                return std::nullopt;
+            if (out.base < 0)
+                out.base = r.index();
+            else if (out.index < 0)
+                out.index = r.index();
+            else
+                return std::nullopt;
+            continue;
+        }
+        if (auto v = parsePlainInt(piece)) {
+            out.offset += negative ? -*v : *v;
+            continue;
+        }
+        // Bare symbol.
+        if (!out.symbol.empty())
+            return std::nullopt;
+        out.symbol = std::string(piece);
+    }
+
+    if (out.base < 0 && out.symbol.empty())
+        return std::nullopt;
+    return out;
+}
+
+std::uint32_t
+MemExprTable::intern(const MemOperand &op)
+{
+    std::string key = op.exprKey();
+    auto [it, inserted] =
+        ids_.emplace(key, static_cast<std::uint32_t>(keys_.size()));
+    if (inserted)
+        keys_.push_back(std::move(key));
+    return it->second;
+}
+
+std::optional<std::int64_t>
+parseImmediate(std::string_view text)
+{
+    std::string_view t = trim(text);
+    if (t.empty() || t[0] == '%') {
+        if (startsWith(t, "%hi(") && t.back() == ')')
+            return static_cast<std::int64_t>(
+                symbolHash(t.substr(4, t.size() - 5)) >> 10 << 10);
+        if (startsWith(t, "%lo(") && t.back() == ')')
+            return static_cast<std::int64_t>(
+                symbolHash(t.substr(4, t.size() - 5)) & 0x3ff);
+        return std::nullopt;
+    }
+    return parsePlainInt(t);
+}
+
+std::uint64_t
+symbolHash(std::string_view name)
+{
+    // FNV-1a folded into a dedicated 64 GiB address range, 16-byte
+    // aligned: disjoint from the executor's per-register regions and
+    // from the stack range, so symbol-based references can never
+    // collide with register-based ones at runtime (keeps the
+    // disambiguation policies sound under the functional executor).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return 0x2000'0000'0000ULL | ((h & 0xffff'ffffULL) << 4);
+}
+
+} // namespace sched91

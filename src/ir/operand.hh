@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Memory operands and symbolic memory expressions.
+ *
+ * Table 3 of the paper counts "unique memory expressions ... the number
+ * of different symbolic memory address expressions found in the SPARC
+ * assembly language code".  A MemOperand records the parsed address
+ * expression (base register, optional index register or constant
+ * offset, optional symbol); MemExprTable interns normalized expressions
+ * so the DAG builders and statistics can refer to them by id.
+ *
+ * Because "two memory references [that] use the same base register but
+ * different offsets cannot refer to the same location" only holds while
+ * the base register value is unchanged, each memory reference also
+ * carries a generation stamp of its base register at the point of the
+ * reference (filled in by BasicBlockView preparation); the memory
+ * disambiguator refuses to prove independence across generations.
+ */
+
+#ifndef SCHED91_IR_OPERAND_HH
+#define SCHED91_IR_OPERAND_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/resource.hh"
+
+namespace sched91
+{
+
+/** Storage class of a memory expression (paper Section 2, Warren). */
+enum class StorageClass : std::uint8_t {
+    Unknown,  ///< register-based with an unclassified base
+    Stack,    ///< %sp / %fp based
+    Static,   ///< symbol based (data segment)
+};
+
+/** A parsed memory address expression. */
+struct MemOperand
+{
+    static constexpr std::uint32_t kNoExpr = ~std::uint32_t{0};
+
+    int base = -1;          ///< int register index of base, or -1
+    int index = -1;         ///< int register index of index reg, or -1
+    std::int64_t offset = 0;///< constant displacement
+    std::string symbol;     ///< symbolic address ("sym"), may be empty
+    std::uint8_t width = 4; ///< access width in bytes
+
+    std::uint32_t exprId = kNoExpr; ///< interned expression id
+    std::uint32_t baseGen = 0;      ///< base-reg generation at this ref
+    std::uint32_t indexGen = 0;     ///< index-reg generation at this ref
+
+    /** Storage class inferred from the address shape. */
+    StorageClass storageClass() const;
+
+    /** Normalized key used for interning ("%o0+8", "sym+4", ...). */
+    std::string exprKey() const;
+
+    /** Assembly rendering ("[%o0+8]"). */
+    std::string toString() const;
+
+    /**
+     * Parse "[...]" address syntax.  Returns std::nullopt on malformed
+     * input.  Accepted shapes: [%r], [%r+imm], [%r-imm], [%r1+%r2],
+     * [sym], [sym+imm], [%lo(sym)+%r].
+     */
+    static std::optional<MemOperand> parse(std::string_view text,
+                                           std::uint8_t width);
+};
+
+/** Interner mapping normalized memory expression keys to dense ids. */
+class MemExprTable
+{
+  public:
+    /** Intern @p op's expression key; returns the id. */
+    std::uint32_t intern(const MemOperand &op);
+
+    /** Number of distinct expressions seen. */
+    std::size_t size() const { return keys_.size(); }
+
+    /** Key string for an id. */
+    const std::string &key(std::uint32_t id) const { return keys_[id]; }
+
+  private:
+    std::unordered_map<std::string, std::uint32_t> ids_;
+    std::vector<std::string> keys_;
+};
+
+/**
+ * Parse an immediate operand: decimal, hex (0x...), %hi(sym) or
+ * %lo(sym).  Symbols hash to a deterministic value so the functional
+ * executor produces stable addresses.  Returns std::nullopt when the
+ * text is not an immediate.
+ */
+std::optional<std::int64_t> parseImmediate(std::string_view text);
+
+/** Deterministic 64-bit hash of a symbol name (for executor addresses). */
+std::uint64_t symbolHash(std::string_view name);
+
+} // namespace sched91
+
+#endif // SCHED91_IR_OPERAND_HH

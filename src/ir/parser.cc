@@ -1,0 +1,287 @@
+#include "ir/parser.hh"
+
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/string_util.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Access width in bytes for a memory opcode. */
+std::uint8_t
+memWidth(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ldub:
+      case Opcode::Ldsb:
+      case Opcode::Stb:
+        return 1;
+      case Opcode::Lduh:
+      case Opcode::Ldsh:
+      case Opcode::Sth:
+        return 2;
+      case Opcode::Ldd:
+      case Opcode::Lddf:
+      case Opcode::Std:
+      case Opcode::Stdf:
+      case Opcode::Ldx:
+      case Opcode::Stx:
+        return 8;
+      default:
+        return 4;
+    }
+}
+
+/** Remap int-form memory mnemonics to the FP form for %f operands. */
+Opcode
+remapFpMemory(Opcode op, Resource reg)
+{
+    if (reg.kind() != Resource::Kind::FpReg)
+        return op;
+    switch (op) {
+      case Opcode::Ld:
+        return Opcode::Ldf;
+      case Opcode::Ldd:
+        return Opcode::Lddf;
+      case Opcode::St:
+        return Opcode::Stf;
+      case Opcode::Std:
+        return Opcode::Stdf;
+      default:
+        return op;
+    }
+}
+
+/** Strip trailing comment introduced by '!' or '#'. */
+std::string_view
+stripComment(std::string_view line)
+{
+    std::size_t pos = line.find_first_of("!#");
+    return pos == std::string_view::npos ? line : line.substr(0, pos);
+}
+
+Resource
+requireReg(std::string_view tok, std::string_view line)
+{
+    Resource r = parseRegister(tok);
+    if (!r.valid() && tok != "%g0")
+        fatal("expected register, got '", tok, "' in: ", line);
+    return r;
+}
+
+} // namespace
+
+Program
+parseAssembly(std::string_view text)
+{
+    Program prog;
+
+    std::size_t pos = 0;
+    int lineno = 0;
+    while (pos <= text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string_view::npos)
+            nl = text.size();
+        std::string_view raw = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        ++lineno;
+
+        std::string_view line = trim(stripComment(raw));
+        if (line.empty())
+            continue;
+
+        // Labels (possibly several on one conceptual position).
+        if (line.back() == ':') {
+            prog.addLabel(std::string(line.substr(0, line.size() - 1)));
+            continue;
+        }
+
+        // Ignore non-label assembler directives.
+        if (line[0] == '.' && line.find(':') == std::string_view::npos)
+            continue;
+
+        // Split mnemonic from operand list.
+        std::size_t sp = line.find_first_of(" \t");
+        std::string mnemonic = toLower(
+            sp == std::string_view::npos ? line : line.substr(0, sp));
+        std::string_view rest =
+            sp == std::string_view::npos ? "" : trim(line.substr(sp));
+
+        bool annul = false;
+        if (mnemonic.size() > 2 &&
+            mnemonic.substr(mnemonic.size() - 2) == ",a") {
+            annul = true;
+            mnemonic.resize(mnemonic.size() - 2);
+        }
+
+        Opcode op = opcodeFromMnemonic(mnemonic);
+        if (op == Opcode::Invalid)
+            fatal("line ", lineno, ": unknown mnemonic '", mnemonic, "'");
+
+        const OpcodeInfo &info = opcodeInfo(op);
+        std::vector<std::string> ops = splitOperands(rest);
+
+        auto need = [&](std::size_t n) {
+            if (ops.size() != n)
+                fatal("line ", lineno, ": '", mnemonic, "' expects ", n,
+                      " operands, got ", ops.size());
+        };
+
+        Instruction inst;
+        switch (info.sig) {
+          case OperandSig::Alu3: {
+            need(3);
+            Resource rs1 = requireReg(ops[0], line);
+            Resource rs2;
+            std::int64_t imm = 0;
+            if (auto v = parseImmediate(ops[1]))
+                imm = *v;
+            else
+                rs2 = requireReg(ops[1], line);
+            Resource rd = requireReg(ops[2], line);
+            inst = makeInstruction(op, rs1, rs2, rd, std::nullopt, imm);
+            break;
+          }
+          case OperandSig::Cmp2: {
+            need(2);
+            Resource rs1 = requireReg(ops[0], line);
+            Resource rs2;
+            std::int64_t imm = 0;
+            if (auto v = parseImmediate(ops[1]))
+                imm = *v;
+            else
+                rs2 = requireReg(ops[1], line);
+            inst = makeInstruction(op, rs1, rs2, Resource(), std::nullopt,
+                                   imm);
+            break;
+          }
+          case OperandSig::Mov2: {
+            need(2);
+            Resource rs1;
+            std::int64_t imm = 0;
+            if (auto v = parseImmediate(ops[0]))
+                imm = *v;
+            else
+                rs1 = requireReg(ops[0], line);
+            Resource rd = requireReg(ops[1], line);
+            inst = makeInstruction(op, rs1, Resource(), rd, std::nullopt,
+                                   imm);
+            break;
+          }
+          case OperandSig::Sethi2: {
+            need(2);
+            auto v = parseImmediate(ops[0]);
+            if (!v)
+                fatal("line ", lineno, ": bad sethi immediate '", ops[0],
+                      "'");
+            Resource rd = requireReg(ops[1], line);
+            inst = makeInstruction(op, Resource(), Resource(), rd,
+                                   std::nullopt, *v);
+            break;
+          }
+          case OperandSig::LoadOp: {
+            need(2);
+            Resource rd = requireReg(ops[1], line);
+            Opcode real_op = remapFpMemory(op, rd);
+            auto mem = MemOperand::parse(ops[0], memWidth(real_op));
+            if (!mem)
+                fatal("line ", lineno, ": bad address '", ops[0], "'");
+            inst = makeInstruction(real_op, Resource(), Resource(), rd,
+                                   std::move(mem));
+            break;
+          }
+          case OperandSig::StoreOp: {
+            need(2);
+            Resource rs = requireReg(ops[0], line);
+            Opcode real_op = remapFpMemory(op, rs);
+            auto mem = MemOperand::parse(ops[1], memWidth(real_op));
+            if (!mem)
+                fatal("line ", lineno, ": bad address '", ops[1], "'");
+            inst = makeInstruction(real_op, rs, Resource(), Resource(),
+                                   std::move(mem));
+            break;
+          }
+          case OperandSig::Fp3: {
+            need(3);
+            inst = makeInstruction(op, requireReg(ops[0], line),
+                                   requireReg(ops[1], line),
+                                   requireReg(ops[2], line));
+            break;
+          }
+          case OperandSig::Fp2: {
+            need(2);
+            inst = makeInstruction(op, requireReg(ops[0], line),
+                                   Resource(), requireReg(ops[1], line));
+            break;
+          }
+          case OperandSig::Fcmp2: {
+            need(2);
+            inst = makeInstruction(op, requireReg(ops[0], line),
+                                   requireReg(ops[1], line), Resource());
+            break;
+          }
+          case OperandSig::BranchOp: {
+            need(1);
+            inst = makeInstruction(op, Resource(), Resource(), Resource());
+            inst.setTarget(ops[0]);
+            inst.setAnnul(annul);
+            break;
+          }
+          case OperandSig::CallOp: {
+            need(1);
+            inst = makeInstruction(op, Resource(), Resource(), Resource());
+            inst.setTarget(ops[0]);
+            break;
+          }
+          case OperandSig::JmplOp: {
+            need(2);
+            Resource rs1 = requireReg(ops[0], line);
+            Resource rd = requireReg(ops[1], line);
+            inst = makeInstruction(op, rs1, Resource(), rd);
+            break;
+          }
+          case OperandSig::None: {
+            if (op == Opcode::Restore && ops.size() == 3) {
+                // restore %rs1, %rs2_or_imm, %rd form
+                Resource rs1 = requireReg(ops[0], line);
+                Resource rs2;
+                std::int64_t imm = 0;
+                if (auto v = parseImmediate(ops[1]))
+                    imm = *v;
+                else
+                    rs2 = requireReg(ops[1], line);
+                Resource rd = requireReg(ops[2], line);
+                inst = Instruction(Opcode::Restore);
+                inst.addUse(rs1, 0);
+                if (rs2.valid())
+                    inst.addUse(rs2, 1);
+                else
+                    inst.setUsesImm(true);
+                inst.setImm(imm);
+                inst.addDef(rd);
+                inst.addUse(Resource::callState(), 2);
+                inst.addDef(Resource::callState());
+            } else {
+                need(0);
+                inst = makeInstruction(op, Resource(), Resource(),
+                                       Resource());
+            }
+            break;
+          }
+          default:
+            fatal("line ", lineno, ": unhandled signature");
+        }
+
+        inst.setText(std::string(line));
+        prog.append(std::move(inst));
+    }
+
+    return prog;
+}
+
+} // namespace sched91

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Parser for the SPARC-like assembly dialect.
+ *
+ * Accepted syntax per line:
+ *
+ *     label:                     ! labels (also .Lnn:)
+ *         ld   [%o0+4], %g1      ! comments with '!' or '#'
+ *         add  %g1, %g2, %g3
+ *         cmp  %g3, 10
+ *         bne,a .L2              ! ,a marks an annulling branch
+ *         nop
+ *         fmuld %f0, %f2, %f4
+ *         st   %g3, [stack_sym+8]
+ *
+ * Assembler directives (lines starting with '.') other than labels are
+ * ignored, mirroring how the paper's tooling consumed "cc -O4 -S"
+ * output.
+ */
+
+#ifndef SCHED91_IR_PARSER_HH
+#define SCHED91_IR_PARSER_HH
+
+#include <string_view>
+
+#include "ir/program.hh"
+
+namespace sched91
+{
+
+/**
+ * Parse assembly text into a Program.
+ *
+ * @throws FatalError on malformed instructions.
+ */
+Program parseAssembly(std::string_view text);
+
+} // namespace sched91
+
+#endif // SCHED91_IR_PARSER_HH

@@ -1,0 +1,62 @@
+#include "ir/program.hh"
+
+#include <sstream>
+
+namespace sched91
+{
+
+Instruction &
+Program::append(Instruction inst)
+{
+    inst.setIndex(static_cast<std::uint32_t>(insts_.size()));
+    if (inst.mem().has_value())
+        inst.mem()->exprId = memExprs_.intern(*inst.mem());
+    insts_.push_back(std::move(inst));
+    if (labelAt_.size() < insts_.size())
+        labelAt_.resize(insts_.size(), false);
+    return insts_.back();
+}
+
+void
+Program::addLabel(const std::string &name)
+{
+    auto idx = static_cast<std::uint32_t>(insts_.size());
+    labels_.emplace(name, idx);
+    if (labelAt_.size() <= idx)
+        labelAt_.resize(idx + 1, false);
+    labelAt_[idx] = true;
+}
+
+std::int64_t
+Program::labelTarget(const std::string &name) const
+{
+    auto it = labels_.find(name);
+    return it == labels_.end() ? -1 : it->second;
+}
+
+bool
+Program::hasLabelAt(std::uint32_t idx) const
+{
+    return idx < labelAt_.size() && labelAt_[idx];
+}
+
+std::string
+Program::toString() const
+{
+    // Invert the label map so labels render under their own names.
+    std::unordered_map<std::uint32_t, std::vector<std::string>> names;
+    for (const auto &[name, idx] : labels_)
+        names[idx].push_back(name);
+
+    std::ostringstream os;
+    for (const auto &inst : insts_) {
+        auto it = names.find(inst.index());
+        if (it != names.end())
+            for (const auto &name : it->second)
+                os << name << ":\n";
+        os << "    " << inst.toString() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace sched91

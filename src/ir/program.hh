@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A Program is an ordered list of instructions plus label positions and
+ * the interned memory-expression table.
+ */
+
+#ifndef SCHED91_IR_PROGRAM_HH
+#define SCHED91_IR_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/instruction.hh"
+#include "ir/operand.hh"
+
+namespace sched91
+{
+
+/** An assembly program: instructions, labels, memory expressions. */
+class Program
+{
+  public:
+    /** Append an instruction; assigns its index and interns memory. */
+    Instruction &append(Instruction inst);
+
+    /** Attach a label to the next appended instruction position. */
+    void addLabel(const std::string &name);
+
+    const std::vector<Instruction> &insts() const { return insts_; }
+    std::vector<Instruction> &insts() { return insts_; }
+
+    std::size_t size() const { return insts_.size(); }
+
+    const Instruction &operator[](std::size_t i) const { return insts_[i]; }
+
+    /** Instruction index a label points at, or -1 when unknown. */
+    std::int64_t labelTarget(const std::string &name) const;
+
+    /** True when instruction @p idx carries a label. */
+    bool hasLabelAt(std::uint32_t idx) const;
+
+    /** Interned memory expressions across the whole program. */
+    const MemExprTable &memExprs() const { return memExprs_; }
+
+    /** Render the program as assembly text. */
+    std::string toString() const;
+
+  private:
+    std::vector<Instruction> insts_;
+    std::unordered_map<std::string, std::uint32_t> labels_;
+    std::vector<bool> labelAt_;
+    MemExprTable memExprs_;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_IR_PROGRAM_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Register-like resources on which data dependencies are computed.
+ *
+ * The paper (Section 2) determines dependencies over "general registers,
+ * special purpose registers (e.g., condition codes), and memory
+ * locations".  This type models the register-like resources of a
+ * SPARC-flavored machine: 32 integer registers (%g/%o/%l/%i banks), 32
+ * single-precision FP registers (doubles occupy even/odd pairs), the
+ * integer and FP condition codes, the %y register, and a pseudo
+ * "call state" resource used to serialize instructions against calls
+ * and register-window operations.  Memory locations are handled
+ * separately via symbolic memory expressions (see ir/operand.hh and
+ * dag/memdep.hh).
+ */
+
+#ifndef SCHED91_IR_RESOURCE_HH
+#define SCHED91_IR_RESOURCE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sched91
+{
+
+/** A register-like resource with a dense "slot" numbering for tables. */
+class Resource
+{
+  public:
+    static constexpr int kNumIntRegs = 32;
+    static constexpr int kNumFpRegs = 32;
+
+    enum class Kind : std::uint8_t {
+        Invalid,
+        IntReg,     ///< %g0-%g7, %o0-%o7, %l0-%l7, %i0-%i7
+        FpReg,      ///< %f0-%f31 (single precision slots)
+        IntCC,      ///< integer condition codes (icc)
+        FpCC,       ///< floating-point condition codes (fcc)
+        YReg,       ///< %y multiply/divide register
+        CallState,  ///< pseudo resource serializing calls / save / restore
+    };
+
+    /** Total number of dense slots, for sizing definition/use tables. */
+    static constexpr int kNumSlots = kNumIntRegs + kNumFpRegs + 4;
+
+    constexpr Resource() = default;
+
+    constexpr
+    Resource(Kind kind, std::uint8_t index) : kind_(kind), index_(index)
+    {
+    }
+
+    static constexpr Resource
+    intReg(int i)
+    {
+        return Resource(Kind::IntReg, static_cast<std::uint8_t>(i));
+    }
+
+    static constexpr Resource
+    fpReg(int i)
+    {
+        return Resource(Kind::FpReg, static_cast<std::uint8_t>(i));
+    }
+
+    static constexpr Resource icc() { return Resource(Kind::IntCC, 0); }
+    static constexpr Resource fcc() { return Resource(Kind::FpCC, 0); }
+    static constexpr Resource y() { return Resource(Kind::YReg, 0); }
+
+    static constexpr Resource
+    callState()
+    {
+        return Resource(Kind::CallState, 0);
+    }
+
+    constexpr Kind kind() const { return kind_; }
+    constexpr int index() const { return index_; }
+    constexpr bool valid() const { return kind_ != Kind::Invalid; }
+
+    /** True for %g0, whose defs and uses carry no dependencies. */
+    constexpr bool
+    isZeroReg() const
+    {
+        return kind_ == Kind::IntReg && index_ == 0;
+    }
+
+    /**
+     * Dense slot index in [0, kNumSlots) used by the table-building DAG
+     * construction algorithms for their definition-entry / use-list
+     * tables.  Invalid resources have no slot.
+     */
+    constexpr int
+    slot() const
+    {
+        switch (kind_) {
+          case Kind::IntReg:
+            return index_;
+          case Kind::FpReg:
+            return kNumIntRegs + index_;
+          case Kind::IntCC:
+            return kNumIntRegs + kNumFpRegs;
+          case Kind::FpCC:
+            return kNumIntRegs + kNumFpRegs + 1;
+          case Kind::YReg:
+            return kNumIntRegs + kNumFpRegs + 2;
+          case Kind::CallState:
+            return kNumIntRegs + kNumFpRegs + 3;
+          default:
+            return -1;
+        }
+    }
+
+    /** Inverse of slot(). */
+    static Resource fromSlot(int slot);
+
+    /** Assembly-style name ("%o3", "%f10", "%icc", ...). */
+    std::string toString() const;
+
+    bool operator==(const Resource &other) const = default;
+
+  private:
+    Kind kind_ = Kind::Invalid;
+    std::uint8_t index_ = 0;
+};
+
+/**
+ * Parse a register name ("%g1", "%sp", "%fp", "%f12", "%y", ...) into a
+ * Resource.  Returns an invalid Resource when @p name is not a register.
+ */
+Resource parseRegister(std::string_view name);
+
+} // namespace sched91
+
+#endif // SCHED91_IR_RESOURCE_HH

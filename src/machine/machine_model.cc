@@ -1,0 +1,93 @@
+#include "machine/machine_model.hh"
+
+#include <algorithm>
+
+namespace sched91
+{
+
+std::string_view
+depKindName(DepKind kind)
+{
+    switch (kind) {
+      case DepKind::RAW: return "RAW";
+      case DepKind::WAR: return "WAR";
+      case DepKind::WAW: return "WAW";
+      case DepKind::CTRL: return "CTRL";
+    }
+    return "?";
+}
+
+MachineModel::MachineModel()
+{
+    // Conservative defaults; presets override.
+    latency_.fill(1);
+    fus_[static_cast<std::size_t>(FuKind::IntAlu)] = {"int-alu", 1, true};
+    fus_[static_cast<std::size_t>(FuKind::IntMulDiv)] =
+        {"int-muldiv", 1, false};
+    fus_[static_cast<std::size_t>(FuKind::MemPort)] = {"mem-port", 1, true};
+    fus_[static_cast<std::size_t>(FuKind::BranchUnit)] = {"branch", 1, true};
+    fus_[static_cast<std::size_t>(FuKind::FpAdd)] = {"fp-add", 1, true};
+    fus_[static_cast<std::size_t>(FuKind::FpMul)] = {"fp-mul", 1, true};
+    fus_[static_cast<std::size_t>(FuKind::FpDivSqrt)] =
+        {"fp-divsqrt", 1, false};
+}
+
+int
+MachineModel::depDelay(const Instruction &parent, const Instruction &child,
+                       DepKind kind, Resource res) const
+{
+    switch (kind) {
+      case DepKind::RAW: {
+        int delay = latency(parent.cls());
+        if (pairSkew && res.valid() && parent.defPairHalf(res) == 1)
+            ++delay;
+        if (asymmetricBypass && res.valid() && isFpClass(child.cls()) &&
+            child.usePosition(res) == 1) {
+            ++delay;
+        }
+        if (storeBypassSaving > 0 && child.isStore() && res.valid() &&
+            child.usePosition(res) == 0) {
+            delay -= storeBypassSaving;
+        }
+        return std::max(1, delay);
+      }
+      case DepKind::WAR:
+        return std::max(1, warDelay);
+      case DepKind::WAW:
+        return std::max(1, latency(parent.cls()) - latency(child.cls()) + 1);
+      case DepKind::CTRL:
+        return 1;
+    }
+    return 1;
+}
+
+FuKind
+MachineModel::fuFor(InstClass cls) const
+{
+    switch (cls) {
+      case InstClass::IntMul:
+      case InstClass::IntDiv:
+        return FuKind::IntMulDiv;
+      case InstClass::Load:
+      case InstClass::LoadDouble:
+      case InstClass::Store:
+      case InstClass::StoreDouble:
+        return FuKind::MemPort;
+      case InstClass::Branch:
+      case InstClass::Call:
+        return FuKind::BranchUnit;
+      case InstClass::FpAdd:
+      case InstClass::FpCmp:
+      case InstClass::FpMove:
+        return FuKind::FpAdd;
+      case InstClass::FpMul:
+        return FuKind::FpMul;
+      case InstClass::FpDiv:
+      case InstClass::FpSqrt:
+        return FuKind::FpDivSqrt;
+      default:
+        return FuKind::IntAlu;
+    }
+}
+
+} // namespace sched91

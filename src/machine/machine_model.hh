@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Machine timing model: operation latencies and dependence-arc delays.
+ *
+ * Section 2 of the paper: "arcs in the DAG are typically weighted
+ * according to operation latency; however, these latencies can differ
+ * according to the dependency type":
+ *
+ *  - WAR delays can be shorter than RAW delays (the parent reads the
+ *    resource in an early pipe stage) — modeled by MachineModel::warDelay.
+ *  - Different RAW delays from the same parent to different children:
+ *      * double-word loads deliver the two registers of the pair one
+ *        cycle apart (MachineModel::pairSkew);
+ *      * a RAW delay to an arithmetic consumer may exceed the delay to
+ *        a store of the same value (storeBypassSaving);
+ *      * asymmetric bypass paths (IBM RS/6000) give a different delay
+ *        when the value is consumed as the second source operand
+ *        (asymmetricBypass).
+ */
+
+#ifndef SCHED91_MACHINE_MACHINE_MODEL_HH
+#define SCHED91_MACHINE_MACHINE_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ir/instruction.hh"
+#include "ir/opcode.hh"
+
+namespace sched91
+{
+
+/** Data-dependence kinds plus the control arc used to anchor branches. */
+enum class DepKind : std::uint8_t { RAW, WAR, WAW, CTRL };
+
+/** Short name ("RAW", ...). */
+std::string_view depKindName(DepKind kind);
+
+/** Function unit kinds for structural-hazard modeling. */
+enum class FuKind : std::uint8_t {
+    IntAlu,
+    IntMulDiv,
+    MemPort,
+    BranchUnit,
+    FpAdd,
+    FpMul,
+    FpDivSqrt,
+    kNumFuKinds,
+};
+
+constexpr int kNumFuKinds = static_cast<int>(FuKind::kNumFuKinds);
+
+/** Descriptor for one function-unit pool. */
+struct FuDesc
+{
+    const char *name = "";
+    int count = 1;          ///< number of identical units
+    bool pipelined = true;  ///< false: unit busy for the whole latency
+};
+
+/** Timing and structural model of the target machine. */
+class MachineModel
+{
+  public:
+    MachineModel();
+
+    /** Model name for table headers. */
+    std::string name = "generic";
+
+    /** Per-class operation latency (execution time heuristic). */
+    int
+    latency(InstClass cls) const
+    {
+        return latency_[static_cast<std::size_t>(cls)];
+    }
+
+    /** Set the latency of a class. */
+    void
+    setLatency(InstClass cls, int cycles)
+    {
+        latency_[static_cast<std::size_t>(cls)] = cycles;
+    }
+
+    /** Latency of an instruction. */
+    int latency(const Instruction &inst) const { return latency(inst.cls()); }
+
+    /** Delay on a WAR arc (paper Figure 1 uses 1 cycle). */
+    int warDelay = 1;
+
+    /** Second half of a double-word load arrives one cycle later. */
+    bool pairSkew = false;
+
+    /** RS/6000-style +1 RAW delay to a second-position source operand. */
+    bool asymmetricBypass = false;
+
+    /** Cycles saved on a RAW delay into a store's data operand. */
+    int storeBypassSaving = 0;
+
+    /** Instructions issued per cycle (1, or 2 for the superscalar model). */
+    int issueWidth = 1;
+
+    /**
+     * Delay for a dependence arc of kind @p kind on resource @p res
+     * from @p parent to @p child.  Memory dependences pass an invalid
+     * resource.  Always at least 1.
+     */
+    int depDelay(const Instruction &parent, const Instruction &child,
+                 DepKind kind, Resource res) const;
+
+    /** Function unit executing a given class. */
+    FuKind fuFor(InstClass cls) const;
+
+    /** Descriptor of a function-unit pool. */
+    const FuDesc &
+    fuDesc(FuKind kind) const
+    {
+        return fus_[static_cast<std::size_t>(kind)];
+    }
+
+    /** Mutable descriptor (for presets). */
+    FuDesc &
+    fuDesc(FuKind kind)
+    {
+        return fus_[static_cast<std::size_t>(kind)];
+    }
+
+    /** Cycles a function unit stays busy after accepting @p cls. */
+    int
+    fuBusyCycles(InstClass cls) const
+    {
+        return fuDesc(fuFor(cls)).pipelined ? 1 : latency(cls);
+    }
+
+  private:
+    std::array<int, static_cast<std::size_t>(InstClass::kNumClasses)>
+        latency_{};
+    std::array<FuDesc, static_cast<std::size_t>(FuKind::kNumFuKinds)> fus_{};
+};
+
+} // namespace sched91
+
+#endif // SCHED91_MACHINE_MACHINE_MODEL_HH

@@ -1,0 +1,92 @@
+#include "machine/presets.hh"
+
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Shared latency table for the SPARC-class presets. */
+void
+applySparcLatencies(MachineModel &m)
+{
+    m.setLatency(InstClass::IntAlu, 1);
+    m.setLatency(InstClass::IntMul, 5);
+    m.setLatency(InstClass::IntDiv, 20);
+    m.setLatency(InstClass::Load, 2);
+    m.setLatency(InstClass::LoadDouble, 3);
+    m.setLatency(InstClass::Store, 3);
+    m.setLatency(InstClass::StoreDouble, 3);
+    m.setLatency(InstClass::Branch, 1);
+    m.setLatency(InstClass::Call, 1);
+    m.setLatency(InstClass::WindowOp, 1);
+    m.setLatency(InstClass::FpAdd, 4);   // Figure 1: ADDF = 4 cycles
+    m.setLatency(InstClass::FpMul, 6);
+    m.setLatency(InstClass::FpDiv, 20);  // Figure 1: DIVF = 20 cycles
+    m.setLatency(InstClass::FpSqrt, 25);
+    m.setLatency(InstClass::FpCmp, 2);
+    m.setLatency(InstClass::FpMove, 1);
+    m.setLatency(InstClass::Nop, 1);
+    m.warDelay = 1;                      // Figure 1: WAR delay = 1 cycle
+}
+
+} // namespace
+
+MachineModel
+sparcstation2()
+{
+    MachineModel m;
+    m.name = "sparcstation2";
+    applySparcLatencies(m);
+    return m;
+}
+
+MachineModel
+figure1Machine()
+{
+    MachineModel m = sparcstation2();
+    m.name = "figure1";
+    return m;
+}
+
+MachineModel
+rs6000Like()
+{
+    MachineModel m = sparcstation2();
+    m.name = "rs6000like";
+    m.asymmetricBypass = true;
+    m.storeBypassSaving = 1;
+    m.pairSkew = true;
+    return m;
+}
+
+MachineModel
+superscalar2()
+{
+    MachineModel m = sparcstation2();
+    m.name = "superscalar2";
+    m.issueWidth = 2;
+    m.fuDesc(FuKind::IntAlu).count = 2;
+    return m;
+}
+
+std::vector<MachineModel>
+allPresets()
+{
+    return {sparcstation2(), rs6000Like(), superscalar2()};
+}
+
+MachineModel
+presetByName(std::string_view name)
+{
+    for (auto &m : allPresets())
+        if (m.name == name)
+            return m;
+    if (name == "figure1")
+        return figure1Machine();
+    fatal("unknown machine preset '", name, "'");
+}
+
+} // namespace sched91

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Machine model presets.
+ *
+ * figure1Machine() reproduces the latencies of the paper's Figure 1
+ * (DIVF 20 cycles, ADDF 4 cycles, WAR delay 1) on top of a plausible
+ * SPARCstation-2-class pipeline; rs6000Like() enables the asymmetric
+ * bypass, store bypass, and register-pair-skew effects discussed in
+ * Section 2; superscalar2() is a 2-issue model for the alternate-type
+ * heuristic.
+ */
+
+#ifndef SCHED91_MACHINE_PRESETS_HH
+#define SCHED91_MACHINE_PRESETS_HH
+
+#include <string_view>
+#include <vector>
+
+#include "machine/machine_model.hh"
+
+namespace sched91
+{
+
+/** SPARCstation-2-class single-issue pipeline; Figure 1 latencies. */
+MachineModel sparcstation2();
+
+/** Alias of sparcstation2() named for the Figure 1 experiment. */
+MachineModel figure1Machine();
+
+/** RS/6000-like model: asymmetric bypass, store bypass, pair skew. */
+MachineModel rs6000Like();
+
+/** Two-issue superscalar variant of the SPARC model. */
+MachineModel superscalar2();
+
+/** All presets, for parameterized tests. */
+std::vector<MachineModel> allPresets();
+
+/** Look a preset up by name; throws FatalError when unknown. */
+MachineModel presetByName(std::string_view name);
+
+} // namespace sched91
+
+#endif // SCHED91_MACHINE_PRESETS_HH

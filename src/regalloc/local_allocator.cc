@@ -1,0 +1,356 @@
+#include "regalloc/local_allocator.hh"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Allocation unit: an integer register or an FP even/odd pair. */
+struct Unit
+{
+    bool fp = false;
+    int base = 0; ///< int reg index, or even FP index
+
+    bool operator==(const Unit &) const = default;
+    auto operator<=>(const Unit &) const = default;
+};
+
+/** A value: one definition (version) of a unit. */
+using Value = std::pair<Unit, int>; // (unit, version); version 0 = live-in
+
+/** Registers that must never be reallocated. */
+bool
+pinnedIntReg(int idx)
+{
+    return idx == 0 || idx == 14 || idx == 15 || idx == 30; // g0 sp o7 fp
+}
+
+std::optional<Unit>
+unitOf(Resource r)
+{
+    if (r.kind() == Resource::Kind::IntReg && !pinnedIntReg(r.index()))
+        return Unit{false, r.index()};
+    if (r.kind() == Resource::Kind::FpReg)
+        return Unit{true, r.index() & ~1};
+    return std::nullopt;
+}
+
+/** Per-block precomputed value information. */
+struct ValueInfo
+{
+    std::vector<int> usePositions; // ascending order positions
+};
+
+/** The allocator state machine. */
+class Allocator
+{
+  public:
+    Allocator(const BlockView &block,
+              const std::vector<std::uint32_t> &order,
+              const AllocatorOptions &opts)
+        : block_(block), order_(order), opts_(opts)
+    {
+    }
+
+    std::optional<AllocationResult>
+    run()
+    {
+        if (!scanBlock())
+            return std::nullopt;
+        buildPools();
+
+        for (pos_ = 0; pos_ < static_cast<int>(order_.size()); ++pos_) {
+            const Instruction &inst = block_.inst(order_[pos_]);
+            if (!processInstruction(inst))
+                return std::nullopt;
+        }
+        return std::move(result_);
+    }
+
+  private:
+    /** Version bookkeeping and feasibility scan. */
+    bool
+    scanBlock()
+    {
+        std::map<Unit, int> version;
+        for (std::size_t p = 0; p < order_.size(); ++p) {
+            const Instruction &inst = block_.inst(order_[p]);
+            // Calls clobber registers outside the rename map's view;
+            // integer pairs would break single-register units.
+            if (inst.cls() == InstClass::Call ||
+                inst.op() == Opcode::Ldd || inst.op() == Opcode::Std ||
+                inst.op() == Opcode::Jmpl) {
+                return false;
+            }
+            std::set<Unit> seen;
+            for (Resource r : inst.uses()) {
+                auto u = unitOf(r);
+                if (!u || !seen.insert(*u).second)
+                    continue;
+                int v = version.count(*u) ? version[*u] : 0;
+                if (v == 0)
+                    liveIn_[*u] = true;
+                values_[{*u, v}].usePositions.push_back(
+                    static_cast<int>(p));
+            }
+            seen.clear();
+            for (Resource r : inst.defs()) {
+                auto u = unitOf(r);
+                if (!u || !seen.insert(*u).second)
+                    continue; // register pairs are one unit
+                ++version[*u];
+            }
+        }
+        return true;
+    }
+
+    /** Remove live-in originals and pinned registers from the pools. */
+    void
+    buildPools()
+    {
+        for (int reg : opts_.intPool) {
+            bool live_in = liveIn_.count(Unit{false, reg}) > 0;
+            if (!pinnedIntReg(reg) && !live_in)
+                freeInt_.push_back(reg);
+        }
+        for (int reg : opts_.fpPool) {
+            bool live_in = liveIn_.count(Unit{true, reg & ~1}) > 0;
+            if (!live_in)
+                freeFp_.push_back(reg & ~1);
+        }
+    }
+
+    int
+    nextUseAfter(const Value &value, int pos) const
+    {
+        auto it = values_.find(value);
+        if (it == values_.end())
+            return INT_MAX;
+        const auto &uses = it->second.usePositions;
+        auto u = std::upper_bound(uses.begin(), uses.end(), pos);
+        return u == uses.end() ? INT_MAX : *u;
+    }
+
+    /** Spill slot for a value (stable once assigned). */
+    std::int64_t
+    slotOffset(const Value &value)
+    {
+        auto it = slots_.find(value);
+        if (it == slots_.end()) {
+            it = slots_.emplace(value, opts_.spillBase -
+                                           8 * result_.slotsUsed)
+                     .first;
+            ++result_.slotsUsed;
+        }
+        return it->second;
+    }
+
+    void
+    emitSpillStore(const Value &value, int reg)
+    {
+        MemOperand slot;
+        slot.base = 30; // %fp
+        slot.offset = slotOffset(value);
+        slot.width = 8;
+        Opcode op = value.first.fp ? Opcode::Stdf : Opcode::Stx;
+        Resource data = value.first.fp ? Resource::fpReg(reg)
+                                       : Resource::intReg(reg);
+        result_.insts.push_back(
+            makeInstruction(op, data, Resource(), Resource(), slot));
+        ++result_.spillStores;
+    }
+
+    void
+    emitReload(const Value &value, int reg)
+    {
+        MemOperand slot;
+        slot.base = 30;
+        slot.offset = slotOffset(value);
+        slot.width = 8;
+        Opcode op = value.first.fp ? Opcode::Lddf : Opcode::Ldx;
+        Resource dest = value.first.fp ? Resource::fpReg(reg)
+                                       : Resource::intReg(reg);
+        result_.insts.push_back(
+            makeInstruction(op, Resource(), Resource(), dest, slot));
+        ++result_.spillLoads;
+    }
+
+    /**
+     * Obtain a register of the right class, evicting the in-register
+     * value with the furthest next use when the pool is dry.  @p locked
+     * registers (operands of the instruction being rewritten) are not
+     * evictable.
+     */
+    std::optional<int>
+    acquireReg(bool fp, const std::vector<int> &locked)
+    {
+        auto &free = fp ? freeFp_ : freeInt_;
+        if (!free.empty()) {
+            int reg = free.back();
+            free.pop_back();
+            return reg;
+        }
+
+        // Belady eviction over same-class in-register values.
+        const Value *victim = nullptr;
+        int victim_reg = -1;
+        int victim_next = -1;
+        for (const auto &[value, reg] : inReg_) {
+            if (value.first.fp != fp)
+                continue;
+            if (std::find(locked.begin(), locked.end(), reg) !=
+                locked.end()) {
+                continue;
+            }
+            int next = nextUseAfter(value, pos_ - 1);
+            if (next > victim_next) {
+                victim_next = next;
+                victim = &value;
+                victim_reg = reg;
+            }
+        }
+        if (!victim)
+            return std::nullopt;
+
+        Value v = *victim;
+        inReg_.erase(v);
+        if (victim_next != INT_MAX) {
+            emitSpillStore(v, victim_reg);
+            spilled_.insert(v);
+        }
+        return victim_reg;
+    }
+
+    bool
+    processInstruction(const Instruction &inst)
+    {
+        // Rename maps for this instruction.
+        std::map<Unit, int> use_map;
+        std::map<Unit, int> def_map;
+        std::vector<int> locked;
+
+        // --- secure every use ------------------------------------
+        for (Resource r : inst.uses()) {
+            auto u = unitOf(r);
+            if (!u || use_map.count(*u))
+                continue;
+            int version = curVersion_.count(*u) ? curVersion_[*u] : 0;
+            if (version == 0) {
+                // Live-in: stays in its original register.
+                use_map[*u] = u->base;
+                locked.push_back(u->base);
+                continue;
+            }
+            Value value{*u, version};
+            auto it = inReg_.find(value);
+            if (it != inReg_.end()) {
+                use_map[*u] = it->second;
+                locked.push_back(it->second);
+                continue;
+            }
+            SCHED91_ASSERT(spilled_.count(value),
+                           "value neither in reg nor spilled");
+            auto reg = acquireReg(u->fp, locked);
+            if (!reg)
+                return false;
+            emitReload(value, *reg);
+            spilled_.erase(value);
+            inReg_[value] = *reg;
+            use_map[*u] = *reg;
+            locked.push_back(*reg);
+        }
+
+        // --- free registers whose value dies here ------------------
+        for (const auto &[unit, reg] : use_map) {
+            int version = curVersion_.count(unit) ? curVersion_[unit] : 0;
+            if (version == 0)
+                continue; // live-in registers are never pooled
+            Value value{unit, version};
+            if (nextUseAfter(value, pos_) == INT_MAX) {
+                auto it = inReg_.find(value);
+                if (it != inReg_.end()) {
+                    (unit.fp ? freeFp_ : freeInt_).push_back(it->second);
+                    inReg_.erase(it);
+                }
+            }
+        }
+
+        // --- allocate definitions -----------------------------------
+        for (Resource r : inst.defs()) {
+            auto u = unitOf(r);
+            if (!u || def_map.count(*u))
+                continue;
+            int version = (curVersion_[*u] += 1);
+            Value value{*u, version};
+            auto reg = acquireReg(u->fp, locked);
+            if (!reg)
+                return false;
+            inReg_[value] = *reg;
+            def_map[*u] = *reg;
+            locked.push_back(*reg);
+            // A dead definition frees its register immediately.
+            if (nextUseAfter(value, pos_) == INT_MAX) {
+                (u->fp ? freeFp_ : freeInt_).push_back(*reg);
+                inReg_.erase(value);
+            }
+        }
+
+        // --- rewrite the instruction --------------------------------
+        auto apply = [](const std::map<Unit, int> &map, Resource r) {
+            auto u = unitOf(r);
+            if (!u)
+                return r;
+            auto it = map.find(*u);
+            if (it == map.end())
+                return r;
+            if (u->fp)
+                return Resource::fpReg(it->second +
+                                       (r.index() & 1));
+            return Resource::intReg(it->second);
+        };
+        result_.insts.push_back(renameRegisters(
+            inst,
+            [&](Resource r) { return apply(use_map, r); },
+            [&](Resource r) { return apply(def_map, r); }));
+        return true;
+    }
+
+    const BlockView &block_;
+    const std::vector<std::uint32_t> &order_;
+    const AllocatorOptions &opts_;
+
+    std::map<Unit, bool> liveIn_;
+    std::map<Value, ValueInfo> values_;
+    std::map<Unit, int> curVersion_;
+
+    std::vector<int> freeInt_;
+    std::vector<int> freeFp_;
+    std::map<Value, int> inReg_;
+    std::set<Value> spilled_;
+    std::map<Value, std::int64_t> slots_;
+
+    AllocationResult result_;
+    int pos_ = 0;
+};
+
+} // namespace
+
+std::optional<AllocationResult>
+allocateBlock(const BlockView &block,
+              const std::vector<std::uint32_t> &order,
+              const AllocatorOptions &opts)
+{
+    SCHED91_ASSERT(order.size() == block.size());
+    Allocator allocator(block, order, opts);
+    return allocator.run();
+}
+
+} // namespace sched91

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Local (within-block) register allocation with spilling.
+ *
+ * The paper's register-usage heuristics exist because scheduling and
+ * allocation interact: "The integration of register allocation and
+ * instruction scheduling into one pass has also been studied by other
+ * authors [2,5]" (Section 3).  This allocator makes that interaction
+ * measurable end to end: given a block (typically one already
+ * reordered by a prepass scheduler), it re-maps every block-defined
+ * value onto a bounded physical register pool, inserting spill stores
+ * and reloads (64-bit stx/ldx for integers, stdf/lddf for FP pairs)
+ * against dedicated frame slots when the pool overflows.  Eviction is
+ * furthest-next-use (Belady).
+ *
+ * Live-in values keep their original registers (which are excluded
+ * from the pool), so the rewritten block is a drop-in replacement:
+ * executing it from the same initial state produces the same memory
+ * writes and the same values at each original store — verified by the
+ * allocator tests through the functional executor.
+ *
+ * FP values are allocated in even/odd pair units (double-precision
+ * safe); integer double-word pairs (ldd/std) are rare enough that
+ * blocks containing them are rejected rather than mishandled.
+ */
+
+#ifndef SCHED91_REGALLOC_LOCAL_ALLOCATOR_HH
+#define SCHED91_REGALLOC_LOCAL_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dag/dag.hh"
+#include "ir/instruction.hh"
+
+namespace sched91
+{
+
+/** Allocator configuration. */
+struct AllocatorOptions
+{
+    /** Allocatable integer registers (indices into the int file). */
+    std::vector<int> intPool = {8, 9, 10, 11, 12, 13};
+
+    /** Allocatable FP pair bases (even indices). */
+    std::vector<int> fpPool = {0, 4, 8, 12};
+
+    /** Frame offset of the first spill slot; slots descend by 8. */
+    std::int64_t spillBase = -0x8000;
+};
+
+/** Rewritten block plus spill accounting. */
+struct AllocationResult
+{
+    std::vector<Instruction> insts; ///< block with spill code inserted
+    int spillStores = 0;
+    int spillLoads = 0;
+    int slotsUsed = 0;
+
+    /** Total instructions added. */
+    int overhead() const { return spillStores + spillLoads; }
+};
+
+/**
+ * Allocate the block given by @p block executed in @p order
+ * (block-relative node ids; pass the identity for program order).
+ * Returns std::nullopt when the block cannot be allocated (integer
+ * pair operations, or a single instruction needs more registers than
+ * the pool holds).
+ */
+std::optional<AllocationResult>
+allocateBlock(const BlockView &block,
+              const std::vector<std::uint32_t> &order,
+              const AllocatorOptions &opts = {});
+
+} // namespace sched91
+
+#endif // SCHED91_REGALLOC_LOCAL_ALLOCATOR_HH

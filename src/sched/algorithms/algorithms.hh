@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The six published instruction scheduling algorithms analyzed in
+ * Table 2 of the paper, each expressed as a SchedulerConfig for the
+ * generic list-scheduling engine plus its Table 2 DAG-construction
+ * preference.
+ *
+ * Table 2 summary (pass directions and ranked heuristics):
+ *
+ *                    | dag pass | dag alg | sched | ranked heuristics
+ *  Gibbons&Muchnick  |  b       | n**2    | f     | 1 no-interlock-prev,
+ *                    |          |         |       | 2 interlock-w/-child,
+ *                    |          |         |       | 3 #children, 4 max path to leaf
+ *  Krishnamurthy     |  f       | table   | f+fix | 1 earliest time, 2 fpu
+ *                    |          |         |       | interlocks, 3 max path to
+ *                    |          |         |       | leaf, 4 exec time, 5 max
+ *                    |          |         |       | delay to leaf (priority fn)
+ *  Schlansker        |  n.g.    | n.g.    | b     | 1 slack, 2 latest start
+ *                    |          |         |       | time (priority fn)
+ *  Shieh&Papachristou|  n.g.    | n.g.    | f     | 1 max delay to leaf, 2 exec
+ *                    |          |         |       | time, 3 #children,
+ *                    |          |         |       | 4 #parents (inverse),
+ *                    |          |         |       | 5 max path to root
+ *  Tiemann (GCC)     |  f       | table   | b     | 1 max delay to root,
+ *                    |          |         |       | 2 birthing instruction,
+ *                    |          |         |       | 3 original order (priority fn)
+ *  Warren            |  f       | n**2    | f     | 1 earliest time, 2 alternate
+ *                    |          |         |       | type, 3 max delay to leaf,
+ *                    |          |         |       | 4 register liveness,
+ *                    |          |         |       | 5 #uncovered, 6 original order
+ */
+
+#ifndef SCHED91_SCHED_ALGORITHMS_ALGORITHMS_HH
+#define SCHED91_SCHED_ALGORITHMS_ALGORITHMS_HH
+
+#include "sched/list_scheduler.hh"
+
+namespace sched91
+{
+
+/** Gibbons & Muchnick, SIGPLAN '86 [3]. */
+SchedulerConfig gibbonsMuchnickConfig();
+
+/** Krishnamurthy, Clemson M.S. '90 [8] (with postpass fixup). */
+SchedulerConfig krishnamurthyConfig();
+
+/** Schlansker, ASPLOS-IV tutorial '91 [12] (slack critical path). */
+SchedulerConfig schlanskerConfig();
+
+/** Shieh & Papachristou, MICRO-22 '89 [13]. */
+SchedulerConfig shiehPapachristouConfig();
+
+/** Tiemann's GNU instruction scheduler '89 [15] / GCC 2 [17]. */
+SchedulerConfig tiemannConfig();
+
+/** Warren, IBM RS/6000 scheduler, IBM JRD '90 [16]. */
+SchedulerConfig warrenConfig();
+
+} // namespace sched91
+
+#endif // SCHED91_SCHED_ALGORITHMS_ALGORITHMS_HH

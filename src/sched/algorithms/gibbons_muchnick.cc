@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Gibbons & Muchnick, "Efficient instruction scheduling for a
+ * pipelined architecture" [3].
+ *
+ * Forward list scheduling over an n**2 backward-built DAG, winnowing
+ * by: (1) does NOT interlock with the previously scheduled
+ * instruction; (2) interlocks with some child (choose long-delay
+ * producers early so the remaining candidates can fill the delay
+ * slots); (3) number of children; (4) maximum path length to a leaf.
+ */
+
+#include "sched/algorithms/algorithms.hh"
+
+namespace sched91
+{
+
+SchedulerConfig
+gibbonsMuchnickConfig()
+{
+    SchedulerConfig c;
+    c.name = "gibbons-muchnick";
+    c.forward = true;
+    c.ranking = {
+        {Heuristic::InterlockWithPrevious, /*preferLarger=*/false},
+        {Heuristic::InterlockWithChild, true},
+        {Heuristic::NumChildren, true},
+        {Heuristic::MaxPathToLeaf, true},
+    };
+    c.needsBackwardPass = true; // max path length to a leaf
+    return c;
+}
+
+} // namespace sched91

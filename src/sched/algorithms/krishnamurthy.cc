@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Krishnamurthy, "Static scheduling of multi-cycle operations for a
+ * pipelined RISC processor" [8].
+ *
+ * Table-building forward DAG construction paired with a forward
+ * scheduling pass driven by a priority function over: (1) earliest
+ * execution time, (2) FP function unit interlocks (busy times),
+ * (3) maximum path length to a leaf, (4) execution time, (5) maximum
+ * delay to a leaf — followed by a postpass fixup that fills remaining
+ * operation delay slots (Section 5).
+ */
+
+#include "sched/algorithms/algorithms.hh"
+
+namespace sched91
+{
+
+SchedulerConfig
+krishnamurthyConfig()
+{
+    SchedulerConfig c;
+    c.name = "krishnamurthy";
+    c.forward = true;
+    c.ranking = {
+        {Heuristic::EarliestExecutionTime, /*preferLarger=*/false},
+        {Heuristic::FpuBusyTimes, false},
+        {Heuristic::MaxPathToLeaf, true},
+        {Heuristic::ExecutionTime, true},
+        {Heuristic::MaxDelayToLeaf, true},
+    };
+    c.postpassFixup = true;
+    c.needsBackwardPass = true; // path/delay to leaf
+    return c;
+}
+
+} // namespace sched91

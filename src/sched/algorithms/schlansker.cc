@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Schlansker, "Compilation for VLIW and superscalar processors" [12].
+ *
+ * A critical-path algorithm: earliest start times by a forward pass,
+ * latest start times by a backward pass, slack = LST - EST; nodes with
+ * zero slack lie on the critical path.  The scheduling pass runs
+ * backward, filling the block from the end: the candidate that can
+ * start *latest* (largest LST) takes the current last slot, with
+ * larger slack breaking ties — so zero-slack critical-path nodes are
+ * pushed as early as possible.  (Ranking by slack before LST places
+ * high-slack nodes after nodes with later deadlines and measurably
+ * lengthens schedules; LST realizes the critical-path intent.)
+ *
+ * Per Section 5, this is the one algorithm whose need for both a
+ * forward and a backward heuristic pass is unavoidable.
+ */
+
+#include "sched/algorithms/algorithms.hh"
+
+namespace sched91
+{
+
+SchedulerConfig
+schlanskerConfig()
+{
+    SchedulerConfig c;
+    c.name = "schlansker";
+    c.forward = false;
+    c.ranking = {
+        {Heuristic::LatestStartTime, /*preferLarger=*/true},
+        {Heuristic::Slack, true},
+    };
+    c.needsForwardPass = true;  // EST
+    c.needsBackwardPass = true; // LST
+    return c;
+}
+
+} // namespace sched91

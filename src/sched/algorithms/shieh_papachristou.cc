@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shieh & Papachristou, "On reordering instruction streams for
+ * pipelined computers" [13].
+ *
+ * Forward scheduling ranked by: (1) maximum total delay to a leaf,
+ * (2) execution time, (3) number of children, (4) number of parents as
+ * an *inverse* heuristic ("the larger number of parents will mean that
+ * the candidate node must wait for a larger number of instruction
+ * completions"), and (5) maximum path length from the root, which the
+ * authors recommend "to help schedule nodes as soon as possible".
+ * Section 5 notes this last heuristic could be omitted with little
+ * effect since it is applied last.
+ */
+
+#include "sched/algorithms/algorithms.hh"
+
+namespace sched91
+{
+
+SchedulerConfig
+shiehPapachristouConfig()
+{
+    SchedulerConfig c;
+    c.name = "shieh-papachristou";
+    c.forward = true;
+    c.ranking = {
+        {Heuristic::MaxDelayToLeaf, /*preferLarger=*/true},
+        {Heuristic::ExecutionTime, true},
+        {Heuristic::NumChildren, true},
+        {Heuristic::NumParents, false},
+        {Heuristic::MaxPathFromRoot, true},
+    };
+    c.needsForwardPass = true;  // max path from root
+    c.needsBackwardPass = true; // max delay to leaf
+    return c;
+}
+
+} // namespace sched91

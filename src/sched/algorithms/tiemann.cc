@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Tiemann, "The GNU instruction scheduler" [15], as modified in the
+ * version 2 GNU C compiler [17].
+ *
+ * Backward scheduling with a priority function: (1) maximum total
+ * delay from the root (computed by a forward pass), (2) the birthing-
+ * instruction adjustment — "each RAW parent of the most recently
+ * scheduled node has its priority adjusted upward so that each is more
+ * likely to be chosen next and thus shorten the lifetime of the
+ * corresponding live register" — and (3) original program order.
+ * GCC 2 additionally consults #registers killed; expose that with
+ * tiemannConfig() by appending Heuristic::RegistersKilled if desired.
+ */
+
+#include "sched/algorithms/algorithms.hh"
+
+namespace sched91
+{
+
+SchedulerConfig
+tiemannConfig()
+{
+    SchedulerConfig c;
+    c.name = "tiemann";
+    c.forward = false;
+    c.ranking = {
+        {Heuristic::MaxDelayFromRoot, /*preferLarger=*/true},
+        {Heuristic::BirthingInstruction, true},
+    };
+    c.birthing = true;
+    c.needsForwardPass = true; // max delay from root
+    c.needsRegisterPressure = true;
+    return c;
+}
+
+} // namespace sched91

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Warren, "Instruction scheduling for the IBM RISC System/6000
+ * processor" [16].
+ *
+ * n**2 forward DAG construction with a forward scheduling pass ranked
+ * by: (1) earliest execution time, (2) alternate type (prefer a
+ * different issue group than the last scheduled instruction, to keep
+ * the superscalar units balanced), (3) maximum total delay to a leaf,
+ * (4) register liveness (designed for both prepass and postpass use),
+ * (5) number of uncovered children — the exact measure of how many
+ * nodes join the candidate list — and (6) original order.
+ */
+
+#include "sched/algorithms/algorithms.hh"
+
+namespace sched91
+{
+
+SchedulerConfig
+warrenConfig()
+{
+    SchedulerConfig c;
+    c.name = "warren";
+    c.forward = true;
+    c.ranking = {
+        {Heuristic::EarliestExecutionTime, /*preferLarger=*/false},
+        {Heuristic::AlternateType, true},
+        {Heuristic::MaxDelayToLeaf, true},
+        {Heuristic::Liveness, true},
+        {Heuristic::NumUncoveredChildren, true},
+    };
+    c.needsBackwardPass = true;
+    c.needsRegisterPressure = true;
+    return c;
+}
+
+} // namespace sched91

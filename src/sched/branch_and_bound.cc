@@ -1,0 +1,215 @@
+#include "sched/branch_and_bound.hh"
+
+#include <algorithm>
+
+#include "heuristics/static_passes.hh"
+#include "machine/function_unit.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/pipeline_sim.hh"
+#include "sched/simple_forward.hh"
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Depth-first branch-and-bound search state and machinery. */
+class Search
+{
+  public:
+    Search(Dag &dag, const MachineModel &machine, const BnbOptions &opts)
+        : dag_(dag), machine_(machine), opts_(opts), fus_(machine)
+    {
+        n_ = dag.size();
+        eet_.assign(n_, 0);
+        unschedParents_.resize(n_);
+        scheduled_.assign(n_, false);
+        for (std::uint32_t i = 0; i < n_; ++i)
+            unschedParents_[i] = dag.node(i).numParents;
+
+        // Critical tail per node: cycles from the node's issue to
+        // block completion along the worst path (arc delays, closing
+        // with the final node's latency).  The search's lower bound.
+        tail_.assign(n_, 0);
+        for (std::uint32_t i = n_; i-- > 0;) {
+            const DagNode &node = dag.node(i);
+            int t = node.ann.execTime;
+            for (std::uint32_t arc_id : node.succArcs) {
+                const Arc &arc = dag.arc(arc_id);
+                t = std::max(t, arc.delay + tail_[arc.to]);
+            }
+            tail_[i] = t;
+        }
+    }
+
+    BnbResult
+    run(int initial_bound, Schedule initial_sched)
+    {
+        best_ = initial_bound;
+        bestOrder_ = std::move(initial_sched.order);
+        order_.reserve(n_);
+        exhausted_ = false;
+        dfs(/*time=*/0, /*finish=*/0);
+
+        BnbResult result;
+        result.sched.order = bestOrder_;
+        result.cycles = best_;
+        result.optimal = !exhausted_;
+        result.nodesExplored = explored_;
+        return result;
+    }
+
+  private:
+    /** Lower bound on the final makespan from the current state. */
+    int
+    lowerBound(int time, int finish) const
+    {
+        int lb = finish;
+        int remaining = 0;
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            if (scheduled_[i])
+                continue;
+            ++remaining;
+            // The node cannot issue before its dependences settle nor
+            // before the next issue slot.
+            lb = std::max(lb, std::max(eet_[i], time) + tail_[i]);
+        }
+        // Single issue: the last remaining node issues no earlier than
+        // time + remaining - 1 and needs at least one cycle.
+        if (remaining > 0)
+            lb = std::max(lb, time + remaining);
+        return lb;
+    }
+
+    void
+    dfs(int time, int finish)
+    {
+        if (explored_ >= opts_.maxNodes) {
+            exhausted_ = true;
+            return;
+        }
+        ++explored_;
+
+        if (order_.size() == n_) {
+            if (finish < best_) {
+                best_ = finish;
+                bestOrder_ = order_;
+            }
+            return;
+        }
+
+        // Candidates, most promising first (smallest earliest issue,
+        // then longest critical tail) so good schedules tighten the
+        // bound early.
+        std::vector<std::uint32_t> candidates;
+        for (std::uint32_t i = 0; i < n_; ++i)
+            if (!scheduled_[i] && unschedParents_[i] == 0)
+                candidates.push_back(i);
+        std::sort(candidates.begin(), candidates.end(),
+                  [this, time](std::uint32_t a, std::uint32_t b) {
+                      int ia = std::max(eet_[a], time);
+                      int ib = std::max(eet_[b], time);
+                      if (ia != ib)
+                          return ia < ib;
+                      if (tail_[a] != tail_[b])
+                          return tail_[a] > tail_[b];
+                      return a < b;
+                  });
+
+        for (std::uint32_t c : candidates) {
+            const DagNode &node = dag_.node(c);
+            InstClass cls = node.inst->cls();
+            int issue = std::max({time, eet_[c],
+                                  fus_.earliestFree(machine_.fuFor(cls),
+                                                    time)});
+            int new_finish =
+                std::max(finish, issue + node.ann.execTime);
+            if (new_finish >= best_)
+                continue;
+
+            // Apply.
+            scheduled_[c] = true;
+            order_.push_back(c);
+            std::vector<int> saved_eet;
+            for (std::uint32_t arc_id : node.succArcs) {
+                const Arc &arc = dag_.arc(arc_id);
+                saved_eet.push_back(eet_[arc.to]);
+                --unschedParents_[arc.to];
+                eet_[arc.to] =
+                    std::max(eet_[arc.to], issue + arc.delay);
+            }
+            FuState saved_fus = fus_;
+            fus_.occupy(cls, issue);
+
+            if (lowerBound(issue + 1, new_finish) < best_)
+                dfs(issue + 1, new_finish);
+
+            // Undo.
+            fus_ = saved_fus;
+            std::size_t k = 0;
+            for (std::uint32_t arc_id : node.succArcs) {
+                const Arc &arc = dag_.arc(arc_id);
+                ++unschedParents_[arc.to];
+                eet_[arc.to] = saved_eet[k++];
+            }
+            order_.pop_back();
+            scheduled_[c] = false;
+
+            if (explored_ >= opts_.maxNodes) {
+                exhausted_ = true;
+                return;
+            }
+        }
+    }
+
+    Dag &dag_;
+    const MachineModel &machine_;
+    const BnbOptions &opts_;
+
+    std::uint32_t n_ = 0;
+    std::vector<int> eet_;
+    std::vector<int> unschedParents_;
+    std::vector<bool> scheduled_;
+    std::vector<int> tail_;
+    FuState fus_;
+
+    std::vector<std::uint32_t> order_;
+    std::vector<std::uint32_t> bestOrder_;
+    int best_ = 0;
+    long long explored_ = 0;
+    bool exhausted_ = false;
+};
+
+} // namespace
+
+BnbResult
+scheduleOptimal(Dag &dag, const MachineModel &machine,
+                const BnbOptions &opts)
+{
+    runAllStaticPasses(dag);
+
+    // Seed the bound with the better of two heuristic schedules.
+    SchedulerConfig simple = simpleForwardConfig();
+    Schedule seed = ListScheduler(simple, machine).run(dag);
+    int seed_cycles = simulateSchedule(dag, seed.order, machine).cycles;
+
+    int bound = opts.initialBound >= 0
+                    ? std::min(opts.initialBound, seed_cycles + 1)
+                    : seed_cycles + 1;
+
+    Search search(dag, machine, opts);
+    BnbResult result = search.run(bound, seed);
+
+    // The seeded schedule may remain the incumbent.
+    if (result.cycles >= seed_cycles) {
+        result.cycles = seed_cycles;
+        result.sched.order = seed.order;
+    }
+    SCHED91_ASSERT(isValidTopologicalOrder(dag, result.sched.order));
+    result.sched.issueCycle.clear();
+    return result;
+}
+
+} // namespace sched91

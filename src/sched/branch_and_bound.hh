@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Optimal basic-block scheduling by branch and bound.
+ *
+ * The paper's future work (Section 7): "We plan to extend this work
+ * by determining if an optimal branch-and-bound scheduler would
+ * benefit performance for small basic blocks."  This module provides
+ * that scheduler: depth-first search over topological completions of
+ * the DAG with critical-path lower-bound pruning, optimizing the same
+ * objective the pipeline simulator measures on a single-issue
+ * machine — block completion time including dependence delays and
+ * function-unit (structural) hazards.
+ *
+ * Finding the optimum is NP-complete [6], so the search carries an
+ * exploration budget; within the budget the result is proven optimal,
+ * otherwise the best schedule found so far is returned with
+ * BnbResult::optimal == false.  Intended for small blocks (tens of
+ * instructions); bench_optimal quantifies how much the Table 2
+ * heuristics leave on the table.
+ */
+
+#ifndef SCHED91_SCHED_BRANCH_AND_BOUND_HH
+#define SCHED91_SCHED_BRANCH_AND_BOUND_HH
+
+#include <cstdint>
+
+#include "dag/dag.hh"
+#include "machine/machine_model.hh"
+#include "sched/schedule.hh"
+
+namespace sched91
+{
+
+/** Search configuration. */
+struct BnbOptions
+{
+    /** Maximum number of search-tree nodes to expand. */
+    long long maxNodes = 2'000'000;
+
+    /**
+     * Initial upper bound (cycles).  Values < 0 seed the bound from a
+     * heuristic schedule computed internally.
+     */
+    int initialBound = -1;
+};
+
+/** Search outcome. */
+struct BnbResult
+{
+    Schedule sched;
+    int cycles = 0;               ///< makespan of sched
+    bool optimal = false;         ///< proven optimal within budget
+    long long nodesExplored = 0;  ///< search-tree size
+};
+
+/**
+ * Find a provably optimal (or budget-best) schedule for @p dag on a
+ * single-issue machine.  The DAG's static annotations are refreshed
+ * internally; dynamic state is consumed.
+ */
+BnbResult scheduleOptimal(Dag &dag, const MachineModel &machine,
+                          const BnbOptions &opts = {});
+
+} // namespace sched91
+
+#endif // SCHED91_SCHED_BRANCH_AND_BOUND_HH

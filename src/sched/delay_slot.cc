@@ -1,0 +1,82 @@
+#include "sched/delay_slot.hh"
+
+#include <algorithm>
+
+#include "ir/opcode.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Is @p node's only influence on the branch the control anchor? */
+bool
+onlyControlToBranch(const Dag &dag, std::uint32_t node,
+                    std::uint32_t branch)
+{
+    for (std::uint32_t arc_id : dag.node(node).succArcs) {
+        const Arc &arc = dag.arc(arc_id);
+        if (arc.to != branch || arc.kind != DepKind::CTRL)
+            return false;
+    }
+    return !dag.node(node).succArcs.empty();
+}
+
+} // namespace
+
+DelaySlotResult
+fillBranchDelaySlot(const Dag &dag, Schedule &sched)
+{
+    DelaySlotResult result;
+    if (dag.size() < 2 || sched.order.empty())
+        return result;
+
+    std::uint32_t branch = dag.size() - 1;
+    const Instruction &tail = *dag.node(branch).inst;
+    if (!isControlTransfer(tail.cls()) || sched.order.back() != branch)
+        return result;
+
+    // Latest-scheduled candidate whose only tie to the branch is the
+    // control anchor: it contributes nothing the branch reads, so it
+    // may execute in the slot.
+    for (std::size_t p = sched.order.size() - 1; p-- > 0;) {
+        std::uint32_t node = sched.order[p];
+        if (!onlyControlToBranch(dag, node, branch))
+            continue;
+        // Rotate the filler past the branch.
+        sched.order.erase(sched.order.begin() +
+                          static_cast<std::ptrdiff_t>(p));
+        sched.order.push_back(node);
+        if (!sched.issueCycle.empty())
+            sched.issueCycle.clear(); // timings no longer meaningful
+        result.filled = true;
+        result.filler = node;
+        return result;
+    }
+    return result;
+}
+
+bool
+isValidModuloDelaySlot(const Dag &dag,
+                       const std::vector<std::uint32_t> &order)
+{
+    if (order.size() != dag.size())
+        return false;
+    std::vector<int> pos(dag.size(), -1);
+    for (std::uint32_t p = 0; p < order.size(); ++p) {
+        if (order[p] >= dag.size() || pos[order[p]] != -1)
+            return false;
+        pos[order[p]] = static_cast<int>(p);
+    }
+    std::uint32_t branch = dag.size() - 1;
+    for (const Arc &arc : dag.arcs()) {
+        if (arc.kind == DepKind::CTRL && arc.to == branch)
+            continue; // advisory anchor
+        if (pos[arc.from] >= pos[arc.to])
+            return false;
+    }
+    return true;
+}
+
+} // namespace sched91

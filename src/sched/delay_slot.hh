@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Branch delay-slot filling (paper Section 1: control hazards "can
+ * also be handled in a special manner, possibly by a delay slot
+ * scheduler").
+ *
+ * The block builders anchor every true leaf above the block-ending
+ * branch so it schedules last (Section 2).  On a delayed-branch
+ * machine like the SPARC, the instruction *after* the branch executes
+ * regardless of the branch outcome — so exactly one instruction whose
+ * only ordering constraint on the branch is that control anchor can
+ * legally move into the slot.  This pass picks such an instruction
+ * (the least critical one, scheduled latest) and moves it after the
+ * branch, replacing the nop a compiler would otherwise emit.
+ */
+
+#ifndef SCHED91_SCHED_DELAY_SLOT_HH
+#define SCHED91_SCHED_DELAY_SLOT_HH
+
+#include <cstdint>
+
+#include "dag/dag.hh"
+#include "sched/schedule.hh"
+
+namespace sched91
+{
+
+/** Outcome of the delay-slot pass. */
+struct DelaySlotResult
+{
+    bool filled = false;
+    std::uint32_t filler = 0; ///< node moved into the slot (if filled)
+};
+
+/**
+ * Try to move one instruction of @p sched into the delay slot after
+ * the block-ending branch (the last node).  The resulting order
+ * violates only the advisory control anchor arc; every data
+ * dependence still holds, so architectural semantics are preserved.
+ */
+DelaySlotResult fillBranchDelaySlot(const Dag &dag, Schedule &sched);
+
+/**
+ * Validity check that tolerates the relocated delay-slot filler:
+ * @p order must respect every arc except control arcs into the final
+ * branch.
+ */
+bool isValidModuloDelaySlot(const Dag &dag,
+                            const std::vector<std::uint32_t> &order);
+
+} // namespace sched91
+
+#endif // SCHED91_SCHED_DELAY_SLOT_HH

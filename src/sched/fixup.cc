@@ -1,0 +1,80 @@
+#include "sched/fixup.hh"
+
+#include <algorithm>
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Lookahead distance when hunting for a slot filler. */
+constexpr std::size_t kFixupWindow = 64;
+
+} // namespace
+
+int
+applyPostpassFixup(const Dag &dag, Schedule &sched)
+{
+    const std::size_t n = sched.order.size();
+    std::vector<int> pos(dag.size(), 0);
+    for (std::size_t p = 0; p < n; ++p)
+        pos[sched.order[p]] = static_cast<int>(p);
+
+    std::vector<int> dep_ready(dag.size(), 0);
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        dep_ready[i] = dag.node(i).ann.inheritedEet;
+    int moved = 0;
+    int time = 0;
+
+    for (std::size_t p = 0; p < n; ++p) {
+        std::uint32_t node = sched.order[p];
+        int issue = std::max(time, dep_ready[node]);
+
+        if (issue > time) {
+            // Stall cycle(s): look ahead for an instruction that is
+            // ready now and whose parents are all already placed.
+            std::size_t limit = std::min(n, p + 1 + kFixupWindow);
+            for (std::size_t q = p + 1; q < limit; ++q) {
+                std::uint32_t cand = sched.order[q];
+                if (dep_ready[cand] > time)
+                    continue;
+                bool parents_placed = true;
+                for (std::uint32_t arc_id : dag.node(cand).predArcs) {
+                    if (pos[dag.arc(arc_id).from] >=
+                        static_cast<int>(p)) {
+                        parents_placed = false;
+                        break;
+                    }
+                }
+                if (!parents_placed)
+                    continue;
+
+                // Move the candidate up into the stall slot.
+                std::rotate(sched.order.begin() +
+                                static_cast<std::ptrdiff_t>(p),
+                            sched.order.begin() +
+                                static_cast<std::ptrdiff_t>(q),
+                            sched.order.begin() +
+                                static_cast<std::ptrdiff_t>(q) + 1);
+                for (std::size_t r = p; r <= q; ++r)
+                    pos[sched.order[r]] = static_cast<int>(r);
+                node = cand;
+                issue = std::max(time, dep_ready[node]);
+                ++moved;
+                break;
+            }
+        }
+
+        for (std::uint32_t arc_id : dag.node(node).succArcs) {
+            const Arc &arc = dag.arc(arc_id);
+            dep_ready[arc.to] =
+                std::max(dep_ready[arc.to], issue + arc.delay);
+        }
+        time = issue + 1;
+    }
+
+    return moved;
+}
+
+} // namespace sched91

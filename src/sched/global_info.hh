@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Global scheduling information: operation latencies inherited from
+ * the immediately preceding basic block.
+ *
+ * Paper Section 2: "If global information (i.e., across basic blocks)
+ * is considered, there may be pseudo-nodes and arcs to represent
+ * operation latencies inherited from immediately preceding blocks.
+ * This extra information can be used to avoid dependency stalls and
+ * structural hazards that a purely local algorithm would ignore" —
+ * and Section 7 lists "determining the benefits of global scheduling
+ * information" as future work.
+ *
+ * This module implements the mechanism: after a block is scheduled,
+ * the dangling latencies of its final operations (a load issued in
+ * the last cycle still owes its destination register a cycle in the
+ * next block) are summarized per resource slot; the next block's DAG
+ * then receives inherited earliest-execution-time floors on every
+ * node touching a late resource — the pseudo-arc information without
+ * materializing pseudo-nodes.  bench_global measures the benefit.
+ */
+
+#ifndef SCHED91_SCHED_GLOBAL_INFO_HH
+#define SCHED91_SCHED_GLOBAL_INFO_HH
+
+#include <array>
+#include <cstdint>
+
+#include "dag/dag.hh"
+#include "machine/machine_model.hh"
+#include "sched/schedule.hh"
+
+namespace sched91
+{
+
+/** Per-resource readiness carried across a block boundary. */
+struct InheritedLatencies
+{
+    /**
+     * ready[slot]: cycles after the next block's first issue slot at
+     * which the resource becomes available (0 = no carried latency).
+     */
+    std::array<int, Resource::kNumSlots> ready{};
+
+    bool
+    any() const
+    {
+        for (int r : ready)
+            if (r > 0)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Dangling latencies a scheduled block leaves behind: for each
+ * resource defined by the block, how far past the block's final issue
+ * slot its value settles.  @p sched must carry issue cycles (as
+ * produced by ListScheduler).
+ */
+InheritedLatencies computeOutgoingLatencies(const Dag &dag,
+                                            const Schedule &sched,
+                                            const MachineModel &machine);
+
+/**
+ * Install inherited floors on @p dag: every node using or defining a
+ * late resource gets NodeAnnotations::inheritedEet, which
+ * initDynamicState() folds into the node's starting earliest
+ * execution time, steering timing-driven schedulers away from the
+ * carried stalls.
+ */
+void applyInheritedLatencies(Dag &dag, const InheritedLatencies &in);
+
+/**
+ * Per-node initial readiness for the pipeline simulator, so measured
+ * cycles account for carried latencies whether or not the scheduler
+ * knew about them.
+ */
+std::vector<int> inheritedReadyTimes(const Dag &dag,
+                                     const InheritedLatencies &in);
+
+} // namespace sched91
+
+#endif // SCHED91_SCHED_GLOBAL_INFO_HH

@@ -1,0 +1,280 @@
+#include "sched/list_scheduler.hh"
+
+#include <algorithm>
+
+#include "heuristics/dynamic.hh"
+#include "machine/function_unit.hh"
+#include "sched/fixup.hh"
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** Mutable evaluation context for the dynamic ("v") heuristics. */
+struct EvalContext
+{
+    std::int64_t last = -1; ///< most recently scheduled node
+    int lastGroup = -1;     ///< its issue group
+    const FuState *fus = nullptr;
+    int time = 0;
+};
+
+/** Evaluate one heuristic for candidate @p n. */
+long long
+evaluate(const Dag &dag, std::uint32_t n, const RankedHeuristic &rh,
+         const EvalContext &ctx, const MachineModel &machine)
+{
+    const DagNode &node = dag.node(n);
+    switch (rh.heuristic) {
+      case Heuristic::InterlockWithPrevious:
+        return interlocksWithPrevious(dag, n, ctx.last) ? 1 : 0;
+      case Heuristic::EarliestExecutionTime:
+        // EET acts as admission: every candidate already issueable at
+        // the current time ranks equally (the paper admits nodes with
+        // "EET <= current time"); later heuristics break the tie.
+        return std::max<long long>(node.ann.earliestExecTime, ctx.time);
+      case Heuristic::FpuBusyTimes: {
+        if (!ctx.fus)
+            return 0;
+        FuKind fu = machine.fuFor(node.inst->cls());
+        return std::max(0, ctx.fus->earliestFree(fu, ctx.time) - ctx.time);
+      }
+      case Heuristic::AlternateType:
+        return node.ann.altType != ctx.lastGroup ? 1 : 0;
+      case Heuristic::NumSingleParentChildren:
+        return numSingleParentChildren(dag, n);
+      case Heuristic::SumDelaysToSingleParentChildren:
+        return sumDelaysToSingleParentChildren(dag, n);
+      case Heuristic::NumUncoveredChildren:
+        return numUncoveredChildren(dag, n);
+      case Heuristic::BirthingInstruction:
+        return static_cast<long long>(node.ann.priorityBoost);
+      default:
+        return rh.phiMax ? staticValueMax(node, rh.heuristic)
+                         : staticValue(node, rh.heuristic);
+    }
+}
+
+/**
+ * True when candidate @p a beats candidate @p b under the ranked
+ * chain; ties fall through to original order (@p forward selects which
+ * end of the block "earlier" means).
+ */
+bool
+better(const Dag &dag, std::uint32_t a, std::uint32_t b,
+       const SchedulerConfig &config, const EvalContext &ctx,
+       const MachineModel &machine)
+{
+    for (const RankedHeuristic &rh : config.ranking) {
+        long long va = evaluate(dag, a, rh, ctx, machine);
+        long long vb = evaluate(dag, b, rh, ctx, machine);
+        if (va != vb)
+            return rh.preferLarger ? va > vb : va < vb;
+    }
+    return config.forward ? a < b : a > b;
+}
+
+/**
+ * Pick the best candidate.  The default path is a linear lexicographic
+ * scan; when @p stats is requested the pick runs as an explicit
+ * winnowing pass (paper Section 5: "apply heuristics in a given order
+ * in a winnowing-like process") recording the deciding rank.  Both
+ * paths select the same winner.
+ */
+std::size_t
+selectBest(const Dag &dag, const std::vector<std::uint32_t> &candidates,
+           const SchedulerConfig &config, const EvalContext &ctx,
+           const MachineModel &machine, DecisionStats *stats)
+{
+    SCHED91_ASSERT(!candidates.empty());
+    if (!stats) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < candidates.size(); ++i)
+            if (better(dag, candidates[i], candidates[best], config, ctx,
+                       machine)) {
+                best = i;
+            }
+        return best;
+    }
+
+    ++stats->totalPicks;
+    stats->decidedAtRank.resize(config.ranking.size(), 0);
+    if (candidates.size() == 1) {
+        ++stats->trivialPicks;
+        return 0;
+    }
+
+    std::vector<std::size_t> alive(candidates.size());
+    for (std::size_t i = 0; i < alive.size(); ++i)
+        alive[i] = i;
+
+    for (std::size_t r = 0; r < config.ranking.size(); ++r) {
+        const RankedHeuristic &rh = config.ranking[r];
+        long long best_value =
+            evaluate(dag, candidates[alive[0]], rh, ctx, machine);
+        std::vector<std::size_t> kept{alive[0]};
+        for (std::size_t k = 1; k < alive.size(); ++k) {
+            long long v =
+                evaluate(dag, candidates[alive[k]], rh, ctx, machine);
+            bool better_value =
+                rh.preferLarger ? v > best_value : v < best_value;
+            if (better_value) {
+                best_value = v;
+                kept.clear();
+                kept.push_back(alive[k]);
+            } else if (v == best_value) {
+                kept.push_back(alive[k]);
+            }
+        }
+        alive = std::move(kept);
+        if (alive.size() == 1) {
+            ++stats->decidedAtRank[r];
+            return alive[0];
+        }
+    }
+
+    ++stats->originalOrderTies;
+    std::size_t best = alive[0];
+    for (std::size_t k : alive) {
+        bool wins = config.forward ? candidates[k] < candidates[best]
+                                   : candidates[k] > candidates[best];
+        if (wins)
+            best = k;
+    }
+    return best;
+}
+
+/** Compute issue cycles and makespan for a completed order. */
+void
+fillTiming(const Dag &dag, Schedule &sched)
+{
+    // Inherited cross-block floors participate in the timing just
+    // like dependence arcs from a previous block would.
+    std::vector<int> dep_ready(dag.size(), 0);
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        dep_ready[i] = dag.node(i).ann.inheritedEet;
+    sched.issueCycle.assign(sched.order.size(), 0);
+    int time = 0;
+    sched.makespan = 0;
+    for (std::size_t p = 0; p < sched.order.size(); ++p) {
+        std::uint32_t n = sched.order[p];
+        int issue = std::max(time, dep_ready[n]);
+        sched.issueCycle[p] = issue;
+        for (std::uint32_t arc_id : dag.node(n).succArcs) {
+            const Arc &arc = dag.arc(arc_id);
+            dep_ready[arc.to] =
+                std::max(dep_ready[arc.to], issue + arc.delay);
+        }
+        sched.makespan =
+            std::max(sched.makespan, issue + dag.node(n).ann.execTime);
+        time = issue + 1;
+    }
+}
+
+} // namespace
+
+Schedule
+ListScheduler::run(Dag &dag, DecisionStats *stats) const
+{
+    Schedule sched = config_.forward ? runForward(dag, stats)
+                                     : runBackward(dag, stats);
+    if (config_.postpassFixup)
+        applyPostpassFixup(dag, sched);
+    fillTiming(dag, sched);
+    return sched;
+}
+
+Schedule
+ListScheduler::runForward(Dag &dag, DecisionStats *stats) const
+{
+    initDynamicState(dag);
+
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        if (dag.node(i).numParents == 0)
+            candidates.push_back(i);
+
+    FuState fus(machine_);
+    EvalContext ctx;
+    ctx.fus = &fus;
+
+    Schedule sched;
+    sched.order.reserve(dag.size());
+    int time = 0;
+
+    while (!candidates.empty()) {
+        ctx.time = time;
+        std::size_t best =
+            selectBest(dag, candidates, config_, ctx, machine_, stats);
+
+        std::uint32_t n = candidates[best];
+        candidates.erase(candidates.begin() +
+                         static_cast<std::ptrdiff_t>(best));
+
+        int issue = std::max(time, dag.node(n).ann.earliestExecTime);
+        sched.order.push_back(n);
+        fus.occupy(dag.node(n).inst->cls(), issue);
+        onScheduledForward(dag, n, issue);
+
+        for (std::uint32_t arc_id : dag.node(n).succArcs) {
+            std::uint32_t c = dag.arc(arc_id).to;
+            if (dag.node(c).ann.unscheduledParents == 0)
+                candidates.push_back(c);
+        }
+
+        time = issue + 1;
+        ctx.last = n;
+        ctx.lastGroup = dag.node(n).ann.altType;
+    }
+
+    SCHED91_ASSERT(sched.order.size() == dag.size(),
+                   "scheduler lost nodes (cyclic DAG?)");
+    return sched;
+}
+
+Schedule
+ListScheduler::runBackward(Dag &dag, DecisionStats *stats) const
+{
+    initDynamicState(dag);
+
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        if (dag.node(i).numChildren == 0)
+            candidates.push_back(i);
+
+    EvalContext ctx; // no FU / time context in a backward pass
+
+    Schedule sched;
+    sched.order.reserve(dag.size());
+
+    while (!candidates.empty()) {
+        std::size_t best =
+            selectBest(dag, candidates, config_, ctx, machine_, stats);
+
+        std::uint32_t n = candidates[best];
+        candidates.erase(candidates.begin() +
+                         static_cast<std::ptrdiff_t>(best));
+
+        sched.order.push_back(n);
+        onScheduledBackward(dag, n, config_.birthing);
+
+        for (std::uint32_t arc_id : dag.node(n).predArcs) {
+            std::uint32_t p = dag.arc(arc_id).from;
+            if (dag.node(p).ann.unscheduledChildren == 0)
+                candidates.push_back(p);
+        }
+
+        ctx.last = n;
+        ctx.lastGroup = dag.node(n).ann.altType;
+    }
+
+    SCHED91_ASSERT(sched.order.size() == dag.size(),
+                   "scheduler lost nodes (cyclic DAG?)");
+    std::reverse(sched.order.begin(), sched.order.end());
+    return sched;
+}
+
+} // namespace sched91

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Generic list scheduler parameterized by a ranked heuristic chain.
+ *
+ * "List scheduling algorithms examine a candidate list of ready-to-
+ * execute instructions at each time step and apply one or more
+ * heuristics to determine the 'best' instruction to issue" (Section 1).
+ * Some published algorithms combine heuristics into a single priority
+ * value, others "apply heuristics in a given order in a winnowing-like
+ * process" (Section 5); both are realized here as a lexicographic
+ * comparison over the ranked chain — equivalent to a priority function
+ * whose rank weights are sufficiently separated — with original
+ * program order as the final deterministic tie break.
+ *
+ * A forward pass admits a node once all parents are scheduled, ranks
+ * candidates (typically with earliest execution time first), issues
+ * the winner no earlier than its earliest execution time, and updates
+ * its children's dynamic state.  A backward pass fills the block from
+ * the end: a node is a candidate once all children are scheduled.
+ */
+
+#ifndef SCHED91_SCHED_LIST_SCHEDULER_HH
+#define SCHED91_SCHED_LIST_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "dag/dag.hh"
+#include "heuristics/heuristic.hh"
+#include "machine/machine_model.hh"
+#include "sched/schedule.hh"
+
+namespace sched91
+{
+
+/** One entry of the winnowing chain. */
+struct RankedHeuristic
+{
+    Heuristic heuristic;
+    bool preferLarger = true; ///< false: smaller value wins
+    bool phiMax = false;      ///< max form of a phi heuristic
+};
+
+/** Configuration of one scheduling algorithm. */
+struct SchedulerConfig
+{
+    std::string name = "list";
+
+    /** Scheduling pass direction. */
+    bool forward = true;
+
+    /** Ranked heuristics, most important first. */
+    std::vector<RankedHeuristic> ranking;
+
+    /**
+     * Tiemann's birthing adjustment: in a backward pass, bump the
+     * priority of each RAW parent of the node just scheduled.
+     */
+    bool birthing = false;
+
+    /**
+     * Krishnamurthy-style postpass fixup: after a forward pass, try to
+     * pull later independent instructions into stall slots.
+     */
+    bool postpassFixup = false;
+
+    /**
+     * Which static heuristic passes this algorithm requires (used by
+     * the Pipeline to run only the work the algorithm needs, mirroring
+     * Table 2's per-algorithm pass analysis).
+     */
+    bool needsForwardPass = false;
+    bool needsBackwardPass = false;
+    bool needsDescendants = false;
+    bool needsRegisterPressure = false;
+};
+
+/**
+ * Which heuristic ranks actually decide the picks.  Section 5 of the
+ * paper observes that low-ranked heuristics may be removable ("the
+ * use of minimum path to a root in Shieh and Papachristou could
+ * possibly be omitted or replaced with little effect because it is
+ * the last heuristic to be applied"); these counters measure that.
+ */
+struct DecisionStats
+{
+    /** Picks resolved at each rank of the winnowing chain. */
+    std::vector<long long> decidedAtRank;
+
+    /** Picks that fell through every rank to the original-order tie. */
+    long long originalOrderTies = 0;
+
+    /** Picks with a single candidate (no decision needed). */
+    long long trivialPicks = 0;
+
+    long long totalPicks = 0;
+};
+
+/** The generic engine. */
+class ListScheduler
+{
+  public:
+    /** The configuration is copied, so temporaries are safe to pass;
+     * the machine model must outlive the scheduler. */
+    ListScheduler(SchedulerConfig config, const MachineModel &machine)
+        : config_(std::move(config)), machine_(machine)
+    {
+    }
+
+    /**
+     * Schedule @p dag.  Dynamic state in the node annotations is
+     * (re)initialized; static annotations must already be computed.
+     * When @p stats is non-null, candidate selection runs as an
+     * explicit winnowing pass and records which rank decided each
+     * pick (same winners, slightly different bookkeeping cost).
+     */
+    Schedule run(Dag &dag, DecisionStats *stats = nullptr) const;
+
+  private:
+    Schedule runForward(Dag &dag, DecisionStats *stats) const;
+    Schedule runBackward(Dag &dag, DecisionStats *stats) const;
+
+    SchedulerConfig config_;
+    const MachineModel &machine_;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_SCHED_LIST_SCHEDULER_HH

@@ -1,0 +1,78 @@
+#include "sched/pipeline_sim.hh"
+
+#include <algorithm>
+
+#include "machine/function_unit.hh"
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+SimResult
+simulateSchedule(const Dag &ground_truth,
+                 const std::vector<std::uint32_t> &order,
+                 const MachineModel &machine,
+                 const std::vector<int> *initial_ready)
+{
+    SCHED91_ASSERT(isValidTopologicalOrder(ground_truth, order),
+                   "schedule violates dependences");
+
+    std::vector<int> dep_ready(ground_truth.size(), 0);
+    if (initial_ready) {
+        SCHED91_ASSERT(initial_ready->size() == ground_truth.size());
+        dep_ready = *initial_ready;
+    }
+    FuState fus(machine);
+
+    SimResult result;
+    int cycle = 0;
+    int issued_this_cycle = 0;
+    unsigned groups_used = 0;
+    int prev_issue = -1;
+
+    for (std::uint32_t n : order) {
+        const DagNode &node = ground_truth.node(n);
+        InstClass cls = node.inst->cls();
+        unsigned group_bit = 1u << static_cast<unsigned>(node.inst->group());
+
+        int earliest = std::max(dep_ready[n],
+                                fus.earliestFree(machine.fuFor(cls), 0));
+        int t = std::max(cycle, earliest);
+
+        auto reset_cycle = [&](int new_cycle) {
+            cycle = new_cycle;
+            issued_this_cycle = 0;
+            groups_used = 0;
+        };
+
+        if (t > cycle)
+            reset_cycle(t);
+        // Issue-slot and group constraints (superscalar only).
+        while (issued_this_cycle >= machine.issueWidth ||
+               (machine.issueWidth > 1 && (groups_used & group_bit))) {
+            reset_cycle(cycle + 1);
+        }
+
+        int issue = cycle;
+        ++issued_this_cycle;
+        groups_used |= group_bit;
+        fus.occupy(cls, issue);
+
+        int latency = machine.latency(cls);
+        result.cycles = std::max(result.cycles, issue + latency);
+        if (prev_issue >= 0)
+            result.stallCycles += std::max(0, issue - prev_issue - 1);
+        prev_issue = issue;
+        result.lastIssue = issue;
+
+        for (std::uint32_t arc_id : node.succArcs) {
+            const Arc &arc = ground_truth.arc(arc_id);
+            dep_ready[arc.to] =
+                std::max(dep_ready[arc.to], issue + arc.delay);
+        }
+    }
+
+    return result;
+}
+
+} // namespace sched91

@@ -1,0 +1,70 @@
+#include "sched/registry.hh"
+
+#include "sched/algorithms/algorithms.hh"
+#include "sched/simple_forward.hh"
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+AlgorithmSpec
+algorithmSpec(AlgorithmKind kind)
+{
+    switch (kind) {
+      case AlgorithmKind::GibbonsMuchnick:
+        return {kind, gibbonsMuchnickConfig(), BuilderKind::N2Backward,
+                "Gibbons & Muchnick, SIGPLAN '86 [3]"};
+      case AlgorithmKind::Krishnamurthy:
+        return {kind, krishnamurthyConfig(), BuilderKind::TableForward,
+                "Krishnamurthy, Clemson M.S. '90 [8]"};
+      case AlgorithmKind::Schlansker:
+        return {kind, schlanskerConfig(), BuilderKind::TableForward,
+                "Schlansker, ASPLOS-IV tutorial '91 [12]"};
+      case AlgorithmKind::ShiehPapachristou:
+        return {kind, shiehPapachristouConfig(), BuilderKind::TableForward,
+                "Shieh & Papachristou, MICRO-22 '89 [13]"};
+      case AlgorithmKind::Tiemann:
+        return {kind, tiemannConfig(), BuilderKind::TableForward,
+                "Tiemann, GNU scheduler '89 [15]"};
+      case AlgorithmKind::Warren:
+        return {kind, warrenConfig(), BuilderKind::N2Forward,
+                "Warren, IBM JRD '90 [16]"};
+      case AlgorithmKind::SimpleForward:
+        return {kind, simpleForwardConfig(), BuilderKind::TableForward,
+                "Section 6 comparison pass"};
+    }
+    panic("bad algorithm kind");
+}
+
+std::vector<AlgorithmKind>
+publishedAlgorithms()
+{
+    return {AlgorithmKind::GibbonsMuchnick, AlgorithmKind::Krishnamurthy,
+            AlgorithmKind::Schlansker, AlgorithmKind::ShiehPapachristou,
+            AlgorithmKind::Tiemann, AlgorithmKind::Warren};
+}
+
+std::vector<AlgorithmKind>
+allAlgorithms()
+{
+    auto v = publishedAlgorithms();
+    v.push_back(AlgorithmKind::SimpleForward);
+    return v;
+}
+
+std::string_view
+algorithmName(AlgorithmKind kind)
+{
+    switch (kind) {
+      case AlgorithmKind::GibbonsMuchnick: return "gibbons-muchnick";
+      case AlgorithmKind::Krishnamurthy: return "krishnamurthy";
+      case AlgorithmKind::Schlansker: return "schlansker";
+      case AlgorithmKind::ShiehPapachristou: return "shieh-papachristou";
+      case AlgorithmKind::Tiemann: return "tiemann";
+      case AlgorithmKind::Warren: return "warren";
+      case AlgorithmKind::SimpleForward: return "simple-forward";
+    }
+    return "?";
+}
+
+} // namespace sched91

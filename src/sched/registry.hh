@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Registry tying scheduling algorithms to their Table 2 metadata:
+ * configuration for the list-scheduling engine, preferred DAG
+ * construction algorithm, and citation.
+ */
+
+#ifndef SCHED91_SCHED_REGISTRY_HH
+#define SCHED91_SCHED_REGISTRY_HH
+
+#include <string_view>
+#include <vector>
+
+#include "dag/builder.hh"
+#include "sched/list_scheduler.hh"
+
+namespace sched91
+{
+
+/** The six published algorithms plus the Section 6 comparison pass. */
+enum class AlgorithmKind : std::uint8_t {
+    GibbonsMuchnick,
+    Krishnamurthy,
+    Schlansker,
+    ShiehPapachristou,
+    Tiemann,
+    Warren,
+    SimpleForward,
+};
+
+/** One Table 2 column. */
+struct AlgorithmSpec
+{
+    AlgorithmKind kind;
+    SchedulerConfig config;
+    /** The DAG construction the reference used ("n.g." entries map to
+     * table-forward, the cheapest correct choice). */
+    BuilderKind preferredBuilder;
+    const char *citation;
+};
+
+/** Specification of one algorithm. */
+AlgorithmSpec algorithmSpec(AlgorithmKind kind);
+
+/** The six published algorithms (Table 2 order). */
+std::vector<AlgorithmKind> publishedAlgorithms();
+
+/** All algorithms including the Section 6 simple pass. */
+std::vector<AlgorithmKind> allAlgorithms();
+
+/** Display name. */
+std::string_view algorithmName(AlgorithmKind kind);
+
+} // namespace sched91
+
+#endif // SCHED91_SCHED_REGISTRY_HH

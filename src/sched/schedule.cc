@@ -1,0 +1,36 @@
+#include "sched/schedule.hh"
+
+#include <numeric>
+
+namespace sched91
+{
+
+bool
+isValidTopologicalOrder(const Dag &dag,
+                        const std::vector<std::uint32_t> &order)
+{
+    if (order.size() != dag.size())
+        return false;
+    std::vector<int> pos(dag.size(), -1);
+    for (std::uint32_t p = 0; p < order.size(); ++p) {
+        if (order[p] >= dag.size() || pos[order[p]] != -1)
+            return false; // not a permutation
+        pos[order[p]] = static_cast<int>(p);
+    }
+    for (const Arc &arc : dag.arcs())
+        if (pos[arc.from] >= pos[arc.to])
+            return false;
+    return true;
+}
+
+Schedule
+originalOrderSchedule(const Dag &dag)
+{
+    Schedule s;
+    s.order.resize(dag.size());
+    std::iota(s.order.begin(), s.order.end(), 0);
+    s.issueCycle.assign(dag.size(), 0);
+    return s;
+}
+
+} // namespace sched91

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Schedule results and validity checks.
+ */
+
+#ifndef SCHED91_SCHED_SCHEDULE_HH
+#define SCHED91_SCHED_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/dag.hh"
+
+namespace sched91
+{
+
+/** The result of scheduling one basic block. */
+struct Schedule
+{
+    /** Block-relative node ids in issue order (a permutation). */
+    std::vector<std::uint32_t> order;
+
+    /** Issue cycle per order position (scheduler's own accounting). */
+    std::vector<int> issueCycle;
+
+    /** Scheduler's estimate of total cycles (see PipelineSim for the
+     * authoritative measurement). */
+    int makespan = 0;
+};
+
+/** True when @p order is a permutation respecting every arc of @p dag. */
+bool isValidTopologicalOrder(const Dag &dag,
+                             const std::vector<std::uint32_t> &order);
+
+/** The identity (original program order) schedule. */
+Schedule originalOrderSchedule(const Dag &dag);
+
+} // namespace sched91
+
+#endif // SCHED91_SCHED_SCHEDULE_HH

@@ -1,0 +1,21 @@
+#include "sched/simple_forward.hh"
+
+namespace sched91
+{
+
+SchedulerConfig
+simpleForwardConfig()
+{
+    SchedulerConfig c;
+    c.name = "simple-forward";
+    c.forward = true;
+    c.ranking = {
+        {Heuristic::MaxDelayToLeaf, /*preferLarger=*/true},
+        {Heuristic::MaxPathToLeaf, true},
+        {Heuristic::DelaysToChildren, true, /*phiMax=*/true},
+    };
+    c.needsBackwardPass = true;
+    return c;
+}
+
+} // namespace sched91

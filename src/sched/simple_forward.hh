@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The "simple forward scheduling pass" of Section 6.
+ *
+ * The paper's construction-algorithm comparison pairs each builder
+ * with this pass: "The following backward static heuristics are used:
+ * max path to leaf, max delay to leaf, and max delay to child."  Each
+ * run thus makes two passes over the instructions (DAG construction
+ * plus the intermediate backward heuristic pass) and one scheduling
+ * pass over the DAG — the structure whose timing Tables 4 and 5
+ * report.
+ */
+
+#ifndef SCHED91_SCHED_SIMPLE_FORWARD_HH
+#define SCHED91_SCHED_SIMPLE_FORWARD_HH
+
+#include "sched/list_scheduler.hh"
+
+namespace sched91
+{
+
+/** Configuration of the Section 6 comparison scheduler. */
+SchedulerConfig simpleForwardConfig();
+
+} // namespace sched91
+
+#endif // SCHED91_SCHED_SIMPLE_FORWARD_HH

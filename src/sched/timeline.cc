@@ -1,0 +1,135 @@
+#include "sched/timeline.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "machine/function_unit.hh"
+#include "support/string_util.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+char
+positionMark(std::size_t pos)
+{
+    static const char digits[] =
+        "0123456789abcdefghijklmnopqrstuvwxyz";
+    return digits[pos % 36];
+}
+
+const char *
+fuName(FuKind kind)
+{
+    switch (kind) {
+      case FuKind::IntAlu: return "int-alu";
+      case FuKind::IntMulDiv: return "int-muldiv";
+      case FuKind::MemPort: return "mem-port";
+      case FuKind::BranchUnit: return "branch";
+      case FuKind::FpAdd: return "fp-add";
+      case FuKind::FpMul: return "fp-mul";
+      case FuKind::FpDivSqrt: return "fp-divsqrt";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+std::string
+renderTimeline(const Dag &dag, const std::vector<std::uint32_t> &order,
+               const MachineModel &machine, const TimelineOptions &opts)
+{
+    // Replay with the pipeline simulator's rules, recording placements.
+    struct Placement
+    {
+        FuKind fu;
+        int issue;
+        int busy;
+        char mark;
+    };
+    std::vector<Placement> placements;
+
+    std::vector<int> dep_ready(dag.size(), 0);
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        dep_ready[i] = dag.node(i).ann.inheritedEet;
+    FuState fus(machine);
+    int cycle = 0;
+    int issued = 0;
+    unsigned groups = 0;
+    int last_cycle = 0;
+
+    for (std::size_t p = 0; p < order.size(); ++p) {
+        std::uint32_t n = order[p];
+        InstClass cls = dag.node(n).inst->cls();
+        unsigned bit = 1u << static_cast<unsigned>(dag.node(n).inst
+                                                       ->group());
+        int t = std::max({cycle, dep_ready[n],
+                          fus.earliestFree(machine.fuFor(cls), 0)});
+        if (t > cycle) {
+            cycle = t;
+            issued = 0;
+            groups = 0;
+        }
+        while (issued >= machine.issueWidth ||
+               (machine.issueWidth > 1 && (groups & bit))) {
+            ++cycle;
+            issued = 0;
+            groups = 0;
+        }
+        ++issued;
+        groups |= bit;
+        fus.occupy(cls, cycle);
+        placements.push_back(Placement{machine.fuFor(cls), cycle,
+                                       machine.fuBusyCycles(cls),
+                                       positionMark(p)});
+        last_cycle = std::max(last_cycle,
+                              cycle + machine.fuBusyCycles(cls));
+        for (std::uint32_t arc_id : dag.node(n).succArcs) {
+            const Arc &arc = dag.arc(arc_id);
+            dep_ready[arc.to] =
+                std::max(dep_ready[arc.to], cycle + arc.delay);
+        }
+    }
+
+    int width = std::min(last_cycle, opts.maxCycles);
+    bool truncated = last_cycle > opts.maxCycles;
+
+    std::ostringstream os;
+    // Cycle ruler (tens).
+    os << padRight("", 12);
+    for (int c = 0; c < width; ++c)
+        os << (c % 10 == 0 ? static_cast<char>('0' + (c / 10) % 10)
+                           : ' ');
+    os << "\n";
+
+    for (int k = 0; k < kNumFuKinds; ++k) {
+        FuKind kind = static_cast<FuKind>(k);
+        std::string row(static_cast<std::size_t>(width), '.');
+        bool used = false;
+        for (const Placement &pl : placements) {
+            if (pl.fu != kind)
+                continue;
+            used = true;
+            if (pl.issue < width)
+                row[pl.issue] = pl.mark;
+            for (int b = 1; b < pl.busy && pl.issue + b < width; ++b)
+                if (row[pl.issue + b] == '.')
+                    row[pl.issue + b] = '=';
+        }
+        if (used)
+            os << padRight(fuName(kind), 12) << row
+               << (truncated ? "…" : "") << "\n";
+    }
+
+    if (opts.showLegend) {
+        os << "\n(" << order.size() << " instructions, "
+           << last_cycle << " cycles; digits mark issue position, "
+           << "'=' marks non-pipelined busy cycles)\n";
+    }
+    return os.str();
+}
+
+} // namespace sched91

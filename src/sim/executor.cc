@@ -1,0 +1,430 @@
+#include "sim/executor.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** splitmix64 finalizer for deterministic pseudo-values. */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Assemble a double from an even/odd FP register pair (even = high). */
+double
+readDouble(const ExecState &s, int reg)
+{
+    std::uint64_t bits =
+        (static_cast<std::uint64_t>(s.fpRegs[reg]) << 32) |
+        s.fpRegs[reg + 1];
+    return std::bit_cast<double>(bits);
+}
+
+void
+writeDouble(ExecState &s, int reg, double value)
+{
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+    s.fpRegs[reg] = static_cast<std::uint32_t>(bits >> 32);
+    s.fpRegs[reg + 1] = static_cast<std::uint32_t>(bits);
+}
+
+float
+readFloat(const ExecState &s, int reg)
+{
+    return std::bit_cast<float>(s.fpRegs[reg]);
+}
+
+void
+writeFloat(ExecState &s, int reg, float value)
+{
+    s.fpRegs[reg] = std::bit_cast<std::uint32_t>(value);
+}
+
+} // namespace
+
+Executor::Executor(std::uint64_t seed) : seed_(seed)
+{
+    for (int i = 1; i < 32; ++i) {
+        // Every register gets its own 16 MiB region (plus a seeded
+        // sub-offset), so distinct base registers never produce
+        // overlapping addresses for bounded displacements: this makes
+        // the expression-as-resource disambiguation policy
+        // (AliasPolicy::SymbolicExpr) sound at runtime, matching
+        // compiler output where distinct expressions name distinct
+        // objects.
+        state_.intRegs[i] =
+            0x1'0000'0000LL + (static_cast<std::int64_t>(i) << 24) +
+            (static_cast<std::int64_t>(mix(seed ^ i) & 0xfff0) << 4);
+    }
+    // Stack pointers live in a dedicated high range disjoint from the
+    // register regions and the symbolHash() range, making the
+    // storage-class disambiguation sound at runtime.
+    state_.intRegs[14] = 0x7000'0000'0000LL; // %sp
+    state_.intRegs[30] = 0x7000'0100'0000LL; // %fp
+    for (int i = 0; i < 32; ++i)
+        state_.fpRegs[i] = static_cast<std::uint32_t>(mix(seed ^ (100 + i)));
+}
+
+std::uint64_t
+Executor::memoryAddress(const MemOperand &mem) const
+{
+    std::uint64_t addr = 0;
+    if (!mem.symbol.empty())
+        addr += symbolHash(mem.symbol);
+    if (mem.base >= 0)
+        addr += static_cast<std::uint64_t>(state_.intRegs[mem.base]);
+    if (mem.index >= 0)
+        addr += static_cast<std::uint64_t>(state_.intRegs[mem.index]);
+    return addr + static_cast<std::uint64_t>(mem.offset);
+}
+
+std::uint64_t
+Executor::loadBytes(std::uint64_t addr, int width)
+{
+    std::uint64_t value = 0;
+    for (int b = 0; b < width; ++b) {
+        auto it = state_.memory.find(addr + b);
+        std::uint8_t byte =
+            it != state_.memory.end()
+                ? it->second
+                : static_cast<std::uint8_t>(mix(seed_ ^ (addr + b)));
+        value = (value << 8) | byte;
+    }
+    return value;
+}
+
+void
+Executor::storeBytes(std::uint64_t addr, std::uint64_t value, int width)
+{
+    for (int b = width - 1; b >= 0; --b) {
+        state_.memory[addr + b] = static_cast<std::uint8_t>(value);
+        value >>= 8;
+    }
+}
+
+void
+Executor::execute(const Instruction &inst)
+{
+    auto reg = [this](Resource r) -> std::int64_t {
+        return r.kind() == Resource::Kind::IntReg ? state_.intRegs[r.index()]
+                                                  : 0;
+    };
+    auto set_reg = [this](Resource r, std::int64_t v) {
+        if (r.kind() == Resource::Kind::IntReg && r.index() != 0)
+            state_.intRegs[r.index()] = v;
+    };
+
+    // Operand extraction from the def/use sets built by makeInstruction:
+    // integer sources are the position-0/1 uses; the destination is the
+    // first def.
+    auto use_at = [&inst](int pos) -> Resource {
+        const auto &uses = inst.uses();
+        const auto &positions = inst.usePositions();
+        for (std::size_t i = 0; i < uses.size(); ++i)
+            if (positions[i] == pos)
+                return uses[i];
+        return Resource();
+    };
+    Resource rs1 = use_at(0);
+    Resource rs2 = use_at(1);
+    Resource rd = inst.defs().empty() ? Resource() : inst.defs().front();
+
+    std::int64_t a = reg(rs1);
+    std::int64_t b = inst.usesImm() ? inst.imm() : reg(rs2);
+
+    auto set_icc = [this](std::int64_t result, bool carry, bool overflow) {
+        state_.icc.n = result < 0;
+        state_.icc.z = result == 0;
+        state_.icc.c = carry;
+        state_.icc.v = overflow;
+    };
+
+    switch (inst.op()) {
+      case Opcode::Add:
+        set_reg(rd, a + b);
+        break;
+      case Opcode::Sub:
+        set_reg(rd, a - b);
+        break;
+      case Opcode::And:
+        set_reg(rd, a & b);
+        break;
+      case Opcode::Or:
+        set_reg(rd, a | b);
+        break;
+      case Opcode::Xor:
+        set_reg(rd, a ^ b);
+        break;
+      case Opcode::Sll:
+        set_reg(rd, a << (b & 63));
+        break;
+      case Opcode::Srl:
+        set_reg(rd, static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(a) >> (b & 63)));
+        break;
+      case Opcode::Sra:
+        set_reg(rd, a >> (b & 63));
+        break;
+      case Opcode::Addcc: {
+        std::int64_t r = a + b;
+        set_reg(rd, r);
+        set_icc(r, static_cast<std::uint64_t>(r) <
+                       static_cast<std::uint64_t>(a),
+                ((a ^ r) & (b ^ r)) < 0);
+        break;
+      }
+      case Opcode::Subcc:
+      case Opcode::Cmp: {
+        std::int64_t r = a - b;
+        if (inst.op() == Opcode::Subcc)
+            set_reg(rd, r);
+        set_icc(r, static_cast<std::uint64_t>(a) <
+                       static_cast<std::uint64_t>(b),
+                ((a ^ b) & (a ^ r)) < 0);
+        break;
+      }
+      case Opcode::Mov:
+        set_reg(rd, inst.usesImm() ? inst.imm() : a);
+        break;
+      case Opcode::Sethi:
+        set_reg(rd, inst.imm() << 10);
+        break;
+      case Opcode::Smul: {
+        __int128 p = static_cast<__int128>(a) * b;
+        set_reg(rd, static_cast<std::int64_t>(p));
+        state_.y = static_cast<std::int64_t>(p >> 64);
+        break;
+      }
+      case Opcode::Sdiv: {
+        std::int64_t divisor = b == 0 ? 1 : b;
+        set_reg(rd, a / divisor);
+        break;
+      }
+
+      case Opcode::Ld:
+      case Opcode::Ldub:
+      case Opcode::Lduh: {
+        std::uint64_t v = loadBytes(memoryAddress(*inst.mem()),
+                                    inst.mem()->width);
+        set_reg(rd, static_cast<std::int64_t>(v));
+        break;
+      }
+      case Opcode::Ldsb: {
+        auto v = static_cast<std::int8_t>(
+            loadBytes(memoryAddress(*inst.mem()), 1));
+        set_reg(rd, v);
+        break;
+      }
+      case Opcode::Ldsh: {
+        auto v = static_cast<std::int16_t>(
+            loadBytes(memoryAddress(*inst.mem()), 2));
+        set_reg(rd, v);
+        break;
+      }
+      case Opcode::Ldx: {
+        std::uint64_t v = loadBytes(memoryAddress(*inst.mem()), 8);
+        set_reg(rd, static_cast<std::int64_t>(v));
+        break;
+      }
+      case Opcode::Stx:
+        storeBytes(memoryAddress(*inst.mem()),
+                   static_cast<std::uint64_t>(a), 8);
+        break;
+      case Opcode::Ldd: {
+        std::uint64_t v = loadBytes(memoryAddress(*inst.mem()), 8);
+        set_reg(rd, static_cast<std::int64_t>(v >> 32));
+        set_reg(Resource::intReg(rd.index() + 1),
+                static_cast<std::int64_t>(v & 0xffffffffULL));
+        break;
+      }
+      case Opcode::St:
+        storeBytes(memoryAddress(*inst.mem()),
+                   static_cast<std::uint64_t>(a), 4);
+        break;
+      case Opcode::Stb:
+        storeBytes(memoryAddress(*inst.mem()),
+                   static_cast<std::uint64_t>(a), 1);
+        break;
+      case Opcode::Sth:
+        storeBytes(memoryAddress(*inst.mem()),
+                   static_cast<std::uint64_t>(a), 2);
+        break;
+      case Opcode::Std: {
+        std::uint64_t v =
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(reg(rs1)))
+             << 32) |
+            static_cast<std::uint32_t>(
+                reg(Resource::intReg(rs1.index() + 1)));
+        storeBytes(memoryAddress(*inst.mem()), v, 8);
+        break;
+      }
+
+      case Opcode::Ldf:
+        state_.fpRegs[rd.index()] = static_cast<std::uint32_t>(
+            loadBytes(memoryAddress(*inst.mem()), 4));
+        break;
+      case Opcode::Lddf: {
+        std::uint64_t v = loadBytes(memoryAddress(*inst.mem()), 8);
+        state_.fpRegs[rd.index()] = static_cast<std::uint32_t>(v >> 32);
+        state_.fpRegs[rd.index() + 1] = static_cast<std::uint32_t>(v);
+        break;
+      }
+      case Opcode::Stf:
+        storeBytes(memoryAddress(*inst.mem()),
+                   state_.fpRegs[rs1.index()], 4);
+        break;
+      case Opcode::Stdf: {
+        std::uint64_t v =
+            (static_cast<std::uint64_t>(state_.fpRegs[rs1.index()]) << 32) |
+            state_.fpRegs[rs1.index() + 1];
+        storeBytes(memoryAddress(*inst.mem()), v, 8);
+        break;
+      }
+
+      case Opcode::Fadds:
+        writeFloat(state_, rd.index(),
+                   readFloat(state_, rs1.index()) +
+                       readFloat(state_, rs2.index()));
+        break;
+      case Opcode::Fsubs:
+        writeFloat(state_, rd.index(),
+                   readFloat(state_, rs1.index()) -
+                       readFloat(state_, rs2.index()));
+        break;
+      case Opcode::Fmuls:
+        writeFloat(state_, rd.index(),
+                   readFloat(state_, rs1.index()) *
+                       readFloat(state_, rs2.index()));
+        break;
+      case Opcode::Fdivs: {
+        float d = readFloat(state_, rs2.index());
+        writeFloat(state_, rd.index(),
+                   readFloat(state_, rs1.index()) / (d == 0.0f ? 1.0f : d));
+        break;
+      }
+      case Opcode::Faddd:
+        writeDouble(state_, rd.index(),
+                    readDouble(state_, rs1.index()) +
+                        readDouble(state_, rs2.index()));
+        break;
+      case Opcode::Fsubd:
+        writeDouble(state_, rd.index(),
+                    readDouble(state_, rs1.index()) -
+                        readDouble(state_, rs2.index()));
+        break;
+      case Opcode::Fmuld:
+        writeDouble(state_, rd.index(),
+                    readDouble(state_, rs1.index()) *
+                        readDouble(state_, rs2.index()));
+        break;
+      case Opcode::Fdivd: {
+        double d = readDouble(state_, rs2.index());
+        writeDouble(state_, rd.index(),
+                    readDouble(state_, rs1.index()) / (d == 0.0 ? 1.0 : d));
+        break;
+      }
+      case Opcode::Fsqrts:
+        writeFloat(state_, rd.index(),
+                   std::sqrt(std::fabs(readFloat(state_, rs1.index()))));
+        break;
+      case Opcode::Fsqrtd:
+        writeDouble(state_, rd.index(),
+                    std::sqrt(std::fabs(readDouble(state_, rs1.index()))));
+        break;
+      case Opcode::Fmovs:
+        state_.fpRegs[rd.index()] = state_.fpRegs[rs1.index()];
+        break;
+      case Opcode::Fnegs:
+        writeFloat(state_, rd.index(), -readFloat(state_, rs1.index()));
+        break;
+      case Opcode::Fabss:
+        writeFloat(state_, rd.index(),
+                   std::fabs(readFloat(state_, rs1.index())));
+        break;
+      case Opcode::Fcmps: {
+        float x = readFloat(state_, rs1.index());
+        float y = readFloat(state_, rs2.index());
+        state_.fcc = x < y ? -1 : (x > y ? 1 : (x == y ? 0 : 2));
+        break;
+      }
+      case Opcode::Fcmpd: {
+        double x = readDouble(state_, rs1.index());
+        double y = readDouble(state_, rs2.index());
+        state_.fcc = x < y ? -1 : (x > y ? 1 : (x == y ? 0 : 2));
+        break;
+      }
+      case Opcode::Fitos:
+        writeFloat(state_, rd.index(),
+                   static_cast<float>(static_cast<std::int32_t>(
+                       state_.fpRegs[rs1.index()])));
+        break;
+      case Opcode::Fitod:
+        writeDouble(state_, rd.index(),
+                    static_cast<double>(static_cast<std::int32_t>(
+                        state_.fpRegs[rs1.index()])));
+        break;
+      case Opcode::Fstoi:
+        state_.fpRegs[rd.index()] = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(readFloat(state_, rs1.index())));
+        break;
+      case Opcode::Fdtoi:
+        state_.fpRegs[rd.index()] = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(readDouble(state_, rs1.index())));
+        break;
+      case Opcode::Fstod:
+        writeDouble(state_, rd.index(),
+                    static_cast<double>(readFloat(state_, rs1.index())));
+        break;
+      case Opcode::Fdtos:
+        writeFloat(state_, rd.index(),
+                   static_cast<float>(readDouble(state_, rs1.index())));
+        break;
+
+      case Opcode::Call:
+        // Clobber the caller-saved registers deterministically (values
+        // depend only on the call's program position, so any valid
+        // schedule produces the same state).
+        for (int i = 8; i <= 13; ++i)
+            state_.intRegs[i] = static_cast<std::int64_t>(
+                mix(seed_ ^ (inst.index() * 31ull + i)) & 0xffff);
+        state_.intRegs[15] = static_cast<std::int64_t>(inst.index());
+        break;
+      case Opcode::Jmpl:
+        set_reg(rd, static_cast<std::int64_t>(inst.index()));
+        break;
+
+      case Opcode::Save:
+      case Opcode::Restore:
+        if (rd.valid())
+            set_reg(rd, a + (inst.usesImm() ? inst.imm() : reg(rs2)));
+        break;
+
+      default:
+        // Branches and nop: no architectural effect within the block.
+        break;
+    }
+}
+
+ExecState
+runBlock(const BlockView &block, const std::vector<std::uint32_t> &order,
+         std::uint64_t seed)
+{
+    SCHED91_ASSERT(order.size() == block.size(), "order size mismatch");
+    Executor exec(seed);
+    for (std::uint32_t n : order)
+        exec.execute(block.inst(n));
+    return exec.state();
+}
+
+} // namespace sched91

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Functional executor: architectural-state semantics for basic blocks.
+ *
+ * Used by the property tests to verify that scheduling preserves
+ * program semantics: a block is executed instruction by instruction in
+ * original order and in scheduled order from the same deterministic
+ * initial state, and the final states must match bit for bit.  Any
+ * dependence the DAG builders fail to represent shows up as a state
+ * divergence under some legal-looking reorder.
+ *
+ * The machine is a straight-line SPARC-like core: 32 64-bit integer
+ * registers (%g0 hardwired to zero), 32 single-precision FP register
+ * slots (doubles occupy even/odd pairs, even = high word), integer and
+ * FP condition codes, %y, and a byte-addressed sparse memory whose
+ * unwritten bytes read as a deterministic hash of their address.
+ * Initial register values are seeded deterministically; %sp and %fp
+ * point into a dedicated high address range disjoint from the range
+ * symbol hashes map into, so the storage-class disambiguation the DAG
+ * builders may apply is sound at runtime.
+ */
+
+#ifndef SCHED91_SIM_EXECUTOR_HH
+#define SCHED91_SIM_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dag/dag.hh"
+#include "ir/instruction.hh"
+
+namespace sched91
+{
+
+/** Integer condition codes. */
+struct CondCodes
+{
+    bool n = false, z = false, v = false, c = false;
+    bool operator==(const CondCodes &) const = default;
+};
+
+/** Complete architectural state. */
+struct ExecState
+{
+    std::array<std::int64_t, 32> intRegs{};
+    std::array<std::uint32_t, 32> fpRegs{};
+    CondCodes icc;
+    int fcc = 0; ///< -1 less, 0 equal, +1 greater, 2 unordered
+    std::int64_t y = 0;
+    std::map<std::uint64_t, std::uint8_t> memory; ///< written bytes only
+
+    bool operator==(const ExecState &) const = default;
+};
+
+/** Straight-line functional interpreter. */
+class Executor
+{
+  public:
+    /** Initialize registers deterministically from @p seed. */
+    explicit Executor(std::uint64_t seed);
+
+    /** Execute one instruction. */
+    void execute(const Instruction &inst);
+
+    const ExecState &state() const { return state_; }
+
+  private:
+    std::uint64_t memoryAddress(const MemOperand &mem) const;
+    std::uint64_t loadBytes(std::uint64_t addr, int width);
+    void storeBytes(std::uint64_t addr, std::uint64_t value, int width);
+
+    ExecState state_;
+    std::uint64_t seed_;
+};
+
+/**
+ * Execute the block in the given order (block-relative node ids) from
+ * a fresh seeded state and return the final state.
+ */
+ExecState runBlock(const BlockView &block,
+                   const std::vector<std::uint32_t> &order,
+                   std::uint64_t seed);
+
+} // namespace sched91
+
+#endif // SCHED91_SIM_EXECUTOR_HH

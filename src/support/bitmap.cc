@@ -1,0 +1,82 @@
+#include "support/bitmap.hh"
+
+#include <bit>
+
+namespace sched91
+{
+
+void
+Bitmap::resize(std::size_t num_bits)
+{
+    if (num_bits <= numBits_)
+        return;
+    numBits_ = num_bits;
+    words_.resize((num_bits + kBitsPerWord - 1) / kBitsPerWord, 0);
+}
+
+void
+Bitmap::set(std::size_t idx)
+{
+    if (idx >= numBits_)
+        resize(idx + 1);
+    words_[idx / kBitsPerWord] |= std::uint64_t{1} << (idx % kBitsPerWord);
+}
+
+void
+Bitmap::clear(std::size_t idx)
+{
+    if (idx >= numBits_)
+        return;
+    words_[idx / kBitsPerWord] &=
+        ~(std::uint64_t{1} << (idx % kBitsPerWord));
+}
+
+bool
+Bitmap::test(std::size_t idx) const
+{
+    if (idx >= numBits_)
+        return false;
+    return (words_[idx / kBitsPerWord] >>
+            (idx % kBitsPerWord)) & std::uint64_t{1};
+}
+
+void
+Bitmap::reset()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
+void
+Bitmap::orWith(const Bitmap &other)
+{
+    if (other.numBits_ > numBits_)
+        resize(other.numBits_);
+    for (std::size_t i = 0; i < other.words_.size(); ++i)
+        words_[i] |= other.words_[i];
+}
+
+std::size_t
+Bitmap::count() const
+{
+    std::size_t n = 0;
+    for (std::uint64_t w : words_)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+unsigned
+Bitmap::lowestBit(std::uint64_t word)
+{
+    return static_cast<unsigned>(std::countr_zero(word));
+}
+
+bool
+Bitmap::none() const
+{
+    for (std::uint64_t w : words_)
+        if (w)
+            return false;
+    return true;
+}
+
+} // namespace sched91

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dynamically sized bit map used for DAG reachability tracking.
+ *
+ * The paper (Section 2) describes reachability bit maps with "one bit
+ * position per node to indicate descendants"; the map for a node is
+ * initialized so the node can reach itself, and arc insertion ORs the
+ * child's map into the parent's.  #descendants is then the population
+ * count minus one (Section 3).  This class provides exactly those
+ * operations: test/set, whole-map OR, and popcount.
+ */
+
+#ifndef SCHED91_SUPPORT_BITMAP_HH
+#define SCHED91_SUPPORT_BITMAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sched91
+{
+
+/** Growable bit map with word-parallel OR and population count. */
+class Bitmap
+{
+  public:
+    Bitmap() = default;
+
+    /** Construct with at least @p num_bits bits, all clear. */
+    explicit Bitmap(std::size_t num_bits) { resize(num_bits); }
+
+    /** Grow (never shrinks) so that bit indices < @p num_bits are valid. */
+    void resize(std::size_t num_bits);
+
+    /** Number of addressable bits. */
+    std::size_t size() const { return numBits_; }
+
+    /** Set bit @p idx (auto-grows). */
+    void set(std::size_t idx);
+
+    /** Clear bit @p idx; out-of-range indices are already clear. */
+    void clear(std::size_t idx);
+
+    /** Test bit @p idx; out-of-range indices read as false. */
+    bool test(std::size_t idx) const;
+
+    /** Clear every bit, keeping capacity. */
+    void reset();
+
+    /** this |= other (auto-grows to other's size). */
+    void orWith(const Bitmap &other);
+
+    /** Number of set bits. */
+    std::size_t count() const;
+
+    /** True when no bit is set. */
+    bool none() const;
+
+    /** Words backing the map (for tests / fast scans). */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+    /** Invoke @p fn with the index of every set bit, ascending. */
+    template <typename F>
+    void
+    forEachSet(F &&fn) const
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t bits = words_[w];
+            while (bits) {
+                unsigned b = lowestBit(bits);
+                fn(w * kBitsPerWord + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+  private:
+    static constexpr std::size_t kBitsPerWord = 64;
+
+    /** Index of the lowest set bit of a nonzero word. */
+    static unsigned lowestBit(std::uint64_t word);
+
+    std::vector<std::uint64_t> words_;
+    std::size_t numBits_ = 0;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_SUPPORT_BITMAP_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal logging / assertion helpers, modeled on gem5's panic()/fatal()
+ * split: panic() means an internal library bug, fatal() means a user
+ * error (bad input, bad configuration).
+ */
+
+#ifndef SCHED91_SUPPORT_LOGGING_HH
+#define SCHED91_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sched91
+{
+
+/** Exception thrown for user-level errors (parse errors, bad config). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendAll(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Raise a FatalError for a condition that is the caller's fault
+ * (malformed assembly, inconsistent options, ...).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    throw FatalError(os.str());
+}
+
+/**
+ * Raise a PanicError for a condition that should be impossible if the
+ * library itself is correct.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Check an internal invariant; panic with a message if it fails. */
+#define SCHED91_ASSERT(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::sched91::panic("assertion failed: ", #cond, " ",             \
+                             ##__VA_ARGS__);                               \
+    } while (0)
+
+} // namespace sched91
+
+#endif // SCHED91_SUPPORT_LOGGING_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload synthesis.
+ *
+ * splitmix64 core with convenience draws.  Deterministic across
+ * platforms so that generated benchmark programs (and therefore the
+ * reproduced tables) are stable.
+ */
+
+#ifndef SCHED91_SUPPORT_PRNG_HH
+#define SCHED91_SUPPORT_PRNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace sched91
+{
+
+/** splitmix64-based deterministic PRNG. */
+class Prng
+{
+  public:
+    explicit Prng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Draw from a geometric-ish heavy-tailed distribution with the
+     * given mean, clamped to [1, max].  Used for basic block sizes.
+     */
+    int
+    heavyTail(double mean, int max)
+    {
+        // Exponential with the requested mean, occasionally boosted to
+        // produce the long tail seen in FP benchmarks.
+        double u = uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        double x = -mean * std::log(u);
+        int v = static_cast<int>(x) + 1;
+        return v > max ? max : v;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_SUPPORT_PRNG_HH

@@ -1,0 +1,16 @@
+#include "support/stats.hh"
+
+#include <cstdio>
+
+namespace sched91
+{
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+} // namespace sched91

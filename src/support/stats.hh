@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small statistics accumulators used by the structural-data tables.
+ *
+ * Tables 3-5 in the paper report max/avg pairs (instructions per basic
+ * block, children per instruction, arcs per basic block, unique memory
+ * expressions per block).  MinMaxAvg collects exactly that.
+ */
+
+#ifndef SCHED91_SUPPORT_STATS_HH
+#define SCHED91_SUPPORT_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace sched91
+{
+
+/** Streaming min / max / mean accumulator. */
+class MinMaxAvg
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void
+    add(double sample)
+    {
+        ++count_;
+        sum_ += sample;
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double avg() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const MinMaxAvg &other)
+    {
+        if (other.count_ == 0)
+            return;
+        count_ += other.count_;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Format a double with @p decimals digits after the point. */
+std::string formatFixed(double value, int decimals);
+
+} // namespace sched91
+
+#endif // SCHED91_SUPPORT_STATS_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * String helpers for the assembly parser and table printers.
+ */
+
+#ifndef SCHED91_SUPPORT_STRING_UTIL_HH
+#define SCHED91_SUPPORT_STRING_UTIL_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sched91
+{
+
+/** Strip leading/trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a delimiter character, trimming each piece. */
+std::vector<std::string> splitTrim(std::string_view s, char delim);
+
+/**
+ * Split an operand list on top-level commas, i.e. commas not inside
+ * brackets, so "[%o0+4],%g1" yields two pieces.
+ */
+std::vector<std::string> splitOperands(std::string_view s);
+
+/** True when @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** Left-pad @p s with spaces to @p width columns. */
+std::string padLeft(std::string_view s, std::size_t width);
+
+/** Right-pad @p s with spaces to @p width columns. */
+std::string padRight(std::string_view s, std::size_t width);
+
+} // namespace sched91
+
+#endif // SCHED91_SUPPORT_STRING_UTIL_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Monotonic wall-clock timer for the run-time tables.
+ *
+ * The paper timed scheduling runs with /usr/bin/time on a
+ * SPARCstation-2 and averaged user+sys over five runs; we time
+ * in-process with a steady clock and likewise average repeated runs.
+ */
+
+#ifndef SCHED91_SUPPORT_TIMER_HH
+#define SCHED91_SUPPORT_TIMER_HH
+
+#include <chrono>
+
+namespace sched91
+{
+
+/** Steady-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_SUPPORT_TIMER_HH

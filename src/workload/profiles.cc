@@ -1,0 +1,92 @@
+#include "workload/profiles.hh"
+
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+WorkloadProfile
+makeProfile(const char *name, std::uint64_t seed, int blocks, int insts,
+            int max_block, int max_mem, double avg_mem, double fp_frac,
+            double load_frac, double store_frac, double branch_prob,
+            double call_prob, double end_bias, int second_block)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.seed = seed;
+    p.numBlocks = blocks;
+    p.totalInsts = insts;
+    p.maxBlock = max_block;
+    p.maxMemExprs = max_mem;
+    p.avgMemExprs = avg_mem;
+    p.fpFraction = fp_frac;
+    p.loadFraction = load_frac;
+    p.storeFraction = store_frac;
+    p.branchProb = branch_prob;
+    p.callProb = call_prob;
+    p.endBias = end_bias;
+    p.secondBlock = second_block;
+    return p;
+}
+
+} // namespace
+
+std::vector<WorkloadProfile>
+allProfiles()
+{
+    // Targets are the Table 3 rows; seeds fixed for reproducibility.
+    return {
+        // name     seed blocks insts  maxB maxM avgM  fp   ld    st    br   call bias 2nd
+        makeProfile("grep", 101, 730, 1739, 34, 5, 0.32,
+                    0.0, 0.18, 0.08, 0.75, 0.10, 0.0, 0),
+        makeProfile("regex", 102, 873, 2417, 52, 9, 0.31,
+                    0.0, 0.18, 0.08, 0.75, 0.08, 0.0, 0),
+        makeProfile("dfa", 103, 1623, 4760, 45, 13, 0.67,
+                    0.0, 0.20, 0.09, 0.78, 0.08, 0.0, 0),
+        makeProfile("cccp", 104, 3480, 8831, 36, 10, 0.35,
+                    0.0, 0.18, 0.08, 0.72, 0.12, 0.0, 0),
+        makeProfile("linpack", 105, 390, 3391, 145, 62, 2.58,
+                    0.55, 0.26, 0.12, 0.70, 0.02, 0.0, 0),
+        makeProfile("lloops", 106, 263, 3753, 124, 40, 4.37,
+                    0.55, 0.26, 0.13, 0.70, 0.02, 0.0, 0),
+        makeProfile("tomcatv", 107, 112, 1928, 326, 68, 5.24,
+                    0.60, 0.27, 0.12, 0.60, 0.02, 0.0, 0),
+        makeProfile("nasa7", 108, 756, 10654, 284, 60, 4.23,
+                    0.55, 0.26, 0.12, 0.65, 0.02, 0.0, 0),
+        makeProfile("fpppp", 109, 662, 25545, 11750, 324, 4.76,
+                    0.60, 0.25, 0.13, 0.55, 0.01, 0.85, 2500),
+    };
+}
+
+WorkloadProfile
+profileByName(const std::string &name)
+{
+    for (auto &p : allProfiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown workload profile '", name, "'");
+}
+
+std::vector<Table3Row>
+paperTable3()
+{
+    return {
+        {"grep", 730, 1739, 34, 2.38, 5, 0.32},
+        {"regex", 873, 2417, 52, 2.77, 9, 0.31},
+        {"dfa", 1623, 4760, 45, 2.93, 13, 0.67},
+        {"cccp", 3480, 8831, 36, 2.54, 10, 0.35},
+        {"linpack", 390, 3391, 145, 8.69, 62, 2.58},
+        {"lloops", 263, 3753, 124, 14.27, 40, 4.37},
+        {"tomcatv", 112, 1928, 326, 17.21, 68, 5.24},
+        {"nasa7", 756, 10654, 284, 14.09, 60, 4.23},
+        {"fpppp-1000", 675, 25545, 1000, 37.84, 120, 5.92},
+        {"fpppp-2000", 668, 25545, 2000, 38.24, 161, 5.34},
+        {"fpppp-4000", 664, 25545, 4000, 38.47, 209, 5.02},
+        {"fpppp", 662, 25545, 11750, 38.59, 324, 4.76},
+    };
+}
+
+} // namespace sched91

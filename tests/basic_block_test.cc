@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Basic-block partitioning tests: block-ending rules (branch, call,
+ * save/restore), delay-slot accounting, labels, instruction windows,
+ * and memory-generation stamping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/basic_block.hh"
+#include "ir/parser.hh"
+
+namespace sched91
+{
+namespace
+{
+
+Program
+parse(const char *text)
+{
+    return parseAssembly(text);
+}
+
+TEST(Partition, BranchEndsBlockDelaySlotFollows)
+{
+    // Per the Table 3 note, the delay-slot instruction counts with the
+    // *following* block.
+    Program p = parse(
+        "add %g1, %g2, %g3\n"
+        "bne x\n"
+        "nop\n" // delay slot -> next block
+        "sub %g1, %g2, %g4\n");
+    auto blocks = partitionBlocks(p);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0].begin, 0u);
+    EXPECT_EQ(blocks[0].end, 2u);
+    EXPECT_EQ(blocks[1].begin, 2u);
+    EXPECT_EQ(blocks[1].end, 4u);
+}
+
+TEST(Partition, CallEndsBlockByDefault)
+{
+    Program p = parse("call f\nadd %g1, %g2, %g3\n");
+    EXPECT_EQ(partitionBlocks(p).size(), 2u);
+
+    PartitionOptions opts;
+    opts.callsEndBlocks = false;
+    EXPECT_EQ(partitionBlocks(p, opts).size(), 1u);
+}
+
+TEST(Partition, WindowOpsEndBlocks)
+{
+    Program p = parse(
+        "save %sp, -96, %sp\n"
+        "add %g1, %g2, %g3\n"
+        "restore\n"
+        "retl\n"
+        "nop\n");
+    auto blocks = partitionBlocks(p);
+    // save | add restore | retl | nop
+    ASSERT_EQ(blocks.size(), 4u);
+    EXPECT_EQ(blocks[0].size(), 1u);
+    EXPECT_EQ(blocks[1].size(), 2u);
+}
+
+TEST(Partition, LabelsStartBlocks)
+{
+    Program p = parse(
+        "add %g1, %g2, %g3\n"
+        "loop:\n"
+        "sub %g3, 1, %g3\n"
+        "ba loop\n");
+    auto blocks = partitionBlocks(p);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[1].begin, 1u);
+}
+
+TEST(Partition, WindowSplitsLargeBlocks)
+{
+    std::string text;
+    for (int i = 0; i < 100; ++i)
+        text += "add %g1, %g2, %g3\n";
+    Program p = parse(text.c_str());
+
+    PartitionOptions opts;
+    opts.window = 30;
+    auto blocks = partitionBlocks(p, opts);
+    ASSERT_EQ(blocks.size(), 4u); // 30+30+30+10
+    EXPECT_EQ(blocks[0].size(), 30u);
+    EXPECT_EQ(blocks[3].size(), 10u);
+}
+
+TEST(Partition, BlocksCoverProgramExactly)
+{
+    Program p = parse(
+        "add %g1, %g2, %g3\ncmp %g3, 4\nbne a\nnop\n"
+        "a:\nld [%o0], %g1\ncall f\nsub %g1, 1, %g2\nretl\nnop\n");
+    auto blocks = partitionBlocks(p);
+    std::uint32_t covered = 0;
+    std::uint32_t prev_end = 0;
+    for (const auto &bb : blocks) {
+        EXPECT_EQ(bb.begin, prev_end);
+        EXPECT_GT(bb.end, bb.begin);
+        covered += bb.size();
+        prev_end = bb.end;
+    }
+    EXPECT_EQ(covered, p.size());
+}
+
+TEST(Generations, BaseRedefinitionBumpsStamp)
+{
+    Program p = parse(
+        "ld [%o0+4], %g1\n"
+        "add %o0, 8, %o0\n"
+        "ld [%o0+4], %g2\n");
+    partitionBlocks(p);
+    EXPECT_EQ(p[0].mem()->baseGen, 0u);
+    EXPECT_EQ(p[2].mem()->baseGen, 1u);
+}
+
+TEST(Generations, UnrelatedDefsDoNotBump)
+{
+    Program p = parse(
+        "ld [%o0+4], %g1\n"
+        "add %g1, 8, %g2\n"
+        "ld [%o0+8], %g3\n");
+    partitionBlocks(p);
+    EXPECT_EQ(p[0].mem()->baseGen, p[2].mem()->baseGen);
+}
+
+TEST(Structure, MeasuresTable3Quantities)
+{
+    Program p = parse(
+        "ld [%o0+4], %g1\n"
+        "ld [%o0+4], %g2\n"
+        "ld [%o0+8], %g3\n"
+        "bne x\n"
+        "nop\n"
+        "add %g1, %g2, %g3\n");
+    auto blocks = partitionBlocks(p);
+    auto s = measureStructure(p, blocks);
+    EXPECT_EQ(s.numBlocks, 2u);
+    EXPECT_EQ(s.numInsts, 6u);
+    EXPECT_DOUBLE_EQ(s.instsPerBlock.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.memExprsPerBlock.max(), 2.0); // [%o0+4], [%o0+8]
+}
+
+} // namespace
+} // namespace sched91

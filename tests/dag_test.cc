@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests of the Dag container: add_arc bookkeeping ('a'-class heuristic
+ * slots), duplicate merging, transitive prevention via reachability
+ * maps, level lists, and transitive-arc counting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dag/dag.hh"
+#include "support/logging.hh"
+#include "ir/basic_block.hh"
+#include "ir/parser.hh"
+
+namespace sched91
+{
+namespace
+{
+
+struct Fixture
+{
+    Program prog;
+    std::vector<BasicBlock> blocks;
+
+    explicit Fixture(int n)
+    {
+        std::string text;
+        for (int i = 0; i < n; ++i)
+            text += "add %g1, %g2, %g3\n";
+        prog = parseAssembly(text);
+        blocks = partitionBlocks(prog);
+    }
+
+    BlockView view() { return BlockView(prog, blocks.at(0)); }
+};
+
+TEST(Dag, NodesMatchBlock)
+{
+    Fixture f(5);
+    Dag dag(f.view());
+    EXPECT_EQ(dag.size(), 5u);
+    for (std::uint32_t i = 0; i < 5; ++i)
+        EXPECT_EQ(dag.node(i).inst->index(), i);
+}
+
+TEST(Dag, AddArcUpdatesCounters)
+{
+    Fixture f(3);
+    Dag dag(f.view());
+    dag.addArc(0, 1, DepKind::RAW, 4, Resource::intReg(3));
+    dag.addArc(0, 2, DepKind::RAW, 2, Resource::intReg(3));
+    EXPECT_EQ(dag.node(0).numChildren, 2);
+    EXPECT_EQ(dag.node(1).numParents, 1);
+    EXPECT_EQ(dag.node(0).ann.sumDelaysToChildren, 6);
+    EXPECT_EQ(dag.node(0).ann.maxDelayToChild, 4);
+    EXPECT_EQ(dag.node(2).ann.sumDelaysFromParents, 2);
+    EXPECT_EQ(dag.node(2).ann.maxDelayFromParents, 2);
+}
+
+TEST(Dag, InterlockWithChildFlag)
+{
+    Fixture f(3);
+    Dag dag(f.view());
+    dag.addArc(0, 1, DepKind::RAW, 1);
+    EXPECT_FALSE(dag.node(0).ann.interlockWithChild);
+    dag.addArc(0, 2, DepKind::RAW, 2);
+    EXPECT_TRUE(dag.node(0).ann.interlockWithChild);
+}
+
+TEST(Dag, DuplicateKeepsMaxDelay)
+{
+    Fixture f(2);
+    Dag dag(f.view());
+    EXPECT_EQ(dag.addArc(0, 1, DepKind::WAR, 1), Dag::AddArcResult::Added);
+    EXPECT_EQ(dag.addArc(0, 1, DepKind::RAW, 5),
+              Dag::AddArcResult::Duplicate);
+    EXPECT_EQ(dag.numArcs(), 1u);
+    EXPECT_EQ(dag.arc(0).delay, 5);
+    EXPECT_EQ(dag.arc(0).kind, DepKind::RAW);
+    EXPECT_EQ(dag.duplicateCount(), 1u);
+    // Counters reflect unique arcs only.
+    EXPECT_EQ(dag.node(0).numChildren, 1);
+}
+
+TEST(Dag, DuplicateDetectionWithArcGroup)
+{
+    Fixture f(4);
+    Dag dag(f.view());
+    dag.beginArcGroup(3);
+    dag.addArc(0, 3, DepKind::RAW, 2);
+    dag.addArc(1, 3, DepKind::RAW, 2);
+    EXPECT_EQ(dag.addArc(0, 3, DepKind::WAW, 1),
+              Dag::AddArcResult::Duplicate);
+    dag.beginArcGroup(2);
+    dag.addArc(0, 2, DepKind::RAW, 1); // new pair, new group
+    EXPECT_EQ(dag.numArcs(), 3u);
+}
+
+TEST(Dag, RootsAndLeaves)
+{
+    Fixture f(4);
+    Dag dag(f.view());
+    dag.addArc(0, 2, DepKind::RAW, 1);
+    dag.addArc(1, 2, DepKind::RAW, 1);
+    dag.addArc(2, 3, DepKind::RAW, 1);
+    EXPECT_EQ(dag.roots(), (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(dag.leaves(), (std::vector<std::uint32_t>{3}));
+}
+
+TEST(Dag, LevelsFromRoots)
+{
+    Fixture f(4);
+    Dag dag(f.view());
+    dag.setLevelOrigin(Dag::LevelOrigin::Roots);
+    dag.addArc(0, 1, DepKind::RAW, 1);
+    dag.addArc(1, 3, DepKind::RAW, 1);
+    dag.addArc(2, 3, DepKind::RAW, 1);
+    EXPECT_EQ(dag.node(0).level, 0);
+    EXPECT_EQ(dag.node(1).level, 1);
+    EXPECT_EQ(dag.node(2).level, 0);
+    EXPECT_EQ(dag.node(3).level, 2);
+
+    const auto &lists = dag.levelLists();
+    ASSERT_EQ(lists.size(), 3u);
+    EXPECT_EQ(lists[0], (std::vector<std::uint32_t>{0, 2}));
+    EXPECT_EQ(lists[2], (std::vector<std::uint32_t>{3}));
+}
+
+TEST(Dag, LevelsFromLeaves)
+{
+    Fixture f(3);
+    Dag dag(f.view());
+    dag.setLevelOrigin(Dag::LevelOrigin::Leaves);
+    // Backward construction order: arcs from earlier nodes added last.
+    dag.addArc(1, 2, DepKind::RAW, 1);
+    dag.addArc(0, 1, DepKind::RAW, 1);
+    EXPECT_EQ(dag.node(2).level, 0);
+    EXPECT_EQ(dag.node(1).level, 1);
+    EXPECT_EQ(dag.node(0).level, 2);
+}
+
+TEST(Dag, DescendantReachMaps)
+{
+    Fixture f(4);
+    Dag dag(f.view());
+    dag.enableReachMaps(ReachMode::Descendants);
+    // Backward build order: children complete before parents.
+    dag.addArc(2, 3, DepKind::RAW, 1);
+    dag.addArc(1, 2, DepKind::RAW, 1);
+    dag.addArc(0, 1, DepKind::RAW, 1);
+    EXPECT_TRUE(dag.reachMap(0).test(3));
+    EXPECT_TRUE(dag.reachMap(0).test(0)); // self
+    EXPECT_FALSE(dag.reachMap(3).test(0));
+    EXPECT_EQ(dag.reachMap(0).count(), 4u);
+}
+
+TEST(Dag, TransitivePreventionDescendants)
+{
+    Fixture f(3);
+    Dag dag(f.view());
+    dag.enableReachMaps(ReachMode::Descendants);
+    dag.setPreventTransitive(true);
+    dag.addArc(1, 2, DepKind::RAW, 4);
+    dag.addArc(0, 1, DepKind::WAR, 1);
+    // 0 already reaches 2 through 1: suppressed.
+    EXPECT_EQ(dag.addArc(0, 2, DepKind::RAW, 20),
+              Dag::AddArcResult::Suppressed);
+    EXPECT_EQ(dag.numArcs(), 2u);
+    EXPECT_EQ(dag.suppressedCount(), 1u);
+}
+
+TEST(Dag, TransitivePreventionAncestors)
+{
+    Fixture f(3);
+    Dag dag(f.view());
+    dag.enableReachMaps(ReachMode::Ancestors);
+    dag.setPreventTransitive(true);
+    // Forward build, most-recent-first arc insertion (Landskov).
+    dag.addArc(0, 1, DepKind::WAR, 1);
+    dag.addArc(1, 2, DepKind::RAW, 4);
+    EXPECT_EQ(dag.addArc(0, 2, DepKind::RAW, 20),
+              Dag::AddArcResult::Suppressed);
+}
+
+TEST(Dag, ComputeDescendantMapsMatchesMaintained)
+{
+    Fixture f(5);
+    Dag dag(f.view());
+    dag.enableReachMaps(ReachMode::Descendants);
+    dag.addArc(3, 4, DepKind::RAW, 1);
+    dag.addArc(2, 4, DepKind::RAW, 1);
+    dag.addArc(1, 3, DepKind::RAW, 1);
+    dag.addArc(0, 1, DepKind::RAW, 1);
+    auto maps = dag.computeDescendantMaps();
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        for (std::uint32_t j = 0; j < dag.size(); ++j)
+            EXPECT_EQ(maps[i].test(j), dag.reachMap(i).test(j))
+                << i << "->" << j;
+}
+
+TEST(Dag, CountTransitiveArcs)
+{
+    Fixture f(3);
+    Dag dag(f.view());
+    dag.addArc(0, 1, DepKind::WAR, 1);
+    dag.addArc(1, 2, DepKind::RAW, 4);
+    dag.addArc(0, 2, DepKind::RAW, 20); // transitive via 1
+    EXPECT_EQ(dag.countTransitiveArcs(), 1u);
+}
+
+TEST(Dag, SelfArcPanics)
+{
+    Fixture f(2);
+    Dag dag(f.view());
+    EXPECT_THROW(dag.addArc(1, 1, DepKind::RAW, 1), PanicError);
+}
+
+} // namespace
+} // namespace sched91

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Winnowing decision-statistics tests: the stats-collecting selection
+ * path must pick identical schedules to the plain lexicographic path,
+ * and the counters must account for every pick.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "dag/table_forward.hh"
+#include "heuristics/register_pressure.hh"
+#include "heuristics/static_passes.hh"
+#include "ir/parser.hh"
+#include "machine/presets.hh"
+#include "sched/list_scheduler.hh"
+#include "workload/kernels.hh"
+
+namespace sched91
+{
+namespace
+{
+
+TEST(DecisionStats, SameScheduleWithAndWithoutStats)
+{
+    MachineModel machine = sparcstation2();
+    for (AlgorithmKind kind : publishedAlgorithms()) {
+        AlgorithmSpec spec = algorithmSpec(kind);
+        ListScheduler scheduler(spec.config, machine);
+        for (const std::string &kernel : kernelNames()) {
+            Program prog = kernelProgram(kernel);
+            auto blocks = partitionBlocks(prog);
+            for (const auto &bb : blocks) {
+                BlockView block(prog, bb);
+                auto build = [&]() {
+                    Dag dag = TableForwardBuilder().build(
+                        block, machine, BuildOptions{});
+                    runAllStaticPasses(dag, PassImpl::ReverseWalk,
+                                       spec.config.needsDescendants);
+                    if (spec.config.needsRegisterPressure)
+                        computeRegisterPressure(dag);
+                    return dag;
+                };
+                Dag a = build();
+                Dag b = build();
+                Schedule plain = scheduler.run(a);
+                DecisionStats stats;
+                Schedule counted = scheduler.run(b, &stats);
+                EXPECT_EQ(plain.order, counted.order)
+                    << algorithmName(kind) << " on " << kernel;
+            }
+        }
+    }
+}
+
+TEST(DecisionStats, CountersAccountForEveryPick)
+{
+    MachineModel machine = sparcstation2();
+    AlgorithmSpec spec = algorithmSpec(AlgorithmKind::Krishnamurthy);
+    ListScheduler scheduler(spec.config, machine);
+
+    Program prog = kernelProgram("tomcatv");
+    auto blocks = partitionBlocks(prog);
+    DecisionStats stats;
+    std::size_t nodes = 0;
+    for (const auto &bb : blocks) {
+        Dag dag = TableForwardBuilder().build(BlockView(prog, bb),
+                                              machine, BuildOptions{});
+        runAllStaticPasses(dag);
+        scheduler.run(dag, &stats);
+        nodes += bb.size();
+    }
+    EXPECT_EQ(stats.totalPicks, static_cast<long long>(nodes));
+    long long accounted = stats.trivialPicks + stats.originalOrderTies;
+    for (long long d : stats.decidedAtRank)
+        accounted += d;
+    EXPECT_EQ(accounted, stats.totalPicks);
+    EXPECT_EQ(stats.decidedAtRank.size(), spec.config.ranking.size());
+}
+
+TEST(DecisionStats, EmptyRankingAllTies)
+{
+    Program prog = parseAssembly(
+        "add %g1, 1, %g2\nadd %g3, 1, %g4\nadd %g5, 1, %g6\n");
+    auto blocks = partitionBlocks(prog);
+    MachineModel machine = sparcstation2();
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          machine, BuildOptions{});
+    SchedulerConfig bare;
+    DecisionStats stats;
+    ListScheduler(bare, machine).run(dag, &stats);
+    EXPECT_EQ(stats.totalPicks, 3);
+    // The last pick has a single candidate left.
+    EXPECT_EQ(stats.originalOrderTies, 2);
+    EXPECT_EQ(stats.trivialPicks, 1);
+}
+
+TEST(SpillEstimator, ZeroWhenRegistersSuffice)
+{
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"
+        "add %g1, 1, %g2\n"
+        "st %g2, [%o1]\n");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(),
+                                          BuildOptions{});
+    std::vector<std::uint32_t> order{0, 1, 2};
+    EXPECT_EQ(estimateSpilledValues(dag, order, 8), 0);
+}
+
+TEST(SpillEstimator, CountsOverflow)
+{
+    // Four values live simultaneously; with 2 registers, two of them
+    // spill.
+    Program prog = parseAssembly(
+        "ld [%o0+0], %l0\n"
+        "ld [%o0+4], %l1\n"
+        "ld [%o0+8], %l2\n"
+        "ld [%o0+12], %l3\n"
+        "add %l0, %l1, %l4\n"
+        "add %l2, %l3, %l5\n"
+        "add %l4, %l5, %l6\n");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(),
+                                          BuildOptions{});
+    std::vector<std::uint32_t> order{0, 1, 2, 3, 4, 5, 6};
+    // Live at the first add: l0..l3 plus %o0 (live-in) = 5 values.
+    EXPECT_GT(estimateSpilledValues(dag, order, 2), 0);
+    EXPECT_EQ(estimateSpilledValues(dag, order, 8), 0);
+}
+
+TEST(SpillEstimator, ScheduleSensitivity)
+{
+    // Interleaved load/use order needs fewer registers than
+    // hoisted-loads order.
+    Program prog = parseAssembly(
+        "ld [%o0+0], %l0\n"
+        "st %l0, [%o1+0]\n"
+        "ld [%o0+4], %l1\n"
+        "st %l1, [%o1+4]\n"
+        "ld [%o0+8], %l2\n"
+        "st %l2, [%o1+8]\n");
+    auto blocks = partitionBlocks(prog);
+    BuildOptions bopts;
+    bopts.memPolicy = AliasPolicy::SymbolicExpr;
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(), bopts);
+    std::vector<std::uint32_t> seq{0, 1, 2, 3, 4, 5};
+    std::vector<std::uint32_t> hoisted{0, 2, 4, 1, 3, 5};
+    EXPECT_LE(estimateSpilledValues(dag, seq, 3),
+              estimateSpilledValues(dag, hoisted, 3));
+}
+
+} // namespace
+} // namespace sched91

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Branch delay-slot filler tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "dag/table_forward.hh"
+#include "ir/parser.hh"
+#include "machine/presets.hh"
+#include "sched/delay_slot.hh"
+#include "workload/kernels.hh"
+
+namespace sched91
+{
+namespace
+{
+
+TEST(DelaySlot, FillsWithIndependentInstruction)
+{
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"
+        "add %g2, %g3, %g4\n" // independent of the branch condition
+        "cmp %g1, 0\n"
+        "bne out\n");
+    auto blocks = partitionBlocks(prog);
+    MachineModel machine = sparcstation2();
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          machine, BuildOptions{});
+    Schedule sched = originalOrderSchedule(dag);
+    DelaySlotResult r = fillBranchDelaySlot(dag, sched);
+    ASSERT_TRUE(r.filled);
+    EXPECT_EQ(r.filler, 1u); // the independent add
+    EXPECT_EQ(sched.order.back(), 1u);
+    EXPECT_EQ(sched.order[sched.order.size() - 2], 3u); // branch
+    EXPECT_TRUE(isValidModuloDelaySlot(dag, sched.order));
+    EXPECT_FALSE(isValidTopologicalOrder(dag, sched.order));
+}
+
+TEST(DelaySlot, RefusesWhenEverythingFeedsBranch)
+{
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"
+        "cmp %g1, 0\n"
+        "bne out\n");
+    auto blocks = partitionBlocks(prog);
+    MachineModel machine = sparcstation2();
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          machine, BuildOptions{});
+    Schedule sched = originalOrderSchedule(dag);
+    DelaySlotResult r = fillBranchDelaySlot(dag, sched);
+    EXPECT_FALSE(r.filled);
+    EXPECT_EQ(sched.order.back(), 2u);
+}
+
+TEST(DelaySlot, NoBranchNoFill)
+{
+    Program prog = parseAssembly(
+        "add %g1, 1, %g2\n"
+        "add %g2, 1, %g3\n");
+    auto blocks = partitionBlocks(prog);
+    MachineModel machine = sparcstation2();
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          machine, BuildOptions{});
+    Schedule sched = originalOrderSchedule(dag);
+    EXPECT_FALSE(fillBranchDelaySlot(dag, sched).filled);
+}
+
+TEST(DelaySlot, WorksAfterHeuristicScheduling)
+{
+    Program prog = kernelProgram("daxpy");
+    auto blocks = partitionBlocks(prog);
+    MachineModel machine = sparcstation2();
+    PipelineOptions opts;
+    opts.algorithm = AlgorithmKind::Krishnamurthy;
+    auto result = scheduleBlock(BlockView(prog, blocks[0]), machine,
+                                opts);
+    DelaySlotResult r = fillBranchDelaySlot(result.dag, result.sched);
+    ASSERT_TRUE(r.filled);
+    EXPECT_TRUE(isValidModuloDelaySlot(result.dag, result.sched.order));
+}
+
+TEST(DelaySlot, PicksLatestScheduledCandidate)
+{
+    Program prog = parseAssembly(
+        "add %g2, 1, %g4\n"   // candidate A
+        "add %g3, 1, %g5\n"   // candidate B (scheduled later)
+        "cmp %g1, 0\n"
+        "bne out\n");
+    auto blocks = partitionBlocks(prog);
+    MachineModel machine = sparcstation2();
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          machine, BuildOptions{});
+    Schedule sched = originalOrderSchedule(dag);
+    DelaySlotResult r = fillBranchDelaySlot(dag, sched);
+    ASSERT_TRUE(r.filled);
+    EXPECT_EQ(r.filler, 1u);
+}
+
+} // namespace
+} // namespace sched91

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DOT export tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dag/dot_export.hh"
+#include "dag/table_forward.hh"
+#include "heuristics/static_passes.hh"
+#include "ir/parser.hh"
+#include "machine/presets.hh"
+#include "workload/kernels.hh"
+
+namespace sched91
+{
+namespace
+{
+
+TEST(DotExport, ContainsNodesAndArcs)
+{
+    Program prog = figure1Program();
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          figure1Machine(),
+                                          BuildOptions{});
+    std::string dot = toDot(dag);
+    EXPECT_NE(dot.find("digraph dag"), std::string::npos);
+    EXPECT_NE(dot.find("n0 ["), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n2"), std::string::npos);
+    EXPECT_NE(dot.find("RAW 20"), std::string::npos);
+    EXPECT_NE(dot.find("WAR 1"), std::string::npos);
+    EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, HeuristicAnnotations)
+{
+    Program prog = figure1Program();
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          figure1Machine(),
+                                          BuildOptions{});
+    runAllStaticPasses(dag);
+    DotOptions opts;
+    opts.showHeuristics = true;
+    std::string dot = toDot(dag, opts);
+    EXPECT_NE(dot.find("d2l=20"), std::string::npos);
+    EXPECT_NE(dot.find("slk="), std::string::npos);
+}
+
+TEST(DotExport, EscapesQuotes)
+{
+    Program prog = parseAssembly("add %g1, 1, %g2\n");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(),
+                                          BuildOptions{});
+    std::string dot = toDot(dag);
+    // No stray unescaped quotes inside labels (parse sanity).
+    EXPECT_EQ(std::count(dot.begin(), dot.end(), '"') % 2, 0);
+}
+
+TEST(DotExport, ControlArcsGray)
+{
+    Program prog = parseAssembly(
+        "add %g1, 1, %g2\ncmp %g3, 0\nbne x\n");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(),
+                                          BuildOptions{});
+    std::string dot = toDot(dag);
+    EXPECT_NE(dot.find("color=gray"), std::string::npos);
+}
+
+} // namespace
+} // namespace sched91

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * DAG forest tests (paper Section 2: "A basic block may result in a
+ * collection of one or more DAGs, called a forest").
+ */
+
+#include <gtest/gtest.h>
+
+#include "dag/dag_stats.hh"
+#include "dag/table_forward.hh"
+#include "ir/parser.hh"
+#include "machine/presets.hh"
+
+namespace sched91
+{
+namespace
+{
+
+Dag
+build(const char *text, bool anchor = false)
+{
+    static Program prog; // keep the BlockView's referent alive
+    prog = parseAssembly(text);
+    auto blocks = partitionBlocks(prog);
+    BuildOptions opts;
+    opts.anchorBranch = anchor;
+    return TableForwardBuilder().build(BlockView(prog, blocks.at(0)),
+                                       sparcstation2(), opts);
+}
+
+TEST(Forest, IndependentChainsAreSeparateTrees)
+{
+    Dag dag = build(
+        "ld [%o0], %g1\n"
+        "add %g1, 1, %g2\n"
+        "ld [%o1], %g3\n"
+        "add %g3, 1, %g4\n");
+    EXPECT_EQ(dag.countForestTrees(), 2u);
+}
+
+TEST(Forest, FullyConnectedBlockIsOneTree)
+{
+    Dag dag = build(
+        "ld [%o0], %g1\n"
+        "add %g1, 1, %g2\n"
+        "st %g2, [%o0]\n");
+    EXPECT_EQ(dag.countForestTrees(), 1u);
+}
+
+TEST(Forest, IsolatedNodesCountAsTrees)
+{
+    Dag dag = build(
+        "add %g1, 1, %g2\n"
+        "add %g3, 1, %g4\n"
+        "add %g5, 1, %g6\n");
+    EXPECT_EQ(dag.countForestTrees(), 3u);
+}
+
+TEST(Forest, BranchAnchorJoinsTheForest)
+{
+    const char *text =
+        "add %g1, 1, %g2\n"
+        "add %g3, 1, %g4\n"
+        "cmp %g5, 0\n"
+        "bne out\n";
+    Dag unanchored = build(text, /*anchor=*/false);
+    EXPECT_EQ(unanchored.countForestTrees(), 3u);
+    Dag anchored = build(text, /*anchor=*/true);
+    EXPECT_EQ(anchored.countForestTrees(), 1u);
+}
+
+TEST(Forest, StatsAccumulateTrees)
+{
+    Dag dag = build(
+        "add %g1, 1, %g2\n"
+        "add %g3, 1, %g4\n");
+    DagStructure stats;
+    stats.accumulate(dag);
+    EXPECT_DOUBLE_EQ(stats.treesPerBlock.avg(), 2.0);
+}
+
+} // namespace
+} // namespace sched91

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Cross-block inherited-latency tests (paper Section 2 / future work:
+ * "operation latencies inherited from immediately preceding blocks").
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "dag/table_forward.hh"
+#include "ir/parser.hh"
+#include "machine/presets.hh"
+#include "heuristics/dynamic.hh"
+#include "sched/global_info.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/pipeline_sim.hh"
+
+namespace sched91
+{
+namespace
+{
+
+struct TwoBlocks
+{
+    Program prog;
+    std::vector<BasicBlock> blocks;
+    MachineModel machine = sparcstation2();
+
+    explicit TwoBlocks(const char *text) : prog(parseAssembly(text))
+    {
+        blocks = partitionBlocks(prog);
+    }
+
+    BlockView view(std::size_t i) { return BlockView(prog, blocks[i]); }
+};
+
+TEST(GlobalInfo, OutgoingLatencyOfTrailingDivide)
+{
+    // Block 0 ends with a divide: its destination settles 19 cycles
+    // into the next block.
+    TwoBlocks t(
+        "add %g1, 1, %g2\n"
+        "fdivd %f0, %f2, %f4\n"
+        "next:\n"
+        "faddd %f4, %f6, %f8\n");
+    PipelineOptions opts;
+    auto b0 = scheduleBlock(t.view(0), t.machine, opts);
+
+    InheritedLatencies out = computeOutgoingLatencies(
+        b0.dag, b0.sched, t.machine);
+    EXPECT_TRUE(out.any());
+    // The divide issues last (cycle 1): settles at 21; next issue slot
+    // is 2; carried latency = 19.
+    EXPECT_EQ(out.ready[Resource::fpReg(4).slot()], 19);
+    EXPECT_EQ(out.ready[Resource::intReg(2).slot()], 0); // settled
+}
+
+TEST(GlobalInfo, AppliedFloorsRaiseEet)
+{
+    TwoBlocks t(
+        "fdivd %f0, %f2, %f4\n"
+        "next:\n"
+        "faddd %f4, %f6, %f8\n"
+        "add %g1, 1, %g2\n");
+    PipelineOptions opts;
+    auto b0 = scheduleBlock(t.view(0), t.machine, opts);
+    InheritedLatencies out =
+        computeOutgoingLatencies(b0.dag, b0.sched, t.machine);
+
+    Dag dag1 = TableForwardBuilder().build(t.view(1), t.machine,
+                                           BuildOptions{});
+    applyInheritedLatencies(dag1, out);
+    EXPECT_GT(dag1.node(0).ann.inheritedEet, 0);  // uses %f4
+    EXPECT_EQ(dag1.node(1).ann.inheritedEet, 0);  // independent
+
+    initDynamicState(dag1);
+    EXPECT_EQ(dag1.node(0).ann.earliestExecTime,
+              dag1.node(0).ann.inheritedEet);
+}
+
+TEST(GlobalInfo, AwareSchedulerHidesCarriedLatency)
+{
+    // Block 1 starts with a consumer of block 0's trailing divide plus
+    // independent work.  A latency-aware scheduler defers the consumer;
+    // a local scheduler (original order) eats the stall.
+    TwoBlocks t(
+        "fdivd %f0, %f2, %f4\n"
+        "next:\n"
+        "faddd %f4, %f6, %f8\n"
+        "ld [%o0+0], %l0\n"
+        "add %l0, 1, %l1\n"
+        "st %l1, [%o1+0]\n"
+        "ld [%o0+4], %l2\n"
+        "add %l2, 1, %l3\n"
+        "st %l3, [%o1+4]\n");
+    PipelineOptions opts;
+    auto b0 = scheduleBlock(t.view(0), t.machine, opts);
+    InheritedLatencies carried =
+        computeOutgoingLatencies(b0.dag, b0.sched, t.machine);
+    ASSERT_TRUE(carried.any());
+
+    // Local scheduling: ignore the carried latency.
+    PipelineOptions kopts;
+    kopts.algorithm = AlgorithmKind::Krishnamurthy;
+    auto local = scheduleBlock(t.view(1), t.machine, kopts);
+
+    // Global-aware: same algorithm, but with inherited floors.
+    Dag aware_dag = TableForwardBuilder().build(t.view(1), t.machine,
+                                                BuildOptions{});
+    runAllStaticPasses(aware_dag);
+    applyInheritedLatencies(aware_dag, carried);
+    ListScheduler scheduler(
+        algorithmSpec(AlgorithmKind::Krishnamurthy).config, t.machine);
+    Schedule aware = scheduler.run(aware_dag);
+
+    // Measure both under the true carried-latency timing.
+    Dag gt = TableForwardBuilder().build(t.view(1), t.machine,
+                                         BuildOptions{});
+    std::vector<int> ready = inheritedReadyTimes(gt, carried);
+    int local_cycles =
+        simulateSchedule(gt, local.sched.order, t.machine, &ready)
+            .cycles;
+    int aware_cycles =
+        simulateSchedule(gt, aware.order, t.machine, &ready).cycles;
+    EXPECT_LE(aware_cycles, local_cycles);
+
+    // And the aware schedule cannot be worse than original order.
+    int naive_cycles =
+        simulateSchedule(gt, originalOrderSchedule(gt).order, t.machine,
+                         &ready)
+            .cycles;
+    EXPECT_LT(aware_cycles, naive_cycles);
+}
+
+TEST(GlobalInfo, FixupRespectsInheritedFloors)
+{
+    // Regression: the postpass fixup and the final timing pass must
+    // treat inherited floors like dependence arcs — Krishnamurthy's
+    // fixup once pulled a carried-latency consumer back into the
+    // stall it was deferred past.
+    TwoBlocks t(
+        "fdivd %f0, %f2, %f4\n"
+        "next:\n"
+        "faddd %f4, %f6, %f8\n"
+        "ld [%o0], %l0\n"
+        "add %l0, 1, %l1\n"
+        "st %l1, [%o1]\n");
+    PipelineOptions opts;
+    auto b0 = scheduleBlock(t.view(0), t.machine, opts);
+    InheritedLatencies carried =
+        computeOutgoingLatencies(b0.dag, b0.sched, t.machine);
+
+    Dag dag = TableForwardBuilder().build(t.view(1), t.machine,
+                                          BuildOptions{});
+    runAllStaticPasses(dag);
+    applyInheritedLatencies(dag, carried);
+    // Krishnamurthy includes the postpass fixup.
+    ListScheduler scheduler(
+        algorithmSpec(AlgorithmKind::Krishnamurthy).config, t.machine);
+    Schedule sched = scheduler.run(dag);
+
+    // The %f4 consumer (node 0) must be scheduled last, at its floor.
+    EXPECT_EQ(sched.order.back(), 0u);
+    EXPECT_GE(sched.issueCycle.back(),
+              dag.node(0).ann.inheritedEet);
+}
+
+TEST(GlobalInfo, NoCarriedLatencyIsNeutral)
+{
+    TwoBlocks t(
+        "add %g1, 1, %g2\n"
+        "next:\n"
+        "add %g2, 1, %g3\n");
+    PipelineOptions opts;
+    auto b0 = scheduleBlock(t.view(0), t.machine, opts);
+    InheritedLatencies out =
+        computeOutgoingLatencies(b0.dag, b0.sched, t.machine);
+    EXPECT_FALSE(out.any());
+}
+
+} // namespace
+} // namespace sched91

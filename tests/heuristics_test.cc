@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Heuristic tests: Table 1 metadata completeness, the static
+ * forward/backward passes (both the level-list and reverse-walk
+ * implementations — conclusion 4 says they must agree), slack
+ * invariants, #descendants popcounts, dynamic uncovering heuristics,
+ * and register pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dag/builder.hh"
+#include "dag/table_backward.hh"
+#include "dag/table_forward.hh"
+#include "heuristics/dynamic.hh"
+#include "heuristics/heuristic.hh"
+#include "heuristics/register_pressure.hh"
+#include "heuristics/static_passes.hh"
+#include "ir/basic_block.hh"
+#include "ir/parser.hh"
+#include "machine/presets.hh"
+#include "workload/kernels.hh"
+
+namespace sched91
+{
+namespace
+{
+
+Dag
+buildKernelDag(const std::string &kernel, Program &prog,
+               BuilderKind kind = BuilderKind::TableForward)
+{
+    prog = kernelProgram(kernel);
+    auto blocks = partitionBlocks(prog);
+    return makeBuilder(kind)->build(BlockView(prog, blocks.at(0)),
+                                    sparcstation2(), BuildOptions{});
+}
+
+TEST(Table1, TwentySixHeuristics)
+{
+    EXPECT_EQ(allHeuristics().size(), 26u);
+}
+
+TEST(Table1, CategoryCounts)
+{
+    // Table 1 rows per category: 4 stall, 2 class, 7 critical path,
+    // 5 uncovering, 4 structural, 4 register usage.
+    std::map<HeuristicCategory, int> counts;
+    for (const auto &h : allHeuristics())
+        ++counts[h.category];
+    EXPECT_EQ(counts[HeuristicCategory::StallBehavior], 4);
+    EXPECT_EQ(counts[HeuristicCategory::InstructionClass], 2);
+    EXPECT_EQ(counts[HeuristicCategory::CriticalPath], 7);
+    EXPECT_EQ(counts[HeuristicCategory::Uncovering], 5);
+    EXPECT_EQ(counts[HeuristicCategory::Structural], 4);
+    EXPECT_EQ(counts[HeuristicCategory::RegisterUsage], 4);
+}
+
+TEST(Table1, PassLegend)
+{
+    EXPECT_EQ(heuristicInfo(Heuristic::MaxPathToLeaf).pass,
+              CalcPass::Backward);
+    EXPECT_EQ(heuristicInfo(Heuristic::MaxPathFromRoot).pass,
+              CalcPass::Forward);
+    EXPECT_EQ(heuristicInfo(Heuristic::Slack).pass,
+              CalcPass::ForwardBackward);
+    EXPECT_EQ(heuristicInfo(Heuristic::NumChildren).pass, CalcPass::AddArc);
+    EXPECT_EQ(heuristicInfo(Heuristic::EarliestExecutionTime).pass,
+              CalcPass::Visitation);
+}
+
+TEST(Table1, TransitiveSensitivityMarks)
+{
+    // The ** entries of Table 1.
+    for (Heuristic h : {Heuristic::EarliestExecutionTime,
+                        Heuristic::InterlockWithChild,
+                        Heuristic::EarliestStartTime,
+                        Heuristic::LatestStartTime, Heuristic::Slack,
+                        Heuristic::NumChildren, Heuristic::DelaysToChildren,
+                        Heuristic::NumParents,
+                        Heuristic::DelaysFromParents}) {
+        EXPECT_TRUE(heuristicInfo(h).transitiveSensitive)
+            << heuristicInfo(h).name;
+    }
+    EXPECT_FALSE(heuristicInfo(Heuristic::MaxPathToLeaf).transitiveSensitive);
+}
+
+TEST(StaticPasses, HandBuiltDiamond)
+{
+    // 0 -> 1 -> 3, 0 -> 2 -> 3 with different delays.
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"      // 0: latency 2
+        "add %g1, 1, %g2\n"    // 1
+        "smul %g1, %g1, %g3\n" // 2: latency 5
+        "add %g2, %g3, %g4\n");// 3
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(), BuildOptions{});
+    runAllStaticPasses(dag);
+
+    EXPECT_EQ(dag.node(0).ann.maxPathToLeaf, 2);
+    EXPECT_EQ(dag.node(3).ann.maxPathToLeaf, 0);
+    EXPECT_EQ(dag.node(0).ann.maxPathFromRoot, 0);
+    EXPECT_EQ(dag.node(3).ann.maxPathFromRoot, 2);
+
+    // Delays: 0->1 RAW 2, 0->2 RAW 2, 1->3 RAW 1, 2->3 RAW 5.
+    EXPECT_EQ(dag.node(0).ann.maxDelayToLeaf, 7);
+    EXPECT_EQ(dag.node(3).ann.maxDelayFromRoot, 7);
+
+    // EST uses node latencies: EST(3) = EST(2) + lat(2) = 2 + 5.
+    EXPECT_EQ(dag.node(0).ann.earliestStart, 0);
+    EXPECT_EQ(dag.node(2).ann.earliestStart, 2);
+    EXPECT_EQ(dag.node(3).ann.earliestStart, 7);
+}
+
+TEST(StaticPasses, SlackInvariants)
+{
+    Program prog;
+    Dag dag = buildKernelDag("tomcatv", prog);
+    runAllStaticPasses(dag);
+
+    bool found_zero = false;
+    for (const auto &node : dag.nodes()) {
+        EXPECT_GE(node.ann.slack, 0);
+        EXPECT_EQ(node.ann.slack,
+                  node.ann.latestStart - node.ann.earliestStart);
+        if (node.ann.slack == 0)
+            found_zero = true;
+    }
+    // Some node lies on the critical path.
+    EXPECT_TRUE(found_zero);
+}
+
+TEST(StaticPasses, EstNeverBelowArcDelayPath)
+{
+    // EST is latency-based while maxDelayFromRoot is arc-based; for a
+    // RAW-only chain they agree.
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"
+        "add %g1, 1, %g2\n"
+        "add %g2, 1, %g3\n");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(), BuildOptions{});
+    runAllStaticPasses(dag);
+    EXPECT_EQ(dag.node(2).ann.earliestStart,
+              dag.node(2).ann.maxDelayFromRoot);
+}
+
+TEST(StaticPasses, LevelListsMatchReverseWalk)
+{
+    for (const char *kernel : {"daxpy", "livermore1", "tomcatv"}) {
+        for (BuilderKind kind :
+             {BuilderKind::TableForward, BuilderKind::TableBackward,
+              BuilderKind::N2Forward}) {
+            Program prog;
+            Dag a = buildKernelDag(kernel, prog, kind);
+            Program prog2;
+            Dag b = buildKernelDag(kernel, prog2, kind);
+            runAllStaticPasses(a, PassImpl::ReverseWalk, true);
+            runAllStaticPasses(b, PassImpl::LevelLists, true);
+            for (std::uint32_t i = 0; i < a.size(); ++i) {
+                const auto &x = a.node(i).ann;
+                const auto &y = b.node(i).ann;
+                EXPECT_EQ(x.maxPathToLeaf, y.maxPathToLeaf);
+                EXPECT_EQ(x.maxDelayToLeaf, y.maxDelayToLeaf);
+                EXPECT_EQ(x.maxPathFromRoot, y.maxPathFromRoot);
+                EXPECT_EQ(x.maxDelayFromRoot, y.maxDelayFromRoot);
+                EXPECT_EQ(x.earliestStart, y.earliestStart);
+                EXPECT_EQ(x.latestStart, y.latestStart);
+                EXPECT_EQ(x.numDescendants, y.numDescendants);
+            }
+        }
+    }
+}
+
+TEST(StaticPasses, DescendantsPopcount)
+{
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"
+        "add %g1, 1, %g2\n"
+        "add %g1, 2, %g3\n"
+        "add %g2, %g3, %g4\n");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(), BuildOptions{});
+    runAllStaticPasses(dag, PassImpl::ReverseWalk, true);
+    // Node 0 reaches 1,2,3; the diamond must not double count node 3.
+    EXPECT_EQ(dag.node(0).ann.numDescendants, 3);
+    EXPECT_EQ(dag.node(3).ann.numDescendants, 0);
+    // sum of exec times of {1,2,3} = 1+1+1.
+    EXPECT_EQ(dag.node(0).ann.sumExecOfDescendants, 3);
+}
+
+TEST(StaticPasses, DescendantsFromMaintainedMaps)
+{
+    Program prog;
+    Dag dag = buildKernelDag("daxpy", prog, BuilderKind::TableForward);
+    runAllStaticPasses(dag, PassImpl::ReverseWalk, true);
+
+    Program prog2 = kernelProgram("daxpy");
+    auto blocks = partitionBlocks(prog2);
+    BuildOptions opts;
+    opts.maintainReachMaps = true;
+    Dag bwd = TableBackwardBuilder().build(BlockView(prog2, blocks[0]),
+                                           sparcstation2(), opts);
+    runAllStaticPasses(bwd, PassImpl::ReverseWalk, true);
+
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        EXPECT_EQ(dag.node(i).ann.numDescendants,
+                  bwd.node(i).ann.numDescendants)
+            << i;
+}
+
+TEST(Dynamic, UncoveringCounts)
+{
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"      // 0
+        "ld [%o1], %g2\n"      // 1
+        "add %g1, 1, %g3\n"    // 2: single parent (0), delay 2
+        "add %g1, %g2, %g4\n");// 3: two parents
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(), BuildOptions{});
+    initDynamicState(dag);
+
+    EXPECT_EQ(numSingleParentChildren(dag, 0), 1); // node 2
+    EXPECT_EQ(numUncoveredChildren(dag, 0), 0);    // delay 2 > 1
+    EXPECT_EQ(sumDelaysToSingleParentChildren(dag, 0), 2);
+
+    // After node 1 is scheduled, node 3's only unscheduled parent is 0.
+    onScheduledForward(dag, 1, 0);
+    EXPECT_EQ(numSingleParentChildren(dag, 0), 2);
+}
+
+TEST(Dynamic, EarliestExecTimeUpdates)
+{
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"
+        "add %g1, 1, %g2\n");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(), BuildOptions{});
+    initDynamicState(dag);
+    onScheduledForward(dag, 0, 3);
+    EXPECT_EQ(dag.node(1).ann.earliestExecTime, 5); // 3 + load latency 2
+    EXPECT_EQ(dag.node(1).ann.unscheduledParents, 0);
+}
+
+TEST(Dynamic, InterlockWithPrevious)
+{
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"
+        "add %g1, 1, %g2\n"
+        "add %g3, 1, %g4\n");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(), BuildOptions{});
+    initDynamicState(dag);
+    EXPECT_TRUE(interlocksWithPrevious(dag, 1, 0));  // RAW delay 2
+    EXPECT_FALSE(interlocksWithPrevious(dag, 2, 0)); // independent
+    EXPECT_FALSE(interlocksWithPrevious(dag, 1, -1));
+}
+
+TEST(Dynamic, BirthingBoostsRawParents)
+{
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"
+        "add %g1, 1, %g2\n");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(), BuildOptions{});
+    initDynamicState(dag);
+    onScheduledBackward(dag, 1, /*birthing=*/true);
+    EXPECT_GT(dag.node(0).ann.priorityBoost, 0.0);
+}
+
+TEST(RegisterPressure, BornAndKilled)
+{
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"      // births g1
+        "add %g1, 1, %g2\n"    // births g2
+        "add %g1, %g2, %g3\n");// kills g1, g2; births g3
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(), BuildOptions{});
+    computeRegisterPressure(dag);
+    EXPECT_EQ(dag.node(0).ann.regsBorn, 1);
+    EXPECT_EQ(dag.node(2).ann.regsKilled, 2);
+    EXPECT_EQ(dag.node(2).ann.regsBorn, 1);
+    EXPECT_EQ(dag.node(2).ann.liveness, 1);
+    EXPECT_EQ(dag.node(1).ann.regsKilled, 0); // g1 still used later
+}
+
+TEST(RegisterPressure, MaxLiveRegisters)
+{
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"
+        "ld [%o0+4], %g2\n"
+        "add %g1, %g2, %g3\n"
+        "st %g3, [%o1]\n");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(), BuildOptions{});
+    std::vector<std::uint32_t> order{0, 1, 2, 3};
+    // %o0 and %o1 are live-in; g1+g2 overlap, then g3.
+    int live = maxLiveRegisters(dag, order);
+    EXPECT_GE(live, 4); // o0, g1, g2 and o1 at least
+}
+
+TEST(RegisterPressure, ScheduleDependent)
+{
+    // Interleaving producers and consumers lowers pressure vs
+    // hoisting all loads first.
+    Program prog = parseAssembly(
+        "ld [%o0], %g1\n"
+        "st %g1, [%o1]\n"
+        "ld [%o0+4], %g2\n"
+        "st %g2, [%o1+4]\n");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
+                                          sparcstation2(), BuildOptions{});
+    int seq = maxLiveRegisters(dag, {0, 1, 2, 3});
+    int hoisted = maxLiveRegisters(dag, {0, 2, 1, 3});
+    EXPECT_LE(seq, hoisted);
+}
+
+TEST(StaticValue, ReadsAnnotations)
+{
+    Program prog;
+    Dag dag = buildKernelDag("daxpy", prog);
+    runAllStaticPasses(dag, PassImpl::ReverseWalk, true);
+    const DagNode &n = dag.node(0);
+    EXPECT_EQ(staticValue(n, Heuristic::ExecutionTime), n.ann.execTime);
+    EXPECT_EQ(staticValue(n, Heuristic::NumChildren), n.numChildren);
+    EXPECT_EQ(staticValue(n, Heuristic::MaxDelayToLeaf),
+              n.ann.maxDelayToLeaf);
+    EXPECT_EQ(staticValueMax(n, Heuristic::DelaysToChildren),
+              n.ann.maxDelayToChild);
+}
+
+} // namespace
+} // namespace sched91

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Cross-cutting integration tests: machine models x windows x
+ * policies x schedulers over synthetic programs, exercising the
+ * combinations individual unit tests do not reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "dag/table_forward.hh"
+#include "ir/parser.hh"
+#include "machine/presets.hh"
+#include "sim/executor.hh"
+#include "workload/generator.hh"
+
+namespace sched91
+{
+namespace
+{
+
+WorkloadProfile
+smallProfile(const char *base, std::uint64_t seed)
+{
+    WorkloadProfile p = profileByName(base);
+    p.seed = seed;
+    p.numBlocks = 8;
+    p.totalInsts = 200;
+    p.maxBlock = 50;
+    p.secondBlock = 0;
+    return p;
+}
+
+TEST(Integration, AllMachinePresetsPreserveSemantics)
+{
+    Program prog = generateProgram(smallProfile("lloops", 3));
+    auto blocks = partitionBlocks(prog);
+    for (const MachineModel &machine : allPresets()) {
+        for (const auto &bb : blocks) {
+            BlockView block(prog, bb);
+            PipelineOptions opts;
+            opts.algorithm = AlgorithmKind::Warren;
+            opts.builder = BuilderKind::N2Forward;
+            auto result = scheduleBlock(block, machine, opts);
+            std::vector<std::uint32_t> identity(block.size());
+            for (std::uint32_t i = 0; i < identity.size(); ++i)
+                identity[i] = i;
+            EXPECT_EQ(runBlock(block, identity, 19),
+                      runBlock(block, result.sched.order, 19))
+                << machine.name;
+        }
+    }
+}
+
+TEST(Integration, WindowedBlocksPreserveSemantics)
+{
+    // Windows split the giant block mid-stream; every window is its
+    // own scheduling unit and must independently preserve semantics.
+    WorkloadProfile p = smallProfile("lloops", 5);
+    p.maxBlock = 120;
+    p.totalInsts = 300;
+    Program prog = generateProgram(p);
+    PartitionOptions popts;
+    popts.window = 24;
+    auto blocks = partitionBlocks(prog, popts);
+    MachineModel machine = sparcstation2();
+
+    for (const auto &bb : blocks) {
+        BlockView block(prog, bb);
+        PipelineOptions opts;
+        opts.algorithm = AlgorithmKind::Krishnamurthy;
+        auto result = scheduleBlock(block, machine, opts);
+        std::vector<std::uint32_t> identity(block.size());
+        for (std::uint32_t i = 0; i < identity.size(); ++i)
+            identity[i] = i;
+        EXPECT_EQ(runBlock(block, identity, 23),
+                  runBlock(block, result.sched.order, 23));
+    }
+}
+
+TEST(Integration, WindowNeverChangesTotalCoverage)
+{
+    Program prog = generateProgram(smallProfile("dfa", 7));
+    std::size_t total = prog.size();
+    for (int window : {0, 5, 16, 1000}) {
+        PartitionOptions popts;
+        popts.window = window;
+        Program copy = prog;
+        auto blocks = partitionBlocks(copy, popts);
+        std::size_t covered = 0;
+        for (const auto &bb : blocks)
+            covered += bb.size();
+        EXPECT_EQ(covered, total) << "window " << window;
+    }
+}
+
+TEST(Integration, EvaluateModeConsistentAcrossPolicies)
+{
+    // Stronger disambiguation can only help (fewer constraints):
+    // scheduled cycles must be monotonically non-increasing along the
+    // policy ladder for a timing-driven scheduler.
+    Program base = generateProgram(smallProfile("linpack", 11));
+    long long prev = -1;
+    for (AliasPolicy policy :
+         {AliasPolicy::SerializeAll, AliasPolicy::BaseOffset,
+          AliasPolicy::SymbolicExpr}) {
+        Program prog = base;
+        PipelineOptions opts;
+        opts.algorithm = AlgorithmKind::Krishnamurthy;
+        opts.build.memPolicy = policy;
+        opts.evaluate = true;
+        ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+        if (prev >= 0) {
+            // Allow small heuristic noise (tie-breaking shifts).
+            EXPECT_LE(r.cyclesScheduled, prev * 102 / 100)
+                << aliasPolicyName(policy);
+        }
+        prev = r.cyclesScheduled;
+    }
+}
+
+TEST(Integration, SupercalarNeverSlowerThanSingleIssue)
+{
+    Program prog = generateProgram(smallProfile("lloops", 13));
+    auto blocks = partitionBlocks(prog);
+    MachineModel single = sparcstation2();
+    MachineModel dual = superscalar2();
+
+    long long c1 = 0, c2 = 0;
+    for (const auto &bb : blocks) {
+        BlockView block(prog, bb);
+        PipelineOptions opts;
+        opts.algorithm = AlgorithmKind::Warren;
+        opts.builder = BuilderKind::N2Forward;
+        auto r1 = scheduleBlock(block, single, opts);
+        c1 += simulateSchedule(r1.dag, r1.sched.order, single).cycles;
+        auto r2 = scheduleBlock(block, dual, opts);
+        c2 += simulateSchedule(r2.dag, r2.sched.order, dual).cycles;
+    }
+    EXPECT_LE(c2, c1);
+}
+
+TEST(Integration, LdxStxRoundTripThroughParser)
+{
+    Program prog = parseAssembly(
+        "stx %g1, [%fp-128]\n"
+        "ldx [%fp-128], %g2\n");
+    EXPECT_EQ(prog[0].op(), Opcode::Stx);
+    EXPECT_EQ(prog[1].op(), Opcode::Ldx);
+    EXPECT_EQ(prog[0].mem()->width, 8);
+    Program back = parseAssembly(prog.toString());
+    EXPECT_EQ(back[0].op(), Opcode::Stx);
+    EXPECT_EQ(back[1].mem()->exprKey(), prog[1].mem()->exprKey());
+}
+
+} // namespace
+} // namespace sched91

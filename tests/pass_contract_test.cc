@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Table 1 pass-legend contract: heuristics marked 'a' must be fully
+ * determined by DAG construction; 'f' heuristics must be produced by
+ * the forward pass and remain stable through the backward pass; 'b'
+ * heuristics by the backward pass.  This pins the implementation to
+ * the paper's calculation-time classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dag/table_forward.hh"
+#include "heuristics/heuristic.hh"
+#include "heuristics/register_pressure.hh"
+#include "heuristics/static_passes.hh"
+#include "ir/basic_block.hh"
+#include "machine/presets.hh"
+#include "workload/kernels.hh"
+
+namespace sched91
+{
+namespace
+{
+
+using Snapshot = std::map<Heuristic, std::vector<long long>>;
+
+Snapshot
+snapshot(const Dag &dag)
+{
+    Snapshot snap;
+    for (const HeuristicInfo &info : allHeuristics()) {
+        std::vector<long long> values;
+        for (std::uint32_t i = 0; i < dag.size(); ++i)
+            values.push_back(staticValue(dag.node(i), info.heuristic));
+        snap[info.heuristic] = std::move(values);
+    }
+    return snap;
+}
+
+TEST(PassContract, Table1CalculationTimes)
+{
+    Program prog = kernelProgram("tomcatv");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks.at(0)),
+                                          sparcstation2(),
+                                          BuildOptions{});
+    computeRegisterPressure(dag); // block-scan register heuristics
+
+    Snapshot after_build = snapshot(dag);
+    runForwardPass(dag);
+    Snapshot after_fwd = snapshot(dag);
+    runBackwardPass(dag, PassImpl::ReverseWalk,
+                    /*compute_descendants=*/true);
+    computeSlack(dag);
+    Snapshot after_all = snapshot(dag);
+
+    for (const HeuristicInfo &info : allHeuristics()) {
+        switch (info.pass) {
+          case CalcPass::AddArc:
+            // Fully determined at construction: later passes must not
+            // disturb it.
+            EXPECT_EQ(after_build[info.heuristic],
+                      after_all[info.heuristic])
+                << info.name;
+            break;
+          case CalcPass::Forward:
+            // Set by the forward pass, stable afterwards.
+            EXPECT_EQ(after_fwd[info.heuristic],
+                      after_all[info.heuristic])
+                << info.name;
+            EXPECT_NE(after_build[info.heuristic],
+                      after_fwd[info.heuristic])
+                << info.name << " should change in the forward pass";
+            break;
+          case CalcPass::Backward:
+            EXPECT_NE(after_fwd[info.heuristic],
+                      after_all[info.heuristic])
+                << info.name << " should change in the backward pass";
+            break;
+          case CalcPass::ForwardBackward:
+            // Slack needs both; it only becomes meaningful at the end.
+            break;
+          case CalcPass::Visitation:
+            // Dynamic: static passes must leave the slots untouched.
+            EXPECT_EQ(after_build[info.heuristic],
+                      after_all[info.heuristic])
+                << info.name;
+            break;
+        }
+    }
+}
+
+TEST(PassContract, SlackRequiresBothPasses)
+{
+    Program prog = kernelProgram("daxpy");
+    auto blocks = partitionBlocks(prog);
+    Dag dag = TableForwardBuilder().build(BlockView(prog, blocks.at(0)),
+                                          sparcstation2(),
+                                          BuildOptions{});
+    runForwardPass(dag);
+    runBackwardPass(dag);
+    computeSlack(dag);
+    bool nonzero = false;
+    for (const auto &node : dag.nodes())
+        if (node.ann.slack != 0)
+            nonzero = true;
+    EXPECT_TRUE(nonzero) << "daxpy has off-critical-path nodes";
+}
+
+} // namespace
+} // namespace sched91

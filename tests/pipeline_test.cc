@@ -1,0 +1,143 @@
+/**
+ * @file
+ * End-to-end pipeline tests: whole-program runs aggregate structural
+ * statistics and phase timings; evaluate mode measures cycles; the
+ * Section 6 three-pass structure works with every builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "machine/presets.hh"
+#include "workload/generator.hh"
+#include "workload/kernels.hh"
+
+namespace sched91
+{
+namespace
+{
+
+Program
+smallProgram()
+{
+    WorkloadProfile p = profileByName("linpack");
+    p.numBlocks = 30;
+    p.totalInsts = 600;
+    p.maxBlock = 80;
+    return generateProgram(p);
+}
+
+TEST(Pipeline, AggregatesOverAllBlocks)
+{
+    Program prog = smallProgram();
+    PipelineOptions opts;
+    ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+    EXPECT_EQ(r.numBlocks, 30u);
+    EXPECT_EQ(r.numInsts, 600u);
+    EXPECT_EQ(r.dagStats.totalBlocks, 30u);
+    EXPECT_EQ(r.dagStats.totalNodes, 600u);
+    EXPECT_GT(r.dagStats.totalArcs, 0u);
+    EXPECT_GE(r.totalSeconds(), 0.0);
+}
+
+TEST(Pipeline, EvaluateReportsCycles)
+{
+    Program prog = smallProgram();
+    PipelineOptions opts;
+    opts.algorithm = AlgorithmKind::Krishnamurthy;
+    opts.evaluate = true;
+    ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+    EXPECT_GT(r.cyclesOriginal, 0);
+    EXPECT_GT(r.cyclesScheduled, 0);
+    // Timing-driven forward scheduling should help overall.
+    EXPECT_LE(r.cyclesScheduled, r.cyclesOriginal);
+}
+
+TEST(Pipeline, AllBuildersProduceSameScheduleQualityClass)
+{
+    // The three main construction algorithms feed the same scheduler;
+    // schedule quality must be essentially the same (Section 6 pairs
+    // each builder with the same simple forward pass).
+    Program prog = smallProgram();
+    long long cycles[3];
+    int i = 0;
+    for (BuilderKind kind :
+         {BuilderKind::N2Forward, BuilderKind::TableForward,
+          BuilderKind::TableBackward}) {
+        Program copy = prog;
+        PipelineOptions opts;
+        opts.builder = kind;
+        opts.evaluate = true;
+        ProgramResult r = runPipeline(copy, sparcstation2(), opts);
+        cycles[i++] = r.cyclesScheduled;
+    }
+    // Identical transitive closures and timing -> within 5% of each
+    // other (tie-breaking on extra n**2 arcs can differ slightly).
+    EXPECT_NEAR(static_cast<double>(cycles[0]),
+                static_cast<double>(cycles[1]),
+                0.05 * cycles[0] + 4);
+    EXPECT_NEAR(static_cast<double>(cycles[1]),
+                static_cast<double>(cycles[2]),
+                0.05 * cycles[1] + 4);
+}
+
+TEST(Pipeline, WindowedRunsCoverAllInstructions)
+{
+    Program prog = smallProgram();
+    PipelineOptions opts;
+    opts.partition.window = 16;
+    ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+    EXPECT_EQ(r.numInsts, 600u);
+    EXPECT_GT(r.numBlocks, 30u);
+    EXPECT_LE(r.dagStats.childrenPerInst.max(), 16.0);
+}
+
+TEST(Pipeline, N2HasMoreArcsThanTableBuilders)
+{
+    Program prog = smallProgram();
+    std::size_t arcs_n2 = 0, arcs_table = 0;
+    {
+        Program copy = prog;
+        PipelineOptions opts;
+        opts.builder = BuilderKind::N2Forward;
+        arcs_n2 = runPipeline(copy, sparcstation2(), opts)
+                      .dagStats.totalArcs;
+    }
+    {
+        Program copy = prog;
+        PipelineOptions opts;
+        opts.builder = BuilderKind::TableForward;
+        arcs_table = runPipeline(copy, sparcstation2(), opts)
+                         .dagStats.totalArcs;
+    }
+    EXPECT_GT(arcs_n2, arcs_table);
+}
+
+TEST(Pipeline, ScheduleBlockMatchesPipelinePhases)
+{
+    Program prog = kernelProgram("daxpy");
+    auto blocks = partitionBlocks(prog);
+    PipelineOptions opts;
+    opts.algorithm = AlgorithmKind::Warren;
+    opts.builder = BuilderKind::N2Forward;
+    auto result = scheduleBlock(BlockView(prog, blocks[0]),
+                                sparcstation2(), opts);
+    EXPECT_EQ(result.sched.order.size(), blocks[0].size());
+    EXPECT_GT(result.sched.makespan, 0);
+}
+
+TEST(Pipeline, LandskovEvaluationUsesFreshGroundTruth)
+{
+    // Landskov DAGs drop timing, so evaluate mode must rebuild a
+    // timing-complete ground truth rather than trusting them.
+    Program prog = smallProgram();
+    PipelineOptions opts;
+    opts.builder = BuilderKind::N2Landskov;
+    opts.evaluate = true;
+    ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+    EXPECT_GT(r.cyclesOriginal, 0);
+    EXPECT_GT(r.cyclesScheduled, 0);
+}
+
+} // namespace
+} // namespace sched91

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Local register allocator tests: renaming correctness (verified by
+ * executing the rewritten block and comparing every memory byte the
+ * original block writes), spill accounting, pair alignment, and
+ * integration with prepass scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "ir/basic_block.hh"
+#include "ir/parser.hh"
+#include "machine/presets.hh"
+#include "regalloc/local_allocator.hh"
+#include "sim/executor.hh"
+#include "workload/generator.hh"
+#include "workload/kernels.hh"
+
+namespace sched91
+{
+namespace
+{
+
+std::vector<std::uint32_t>
+identityOrder(std::size_t n)
+{
+    std::vector<std::uint32_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+    return order;
+}
+
+/** Execute a raw instruction list from a seeded state. */
+ExecState
+runInsts(const std::vector<Instruction> &insts, std::uint64_t seed)
+{
+    Executor exec(seed);
+    for (const Instruction &inst : insts)
+        exec.execute(inst);
+    return exec.state();
+}
+
+/** Every byte the original block writes must match in the rewritten
+ * block's final memory (which may add spill-slot bytes). */
+void
+expectMemorySubset(const BlockView &block,
+                   const std::vector<Instruction> &rewritten,
+                   std::uint64_t seed)
+{
+    std::vector<Instruction> original;
+    for (std::uint32_t i = 0; i < block.size(); ++i)
+        original.push_back(block.inst(i));
+    ExecState a = runInsts(original, seed);
+    ExecState b = runInsts(rewritten, seed);
+    for (const auto &[addr, byte] : a.memory) {
+        auto it = b.memory.find(addr);
+        ASSERT_NE(it, b.memory.end()) << "missing byte @" << addr;
+        EXPECT_EQ(it->second, byte) << "byte @" << addr;
+    }
+}
+
+BlockView
+firstBlock(Program &prog, std::vector<BasicBlock> &blocks)
+{
+    blocks = partitionBlocks(prog);
+    return BlockView(prog, blocks.at(0));
+}
+
+TEST(RegAlloc, NoPressureNoSpills)
+{
+    Program prog = parseAssembly(
+        "ld [%i0], %l0\n"
+        "add %l0, 1, %l1\n"
+        "st %l1, [%i1]\n");
+    std::vector<BasicBlock> blocks;
+    BlockView block = firstBlock(prog, blocks);
+    auto result = allocateBlock(block, identityOrder(block.size()));
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->overhead(), 0);
+    EXPECT_EQ(result->insts.size(), block.size());
+    expectMemorySubset(block, result->insts, 5);
+}
+
+TEST(RegAlloc, SpillsUnderPressureAndStaysCorrect)
+{
+    // Eight simultaneously live integer values, pool of three.
+    Program prog = parseAssembly(
+        "ld [%i0+0],  %l0\n"
+        "ld [%i0+8],  %l1\n"
+        "ld [%i0+16], %l2\n"
+        "ld [%i0+24], %l3\n"
+        "ld [%i0+32], %l4\n"
+        "add %l0, %l1, %l5\n"
+        "add %l2, %l3, %l6\n"
+        "add %l5, %l6, %l7\n"
+        "add %l7, %l4, %o0\n"
+        "st %o0, [%i1]\n");
+    std::vector<BasicBlock> blocks;
+    BlockView block = firstBlock(prog, blocks);
+    AllocatorOptions opts;
+    opts.intPool = {8, 9, 10};
+    auto result = allocateBlock(block, identityOrder(block.size()), opts);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_GT(result->spillStores, 0);
+    EXPECT_GT(result->spillLoads, 0);
+    expectMemorySubset(block, result->insts, 17);
+}
+
+TEST(RegAlloc, FpPairsStayAligned)
+{
+    Program prog = parseAssembly(
+        "lddf [%i0+0], %f16\n"
+        "lddf [%i0+8], %f18\n"
+        "lddf [%i0+16], %f20\n"
+        "lddf [%i0+24], %f26\n"   // four doubles live at once
+        "fmuld %f16, %f18, %f22\n"
+        "faddd %f20, %f26, %f24\n"
+        "fsubd %f22, %f24, %f16\n"
+        "stdf %f16, [%i1]\n");
+    std::vector<BasicBlock> blocks;
+    BlockView block = firstBlock(prog, blocks);
+    AllocatorOptions opts;
+    opts.fpPool = {0, 4, 8}; // three pairs, four live values: must spill
+    auto result = allocateBlock(block, identityOrder(block.size()), opts);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_GT(result->spillStores, 0);
+    for (const Instruction &inst : result->insts)
+        for (std::size_t i = 0; i < inst.defs().size(); ++i)
+            if (inst.defs()[i].kind() == Resource::Kind::FpReg &&
+                inst.defPairHalves()[i] == 0 &&
+                opcodeInfo(inst.op()).isDouble) {
+                EXPECT_EQ(inst.defs()[i].index() % 2, 0)
+                    << inst.toString();
+            }
+    expectMemorySubset(block, result->insts, 23);
+}
+
+TEST(RegAlloc, SameRegisterReadAndWrite)
+{
+    // add %l0, 1, %l0: the use and the def are different values and
+    // may land in different physical registers.
+    Program prog = parseAssembly(
+        "ld [%i0], %l0\n"
+        "add %l0, 1, %l0\n"
+        "add %l0, 2, %l0\n"
+        "st %l0, [%i1]\n");
+    std::vector<BasicBlock> blocks;
+    BlockView block = firstBlock(prog, blocks);
+    auto result = allocateBlock(block, identityOrder(block.size()));
+    ASSERT_TRUE(result.has_value());
+    expectMemorySubset(block, result->insts, 29);
+}
+
+TEST(RegAlloc, LiveInValuesKeepTheirRegisters)
+{
+    Program prog = parseAssembly(
+        "add %l0, %l1, %l2\n" // %l0, %l1 live in
+        "st %l2, [%i1]\n");
+    std::vector<BasicBlock> blocks;
+    BlockView block = firstBlock(prog, blocks);
+    AllocatorOptions opts;
+    opts.intPool = {16, 17, 9}; // %l0/%l1 in the pool must be excluded
+    auto result = allocateBlock(block, identityOrder(block.size()), opts);
+    ASSERT_TRUE(result.has_value());
+    expectMemorySubset(block, result->insts, 31);
+}
+
+TEST(RegAlloc, RejectsCallsAndIntPairs)
+{
+    Program call_prog = parseAssembly("call f\n");
+    std::vector<BasicBlock> blocks;
+    BlockView call_block = firstBlock(call_prog, blocks);
+    EXPECT_FALSE(
+        allocateBlock(call_block, identityOrder(call_block.size()))
+            .has_value());
+
+    Program pair_prog = parseAssembly("ldd [%i0], %l0\n");
+    std::vector<BasicBlock> blocks2;
+    BlockView pair_block = firstBlock(pair_prog, blocks2);
+    EXPECT_FALSE(
+        allocateBlock(pair_block, identityOrder(pair_block.size()))
+            .has_value());
+}
+
+TEST(RegAlloc, FailsWhenPoolSmallerThanOneInstruction)
+{
+    Program prog = parseAssembly(
+        "ld [%i0], %l0\n"
+        "ld [%i0+8], %l1\n"
+        "add %l0, %l1, %l2\n"
+        "st %l2, [%i1]\n");
+    std::vector<BasicBlock> blocks;
+    BlockView block = firstBlock(prog, blocks);
+    AllocatorOptions opts;
+    opts.intPool = {8}; // add needs two sources + dest reuse
+    EXPECT_FALSE(allocateBlock(block, identityOrder(block.size()), opts)
+                     .has_value());
+}
+
+TEST(RegAlloc, WorksOnScheduledOrders)
+{
+    // Allocating a reordered (scheduled) block is the prepass flow.
+    Program prog = kernelProgram("livermore1");
+    std::vector<BasicBlock> blocks;
+    BlockView block = firstBlock(prog, blocks);
+
+    PipelineOptions popts;
+    popts.algorithm = AlgorithmKind::Krishnamurthy;
+    auto sched = scheduleBlock(block, sparcstation2(), popts);
+
+    AllocatorOptions opts;
+    opts.fpPool = {0, 2, 4, 6};
+    opts.intPool = {8, 9, 10, 11};
+    auto result = allocateBlock(block, sched.sched.order, opts);
+    ASSERT_TRUE(result.has_value());
+
+    // Execute the *scheduled then allocated* block against the
+    // original program order: memory effects must match.
+    std::vector<Instruction> original;
+    for (std::uint32_t i = 0; i < block.size(); ++i)
+        original.push_back(block.inst(i));
+    ExecState a = runInsts(original, 37);
+    ExecState b = runInsts(result->insts, 37);
+    for (const auto &[addr, byte] : a.memory) {
+        auto it = b.memory.find(addr);
+        ASSERT_NE(it, b.memory.end());
+        EXPECT_EQ(it->second, byte);
+    }
+}
+
+TEST(RegAlloc, SyntheticBlocksUnderManyPressures)
+{
+    WorkloadProfile p = profileByName("lloops");
+    p.numBlocks = 6;
+    p.totalInsts = 150;
+    p.maxBlock = 40;
+    p.secondBlock = 0;
+    p.callProb = 0.0;
+    Program prog = generateProgram(p);
+    auto blocks = partitionBlocks(prog);
+
+    for (const auto &bb : blocks) {
+        BlockView block(prog, bb);
+        for (int pairs : {3, 5, 8}) {
+            AllocatorOptions opts;
+            opts.fpPool.clear();
+            for (int i = 0; i < pairs; ++i)
+                opts.fpPool.push_back(2 * i);
+            opts.intPool = {8, 9, 10, 11, 12};
+            auto result =
+                allocateBlock(block, identityOrder(block.size()), opts);
+            if (!result.has_value())
+                continue; // pool too small for some instruction
+            expectMemorySubset(block, result->insts, 41);
+        }
+    }
+}
+
+} // namespace
+} // namespace sched91

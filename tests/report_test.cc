@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-block quality report tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/presets.hh"
+#include "sched/report.hh"
+#include "workload/generator.hh"
+#include "workload/kernels.hh"
+
+namespace sched91
+{
+namespace
+{
+
+TEST(Report, CoversEveryBlock)
+{
+    Program prog = kernelProgram("daxpy");
+    PipelineOptions opts;
+    opts.algorithm = AlgorithmKind::Krishnamurthy;
+    ProgramReport report =
+        reportProgram(prog, sparcstation2(), opts);
+    Program copy = prog;
+    EXPECT_EQ(report.blocks.size(), partitionBlocks(copy).size());
+
+    long long orig = 0, sched = 0;
+    for (const BlockReport &b : report.blocks) {
+        orig += b.cyclesOriginal;
+        sched += b.cyclesScheduled;
+        EXPECT_GE(b.cyclesScheduled, b.criticalPath);
+        EXPECT_GE(b.cyclesOriginal, b.criticalPath);
+        EXPECT_GT(b.size, 0u);
+    }
+    EXPECT_EQ(orig, report.cyclesOriginal);
+    EXPECT_EQ(sched, report.cyclesScheduled);
+}
+
+TEST(Report, WorstBlocksSortedByExcess)
+{
+    WorkloadProfile p = profileByName("lloops");
+    p.numBlocks = 20;
+    p.totalInsts = 400;
+    p.maxBlock = 60;
+    p.secondBlock = 0;
+    Program prog = generateProgram(p);
+    PipelineOptions opts;
+    ProgramReport report =
+        reportProgram(prog, sparcstation2(), opts);
+
+    auto worst = report.worstBlocks(5);
+    ASSERT_LE(worst.size(), 5u);
+    for (std::size_t i = 1; i < worst.size(); ++i)
+        EXPECT_GE(worst[i - 1].slackToBound(), worst[i].slackToBound());
+}
+
+TEST(Report, RenderContainsTotals)
+{
+    Program prog = kernelProgram("grep-scan");
+    PipelineOptions opts;
+    ProgramReport report =
+        reportProgram(prog, sparcstation2(), opts);
+    std::string text = report.render(3);
+    EXPECT_NE(text.find("cycles"), std::string::npos);
+    EXPECT_NE(text.find("excess"), std::string::npos);
+}
+
+} // namespace
+} // namespace sched91

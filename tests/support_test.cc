@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the support layer: bitmaps, statistics accumulators,
+ * string utilities, and the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bitmap.hh"
+#include "support/prng.hh"
+#include "support/stats.hh"
+#include "support/string_util.hh"
+
+namespace sched91
+{
+namespace
+{
+
+TEST(Bitmap, SetTestClear)
+{
+    Bitmap b(10);
+    EXPECT_FALSE(b.test(3));
+    b.set(3);
+    EXPECT_TRUE(b.test(3));
+    b.clear(3);
+    EXPECT_FALSE(b.test(3));
+}
+
+TEST(Bitmap, AutoGrowOnSet)
+{
+    Bitmap b;
+    b.set(200);
+    EXPECT_TRUE(b.test(200));
+    EXPECT_FALSE(b.test(199));
+    EXPECT_GE(b.size(), 201u);
+}
+
+TEST(Bitmap, OutOfRangeReadsFalse)
+{
+    Bitmap b(8);
+    EXPECT_FALSE(b.test(1000));
+}
+
+TEST(Bitmap, OrWithGrows)
+{
+    Bitmap a(4);
+    Bitmap b(130);
+    a.set(1);
+    b.set(128);
+    a.orWith(b);
+    EXPECT_TRUE(a.test(1));
+    EXPECT_TRUE(a.test(128));
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Bitmap, CountAcrossWords)
+{
+    Bitmap b(200);
+    for (std::size_t i = 0; i < 200; i += 7)
+        b.set(i);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < 200; i += 7)
+        ++expected;
+    EXPECT_EQ(b.count(), expected);
+}
+
+TEST(Bitmap, ForEachSetAscending)
+{
+    Bitmap b(150);
+    b.set(0);
+    b.set(63);
+    b.set(64);
+    b.set(149);
+    std::vector<std::size_t> seen;
+    b.forEachSet([&](std::size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, (std::vector<std::size_t>{0, 63, 64, 149}));
+}
+
+TEST(Bitmap, ResetKeepsCapacity)
+{
+    Bitmap b(100);
+    b.set(50);
+    b.reset();
+    EXPECT_TRUE(b.none());
+    EXPECT_GE(b.size(), 100u);
+}
+
+TEST(MinMaxAvg, Accumulates)
+{
+    MinMaxAvg s;
+    s.add(2);
+    s.add(4);
+    s.add(9);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.avg(), 5.0);
+}
+
+TEST(MinMaxAvg, EmptyIsZero)
+{
+    MinMaxAvg s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.avg(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(MinMaxAvg, Merge)
+{
+    MinMaxAvg a, b;
+    a.add(1);
+    a.add(3);
+    b.add(10);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+}
+
+TEST(StringUtil, Trim)
+{
+    EXPECT_EQ(trim("  abc \t"), "abc");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, SplitOperandsRespectsBrackets)
+{
+    auto v = splitOperands("[%o0+4], %g1");
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], "[%o0+4]");
+    EXPECT_EQ(v[1], "%g1");
+}
+
+TEST(StringUtil, SplitTrimDropsEmpty)
+{
+    auto v = splitTrim("a,,b , c", ',');
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[2], "c");
+}
+
+TEST(StringUtil, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(Prng, Deterministic)
+{
+    Prng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, RangeBounds)
+{
+    Prng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Prng, UniformInUnitInterval)
+{
+    Prng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Prng, HeavyTailRespectsBounds)
+{
+    Prng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 5000; ++i) {
+        int v = rng.heavyTail(10.0, 100);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 100);
+        sum += v;
+    }
+    double mean = sum / 5000;
+    EXPECT_GT(mean, 6.0);
+    EXPECT_LT(mean, 14.0);
+}
+
+} // namespace
+} // namespace sched91

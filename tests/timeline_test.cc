@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Timeline renderer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dag/table_forward.hh"
+#include "ir/parser.hh"
+#include "machine/presets.hh"
+#include "sched/timeline.hh"
+
+namespace sched91
+{
+namespace
+{
+
+Dag
+build(Program &prog, const char *text)
+{
+    prog = parseAssembly(text);
+    auto blocks = partitionBlocks(prog);
+    return TableForwardBuilder().build(BlockView(prog, blocks.at(0)),
+                                       sparcstation2(), BuildOptions{});
+}
+
+TEST(Timeline, MarksIssueAndBusyCycles)
+{
+    Program prog;
+    Dag dag = build(prog,
+                    "fdivd %f0, %f2, %f4\n"
+                    "add %g1, 1, %g2\n");
+    std::string out = renderTimeline(
+        dag, originalOrderSchedule(dag).order, sparcstation2());
+    EXPECT_NE(out.find("fp-divsqrt"), std::string::npos);
+    EXPECT_NE(out.find("int-alu"), std::string::npos);
+    // The divide occupies its unit: issue mark then busy fill.
+    EXPECT_NE(out.find("0==="), std::string::npos);
+}
+
+TEST(Timeline, OmitsUnusedUnits)
+{
+    Program prog;
+    Dag dag = build(prog, "add %g1, 1, %g2\n");
+    std::string out = renderTimeline(
+        dag, originalOrderSchedule(dag).order, sparcstation2());
+    EXPECT_EQ(out.find("fp-divsqrt"), std::string::npos);
+    EXPECT_NE(out.find("int-alu"), std::string::npos);
+}
+
+TEST(Timeline, TruncatesLongSchedules)
+{
+    Program prog;
+    Dag dag = build(prog,
+                    "fdivd %f0, %f2, %f4\n"
+                    "fdivd %f4, %f6, %f8\n"
+                    "fdivd %f8, %f10, %f12\n");
+    TimelineOptions opts;
+    opts.maxCycles = 20;
+    std::string out = renderTimeline(
+        dag, originalOrderSchedule(dag).order, sparcstation2(), opts);
+    EXPECT_NE(out.find("…"), std::string::npos);
+}
+
+TEST(Timeline, ReportsCycleCount)
+{
+    Program prog;
+    Dag dag = build(prog,
+                    "ld [%o0], %g1\n"
+                    "add %g1, 1, %g2\n");
+    std::string out = renderTimeline(
+        dag, originalOrderSchedule(dag).order, sparcstation2());
+    EXPECT_NE(out.find("2 instructions"), std::string::npos);
+}
+
+} // namespace
+} // namespace sched91

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Workload generator tests: the synthetic programs must reproduce the
+ * Table 3 structural targets — exact block/instruction counts, pinned
+ * maximum block size, memory-expression statistics within tolerance —
+ * plus determinism and the fpppp windowing arithmetic (block counts
+ * 662 -> 675/668/664 under windows of 1000/2000/4000).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/basic_block.hh"
+#include "workload/generator.hh"
+#include "workload/kernels.hh"
+#include "workload/profiles.hh"
+
+namespace sched91
+{
+namespace
+{
+
+class ProfileTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ProfileTest, HitsTable3Targets)
+{
+    WorkloadProfile p = profileByName(GetParam());
+    const Program &prog = cachedProgram(GetParam());
+    Program copy = prog; // partition mutates (stamping) — use a copy
+    auto blocks = partitionBlocks(copy);
+    auto s = measureStructure(copy, blocks);
+
+    EXPECT_EQ(static_cast<int>(s.numBlocks), p.numBlocks);
+    EXPECT_EQ(static_cast<int>(s.numInsts), p.totalInsts);
+    EXPECT_EQ(static_cast<int>(s.instsPerBlock.max()), p.maxBlock);
+
+    // Memory-expression statistics within loose tolerance.
+    EXPECT_LE(s.memExprsPerBlock.max(), p.maxMemExprs);
+    EXPECT_GT(s.memExprsPerBlock.avg(), p.avgMemExprs * 0.4);
+    EXPECT_LT(s.memExprsPerBlock.avg(), p.avgMemExprs * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileTest,
+                         ::testing::Values("grep", "regex", "dfa", "cccp",
+                                           "linpack", "lloops", "tomcatv",
+                                           "nasa7", "fpppp"));
+
+TEST(Workload, Deterministic)
+{
+    Program a = generateProgram(profileByName("grep"));
+    Program b = generateProgram(profileByName("grep"));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].op(), b[i].op()) << i;
+}
+
+TEST(Workload, FppppWindowBlockCounts)
+{
+    // Table 3: fpppp has 662 blocks; windows of 1000/2000/4000 yield
+    // 675/668/664.
+    Program prog = generateProgram(profileByName("fpppp"));
+
+    auto count = [&prog](int window) {
+        PartitionOptions opts;
+        opts.window = window;
+        return partitionBlocks(prog, opts).size();
+    };
+
+    EXPECT_EQ(count(0), 662u);
+    EXPECT_EQ(count(4000), 664u);
+    EXPECT_EQ(count(2000), 668u);
+    EXPECT_EQ(count(1000), 675u);
+}
+
+TEST(Workload, FppppWindowMaxBlockSizes)
+{
+    Program prog = generateProgram(profileByName("fpppp"));
+    for (int window : {1000, 2000, 4000}) {
+        PartitionOptions opts;
+        opts.window = window;
+        auto blocks = partitionBlocks(prog, opts);
+        std::uint32_t max_size = 0;
+        for (const auto &bb : blocks)
+            max_size = std::max(max_size, bb.size());
+        EXPECT_EQ(static_cast<int>(max_size), window);
+    }
+}
+
+TEST(Workload, FpProfilesContainFpCode)
+{
+    const Program &prog = cachedProgram("linpack");
+    int fp = 0;
+    for (const auto &inst : prog.insts())
+        if (isFpClass(inst.cls()) || inst.op() == Opcode::Lddf ||
+            inst.op() == Opcode::Stdf)
+            ++fp;
+    EXPECT_GT(fp, static_cast<int>(prog.size() / 4));
+}
+
+TEST(Workload, IntProfilesContainNoFpCode)
+{
+    const Program &prog = cachedProgram("grep");
+    for (const auto &inst : prog.insts())
+        EXPECT_FALSE(isFpClass(inst.cls())) << inst.toString();
+}
+
+TEST(Workload, BaseRegistersDefinedAtMostOncePerBlock)
+{
+    // The generator's disambiguation story depends on stable base
+    // registers: a block may materialize a pointer once (sethi at
+    // block start) but must never *re*define it, or the same-base
+    // NoAlias reasoning would be wrong.
+    auto is_base = [](int idx) {
+        return idx == 1 || idx == 2 || idx == 3 || idx == 4 ||
+               (idx >= 24 && idx <= 29) || idx == 30;
+    };
+    Program prog = cachedProgram("lloops");
+    auto blocks = partitionBlocks(prog);
+    for (const auto &bb : blocks) {
+        std::map<int, int> defs;
+        for (std::uint32_t i = bb.begin; i < bb.end; ++i) {
+            const Instruction &inst = prog[i];
+            if (inst.cls() == InstClass::Call)
+                continue; // calls clobber %o regs, not the base set
+            for (Resource r : inst.defs())
+                if (r.kind() == Resource::Kind::IntReg &&
+                    is_base(r.index())) {
+                    ++defs[r.index()];
+                }
+        }
+        for (auto [reg, count] : defs)
+            EXPECT_LE(count, 1) << "base %r" << reg << " redefined";
+    }
+}
+
+TEST(Workload, CachedProgramIsStable)
+{
+    const Program &a = cachedProgram("grep");
+    const Program &b = cachedProgram("grep");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Kernels, AllParseAndPartition)
+{
+    for (const std::string &name : kernelNames()) {
+        Program prog = kernelProgram(name);
+        EXPECT_GT(prog.size(), 0u) << name;
+        Program copy = prog;
+        auto blocks = partitionBlocks(copy);
+        EXPECT_GE(blocks.size(), 1u) << name;
+    }
+}
+
+TEST(Kernels, Figure1Shape)
+{
+    Program prog = figure1Program();
+    ASSERT_EQ(prog.size(), 3u);
+    EXPECT_EQ(prog[0].cls(), InstClass::FpDiv);
+    EXPECT_EQ(prog[1].cls(), InstClass::FpAdd);
+    EXPECT_EQ(prog[2].cls(), InstClass::FpAdd);
+}
+
+TEST(PaperTable3, TwelveRows)
+{
+    EXPECT_EQ(paperTable3().size(), 12u);
+    EXPECT_EQ(paperTable3().back().maxInstsPerBlock, 11750);
+}
+
+} // namespace
+} // namespace sched91

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * sched91 command-line driver.
+ *
+ *     sched91 schedule <file.s> [options]   schedule and print assembly
+ *     sched91 dag      <file.s> [options]   print the dependence DAG
+ *     sched91 dot      <file.s> [options]   DOT graph on stdout
+ *     sched91 stats    <file.s>             Table-3-style structure
+ *     sched91 profile  <name>               run a synthetic workload
+ *     sched91 report   <file.s>             worst-scheduled blocks
+ *     sched91 timeline <file.s> --block N   FU occupancy chart
+ *     sched91 compile  <file.s>             prepass+allocate+postpass
+ *     sched91 kernels                       list built-in kernels
+ *
+ * Common options:
+ *     --kernel <name>       use a built-in kernel instead of a file
+ *     --algorithm <name>    gibbons-muchnick | krishnamurthy |
+ *                           schlansker | shieh-papachristou | tiemann |
+ *                           warren | simple-forward   (default)
+ *     --builder <name>      n2-fwd | n2-bwd | landskov | table-fwd |
+ *                           table-bwd   (default table-fwd)
+ *     --machine <name>      sparcstation2 | rs6000like | superscalar2
+ *     --policy <name>       serialize | base-offset | storage |
+ *                           symbolic
+ *     --window <N>          instruction window (0 = none)
+ *     --block <N>           operate on basic block N (default 0)
+ *     --heuristics          annotate DOT nodes with heuristic values
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/sched91.hh"
+#include "dag/dot_export.hh"
+#include "sched/report.hh"
+#include "core/backend.hh"
+#include "sched/timeline.hh"
+#include "support/logging.hh"
+
+using namespace sched91;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string command;
+    std::string input;
+    std::string kernel;
+    AlgorithmKind algorithm = AlgorithmKind::SimpleForward;
+    BuilderKind builder = BuilderKind::TableForward;
+    std::string machineName = "sparcstation2";
+    AliasPolicy policy = AliasPolicy::BaseOffset;
+    int window = 0;
+    int block = 0;
+    bool heuristics = false;
+};
+
+AlgorithmKind
+parseAlgorithm(const std::string &name)
+{
+    for (AlgorithmKind kind : allAlgorithms())
+        if (algorithmName(kind) == name)
+            return kind;
+    fatal("unknown algorithm '", name, "'");
+}
+
+BuilderKind
+parseBuilder(const std::string &name)
+{
+    static const std::map<std::string, BuilderKind> map = {
+        {"n2-fwd", BuilderKind::N2Forward},
+        {"n2-bwd", BuilderKind::N2Backward},
+        {"landskov", BuilderKind::N2Landskov},
+        {"table-fwd", BuilderKind::TableForward},
+        {"table-bwd", BuilderKind::TableBackward},
+    };
+    auto it = map.find(name);
+    if (it == map.end())
+        fatal("unknown builder '", name, "'");
+    return it->second;
+}
+
+AliasPolicy
+parsePolicy(const std::string &name)
+{
+    static const std::map<std::string, AliasPolicy> map = {
+        {"serialize", AliasPolicy::SerializeAll},
+        {"base-offset", AliasPolicy::BaseOffset},
+        {"storage", AliasPolicy::StorageClassed},
+        {"symbolic", AliasPolicy::SymbolicExpr},
+    };
+    auto it = map.find(name);
+    if (it == map.end())
+        fatal("unknown alias policy '", name, "'");
+    return it->second;
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    if (argc < 2)
+        fatal("usage: sched91 <command> [input] [options]");
+    opts.command = argv[1];
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--kernel")
+            opts.kernel = next();
+        else if (arg == "--algorithm")
+            opts.algorithm = parseAlgorithm(next());
+        else if (arg == "--builder")
+            opts.builder = parseBuilder(next());
+        else if (arg == "--machine")
+            opts.machineName = next();
+        else if (arg == "--policy")
+            opts.policy = parsePolicy(next());
+        else if (arg == "--window")
+            opts.window = std::atoi(next().c_str());
+        else if (arg == "--block")
+            opts.block = std::atoi(next().c_str());
+        else if (arg == "--heuristics")
+            opts.heuristics = true;
+        else if (!arg.empty() && arg[0] != '-')
+            opts.input = arg;
+        else
+            fatal("unknown option '", arg, "'");
+    }
+    return opts;
+}
+
+Program
+loadInput(const CliOptions &opts)
+{
+    if (!opts.kernel.empty())
+        return kernelProgram(opts.kernel);
+    if (opts.input.empty())
+        fatal("no input file; pass a .s file or --kernel <name>");
+    std::ifstream in(opts.input);
+    if (!in)
+        fatal("cannot open '", opts.input, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    Program prog = parseAssembly(text.str());
+    stampMemGenerations(prog);
+    return prog;
+}
+
+BlockView
+selectBlock(Program &prog, const CliOptions &opts,
+            std::vector<BasicBlock> &blocks)
+{
+    PartitionOptions popts;
+    popts.window = opts.window;
+    blocks = partitionBlocks(prog, popts);
+    if (opts.block < 0 ||
+        opts.block >= static_cast<int>(blocks.size())) {
+        fatal("block ", opts.block, " out of range (program has ",
+              blocks.size(), " blocks)");
+    }
+    return BlockView(prog, blocks[static_cast<std::size_t>(opts.block)]);
+}
+
+int
+cmdSchedule(const CliOptions &opts)
+{
+    Program prog = loadInput(opts);
+    MachineModel machine = presetByName(opts.machineName);
+    PartitionOptions popts;
+    popts.window = opts.window;
+    auto blocks = partitionBlocks(prog, popts);
+
+    PipelineOptions popeline;
+    popeline.algorithm = opts.algorithm;
+    popeline.builder = opts.builder;
+    popeline.build.memPolicy = opts.policy;
+
+    long long before = 0, after = 0;
+    std::printf("! scheduled by sched91 (%s, %s)\n",
+                std::string(algorithmName(opts.algorithm)).c_str(),
+                std::string(builderKindName(opts.builder)).c_str());
+    for (const BasicBlock &bb : blocks) {
+        BlockView block(prog, bb);
+        auto result = scheduleBlock(block, machine, popeline);
+        Dag gt = TableForwardBuilder().build(block, machine,
+                                             popeline.build);
+        before += simulateSchedule(gt,
+                                   originalOrderSchedule(gt).order,
+                                   machine)
+                      .cycles;
+        after +=
+            simulateSchedule(gt, result.sched.order, machine).cycles;
+        std::printf(".B%u:\n", bb.begin);
+        for (std::uint32_t n : result.sched.order)
+            std::printf("    %s\n", block.inst(n).toString().c_str());
+    }
+    std::fprintf(stderr,
+                 "! %zu blocks, cycles %lld -> %lld (%.1f%%)\n",
+                 blocks.size(), before, after,
+                 before ? 100.0 * (before - after) / before : 0.0);
+    return 0;
+}
+
+int
+cmdDag(const CliOptions &opts, bool dot)
+{
+    Program prog = loadInput(opts);
+    MachineModel machine = presetByName(opts.machineName);
+    std::vector<BasicBlock> blocks;
+    BlockView block = selectBlock(prog, opts, blocks);
+
+    BuildOptions bopts;
+    bopts.memPolicy = opts.policy;
+    Dag dag = makeBuilder(opts.builder)->build(block, machine, bopts);
+    runAllStaticPasses(dag, PassImpl::ReverseWalk, true);
+
+    if (dot) {
+        DotOptions dopts;
+        dopts.showHeuristics = opts.heuristics;
+        std::fputs(toDot(dag, dopts).c_str(), stdout);
+        return 0;
+    }
+
+    std::printf("block %d: %u nodes, %zu arcs (%zu duplicate "
+                "attempts merged)\n",
+                opts.block, dag.size(), dag.numArcs(),
+                dag.duplicateCount());
+    for (std::uint32_t i = 0; i < dag.size(); ++i) {
+        const DagNode &node = dag.node(i);
+        std::printf("%3u: %-30s d2l=%-3d est=%-3d slack=%-3d "
+                    "children=%d\n",
+                    i, node.inst->toString().c_str(),
+                    node.ann.maxDelayToLeaf, node.ann.earliestStart,
+                    node.ann.slack, node.numChildren);
+        for (std::uint32_t arc_id : node.succArcs) {
+            const Arc &arc = dag.arc(arc_id);
+            std::printf("       -> %u %s d=%d\n", arc.to,
+                        std::string(depKindName(arc.kind)).c_str(),
+                        arc.delay);
+        }
+    }
+    return 0;
+}
+
+int
+cmdCompile(const CliOptions &opts)
+{
+    Program prog = loadInput(opts);
+    MachineModel machine = presetByName(opts.machineName);
+    BackendOptions bopts;
+    bopts.prepass = opts.algorithm;
+    bopts.builder = opts.builder;
+    bopts.memPolicy = opts.policy;
+    BackendResult result = compileProgram(prog, machine, bopts);
+    std::fputs(result.program.toString().c_str(), stdout);
+    std::fprintf(stderr,
+                 "! %zu blocks (%zu allocated), %d spill stores, %d "
+                 "reloads, %lld cycles\n",
+                 result.blocks, result.allocatedBlocks,
+                 result.spillStores, result.spillLoads, result.cycles);
+    return 0;
+}
+
+int
+cmdTimeline(const CliOptions &opts)
+{
+    Program prog = loadInput(opts);
+    MachineModel machine = presetByName(opts.machineName);
+    std::vector<BasicBlock> blocks;
+    BlockView block = selectBlock(prog, opts, blocks);
+
+    PipelineOptions pipeline;
+    pipeline.algorithm = opts.algorithm;
+    pipeline.builder = opts.builder;
+    pipeline.build.memPolicy = opts.policy;
+    auto result = scheduleBlock(block, machine, pipeline);
+
+    std::printf("original order:\n%s\n",
+                renderTimeline(result.dag,
+                               originalOrderSchedule(result.dag).order,
+                               machine)
+                    .c_str());
+    std::printf("scheduled (%s):\n%s",
+                std::string(algorithmName(opts.algorithm)).c_str(),
+                renderTimeline(result.dag, result.sched.order, machine)
+                    .c_str());
+    return 0;
+}
+
+int
+cmdStats(const CliOptions &opts)
+{
+    Program prog = loadInput(opts);
+    PartitionOptions popts;
+    popts.window = opts.window;
+    auto blocks = partitionBlocks(prog, popts);
+    auto s = measureStructure(prog, blocks);
+    std::printf("blocks            %zu\n", s.numBlocks);
+    std::printf("instructions      %zu\n", s.numInsts);
+    std::printf("insts/block       max %d avg %.2f\n",
+                static_cast<int>(s.instsPerBlock.max()),
+                s.instsPerBlock.avg());
+    std::printf("mem exprs/block   max %d avg %.2f\n",
+                static_cast<int>(s.memExprsPerBlock.max()),
+                s.memExprsPerBlock.avg());
+    return 0;
+}
+
+int
+cmdReport(const CliOptions &opts)
+{
+    Program prog = loadInput(opts);
+    MachineModel machine = presetByName(opts.machineName);
+    PipelineOptions pipeline;
+    pipeline.algorithm = opts.algorithm;
+    pipeline.builder = opts.builder;
+    pipeline.build.memPolicy = opts.policy;
+    pipeline.partition.window = opts.window;
+    ProgramReport report = reportProgram(prog, machine, pipeline);
+    std::fputs(report.render(15).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdProfile(const CliOptions &opts)
+{
+    if (opts.input.empty())
+        fatal("usage: sched91 profile <name>");
+    MachineModel machine = presetByName(opts.machineName);
+    Program prog = cachedProgram(opts.input);
+
+    PipelineOptions pipeline;
+    pipeline.algorithm = opts.algorithm;
+    pipeline.builder = opts.builder;
+    pipeline.build.memPolicy = opts.policy;
+    pipeline.partition.window = opts.window;
+    pipeline.evaluate = true;
+    ProgramResult r = runPipeline(prog, machine, pipeline);
+
+    std::printf("profile %s: %zu blocks, %zu insts\n",
+                opts.input.c_str(), r.numBlocks, r.numInsts);
+    std::printf("build %.2f ms, heuristics %.2f ms, schedule %.2f ms\n",
+                r.buildSeconds * 1e3, r.heurSeconds * 1e3,
+                r.schedSeconds * 1e3);
+    std::printf("arcs/block max %d avg %.2f; children/inst max %d "
+                "avg %.2f\n",
+                static_cast<int>(r.dagStats.arcsPerBlock.max()),
+                r.dagStats.arcsPerBlock.avg(),
+                static_cast<int>(r.dagStats.childrenPerInst.max()),
+                r.dagStats.childrenPerInst.avg());
+    std::printf("cycles %lld -> %lld (%.1f%% gain)\n", r.cyclesOriginal,
+                r.cyclesScheduled,
+                r.cyclesOriginal
+                    ? 100.0 * (r.cyclesOriginal - r.cyclesScheduled) /
+                          r.cyclesOriginal
+                    : 0.0);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        CliOptions opts = parseArgs(argc, argv);
+        if (opts.command == "schedule")
+            return cmdSchedule(opts);
+        if (opts.command == "dag")
+            return cmdDag(opts, /*dot=*/false);
+        if (opts.command == "dot")
+            return cmdDag(opts, /*dot=*/true);
+        if (opts.command == "stats")
+            return cmdStats(opts);
+        if (opts.command == "profile")
+            return cmdProfile(opts);
+        if (opts.command == "report")
+            return cmdReport(opts);
+        if (opts.command == "timeline")
+            return cmdTimeline(opts);
+        if (opts.command == "compile")
+            return cmdCompile(opts);
+        if (opts.command == "kernels") {
+            for (const std::string &name : kernelNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        }
+        fatal("unknown command '", opts.command, "'");
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "sched91: %s\n", e.what());
+        return 1;
+    }
+}
