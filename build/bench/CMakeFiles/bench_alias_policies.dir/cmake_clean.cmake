@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alias_policies.dir/bench_alias_policies.cc.o"
+  "CMakeFiles/bench_alias_policies.dir/bench_alias_policies.cc.o.d"
+  "bench_alias_policies"
+  "bench_alias_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alias_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_block_attributes.dir/bench_block_attributes.cc.o"
+  "CMakeFiles/bench_block_attributes.dir/bench_block_attributes.cc.o.d"
+  "bench_block_attributes"
+  "bench_block_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

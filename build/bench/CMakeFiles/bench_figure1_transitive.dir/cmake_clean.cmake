@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_transitive.dir/bench_figure1_transitive.cc.o"
+  "CMakeFiles/bench_figure1_transitive.dir/bench_figure1_transitive.cc.o.d"
+  "bench_figure1_transitive"
+  "bench_figure1_transitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_transitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_global.dir/bench_global.cc.o"
+  "CMakeFiles/bench_global.dir/bench_global.cc.o.d"
+  "bench_global"
+  "bench_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

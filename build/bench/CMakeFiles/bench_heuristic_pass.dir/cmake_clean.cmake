@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heuristic_pass.dir/bench_heuristic_pass.cc.o"
+  "CMakeFiles/bench_heuristic_pass.dir/bench_heuristic_pass.cc.o.d"
+  "bench_heuristic_pass"
+  "bench_heuristic_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heuristic_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

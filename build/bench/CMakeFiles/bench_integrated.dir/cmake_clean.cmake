@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_integrated.dir/bench_integrated.cc.o"
+  "CMakeFiles/bench_integrated.dir/bench_integrated.cc.o.d"
+  "bench_integrated"
+  "bench_integrated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_integrated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

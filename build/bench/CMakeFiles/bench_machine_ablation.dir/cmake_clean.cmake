@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_machine_ablation.dir/bench_machine_ablation.cc.o"
+  "CMakeFiles/bench_machine_ablation.dir/bench_machine_ablation.cc.o.d"
+  "bench_machine_ablation"
+  "bench_machine_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_machine_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dag.dir/bench_micro_dag.cc.o"
+  "CMakeFiles/bench_micro_dag.dir/bench_micro_dag.cc.o.d"
+  "bench_micro_dag"
+  "bench_micro_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimal.dir/bench_optimal.cc.o"
+  "CMakeFiles/bench_optimal.dir/bench_optimal.cc.o.d"
+  "bench_optimal"
+  "bench_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

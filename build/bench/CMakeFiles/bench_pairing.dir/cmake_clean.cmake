@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pairing.dir/bench_pairing.cc.o"
+  "CMakeFiles/bench_pairing.dir/bench_pairing.cc.o.d"
+  "bench_pairing"
+  "bench_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

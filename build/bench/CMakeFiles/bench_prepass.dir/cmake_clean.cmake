@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prepass.dir/bench_prepass.cc.o"
+  "CMakeFiles/bench_prepass.dir/bench_prepass.cc.o.d"
+  "bench_prepass"
+  "bench_prepass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prepass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

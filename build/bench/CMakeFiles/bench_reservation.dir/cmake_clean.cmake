@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reservation.dir/bench_reservation.cc.o"
+  "CMakeFiles/bench_reservation.dir/bench_reservation.cc.o.d"
+  "bench_reservation"
+  "bench_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

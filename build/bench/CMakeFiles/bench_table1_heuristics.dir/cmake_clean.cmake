@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_heuristics.dir/bench_table1_heuristics.cc.o"
+  "CMakeFiles/bench_table1_heuristics.dir/bench_table1_heuristics.cc.o.d"
+  "bench_table1_heuristics"
+  "bench_table1_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_schedulers.dir/bench_table2_schedulers.cc.o"
+  "CMakeFiles/bench_table2_schedulers.dir/bench_table2_schedulers.cc.o.d"
+  "bench_table2_schedulers"
+  "bench_table2_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_structure.dir/bench_table3_structure.cc.o"
+  "CMakeFiles/bench_table3_structure.dir/bench_table3_structure.cc.o.d"
+  "bench_table3_structure"
+  "bench_table3_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

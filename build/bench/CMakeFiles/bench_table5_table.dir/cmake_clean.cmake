@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_table.dir/bench_table5_table.cc.o"
+  "CMakeFiles/bench_table5_table.dir/bench_table5_table.cc.o.d"
+  "bench_table5_table"
+  "bench_table5_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

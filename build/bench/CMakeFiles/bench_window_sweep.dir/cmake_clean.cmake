@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_sweep.dir/bench_window_sweep.cc.o"
+  "CMakeFiles/bench_window_sweep.dir/bench_window_sweep.cc.o.d"
+  "bench_window_sweep"
+  "bench_window_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_winnowing.dir/bench_winnowing.cc.o"
+  "CMakeFiles/bench_winnowing.dir/bench_winnowing.cc.o.d"
+  "bench_winnowing"
+  "bench_winnowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_winnowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_schedulers.dir/compare_schedulers.cpp.o"
+  "CMakeFiles/compare_schedulers.dir/compare_schedulers.cpp.o.d"
+  "compare_schedulers"
+  "compare_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_tour.dir/extensions_tour.cpp.o"
+  "CMakeFiles/extensions_tour.dir/extensions_tour.cpp.o.d"
+  "extensions_tour"
+  "extensions_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepass_pressure.dir/prepass_pressure.cpp.o"
+  "CMakeFiles/prepass_pressure.dir/prepass_pressure.cpp.o.d"
+  "prepass_pressure"
+  "prepass_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepass_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prepass_pressure.
+# This may be replaced when dependencies are built.

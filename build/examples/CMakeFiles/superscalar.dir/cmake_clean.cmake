@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superscalar.dir/superscalar.cpp.o"
+  "CMakeFiles/superscalar.dir/superscalar.cpp.o.d"
+  "superscalar"
+  "superscalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superscalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transitive_arcs.dir/transitive_arcs.cpp.o"
+  "CMakeFiles/transitive_arcs.dir/transitive_arcs.cpp.o.d"
+  "transitive_arcs"
+  "transitive_arcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transitive_arcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

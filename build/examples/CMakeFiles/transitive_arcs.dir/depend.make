@@ -1,0 +1,2 @@
+# Empty dependencies file for transitive_arcs.
+# This may be replaced when dependencies are built.

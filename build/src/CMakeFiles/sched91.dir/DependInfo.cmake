@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend.cc" "src/CMakeFiles/sched91.dir/core/backend.cc.o" "gcc" "src/CMakeFiles/sched91.dir/core/backend.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/sched91.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/sched91.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/dag/builder.cc" "src/CMakeFiles/sched91.dir/dag/builder.cc.o" "gcc" "src/CMakeFiles/sched91.dir/dag/builder.cc.o.d"
+  "/root/repo/src/dag/dag.cc" "src/CMakeFiles/sched91.dir/dag/dag.cc.o" "gcc" "src/CMakeFiles/sched91.dir/dag/dag.cc.o.d"
+  "/root/repo/src/dag/dag_stats.cc" "src/CMakeFiles/sched91.dir/dag/dag_stats.cc.o" "gcc" "src/CMakeFiles/sched91.dir/dag/dag_stats.cc.o.d"
+  "/root/repo/src/dag/dot_export.cc" "src/CMakeFiles/sched91.dir/dag/dot_export.cc.o" "gcc" "src/CMakeFiles/sched91.dir/dag/dot_export.cc.o.d"
+  "/root/repo/src/dag/memdep.cc" "src/CMakeFiles/sched91.dir/dag/memdep.cc.o" "gcc" "src/CMakeFiles/sched91.dir/dag/memdep.cc.o.d"
+  "/root/repo/src/dag/n2_forward.cc" "src/CMakeFiles/sched91.dir/dag/n2_forward.cc.o" "gcc" "src/CMakeFiles/sched91.dir/dag/n2_forward.cc.o.d"
+  "/root/repo/src/dag/n2_landskov.cc" "src/CMakeFiles/sched91.dir/dag/n2_landskov.cc.o" "gcc" "src/CMakeFiles/sched91.dir/dag/n2_landskov.cc.o.d"
+  "/root/repo/src/dag/table_backward.cc" "src/CMakeFiles/sched91.dir/dag/table_backward.cc.o" "gcc" "src/CMakeFiles/sched91.dir/dag/table_backward.cc.o.d"
+  "/root/repo/src/dag/table_forward.cc" "src/CMakeFiles/sched91.dir/dag/table_forward.cc.o" "gcc" "src/CMakeFiles/sched91.dir/dag/table_forward.cc.o.d"
+  "/root/repo/src/heuristics/dynamic.cc" "src/CMakeFiles/sched91.dir/heuristics/dynamic.cc.o" "gcc" "src/CMakeFiles/sched91.dir/heuristics/dynamic.cc.o.d"
+  "/root/repo/src/heuristics/heuristic.cc" "src/CMakeFiles/sched91.dir/heuristics/heuristic.cc.o" "gcc" "src/CMakeFiles/sched91.dir/heuristics/heuristic.cc.o.d"
+  "/root/repo/src/heuristics/register_pressure.cc" "src/CMakeFiles/sched91.dir/heuristics/register_pressure.cc.o" "gcc" "src/CMakeFiles/sched91.dir/heuristics/register_pressure.cc.o.d"
+  "/root/repo/src/heuristics/static_passes.cc" "src/CMakeFiles/sched91.dir/heuristics/static_passes.cc.o" "gcc" "src/CMakeFiles/sched91.dir/heuristics/static_passes.cc.o.d"
+  "/root/repo/src/ir/basic_block.cc" "src/CMakeFiles/sched91.dir/ir/basic_block.cc.o" "gcc" "src/CMakeFiles/sched91.dir/ir/basic_block.cc.o.d"
+  "/root/repo/src/ir/instruction.cc" "src/CMakeFiles/sched91.dir/ir/instruction.cc.o" "gcc" "src/CMakeFiles/sched91.dir/ir/instruction.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/CMakeFiles/sched91.dir/ir/opcode.cc.o" "gcc" "src/CMakeFiles/sched91.dir/ir/opcode.cc.o.d"
+  "/root/repo/src/ir/operand.cc" "src/CMakeFiles/sched91.dir/ir/operand.cc.o" "gcc" "src/CMakeFiles/sched91.dir/ir/operand.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/CMakeFiles/sched91.dir/ir/parser.cc.o" "gcc" "src/CMakeFiles/sched91.dir/ir/parser.cc.o.d"
+  "/root/repo/src/ir/program.cc" "src/CMakeFiles/sched91.dir/ir/program.cc.o" "gcc" "src/CMakeFiles/sched91.dir/ir/program.cc.o.d"
+  "/root/repo/src/ir/resource.cc" "src/CMakeFiles/sched91.dir/ir/resource.cc.o" "gcc" "src/CMakeFiles/sched91.dir/ir/resource.cc.o.d"
+  "/root/repo/src/machine/function_unit.cc" "src/CMakeFiles/sched91.dir/machine/function_unit.cc.o" "gcc" "src/CMakeFiles/sched91.dir/machine/function_unit.cc.o.d"
+  "/root/repo/src/machine/machine_model.cc" "src/CMakeFiles/sched91.dir/machine/machine_model.cc.o" "gcc" "src/CMakeFiles/sched91.dir/machine/machine_model.cc.o.d"
+  "/root/repo/src/machine/presets.cc" "src/CMakeFiles/sched91.dir/machine/presets.cc.o" "gcc" "src/CMakeFiles/sched91.dir/machine/presets.cc.o.d"
+  "/root/repo/src/regalloc/local_allocator.cc" "src/CMakeFiles/sched91.dir/regalloc/local_allocator.cc.o" "gcc" "src/CMakeFiles/sched91.dir/regalloc/local_allocator.cc.o.d"
+  "/root/repo/src/sched/algorithms/gibbons_muchnick.cc" "src/CMakeFiles/sched91.dir/sched/algorithms/gibbons_muchnick.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/algorithms/gibbons_muchnick.cc.o.d"
+  "/root/repo/src/sched/algorithms/krishnamurthy.cc" "src/CMakeFiles/sched91.dir/sched/algorithms/krishnamurthy.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/algorithms/krishnamurthy.cc.o.d"
+  "/root/repo/src/sched/algorithms/schlansker.cc" "src/CMakeFiles/sched91.dir/sched/algorithms/schlansker.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/algorithms/schlansker.cc.o.d"
+  "/root/repo/src/sched/algorithms/shieh_papachristou.cc" "src/CMakeFiles/sched91.dir/sched/algorithms/shieh_papachristou.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/algorithms/shieh_papachristou.cc.o.d"
+  "/root/repo/src/sched/algorithms/tiemann.cc" "src/CMakeFiles/sched91.dir/sched/algorithms/tiemann.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/algorithms/tiemann.cc.o.d"
+  "/root/repo/src/sched/algorithms/warren.cc" "src/CMakeFiles/sched91.dir/sched/algorithms/warren.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/algorithms/warren.cc.o.d"
+  "/root/repo/src/sched/branch_and_bound.cc" "src/CMakeFiles/sched91.dir/sched/branch_and_bound.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/branch_and_bound.cc.o.d"
+  "/root/repo/src/sched/delay_slot.cc" "src/CMakeFiles/sched91.dir/sched/delay_slot.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/delay_slot.cc.o.d"
+  "/root/repo/src/sched/fixup.cc" "src/CMakeFiles/sched91.dir/sched/fixup.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/fixup.cc.o.d"
+  "/root/repo/src/sched/global_info.cc" "src/CMakeFiles/sched91.dir/sched/global_info.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/global_info.cc.o.d"
+  "/root/repo/src/sched/list_scheduler.cc" "src/CMakeFiles/sched91.dir/sched/list_scheduler.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/list_scheduler.cc.o.d"
+  "/root/repo/src/sched/pipeline_sim.cc" "src/CMakeFiles/sched91.dir/sched/pipeline_sim.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/pipeline_sim.cc.o.d"
+  "/root/repo/src/sched/registry.cc" "src/CMakeFiles/sched91.dir/sched/registry.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/registry.cc.o.d"
+  "/root/repo/src/sched/report.cc" "src/CMakeFiles/sched91.dir/sched/report.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/report.cc.o.d"
+  "/root/repo/src/sched/reservation.cc" "src/CMakeFiles/sched91.dir/sched/reservation.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/reservation.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/CMakeFiles/sched91.dir/sched/schedule.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/schedule.cc.o.d"
+  "/root/repo/src/sched/simple_forward.cc" "src/CMakeFiles/sched91.dir/sched/simple_forward.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/simple_forward.cc.o.d"
+  "/root/repo/src/sched/timeline.cc" "src/CMakeFiles/sched91.dir/sched/timeline.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sched/timeline.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/CMakeFiles/sched91.dir/sim/executor.cc.o" "gcc" "src/CMakeFiles/sched91.dir/sim/executor.cc.o.d"
+  "/root/repo/src/support/bitmap.cc" "src/CMakeFiles/sched91.dir/support/bitmap.cc.o" "gcc" "src/CMakeFiles/sched91.dir/support/bitmap.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/sched91.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/sched91.dir/support/stats.cc.o.d"
+  "/root/repo/src/support/string_util.cc" "src/CMakeFiles/sched91.dir/support/string_util.cc.o" "gcc" "src/CMakeFiles/sched91.dir/support/string_util.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/sched91.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/sched91.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/kernels.cc" "src/CMakeFiles/sched91.dir/workload/kernels.cc.o" "gcc" "src/CMakeFiles/sched91.dir/workload/kernels.cc.o.d"
+  "/root/repo/src/workload/profiles.cc" "src/CMakeFiles/sched91.dir/workload/profiles.cc.o" "gcc" "src/CMakeFiles/sched91.dir/workload/profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsched91.a"
+)

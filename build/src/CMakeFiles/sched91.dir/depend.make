@@ -1,0 +1,2 @@
+# Empty dependencies file for sched91.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_block_test.dir/basic_block_test.cc.o"
+  "CMakeFiles/basic_block_test.dir/basic_block_test.cc.o.d"
+  "basic_block_test"
+  "basic_block_test.pdb"
+  "basic_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

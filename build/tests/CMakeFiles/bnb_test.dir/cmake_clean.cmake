@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bnb_test.dir/bnb_test.cc.o"
+  "CMakeFiles/bnb_test.dir/bnb_test.cc.o.d"
+  "bnb_test"
+  "bnb_test.pdb"
+  "bnb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bnb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

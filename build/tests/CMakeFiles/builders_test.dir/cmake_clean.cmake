@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builders_test.dir/builders_test.cc.o"
+  "CMakeFiles/builders_test.dir/builders_test.cc.o.d"
+  "builders_test"
+  "builders_test.pdb"
+  "builders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

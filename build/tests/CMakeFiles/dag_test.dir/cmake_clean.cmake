@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_test.dir/dag_test.cc.o"
+  "CMakeFiles/dag_test.dir/dag_test.cc.o.d"
+  "dag_test"
+  "dag_test.pdb"
+  "dag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_stats_test.dir/decision_stats_test.cc.o"
+  "CMakeFiles/decision_stats_test.dir/decision_stats_test.cc.o.d"
+  "decision_stats_test"
+  "decision_stats_test.pdb"
+  "decision_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_slot_test.dir/delay_slot_test.cc.o"
+  "CMakeFiles/delay_slot_test.dir/delay_slot_test.cc.o.d"
+  "delay_slot_test"
+  "delay_slot_test.pdb"
+  "delay_slot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_slot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_test.dir/figure1_test.cc.o"
+  "CMakeFiles/figure1_test.dir/figure1_test.cc.o.d"
+  "figure1_test"
+  "figure1_test.pdb"
+  "figure1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

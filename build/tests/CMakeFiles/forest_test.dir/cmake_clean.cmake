@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forest_test.dir/forest_test.cc.o"
+  "CMakeFiles/forest_test.dir/forest_test.cc.o.d"
+  "forest_test"
+  "forest_test.pdb"
+  "forest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_info_test.dir/global_info_test.cc.o"
+  "CMakeFiles/global_info_test.dir/global_info_test.cc.o.d"
+  "global_info_test"
+  "global_info_test.pdb"
+  "global_info_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_info_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_test.dir/ir_test.cc.o"
+  "CMakeFiles/ir_test.dir/ir_test.cc.o.d"
+  "ir_test"
+  "ir_test.pdb"
+  "ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdep_test.dir/memdep_test.cc.o"
+  "CMakeFiles/memdep_test.dir/memdep_test.cc.o.d"
+  "memdep_test"
+  "memdep_test.pdb"
+  "memdep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

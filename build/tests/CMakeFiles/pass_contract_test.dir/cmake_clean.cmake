@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass_contract_test.dir/pass_contract_test.cc.o"
+  "CMakeFiles/pass_contract_test.dir/pass_contract_test.cc.o.d"
+  "pass_contract_test"
+  "pass_contract_test.pdb"
+  "pass_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

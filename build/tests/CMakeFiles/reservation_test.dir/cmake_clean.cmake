@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservation_test.dir/reservation_test.cc.o"
+  "CMakeFiles/reservation_test.dir/reservation_test.cc.o.d"
+  "reservation_test"
+  "reservation_test.pdb"
+  "reservation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_preservation_test.dir/semantic_preservation_test.cc.o"
+  "CMakeFiles/semantic_preservation_test.dir/semantic_preservation_test.cc.o.d"
+  "semantic_preservation_test"
+  "semantic_preservation_test.pdb"
+  "semantic_preservation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_preservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched91-cli.dir/sched91_cli.cc.o"
+  "CMakeFiles/sched91-cli.dir/sched91_cli.cc.o.d"
+  "sched91"
+  "sched91.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched91-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sched91-cli.
+# This may be replaced when dependencies are built.
