@@ -83,6 +83,50 @@ timedPipeline(const Workload &w, const MachineModel &machine,
     return sum;
 }
 
+/**
+ * One extra pipeline run with the observability layer enabled; the
+ * returned result carries the run's counter deltas in `.counters`.
+ * Kept separate from timedPipeline so the timed runs measure the
+ * counters-off configuration (the shipping default).
+ */
+inline ProgramResult
+countedPipeline(const Workload &w, const MachineModel &machine,
+                PipelineOptions opts)
+{
+    opts.partition.window = w.window;
+    bool was_enabled = obs::enabled();
+    obs::setEnabled(true);
+    Program prog = loadProgram(w);
+    ProgramResult res = runPipeline(prog, machine, opts);
+    obs::setEnabled(was_enabled);
+    return res;
+}
+
+/**
+ * Emit one bench observation as a JSON line on @p out (one object per
+ * workload/config: name, phase seconds, and nonzero counter deltas).
+ * Machine-readable companion to the printed tables.
+ */
+inline void
+emitBenchJsonLine(std::FILE *out, const std::string &bench,
+                  const std::string &workload, const ProgramResult &res)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("bench").value(bench)
+        .key("workload").value(workload)
+        .key("build_seconds").value(res.buildSeconds)
+        .key("heur_seconds").value(res.heurSeconds)
+        .key("sched_seconds").value(res.schedSeconds);
+    w.key("counters");
+    obs::CounterSet nz = res.counters.nonzero();
+    w.beginObject();
+    for (const auto &[name, value] : nz.items())
+        w.key(name).value(value);
+    w.endObject().endObject();
+    std::fprintf(out, "%s\n", w.take().c_str());
+}
+
 /** printf a row of right-aligned cells. */
 inline void
 printCells(const std::vector<std::string> &cells,

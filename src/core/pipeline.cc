@@ -2,8 +2,9 @@
 
 #include "dag/table_forward.hh"
 #include "heuristics/register_pressure.hh"
+#include "obs/phase.hh"
+#include "obs/trace.hh"
 #include "sched/list_scheduler.hh"
-#include "support/timer.hh"
 
 namespace sched91
 {
@@ -25,6 +26,46 @@ runNeededPasses(Dag &dag, const SchedulerConfig &config, PassImpl impl)
         computeRegisterPressure(dag);
 }
 
+/**
+ * Per-block trace emission: snapshots the counter registry around
+ * each phase and fires one event with the phase's deltas.  Inactive
+ * (and cost-free beyond one branch) unless both a sink is configured
+ * and the observability layer is on.
+ */
+class BlockTracer
+{
+  public:
+    BlockTracer(obs::TraceSink *sink, std::size_t block,
+                const BasicBlock &bb)
+        : sink_(obs::enabled() ? sink : nullptr), block_(block), bb_(bb)
+    {
+        if (sink_)
+            before_ = obs::CounterRegistry::global().snapshot();
+    }
+
+    void
+    phaseDone(const char *phase, double seconds)
+    {
+        if (!sink_)
+            return;
+        obs::TraceEvent ev;
+        ev.block = block_;
+        ev.begin = bb_.begin;
+        ev.size = bb_.size();
+        ev.phase = phase;
+        ev.seconds = seconds;
+        ev.counters = obs::CounterRegistry::global().deltaSince(before_);
+        sink_->event(ev);
+        before_ = obs::CounterRegistry::global().snapshot();
+    }
+
+  private:
+    obs::TraceSink *sink_;
+    std::size_t block_;
+    const BasicBlock &bb_;
+    obs::CounterSet before_;
+};
+
 } // namespace
 
 ProgramResult
@@ -40,24 +81,34 @@ runPipeline(Program &prog, const MachineModel &machine,
     result.numBlocks = blocks.size();
     result.numInsts = prog.size();
 
-    for (const BasicBlock &bb : blocks) {
+    obs::CounterSet run_before;
+    if (obs::enabled())
+        run_before = obs::CounterRegistry::global().snapshot();
+
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const BasicBlock &bb = blocks[b];
         BlockView block(prog, bb);
+        BlockTracer tracer(opts.trace, b, bb);
 
-        Timer t;
+        obs::ScopedPhase build_phase("build");
         Dag dag = builder->build(block, machine, opts.build);
-        result.buildSeconds += t.seconds();
+        result.buildSeconds += build_phase.stop();
+        tracer.phaseDone("build", build_phase.seconds());
 
-        t.reset();
+        obs::ScopedPhase heur_phase("heur");
         runNeededPasses(dag, spec.config, opts.passImpl);
-        result.heurSeconds += t.seconds();
+        result.heurSeconds += heur_phase.stop();
+        tracer.phaseDone("heur", heur_phase.seconds());
 
-        t.reset();
+        obs::ScopedPhase sched_phase("sched");
         Schedule sched = scheduler.run(dag);
-        result.schedSeconds += t.seconds();
+        result.schedSeconds += sched_phase.stop();
+        tracer.phaseDone("sched", sched_phase.seconds());
 
         result.dagStats.accumulate(dag);
 
         if (opts.evaluate) {
+            obs::ScopedPhase eval_phase("evaluate");
             // Ground truth: a timing-complete DAG.  Table-built DAGs
             // preserve every timing constraint (Section 2), so reuse
             // the scheduler's DAG when it came from a table builder
@@ -86,8 +137,14 @@ runPipeline(Program &prog, const MachineModel &machine,
                 result.cyclesScheduled +=
                     simulateSchedule(gt, sched.order, machine).cycles;
             }
+            eval_phase.stop();
+            tracer.phaseDone("evaluate", eval_phase.seconds());
         }
     }
+
+    if (obs::enabled())
+        result.counters =
+            obs::CounterRegistry::global().deltaSince(run_before);
 
     return result;
 }
@@ -98,10 +155,20 @@ scheduleBlock(const BlockView &block, const MachineModel &machine,
 {
     AlgorithmSpec spec = algorithmSpec(opts.algorithm);
     std::unique_ptr<DagBuilder> builder = makeBuilder(opts.builder);
+
+    obs::ScopedPhase build_phase("build");
     Dag dag = builder->build(block, machine, opts.build);
+    build_phase.stop();
+
+    obs::ScopedPhase heur_phase("heur");
     runNeededPasses(dag, spec.config, opts.passImpl);
+    heur_phase.stop();
+
     ListScheduler scheduler(spec.config, machine);
+    obs::ScopedPhase sched_phase("sched");
     Schedule sched = scheduler.run(dag);
+    sched_phase.stop();
+
     return BlockScheduleResult{std::move(dag), std::move(sched)};
 }
 

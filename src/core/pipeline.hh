@@ -24,11 +24,17 @@
 #include "heuristics/static_passes.hh"
 #include "ir/basic_block.hh"
 #include "machine/machine_model.hh"
+#include "obs/counters.hh"
 #include "sched/pipeline_sim.hh"
 #include "sched/registry.hh"
 
 namespace sched91
 {
+
+namespace obs
+{
+class TraceSink;
+} // namespace obs
 
 /** Pipeline configuration. */
 struct PipelineOptions
@@ -45,6 +51,12 @@ struct PipelineOptions
      * is *not* charged to the three scheduling phases).
      */
     bool evaluate = false;
+
+    /**
+     * Optional per-block per-phase trace consumer.  Events fire only
+     * while the observability layer is enabled (obs::setEnabled).
+     */
+    obs::TraceSink *trace = nullptr;
 };
 
 /** Aggregated outcome of scheduling a whole program. */
@@ -70,6 +82,13 @@ struct ProgramResult
     // Quality (only when PipelineOptions::evaluate).
     long long cyclesOriginal = 0;  ///< sum over blocks, original order
     long long cyclesScheduled = 0; ///< sum over blocks, scheduled order
+
+    /**
+     * Event-counter deltas attributable to this run (Table 1's
+     * a/f/b/v work, counted).  Empty unless the observability layer
+     * was enabled for the run.
+     */
+    obs::CounterSet counters;
 };
 
 /**

@@ -41,6 +41,12 @@
 #include "machine/function_unit.hh"
 #include "machine/machine_model.hh"
 #include "machine/presets.hh"
+#include "obs/counters.hh"
+#include "obs/emitter.hh"
+#include "obs/events.hh"
+#include "obs/json.hh"
+#include "obs/phase.hh"
+#include "obs/trace.hh"
 #include "regalloc/local_allocator.hh"
 #include "sched/algorithms/algorithms.hh"
 #include "sched/branch_and_bound.hh"

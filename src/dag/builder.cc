@@ -4,6 +4,7 @@
 #include "dag/n2_landskov.hh"
 #include "dag/table_backward.hh"
 #include "dag/table_forward.hh"
+#include "obs/events.hh"
 #include "support/logging.hh"
 
 namespace sched91
@@ -72,6 +73,7 @@ void
 addPairwiseArcs(Dag &dag, std::uint32_t i, std::uint32_t j,
                 const MachineModel &machine, const MemDisambiguator &mem)
 {
+    obs::ev::dagPairwiseCompares.inc();
     const Instruction &earlier = *dag.node(i).inst;
     const Instruction &later = *dag.node(j).inst;
 

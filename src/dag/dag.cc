@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/events.hh"
 #include "support/logging.hh"
 
 namespace sched91
@@ -91,6 +92,7 @@ Dag::addArc(std::uint32_t from, std::uint32_t to, DepKind kind, int delay,
             arc.res = res;
         }
         ++duplicates_;
+        obs::ev::dagArcsDuplicate.inc();
         return AddArcResult::Duplicate;
     }
 
@@ -101,10 +103,12 @@ Dag::addArc(std::uint32_t from, std::uint32_t to, DepKind kind, int delay,
                              : reach_[to].test(from);
         if (reachable) {
             ++suppressed_;
+            obs::ev::dagArcsSuppressed.inc();
             return AddArcResult::Suppressed;
         }
     }
 
+    obs::ev::dagArcsAdded.inc();
     std::uint32_t id = static_cast<std::uint32_t>(arcs_.size());
     arcs_.push_back(Arc{from, to, kind, delay, res});
     nodes_[from].succArcs.push_back(id);

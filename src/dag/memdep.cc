@@ -1,5 +1,7 @@
 #include "dag/memdep.hh"
 
+#include "obs/events.hh"
+
 namespace sched91
 {
 
@@ -18,6 +20,7 @@ aliasPolicyName(AliasPolicy policy)
 AliasResult
 MemDisambiguator::alias(const MemOperand &a, const MemOperand &b) const
 {
+    obs::ev::dagAliasQueries.inc();
     if (policy_ == AliasPolicy::SerializeAll)
         return AliasResult::MustAlias;
 

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "obs/events.hh"
+
 namespace sched91
 {
 
@@ -26,12 +28,17 @@ TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
     std::array<SlotEntry, Resource::kNumSlots> table{};
     std::vector<MemEntry> mem_entries;
 
+    // Definition-table and memory-entry probes, accumulated locally
+    // and flushed once per block (Table 5's unit of work).
+    std::uint64_t probes = 0;
+
     for (std::uint32_t j = block.size(); j-- > 0;) {
         const Instruction &inst = block.inst(j);
         dag.beginArcGroup(j);
 
         // --- resources defined (processed before uses) ---------------
         for (Resource r : inst.defs()) {
+            ++probes;
             SlotEntry &e = table[r.slot()];
             if (e.def >= 0 && e.uses.empty()) {
                 std::uint32_t d = static_cast<std::uint32_t>(e.def);
@@ -51,6 +58,7 @@ TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
             const MemOperand &ref = *inst.mem();
             bool claimed = false;
             for (MemEntry &e : mem_entries) {
+                ++probes;
                 AliasResult rel = disamb.alias(ref, e.ref);
                 if (rel == AliasResult::NoAlias)
                     continue;
@@ -76,6 +84,7 @@ TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
 
         // --- resources used -------------------------------------------
         for (Resource r : inst.uses()) {
+            ++probes;
             SlotEntry &e = table[r.slot()];
             if (e.def >= 0 && e.def != j) {
                 std::uint32_t d = static_cast<std::uint32_t>(e.def);
@@ -90,6 +99,7 @@ TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
             const MemOperand &ref = *inst.mem();
             bool claimed = false;
             for (MemEntry &e : mem_entries) {
+                ++probes;
                 AliasResult rel = disamb.alias(ref, e.ref);
                 if (rel == AliasResult::NoAlias)
                     continue;
@@ -108,6 +118,8 @@ TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
                 mem_entries.push_back(MemEntry{ref, -1, {j}});
         }
     }
+
+    obs::ev::dagTableProbes.inc(probes);
 }
 
 } // namespace sched91

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "obs/events.hh"
+
 namespace sched91
 {
 
@@ -26,6 +28,10 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
     std::array<SlotEntry, Resource::kNumSlots> table{};
     std::vector<MemEntry> mem_entries;
 
+    // Definition-table and memory-entry probes, accumulated locally
+    // and flushed once per block (Table 5's unit of work).
+    std::uint64_t probes = 0;
+
     std::uint32_t n = block.size();
     for (std::uint32_t j = 0; j < n; ++j) {
         const Instruction &inst = block.inst(j);
@@ -33,6 +39,7 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
 
         // --- resources used (processed before definitions) ----------
         for (Resource r : inst.uses()) {
+            ++probes;
             SlotEntry &e = table[r.slot()];
             if (e.def >= 0) {
                 std::uint32_t d = static_cast<std::uint32_t>(e.def);
@@ -47,6 +54,7 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
             const MemOperand &ref = *inst.mem();
             bool claimed = false;
             for (MemEntry &e : mem_entries) {
+                ++probes;
                 AliasResult rel = disamb.alias(ref, e.ref);
                 if (rel == AliasResult::NoAlias)
                     continue;
@@ -67,6 +75,7 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
 
         // --- resources defined ---------------------------------------
         for (Resource r : inst.defs()) {
+            ++probes;
             SlotEntry &e = table[r.slot()];
             if (!e.uses.empty()) {
                 for (std::uint32_t u : e.uses)
@@ -88,6 +97,7 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
             const MemOperand &ref = *inst.mem();
             bool claimed = false;
             for (MemEntry &e : mem_entries) {
+                ++probes;
                 AliasResult rel = disamb.alias(ref, e.ref);
                 if (rel == AliasResult::NoAlias)
                     continue;
@@ -114,6 +124,8 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
                 mem_entries.push_back(MemEntry{ref, j, {}});
         }
     }
+
+    obs::ev::dagTableProbes.inc(probes);
 }
 
 } // namespace sched91

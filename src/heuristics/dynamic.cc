@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/events.hh"
+
 namespace sched91
 {
 
@@ -75,6 +77,7 @@ onScheduledForward(Dag &dag, std::uint32_t n, int issue_time)
 {
     DagNode &node = dag.node(n);
     node.ann.scheduled = true;
+    obs::ev::schedDepUpdates.inc(node.succArcs.size());
     for (std::uint32_t arc_id : node.succArcs) {
         const Arc &arc = dag.arc(arc_id);
         NodeAnnotations &c = dag.node(arc.to).ann;
@@ -90,6 +93,7 @@ onScheduledBackward(Dag &dag, std::uint32_t n, bool birthing,
 {
     DagNode &node = dag.node(n);
     node.ann.scheduled = true;
+    obs::ev::schedDepUpdates.inc(node.predArcs.size());
     for (std::uint32_t arc_id : node.predArcs) {
         const Arc &arc = dag.arc(arc_id);
         NodeAnnotations &p = dag.node(arc.from).ann;

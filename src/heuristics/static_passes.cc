@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/events.hh"
+#include "obs/phase.hh"
 #include "support/logging.hh"
 
 namespace sched91
@@ -70,6 +72,8 @@ passImplName(PassImpl impl)
 void
 runForwardPass(Dag &dag, PassImpl impl)
 {
+    obs::ScopedPhase phase("heur-fwd");
+    obs::ev::heurForwardVisits.inc(dag.size());
     forEachTopo(dag, impl, [&dag](std::uint32_t i) {
         DagNode &node = dag.node(i);
         NodeAnnotations &a = node.ann;
@@ -92,6 +96,9 @@ runForwardPass(Dag &dag, PassImpl impl)
 void
 runBackwardPass(Dag &dag, PassImpl impl, bool compute_descendants)
 {
+    obs::ScopedPhase phase("heur-bwd");
+    obs::ev::heurBackwardVisits.inc(dag.size());
+
     // Descendant maps: reuse the builder's when it maintained
     // descendant-mode maps (backward table building), else compute them
     // with one sweep.
@@ -101,6 +108,7 @@ runBackwardPass(Dag &dag, PassImpl impl, bool compute_descendants)
         if (dag.reachMode() == ReachMode::Descendants) {
             // Builder-maintained; accessed per node below.
         } else {
+            obs::ev::heurDescendantSweeps.inc();
             local_maps = dag.computeDescendantMaps();
             maps = &local_maps;
         }
@@ -154,6 +162,7 @@ runBackwardPass(Dag &dag, PassImpl impl, bool compute_descendants)
 void
 computeSlack(Dag &dag)
 {
+    obs::ev::heurSlackComputes.inc(dag.size());
     for (auto &node : dag.nodes())
         node.ann.slack = node.ann.latestStart - node.ann.earliestStart;
 }

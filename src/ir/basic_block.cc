@@ -3,6 +3,8 @@
 #include <array>
 #include <unordered_set>
 
+#include "obs/events.hh"
+
 namespace sched91
 {
 
@@ -59,6 +61,7 @@ partitionBlocks(Program &prog, const PartitionOptions &opts)
         // Instruction window: force a split at the size cap.
         if (opts.window > 0 &&
             i + 1 - begin >= static_cast<std::uint32_t>(opts.window)) {
+            obs::ev::dagWindowFlushes.inc();
             close(i + 1);
         }
     }

@@ -1,0 +1,148 @@
+#include "obs/counters.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace sched91::obs
+{
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled = on;
+}
+
+// --- CounterSet ------------------------------------------------------
+
+std::vector<CounterSet::Item>::iterator
+CounterSet::lowerBound(std::string_view name)
+{
+    return std::lower_bound(items_.begin(), items_.end(), name,
+                            [](const Item &item, std::string_view key) {
+                                return item.first < key;
+                            });
+}
+
+std::vector<CounterSet::Item>::const_iterator
+CounterSet::lowerBound(std::string_view name) const
+{
+    return std::lower_bound(items_.begin(), items_.end(), name,
+                            [](const Item &item, std::string_view key) {
+                                return item.first < key;
+                            });
+}
+
+void
+CounterSet::set(std::string name, std::uint64_t value)
+{
+    auto it = lowerBound(name);
+    if (it != items_.end() && it->first == name)
+        it->second = value;
+    else
+        items_.insert(it, Item{std::move(name), value});
+}
+
+std::uint64_t
+CounterSet::value(std::string_view name) const
+{
+    auto it = lowerBound(name);
+    return it != items_.end() && it->first == name ? it->second : 0;
+}
+
+bool
+CounterSet::contains(std::string_view name) const
+{
+    auto it = lowerBound(name);
+    return it != items_.end() && it->first == name;
+}
+
+void
+CounterSet::merge(const CounterSet &other)
+{
+    for (const Item &item : other.items_) {
+        auto it = lowerBound(item.first);
+        if (it != items_.end() && it->first == item.first)
+            it->second += item.second;
+        else
+            items_.insert(it, item);
+    }
+}
+
+CounterSet
+CounterSet::nonzero() const
+{
+    CounterSet out;
+    for (const Item &item : items_)
+        if (item.second != 0)
+            out.items_.push_back(item);
+    return out;
+}
+
+// --- CounterRegistry -------------------------------------------------
+
+CounterRegistry &
+CounterRegistry::global()
+{
+    static CounterRegistry instance;
+    return instance;
+}
+
+std::size_t
+CounterRegistry::add(std::string_view name)
+{
+    if (index_.find(name) != index_.end())
+        panic("duplicate counter '", std::string(name), "'");
+    std::size_t id = names_.size();
+    names_.emplace_back(name);
+    slots_.push_back(0);
+    index_.emplace(names_.back(), id);
+    return id;
+}
+
+std::size_t
+CounterRegistry::getOrAdd(std::string_view name)
+{
+    auto it = index_.find(name);
+    return it != index_.end() ? it->second : add(name);
+}
+
+std::size_t
+CounterRegistry::find(std::string_view name) const
+{
+    auto it = index_.find(name);
+    return it != index_.end() ? it->second : npos;
+}
+
+std::uint64_t
+CounterRegistry::valueByName(std::string_view name) const
+{
+    std::size_t id = find(name);
+    return id == npos ? 0 : slots_[id];
+}
+
+void
+CounterRegistry::resetAll()
+{
+    std::fill(slots_.begin(), slots_.end(), 0);
+}
+
+CounterSet
+CounterRegistry::snapshot() const
+{
+    CounterSet out;
+    for (std::size_t id = 0; id < names_.size(); ++id)
+        out.set(names_[id], slots_[id]);
+    return out;
+}
+
+CounterSet
+CounterRegistry::deltaSince(const CounterSet &before) const
+{
+    CounterSet out;
+    for (std::size_t id = 0; id < names_.size(); ++id)
+        out.set(names_[id], slots_[id] - before.value(names_[id]));
+    return out;
+}
+
+} // namespace sched91::obs

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Event-counter registry: the observability layer's answer to the
+ * paper's Table 1 cost legend.  Every heuristic is classified by
+ * *when* its work happens — 'a' at add-arc time, 'f' in the forward
+ * pass, 'b' in the backward pass, 'v' at node visitation — and the
+ * counters here count exactly those events (`dag.arcs_added`,
+ * `heur.forward_visits`, `sched.node_visits`, ...), turning the
+ * classification into measurable quantities per run, per block, and
+ * per phase.
+ *
+ * Design (gem5-style stats registry discipline):
+ *
+ *  - a process-wide CounterRegistry holds named 64-bit slots with
+ *    stable addresses;
+ *  - instrumentation sites hold a Counter handle (one pointer);
+ *    increments cost a single predictable branch on the global
+ *    enable flag — nothing else — so the hot paths of Tables 4/5
+ *    are unaffected when observability is off (the default);
+ *  - CounterSet snapshots/deltas make counters resettable per block
+ *    or per phase without disturbing program-wide totals.
+ */
+
+#ifndef SCHED91_OBS_COUNTERS_HH
+#define SCHED91_OBS_COUNTERS_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sched91::obs
+{
+
+namespace detail
+{
+/** Global enable flag; read on every increment, written rarely. */
+inline bool g_enabled = false;
+} // namespace detail
+
+/** Whether event counting and phase-tree profiling are active. */
+inline bool enabled() { return detail::g_enabled; }
+
+/** Turn the observability layer on or off (off by default). */
+void setEnabled(bool on);
+
+/**
+ * An ordered name -> value mapping: a snapshot of a registry, or a
+ * delta between two snapshots.  Plain data, mergeable.
+ */
+class CounterSet
+{
+  public:
+    using Item = std::pair<std::string, std::uint64_t>;
+
+    CounterSet() = default;
+
+    /** Add (or overwrite) one entry. */
+    void set(std::string name, std::uint64_t value);
+
+    /** Value by name; 0 when absent. */
+    std::uint64_t value(std::string_view name) const;
+
+    bool contains(std::string_view name) const;
+
+    /** Sum @p other into this set, name by name. */
+    void merge(const CounterSet &other);
+
+    /** Copy with zero-valued entries dropped. */
+    CounterSet nonzero() const;
+
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+
+    /** Entries in ascending name order. */
+    const std::vector<Item> &items() const { return items_; }
+
+  private:
+    std::vector<Item> items_; ///< kept sorted by name
+
+    std::vector<Item>::iterator lowerBound(std::string_view name);
+    std::vector<Item>::const_iterator
+    lowerBound(std::string_view name) const;
+};
+
+/**
+ * Registry of named counters.  One process-wide instance backs the
+ * instrumented library; tests may create private instances.
+ */
+class CounterRegistry
+{
+  public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** The process-wide registry the Counter handles bind to. */
+    static CounterRegistry &global();
+
+    CounterRegistry() = default;
+    CounterRegistry(const CounterRegistry &) = delete;
+    CounterRegistry &operator=(const CounterRegistry &) = delete;
+
+    /**
+     * Register a new counter.  A duplicate name is a programming
+     * error and panics; use getOrAdd() for idempotent binding.
+     */
+    std::size_t add(std::string_view name);
+
+    /** Id of an existing counter, or register it. */
+    std::size_t getOrAdd(std::string_view name);
+
+    /** Id by name, npos when absent. */
+    std::size_t find(std::string_view name) const;
+
+    std::size_t size() const { return names_.size(); }
+    const std::string &name(std::size_t id) const { return names_[id]; }
+    std::uint64_t value(std::size_t id) const { return slots_[id]; }
+
+    /** Value by name; 0 when absent (so probes never fault). */
+    std::uint64_t valueByName(std::string_view name) const;
+
+    void increment(std::size_t id, std::uint64_t by = 1)
+    {
+        slots_[id] += by;
+    }
+
+    /** Raise a high-water-mark counter to @p v if it is larger. */
+    void recordMax(std::size_t id, std::uint64_t v)
+    {
+        if (v > slots_[id])
+            slots_[id] = v;
+    }
+
+    /** Zero every slot (registrations are kept). */
+    void resetAll();
+
+    /** Snapshot of all counters. */
+    CounterSet snapshot() const;
+
+    /** now - before, name by name (names absent from @p before count
+     * from zero). */
+    CounterSet deltaSince(const CounterSet &before) const;
+
+    /** Stable slot address for handle-based increments. */
+    std::uint64_t *slotAddress(std::size_t id) { return &slots_[id]; }
+
+  private:
+    std::vector<std::string> names_;
+    std::deque<std::uint64_t> slots_; ///< deque: stable addresses
+    std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+/**
+ * Cheap instrumentation handle bound to one registry slot.  Intended
+ * for namespace-scope inline definitions (see obs/events.hh): binding
+ * happens once at static initialization, and the hot-path cost of
+ * inc()/max() with observability disabled is the single branch the
+ * acceptance contract allows.
+ */
+class Counter
+{
+  public:
+    /** Bind to (registering if needed) @p name in the global registry. */
+    explicit Counter(const char *name)
+        : Counter(CounterRegistry::global(), name)
+    {
+    }
+
+    Counter(CounterRegistry &registry, const char *name)
+        : slot_(registry.slotAddress(registry.getOrAdd(name))), name_(name)
+    {
+    }
+
+    void inc(std::uint64_t n = 1)
+    {
+        if (detail::g_enabled)
+            *slot_ += n;
+    }
+
+    /** Record a high-water mark (gauge-style counter). */
+    void max(std::uint64_t v)
+    {
+        if (detail::g_enabled && v > *slot_)
+            *slot_ = v;
+    }
+
+    std::uint64_t value() const { return *slot_; }
+    const char *name() const { return name_; }
+
+  private:
+    std::uint64_t *slot_;
+    const char *name_;
+};
+
+} // namespace sched91::obs
+
+#endif // SCHED91_OBS_COUNTERS_HH

@@ -1,0 +1,140 @@
+#include "obs/emitter.hh"
+
+#include <algorithm>
+
+#include "obs/json.hh"
+#include "support/string_util.hh"
+
+namespace sched91::obs
+{
+
+namespace
+{
+
+void
+writeMinMaxAvg(JsonWriter &w, const MinMaxAvg &s)
+{
+    w.beginObject()
+        .key("max").value(s.max())
+        .key("avg").value(s.avg())
+        .endObject();
+}
+
+void
+writeCounterSet(JsonWriter &w, const CounterSet &counters)
+{
+    // Bind the filtered set before iterating: items() references the
+    // set's own storage, and a temporary would die before the loop.
+    CounterSet nz = counters.nonzero();
+    w.beginObject();
+    for (const auto &[name, value] : nz.items())
+        w.key(name).value(value);
+    w.endObject();
+}
+
+void
+writePhaseTree(JsonWriter &w, const PhaseStats &node)
+{
+    w.beginObject()
+        .key("name").value(node.name)
+        .key("entries").value(node.entries)
+        .key("seconds").value(node.seconds);
+    w.key("counters");
+    writeCounterSet(w, node.counters);
+    w.key("children").beginArray();
+    for (const PhaseStats &child : node.children)
+        writePhaseTree(w, child);
+    w.endArray().endObject();
+}
+
+} // namespace
+
+std::string
+programResultJson(const ProgramResult &result, const RunMeta &meta,
+                  const CounterSet &counters, const PhaseStats *phases)
+{
+    JsonWriter w;
+    w.beginObject();
+
+    w.key("meta").beginObject()
+        .key("tool").value("sched91")
+        .key("command").value(meta.command)
+        .key("input").value(meta.input)
+        .key("builder").value(meta.builder)
+        .key("algorithm").value(meta.algorithm)
+        .key("machine").value(meta.machine)
+        .endObject();
+
+    w.key("blocks").value(static_cast<std::uint64_t>(result.numBlocks))
+        .key("instructions")
+        .value(static_cast<std::uint64_t>(result.numInsts));
+
+    w.key("phases").beginObject()
+        .key("build_seconds").value(result.buildSeconds)
+        .key("heur_seconds").value(result.heurSeconds)
+        .key("sched_seconds").value(result.schedSeconds)
+        .key("total_seconds").value(result.totalSeconds())
+        .endObject();
+
+    const DagStructure &d = result.dagStats;
+    w.key("dag").beginObject()
+        .key("total_arcs").value(static_cast<std::uint64_t>(d.totalArcs))
+        .key("total_nodes").value(static_cast<std::uint64_t>(d.totalNodes))
+        .key("duplicate_arc_attempts")
+        .value(static_cast<std::uint64_t>(d.duplicateArcAttempts))
+        .key("suppressed_arcs")
+        .value(static_cast<std::uint64_t>(d.suppressedArcs));
+    w.key("arcs_per_block");
+    writeMinMaxAvg(w, d.arcsPerBlock);
+    w.key("children_per_inst");
+    writeMinMaxAvg(w, d.childrenPerInst);
+    w.key("trees_per_block");
+    writeMinMaxAvg(w, d.treesPerBlock);
+    w.endObject();
+
+    if (result.cyclesOriginal != 0 || result.cyclesScheduled != 0) {
+        w.key("cycles").beginObject()
+            .key("original").value(result.cyclesOriginal)
+            .key("scheduled").value(result.cyclesScheduled)
+            .endObject();
+    }
+
+    w.key("counters");
+    writeCounterSet(w, counters);
+
+    if (phases) {
+        w.key("phase_tree").beginArray();
+        for (const PhaseStats &child : phases->children)
+            writePhaseTree(w, child);
+        w.endArray();
+    }
+
+    w.endObject();
+    return w.take();
+}
+
+std::string
+counterSetJson(const CounterSet &counters)
+{
+    JsonWriter w;
+    writeCounterSet(w, counters);
+    return w.take();
+}
+
+std::string
+renderCounters(const CounterSet &counters)
+{
+    CounterSet nz = counters.nonzero();
+    std::size_t width = 0;
+    for (const auto &[name, value] : nz.items())
+        width = std::max(width, name.size());
+    std::string out;
+    for (const auto &[name, value] : nz.items()) {
+        out += padRight(name, width + 2);
+        out += std::to_string(value);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace sched91::obs

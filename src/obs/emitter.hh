@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Structured run-output emitter: serializes a whole-program pipeline
+ * result — per-phase seconds, DAG structural statistics (Tables 4/5),
+ * schedule quality, event counters (Table 1's a/f/b/v work, counted),
+ * and the nested phase tree — as one machine-readable JSON document.
+ *
+ * Schema documented in docs/OBSERVABILITY.md.
+ */
+
+#ifndef SCHED91_OBS_EMITTER_HH
+#define SCHED91_OBS_EMITTER_HH
+
+#include <string>
+
+#include "core/pipeline.hh"
+#include "obs/counters.hh"
+#include "obs/phase.hh"
+
+namespace sched91::obs
+{
+
+/** Run identification carried into the JSON `meta` object. */
+struct RunMeta
+{
+    std::string command;   ///< CLI command or bench name
+    std::string input;     ///< file, kernel, or profile name
+    std::string builder;
+    std::string algorithm;
+    std::string machine;
+};
+
+/**
+ * Serialize @p result with @p counters (typically the registry deltas
+ * for the run) and, when non-null, the phase tree rooted at @p phases.
+ * Cycle totals are included only when the result carries them.
+ */
+std::string programResultJson(const ProgramResult &result,
+                              const RunMeta &meta,
+                              const CounterSet &counters,
+                              const PhaseStats *phases = nullptr);
+
+/** Serialize one counter set as a flat JSON object. */
+std::string counterSetJson(const CounterSet &counters);
+
+/** Fixed-width text table of nonzero counters (for `--counters`). */
+std::string renderCounters(const CounterSet &counters);
+
+} // namespace sched91::obs
+
+#endif // SCHED91_OBS_EMITTER_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The library's well-known event counters, one inline handle per
+ * event so instrumentation sites pay no lookup.  Names are
+ * hierarchical (`subsystem.event`) and map onto the paper's Table 1
+ * cost legend:
+ *
+ *  - `dag.*`   — 'a' work, done while nodes/arcs are added
+ *                (Section 2, Tables 4/5 construction asymmetry);
+ *  - `heur.*`  — 'f'/'b' work, the intermediate heuristic passes
+ *                (Section 4);
+ *  - `sched.*` — 'v' work, done as the scheduler visits nodes
+ *                (Section 5).
+ *
+ * See docs/OBSERVABILITY.md for the full schema and the worked
+ * mapping to Table 1.
+ */
+
+#ifndef SCHED91_OBS_EVENTS_HH
+#define SCHED91_OBS_EVENTS_HH
+
+#include "obs/counters.hh"
+
+namespace sched91::obs::ev
+{
+
+// --- DAG construction ('a') -----------------------------------------
+
+/** Unique arcs inserted by Dag::addArc. */
+inline Counter dagArcsAdded{"dag.arcs_added"};
+
+/** (from,to) attempts merged into an existing arc. */
+inline Counter dagArcsDuplicate{"dag.arcs_duplicate"};
+
+/** Arcs dropped by Landskov-style transitive prevention. */
+inline Counter dagArcsSuppressed{"dag.arcs_suppressed"};
+
+/** Pairwise instruction comparisons made by the n**2 builders. */
+inline Counter dagPairwiseCompares{"dag.pairwise_compares"};
+
+/** Definition-table slot and memory-entry probes, table builders. */
+inline Counter dagTableProbes{"dag.table_probes"};
+
+/** Memory alias-oracle queries (any builder, any policy). */
+inline Counter dagAliasQueries{"dag.alias_queries"};
+
+/** Blocks force-split by the instruction window during partitioning. */
+inline Counter dagWindowFlushes{"dag.window_flushes"};
+
+// --- Heuristic passes ('f' / 'b') -----------------------------------
+
+/** Node visitations by the forward pass (EST and friends). */
+inline Counter heurForwardVisits{"heur.forward_visits"};
+
+/** Node visitations by the backward pass (LST, delays-to-leaf). */
+inline Counter heurBackwardVisits{"heur.backward_visits"};
+
+/** Nodes whose slack was derived (LST - EST). */
+inline Counter heurSlackComputes{"heur.slack_computes"};
+
+/** Descendant bitmaps materialized by a separate sweep (the backward
+ * pass had no builder-maintained maps to reuse). */
+inline Counter heurDescendantSweeps{"heur.descendant_sweeps"};
+
+// --- List scheduling ('v') ------------------------------------------
+
+/** Nodes scheduled (candidate-list extractions). */
+inline Counter schedNodeVisits{"sched.node_visits"};
+
+/** Individual heuristic evaluations during candidate selection. */
+inline Counter schedHeuristicEvals{"sched.heuristic_evals"};
+
+/** High-water mark of the ready/candidate list. */
+inline Counter schedReadyListPeak{"sched.ready_list_peak"};
+
+/** Dependence-arc relaxations when a scheduled node releases
+ * successors (forward) or predecessors (backward). */
+inline Counter schedDepUpdates{"sched.dep_updates"};
+
+} // namespace sched91::obs::ev
+
+#endif // SCHED91_OBS_EVENTS_HH

@@ -1,0 +1,164 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace sched91::obs
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (!hasElement_.empty()) {
+        if (hasElement_.back())
+            out_ += ',';
+        hasElement_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    SCHED91_ASSERT(!hasElement_.empty() && !pendingKey_,
+                   "misnested endObject");
+    out_ += '}';
+    hasElement_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    SCHED91_ASSERT(!hasElement_.empty() && !pendingKey_,
+                   "misnested endArray");
+    out_ += ']';
+    hasElement_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    SCHED91_ASSERT(!hasElement_.empty() && !pendingKey_,
+                   "key outside object");
+    if (hasElement_.back())
+        out_ += ',';
+    hasElement_.back() = true;
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    beforeValue();
+    if (!std::isfinite(d)) {
+        out_ += "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", d);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+std::string
+JsonWriter::take()
+{
+    SCHED91_ASSERT(hasElement_.empty() && !pendingKey_,
+                   "unterminated JSON document");
+    std::string out = std::move(out_);
+    out_.clear();
+    return out;
+}
+
+} // namespace sched91::obs

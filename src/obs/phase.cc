@@ -1,0 +1,109 @@
+#include "obs/phase.hh"
+
+#include "support/logging.hh"
+
+namespace sched91::obs
+{
+
+const PhaseStats *
+PhaseStats::child(std::string_view child_name) const
+{
+    for (const PhaseStats &c : children)
+        if (c.name == child_name)
+            return &c;
+    return nullptr;
+}
+
+PhaseProfiler &
+PhaseProfiler::global()
+{
+    static PhaseProfiler instance;
+    return instance;
+}
+
+void
+PhaseProfiler::clear()
+{
+    SCHED91_ASSERT(stack_.empty(),
+                   "cannot clear the phase tree with phases open");
+    root_.children.clear();
+    root_.counters = CounterSet{};
+    root_.entries = 0;
+    root_.seconds = 0.0;
+}
+
+double
+PhaseProfiler::topLevelSeconds() const
+{
+    double total = 0.0;
+    for (const PhaseStats &c : root_.children)
+        total += c.seconds;
+    return total;
+}
+
+PhaseStats *
+PhaseProfiler::enter(const char *name)
+{
+    PhaseStats *parent = stack_.empty() ? &root_ : stack_.back();
+    PhaseStats *node = nullptr;
+    for (PhaseStats &c : parent->children)
+        if (c.name == name) {
+            node = &c;
+            break;
+        }
+    if (!node) {
+        // Only the innermost open phase ever grows children, so this
+        // push_back cannot invalidate any pointer still on the stack.
+        parent->children.push_back(PhaseStats{});
+        node = &parent->children.back();
+        node->name = name;
+    }
+    ++node->entries;
+    stack_.push_back(node);
+    return node;
+}
+
+void
+PhaseProfiler::exit(double seconds, const CounterSet &delta)
+{
+    SCHED91_ASSERT(!stack_.empty(), "phase exit without enter");
+    PhaseStats *node = stack_.back();
+    stack_.pop_back();
+    node->seconds += seconds;
+    node->counters.merge(delta);
+}
+
+ScopedPhase::ScopedPhase(const char *name, PhaseProfiler &profiler)
+    : profiler_(profiler), start_(Clock::now())
+{
+    if (enabled()) {
+        profiler_.enter(name);
+        before_ = CounterRegistry::global().snapshot();
+        open_ = true;
+    }
+}
+
+double
+ScopedPhase::seconds() const
+{
+    if (stopped_)
+        return elapsed_;
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+double
+ScopedPhase::stop()
+{
+    if (stopped_)
+        return elapsed_;
+    elapsed_ = seconds();
+    stopped_ = true;
+    if (open_) {
+        profiler_.exit(elapsed_,
+                       CounterRegistry::global().deltaSince(before_));
+        open_ = false;
+    }
+    return elapsed_;
+}
+
+} // namespace sched91::obs

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * RAII phase profiler: a nestable tree of named phases (build ->
+ * heur-fwd/heur-bwd -> sched -> evaluate) carrying elapsed seconds,
+ * entry counts, and per-phase counter deltas.
+ *
+ * ScopedPhase replaces the ad-hoc Timer plumbing of the pipeline:
+ * it always measures wall-clock time (two steady-clock reads, the
+ * same cost the Timer had), and only when the observability layer is
+ * enabled does it additionally maintain the global phase tree and
+ * snapshot the counter registry to attribute event deltas to phases.
+ * Deltas are *inclusive*: a parent phase's counters include those of
+ * its children.
+ */
+
+#ifndef SCHED91_OBS_PHASE_HH
+#define SCHED91_OBS_PHASE_HH
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hh"
+
+namespace sched91::obs
+{
+
+/** Accumulated statistics for one phase node in the tree. */
+struct PhaseStats
+{
+    std::string name;
+    std::uint64_t entries = 0; ///< times the phase was entered
+    double seconds = 0.0;      ///< total wall-clock across entries
+    CounterSet counters;       ///< inclusive counter deltas
+    std::vector<PhaseStats> children;
+
+    /** Child by name, nullptr when absent. */
+    const PhaseStats *child(std::string_view child_name) const;
+};
+
+/**
+ * Process-wide accumulator for the phase tree.  Phases entered while
+ * another phase is open become (or re-open) children of it; the tree
+ * persists across blocks, so per-block phases accumulate into one
+ * node per distinct nesting path.
+ */
+class PhaseProfiler
+{
+  public:
+    static PhaseProfiler &global();
+
+    PhaseProfiler() { root_.name = "run"; }
+
+    /** Drop all accumulated phases (open phases keep recording into
+     * fresh nodes). */
+    void clear();
+
+    /** The synthetic root; real phases are its descendants. */
+    const PhaseStats &root() const { return root_; }
+
+    /** Total seconds of the top-level phases. */
+    double topLevelSeconds() const;
+
+  private:
+    friend class ScopedPhase;
+
+    PhaseStats *enter(const char *name);
+    void exit(double seconds, const CounterSet &delta);
+
+    PhaseStats root_;
+    std::vector<PhaseStats *> stack_; ///< open-phase path, root absent
+};
+
+/**
+ * RAII handle opening a phase for the duration of a scope.  Cheap
+ * when observability is disabled: construction and destruction are a
+ * clock read plus one branch each.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(const char *name,
+                         PhaseProfiler &profiler = PhaseProfiler::global());
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+    ~ScopedPhase() { stop(); }
+
+    /** Elapsed seconds since construction (or until stop()). */
+    double seconds() const;
+
+    /**
+     * Close the phase early; returns elapsed seconds.  Idempotent —
+     * the destructor becomes a no-op.  Phases must close LIFO.
+     */
+    double stop();
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    PhaseProfiler &profiler_;
+    Clock::time_point start_;
+    double elapsed_ = 0.0; ///< valid once stopped
+    CounterSet before_;    ///< registry snapshot (enabled runs only)
+    bool open_ = false;    ///< tree node pending an exit()
+    bool stopped_ = false;
+};
+
+} // namespace sched91::obs
+
+#endif // SCHED91_OBS_PHASE_HH

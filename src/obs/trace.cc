@@ -1,0 +1,28 @@
+#include "obs/trace.hh"
+
+#include "obs/json.hh"
+
+namespace sched91::obs
+{
+
+void
+JsonlTraceSink::event(const TraceEvent &ev)
+{
+    JsonWriter w;
+    w.beginObject()
+        .key("block").value(static_cast<std::uint64_t>(ev.block))
+        .key("begin").value(ev.begin)
+        .key("size").value(ev.size)
+        .key("phase").value(ev.phase)
+        .key("seconds").value(ev.seconds);
+    w.key("counters").beginObject();
+    // Named binding: items() references the set's own storage.
+    CounterSet nz = ev.counters.nonzero();
+    for (const auto &[name, value] : nz.items())
+        w.key(name).value(value);
+    w.endObject().endObject();
+    *out_ << w.take() << '\n';
+    ++events_;
+}
+
+} // namespace sched91::obs

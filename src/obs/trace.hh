@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-block per-phase trace events and the JSONL sink that serializes
+ * them — one event per line, so a run over thousands of blocks streams
+ * without buffering and the output is trivially greppable/parsable.
+ *
+ * The pipeline fires one TraceEvent per phase of every block it
+ * schedules, carrying the counter deltas attributable to that phase —
+ * the per-block resolution at which the paper discusses construction
+ * cost growth (Tables 4/5).
+ */
+
+#ifndef SCHED91_OBS_TRACE_HH
+#define SCHED91_OBS_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "obs/counters.hh"
+
+namespace sched91::obs
+{
+
+/** One phase of one block. */
+struct TraceEvent
+{
+    std::size_t block = 0;     ///< block index within the run
+    std::uint32_t begin = 0;   ///< first program index of the block
+    std::uint32_t size = 0;    ///< instructions in the block
+    const char *phase = "";    ///< "build", "heur", "sched", ...
+    double seconds = 0.0;
+    CounterSet counters;       ///< event deltas within the phase
+};
+
+/** Abstract consumer of trace events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void event(const TraceEvent &ev) = 0;
+};
+
+/** Writes each event as one JSON object per line (JSONL). */
+class JsonlTraceSink final : public TraceSink
+{
+  public:
+    /** @p out must outlive the sink. */
+    explicit JsonlTraceSink(std::ostream &out) : out_(&out) {}
+
+    void event(const TraceEvent &ev) override;
+
+    std::size_t eventsWritten() const { return events_; }
+
+  private:
+    std::ostream *out_;
+    std::size_t events_ = 0;
+};
+
+} // namespace sched91::obs
+
+#endif // SCHED91_OBS_TRACE_HH

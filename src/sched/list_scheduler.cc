@@ -4,6 +4,7 @@
 
 #include "heuristics/dynamic.hh"
 #include "machine/function_unit.hh"
+#include "obs/events.hh"
 #include "sched/fixup.hh"
 #include "support/logging.hh"
 
@@ -27,6 +28,7 @@ long long
 evaluate(const Dag &dag, std::uint32_t n, const RankedHeuristic &rh,
          const EvalContext &ctx, const MachineModel &machine)
 {
+    obs::ev::schedHeuristicEvals.inc();
     const DagNode &node = dag.node(n);
     switch (rh.heuristic) {
       case Heuristic::InterlockWithPrevious:
@@ -206,6 +208,8 @@ ListScheduler::runForward(Dag &dag, DecisionStats *stats) const
     int time = 0;
 
     while (!candidates.empty()) {
+        obs::ev::schedNodeVisits.inc();
+        obs::ev::schedReadyListPeak.max(candidates.size());
         ctx.time = time;
         std::size_t best =
             selectBest(dag, candidates, config_, ctx, machine_, stats);
@@ -251,6 +255,8 @@ ListScheduler::runBackward(Dag &dag, DecisionStats *stats) const
     sched.order.reserve(dag.size());
 
     while (!candidates.empty()) {
+        obs::ev::schedNodeVisits.inc();
+        obs::ev::schedReadyListPeak.max(candidates.size());
         std::size_t best =
             selectBest(dag, candidates, config_, ctx, machine_, stats);
 

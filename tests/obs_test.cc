@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Observability-layer tests: counter registry semantics (register,
+ * increment, reset, merge, duplicate rejection), ScopedPhase nesting
+ * into the global phase tree, zero-cost-when-disabled behavior, the
+ * JSON/JSONL emitters round-tripped through a minimal parser, and the
+ * builder counter asymmetry (pairwise compares vs table probes) the
+ * instrumentation exists to expose.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "machine/presets.hh"
+#include "obs/counters.hh"
+#include "obs/emitter.hh"
+#include "obs/events.hh"
+#include "obs/json.hh"
+#include "obs/phase.hh"
+#include "obs/trace.hh"
+#include "support/logging.hh"
+#include "workload/kernels.hh"
+
+namespace sched91
+{
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON reader, just enough to round-trip
+ * the emitters' output: objects, arrays, strings (common escapes),
+ * numbers (as doubles), booleans, null.
+ */
+struct JsonValue
+{
+    using Object = std::map<std::string, JsonValue>;
+    using Array = std::vector<JsonValue>;
+
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+        v;
+
+    bool isObject() const { return std::holds_alternative<Object>(v); }
+    const Object &object() const { return std::get<Object>(v); }
+    const Array &array() const { return std::get<Array>(v); }
+    double number() const { return std::get<double>(v); }
+    const std::string &str() const { return std::get<std::string>(v); }
+
+    bool has(const std::string &k) const
+    {
+        return isObject() && object().count(k) > 0;
+    }
+    const JsonValue &at(const std::string &k) const
+    {
+        return object().at(k);
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        EXPECT_EQ(pos_, text_.size()) << "trailing garbage";
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWs();
+        EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void expect(char c)
+    {
+        EXPECT_EQ(peek(), c);
+        ++pos_;
+    }
+
+    JsonValue parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue{parseString()};
+          case 't': pos_ += 4; return JsonValue{true};
+          case 'f': pos_ += 5; return JsonValue{false};
+          case 'n': pos_ += 4; return JsonValue{nullptr};
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonValue::Object obj;
+        if (peek() != '}') {
+            while (true) {
+                std::string key = parseString();
+                expect(':');
+                obj.emplace(std::move(key), parseValue());
+                if (peek() != ',')
+                    break;
+                ++pos_;
+            }
+        }
+        expect('}');
+        return JsonValue{std::move(obj)};
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonValue::Array arr;
+        if (peek() != ']') {
+            while (true) {
+                arr.push_back(parseValue());
+                if (peek() != ',')
+                    break;
+                ++pos_;
+            }
+        }
+        expect(']');
+        return JsonValue{std::move(arr)};
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size()) {
+                char e = text_[pos_++];
+                switch (e) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u':
+                    // The emitters only produce \u00xx escapes.
+                    out += static_cast<char>(
+                        std::stoi(std::string(text_.substr(pos_, 4)),
+                                  nullptr, 16));
+                    pos_ += 4;
+                    break;
+                  default: out += e;
+                }
+            } else {
+                out += c;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    JsonValue parseNumber()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        return JsonValue{
+            std::stod(std::string(text_.substr(start, pos_ - start)))};
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+/** RAII reset of the process-wide observability state around a test. */
+class ObsStateGuard
+{
+  public:
+    ObsStateGuard()
+    {
+        obs::setEnabled(false);
+        obs::CounterRegistry::global().resetAll();
+        obs::PhaseProfiler::global().clear();
+    }
+    ~ObsStateGuard()
+    {
+        obs::setEnabled(false);
+        obs::CounterRegistry::global().resetAll();
+        obs::PhaseProfiler::global().clear();
+    }
+};
+
+// ---------------------------------------------------------------------
+// CounterRegistry / CounterSet
+// ---------------------------------------------------------------------
+
+TEST(CounterRegistry, RegisterIncrementReset)
+{
+    obs::CounterRegistry reg;
+    std::size_t a = reg.add("x.a");
+    std::size_t b = reg.add("x.b");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.find("x.a"), a);
+    EXPECT_EQ(reg.find("nope"), obs::CounterRegistry::npos);
+
+    reg.increment(a);
+    reg.increment(a, 4);
+    reg.increment(b, 2);
+    EXPECT_EQ(reg.value(a), 5u);
+    EXPECT_EQ(reg.valueByName("x.b"), 2u);
+    EXPECT_EQ(reg.valueByName("missing"), 0u);
+
+    reg.recordMax(b, 10);
+    reg.recordMax(b, 7); // lower: no effect
+    EXPECT_EQ(reg.value(b), 10u);
+
+    reg.resetAll();
+    EXPECT_EQ(reg.value(a), 0u);
+    EXPECT_EQ(reg.value(b), 0u);
+    EXPECT_EQ(reg.size(), 2u) << "reset keeps registrations";
+}
+
+TEST(CounterRegistry, DuplicateNameRejected)
+{
+    obs::CounterRegistry reg;
+    reg.add("dup");
+    EXPECT_THROW(reg.add("dup"), PanicError);
+    EXPECT_EQ(reg.getOrAdd("dup"), reg.find("dup"))
+        << "getOrAdd is the idempotent binding";
+}
+
+TEST(CounterRegistry, SnapshotAndDelta)
+{
+    obs::CounterRegistry reg;
+    std::size_t a = reg.add("a");
+    reg.increment(a, 3);
+    obs::CounterSet before = reg.snapshot();
+
+    reg.increment(a, 4);
+    std::size_t b = reg.add("b"); // registered after the snapshot
+    reg.increment(b, 9);
+
+    obs::CounterSet delta = reg.deltaSince(before);
+    EXPECT_EQ(delta.value("a"), 4u);
+    EXPECT_EQ(delta.value("b"), 9u) << "new names count from zero";
+}
+
+TEST(CounterSet, MergeAndNonzero)
+{
+    obs::CounterSet x, y;
+    x.set("a", 1);
+    x.set("b", 0);
+    y.set("a", 2);
+    y.set("c", 3);
+    x.merge(y);
+    EXPECT_EQ(x.value("a"), 3u);
+    EXPECT_EQ(x.value("b"), 0u);
+    EXPECT_EQ(x.value("c"), 3u);
+
+    obs::CounterSet nz = x.nonzero();
+    EXPECT_TRUE(nz.contains("a"));
+    EXPECT_FALSE(nz.contains("b"));
+    EXPECT_EQ(nz.size(), 2u);
+}
+
+TEST(Counter, HandleCountsOnlyWhenEnabled)
+{
+    ObsStateGuard guard;
+    obs::CounterRegistry reg;
+    obs::Counter c(reg, "h");
+
+    c.inc(5); // disabled: must not count
+    EXPECT_EQ(reg.valueByName("h"), 0u);
+
+    obs::setEnabled(true);
+    c.inc(5);
+    c.max(3); // below current value? no: 5 > 3 keeps 5
+    EXPECT_EQ(reg.valueByName("h"), 5u);
+    c.max(8);
+    EXPECT_EQ(reg.valueByName("h"), 8u);
+}
+
+// ---------------------------------------------------------------------
+// ScopedPhase / PhaseProfiler
+// ---------------------------------------------------------------------
+
+TEST(ScopedPhase, BuildsNestedTree)
+{
+    ObsStateGuard guard;
+    obs::setEnabled(true);
+    obs::CounterRegistry &reg = obs::CounterRegistry::global();
+    std::size_t id = reg.getOrAdd("test.phase_events");
+
+    {
+        obs::ScopedPhase outer("outer");
+        reg.increment(id, 1);
+        {
+            obs::ScopedPhase inner("inner");
+            reg.increment(id, 2);
+        }
+        {
+            obs::ScopedPhase inner("inner"); // re-entry accumulates
+            reg.increment(id, 3);
+        }
+    }
+
+    const obs::PhaseStats &root = obs::PhaseProfiler::global().root();
+    const obs::PhaseStats *outer = root.child("outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->entries, 1u);
+    EXPECT_GE(outer->seconds, 0.0);
+    EXPECT_EQ(outer->counters.value("test.phase_events"), 6u)
+        << "parent deltas are inclusive of children";
+
+    const obs::PhaseStats *inner = outer->child("inner");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->entries, 2u);
+    EXPECT_EQ(inner->counters.value("test.phase_events"), 5u);
+    EXPECT_EQ(root.child("inner"), nullptr)
+        << "inner nests under outer, not the root";
+}
+
+TEST(ScopedPhase, StopIsIdempotentAndDisabledPhasesStayOffTree)
+{
+    ObsStateGuard guard;
+
+    // Disabled: timing still works, tree untouched.
+    obs::ScopedPhase p("ghost");
+    double t1 = p.stop();
+    EXPECT_EQ(p.stop(), t1) << "stop() is idempotent";
+    EXPECT_GE(t1, 0.0);
+    EXPECT_EQ(obs::PhaseProfiler::global().root().child("ghost"),
+              nullptr);
+}
+
+// ---------------------------------------------------------------------
+// JSON writer / emitters
+// ---------------------------------------------------------------------
+
+TEST(JsonWriter, EscapesAndNesting)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("s").value("a\"b\\c\nd")
+        .key("n").value(std::uint64_t{42})
+        .key("d").value(1.5)
+        .key("t").value(true)
+        .key("xs").beginArray().value(1).value(2).endArray()
+        .endObject();
+    std::string text = w.take();
+
+    JsonValue v = JsonParser(text).parse();
+    EXPECT_EQ(v.at("s").str(), "a\"b\\c\nd");
+    EXPECT_EQ(v.at("n").number(), 42.0);
+    EXPECT_EQ(v.at("d").number(), 1.5);
+    EXPECT_EQ(v.at("xs").array().size(), 2u);
+}
+
+TEST(Emitter, ProgramResultJsonRoundTrips)
+{
+    ObsStateGuard guard;
+    obs::setEnabled(true);
+
+    Program prog = kernelProgram("daxpy");
+    PipelineOptions opts;
+    opts.evaluate = true;
+    ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+
+    obs::RunMeta meta;
+    meta.command = "test";
+    meta.input = "daxpy";
+    meta.builder = "table-fwd";
+    meta.algorithm = "simple-forward";
+    meta.machine = "sparcstation2";
+
+    std::string text = obs::programResultJson(
+        r, meta, r.counters, &obs::PhaseProfiler::global().root());
+    JsonValue v = JsonParser(text).parse();
+
+    EXPECT_EQ(v.at("meta").at("input").str(), "daxpy");
+    EXPECT_EQ(v.at("blocks").number(),
+              static_cast<double>(r.numBlocks));
+    EXPECT_GE(v.at("phases").at("build_seconds").number(), 0.0);
+    EXPECT_GT(v.at("dag").at("total_arcs").number(), 0.0);
+    EXPECT_GT(v.at("cycles").at("original").number(), 0.0);
+    EXPECT_GT(v.at("counters").at("dag.arcs_added").number(), 0.0);
+
+    // Phase tree: build/heur/sched children with entries per block.
+    ASSERT_TRUE(v.has("phase_tree"));
+    bool saw_build = false;
+    for (const JsonValue &c : v.at("phase_tree").array()) {
+        if (c.at("name").str() == "build") {
+            saw_build = true;
+            EXPECT_EQ(c.at("entries").number(),
+                      static_cast<double>(r.numBlocks));
+        }
+    }
+    EXPECT_TRUE(saw_build);
+}
+
+TEST(Trace, JsonlLinesParse)
+{
+    ObsStateGuard guard;
+    obs::setEnabled(true);
+
+    std::ostringstream out;
+    obs::JsonlTraceSink sink(out);
+
+    Program prog = kernelProgram("daxpy");
+    PipelineOptions opts;
+    opts.trace = &sink;
+    ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+
+    // One event per block per phase (build/heur/sched; no evaluate).
+    EXPECT_EQ(sink.eventsWritten(), r.numBlocks * 3);
+
+    std::istringstream in(out.str());
+    std::string line;
+    std::size_t lines = 0;
+    std::uint64_t arcs = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        JsonValue v = JsonParser(line).parse();
+        EXPECT_TRUE(v.has("block"));
+        EXPECT_TRUE(v.has("phase"));
+        EXPECT_GE(v.at("seconds").number(), 0.0);
+        if (v.at("phase").str() == "build" &&
+            v.at("counters").has("dag.arcs_added"))
+            arcs += static_cast<std::uint64_t>(
+                v.at("counters").at("dag.arcs_added").number());
+    }
+    EXPECT_EQ(lines, sink.eventsWritten());
+    EXPECT_EQ(arcs, r.counters.value("dag.arcs_added"))
+        << "per-block build deltas sum to the run total";
+}
+
+TEST(Emitter, RenderCountersTable)
+{
+    obs::CounterSet cs;
+    cs.set("a.long_name", 12);
+    cs.set("b", 0); // dropped: zero
+    cs.set("c", 7);
+    std::string table = obs::renderCounters(cs);
+    EXPECT_NE(table.find("a.long_name"), std::string::npos);
+    EXPECT_NE(table.find("12"), std::string::npos);
+    EXPECT_EQ(table.find("b "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline integration: the asymmetry the counters exist to expose
+// ---------------------------------------------------------------------
+
+TEST(ObsPipeline, BuilderCounterAsymmetry)
+{
+    ObsStateGuard guard;
+    obs::setEnabled(true);
+    obs::CounterRegistry &reg = obs::CounterRegistry::global();
+
+    Program prog1 = kernelProgram("daxpy");
+    PipelineOptions n2;
+    n2.builder = BuilderKind::N2Forward;
+    obs::CounterSet before = reg.snapshot();
+    runPipeline(prog1, sparcstation2(), n2);
+    obs::CounterSet n2_delta = reg.deltaSince(before);
+
+    Program prog2 = kernelProgram("daxpy");
+    PipelineOptions table;
+    table.builder = BuilderKind::TableForward;
+    before = reg.snapshot();
+    runPipeline(prog2, sparcstation2(), table);
+    obs::CounterSet table_delta = reg.deltaSince(before);
+
+    // The n**2 builder does pairwise comparisons and never probes a
+    // definition table; the table builder is the exact opposite.
+    EXPECT_GT(n2_delta.value("dag.pairwise_compares"), 0u);
+    EXPECT_EQ(n2_delta.value("dag.table_probes"), 0u);
+    EXPECT_GT(table_delta.value("dag.table_probes"), 0u);
+    EXPECT_EQ(table_delta.value("dag.pairwise_compares"), 0u);
+
+    // Both reach the same dependence structure.
+    EXPECT_GT(n2_delta.value("dag.arcs_added"), 0u);
+    EXPECT_GT(table_delta.value("dag.arcs_added"), 0u);
+}
+
+TEST(ObsPipeline, DisabledRunCountsNothing)
+{
+    ObsStateGuard guard; // leaves counting disabled
+    obs::CounterRegistry &reg = obs::CounterRegistry::global();
+    obs::CounterSet before = reg.snapshot();
+
+    Program prog = kernelProgram("daxpy");
+    PipelineOptions opts;
+    ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+
+    EXPECT_TRUE(reg.deltaSince(before).nonzero().empty());
+    EXPECT_TRUE(r.counters.empty());
+    EXPECT_GE(r.totalSeconds(), 0.0) << "timing still works";
+}
+
+} // namespace
+} // namespace sched91

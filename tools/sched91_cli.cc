@@ -25,12 +25,27 @@
  *     --window <N>          instruction window (0 = none)
  *     --block <N>           operate on basic block N (default 0)
  *     --heuristics          annotate DOT nodes with heuristic values
+ *
+ * Observability options:
+ *     --stats-json <path>   write the run result as JSON (per-phase
+ *                           seconds, DAG structure, event counters,
+ *                           phase tree); "-" for stdout.  schedule
+ *                           and profile only.
+ *     --trace <path>        write a JSONL trace with counter deltas
+ *                           ("-" for stdout): one event per block per
+ *                           phase under profile, one per block under
+ *                           schedule
+ *     --counters            print nonzero event counters to stderr
+ *                           (any command)
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -58,6 +73,15 @@ struct CliOptions
     int window = 0;
     int block = 0;
     bool heuristics = false;
+    std::string statsJson; ///< --stats-json path ("-" = stdout)
+    std::string tracePath; ///< --trace path ("-" = stdout)
+    bool counters = false; ///< --counters
+
+    bool
+    observing() const
+    {
+        return !statsJson.empty() || !tracePath.empty() || counters;
+    }
 };
 
 AlgorithmKind
@@ -100,12 +124,49 @@ parsePolicy(const std::string &name)
     return it->second;
 }
 
+const char kUsage[] =
+    "usage: sched91 <command> [input] [options]\n"
+    "\n"
+    "commands:\n"
+    "  schedule <file.s>   schedule and print assembly\n"
+    "  dag      <file.s>   print the dependence DAG\n"
+    "  dot      <file.s>   DOT graph on stdout\n"
+    "  stats    <file.s>   Table-3-style structure\n"
+    "  profile  <name>     run a synthetic workload\n"
+    "  report   <file.s>   worst-scheduled blocks\n"
+    "  timeline <file.s>   FU occupancy chart (--block N)\n"
+    "  compile  <file.s>   prepass+allocate+postpass\n"
+    "  kernels             list built-in kernels\n"
+    "\n"
+    "options:\n"
+    "  --kernel <name>      use a built-in kernel instead of a file\n"
+    "  --algorithm <name>   gibbons-muchnick | krishnamurthy |\n"
+    "                       schlansker | shieh-papachristou | tiemann |\n"
+    "                       warren | simple-forward (default)\n"
+    "  --builder <name>     n2-fwd | n2-bwd | landskov | table-fwd\n"
+    "                       (default) | table-bwd\n"
+    "  --machine <name>     sparcstation2 | rs6000like | superscalar2\n"
+    "  --policy <name>      serialize | base-offset | storage | symbolic\n"
+    "  --window <N>         instruction window (0 = none)\n"
+    "  --block <N>          operate on basic block N (default 0)\n"
+    "  --heuristics         annotate DOT nodes with heuristic values\n"
+    "\n"
+    "observability (docs/OBSERVABILITY.md):\n"
+    "  --stats-json <path>  run result as JSON, \"-\" for stdout\n"
+    "                       (schedule and profile)\n"
+    "  --trace <path>       JSONL trace with per-block counter deltas\n"
+    "                       (per phase under profile)\n"
+    "  --counters           nonzero event counters on stderr (any\n"
+    "                       command)\n";
+
 CliOptions
 parseArgs(int argc, char **argv)
 {
     CliOptions opts;
-    if (argc < 2)
-        fatal("usage: sched91 <command> [input] [options]");
+    if (argc < 2) {
+        std::fputs(kUsage, stderr);
+        std::exit(1);
+    }
     opts.command = argv[1];
 
     for (int i = 2; i < argc; ++i) {
@@ -131,13 +192,108 @@ parseArgs(int argc, char **argv)
             opts.block = std::atoi(next().c_str());
         else if (arg == "--heuristics")
             opts.heuristics = true;
+        else if (arg == "--stats-json")
+            opts.statsJson = next();
+        else if (arg == "--trace")
+            opts.tracePath = next();
+        else if (arg == "--counters")
+            opts.counters = true;
         else if (!arg.empty() && arg[0] != '-')
             opts.input = arg;
         else
-            fatal("unknown option '", arg, "'");
+            fatal("unknown option '", arg,
+                  "' (run sched91 with no arguments for usage)");
     }
     return opts;
 }
+
+/**
+ * Observability bracket for one CLI run: enables the layer when any
+ * obs option is present, opens the trace sink, and on finish() prints
+ * the counter table and/or writes the stats JSON.
+ */
+class ObsSession
+{
+  public:
+    explicit ObsSession(const CliOptions &opts) : opts_(opts)
+    {
+        if (!opts.observing())
+            return;
+        obs::setEnabled(true);
+        obs::PhaseProfiler::global().clear();
+        before_ = obs::CounterRegistry::global().snapshot();
+        if (!opts.tracePath.empty()) {
+            if (opts.tracePath == "-") {
+                sink_.emplace(std::cout);
+            } else {
+                traceFile_.open(opts.tracePath);
+                if (!traceFile_)
+                    fatal("cannot open '", opts.tracePath, "'");
+                sink_.emplace(traceFile_);
+            }
+        }
+    }
+
+    obs::TraceSink *trace() { return sink_ ? &*sink_ : nullptr; }
+
+    obs::RunMeta
+    meta(const CliOptions &opts) const
+    {
+        obs::RunMeta m;
+        m.command = opts.command;
+        m.input = opts.kernel.empty() ? opts.input : opts.kernel;
+        m.builder = builderKindName(opts.builder);
+        m.algorithm = algorithmName(opts.algorithm);
+        m.machine = opts.machineName;
+        return m;
+    }
+
+    /** Counter deltas accumulated since the session opened. */
+    obs::CounterSet
+    deltas() const
+    {
+        return obs::CounterRegistry::global().deltaSince(before_);
+    }
+
+    /** Emit --counters and --stats-json output for a finished run. */
+    void
+    finish(const ProgramResult &result)
+    {
+        if (!opts_.observing())
+            return;
+        obs::CounterSet delta = deltas();
+        if (opts_.counters)
+            std::fputs(obs::renderCounters(delta).c_str(), stderr);
+        if (opts_.statsJson.empty())
+            return;
+        std::string json = obs::programResultJson(
+            result, meta(opts_), delta,
+            &obs::PhaseProfiler::global().root());
+        if (opts_.statsJson == "-") {
+            std::fputs(json.c_str(), stdout);
+            std::fputc('\n', stdout);
+        } else {
+            std::ofstream out(opts_.statsJson);
+            if (!out)
+                fatal("cannot open '", opts_.statsJson, "'");
+            out << json << '\n';
+        }
+    }
+
+    /** Counter table only (commands without a ProgramResult). */
+    void
+    finishCountersOnly()
+    {
+        if (opts_.counters)
+            std::fputs(obs::renderCounters(deltas()).c_str(), stderr);
+    }
+
+  private:
+    const CliOptions &opts_;
+    std::ofstream traceFile_;
+    std::optional<obs::JsonlTraceSink> sink_;
+    obs::CounterSet before_;
+};
 
 Program
 loadInput(const CliOptions &opts)
@@ -185,13 +341,48 @@ cmdSchedule(const CliOptions &opts)
     popeline.builder = opts.builder;
     popeline.build.memPolicy = opts.policy;
 
+    ObsSession session(opts);
+
+    // Aggregate run statistics for --stats-json (phase seconds come
+    // from the profiler tree scheduleBlock feeds).
+    ProgramResult agg;
+    agg.numBlocks = blocks.size();
+    agg.numInsts = prog.size();
+
     long long before = 0, after = 0;
     std::printf("! scheduled by sched91 (%s, %s)\n",
                 std::string(algorithmName(opts.algorithm)).c_str(),
                 std::string(builderKindName(opts.builder)).c_str());
-    for (const BasicBlock &bb : blocks) {
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const BasicBlock &bb = blocks[b];
         BlockView block(prog, bb);
+
+        obs::CounterSet block_before;
+        obs::ScopedPhase block_timer("block");
+        if (session.trace())
+            block_before = obs::CounterRegistry::global().snapshot();
+
         auto result = scheduleBlock(block, machine, popeline);
+
+        if (session.trace()) {
+            obs::TraceEvent ev;
+            ev.block = b;
+            ev.begin = bb.begin;
+            ev.size = bb.size();
+            ev.phase = "block";
+            ev.seconds = block_timer.stop();
+            ev.counters = obs::CounterRegistry::global().deltaSince(
+                block_before);
+            session.trace()->event(ev);
+        }
+        agg.dagStats.accumulate(result.dag);
+
+        // Quality bookkeeping against a table-built ground truth is
+        // not part of the measured pipeline: keep its events out of
+        // the counters (a table-fwd build here would otherwise show
+        // table probes under --builder n2-fwd).
+        bool was_observing = obs::enabled();
+        obs::setEnabled(false);
         Dag gt = TableForwardBuilder().build(block, machine,
                                              popeline.build);
         before += simulateSchedule(gt,
@@ -200,6 +391,7 @@ cmdSchedule(const CliOptions &opts)
                       .cycles;
         after +=
             simulateSchedule(gt, result.sched.order, machine).cycles;
+        obs::setEnabled(was_observing);
         std::printf(".B%u:\n", bb.begin);
         for (std::uint32_t n : result.sched.order)
             std::printf("    %s\n", block.inst(n).toString().c_str());
@@ -208,6 +400,24 @@ cmdSchedule(const CliOptions &opts)
                  "! %zu blocks, cycles %lld -> %lld (%.1f%%)\n",
                  blocks.size(), before, after,
                  before ? 100.0 * (before - after) / before : 0.0);
+
+    agg.cyclesOriginal = before;
+    agg.cyclesScheduled = after;
+    const obs::PhaseStats &root = obs::PhaseProfiler::global().root();
+    auto phase_seconds = [&root](const char *name) {
+        const obs::PhaseStats *p = root.child(name);
+        if (p)
+            return p->seconds;
+        // Phases opened by scheduleBlock nest under the CLI's
+        // per-block timer when tracing.
+        const obs::PhaseStats *blk = root.child("block");
+        p = blk ? blk->child(name) : nullptr;
+        return p ? p->seconds : 0.0;
+    };
+    agg.buildSeconds = phase_seconds("build");
+    agg.heurSeconds = phase_seconds("heur");
+    agg.schedSeconds = phase_seconds("sched");
+    session.finish(agg);
     return 0;
 }
 
@@ -221,8 +431,10 @@ cmdDag(const CliOptions &opts, bool dot)
 
     BuildOptions bopts;
     bopts.memPolicy = opts.policy;
+    ObsSession session(opts);
     Dag dag = makeBuilder(opts.builder)->build(block, machine, bopts);
     runAllStaticPasses(dag, PassImpl::ReverseWalk, true);
+    session.finishCountersOnly();
 
     if (dot) {
         DotOptions dopts;
@@ -261,7 +473,9 @@ cmdCompile(const CliOptions &opts)
     bopts.prepass = opts.algorithm;
     bopts.builder = opts.builder;
     bopts.memPolicy = opts.policy;
+    ObsSession session(opts);
     BackendResult result = compileProgram(prog, machine, bopts);
+    session.finishCountersOnly();
     std::fputs(result.program.toString().c_str(), stdout);
     std::fprintf(stderr,
                  "! %zu blocks (%zu allocated), %d spill stores, %d "
@@ -283,7 +497,9 @@ cmdTimeline(const CliOptions &opts)
     pipeline.algorithm = opts.algorithm;
     pipeline.builder = opts.builder;
     pipeline.build.memPolicy = opts.policy;
+    ObsSession session(opts);
     auto result = scheduleBlock(block, machine, pipeline);
+    session.finishCountersOnly();
 
     std::printf("original order:\n%s\n",
                 renderTimeline(result.dag,
@@ -303,8 +519,10 @@ cmdStats(const CliOptions &opts)
     Program prog = loadInput(opts);
     PartitionOptions popts;
     popts.window = opts.window;
+    ObsSession session(opts);
     auto blocks = partitionBlocks(prog, popts);
     auto s = measureStructure(prog, blocks);
+    session.finishCountersOnly();
     std::printf("blocks            %zu\n", s.numBlocks);
     std::printf("instructions      %zu\n", s.numInsts);
     std::printf("insts/block       max %d avg %.2f\n",
@@ -326,8 +544,10 @@ cmdReport(const CliOptions &opts)
     pipeline.builder = opts.builder;
     pipeline.build.memPolicy = opts.policy;
     pipeline.partition.window = opts.window;
+    ObsSession session(opts);
     ProgramReport report = reportProgram(prog, machine, pipeline);
     std::fputs(report.render(15).c_str(), stdout);
+    session.finishCountersOnly();
     return 0;
 }
 
@@ -345,7 +565,11 @@ cmdProfile(const CliOptions &opts)
     pipeline.build.memPolicy = opts.policy;
     pipeline.partition.window = opts.window;
     pipeline.evaluate = true;
+
+    ObsSession session(opts);
+    pipeline.trace = session.trace();
     ProgramResult r = runPipeline(prog, machine, pipeline);
+    session.finish(r);
 
     std::printf("profile %s: %zu blocks, %zu insts\n",
                 opts.input.c_str(), r.numBlocks, r.numInsts);
@@ -395,7 +619,10 @@ main(int argc, char **argv)
                 std::printf("%s\n", name.c_str());
             return 0;
         }
-        fatal("unknown command '", opts.command, "'");
+        std::fprintf(stderr, "sched91: unknown command '%s'\n\n",
+                     opts.command.c_str());
+        std::fputs(kUsage, stderr);
+        return 1;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "sched91: %s\n", e.what());
         return 1;

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Configure, build, and run the full test suite — the repo's tier-1
+# verification sequence.  Run from the repository root:
+#
+#     tools/verify.sh [build-dir]
+#
+set -e
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
+ctest --output-on-failure -j
