@@ -17,7 +17,7 @@
  */
 
 #include "bench_util.hh"
-#include "support/timer.hh"
+#include "obs/phase.hh"
 
 using namespace sched91;
 using namespace sched91::bench;
@@ -53,10 +53,10 @@ main()
                              PassImpl::LevelLists};
         for (int v = 0; v < 2; ++v) {
             for (int run = 0; run < kRuns; ++run) {
-                Timer t;
+                obs::ScopedPhase t("heur-pass");
                 for (Dag &dag : dags)
                     runAllStaticPasses(dag, impls[v]);
-                times[v] += t.seconds();
+                times[v] += t.stop();
             }
             times[v] /= kRuns;
         }

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Block-parallel pipeline scaling: wall-clock time of the full
+ * build/heur/sched pipeline at 1 (serial), 2, 4, and
+ * hardware-concurrency worker lanes, over all twelve Table 3 workload
+ * rows.
+ *
+ * Unlike the table-reproduction benches, the quantity of interest here
+ * is elapsed wall time, not the sum of per-block phase seconds (which
+ * is thread-count-invariant by design) — so this bench times the
+ * runPipeline call itself.  The printed speedups are relative to the
+ * serial (--threads 1) run of the same workload.
+ *
+ * Machine-readable output: one JSON line per workload/thread-count in
+ * BENCH_pipeline.json (wall seconds, speedup, thread count, plus the
+ * usual phase-seconds fields).
+ */
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench_util.hh"
+#include "support/thread_pool.hh"
+
+using namespace sched91;
+using namespace sched91::bench;
+
+namespace
+{
+
+/** Fastest-of-N wall-clock runPipeline time for one configuration. */
+double
+wallSeconds(const Workload &w, const MachineModel &machine,
+            PipelineOptions opts, ProgramResult *out, int runs = 3)
+{
+    opts.partition.window = w.window;
+    double best = 0.0;
+    for (int r = 0; r < runs; ++r) {
+        Program prog = loadProgram(w);
+        auto t0 = std::chrono::steady_clock::now();
+        ProgramResult res = runPipeline(prog, machine, opts);
+        auto t1 = std::chrono::steady_clock::now();
+        double s = std::chrono::duration<double>(t1 - t0).count();
+        if (r == 0 || s < best) {
+            best = s;
+            if (out)
+                *out = res;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    unsigned hw = ThreadPool::hardwareConcurrency();
+    banner("Block-parallel pipeline: wall-clock scaling (forward table "
+           "builder + simple forward scheduling)");
+    std::printf("hardware concurrency: %u\n\n", hw);
+
+    // Thread counts to sweep: serial baseline plus 2, 4, and hw lanes
+    // (deduplicated, ascending).
+    std::vector<unsigned> lanes{1, 2, 4, hw};
+    std::sort(lanes.begin(), lanes.end());
+    lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+
+    std::vector<int> widths{11, 10};
+    std::vector<std::string> header{"benchmark", "serial(ms)"};
+    for (std::size_t i = 1; i < lanes.size(); ++i) {
+        header.push_back("t" + std::to_string(lanes[i]) + "(ms)");
+        header.push_back("x");
+        widths.push_back(9);
+        widths.push_back(6);
+    }
+    printCells(header, widths);
+    printRule(widths);
+
+    std::FILE *json = std::fopen("BENCH_pipeline.json", "w");
+
+    MachineModel machine = sparcstation2();
+    for (const Workload &w : allWorkloads()) {
+        PipelineOptions opts;
+        opts.builder = BuilderKind::TableForward;
+        opts.build.memPolicy = AliasPolicy::SymbolicExpr;
+        opts.algorithm = AlgorithmKind::SimpleForward;
+
+        std::vector<std::string> cells{w.display};
+        double serial = 0.0;
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            opts.threads = lanes[i];
+            ProgramResult res;
+            double s = wallSeconds(w, machine, opts, &res);
+            if (i == 0)
+                serial = s;
+            cells.push_back(formatFixed(s * 1e3, 1));
+            if (i > 0)
+                cells.push_back(formatFixed(serial / s, 2));
+            if (json)
+                emitBenchJsonLine(
+                    json, "parallel-pipeline", w.display, res,
+                    {{"threads", static_cast<double>(lanes[i])},
+                     {"wall_seconds", s},
+                     {"speedup", i == 0 ? 1.0 : serial / s}});
+        }
+        printCells(cells, widths);
+    }
+
+    if (json)
+        std::fclose(json);
+
+    std::printf("\nShape check: (1) per-phase seconds and all "
+                "statistics are identical at\nevery thread count (the "
+                "deterministic-reduction contract); (2) wall time\n"
+                "shrinks with lanes on multi-core hosts, bounded by the "
+                "largest single\nblock (fpppp's 11750-instruction block "
+                "dominates its rows).\n");
+    return 0;
+}

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/sched91.hh"
@@ -104,12 +105,15 @@ countedPipeline(const Workload &w, const MachineModel &machine,
 
 /**
  * Emit one bench observation as a JSON line on @p out (one object per
- * workload/config: name, phase seconds, and nonzero counter deltas).
- * Machine-readable companion to the printed tables.
+ * workload/config: name, phase seconds, optional bench-specific
+ * numeric fields, and nonzero counter deltas).  Machine-readable
+ * companion to the printed tables.
  */
 inline void
 emitBenchJsonLine(std::FILE *out, const std::string &bench,
-                  const std::string &workload, const ProgramResult &res)
+                  const std::string &workload, const ProgramResult &res,
+                  const std::vector<std::pair<std::string, double>>
+                      &extra = {})
 {
     obs::JsonWriter w;
     w.beginObject()
@@ -118,6 +122,8 @@ emitBenchJsonLine(std::FILE *out, const std::string &bench,
         .key("build_seconds").value(res.buildSeconds)
         .key("heur_seconds").value(res.heurSeconds)
         .key("sched_seconds").value(res.schedSeconds);
+    for (const auto &[name, value] : extra)
+        w.key(name).value(value);
     w.key("counters");
     obs::CounterSet nz = res.counters.nonzero();
     w.beginObject();

@@ -5,6 +5,8 @@
 #include "obs/phase.hh"
 #include "obs/trace.hh"
 #include "sched/list_scheduler.hh"
+#include "support/thread_pool.hh"
+#include "support/worker_context.hh"
 
 namespace sched91
 {
@@ -27,10 +29,11 @@ runNeededPasses(Dag &dag, const SchedulerConfig &config, PassImpl impl)
 }
 
 /**
- * Per-block trace emission: snapshots the counter registry around
- * each phase and fires one event with the phase's deltas.  Inactive
- * (and cost-free beyond one branch) unless both a sink is configured
- * and the observability layer is on.
+ * Per-block trace emission: snapshots the thread's active counter
+ * source (worker shard inside the pipeline, global registry
+ * otherwise) around each phase and fires one event with the phase's
+ * deltas.  Inactive (and cost-free beyond one branch) unless both a
+ * sink is configured and the observability layer is on.
  */
 class BlockTracer
 {
@@ -40,7 +43,7 @@ class BlockTracer
         : sink_(obs::enabled() ? sink : nullptr), block_(block), bb_(bb)
     {
         if (sink_)
-            before_ = obs::CounterRegistry::global().snapshot();
+            before_ = obs::activeSnapshot();
     }
 
     void
@@ -54,9 +57,9 @@ class BlockTracer
         ev.size = bb_.size();
         ev.phase = phase;
         ev.seconds = seconds;
-        ev.counters = obs::CounterRegistry::global().deltaSince(before_);
+        ev.counters = obs::activeDeltaSince(before_);
         sink_->event(ev);
-        before_ = obs::CounterRegistry::global().snapshot();
+        before_ = obs::activeSnapshot();
     }
 
   private:
@@ -64,6 +67,31 @@ class BlockTracer
     std::size_t block_;
     const BasicBlock &bb_;
     obs::CounterSet before_;
+};
+
+/** Everything one block produces, parked in its own slot until the
+ * post-join reduction. */
+struct BlockOutput
+{
+    double buildSeconds = 0.0;
+    double heurSeconds = 0.0;
+    double schedSeconds = 0.0;
+    DagStructure dagStats;
+    long long cyclesOriginal = 0;
+    long long cyclesScheduled = 0;
+    Schedule sched;
+    obs::BufferedTraceSink trace; ///< used only when tracing
+};
+
+/** Thread-private machinery of one pipeline lane. */
+struct WorkerState
+{
+    WorkerContext ctx;
+    /** Cleared per block, so Max gauges become per-block peaks. */
+    obs::CounterShard blockShard{obs::CounterRegistry::global()};
+    /** Run-lifetime accumulation, flushed to the registry post-join. */
+    obs::CounterShard accum{obs::CounterRegistry::global()};
+    obs::PhaseProfiler profiler;
 };
 
 } // namespace
@@ -81,31 +109,46 @@ runPipeline(Program &prog, const MachineModel &machine,
     result.numBlocks = blocks.size();
     result.numInsts = prog.size();
 
+    const bool obs_on = obs::enabled();
+    const bool tracing = obs_on && opts.trace != nullptr;
+
     obs::CounterSet run_before;
-    if (obs::enabled())
+    if (obs_on)
         run_before = obs::CounterRegistry::global().snapshot();
 
-    for (std::size_t b = 0; b < blocks.size(); ++b) {
+    unsigned threads = opts.threads != 0
+                           ? opts.threads
+                           : ThreadPool::hardwareConcurrency();
+    if (!blocks.empty() && blocks.size() < threads)
+        threads = static_cast<unsigned>(blocks.size());
+    if (threads == 0)
+        threads = 1;
+
+    std::vector<BlockOutput> outputs(blocks.size());
+    std::vector<WorkerState> workers(threads);
+
+    auto processBlock = [&](std::size_t b) {
         const BasicBlock &bb = blocks[b];
         BlockView block(prog, bb);
-        BlockTracer tracer(opts.trace, b, bb);
+        BlockOutput &out = outputs[b];
+        BlockTracer tracer(tracing ? &out.trace : nullptr, b, bb);
 
         obs::ScopedPhase build_phase("build");
         Dag dag = builder->build(block, machine, opts.build);
-        result.buildSeconds += build_phase.stop();
+        out.buildSeconds = build_phase.stop();
         tracer.phaseDone("build", build_phase.seconds());
 
         obs::ScopedPhase heur_phase("heur");
         runNeededPasses(dag, spec.config, opts.passImpl);
-        result.heurSeconds += heur_phase.stop();
+        out.heurSeconds = heur_phase.stop();
         tracer.phaseDone("heur", heur_phase.seconds());
 
         obs::ScopedPhase sched_phase("sched");
-        Schedule sched = scheduler.run(dag);
-        result.schedSeconds += sched_phase.stop();
+        out.sched = scheduler.run(dag);
+        out.schedSeconds = sched_phase.stop();
         tracer.phaseDone("sched", sched_phase.seconds());
 
-        result.dagStats.accumulate(dag);
+        out.dagStats.accumulate(dag);
 
         if (opts.evaluate) {
             obs::ScopedPhase eval_phase("evaluate");
@@ -118,33 +161,105 @@ runPipeline(Program &prog, const MachineModel &machine,
                  opts.builder == BuilderKind::TableBackward) &&
                 !opts.build.preventTransitive;
             if (reusable) {
-                result.cyclesOriginal +=
+                out.cyclesOriginal =
                     simulateSchedule(dag, originalOrderSchedule(dag).order,
                                      machine)
                         .cycles;
-                result.cyclesScheduled +=
-                    simulateSchedule(dag, sched.order, machine).cycles;
+                out.cyclesScheduled =
+                    simulateSchedule(dag, out.sched.order, machine).cycles;
             } else {
                 BuildOptions gt_opts = opts.build;
                 gt_opts.preventTransitive = false;
                 gt_opts.maintainReachMaps = false;
                 Dag gt = TableForwardBuilder().build(block, machine,
                                                      gt_opts);
-                result.cyclesOriginal +=
+                out.cyclesOriginal =
                     simulateSchedule(gt, originalOrderSchedule(gt).order,
                                      machine)
                         .cycles;
-                result.cyclesScheduled +=
-                    simulateSchedule(gt, sched.order, machine).cycles;
+                out.cyclesScheduled =
+                    simulateSchedule(gt, out.sched.order, machine).cycles;
             }
             eval_phase.stop();
             tracer.phaseDone("evaluate", eval_phase.seconds());
         }
+        // The block's DAGs die here — before the next beginBlock()
+        // recycles the arena their arc lists live in.
+    };
+
+    auto runChunk = [&](unsigned w, std::size_t begin, std::size_t end) {
+        WorkerState &ws = workers[w];
+        WorkerContext::Scope ctx_scope(ws.ctx);
+        if (obs_on) {
+            // Even a single-lane run routes through the shard: the
+            // per-block clear is what gives Max gauges history-free
+            // per-block values, which the byte-identical-output
+            // guarantee across thread counts depends on.
+            obs::ScopedProfiler prof_scope(ws.profiler);
+            obs::ScopedCounterShard shard_scope(ws.blockShard);
+            for (std::size_t b = begin; b < end; ++b) {
+                ws.blockShard.clear();
+                ws.ctx.beginBlock();
+                processBlock(b);
+                ws.blockShard.flushInto(ws.accum);
+            }
+        } else {
+            for (std::size_t b = begin; b < end; ++b) {
+                ws.ctx.beginBlock();
+                processBlock(b);
+            }
+        }
+    };
+
+    {
+        ThreadPool pool(threads);
+        std::size_t chunk =
+            blocks.size() / (static_cast<std::size_t>(threads) * 8);
+        if (chunk == 0)
+            chunk = 1;
+        pool.parallelFor(blocks.size(), chunk, runChunk);
     }
 
-    if (obs::enabled())
-        result.counters =
-            obs::CounterRegistry::global().deltaSince(run_before);
+    // Deterministic reduction: block order for per-block outputs...
+    if (opts.schedules)
+        opts.schedules->assign(blocks.size(), Schedule{});
+    for (std::size_t b = 0; b < outputs.size(); ++b) {
+        BlockOutput &out = outputs[b];
+        result.buildSeconds += out.buildSeconds;
+        result.heurSeconds += out.heurSeconds;
+        result.schedSeconds += out.schedSeconds;
+        result.dagStats.merge(out.dagStats);
+        result.cyclesOriginal += out.cyclesOriginal;
+        result.cyclesScheduled += out.cyclesScheduled;
+        if (opts.schedules)
+            (*opts.schedules)[b] = std::move(out.sched);
+        if (tracing)
+            out.trace.replayInto(*opts.trace);
+    }
+
+    // ... and worker order for the thread-private shards and phase
+    // trees (both merges are kind-aware, so the result is independent
+    // of how blocks were distributed over lanes).
+    if (obs_on) {
+        obs::CounterRegistry &registry = obs::CounterRegistry::global();
+        obs::PhaseProfiler &profiler = obs::PhaseProfiler::active();
+        obs::CounterShard run_total(registry);
+        for (WorkerState &ws : workers) {
+            ws.accum.flushInto(run_total);
+            profiler.mergeFrom(ws.profiler);
+        }
+        run_total.flushInto(registry);
+        result.counters = registry.deltaSince(run_before);
+        // Registry-level subtraction cannot express a per-run peak: a
+        // prior run's higher Max value would zero (or understate) this
+        // run's.  All in-run counting went through the shards, so the
+        // merged shard holds exactly this run's peaks — report those.
+        for (std::size_t id = 0; id < registry.size(); ++id)
+            if (registry.kind(id) == obs::CounterKind::Max &&
+                run_total.value(id) != 0)
+                result.counters.set(registry.name(id),
+                                    run_total.value(id));
+    }
 
     return result;
 }

@@ -12,6 +12,15 @@
  * statistics — the quantities of Tables 4 and 5 — and can optionally
  * evaluate schedule quality in cycles with the in-order pipeline
  * simulator against a timing-complete table-built ground-truth DAG.
+ *
+ * Basic blocks are independent (each gets its own DAG, heuristic
+ * pass, and schedule), so the pipeline processes them block-parallel
+ * on a chunked thread pool.  Every worker owns a WorkerContext (bump
+ * arena + scratch buffers), a private counter shard, and a private
+ * phase profiler; per-block outputs land in slots indexed by block
+ * id and all reductions happen after the join in a fixed order, so
+ * schedules, statistics, counters, and trace events are identical for
+ * every thread count (see docs/PERFORMANCE.md).
  */
 
 #ifndef SCHED91_CORE_PIPELINE_HH
@@ -55,8 +64,25 @@ struct PipelineOptions
     /**
      * Optional per-block per-phase trace consumer.  Events fire only
      * while the observability layer is enabled (obs::setEnabled).
+     * Events are delivered after the parallel region, in block order,
+     * from the caller's thread — the sink needs no locking.
      */
     obs::TraceSink *trace = nullptr;
+
+    /**
+     * Worker lanes for block-parallel execution: 0 picks the hardware
+     * concurrency, 1 runs serial.  Results are deterministic — the
+     * same program yields byte-identical schedules, statistics,
+     * counters, and traces at every thread count.
+     */
+    unsigned threads = 0;
+
+    /**
+     * When non-null, receives one Schedule per block (indexed by
+     * block id) — the per-block output that ProgramResult otherwise
+     * aggregates away.
+     */
+    std::vector<Schedule> *schedules = nullptr;
 };
 
 /** Aggregated outcome of scheduling a whole program. */

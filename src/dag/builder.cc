@@ -6,6 +6,7 @@
 #include "dag/table_forward.hh"
 #include "obs/events.hh"
 #include "support/logging.hh"
+#include "support/worker_context.hh"
 
 namespace sched91
 {
@@ -14,7 +15,9 @@ Dag
 DagBuilder::build(const BlockView &block, const MachineModel &machine,
                   const BuildOptions &opts) const
 {
-    Dag dag(block);
+    // Inside a pipeline worker the arc lists draw from the worker's
+    // block-lifetime arena; standalone callers get heap allocation.
+    Dag dag(block, WorkerContext::currentArena());
     dag.setLevelOrigin(isForward() ? Dag::LevelOrigin::Roots
                                    : Dag::LevelOrigin::Leaves);
 

@@ -8,14 +8,24 @@
 namespace sched91
 {
 
-Dag::Dag(const BlockView &block) : block_(block)
+Dag::Dag(const BlockView &block, Arena *arena)
+    : block_(block), dupStamp_(ArenaAllocator<std::uint32_t>(arena)),
+      dupArc_(ArenaAllocator<std::uint32_t>(arena))
 {
     std::uint32_t n = block.size();
     nodes_.resize(n);
     dupStamp_.assign(n, 0);
     dupArc_.assign(n, 0);
-    for (std::uint32_t i = 0; i < n; ++i)
+    ArenaAllocator<std::uint32_t> alloc(arena);
+    for (std::uint32_t i = 0; i < n; ++i) {
         nodes_[i].inst = &block.inst(i);
+        if (arena) {
+            // Move-assignment propagates the arena allocator into the
+            // default-constructed (heap-allocator) node vectors.
+            nodes_[i].succArcs = ArcIdxVec(alloc);
+            nodes_[i].predArcs = ArcIdxVec(alloc);
+        }
+    }
 }
 
 void

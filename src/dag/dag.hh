@@ -26,10 +26,19 @@
 #include "ir/instruction.hh"
 #include "ir/program.hh"
 #include "machine/machine_model.hh"
+#include "support/arena.hh"
 #include "support/bitmap.hh"
 
 namespace sched91
 {
+
+/**
+ * Arc-index list.  Per-node arc lists are the DAG's dominant source of
+ * small allocations, so they can draw from a worker's block-lifetime
+ * Arena; with no arena attached the allocator is plain heap and the
+ * type behaves exactly like std::vector<uint32_t>.
+ */
+using ArcIdxVec = ArenaVector<std::uint32_t>;
 
 /** Read-only view of one basic block's instructions. */
 class BlockView
@@ -112,8 +121,8 @@ struct NodeAnnotations
 struct DagNode
 {
     const Instruction *inst = nullptr; ///< null only for dummy nodes
-    std::vector<std::uint32_t> succArcs; ///< indices into Dag::arcs()
-    std::vector<std::uint32_t> predArcs;
+    ArcIdxVec succArcs; ///< indices into Dag::arcs()
+    ArcIdxVec predArcs;
     int numChildren = 0;  ///< unique child count (deduped arcs)
     int numParents = 0;
     int level = 0;
@@ -138,8 +147,13 @@ class Dag
         Suppressed,  ///< dropped by transitive-arc prevention
     };
 
-    /** Create one node per block instruction, in program order. */
-    explicit Dag(const BlockView &block);
+    /**
+     * Create one node per block instruction, in program order.  With
+     * a non-null @p arena the per-node arc lists and duplicate-
+     * detection scratch allocate from it, tying the DAG's lifetime to
+     * the arena's reset cycle (the pipeline resets per block).
+     */
+    explicit Dag(const BlockView &block, Arena *arena = nullptr);
 
     /** Enable reachability maps (call before any addArc). */
     void enableReachMaps(ReachMode mode);
@@ -259,8 +273,8 @@ class Dag
     // O(1) duplicate detection within one arc group.
     std::uint32_t groupNode_ = ~std::uint32_t{0};
     std::uint32_t epoch_ = 0;
-    std::vector<std::uint32_t> dupStamp_;
-    std::vector<std::uint32_t> dupArc_;
+    ArcIdxVec dupStamp_;
+    ArcIdxVec dupArc_;
 
     mutable std::vector<std::vector<std::uint32_t>> levelLists_;
     mutable bool levelListsValid_ = false;

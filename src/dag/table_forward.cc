@@ -3,6 +3,7 @@
 #include <array>
 
 #include "obs/events.hh"
+#include "support/worker_context.hh"
 
 namespace sched91
 {
@@ -14,7 +15,7 @@ namespace
 struct SlotEntry
 {
     std::int64_t def = -1;
-    std::vector<std::uint32_t> uses;
+    ArcIdxVec uses;
 };
 
 } // namespace
@@ -26,6 +27,12 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
 {
     MemDisambiguator disamb(opts.memPolicy);
     std::array<SlotEntry, Resource::kNumSlots> table{};
+    if (Arena *arena = WorkerContext::currentArena()) {
+        // Per-slot use lists join the worker arena's block lifetime.
+        ArenaAllocator<std::uint32_t> alloc(arena);
+        for (SlotEntry &e : table)
+            e.uses = ArcIdxVec(alloc);
+    }
     std::vector<MemEntry> mem_entries;
 
     // Definition-table and memory-entry probes, accumulated locally

@@ -79,6 +79,20 @@ CounterSet::nonzero() const
     return out;
 }
 
+void
+mergeCounterSets(CounterSet &into, const CounterSet &from,
+                 const CounterRegistry &registry)
+{
+    for (const CounterSet::Item &item : from.items()) {
+        if (registry.kindByName(item.first) == CounterKind::Max) {
+            if (item.second > into.value(item.first))
+                into.set(item.first, item.second);
+        } else if (item.second != 0 || !into.contains(item.first)) {
+            into.set(item.first, into.value(item.first) + item.second);
+        }
+    }
+}
+
 // --- CounterRegistry -------------------------------------------------
 
 CounterRegistry &
@@ -89,22 +103,23 @@ CounterRegistry::global()
 }
 
 std::size_t
-CounterRegistry::add(std::string_view name)
+CounterRegistry::add(std::string_view name, CounterKind kind)
 {
     if (index_.find(name) != index_.end())
         panic("duplicate counter '", std::string(name), "'");
     std::size_t id = names_.size();
     names_.emplace_back(name);
+    kinds_.push_back(kind);
     slots_.push_back(0);
     index_.emplace(names_.back(), id);
     return id;
 }
 
 std::size_t
-CounterRegistry::getOrAdd(std::string_view name)
+CounterRegistry::getOrAdd(std::string_view name, CounterKind kind)
 {
     auto it = index_.find(name);
-    return it != index_.end() ? it->second : add(name);
+    return it != index_.end() ? it->second : add(name, kind);
 }
 
 std::size_t
@@ -112,6 +127,13 @@ CounterRegistry::find(std::string_view name) const
 {
     auto it = index_.find(name);
     return it != index_.end() ? it->second : npos;
+}
+
+CounterKind
+CounterRegistry::kindByName(std::string_view name) const
+{
+    std::size_t id = find(name);
+    return id == npos ? CounterKind::Sum : kinds_[id];
 }
 
 std::uint64_t
@@ -143,6 +165,82 @@ CounterRegistry::deltaSince(const CounterSet &before) const
     for (std::size_t id = 0; id < names_.size(); ++id)
         out.set(names_[id], slots_[id] - before.value(names_[id]));
     return out;
+}
+
+// --- CounterShard ----------------------------------------------------
+
+void
+CounterShard::clear()
+{
+    std::fill(slots_.begin(), slots_.end(), 0);
+}
+
+CounterSet
+CounterShard::snapshot() const
+{
+    CounterSet out;
+    for (std::size_t id = 0; id < registry_->size(); ++id)
+        out.set(registry_->name(id), value(id));
+    return out;
+}
+
+CounterSet
+CounterShard::deltaSince(const CounterSet &before) const
+{
+    CounterSet out;
+    for (std::size_t id = 0; id < registry_->size(); ++id) {
+        // A Max gauge is a per-interval peak: subtraction against an
+        // earlier peak is meaningless, so report the value as-is.
+        std::uint64_t v = value(id);
+        if (registry_->kind(id) == CounterKind::Sum)
+            v -= before.value(registry_->name(id));
+        out.set(registry_->name(id), v);
+    }
+    return out;
+}
+
+void
+CounterShard::flushInto(CounterShard &into) const
+{
+    for (std::size_t id = 0; id < slots_.size(); ++id) {
+        if (slots_[id] == 0)
+            continue;
+        if (registry_->kind(id) == CounterKind::Max)
+            into.recordMax(id, slots_[id]);
+        else
+            into.add(id, slots_[id]);
+    }
+}
+
+void
+CounterShard::flushInto(CounterRegistry &into) const
+{
+    for (std::size_t id = 0; id < slots_.size(); ++id) {
+        if (slots_[id] == 0)
+            continue;
+        if (registry_->kind(id) == CounterKind::Max)
+            into.recordMax(id, slots_[id]);
+        else
+            into.increment(id, slots_[id]);
+    }
+}
+
+// --- Thread-active helpers -------------------------------------------
+
+CounterSet
+activeSnapshot()
+{
+    if (detail::t_shard)
+        return detail::t_shard->snapshot();
+    return CounterRegistry::global().snapshot();
+}
+
+CounterSet
+activeDeltaSince(const CounterSet &before)
+{
+    if (detail::t_shard)
+        return detail::t_shard->deltaSince(before);
+    return CounterRegistry::global().deltaSince(before);
 }
 
 } // namespace sched91::obs

@@ -19,11 +19,21 @@
  *    are unaffected when observability is off (the default);
  *  - CounterSet snapshots/deltas make counters resettable per block
  *    or per phase without disturbing program-wide totals.
+ *
+ * Parallel runs add one more layer: a CounterShard is a flat,
+ * thread-private copy of the registry's slots.  The pipeline installs
+ * one per worker (ScopedCounterShard), instrumentation sites route
+ * into it, and after the parallel region the shards are flushed back
+ * into the registry in a fixed order.  Each counter carries a
+ * CounterKind so the flush knows how to combine shard values: Sum
+ * counters add, Max counters (gauges such as `sched.ready_list_peak`)
+ * take the high-water mark.
  */
 
 #ifndef SCHED91_OBS_COUNTERS_HH
 #define SCHED91_OBS_COUNTERS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -35,10 +45,22 @@
 namespace sched91::obs
 {
 
+class CounterShard;
+
+/** How concurrent observations of one counter combine. */
+enum class CounterKind : std::uint8_t
+{
+    Sum, ///< monotone event count; shards add
+    Max, ///< high-water gauge; shards take the maximum
+};
+
 namespace detail
 {
 /** Global enable flag; read on every increment, written rarely. */
 inline bool g_enabled = false;
+
+/** Shard the calling thread routes increments into (none by default). */
+inline thread_local CounterShard *t_shard = nullptr;
 } // namespace detail
 
 /** Whether event counting and phase-tree profiling are active. */
@@ -78,6 +100,12 @@ class CounterSet
     /** Entries in ascending name order. */
     const std::vector<Item> &items() const { return items_; }
 
+    friend bool
+    operator==(const CounterSet &a, const CounterSet &b)
+    {
+        return a.items_ == b.items_;
+    }
+
   private:
     std::vector<Item> items_; ///< kept sorted by name
 
@@ -106,17 +134,23 @@ class CounterRegistry
      * Register a new counter.  A duplicate name is a programming
      * error and panics; use getOrAdd() for idempotent binding.
      */
-    std::size_t add(std::string_view name);
+    std::size_t add(std::string_view name,
+                    CounterKind kind = CounterKind::Sum);
 
     /** Id of an existing counter, or register it. */
-    std::size_t getOrAdd(std::string_view name);
+    std::size_t getOrAdd(std::string_view name,
+                         CounterKind kind = CounterKind::Sum);
 
     /** Id by name, npos when absent. */
     std::size_t find(std::string_view name) const;
 
     std::size_t size() const { return names_.size(); }
     const std::string &name(std::size_t id) const { return names_[id]; }
+    CounterKind kind(std::size_t id) const { return kinds_[id]; }
     std::uint64_t value(std::size_t id) const { return slots_[id]; }
+
+    /** Kind by name; Sum when the name is not registered. */
+    CounterKind kindByName(std::string_view name) const;
 
     /** Value by name; 0 when absent (so probes never fault). */
     std::uint64_t valueByName(std::string_view name) const;
@@ -148,41 +182,162 @@ class CounterRegistry
 
   private:
     std::vector<std::string> names_;
+    std::vector<CounterKind> kinds_;
     std::deque<std::uint64_t> slots_; ///< deque: stable addresses
     std::map<std::string, std::size_t, std::less<>> index_;
 };
+
+/**
+ * Combine @p from into @p into respecting each counter's kind as
+ * registered in @p registry: Sum entries add, Max entries keep the
+ * larger value.  Names unknown to the registry default to Sum.
+ */
+void mergeCounterSets(CounterSet &into, const CounterSet &from,
+                      const CounterRegistry &registry);
+
+/**
+ * Thread-private mirror of a registry's slots.  Instrumentation
+ * handles route into the installed shard instead of the shared slots,
+ * so workers never write the same memory; flushInto() folds the shard
+ * back (kind-aware) once the owning thread has quiesced.
+ *
+ * The pipeline clears the shard at each block boundary, which also
+ * makes Max gauges *per-block* peaks — exactly the value a per-block
+ * delta should report, independent of which blocks ran earlier on the
+ * same worker.
+ */
+class CounterShard
+{
+  public:
+    explicit CounterShard(CounterRegistry &registry)
+        : registry_(&registry)
+    {
+    }
+
+    CounterRegistry &registry() const { return *registry_; }
+
+    void
+    add(std::size_t id, std::uint64_t n)
+    {
+        grow(id);
+        slots_[id] += n;
+    }
+
+    void
+    recordMax(std::size_t id, std::uint64_t v)
+    {
+        grow(id);
+        if (v > slots_[id])
+            slots_[id] = v;
+    }
+
+    std::uint64_t
+    value(std::size_t id) const
+    {
+        return id < slots_.size() ? slots_[id] : 0;
+    }
+
+    /** Zero every slot (capacity is kept for reuse). */
+    void clear();
+
+    /** All registry names with this shard's values. */
+    CounterSet snapshot() const;
+
+    /** now - before for Sum counters; for Max counters the shard value
+     * itself (a per-interval peak has no meaningful subtraction). */
+    CounterSet deltaSince(const CounterSet &before) const;
+
+    /** Fold this shard into another (kind-aware); both must mirror the
+     * same registry. */
+    void flushInto(CounterShard &into) const;
+
+    /** Fold this shard into the shared registry slots (kind-aware). */
+    void flushInto(CounterRegistry &into) const;
+
+  private:
+    void
+    grow(std::size_t id)
+    {
+        if (id >= slots_.size())
+            slots_.resize(std::max(registry_->size(), id + 1), 0);
+    }
+
+    CounterRegistry *registry_;
+    std::vector<std::uint64_t> slots_;
+};
+
+/** RAII installer: route this thread's counter traffic into @p shard. */
+class ScopedCounterShard
+{
+  public:
+    explicit ScopedCounterShard(CounterShard &shard)
+        : prev_(detail::t_shard)
+    {
+        detail::t_shard = &shard;
+    }
+
+    ~ScopedCounterShard() { detail::t_shard = prev_; }
+
+    ScopedCounterShard(const ScopedCounterShard &) = delete;
+    ScopedCounterShard &operator=(const ScopedCounterShard &) = delete;
+
+  private:
+    CounterShard *prev_;
+};
+
+/** Snapshot of whatever the calling thread's increments land in: the
+ * installed shard if any, else the global registry. */
+CounterSet activeSnapshot();
+
+/** Delta against activeSnapshot()'s source (see CounterShard's note on
+ * Max counters). */
+CounterSet activeDeltaSince(const CounterSet &before);
 
 /**
  * Cheap instrumentation handle bound to one registry slot.  Intended
  * for namespace-scope inline definitions (see obs/events.hh): binding
  * happens once at static initialization, and the hot-path cost of
  * inc()/max() with observability disabled is the single branch the
- * acceptance contract allows.
+ * acceptance contract allows.  When enabled, increments divert to the
+ * calling thread's installed CounterShard, if any.
  */
 class Counter
 {
   public:
     /** Bind to (registering if needed) @p name in the global registry. */
-    explicit Counter(const char *name)
-        : Counter(CounterRegistry::global(), name)
+    explicit Counter(const char *name,
+                     CounterKind kind = CounterKind::Sum)
+        : Counter(CounterRegistry::global(), name, kind)
     {
     }
 
-    Counter(CounterRegistry &registry, const char *name)
-        : slot_(registry.slotAddress(registry.getOrAdd(name))), name_(name)
+    Counter(CounterRegistry &registry, const char *name,
+            CounterKind kind = CounterKind::Sum)
+        : registry_(&registry), id_(registry.getOrAdd(name, kind)),
+          slot_(registry.slotAddress(id_)), name_(name)
     {
     }
 
     void inc(std::uint64_t n = 1)
     {
-        if (detail::g_enabled)
+        if (!detail::g_enabled)
+            return;
+        if (CounterShard *shard = detail::t_shard;
+            shard && &shard->registry() == registry_)
+            shard->add(id_, n);
+        else
             *slot_ += n;
     }
 
     /** Record a high-water mark (gauge-style counter). */
     void max(std::uint64_t v)
     {
-        if (detail::g_enabled && v > *slot_)
+        if (!detail::g_enabled)
+            return;
+        if (CounterShard *shard = detail::t_shard;
+            shard && &shard->registry() == registry_)
+            shard->recordMax(id_, v);
+        else if (v > *slot_)
             *slot_ = v;
     }
 
@@ -190,6 +345,8 @@ class Counter
     const char *name() const { return name_; }
 
   private:
+    CounterRegistry *registry_;
+    std::size_t id_;
     std::uint64_t *slot_;
     const char *name_;
 };

@@ -33,17 +33,17 @@ writeCounterSet(JsonWriter &w, const CounterSet &counters)
 }
 
 void
-writePhaseTree(JsonWriter &w, const PhaseStats &node)
+writePhaseTree(JsonWriter &w, const PhaseStats &node, bool zero_times)
 {
     w.beginObject()
         .key("name").value(node.name)
         .key("entries").value(node.entries)
-        .key("seconds").value(node.seconds);
+        .key("seconds").value(zero_times ? 0.0 : node.seconds);
     w.key("counters");
     writeCounterSet(w, node.counters);
     w.key("children").beginArray();
     for (const PhaseStats &child : node.children)
-        writePhaseTree(w, child);
+        writePhaseTree(w, child, zero_times);
     w.endArray().endObject();
 }
 
@@ -51,7 +51,8 @@ writePhaseTree(JsonWriter &w, const PhaseStats &node)
 
 std::string
 programResultJson(const ProgramResult &result, const RunMeta &meta,
-                  const CounterSet &counters, const PhaseStats *phases)
+                  const CounterSet &counters, const PhaseStats *phases,
+                  const EmitOptions &opts)
 {
     JsonWriter w;
     w.beginObject();
@@ -69,11 +70,12 @@ programResultJson(const ProgramResult &result, const RunMeta &meta,
         .key("instructions")
         .value(static_cast<std::uint64_t>(result.numInsts));
 
+    const double zt = opts.zeroTimes ? 0.0 : 1.0;
     w.key("phases").beginObject()
-        .key("build_seconds").value(result.buildSeconds)
-        .key("heur_seconds").value(result.heurSeconds)
-        .key("sched_seconds").value(result.schedSeconds)
-        .key("total_seconds").value(result.totalSeconds())
+        .key("build_seconds").value(zt * result.buildSeconds)
+        .key("heur_seconds").value(zt * result.heurSeconds)
+        .key("sched_seconds").value(zt * result.schedSeconds)
+        .key("total_seconds").value(zt * result.totalSeconds())
         .endObject();
 
     const DagStructure &d = result.dagStats;
@@ -105,7 +107,7 @@ programResultJson(const ProgramResult &result, const RunMeta &meta,
     if (phases) {
         w.key("phase_tree").beginArray();
         for (const PhaseStats &child : phases->children)
-            writePhaseTree(w, child);
+            writePhaseTree(w, child, opts.zeroTimes);
         w.endArray();
     }
 

@@ -30,6 +30,15 @@ struct RunMeta
     std::string machine;
 };
 
+/** Serialization knobs. */
+struct EmitOptions
+{
+    /** Write every `seconds` field as 0.  Wall-clock is run-to-run
+     * noise; zeroing it makes whole documents byte-comparable (used by
+     * the determinism tests and `--zero-times`). */
+    bool zeroTimes = false;
+};
+
 /**
  * Serialize @p result with @p counters (typically the registry deltas
  * for the run) and, when non-null, the phase tree rooted at @p phases.
@@ -38,7 +47,8 @@ struct RunMeta
 std::string programResultJson(const ProgramResult &result,
                               const RunMeta &meta,
                               const CounterSet &counters,
-                              const PhaseStats *phases = nullptr);
+                              const PhaseStats *phases = nullptr,
+                              const EmitOptions &opts = {});
 
 /** Serialize one counter set as a flat JSON object. */
 std::string counterSetJson(const CounterSet &counters);

@@ -70,8 +70,10 @@ inline Counter schedNodeVisits{"sched.node_visits"};
 /** Individual heuristic evaluations during candidate selection. */
 inline Counter schedHeuristicEvals{"sched.heuristic_evals"};
 
-/** High-water mark of the ready/candidate list. */
-inline Counter schedReadyListPeak{"sched.ready_list_peak"};
+/** High-water mark of the ready/candidate list (a Max gauge: shards
+ * and per-block deltas report peaks, not sums). */
+inline Counter schedReadyListPeak{"sched.ready_list_peak",
+                                  CounterKind::Max};
 
 /** Dependence-arc relaxations when a scheduled node releases
  * successors (forward) or predecessors (backward). */

@@ -21,6 +21,12 @@ PhaseProfiler::global()
     return instance;
 }
 
+PhaseProfiler &
+PhaseProfiler::active()
+{
+    return detail::t_profiler ? *detail::t_profiler : global();
+}
+
 void
 PhaseProfiler::clear()
 {
@@ -39,6 +45,42 @@ PhaseProfiler::topLevelSeconds() const
     for (const PhaseStats &c : root_.children)
         total += c.seconds;
     return total;
+}
+
+namespace
+{
+
+void
+mergeNode(PhaseStats &into, const PhaseStats &from)
+{
+    into.entries += from.entries;
+    into.seconds += from.seconds;
+    mergeCounterSets(into.counters, from.counters,
+                     CounterRegistry::global());
+    for (const PhaseStats &fc : from.children) {
+        PhaseStats *ic = nullptr;
+        for (PhaseStats &c : into.children)
+            if (c.name == fc.name) {
+                ic = &c;
+                break;
+            }
+        if (!ic) {
+            into.children.push_back(PhaseStats{});
+            ic = &into.children.back();
+            ic->name = fc.name;
+        }
+        mergeNode(*ic, fc);
+    }
+}
+
+} // namespace
+
+void
+PhaseProfiler::mergeFrom(const PhaseProfiler &other)
+{
+    SCHED91_ASSERT(stack_.empty() && other.stack_.empty(),
+                   "cannot merge phase trees with phases open");
+    mergeNode(root_, other.root_);
 }
 
 PhaseStats *
@@ -70,7 +112,7 @@ PhaseProfiler::exit(double seconds, const CounterSet &delta)
     PhaseStats *node = stack_.back();
     stack_.pop_back();
     node->seconds += seconds;
-    node->counters.merge(delta);
+    mergeCounterSets(node->counters, delta, CounterRegistry::global());
 }
 
 ScopedPhase::ScopedPhase(const char *name, PhaseProfiler &profiler)
@@ -78,7 +120,7 @@ ScopedPhase::ScopedPhase(const char *name, PhaseProfiler &profiler)
 {
     if (enabled()) {
         profiler_.enter(name);
-        before_ = CounterRegistry::global().snapshot();
+        before_ = activeSnapshot();
         open_ = true;
     }
 }
@@ -99,8 +141,7 @@ ScopedPhase::stop()
     elapsed_ = seconds();
     stopped_ = true;
     if (open_) {
-        profiler_.exit(elapsed_,
-                       CounterRegistry::global().deltaSince(before_));
+        profiler_.exit(elapsed_, activeDeltaSince(before_));
         open_ = false;
     }
     return elapsed_;

@@ -7,10 +7,16 @@
  * ScopedPhase replaces the ad-hoc Timer plumbing of the pipeline:
  * it always measures wall-clock time (two steady-clock reads, the
  * same cost the Timer had), and only when the observability layer is
- * enabled does it additionally maintain the global phase tree and
- * snapshot the counter registry to attribute event deltas to phases.
- * Deltas are *inclusive*: a parent phase's counters include those of
- * its children.
+ * enabled does it additionally maintain the phase tree and snapshot
+ * the thread's active counter source to attribute event deltas to
+ * phases.  Deltas are *inclusive*: a parent phase's counters include
+ * those of its children.
+ *
+ * Phases record into the thread's *active* profiler: normally the
+ * process-wide one, but the parallel pipeline installs a private
+ * profiler per worker (ScopedProfiler) and merges the worker trees
+ * into the caller's after the join — name-matched, so the final tree
+ * is independent of how blocks were distributed over threads.
  */
 
 #ifndef SCHED91_OBS_PHASE_HH
@@ -24,6 +30,14 @@
 
 namespace sched91::obs
 {
+
+class PhaseProfiler;
+
+namespace detail
+{
+/** Profiler this thread's phases record into (global() by default). */
+inline thread_local PhaseProfiler *t_profiler = nullptr;
+} // namespace detail
 
 /** Accumulated statistics for one phase node in the tree. */
 struct PhaseStats
@@ -39,15 +53,19 @@ struct PhaseStats
 };
 
 /**
- * Process-wide accumulator for the phase tree.  Phases entered while
- * another phase is open become (or re-open) children of it; the tree
- * persists across blocks, so per-block phases accumulate into one
- * node per distinct nesting path.
+ * Accumulator for the phase tree.  Phases entered while another phase
+ * is open become (or re-open) children of it; the tree persists
+ * across blocks, so per-block phases accumulate into one node per
+ * distinct nesting path.
  */
 class PhaseProfiler
 {
   public:
     static PhaseProfiler &global();
+
+    /** The profiler the calling thread records into: the installed
+     * one (ScopedProfiler) or global(). */
+    static PhaseProfiler &active();
 
     PhaseProfiler() { root_.name = "run"; }
 
@@ -61,6 +79,14 @@ class PhaseProfiler
     /** Total seconds of the top-level phases. */
     double topLevelSeconds() const;
 
+    /**
+     * Fold another profiler's tree into this one, matching phases by
+     * nesting path and name: entries and seconds add, counters merge
+     * kind-aware.  Used to fold per-worker trees back into the
+     * caller's after a parallel region.
+     */
+    void mergeFrom(const PhaseProfiler &other);
+
   private:
     friend class ScopedPhase;
 
@@ -69,6 +95,25 @@ class PhaseProfiler
 
     PhaseStats root_;
     std::vector<PhaseStats *> stack_; ///< open-phase path, root absent
+};
+
+/** RAII installer: this thread's phases record into @p profiler. */
+class ScopedProfiler
+{
+  public:
+    explicit ScopedProfiler(PhaseProfiler &profiler)
+        : prev_(detail::t_profiler)
+    {
+        detail::t_profiler = &profiler;
+    }
+
+    ~ScopedProfiler() { detail::t_profiler = prev_; }
+
+    ScopedProfiler(const ScopedProfiler &) = delete;
+    ScopedProfiler &operator=(const ScopedProfiler &) = delete;
+
+  private:
+    PhaseProfiler *prev_;
 };
 
 /**
@@ -80,7 +125,7 @@ class ScopedPhase
 {
   public:
     explicit ScopedPhase(const char *name,
-                         PhaseProfiler &profiler = PhaseProfiler::global());
+                         PhaseProfiler &profiler = PhaseProfiler::active());
 
     ScopedPhase(const ScopedPhase &) = delete;
     ScopedPhase &operator=(const ScopedPhase &) = delete;
@@ -102,7 +147,7 @@ class ScopedPhase
     PhaseProfiler &profiler_;
     Clock::time_point start_;
     double elapsed_ = 0.0; ///< valid once stopped
-    CounterSet before_;    ///< registry snapshot (enabled runs only)
+    CounterSet before_;    ///< active-source snapshot (enabled runs)
     bool open_ = false;    ///< tree node pending an exit()
     bool stopped_ = false;
 };

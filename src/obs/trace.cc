@@ -14,7 +14,7 @@ JsonlTraceSink::event(const TraceEvent &ev)
         .key("begin").value(ev.begin)
         .key("size").value(ev.size)
         .key("phase").value(ev.phase)
-        .key("seconds").value(ev.seconds);
+        .key("seconds").value(zeroTimes_ ? 0.0 : ev.seconds);
     w.key("counters").beginObject();
     // Named binding: items() references the set's own storage.
     CounterSet nz = ev.counters.nonzero();

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <vector>
 
 #include "obs/counters.hh"
 
@@ -44,8 +45,16 @@ class TraceSink
 class JsonlTraceSink final : public TraceSink
 {
   public:
-    /** @p out must outlive the sink. */
-    explicit JsonlTraceSink(std::ostream &out) : out_(&out) {}
+    /**
+     * @p out must outlive the sink.  With @p zero_times the `seconds`
+     * field is written as 0 — wall-clock is inherently run-to-run
+     * noise, and zeroing it makes traces byte-comparable across runs
+     * and thread counts.
+     */
+    explicit JsonlTraceSink(std::ostream &out, bool zero_times = false)
+        : out_(&out), zeroTimes_(zero_times)
+    {
+    }
 
     void event(const TraceEvent &ev) override;
 
@@ -53,7 +62,38 @@ class JsonlTraceSink final : public TraceSink
 
   private:
     std::ostream *out_;
+    bool zeroTimes_;
     std::size_t events_ = 0;
+};
+
+/**
+ * Accumulates events in memory for later in-order replay.  The
+ * parallel pipeline gives every block its own buffer (phase events of
+ * one block stay contiguous and ordered), then replays the buffers in
+ * block order after the join — so the user-visible trace is identical
+ * to a serial run's, no matter which worker traced which block.
+ *
+ * TraceEvent::phase is a pointer to a static string literal at every
+ * call site, so buffering events does not dangle.
+ */
+class BufferedTraceSink final : public TraceSink
+{
+  public:
+    void event(const TraceEvent &ev) override { events_.push_back(ev); }
+
+    void
+    replayInto(TraceSink &sink) const
+    {
+        for (const TraceEvent &ev : events_)
+            sink.event(ev);
+    }
+
+    void clear() { events_.clear(); }
+    std::size_t size() const { return events_.size(); }
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+  private:
+    std::vector<TraceEvent> events_;
 };
 
 } // namespace sched91::obs

@@ -6,13 +6,40 @@
 #include "machine/function_unit.hh"
 #include "obs/events.hh"
 #include "sched/fixup.hh"
+#include "support/dary_heap.hh"
 #include "support/logging.hh"
+#include "support/worker_context.hh"
 
 namespace sched91
 {
 
 namespace
 {
+
+/**
+ * Heuristics whose value depends on scheduling state (Table 1's 'v'
+ * work or the evaluation context): these must be re-evaluated at every
+ * pick, so a ranking containing one cannot precompute heap keys.
+ * Everything else falls through evaluate()'s default case to
+ * staticValue()/staticValueMax(), fixed once the heuristic passes ran.
+ */
+bool
+isDynamicHeuristic(Heuristic h)
+{
+    switch (h) {
+      case Heuristic::InterlockWithPrevious:
+      case Heuristic::EarliestExecutionTime:
+      case Heuristic::FpuBusyTimes:
+      case Heuristic::AlternateType:
+      case Heuristic::NumSingleParentChildren:
+      case Heuristic::SumDelaysToSingleParentChildren:
+      case Heuristic::NumUncoveredChildren:
+      case Heuristic::BirthingInstruction:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** Mutable evaluation context for the dynamic ("v") heuristics. */
 struct EvalContext
@@ -155,7 +182,10 @@ fillTiming(const Dag &dag, Schedule &sched)
 {
     // Inherited cross-block floors participate in the timing just
     // like dependence arcs from a previous block would.
-    std::vector<int> dep_ready(dag.size(), 0);
+    WorkerContext *wc = WorkerContext::current();
+    std::vector<int> local_dep;
+    std::vector<int> &dep_ready = wc ? wc->depReady : local_dep;
+    dep_ready.assign(dag.size(), 0);
     for (std::uint32_t i = 0; i < dag.size(); ++i)
         dep_ready[i] = dag.node(i).ann.inheritedEet;
     sched.issueCycle.assign(sched.order.size(), 0);
@@ -178,14 +208,118 @@ fillTiming(const Dag &dag, Schedule &sched)
 
 } // namespace
 
+ListScheduler::ListScheduler(SchedulerConfig config,
+                             const MachineModel &machine)
+    : config_(std::move(config)), machine_(machine), rankingStatic_(true)
+{
+    for (const RankedHeuristic &rh : config_.ranking)
+        if (isDynamicHeuristic(rh.heuristic))
+            rankingStatic_ = false;
+}
+
 Schedule
 ListScheduler::run(Dag &dag, DecisionStats *stats) const
 {
-    Schedule sched = config_.forward ? runForward(dag, stats)
-                                     : runBackward(dag, stats);
+    // DecisionStats needs the explicit winnowing pass, so the heap
+    // fast path only serves plain scheduling runs.
+    Schedule sched = (rankingStatic_ && !stats)
+                         ? runHeap(dag)
+                         : (config_.forward ? runForward(dag, stats)
+                                            : runBackward(dag, stats));
     if (config_.postpassFixup)
         applyPostpassFixup(dag, sched);
     fillTiming(dag, sched);
+    return sched;
+}
+
+Schedule
+ListScheduler::runHeap(Dag &dag) const
+{
+    initDynamicState(dag);
+
+    const std::size_t ranks = config_.ranking.size();
+    const bool forward = config_.forward;
+
+    WorkerContext *wc = WorkerContext::current();
+    std::vector<long long> local_keys;
+    std::vector<std::uint32_t> local_heap;
+    std::vector<long long> &keys = wc ? wc->heapKeys : local_keys;
+    std::vector<std::uint32_t> &store = wc ? wc->heapNodes : local_heap;
+    keys.resize(static_cast<std::size_t>(dag.size()) * ranks);
+
+    // Each node enters the ready list exactly once, so its ranked
+    // tuple is evaluated exactly once, at admission.
+    auto computeKey = [&](std::uint32_t n) {
+        const DagNode &node = dag.node(n);
+        for (std::size_t r = 0; r < ranks; ++r) {
+            const RankedHeuristic &rh = config_.ranking[r];
+            keys[n * ranks + r] =
+                rh.phiMax ? staticValueMax(node, rh.heuristic)
+                          : staticValue(node, rh.heuristic);
+        }
+        obs::ev::schedHeuristicEvals.inc(ranks);
+    };
+
+    // Same strict total order as better(): the ranked tuple, then
+    // program order (earlier wins forward, later wins backward) — so
+    // extract-max returns exactly the node the linear scan would pick.
+    auto outranks = [&](std::uint32_t a, std::uint32_t b) {
+        for (std::size_t r = 0; r < ranks; ++r) {
+            long long va = keys[a * ranks + r];
+            long long vb = keys[b * ranks + r];
+            if (va != vb)
+                return config_.ranking[r].preferLarger ? va > vb : va < vb;
+        }
+        return forward ? a < b : a > b;
+    };
+
+    DaryHeap<std::uint32_t, decltype(outranks)> ready(outranks, &store);
+    for (std::uint32_t i = 0; i < dag.size(); ++i) {
+        bool root = forward ? dag.node(i).numParents == 0
+                            : dag.node(i).numChildren == 0;
+        if (root) {
+            computeKey(i);
+            ready.push(i);
+        }
+    }
+
+    Schedule sched;
+    sched.order.reserve(dag.size());
+    int time = 0;
+
+    while (!ready.empty()) {
+        obs::ev::schedNodeVisits.inc();
+        obs::ev::schedReadyListPeak.max(ready.size());
+        std::uint32_t n = ready.pop();
+        sched.order.push_back(n);
+
+        if (forward) {
+            int issue = std::max(time, dag.node(n).ann.earliestExecTime);
+            onScheduledForward(dag, n, issue);
+            for (std::uint32_t arc_id : dag.node(n).succArcs) {
+                std::uint32_t c = dag.arc(arc_id).to;
+                if (dag.node(c).ann.unscheduledParents == 0) {
+                    computeKey(c);
+                    ready.push(c);
+                }
+            }
+            time = issue + 1;
+        } else {
+            onScheduledBackward(dag, n, config_.birthing);
+            for (std::uint32_t arc_id : dag.node(n).predArcs) {
+                std::uint32_t p = dag.arc(arc_id).from;
+                if (dag.node(p).ann.unscheduledChildren == 0) {
+                    computeKey(p);
+                    ready.push(p);
+                }
+            }
+        }
+    }
+
+    SCHED91_ASSERT(sched.order.size() == dag.size(),
+                   "scheduler lost nodes (cyclic DAG?)");
+    if (!forward)
+        std::reverse(sched.order.begin(), sched.order.end());
     return sched;
 }
 
@@ -194,7 +328,11 @@ ListScheduler::runForward(Dag &dag, DecisionStats *stats) const
 {
     initDynamicState(dag);
 
-    std::vector<std::uint32_t> candidates;
+    WorkerContext *wc = WorkerContext::current();
+    std::vector<std::uint32_t> local_candidates;
+    std::vector<std::uint32_t> &candidates =
+        wc ? wc->readyList : local_candidates;
+    candidates.clear();
     for (std::uint32_t i = 0; i < dag.size(); ++i)
         if (dag.node(i).numParents == 0)
             candidates.push_back(i);
@@ -244,7 +382,11 @@ ListScheduler::runBackward(Dag &dag, DecisionStats *stats) const
 {
     initDynamicState(dag);
 
-    std::vector<std::uint32_t> candidates;
+    WorkerContext *wc = WorkerContext::current();
+    std::vector<std::uint32_t> local_candidates;
+    std::vector<std::uint32_t> &candidates =
+        wc ? wc->readyList : local_candidates;
+    candidates.clear();
     for (std::uint32_t i = 0; i < dag.size(); ++i)
         if (dag.node(i).numChildren == 0)
             candidates.push_back(i);

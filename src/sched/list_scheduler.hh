@@ -102,10 +102,7 @@ class ListScheduler
   public:
     /** The configuration is copied, so temporaries are safe to pass;
      * the machine model must outlive the scheduler. */
-    ListScheduler(SchedulerConfig config, const MachineModel &machine)
-        : config_(std::move(config)), machine_(machine)
-    {
-    }
+    ListScheduler(SchedulerConfig config, const MachineModel &machine);
 
     /**
      * Schedule @p dag.  Dynamic state in the node annotations is
@@ -113,15 +110,28 @@ class ListScheduler
      * When @p stats is non-null, candidate selection runs as an
      * explicit winnowing pass and records which rank decided each
      * pick (same winners, slightly different bookkeeping cost).
+     *
+     * Rankings built purely from static ('a'/'f'/'b') heuristics run
+     * on a d-ary heap keyed by the precomputed heuristic tuple —
+     * O(log n) per pick instead of an O(n) rescan — with the same
+     * strict total order (tuple, then program-order tie break), so the
+     * produced schedules are identical to the scan's.  Rankings with
+     * dynamic ('v') heuristics, whose values change as nodes issue,
+     * keep the scan.
      */
     Schedule run(Dag &dag, DecisionStats *stats = nullptr) const;
+
+    /** Whether this configuration's ranking qualifies for the heap. */
+    bool rankingStatic() const { return rankingStatic_; }
 
   private:
     Schedule runForward(Dag &dag, DecisionStats *stats) const;
     Schedule runBackward(Dag &dag, DecisionStats *stats) const;
+    Schedule runHeap(Dag &dag) const;
 
     SchedulerConfig config_;
     const MachineModel &machine_;
+    bool rankingStatic_;
 };
 
 } // namespace sched91

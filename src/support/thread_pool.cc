@@ -1,0 +1,112 @@
+#include "support/thread_pool.hh"
+
+#include <utility>
+
+namespace sched91
+{
+
+unsigned
+ThreadPool::hardwareConcurrency()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : nthreads_(threads == 0 ? 1 : threads)
+{
+    workers_.reserve(nthreads_ - 1);
+    for (unsigned id = 1; id < nthreads_; ++id)
+        workers_.emplace_back([this, id] { workerMain(id); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cvStart_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runChunks(unsigned id)
+{
+    for (;;) {
+        std::size_t begin =
+            next_.fetch_add(jobChunk_, std::memory_order_relaxed);
+        if (begin >= jobSize_)
+            return;
+        std::size_t end = begin + jobChunk_;
+        if (end > jobSize_)
+            end = jobSize_;
+        try {
+            (*jobFn_)(id, begin, end);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::workerMain(unsigned id)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    std::uint64_t seen = 0;
+    for (;;) {
+        cvStart_.wait(lk,
+                      [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        lk.unlock();
+        runChunks(id);
+        lk.lock();
+        if (--active_ == 0)
+            cvDone_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
+                        const ChunkFn &fn)
+{
+    if (n == 0)
+        return;
+    if (chunk == 0)
+        chunk = 1;
+    if (nthreads_ == 1) {
+        // Serial lane: same chunking, no synchronization.
+        for (std::size_t begin = 0; begin < n; begin += chunk) {
+            std::size_t end = begin + chunk > n ? n : begin + chunk;
+            fn(0, begin, end);
+        }
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        jobSize_ = n;
+        jobChunk_ = chunk;
+        jobFn_ = &fn;
+        firstError_ = nullptr;
+        next_.store(0, std::memory_order_relaxed);
+        active_ = static_cast<unsigned>(workers_.size());
+        ++generation_;
+    }
+    cvStart_.notify_all();
+
+    runChunks(0);
+
+    std::unique_lock<std::mutex> lk(mu_);
+    cvDone_.wait(lk, [&] { return active_ == 0; });
+    jobFn_ = nullptr;
+    if (firstError_)
+        std::rethrow_exception(std::exchange(firstError_, nullptr));
+}
+
+} // namespace sched91

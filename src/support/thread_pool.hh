@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Chunked self-scheduling thread pool for the block-parallel pipeline.
+ *
+ * Basic blocks are independent units of work — each gets its own DAG,
+ * heuristic pass, and schedule — so the whole-program pipeline is
+ * embarrassingly parallel at block granularity.  The pool runs one
+ * persistent worker thread per extra lane; parallelFor() hands out
+ * contiguous index chunks through a shared atomic cursor, so fast
+ * workers steal the remaining range from slow ones (chunked work
+ * stealing) without any per-item locking.  The caller participates as
+ * worker 0, so a pool of N threads uses N-1 spawned threads.
+ *
+ * Determinism contract: the pool imposes no ordering, so callers must
+ * write results into pre-sized slots indexed by work item (the
+ * pipeline indexes by basic-block id) and do any order-sensitive
+ * reduction after parallelFor() returns.
+ */
+
+#ifndef SCHED91_SUPPORT_THREAD_POOL_HH
+#define SCHED91_SUPPORT_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sched91
+{
+
+/** Fixed-size pool; one instance per parallel region is fine (threads
+ * are reused across parallelFor calls, not across pools). */
+class ThreadPool
+{
+  public:
+    /** fn(worker, begin, end): process items [begin, end). */
+    using ChunkFn =
+        std::function<void(unsigned, std::size_t, std::size_t)>;
+
+    /** std::thread::hardware_concurrency, never 0. */
+    static unsigned hardwareConcurrency();
+
+    /** @p threads total lanes including the caller; clamped to >= 1. */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threads() const { return nthreads_; }
+
+    /**
+     * Run @p fn over [0, n) in chunks of @p chunk items, on all lanes.
+     * Blocks until every item is done.  The first exception thrown by
+     * @p fn is rethrown here (remaining chunks still drain).
+     */
+    void parallelFor(std::size_t n, std::size_t chunk, const ChunkFn &fn);
+
+  private:
+    void workerMain(unsigned id);
+    void runChunks(unsigned id);
+
+    unsigned nthreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable cvStart_;
+    std::condition_variable cvDone_;
+    std::uint64_t generation_ = 0;
+    unsigned active_ = 0;
+    bool stop_ = false;
+
+    // Current job (published under mu_, consumed lock-free via next_).
+    std::atomic<std::size_t> next_{0};
+    std::size_t jobSize_ = 0;
+    std::size_t jobChunk_ = 1;
+    const ChunkFn *jobFn_ = nullptr;
+    std::exception_ptr firstError_;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_SUPPORT_THREAD_POOL_HH

@@ -1,0 +1,30 @@
+#include "support/worker_context.hh"
+
+namespace sched91
+{
+
+namespace
+{
+thread_local WorkerContext *t_context = nullptr;
+} // namespace
+
+WorkerContext *
+WorkerContext::current()
+{
+    return t_context;
+}
+
+Arena *
+WorkerContext::currentArena()
+{
+    return t_context ? &t_context->arena() : nullptr;
+}
+
+WorkerContext::Scope::Scope(WorkerContext &ctx) : prev_(t_context)
+{
+    t_context = &ctx;
+}
+
+WorkerContext::Scope::~Scope() { t_context = prev_; }
+
+} // namespace sched91

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-worker allocation and scratch-buffer context for the
+ * block-parallel pipeline.
+ *
+ * Each pipeline lane owns one WorkerContext for the duration of a run.
+ * It bundles:
+ *
+ *  - a bump Arena recycled at every block boundary, backing the DAG's
+ *    arc-index lists and the table builders' def/use lists
+ *    (support/arena.hh);
+ *  - named scratch vectors whose *capacity* persists across blocks —
+ *    the list scheduler's ready list, heap storage and key store, and
+ *    the timing pass's dependence-ready array.
+ *
+ * The context is installed thread-locally (WorkerContext::Scope) so
+ * deep call sites — DAG builders, the list scheduler — can pick up the
+ * worker's arena without threading a parameter through every API.
+ * When no context is installed (tests, single-block CLI commands,
+ * library embedders) every consumer falls back to plain heap
+ * allocation and behaves exactly as before.
+ */
+
+#ifndef SCHED91_SUPPORT_WORKER_CONTEXT_HH
+#define SCHED91_SUPPORT_WORKER_CONTEXT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/arena.hh"
+
+namespace sched91
+{
+
+class WorkerContext
+{
+  public:
+    WorkerContext() = default;
+    WorkerContext(const WorkerContext &) = delete;
+    WorkerContext &operator=(const WorkerContext &) = delete;
+
+    /** Block-lifetime allocator (reset by beginBlock). */
+    Arena &arena() { return arena_; }
+
+    /** Recycle all block-lifetime allocations.  Call only when the
+     * previous block's DAG and scratch users are gone. */
+    void beginBlock() { arena_.reset(); }
+
+    /** The context installed on the calling thread, or nullptr. */
+    static WorkerContext *current();
+
+    /** Shorthand: the installed context's arena, or nullptr. */
+    static Arena *currentArena();
+
+    /** RAII thread-local installer (nestable; restores the previous
+     * context on destruction). */
+    class Scope
+    {
+      public:
+        explicit Scope(WorkerContext &ctx);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        WorkerContext *prev_;
+    };
+
+    // --- capacity-persistent scratch (cleared by users, not here) ----
+
+    /** List scheduler: linear-scan candidate list. */
+    std::vector<std::uint32_t> readyList;
+
+    /** List scheduler: d-ary heap element storage. */
+    std::vector<std::uint32_t> heapNodes;
+
+    /** List scheduler: per-node ranked-key store for the heap. */
+    std::vector<long long> heapKeys;
+
+    /** Timing fill pass: per-node dependence-ready cycles. */
+    std::vector<int> depReady;
+
+  private:
+    Arena arena_;
+};
+
+} // namespace sched91
+
+#endif // SCHED91_SUPPORT_WORKER_CONTEXT_HH

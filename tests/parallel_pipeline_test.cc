@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Determinism tests for the block-parallel pipeline: the contract is
+ * that schedules, structural statistics, event counters, trace events,
+ * and the serialized run document are byte-identical at every thread
+ * count.  Covered for heap-eligible static rankings and for dynamic
+ * rankings that keep the scan, with and without observability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pipeline.hh"
+#include "machine/presets.hh"
+#include "obs/emitter.hh"
+#include "obs/phase.hh"
+#include "obs/trace.hh"
+#include "workload/generator.hh"
+
+namespace sched91
+{
+namespace
+{
+
+Program
+testProgram()
+{
+    WorkloadProfile p = profileByName("linpack");
+    p.numBlocks = 40;
+    p.totalInsts = 900;
+    p.maxBlock = 90;
+    return generateProgram(p);
+}
+
+struct RunArtifacts
+{
+    ProgramResult result;
+    std::vector<Schedule> schedules;
+    std::string statsJson; ///< zero-times document
+    std::string trace;     ///< zero-times JSONL
+};
+
+/** One obs-enabled pipeline run at @p threads, all outputs captured. */
+RunArtifacts
+runAt(unsigned threads, AlgorithmKind algorithm, bool evaluate)
+{
+    Program prog = testProgram();
+    std::ostringstream trace_out;
+    obs::JsonlTraceSink sink(trace_out, /*zero_times=*/true);
+
+    PipelineOptions opts;
+    opts.algorithm = algorithm;
+    opts.evaluate = evaluate;
+    opts.threads = threads;
+    opts.trace = &sink;
+
+    RunArtifacts a;
+    opts.schedules = &a.schedules;
+
+    obs::setEnabled(true);
+    obs::PhaseProfiler::global().clear();
+    a.result = runPipeline(prog, sparcstation2(), opts);
+    obs::EmitOptions emit;
+    emit.zeroTimes = true;
+    a.statsJson = obs::programResultJson(
+        a.result, obs::RunMeta{}, a.result.counters,
+        &obs::PhaseProfiler::global().root(), emit);
+    obs::setEnabled(false);
+
+    a.trace = trace_out.str();
+    return a;
+}
+
+void
+expectSchedulesEqual(const RunArtifacts &a, const RunArtifacts &b)
+{
+    ASSERT_EQ(a.schedules.size(), b.schedules.size());
+    for (std::size_t i = 0; i < a.schedules.size(); ++i) {
+        EXPECT_EQ(a.schedules[i].order, b.schedules[i].order)
+            << "block " << i;
+        EXPECT_EQ(a.schedules[i].issueCycle, b.schedules[i].issueCycle)
+            << "block " << i;
+        EXPECT_EQ(a.schedules[i].makespan, b.schedules[i].makespan)
+            << "block " << i;
+    }
+}
+
+void
+expectIdenticalRuns(AlgorithmKind algorithm)
+{
+    RunArtifacts serial = runAt(1, algorithm, /*evaluate=*/true);
+    RunArtifacts parallel = runAt(8, algorithm, /*evaluate=*/true);
+
+    expectSchedulesEqual(serial, parallel);
+    EXPECT_EQ(serial.result.cyclesOriginal, parallel.result.cyclesOriginal);
+    EXPECT_EQ(serial.result.cyclesScheduled,
+              parallel.result.cyclesScheduled);
+    EXPECT_TRUE(serial.result.counters == parallel.result.counters);
+    EXPECT_EQ(serial.statsJson, parallel.statsJson);
+    EXPECT_EQ(serial.trace, parallel.trace);
+}
+
+TEST(ParallelPipeline, DeterministicStaticRankingSimpleForward)
+{
+    // Static ranking -> exercises the d-ary heap scheduling path.
+    expectIdenticalRuns(AlgorithmKind::SimpleForward);
+}
+
+TEST(ParallelPipeline, DeterministicStaticRankingShiehPapachristou)
+{
+    expectIdenticalRuns(AlgorithmKind::ShiehPapachristou);
+}
+
+TEST(ParallelPipeline, DeterministicDynamicRankingWarren)
+{
+    // Dynamic ranking -> exercises the scan path under the pool.
+    expectIdenticalRuns(AlgorithmKind::Warren);
+}
+
+TEST(ParallelPipeline, DeterministicDynamicRankingTiemann)
+{
+    // Backward pass with birthing adjustments.
+    expectIdenticalRuns(AlgorithmKind::Tiemann);
+}
+
+TEST(ParallelPipeline, DeterministicWithObservabilityDisabled)
+{
+    // The obs-off fast path skips shards entirely but must still
+    // produce identical schedules and statistics.
+    auto run = [](unsigned threads) {
+        Program prog = testProgram();
+        PipelineOptions opts;
+        opts.algorithm = AlgorithmKind::Krishnamurthy;
+        opts.evaluate = true;
+        opts.threads = threads;
+        RunArtifacts a;
+        opts.schedules = &a.schedules;
+        a.result = runPipeline(prog, sparcstation2(), opts);
+        return a;
+    };
+    RunArtifacts serial = run(1);
+    RunArtifacts parallel = run(8);
+    expectSchedulesEqual(serial, parallel);
+    EXPECT_EQ(serial.result.cyclesScheduled,
+              parallel.result.cyclesScheduled);
+    EXPECT_EQ(serial.result.dagStats.totalArcs,
+              parallel.result.dagStats.totalArcs);
+}
+
+TEST(ParallelPipeline, ThreadCountZeroPicksHardwareConcurrency)
+{
+    Program prog = testProgram();
+    PipelineOptions opts;
+    opts.threads = 0; // hardware concurrency — must simply work
+    ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+    EXPECT_EQ(r.numBlocks, 40u);
+    EXPECT_EQ(r.dagStats.totalNodes, 900u);
+}
+
+TEST(ParallelPipeline, MoreThreadsThanBlocks)
+{
+    WorkloadProfile p = profileByName("grep");
+    p.numBlocks = 2;
+    p.totalInsts = 40;
+    p.maxBlock = 30;
+    Program prog = generateProgram(p);
+    PipelineOptions opts;
+    opts.threads = 64; // clamped to the block count internally
+    ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+    EXPECT_EQ(r.numBlocks, 2u);
+}
+
+TEST(ParallelPipeline, SchedulesOutputIndexedByBlock)
+{
+    Program prog = testProgram();
+    auto blocks = partitionBlocks(prog);
+    PipelineOptions opts;
+    opts.threads = 4;
+    std::vector<Schedule> schedules;
+    opts.schedules = &schedules;
+    runPipeline(prog, sparcstation2(), opts);
+    ASSERT_EQ(schedules.size(), blocks.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b)
+        EXPECT_EQ(schedules[b].order.size(), blocks[b].size())
+            << "block " << b;
+}
+
+TEST(ParallelPipeline, TraceEventsArriveInBlockOrder)
+{
+    Program prog = testProgram();
+    std::ostringstream out;
+    obs::JsonlTraceSink sink(out, /*zero_times=*/true);
+    PipelineOptions opts;
+    opts.threads = 8;
+    opts.trace = &sink;
+    obs::setEnabled(true);
+    runPipeline(prog, sparcstation2(), opts);
+    obs::setEnabled(false);
+
+    // Every block id must appear, in nondecreasing order.
+    std::istringstream in(out.str());
+    std::string line;
+    long last = -1;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        auto pos = line.find("\"block\":");
+        ASSERT_NE(pos, std::string::npos) << line;
+        long block = std::stol(line.substr(pos + 8));
+        EXPECT_GE(block, last);
+        last = block;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 40u * 3u); // build/heur/sched per block
+}
+
+} // namespace
+} // namespace sched91

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "support/bitmap.hh"
+#include "support/dary_heap.hh"
 #include "support/prng.hh"
 #include "support/stats.hh"
 #include "support/string_util.hh"
@@ -171,6 +174,89 @@ TEST(Prng, UniformInUnitInterval)
         EXPECT_GE(u, 0.0);
         EXPECT_LT(u, 1.0);
     }
+}
+
+TEST(DaryHeap, PopsInComparatorOrder)
+{
+    auto outranks = [](int a, int b) { return a > b; };
+    DaryHeap<int, decltype(outranks)> heap(outranks);
+    Prng rng(3);
+    std::vector<int> values;
+    for (int i = 0; i < 500; ++i)
+        values.push_back(static_cast<int>(rng.range(-1000, 1000)));
+    for (int v : values)
+        heap.push(v);
+
+    std::vector<int> popped;
+    while (!heap.empty())
+        popped.push_back(heap.pop());
+    std::sort(values.begin(), values.end(), outranks);
+    EXPECT_EQ(popped, values);
+}
+
+TEST(DaryHeap, PopSequenceIndependentOfPushOrder)
+{
+    // Under a strict total order the pop sequence is unique — the
+    // property that lets the scheduler swap its scan for the heap.
+    auto outranks = [](int a, int b) { return a < b; };
+    std::vector<int> asc, desc, shuffled;
+    for (int i = 0; i < 100; ++i)
+        asc.push_back(i);
+    desc.assign(asc.rbegin(), asc.rend());
+    shuffled = asc;
+    Prng rng(17);
+    for (std::size_t i = shuffled.size(); i > 1; --i)
+        std::swap(shuffled[i - 1],
+                  shuffled[static_cast<std::size_t>(
+                      rng.range(0, static_cast<int>(i) - 1))]);
+
+    auto drain = [&](const std::vector<int> &order) {
+        DaryHeap<int, decltype(outranks)> heap(outranks);
+        for (int v : order)
+            heap.push(v);
+        std::vector<int> out;
+        while (!heap.empty())
+            out.push_back(heap.pop());
+        return out;
+    };
+    EXPECT_EQ(drain(asc), drain(desc));
+    EXPECT_EQ(drain(asc), drain(shuffled));
+}
+
+TEST(DaryHeap, InterleavedPushPop)
+{
+    auto outranks = [](int a, int b) { return a > b; };
+    DaryHeap<int, decltype(outranks)> heap(outranks);
+    heap.push(5);
+    heap.push(9);
+    heap.push(1);
+    EXPECT_EQ(heap.pop(), 9);
+    heap.push(7);
+    heap.push(2);
+    EXPECT_EQ(heap.pop(), 7);
+    EXPECT_EQ(heap.pop(), 5);
+    EXPECT_EQ(heap.pop(), 2);
+    EXPECT_EQ(heap.pop(), 1);
+    EXPECT_TRUE(heap.empty());
+}
+
+TEST(DaryHeap, BorrowedStorageIsClearedAndReused)
+{
+    auto outranks = [](int a, int b) { return a > b; };
+    std::vector<int> store{99, 98, 97}; // stale content must vanish
+    {
+        DaryHeap<int, decltype(outranks)> heap(outranks, &store);
+        EXPECT_TRUE(heap.empty());
+        heap.push(3);
+        heap.push(8);
+        EXPECT_EQ(heap.pop(), 8);
+        EXPECT_EQ(heap.pop(), 3);
+    }
+    // Second heap over the same storage starts empty again.
+    store.push_back(42);
+    DaryHeap<int, decltype(outranks)> heap2(outranks, &store);
+    EXPECT_TRUE(heap2.empty());
+    EXPECT_EQ(store.capacity() >= 3, true);
 }
 
 TEST(Prng, HeavyTailRespectsBounds)

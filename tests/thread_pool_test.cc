@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the chunked self-scheduling thread pool: exact-once
+ * coverage of the index range at various thread/chunk geometries,
+ * caller participation on the single-lane serial path, exception
+ * propagation, and pool reuse across parallelFor calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.hh"
+
+namespace sched91
+{
+namespace
+{
+
+/** Every index in [0, n) must be visited exactly once. */
+void
+expectExactOnceCoverage(unsigned threads, std::size_t n,
+                        std::size_t chunk)
+{
+    std::vector<std::atomic<int>> hits(n);
+    ThreadPool pool(threads);
+    pool.parallelFor(n, chunk,
+                     [&](unsigned, std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i)
+                             hits[i].fetch_add(1);
+                     });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce)
+{
+    expectExactOnceCoverage(1, 100, 1);
+    expectExactOnceCoverage(2, 100, 1);
+    expectExactOnceCoverage(4, 100, 7);
+    expectExactOnceCoverage(8, 1000, 3);
+    expectExactOnceCoverage(4, 3, 100); // chunk larger than range
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, 1, [&](unsigned, std::size_t, std::size_t) {
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleLaneRunsOnCallingThread)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::thread::id caller = std::this_thread::get_id();
+    pool.parallelFor(10, 4,
+                     [&](unsigned worker, std::size_t, std::size_t) {
+                         EXPECT_EQ(worker, 0u);
+                         EXPECT_EQ(std::this_thread::get_id(), caller);
+                     });
+}
+
+TEST(ThreadPool, WorkerIdsAreInRange)
+{
+    const unsigned kThreads = 4;
+    ThreadPool pool(kThreads);
+    std::atomic<bool> bad{false};
+    pool.parallelFor(200, 1,
+                     [&](unsigned worker, std::size_t, std::size_t) {
+                         if (worker >= kThreads)
+                             bad = true;
+                     });
+    EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPool, FirstExceptionPropagates)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100, 1,
+                         [&](unsigned, std::size_t begin, std::size_t) {
+                             if (begin == 50)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool survives the throw and is reusable.
+    std::atomic<int> count{0};
+    pool.parallelFor(10, 1, [&](unsigned, std::size_t b, std::size_t e) {
+        count.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<long> sum{0};
+        pool.parallelFor(100, 5,
+                         [&](unsigned, std::size_t b, std::size_t e) {
+                             long local = 0;
+                             for (std::size_t i = b; i < e; ++i)
+                                 local += static_cast<long>(i);
+                             sum.fetch_add(local);
+                         });
+        EXPECT_EQ(sum.load(), 99L * 100L / 2L);
+    }
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 1u);
+    expectExactOnceCoverage(0, 10, 2);
+}
+
+TEST(ThreadPool, HardwareConcurrencyNonZero)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+} // namespace
+} // namespace sched91

@@ -73,9 +73,11 @@ struct CliOptions
     int window = 0;
     int block = 0;
     bool heuristics = false;
+    unsigned threads = 0;  ///< --threads (0 = hardware concurrency)
     std::string statsJson; ///< --stats-json path ("-" = stdout)
     std::string tracePath; ///< --trace path ("-" = stdout)
     bool counters = false; ///< --counters
+    bool zeroTimes = false; ///< --zero-times
 
     bool
     observing() const
@@ -150,6 +152,9 @@ const char kUsage[] =
     "  --window <N>         instruction window (0 = none)\n"
     "  --block <N>          operate on basic block N (default 0)\n"
     "  --heuristics         annotate DOT nodes with heuristic values\n"
+    "  --threads <N>        pipeline worker lanes under profile\n"
+    "                       (0 = hardware concurrency, 1 = serial;\n"
+    "                       output is identical either way)\n"
     "\n"
     "observability (docs/OBSERVABILITY.md):\n"
     "  --stats-json <path>  run result as JSON, \"-\" for stdout\n"
@@ -157,7 +162,10 @@ const char kUsage[] =
     "  --trace <path>       JSONL trace with per-block counter deltas\n"
     "                       (per phase under profile)\n"
     "  --counters           nonzero event counters on stderr (any\n"
-    "                       command)\n";
+    "                       command)\n"
+    "  --zero-times         write all seconds fields as 0 in\n"
+    "                       --stats-json/--trace output (byte-\n"
+    "                       comparable across runs and thread counts)\n";
 
 CliOptions
 parseArgs(int argc, char **argv)
@@ -192,12 +200,17 @@ parseArgs(int argc, char **argv)
             opts.block = std::atoi(next().c_str());
         else if (arg == "--heuristics")
             opts.heuristics = true;
+        else if (arg == "--threads")
+            opts.threads =
+                static_cast<unsigned>(std::atoi(next().c_str()));
         else if (arg == "--stats-json")
             opts.statsJson = next();
         else if (arg == "--trace")
             opts.tracePath = next();
         else if (arg == "--counters")
             opts.counters = true;
+        else if (arg == "--zero-times")
+            opts.zeroTimes = true;
         else if (!arg.empty() && arg[0] != '-')
             opts.input = arg;
         else
@@ -224,12 +237,12 @@ class ObsSession
         before_ = obs::CounterRegistry::global().snapshot();
         if (!opts.tracePath.empty()) {
             if (opts.tracePath == "-") {
-                sink_.emplace(std::cout);
+                sink_.emplace(std::cout, opts.zeroTimes);
             } else {
                 traceFile_.open(opts.tracePath);
                 if (!traceFile_)
                     fatal("cannot open '", opts.tracePath, "'");
-                sink_.emplace(traceFile_);
+                sink_.emplace(traceFile_, opts.zeroTimes);
             }
         }
     }
@@ -266,9 +279,11 @@ class ObsSession
             std::fputs(obs::renderCounters(delta).c_str(), stderr);
         if (opts_.statsJson.empty())
             return;
+        obs::EmitOptions emit;
+        emit.zeroTimes = opts_.zeroTimes;
         std::string json = obs::programResultJson(
             result, meta(opts_), delta,
-            &obs::PhaseProfiler::global().root());
+            &obs::PhaseProfiler::global().root(), emit);
         if (opts_.statsJson == "-") {
             std::fputs(json.c_str(), stdout);
             std::fputc('\n', stdout);
@@ -565,6 +580,7 @@ cmdProfile(const CliOptions &opts)
     pipeline.build.memPolicy = opts.policy;
     pipeline.partition.window = opts.window;
     pipeline.evaluate = true;
+    pipeline.threads = opts.threads;
 
     ObsSession session(opts);
     pipeline.trace = session.trace();
