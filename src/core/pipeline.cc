@@ -1,10 +1,16 @@
 #include "core/pipeline.hh"
 
+#include <numeric>
+#include <sstream>
+
 #include "dag/table_forward.hh"
 #include "heuristics/register_pressure.hh"
+#include "obs/events.hh"
 #include "obs/phase.hh"
 #include "obs/trace.hh"
 #include "sched/list_scheduler.hh"
+#include "sched/verifier.hh"
+#include "support/logging.hh"
 #include "support/thread_pool.hh"
 #include "support/worker_context.hh"
 
@@ -81,6 +87,21 @@ struct BlockOutput
     long long cyclesScheduled = 0;
     Schedule sched;
     obs::BufferedTraceSink trace; ///< used only when tracing
+
+    // Robustness outcomes (reduced into ProgramResult post-join).
+    bool fallback = false;       ///< n**2 -> table builder switch
+    bool degraded = false;       ///< schedule is original order
+    bool verifyRejected = false; ///< verifier refused the schedule
+    std::string stage;           ///< where the degradation happened
+    std::string reason;
+};
+
+/** Thrown inside one block's chain to request degradation; never
+ * escapes processBlock. */
+struct BlockAbort
+{
+    const char *stage;
+    std::string reason;
 };
 
 /** Thread-private machinery of one pipeline lane. */
@@ -104,6 +125,17 @@ runPipeline(Program &prog, const MachineModel &machine,
     AlgorithmSpec spec = algorithmSpec(opts.algorithm);
     std::unique_ptr<DagBuilder> builder = makeBuilder(opts.builder);
     ListScheduler scheduler(spec.config, machine);
+
+    // F1/F2 degradation ladder, rung one: an n**2 builder facing a
+    // block beyond the paper's practical window switches to table
+    // building (which handled fpppp's 11750-instruction block) before
+    // any thought of giving up on scheduling entirely.
+    const bool n2_family = opts.builder == BuilderKind::N2Forward ||
+                           opts.builder == BuilderKind::N2Backward ||
+                           opts.builder == BuilderKind::N2Landskov;
+    std::unique_ptr<DagBuilder> fallback_builder;
+    if (opts.maxBlockInsts > 0 && n2_family)
+        fallback_builder = makeBuilder(BuilderKind::TableForward);
 
     ProgramResult result;
     result.numBlocks = blocks.size();
@@ -133,55 +165,153 @@ runPipeline(Program &prog, const MachineModel &machine,
         BlockOutput &out = outputs[b];
         BlockTracer tracer(tracing ? &out.trace : nullptr, b, bb);
 
-        obs::ScopedPhase build_phase("build");
-        Dag dag = builder->build(block, machine, opts.build);
-        out.buildSeconds = build_phase.stop();
-        tracer.phaseDone("build", build_phase.seconds());
-
-        obs::ScopedPhase heur_phase("heur");
-        runNeededPasses(dag, spec.config, opts.passImpl);
-        out.heurSeconds = heur_phase.stop();
-        tracer.phaseDone("heur", heur_phase.seconds());
-
-        obs::ScopedPhase sched_phase("sched");
-        out.sched = scheduler.run(dag);
-        out.schedSeconds = sched_phase.stop();
-        tracer.phaseDone("sched", sched_phase.seconds());
-
-        out.dagStats.accumulate(dag);
-
-        if (opts.evaluate) {
-            obs::ScopedPhase eval_phase("evaluate");
-            // Ground truth: a timing-complete DAG.  Table-built DAGs
-            // preserve every timing constraint (Section 2), so reuse
-            // the scheduler's DAG when it came from a table builder
-            // without transitive prevention; otherwise rebuild.
-            bool reusable =
-                (opts.builder == BuilderKind::TableForward ||
-                 opts.builder == BuilderKind::TableBackward) &&
-                !opts.build.preventTransitive;
-            if (reusable) {
-                out.cyclesOriginal =
-                    simulateSchedule(dag, originalOrderSchedule(dag).order,
-                                     machine)
-                        .cycles;
-                out.cyclesScheduled =
-                    simulateSchedule(dag, out.sched.order, machine).cycles;
-            } else {
-                BuildOptions gt_opts = opts.build;
-                gt_opts.preventTransitive = false;
-                gt_opts.maintainReachMaps = false;
-                Dag gt = TableForwardBuilder().build(block, machine,
-                                                     gt_opts);
-                out.cyclesOriginal =
-                    simulateSchedule(gt, originalOrderSchedule(gt).order,
-                                     machine)
-                        .cycles;
-                out.cyclesScheduled =
-                    simulateSchedule(gt, out.sched.order, machine).cycles;
+        // Ladder rung two (last resort): the block keeps its original
+        // instruction order — trivially valid, zero claimed speedup.
+        auto degrade = [&](const char *stage, std::string reason) {
+            out.degraded = true;
+            out.stage = stage;
+            out.reason = std::move(reason);
+            out.sched = Schedule{};
+            out.sched.order.resize(bb.size());
+            std::iota(out.sched.order.begin(), out.sched.order.end(),
+                      std::uint32_t{0});
+            out.dagStats = DagStructure{};
+            out.cyclesOriginal = 0;
+            out.cyclesScheduled = 0;
+            obs::ev::robustBlocksDegraded.inc();
+            if (opts.evaluate) {
+                // Best effort: cost the order we are emitting.  A
+                // block degraded during *build* may not even have a
+                // ground-truth DAG, so failure here just leaves the
+                // cycle counts at zero.
+                try {
+                    BuildOptions gt_opts = opts.build;
+                    gt_opts.preventTransitive = false;
+                    gt_opts.maintainReachMaps = false;
+                    Dag gt = TableForwardBuilder().build(block, machine,
+                                                         gt_opts);
+                    out.cyclesOriginal =
+                        simulateSchedule(gt,
+                                         originalOrderSchedule(gt).order,
+                                         machine)
+                            .cycles;
+                    out.cyclesScheduled = out.cyclesOriginal;
+                } catch (const std::exception &) {
+                }
             }
-            eval_phase.stop();
-            tracer.phaseDone("evaluate", eval_phase.seconds());
+            tracer.phaseDone("degrade", 0.0);
+        };
+
+        double spent = 0.0;
+        auto checkBudget = [&](const char *stage) {
+            if (opts.maxBlockSeconds <= 0.0)
+                return;
+            if (spent > opts.maxBlockSeconds) {
+                obs::ev::robustBudgetExceeded.inc();
+                std::ostringstream os;
+                os << stage << " phase pushed block past "
+                   << opts.maxBlockSeconds << "s budget";
+                throw BlockAbort{"budget", os.str()};
+            }
+        };
+
+        const char *stage = "build";
+        try {
+            DagBuilder *use_builder = builder.get();
+            if (fallback_builder != nullptr &&
+                bb.size() >
+                    static_cast<std::size_t>(opts.maxBlockInsts)) {
+                use_builder = fallback_builder.get();
+                out.fallback = true;
+                obs::ev::robustBuilderFallbacks.inc();
+            }
+
+            obs::ScopedPhase build_phase("build");
+            Dag dag = use_builder->build(block, machine, opts.build);
+            out.buildSeconds = build_phase.stop();
+            tracer.phaseDone("build", build_phase.seconds());
+            spent += build_phase.seconds();
+            checkBudget("build");
+
+            stage = "heur";
+            obs::ScopedPhase heur_phase("heur");
+            runNeededPasses(dag, spec.config, opts.passImpl);
+            out.heurSeconds = heur_phase.stop();
+            tracer.phaseDone("heur", heur_phase.seconds());
+            spent += heur_phase.seconds();
+            checkBudget("heur");
+
+            stage = "sched";
+            obs::ScopedPhase sched_phase("sched");
+            out.sched = scheduler.run(dag);
+            out.schedSeconds = sched_phase.stop();
+            tracer.phaseDone("sched", sched_phase.seconds());
+
+            if (opts.verify) {
+                stage = "verify";
+                obs::ScopedPhase verify_phase("verify");
+                VerifyResult vr = verifySchedule(dag, out.sched, machine);
+                verify_phase.stop();
+                tracer.phaseDone("verify", verify_phase.seconds());
+                if (!vr.ok()) {
+                    obs::ev::robustVerifierRejections.inc();
+                    out.verifyRejected = true;
+                    if (!opts.containFaults)
+                        panic("block ", b,
+                              ": schedule verification failed: ",
+                              vr.summary());
+                    throw BlockAbort{"verify", vr.summary()};
+                }
+            }
+
+            out.dagStats.accumulate(dag);
+
+            if (opts.evaluate) {
+                stage = "evaluate";
+                obs::ScopedPhase eval_phase("evaluate");
+                // Ground truth: a timing-complete DAG.  Table-built
+                // DAGs preserve every timing constraint (Section 2),
+                // so reuse the scheduler's DAG when it came from a
+                // table builder without transitive prevention;
+                // otherwise rebuild.
+                bool reusable =
+                    (out.fallback ||
+                     opts.builder == BuilderKind::TableForward ||
+                     opts.builder == BuilderKind::TableBackward) &&
+                    !opts.build.preventTransitive;
+                if (reusable) {
+                    out.cyclesOriginal =
+                        simulateSchedule(dag,
+                                         originalOrderSchedule(dag).order,
+                                         machine)
+                            .cycles;
+                    out.cyclesScheduled =
+                        simulateSchedule(dag, out.sched.order, machine)
+                            .cycles;
+                } else {
+                    BuildOptions gt_opts = opts.build;
+                    gt_opts.preventTransitive = false;
+                    gt_opts.maintainReachMaps = false;
+                    Dag gt = TableForwardBuilder().build(block, machine,
+                                                         gt_opts);
+                    out.cyclesOriginal =
+                        simulateSchedule(gt,
+                                         originalOrderSchedule(gt).order,
+                                         machine)
+                            .cycles;
+                    out.cyclesScheduled =
+                        simulateSchedule(gt, out.sched.order, machine)
+                            .cycles;
+                }
+                eval_phase.stop();
+                tracer.phaseDone("evaluate", eval_phase.seconds());
+            }
+        } catch (const BlockAbort &a) {
+            degrade(a.stage, a.reason);
+        } catch (const std::exception &e) {
+            if (!opts.containFaults)
+                throw;
+            degrade(stage, e.what());
         }
         // The block's DAGs die here — before the next beginBlock()
         // recycles the arena their arc lists live in.
@@ -235,6 +365,23 @@ runPipeline(Program &prog, const MachineModel &machine,
             (*opts.schedules)[b] = std::move(out.sched);
         if (tracing)
             out.trace.replayInto(*opts.trace);
+        if (out.fallback) {
+            ++result.builderFallbacks;
+            std::ostringstream os;
+            os << blocks[b].size() << " insts over --max-block-insts "
+               << opts.maxBlockInsts
+               << ": n**2 builder fell back to table building";
+            result.blockIssues.push_back(
+                ProgramResult::BlockIssue{b, "fallback", os.str(),
+                                          false});
+        }
+        if (out.verifyRejected)
+            ++result.verifierRejections;
+        if (out.degraded) {
+            ++result.blocksDegraded;
+            result.blockIssues.push_back(ProgramResult::BlockIssue{
+                b, out.stage, out.reason, true});
+        }
     }
 
     // ... and worker order for the thread-private shards and phase
@@ -283,6 +430,16 @@ scheduleBlock(const BlockView &block, const MachineModel &machine,
     obs::ScopedPhase sched_phase("sched");
     Schedule sched = scheduler.run(dag);
     sched_phase.stop();
+
+    if (opts.verify) {
+        obs::ScopedPhase verify_phase("verify");
+        VerifyResult vr = verifySchedule(dag, sched, machine);
+        verify_phase.stop();
+        if (!vr.ok()) {
+            obs::ev::robustVerifierRejections.inc();
+            panic("schedule verification failed: ", vr.summary());
+        }
+    }
 
     return BlockScheduleResult{std::move(dag), std::move(sched)};
 }

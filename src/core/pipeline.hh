@@ -27,6 +27,8 @@
 #define SCHED91_CORE_PIPELINE_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "dag/builder.hh"
 #include "dag/dag_stats.hh"
@@ -83,6 +85,47 @@ struct PipelineOptions
      * aggregates away.
      */
     std::vector<Schedule> *schedules = nullptr;
+
+    // --- Robustness (docs/ROBUSTNESS.md) ----------------------------
+
+    /**
+     * Independently re-check every block's schedule against its DAG
+     * (sched/verifier.hh).  A rejection counts
+     * `robust.verifier_rejections` and degrades the block.  On by
+     * default: the check is linear in nodes + arcs.
+     */
+    bool verify = true;
+
+    /**
+     * Per-block fault containment: a FatalError/PanicError (or any
+     * std::exception) thrown inside one block's build->heur->sched
+     * chain — or a verifier rejection or budget overrun — degrades
+     * that block to its original instruction order (counted in
+     * `robust.blocks_degraded`, detailed in
+     * ProgramResult::blockIssues) instead of killing the run.  Turn
+     * off to restore fail-fast propagation (`--strict`).
+     */
+    bool containFaults = true;
+
+    /**
+     * The paper's F1/F2 degradation ladder: blocks larger than this
+     * fall back from an n**2 builder to table building (F1 shows the
+     * n**2 builders are practical only under a ~300-400 instruction
+     * window; F2 shows table building handling an 11750-instruction
+     * block with no window).  Counted in `robust.builder_fallbacks`,
+     * *not* as a degraded block.  0 disables; no effect on table
+     * builders.
+     */
+    int maxBlockInsts = 0;
+
+    /**
+     * Per-block wall-clock budget in seconds, checked at phase
+     * boundaries (a phase in flight is never preempted).  Overrun
+     * degrades the block to original order.  0 disables.  Note that
+     * budget outcomes depend on machine load, so runs using this knob
+     * trade the byte-identical determinism guarantee for liveness.
+     */
+    double maxBlockSeconds = 0.0;
 };
 
 /** Aggregated outcome of scheduling a whole program. */
@@ -115,6 +158,26 @@ struct ProgramResult
      * was enabled for the run.
      */
     obs::CounterSet counters;
+
+    // --- Robustness outcomes (filled regardless of observability) ---
+
+    /** One per-block incident: a degradation or a builder fallback. */
+    struct BlockIssue
+    {
+        std::size_t block = 0;
+        /** Where it happened: "build" | "heur" | "sched" | "verify" |
+         * "budget" | "evaluate" | "fallback". */
+        std::string stage;
+        std::string reason;
+        /** False for the "fallback" stage (the block still scheduled
+         * normally, just via the table builder). */
+        bool degraded = false;
+    };
+
+    std::size_t blocksDegraded = 0;     ///< blocks on original order
+    std::size_t builderFallbacks = 0;   ///< n**2 -> table switches
+    std::size_t verifierRejections = 0; ///< schedules the verifier refused
+    std::vector<BlockIssue> blockIssues; ///< block order, possibly empty
 };
 
 /**
@@ -133,7 +196,10 @@ struct BlockScheduleResult
 
 /**
  * Convenience single-block entry point: build, annotate with the
- * passes the algorithm needs, schedule.
+ * passes the algorithm needs, schedule.  When PipelineOptions::verify
+ * is set (the default) the schedule is re-checked against the DAG and
+ * a rejection throws PanicError — single-block callers own their
+ * fallback policy (the CLI degrades to original order per block).
  */
 BlockScheduleResult scheduleBlock(const BlockView &block,
                                   const MachineModel &machine,

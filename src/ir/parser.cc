@@ -1,8 +1,11 @@
 #include "ir/parser.hh"
 
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/events.hh"
 #include "support/logging.hh"
 #include "support/string_util.hh"
 
@@ -65,19 +68,238 @@ stripComment(std::string_view line)
     return pos == std::string_view::npos ? line : line.substr(0, pos);
 }
 
+/**
+ * Per-line parse failure, caught by the line loop and converted into
+ * one Diag.  Never escapes parseAssembly.
+ */
+struct LineError
+{
+    int col = 0; ///< 1-based column; 0 = whole line
+    std::string message;
+};
+
+template <typename... Args>
+[[noreturn]] void
+lineError(int col, const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    throw LineError{col, os.str()};
+}
+
+/** 1-based column of @p tok within the raw source line (0 = unknown). */
+int
+columnOf(std::string_view raw, std::string_view tok)
+{
+    if (tok.empty())
+        return 0;
+    std::size_t pos = raw.find(tok);
+    return pos == std::string_view::npos ? 0
+                                         : static_cast<int>(pos) + 1;
+}
+
 Resource
-requireReg(std::string_view tok, std::string_view line)
+requireReg(std::string_view tok, std::string_view raw)
 {
     Resource r = parseRegister(tok);
     if (!r.valid() && tok != "%g0")
-        fatal("expected register, got '", tok, "' in: ", line);
+        lineError(columnOf(raw, tok), "expected register, got '", tok,
+                  "'");
     return r;
+}
+
+/**
+ * Parse one non-empty, non-label, non-directive source line into an
+ * Instruction.  Throws LineError on any malformed piece; the caller
+ * owns recovery policy.
+ */
+Instruction
+parseInstructionLine(std::string_view line, std::string_view raw)
+{
+    // Split mnemonic from operand list.
+    std::size_t sp = line.find_first_of(" \t");
+    std::string mnemonic =
+        toLower(sp == std::string_view::npos ? line : line.substr(0, sp));
+    std::string_view rest =
+        sp == std::string_view::npos ? "" : trim(line.substr(sp));
+
+    bool annul = false;
+    if (mnemonic.size() > 2 &&
+        mnemonic.substr(mnemonic.size() - 2) == ",a") {
+        annul = true;
+        mnemonic.resize(mnemonic.size() - 2);
+    }
+
+    Opcode op = opcodeFromMnemonic(mnemonic);
+    if (op == Opcode::Invalid)
+        lineError(columnOf(raw, line.substr(0, mnemonic.size())),
+                  "unknown mnemonic '", mnemonic, "'");
+
+    const OpcodeInfo &info = opcodeInfo(op);
+    std::vector<std::string> ops = splitOperands(rest);
+
+    auto need = [&](std::size_t n) {
+        if (ops.size() != n)
+            lineError(columnOf(raw, rest), "'", mnemonic, "' expects ",
+                      n, " operands, got ", ops.size());
+    };
+
+    Instruction inst;
+    switch (info.sig) {
+      case OperandSig::Alu3: {
+        need(3);
+        Resource rs1 = requireReg(ops[0], raw);
+        Resource rs2;
+        std::int64_t imm = 0;
+        if (auto v = parseImmediate(ops[1]))
+            imm = *v;
+        else
+            rs2 = requireReg(ops[1], raw);
+        Resource rd = requireReg(ops[2], raw);
+        inst = makeInstruction(op, rs1, rs2, rd, std::nullopt, imm);
+        break;
+      }
+      case OperandSig::Cmp2: {
+        need(2);
+        Resource rs1 = requireReg(ops[0], raw);
+        Resource rs2;
+        std::int64_t imm = 0;
+        if (auto v = parseImmediate(ops[1]))
+            imm = *v;
+        else
+            rs2 = requireReg(ops[1], raw);
+        inst = makeInstruction(op, rs1, rs2, Resource(), std::nullopt,
+                               imm);
+        break;
+      }
+      case OperandSig::Mov2: {
+        need(2);
+        Resource rs1;
+        std::int64_t imm = 0;
+        if (auto v = parseImmediate(ops[0]))
+            imm = *v;
+        else
+            rs1 = requireReg(ops[0], raw);
+        Resource rd = requireReg(ops[1], raw);
+        inst = makeInstruction(op, rs1, Resource(), rd, std::nullopt,
+                               imm);
+        break;
+      }
+      case OperandSig::Sethi2: {
+        need(2);
+        auto v = parseImmediate(ops[0]);
+        if (!v)
+            lineError(columnOf(raw, ops[0]), "bad sethi immediate '",
+                      ops[0], "'");
+        Resource rd = requireReg(ops[1], raw);
+        inst = makeInstruction(op, Resource(), Resource(), rd,
+                               std::nullopt, *v);
+        break;
+      }
+      case OperandSig::LoadOp: {
+        need(2);
+        Resource rd = requireReg(ops[1], raw);
+        Opcode real_op = remapFpMemory(op, rd);
+        auto mem = MemOperand::parse(ops[0], memWidth(real_op));
+        if (!mem)
+            lineError(columnOf(raw, ops[0]), "bad address '", ops[0],
+                      "'");
+        inst = makeInstruction(real_op, Resource(), Resource(), rd,
+                               std::move(mem));
+        break;
+      }
+      case OperandSig::StoreOp: {
+        need(2);
+        Resource rs = requireReg(ops[0], raw);
+        Opcode real_op = remapFpMemory(op, rs);
+        auto mem = MemOperand::parse(ops[1], memWidth(real_op));
+        if (!mem)
+            lineError(columnOf(raw, ops[1]), "bad address '", ops[1],
+                      "'");
+        inst = makeInstruction(real_op, rs, Resource(), Resource(),
+                               std::move(mem));
+        break;
+      }
+      case OperandSig::Fp3: {
+        need(3);
+        inst = makeInstruction(op, requireReg(ops[0], raw),
+                               requireReg(ops[1], raw),
+                               requireReg(ops[2], raw));
+        break;
+      }
+      case OperandSig::Fp2: {
+        need(2);
+        inst = makeInstruction(op, requireReg(ops[0], raw), Resource(),
+                               requireReg(ops[1], raw));
+        break;
+      }
+      case OperandSig::Fcmp2: {
+        need(2);
+        inst = makeInstruction(op, requireReg(ops[0], raw),
+                               requireReg(ops[1], raw), Resource());
+        break;
+      }
+      case OperandSig::BranchOp: {
+        need(1);
+        inst = makeInstruction(op, Resource(), Resource(), Resource());
+        inst.setTarget(ops[0]);
+        inst.setAnnul(annul);
+        break;
+      }
+      case OperandSig::CallOp: {
+        need(1);
+        inst = makeInstruction(op, Resource(), Resource(), Resource());
+        inst.setTarget(ops[0]);
+        break;
+      }
+      case OperandSig::JmplOp: {
+        need(2);
+        Resource rs1 = requireReg(ops[0], raw);
+        Resource rd = requireReg(ops[1], raw);
+        inst = makeInstruction(op, rs1, Resource(), rd);
+        break;
+      }
+      case OperandSig::None: {
+        if (op == Opcode::Restore && ops.size() == 3) {
+            // restore %rs1, %rs2_or_imm, %rd form
+            Resource rs1 = requireReg(ops[0], raw);
+            Resource rs2;
+            std::int64_t imm = 0;
+            if (auto v = parseImmediate(ops[1]))
+                imm = *v;
+            else
+                rs2 = requireReg(ops[1], raw);
+            Resource rd = requireReg(ops[2], raw);
+            inst = Instruction(Opcode::Restore);
+            inst.addUse(rs1, 0);
+            if (rs2.valid())
+                inst.addUse(rs2, 1);
+            else
+                inst.setUsesImm(true);
+            inst.setImm(imm);
+            inst.addDef(rd);
+            inst.addUse(Resource::callState(), 2);
+            inst.addDef(Resource::callState());
+        } else {
+            need(0);
+            inst = makeInstruction(op, Resource(), Resource(),
+                                   Resource());
+        }
+        break;
+      }
+      default:
+        lineError(0, "unhandled signature for '", mnemonic, "'");
+    }
+
+    inst.setText(std::string(line));
+    return inst;
 }
 
 } // namespace
 
 Program
-parseAssembly(std::string_view text)
+parseAssembly(std::string_view text, DiagnosticEngine &diags,
+              std::string_view filename)
 {
     Program prog;
 
@@ -105,183 +327,26 @@ parseAssembly(std::string_view text)
         if (line[0] == '.' && line.find(':') == std::string_view::npos)
             continue;
 
-        // Split mnemonic from operand list.
-        std::size_t sp = line.find_first_of(" \t");
-        std::string mnemonic = toLower(
-            sp == std::string_view::npos ? line : line.substr(0, sp));
-        std::string_view rest =
-            sp == std::string_view::npos ? "" : trim(line.substr(sp));
-
-        bool annul = false;
-        if (mnemonic.size() > 2 &&
-            mnemonic.substr(mnemonic.size() - 2) == ",a") {
-            annul = true;
-            mnemonic.resize(mnemonic.size() - 2);
+        try {
+            prog.append(parseInstructionLine(line, raw));
+        } catch (const LineError &e) {
+            // Lenient recovery: drop this instruction, keep parsing.
+            // (A strict engine throws out of report() instead.)
+            obs::ev::robustParseErrors.inc();
+            diags.error(filename, lineno, e.col, e.message);
         }
-
-        Opcode op = opcodeFromMnemonic(mnemonic);
-        if (op == Opcode::Invalid)
-            fatal("line ", lineno, ": unknown mnemonic '", mnemonic, "'");
-
-        const OpcodeInfo &info = opcodeInfo(op);
-        std::vector<std::string> ops = splitOperands(rest);
-
-        auto need = [&](std::size_t n) {
-            if (ops.size() != n)
-                fatal("line ", lineno, ": '", mnemonic, "' expects ", n,
-                      " operands, got ", ops.size());
-        };
-
-        Instruction inst;
-        switch (info.sig) {
-          case OperandSig::Alu3: {
-            need(3);
-            Resource rs1 = requireReg(ops[0], line);
-            Resource rs2;
-            std::int64_t imm = 0;
-            if (auto v = parseImmediate(ops[1]))
-                imm = *v;
-            else
-                rs2 = requireReg(ops[1], line);
-            Resource rd = requireReg(ops[2], line);
-            inst = makeInstruction(op, rs1, rs2, rd, std::nullopt, imm);
-            break;
-          }
-          case OperandSig::Cmp2: {
-            need(2);
-            Resource rs1 = requireReg(ops[0], line);
-            Resource rs2;
-            std::int64_t imm = 0;
-            if (auto v = parseImmediate(ops[1]))
-                imm = *v;
-            else
-                rs2 = requireReg(ops[1], line);
-            inst = makeInstruction(op, rs1, rs2, Resource(), std::nullopt,
-                                   imm);
-            break;
-          }
-          case OperandSig::Mov2: {
-            need(2);
-            Resource rs1;
-            std::int64_t imm = 0;
-            if (auto v = parseImmediate(ops[0]))
-                imm = *v;
-            else
-                rs1 = requireReg(ops[0], line);
-            Resource rd = requireReg(ops[1], line);
-            inst = makeInstruction(op, rs1, Resource(), rd, std::nullopt,
-                                   imm);
-            break;
-          }
-          case OperandSig::Sethi2: {
-            need(2);
-            auto v = parseImmediate(ops[0]);
-            if (!v)
-                fatal("line ", lineno, ": bad sethi immediate '", ops[0],
-                      "'");
-            Resource rd = requireReg(ops[1], line);
-            inst = makeInstruction(op, Resource(), Resource(), rd,
-                                   std::nullopt, *v);
-            break;
-          }
-          case OperandSig::LoadOp: {
-            need(2);
-            Resource rd = requireReg(ops[1], line);
-            Opcode real_op = remapFpMemory(op, rd);
-            auto mem = MemOperand::parse(ops[0], memWidth(real_op));
-            if (!mem)
-                fatal("line ", lineno, ": bad address '", ops[0], "'");
-            inst = makeInstruction(real_op, Resource(), Resource(), rd,
-                                   std::move(mem));
-            break;
-          }
-          case OperandSig::StoreOp: {
-            need(2);
-            Resource rs = requireReg(ops[0], line);
-            Opcode real_op = remapFpMemory(op, rs);
-            auto mem = MemOperand::parse(ops[1], memWidth(real_op));
-            if (!mem)
-                fatal("line ", lineno, ": bad address '", ops[1], "'");
-            inst = makeInstruction(real_op, rs, Resource(), Resource(),
-                                   std::move(mem));
-            break;
-          }
-          case OperandSig::Fp3: {
-            need(3);
-            inst = makeInstruction(op, requireReg(ops[0], line),
-                                   requireReg(ops[1], line),
-                                   requireReg(ops[2], line));
-            break;
-          }
-          case OperandSig::Fp2: {
-            need(2);
-            inst = makeInstruction(op, requireReg(ops[0], line),
-                                   Resource(), requireReg(ops[1], line));
-            break;
-          }
-          case OperandSig::Fcmp2: {
-            need(2);
-            inst = makeInstruction(op, requireReg(ops[0], line),
-                                   requireReg(ops[1], line), Resource());
-            break;
-          }
-          case OperandSig::BranchOp: {
-            need(1);
-            inst = makeInstruction(op, Resource(), Resource(), Resource());
-            inst.setTarget(ops[0]);
-            inst.setAnnul(annul);
-            break;
-          }
-          case OperandSig::CallOp: {
-            need(1);
-            inst = makeInstruction(op, Resource(), Resource(), Resource());
-            inst.setTarget(ops[0]);
-            break;
-          }
-          case OperandSig::JmplOp: {
-            need(2);
-            Resource rs1 = requireReg(ops[0], line);
-            Resource rd = requireReg(ops[1], line);
-            inst = makeInstruction(op, rs1, Resource(), rd);
-            break;
-          }
-          case OperandSig::None: {
-            if (op == Opcode::Restore && ops.size() == 3) {
-                // restore %rs1, %rs2_or_imm, %rd form
-                Resource rs1 = requireReg(ops[0], line);
-                Resource rs2;
-                std::int64_t imm = 0;
-                if (auto v = parseImmediate(ops[1]))
-                    imm = *v;
-                else
-                    rs2 = requireReg(ops[1], line);
-                Resource rd = requireReg(ops[2], line);
-                inst = Instruction(Opcode::Restore);
-                inst.addUse(rs1, 0);
-                if (rs2.valid())
-                    inst.addUse(rs2, 1);
-                else
-                    inst.setUsesImm(true);
-                inst.setImm(imm);
-                inst.addDef(rd);
-                inst.addUse(Resource::callState(), 2);
-                inst.addDef(Resource::callState());
-            } else {
-                need(0);
-                inst = makeInstruction(op, Resource(), Resource(),
-                                       Resource());
-            }
-            break;
-          }
-          default:
-            fatal("line ", lineno, ": unhandled signature");
-        }
-
-        inst.setText(std::string(line));
-        prog.append(std::move(inst));
     }
 
     return prog;
+}
+
+Program
+parseAssembly(std::string_view text)
+{
+    DiagnosticEngine::Options opts;
+    opts.strict = true;
+    DiagnosticEngine diags(opts);
+    return parseAssembly(text, diags);
 }
 
 } // namespace sched91

@@ -16,6 +16,13 @@
  * Assembler directives (lines starting with '.') other than labels are
  * ignored, mirroring how the paper's tooling consumed "cc -O4 -S"
  * output.
+ *
+ * Error handling: every malformed line produces one source-located
+ * Diag (support/diagnostics.hh).  Under a lenient engine (the
+ * default) the parser skips the bad instruction and keeps going, so
+ * one typo cannot kill a whole-program run; under a strict engine the
+ * first error throws FatalError.  Each recovered error is counted in
+ * `robust.parse_errors`.
  */
 
 #ifndef SCHED91_IR_PARSER_HH
@@ -24,14 +31,24 @@
 #include <string_view>
 
 #include "ir/program.hh"
+#include "support/diagnostics.hh"
 
 namespace sched91
 {
 
 /**
- * Parse assembly text into a Program.
+ * Parse assembly text into a Program, reporting malformed lines to
+ * @p diags (tagged with @p filename).  With a lenient engine the
+ * malformed instructions are skipped and everything parseable is
+ * returned; a strict engine makes the first error throw FatalError.
+ */
+Program parseAssembly(std::string_view text, DiagnosticEngine &diags,
+                      std::string_view filename = "<input>");
+
+/**
+ * Fail-fast convenience overload: parse with a private strict engine.
  *
- * @throws FatalError on malformed instructions.
+ * @throws FatalError on the first malformed instruction.
  */
 Program parseAssembly(std::string_view text);
 

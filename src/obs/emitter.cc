@@ -101,6 +101,24 @@ programResultJson(const ProgramResult &result, const RunMeta &meta,
             .endObject();
     }
 
+    w.key("robust").beginObject()
+        .key("blocks_degraded")
+        .value(static_cast<std::uint64_t>(result.blocksDegraded))
+        .key("builder_fallbacks")
+        .value(static_cast<std::uint64_t>(result.builderFallbacks))
+        .key("verifier_rejections")
+        .value(static_cast<std::uint64_t>(result.verifierRejections));
+    w.key("block_issues").beginArray();
+    for (const ProgramResult::BlockIssue &issue : result.blockIssues) {
+        w.beginObject()
+            .key("block").value(static_cast<std::uint64_t>(issue.block))
+            .key("stage").value(issue.stage)
+            .key("reason").value(issue.reason)
+            .key("degraded").value(issue.degraded)
+            .endObject();
+    }
+    w.endArray().endObject();
+
     w.key("counters");
     writeCounterSet(w, counters);
 

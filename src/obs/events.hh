@@ -79,6 +79,32 @@ inline Counter schedReadyListPeak{"sched.ready_list_peak",
  * successors (forward) or predecessors (backward). */
 inline Counter schedDepUpdates{"sched.dep_updates"};
 
+// --- Robustness (docs/ROBUSTNESS.md) --------------------------------
+
+/** Malformed assembly lines recovered from by the lenient parser. */
+inline Counter robustParseErrors{"robust.parse_errors"};
+
+/** Blocks degraded to their original instruction order after a fault,
+ * budget overrun, or verifier rejection. */
+inline Counter robustBlocksDegraded{"robust.blocks_degraded"};
+
+/** Schedules rejected by the independent verifier
+ * (sched/verifier.hh). */
+inline Counter robustVerifierRejections{"robust.verifier_rejections"};
+
+/** Oversized blocks auto-switched from an n**2 builder to table
+ * building (the paper's F1/F2 window ladder) — not a degradation. */
+inline Counter robustBuilderFallbacks{"robust.builder_fallbacks"};
+
+/** Blocks that overran --max-block-seconds (subset of
+ * robust.blocks_degraded). */
+inline Counter robustBudgetExceeded{"robust.block_budget_exceeded"};
+
+/** Worker exceptions dropped by ThreadPool::parallelFor after the
+ * first (only the first rethrows; the rest are counted here and in
+ * the rethrown message). */
+inline Counter robustPoolSuppressed{"robust.pool_suppressed_errors"};
+
 } // namespace sched91::obs::ev
 
 #endif // SCHED91_OBS_EVENTS_HH

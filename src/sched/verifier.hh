@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Independent schedule verifier.
+ *
+ * Production combinatorial schedulers ship behind a validity-checking
+ * harness: every emitted schedule is re-checked against the
+ * dependence DAG by code that shares nothing with the scheduler that
+ * produced it, and a rejected schedule falls back to a safe order
+ * instead of reaching the user.  This file is that harness for
+ * sched91.  verifySchedule() checks, per block:
+ *
+ *  1. **Permutation** — the order covers every DAG node exactly once;
+ *  2. **Precedence** — every dependence arc points forward in the
+ *     order (optionally modulo the advisory control anchor a delay-
+ *     slot filler is allowed to violate);
+ *  3. **Branch placement** — a block-ending control transfer is
+ *     scheduled last (or second-to-last with exactly one legal filler
+ *     behind it in delay-slot mode);
+ *  4. **Timing claims** — when the schedule carries issue cycles,
+ *     they are non-decreasing and respect every arc's latency (an
+ *     all-zero cycle vector is treated as "no claim"; that is what
+ *     originalOrderSchedule emits).
+ *
+ * verifyReservation() additionally replays a reservation-table
+ * schedule's placement cycles through a fresh ReservationTable and
+ * rejects any pattern overlap — the "reservation conflicts absent"
+ * guarantee for back-filling schedulers.
+ *
+ * The verifier is wired into runPipeline behind
+ * PipelineOptions::verify (on by default): a rejection counts
+ * `robust.verifier_rejections` and degrades the block to original
+ * order.  See docs/ROBUSTNESS.md.
+ */
+
+#ifndef SCHED91_SCHED_VERIFIER_HH
+#define SCHED91_SCHED_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "dag/dag.hh"
+#include "machine/machine_model.hh"
+#include "sched/reservation.hh"
+#include "sched/schedule.hh"
+
+namespace sched91
+{
+
+/** What verifySchedule checks. */
+struct VerifyOptions
+{
+    /** Tolerate one delay-slot filler behind the final branch (its
+     * control-anchor arc is advisory; see sched/delay_slot.hh). */
+    bool allowDelaySlot = false;
+
+    /** Validate Schedule::issueCycle when the schedule claims one. */
+    bool checkTiming = true;
+
+    /** Require a block-ending control transfer to be scheduled last.
+     * Disable for schedules over DAGs built with anchorBranch off. */
+    bool requireBranchLast = true;
+};
+
+/** Verification outcome: empty reasons == accepted. */
+struct VerifyResult
+{
+    std::vector<std::string> reasons;
+
+    bool ok() const { return reasons.empty(); }
+
+    /** All reasons joined with "; " ("ok" when accepted). */
+    std::string summary() const;
+};
+
+/**
+ * Independently check @p sched against @p dag.  Pure function of its
+ * inputs; never throws, never mutates.
+ */
+VerifyResult verifySchedule(const Dag &dag, const Schedule &sched,
+                            const MachineModel &machine,
+                            const VerifyOptions &opts = {});
+
+/**
+ * Check a reservation-table schedule: precedence and latency on the
+ * placement cycles, plus absence of reservation conflicts (all
+ * patterns replayed into a fresh table must fit).
+ */
+VerifyResult verifyReservation(const Dag &dag,
+                               const ReservationResult &res,
+                               const MachineModel &machine);
+
+} // namespace sched91
+
+#endif // SCHED91_SCHED_VERIFIER_HH

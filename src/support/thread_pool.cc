@@ -1,9 +1,26 @@
 #include "support/thread_pool.hh"
 
+#include <string>
 #include <utility>
+
+#include "obs/events.hh"
+#include "support/logging.hh"
 
 namespace sched91
 {
+
+namespace
+{
+
+/** "... (N additional worker error(s) suppressed)" suffix. */
+std::string
+suppressedSuffix(std::size_t n)
+{
+    return " (" + std::to_string(n) + " additional worker error" +
+           (n == 1 ? "" : "s") + " suppressed)";
+}
+
+} // namespace
 
 unsigned
 ThreadPool::hardwareConcurrency()
@@ -48,6 +65,8 @@ ThreadPool::runChunks(unsigned id)
             std::lock_guard<std::mutex> lk(mu_);
             if (!firstError_)
                 firstError_ = std::current_exception();
+            else
+                ++suppressed_; // counted under mu_; reported by caller
         }
     }
 }
@@ -94,6 +113,7 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
         jobChunk_ = chunk;
         jobFn_ = &fn;
         firstError_ = nullptr;
+        suppressed_ = 0;
         next_.store(0, std::memory_order_relaxed);
         active_ = static_cast<unsigned>(workers_.size());
         ++generation_;
@@ -102,11 +122,33 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
 
     runChunks(0);
 
-    std::unique_lock<std::mutex> lk(mu_);
-    cvDone_.wait(lk, [&] { return active_ == 0; });
-    jobFn_ = nullptr;
-    if (firstError_)
-        std::rethrow_exception(std::exchange(firstError_, nullptr));
+    std::exception_ptr error;
+    std::size_t extra;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cvDone_.wait(lk, [&] { return active_ == 0; });
+        jobFn_ = nullptr;
+        error = std::exchange(firstError_, nullptr);
+        extra = std::exchange(suppressed_, 0);
+    }
+    if (!error)
+        return;
+    // Count and annotate on the caller's thread: workers have no
+    // counter shard installed, so incrementing there would race.
+    if (extra == 0)
+        std::rethrow_exception(error);
+    obs::ev::robustPoolSuppressed.inc(
+        static_cast<std::uint64_t>(extra));
+    try {
+        std::rethrow_exception(error);
+    } catch (const PanicError &e) {
+        throw PanicError(e.what() + suppressedSuffix(extra));
+    } catch (const FatalError &e) {
+        throw FatalError(e.what() + suppressedSuffix(extra));
+    } catch (const std::exception &e) {
+        throw FatalError(e.what() + suppressedSuffix(extra));
+    }
+    // Non-std exceptions propagate unannotated.
 }
 
 } // namespace sched91

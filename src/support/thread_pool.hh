@@ -56,7 +56,11 @@ class ThreadPool
     /**
      * Run @p fn over [0, n) in chunks of @p chunk items, on all lanes.
      * Blocks until every item is done.  The first exception thrown by
-     * @p fn is rethrown here (remaining chunks still drain).
+     * @p fn is rethrown here (remaining chunks still drain).  Further
+     * exceptions are counted, not swallowed: the count lands in the
+     * `robust.pool_suppressed_errors` event counter and is appended to
+     * the rethrown FatalError/PanicError message, so a multi-lane
+     * failure is distinguishable from a single bad chunk.
      */
     void parallelFor(std::size_t n, std::size_t chunk, const ChunkFn &fn);
 
@@ -80,6 +84,7 @@ class ThreadPool
     std::size_t jobChunk_ = 1;
     const ChunkFn *jobFn_ = nullptr;
     std::exception_ptr firstError_;
+    std::size_t suppressed_ = 0; ///< worker errors after the first
 };
 
 } // namespace sched91

@@ -1,0 +1,13 @@
+! Malformed memory operands: missing brackets, empty addresses,
+! and operator soup inside the brackets.
+.text
+addr:
+	ld	%g1 + 4, %g2	! missing brackets
+	ld	[%g1 + 4], %g2
+	st	%g2, %g1 + 8	! missing brackets
+	st	%g2, [%g1 + 8]
+	ld	[], %g3		! empty address
+	ld	[%g1 +], %g3	! dangling operator
+	ld	[%q5 + 4], %g3	! bad base register
+	ld	[%g1 + 12], %g3
+	nop

@@ -1,0 +1,13 @@
+! Unknown mnemonics interleaved with valid instructions: lenient
+! parsing must drop exactly the bad lines and keep the rest.
+.text
+start:
+	add	%g1, %g2, %g3
+	addd	%g1, %g2, %g3	! no such mnemonic
+	sub	%g3, 4, %g4
+	mumble	%g4, %g5	! no such mnemonic
+	ld	[%g4 + 8], %g5
+	stw	%g5, [%g4 + 12]	! sparc v9 name, not in this dialect
+	or	%g5, %g0, %g6
+	frobnicate		! no such mnemonic
+	nop

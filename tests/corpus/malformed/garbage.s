@@ -1,0 +1,14 @@
+! Byte salad: every non-comment line below is junk, but the parser
+! must keep going, produce one diagnostic per line, and exit cleanly.
+start:
+<<<<<<< HEAD
+=======
+>>>>>>> branch
+{"json": "not assembly"}
+0x41414141 0x42424242
+~~~~~~~~~~
+	add add add add
+	%g1, %g2, %g3
+-----BEGIN CERTIFICATE-----
+MIIBIjANBgkqhkiG9w0BAQEFAAOCAQ8AMIIBCgKCAQEA7
+	nop

@@ -1,0 +1,14 @@
+! Register operands outside the SPARC-like namespace: bank letters
+! that do not exist and indices past the end of a bank.
+.text
+typos:
+	add	%q1, %g2, %g3	! no %q bank
+	add	%g9, %g2, %g3	! %g stops at %g7
+	add	%g1, %g2, %g3
+	fadds	%f40, %f2, %f4	! %f stops at %f31
+	fadds	%f0, %f2, %f4
+	mov	%o8, %g5	! %o stops at %o7
+	mov	%o1, %g5
+	ld	[%i9 + 4], %g6	! %i stops at %i7
+	ld	[%i1 + 4], %g6
+	nop

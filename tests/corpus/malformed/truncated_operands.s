@@ -1,0 +1,14 @@
+! Right mnemonic, wrong operand count: each bad line is one
+! source-located diagnostic, the rest of the block still schedules.
+.text
+trunc:
+	add	%g1, %g2	! add expects 3 operands
+	add	%g1, %g2, %g3
+	ld	[%g1]		! ld expects 2 operands
+	ld	[%g1 + 4], %g4
+	st	%g4		! st expects 2 operands
+	st	%g4, [%g1 + 8]
+	sethi	%hi(0x1000)	! sethi expects 2 operands
+	sethi	%hi(0x1000), %g5
+	cmp	%g5		! cmp expects 2 operands
+	nop

@@ -433,8 +433,9 @@ TEST(Trace, JsonlLinesParse)
     opts.trace = &sink;
     ProgramResult r = runPipeline(prog, sparcstation2(), opts);
 
-    // One event per block per phase (build/heur/sched; no evaluate).
-    EXPECT_EQ(sink.eventsWritten(), r.numBlocks * 3);
+    // One event per block per phase (build/heur/sched/verify; no
+    // evaluate).
+    EXPECT_EQ(sink.eventsWritten(), r.numBlocks * 4);
 
     std::istringstream in(out.str());
     std::string line;

@@ -211,7 +211,7 @@ TEST(ParallelPipeline, TraceEventsArriveInBlockOrder)
         last = block;
         ++lines;
     }
-    EXPECT_EQ(lines, 40u * 3u); // build/heur/sched per block
+    EXPECT_EQ(lines, 40u * 4u); // build/heur/sched/verify per block
 }
 
 } // namespace

@@ -10,9 +10,13 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/counters.hh"
+#include "obs/events.hh"
+#include "support/logging.hh"
 #include "support/thread_pool.hh"
 
 namespace sched91
@@ -96,6 +100,70 @@ TEST(ThreadPool, FirstExceptionPropagates)
         count.fetch_add(static_cast<int>(e - b));
     });
     EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, MultipleFailuresAreCountedNotSwallowed)
+{
+    // Every one of the 8 chunks throws; the pool must deliver the
+    // first error annotated with the other 7, not silently drop them.
+    obs::setEnabled(true);
+    obs::CounterSet before = obs::CounterRegistry::global().snapshot();
+
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(8, 1,
+                         [&](unsigned, std::size_t b, std::size_t) {
+                             fatal("chunk ", b, " failed");
+                         });
+        FAIL() << "parallelFor should have thrown";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "(7 additional worker errors suppressed)"),
+                  std::string::npos)
+            << "message was: " << e.what();
+    }
+
+    obs::CounterSet delta =
+        obs::CounterRegistry::global().deltaSince(before);
+    EXPECT_EQ(delta.value("robust.pool_suppressed_errors"), 7u);
+    obs::setEnabled(false);
+
+    // The pool survives the failures and is reusable.
+    std::atomic<int> count{0};
+    pool.parallelFor(8, 1, [&](unsigned, std::size_t b, std::size_t e) {
+        count.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, SingleFailureIsNotAnnotated)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(100, 1,
+                         [&](unsigned, std::size_t b, std::size_t) {
+                             if (b == 50)
+                                 fatal("lone failure");
+                         });
+        FAIL() << "parallelFor should have thrown";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "lone failure");
+    }
+}
+
+TEST(ThreadPool, PanicKeepsItsTypeWhenAnnotated)
+{
+    ThreadPool pool(2);
+    try {
+        pool.parallelFor(4, 1,
+                         [&](unsigned, std::size_t, std::size_t) {
+                             panic("invariant broken");
+                         });
+        FAIL() << "parallelFor should have thrown";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("invariant broken"),
+                  std::string::npos);
+    }
 }
 
 TEST(ThreadPool, ReusableAcrossManyCalls)

@@ -37,6 +37,15 @@
  *                           schedule
  *     --counters            print nonzero event counters to stderr
  *                           (any command)
+ *
+ * Robustness options (docs/ROBUSTNESS.md):
+ *     --strict              fail fast on parse errors / block faults
+ *     --verify/--no-verify  schedule verifier (default on)
+ *     --max-block-insts <N> n**2 -> table builder fallback threshold
+ *     --max-block-seconds <S>  per-block wall-clock budget
+ *
+ * Exit codes: 0 success (including lenient recovery), 1 runtime
+ * error, 2 usage error.
  */
 
 #include <cstdio>
@@ -51,15 +60,33 @@
 
 #include "core/sched91.hh"
 #include "dag/dot_export.hh"
+#include "obs/events.hh"
 #include "sched/report.hh"
 #include "core/backend.hh"
 #include "sched/timeline.hh"
+#include "support/diagnostics.hh"
 #include "support/logging.hh"
 
 using namespace sched91;
 
 namespace
 {
+
+/** Bad invocation (unknown option/command, missing value): exit 2,
+ * per the exit-code contract in docs/ROBUSTNESS.md. */
+struct UsageError : FatalError
+{
+    using FatalError::FatalError;
+};
+
+template <typename... Args>
+[[noreturn]] void
+usageError(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendAll(os, args...);
+    throw UsageError(os.str());
+}
 
 struct CliOptions
 {
@@ -79,6 +106,12 @@ struct CliOptions
     bool counters = false; ///< --counters
     bool zeroTimes = false; ///< --zero-times
 
+    // Robustness (docs/ROBUSTNESS.md).
+    bool strict = false;      ///< --strict: fail fast, no recovery
+    bool verify = true;       ///< --no-verify turns the checker off
+    int maxBlockInsts = 400;  ///< --max-block-insts (0 = off)
+    double maxBlockSeconds = 0.0; ///< --max-block-seconds (0 = off)
+
     bool
     observing() const
     {
@@ -92,7 +125,7 @@ parseAlgorithm(const std::string &name)
     for (AlgorithmKind kind : allAlgorithms())
         if (algorithmName(kind) == name)
             return kind;
-    fatal("unknown algorithm '", name, "'");
+    usageError("unknown algorithm '", name, "'");
 }
 
 BuilderKind
@@ -107,7 +140,7 @@ parseBuilder(const std::string &name)
     };
     auto it = map.find(name);
     if (it == map.end())
-        fatal("unknown builder '", name, "'");
+        usageError("unknown builder '", name, "'");
     return it->second;
 }
 
@@ -122,7 +155,7 @@ parsePolicy(const std::string &name)
     };
     auto it = map.find(name);
     if (it == map.end())
-        fatal("unknown alias policy '", name, "'");
+        usageError("unknown alias policy '", name, "'");
     return it->second;
 }
 
@@ -165,7 +198,24 @@ const char kUsage[] =
     "                       command)\n"
     "  --zero-times         write all seconds fields as 0 in\n"
     "                       --stats-json/--trace output (byte-\n"
-    "                       comparable across runs and thread counts)\n";
+    "                       comparable across runs and thread counts)\n"
+    "\n"
+    "robustness (docs/ROBUSTNESS.md):\n"
+    "  --strict             fail fast: parse errors and per-block\n"
+    "                       faults abort the run (exit 1) instead of\n"
+    "                       degrading the block\n"
+    "  --verify             re-check every schedule against its DAG\n"
+    "                       (default on)\n"
+    "  --no-verify          skip the schedule verifier\n"
+    "  --max-block-insts <N>  blocks above N insts fall back from an\n"
+    "                       n**2 builder to table building (default\n"
+    "                       400, 0 = off)\n"
+    "  --max-block-seconds <S>  per-block wall-clock budget; overrun\n"
+    "                       degrades the block to original order\n"
+    "                       (default off)\n"
+    "\n"
+    "exit codes: 0 success (including lenient recovery), 1 runtime\n"
+    "error, 2 usage error\n";
 
 CliOptions
 parseArgs(int argc, char **argv)
@@ -173,7 +223,7 @@ parseArgs(int argc, char **argv)
     CliOptions opts;
     if (argc < 2) {
         std::fputs(kUsage, stderr);
-        std::exit(1);
+        std::exit(2);
     }
     opts.command = argv[1];
 
@@ -181,7 +231,7 @@ parseArgs(int argc, char **argv)
         std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
-                fatal("missing value for ", arg);
+                usageError("missing value for ", arg);
             return argv[++i];
         };
         if (arg == "--kernel")
@@ -211,13 +261,33 @@ parseArgs(int argc, char **argv)
             opts.counters = true;
         else if (arg == "--zero-times")
             opts.zeroTimes = true;
+        else if (arg == "--strict")
+            opts.strict = true;
+        else if (arg == "--verify")
+            opts.verify = true;
+        else if (arg == "--no-verify")
+            opts.verify = false;
+        else if (arg == "--max-block-insts")
+            opts.maxBlockInsts = std::atoi(next().c_str());
+        else if (arg == "--max-block-seconds")
+            opts.maxBlockSeconds = std::atof(next().c_str());
         else if (!arg.empty() && arg[0] != '-')
             opts.input = arg;
         else
-            fatal("unknown option '", arg,
-                  "' (run sched91 with no arguments for usage)");
+            usageError("unknown option '", arg,
+                       "' (run sched91 with no arguments for usage)");
     }
     return opts;
+}
+
+/** Robustness knobs shared by every pipeline-driving command. */
+void
+applyRobustness(PipelineOptions &pipeline, const CliOptions &opts)
+{
+    pipeline.verify = opts.verify;
+    pipeline.containFaults = !opts.strict;
+    pipeline.maxBlockInsts = opts.maxBlockInsts;
+    pipeline.maxBlockSeconds = opts.maxBlockSeconds;
 }
 
 /**
@@ -322,7 +392,22 @@ loadInput(const CliOptions &opts)
         fatal("cannot open '", opts.input, "'");
     std::ostringstream text;
     text << in.rdbuf();
-    Program prog = parseAssembly(text.str());
+
+    // Lenient by default: malformed lines become source-located
+    // diagnostics on stderr and the rest of the file still schedules.
+    // --strict restores fail-fast (the engine throws on first error).
+    DiagnosticEngine::Options dopts;
+    dopts.strict = opts.strict;
+    DiagnosticEngine diags(dopts);
+    Program prog = parseAssembly(text.str(), diags, opts.input);
+    if (!diags.diags().empty())
+        std::fputs(diags.render().c_str(), stderr);
+    if (diags.hasErrors())
+        std::fprintf(stderr,
+                     "sched91: %zu malformed line%s dropped; "
+                     "scheduling the rest\n",
+                     diags.errorCount(),
+                     diags.errorCount() == 1 ? "" : "s");
     stampMemGenerations(prog);
     return prog;
 }
@@ -345,6 +430,7 @@ selectBlock(Program &prog, const CliOptions &opts,
 int
 cmdSchedule(const CliOptions &opts)
 {
+    ObsSession session(opts);
     Program prog = loadInput(opts);
     MachineModel machine = presetByName(opts.machineName);
     PartitionOptions popts;
@@ -355,8 +441,7 @@ cmdSchedule(const CliOptions &opts)
     popeline.algorithm = opts.algorithm;
     popeline.builder = opts.builder;
     popeline.build.memPolicy = opts.policy;
-
-    ObsSession session(opts);
+    applyRobustness(popeline, opts);
 
     // Aggregate run statistics for --stats-json (phase seconds come
     // from the profiler tree scheduleBlock feeds).
@@ -377,7 +462,24 @@ cmdSchedule(const CliOptions &opts)
         if (session.trace())
             block_before = obs::CounterRegistry::global().snapshot();
 
-        auto result = scheduleBlock(block, machine, popeline);
+        // Per-block containment: a fault degrades this block to its
+        // original instruction order and the run continues (--strict
+        // propagates instead; see docs/ROBUSTNESS.md).
+        std::optional<BlockScheduleResult> result;
+        try {
+            result = scheduleBlock(block, machine, popeline);
+        } catch (const std::exception &e) {
+            if (opts.strict)
+                throw;
+            std::fprintf(stderr,
+                         "sched91: block %zu degraded to original "
+                         "order: %s\n",
+                         b, e.what());
+            obs::ev::robustBlocksDegraded.inc();
+            ++agg.blocksDegraded;
+            agg.blockIssues.push_back(ProgramResult::BlockIssue{
+                b, "sched", e.what(), true});
+        }
 
         if (session.trace()) {
             obs::TraceEvent ev;
@@ -390,7 +492,8 @@ cmdSchedule(const CliOptions &opts)
                 block_before);
             session.trace()->event(ev);
         }
-        agg.dagStats.accumulate(result.dag);
+        if (result)
+            agg.dagStats.accumulate(result->dag);
 
         // Quality bookkeeping against a table-built ground truth is
         // not part of the measured pipeline: keep its events out of
@@ -398,18 +501,33 @@ cmdSchedule(const CliOptions &opts)
         // table probes under --builder n2-fwd).
         bool was_observing = obs::enabled();
         obs::setEnabled(false);
-        Dag gt = TableForwardBuilder().build(block, machine,
-                                             popeline.build);
-        before += simulateSchedule(gt,
-                                   originalOrderSchedule(gt).order,
-                                   machine)
-                      .cycles;
-        after +=
-            simulateSchedule(gt, result.sched.order, machine).cycles;
+        try {
+            Dag gt = TableForwardBuilder().build(block, machine,
+                                                 popeline.build);
+            long long original =
+                simulateSchedule(gt, originalOrderSchedule(gt).order,
+                                 machine)
+                    .cycles;
+            before += original;
+            after += result ? simulateSchedule(gt, result->sched.order,
+                                               machine)
+                                  .cycles
+                            : original;
+        } catch (const std::exception &) {
+            // A block degraded during build may defeat the ground-
+            // truth builder too; skip its cycle accounting.
+        }
         obs::setEnabled(was_observing);
         std::printf(".B%u:\n", bb.begin);
-        for (std::uint32_t n : result.sched.order)
-            std::printf("    %s\n", block.inst(n).toString().c_str());
+        if (result) {
+            for (std::uint32_t n : result->sched.order)
+                std::printf("    %s\n",
+                            block.inst(n).toString().c_str());
+        } else {
+            for (std::uint32_t n = 0; n < bb.size(); ++n)
+                std::printf("    %s\n",
+                            block.inst(n).toString().c_str());
+        }
     }
     std::fprintf(stderr,
                  "! %zu blocks, cycles %lld -> %lld (%.1f%%)\n",
@@ -439,6 +557,7 @@ cmdSchedule(const CliOptions &opts)
 int
 cmdDag(const CliOptions &opts, bool dot)
 {
+    ObsSession session(opts);
     Program prog = loadInput(opts);
     MachineModel machine = presetByName(opts.machineName);
     std::vector<BasicBlock> blocks;
@@ -446,7 +565,6 @@ cmdDag(const CliOptions &opts, bool dot)
 
     BuildOptions bopts;
     bopts.memPolicy = opts.policy;
-    ObsSession session(opts);
     Dag dag = makeBuilder(opts.builder)->build(block, machine, bopts);
     runAllStaticPasses(dag, PassImpl::ReverseWalk, true);
     session.finishCountersOnly();
@@ -482,13 +600,13 @@ cmdDag(const CliOptions &opts, bool dot)
 int
 cmdCompile(const CliOptions &opts)
 {
+    ObsSession session(opts);
     Program prog = loadInput(opts);
     MachineModel machine = presetByName(opts.machineName);
     BackendOptions bopts;
     bopts.prepass = opts.algorithm;
     bopts.builder = opts.builder;
     bopts.memPolicy = opts.policy;
-    ObsSession session(opts);
     BackendResult result = compileProgram(prog, machine, bopts);
     session.finishCountersOnly();
     std::fputs(result.program.toString().c_str(), stdout);
@@ -503,6 +621,7 @@ cmdCompile(const CliOptions &opts)
 int
 cmdTimeline(const CliOptions &opts)
 {
+    ObsSession session(opts);
     Program prog = loadInput(opts);
     MachineModel machine = presetByName(opts.machineName);
     std::vector<BasicBlock> blocks;
@@ -512,7 +631,7 @@ cmdTimeline(const CliOptions &opts)
     pipeline.algorithm = opts.algorithm;
     pipeline.builder = opts.builder;
     pipeline.build.memPolicy = opts.policy;
-    ObsSession session(opts);
+    applyRobustness(pipeline, opts);
     auto result = scheduleBlock(block, machine, pipeline);
     session.finishCountersOnly();
 
@@ -531,10 +650,10 @@ cmdTimeline(const CliOptions &opts)
 int
 cmdStats(const CliOptions &opts)
 {
+    ObsSession session(opts);
     Program prog = loadInput(opts);
     PartitionOptions popts;
     popts.window = opts.window;
-    ObsSession session(opts);
     auto blocks = partitionBlocks(prog, popts);
     auto s = measureStructure(prog, blocks);
     session.finishCountersOnly();
@@ -552,6 +671,7 @@ cmdStats(const CliOptions &opts)
 int
 cmdReport(const CliOptions &opts)
 {
+    ObsSession session(opts);
     Program prog = loadInput(opts);
     MachineModel machine = presetByName(opts.machineName);
     PipelineOptions pipeline;
@@ -559,7 +679,7 @@ cmdReport(const CliOptions &opts)
     pipeline.builder = opts.builder;
     pipeline.build.memPolicy = opts.policy;
     pipeline.partition.window = opts.window;
-    ObsSession session(opts);
+    applyRobustness(pipeline, opts);
     ProgramReport report = reportProgram(prog, machine, pipeline);
     std::fputs(report.render(15).c_str(), stdout);
     session.finishCountersOnly();
@@ -581,6 +701,7 @@ cmdProfile(const CliOptions &opts)
     pipeline.partition.window = opts.window;
     pipeline.evaluate = true;
     pipeline.threads = opts.threads;
+    applyRobustness(pipeline, opts);
 
     ObsSession session(opts);
     pipeline.trace = session.trace();
@@ -604,6 +725,17 @@ cmdProfile(const CliOptions &opts)
                     ? 100.0 * (r.cyclesOriginal - r.cyclesScheduled) /
                           r.cyclesOriginal
                     : 0.0);
+    if (r.blocksDegraded || r.builderFallbacks || r.verifierRejections)
+        std::fprintf(stderr,
+                     "! robustness: %zu degraded, %zu builder "
+                     "fallbacks, %zu verifier rejections\n",
+                     r.blocksDegraded, r.builderFallbacks,
+                     r.verifierRejections);
+    for (const ProgramResult::BlockIssue &issue : r.blockIssues)
+        std::fprintf(stderr, "!   block %zu [%s]%s: %s\n", issue.block,
+                     issue.stage.c_str(),
+                     issue.degraded ? " degraded" : "",
+                     issue.reason.c_str());
     return 0;
 }
 
@@ -638,9 +770,22 @@ main(int argc, char **argv)
         std::fprintf(stderr, "sched91: unknown command '%s'\n\n",
                      opts.command.c_str());
         std::fputs(kUsage, stderr);
+        return 2;
+    } catch (const UsageError &e) {
+        std::fprintf(stderr, "sched91: %s\n\n", e.what());
+        std::fputs(kUsage, stderr);
+        return 2;
+    } catch (const PanicError &e) {
+        // Internal invariant violation — still a clean exit, never an
+        // abort (docs/ROBUSTNESS.md exit-code contract).
+        std::fprintf(stderr, "sched91: internal error: %s\n", e.what());
         return 1;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "sched91: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sched91: unexpected error: %s\n",
+                     e.what());
         return 1;
     }
 }
