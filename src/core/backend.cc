@@ -1,8 +1,13 @@
 #include "core/backend.hh"
 
+#include <numeric>
+#include <sstream>
+
 #include "dag/table_forward.hh"
 #include "heuristics/register_pressure.hh"
+#include "obs/events.hh"
 #include "sched/list_scheduler.hh"
+#include "support/cancellation.hh"
 
 namespace sched91
 {
@@ -10,17 +15,38 @@ namespace sched91
 namespace
 {
 
+/** The original-order fallback for a block of @p n instructions. */
+std::vector<std::uint32_t>
+identityOrder(std::size_t n)
+{
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), std::uint32_t{0});
+    return order;
+}
+
 /** Schedule a block view, returning the order. */
 std::vector<std::uint32_t>
 scheduleOrder(const BlockView &block, const MachineModel &machine,
-              AlgorithmKind algorithm, BuilderKind builder,
-              AliasPolicy policy)
+              AlgorithmKind algorithm, const BackendOptions &bopts,
+              BuilderKind builder)
 {
     PipelineOptions opts;
     opts.algorithm = algorithm;
     opts.builder = builder;
-    opts.build.memPolicy = policy;
+    opts.build.memPolicy = bopts.memPolicy;
+    opts.verify = bopts.verify;
+    opts.maxBlockSeconds = bopts.maxBlockSeconds;
     return scheduleBlock(block, machine, opts).sched.order;
+}
+
+/** Is this builder in the compare-against-all family (the one the
+ * F1/F2 window ladder applies to)? */
+bool
+n2Family(BuilderKind kind)
+{
+    return kind == BuilderKind::N2Forward ||
+           kind == BuilderKind::N2Backward ||
+           kind == BuilderKind::N2Landskov;
 }
 
 } // namespace
@@ -33,15 +59,69 @@ compileProgram(Program &prog, const MachineModel &machine,
     BackendResult result;
     result.blocks = blocks.size();
 
+    // Per-block containment (PR 3 semantics, threaded through the
+    // backend): a fault in one block's scheduling degrades that block
+    // to the order it arrived in; the rest of the program compiles
+    // normally.  A CancelledError out of the per-block budget counts
+    // as a budget outcome and degrades even with containment off.
+    auto containedOrder =
+        [&](const BlockView &block, std::size_t b, AlgorithmKind algo,
+            const char *stage) -> std::vector<std::uint32_t> {
+        BuilderKind builder = opts.builder;
+        if (opts.maxBlockInsts > 0 && n2Family(builder) &&
+            block.size() >
+                static_cast<std::size_t>(opts.maxBlockInsts)) {
+            builder = BuilderKind::TableForward;
+            ++result.builderFallbacks;
+            obs::ev::robustBuilderFallbacks.inc();
+            std::ostringstream os;
+            os << block.size() << " insts over maxBlockInsts "
+               << opts.maxBlockInsts
+               << ": n**2 builder fell back to table building";
+            result.blockIssues.push_back(ProgramResult::BlockIssue{
+                b, "fallback", os.str(), false});
+        }
+        try {
+            return scheduleOrder(block, machine, algo, opts, builder);
+        } catch (const CancelledError &e) {
+            obs::ev::robustBudgetExceeded.inc();
+            obs::ev::cancelBlocksCancelled.inc();
+            obs::ev::robustBlocksDegraded.inc();
+            ++result.blocksDegraded;
+            result.blockIssues.push_back(ProgramResult::BlockIssue{
+                b, "budget", e.what(), true});
+            return identityOrder(block.size());
+        } catch (const std::exception &e) {
+            if (!opts.containFaults)
+                throw;
+            obs::ev::robustBlocksDegraded.inc();
+            ++result.blocksDegraded;
+            result.blockIssues.push_back(ProgramResult::BlockIssue{
+                b, stage, e.what(), true});
+            return identityOrder(block.size());
+        }
+    };
+
     // Phase 1: emit the rewritten program block by block.
-    for (const BasicBlock &bb : blocks) {
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const BasicBlock &bb = blocks[b];
         BlockView block(prog, bb);
-        std::vector<std::uint32_t> order = scheduleOrder(
-            block, machine, opts.prepass, opts.builder, opts.memPolicy);
+        std::vector<std::uint32_t> order =
+            containedOrder(block, b, opts.prepass, "sched");
 
         std::optional<AllocationResult> allocated;
-        if (opts.allocate)
-            allocated = allocateBlock(block, order, opts.allocator);
+        if (opts.allocate) {
+            try {
+                allocated = allocateBlock(block, order, opts.allocator);
+            } catch (const std::exception &e) {
+                if (!opts.containFaults)
+                    throw;
+                // Allocation fault: pass the block through scheduled
+                // but unallocated (the pre-existing infeasible path).
+                result.blockIssues.push_back(ProgramResult::BlockIssue{
+                    b, "alloc", e.what(), false});
+            }
+        }
 
         result.program.addLabel("B" + std::to_string(bb.begin));
         if (allocated) {
@@ -63,22 +143,18 @@ compileProgram(Program &prog, const MachineModel &machine,
     // emitting the final program and measuring it.
     auto out_blocks = partitionBlocks(result.program);
     Program final_prog;
-    for (const BasicBlock &bb : out_blocks) {
+    for (std::size_t b = 0; b < out_blocks.size(); ++b) {
+        const BasicBlock &bb = out_blocks[b];
         BlockView block(result.program, bb);
         BuildOptions bopts;
         bopts.memPolicy = opts.memPolicy;
         Dag dag = TableForwardBuilder().build(block, machine, bopts);
 
         std::vector<std::uint32_t> order;
-        if (opts.postpass) {
-            PipelineOptions popts;
-            popts.algorithm = *opts.postpass;
-            popts.builder = opts.builder;
-            popts.build.memPolicy = opts.memPolicy;
-            order = scheduleBlock(block, machine, popts).sched.order;
-        } else {
+        if (opts.postpass)
+            order = containedOrder(block, b, *opts.postpass, "postpass");
+        else
             order = originalOrderSchedule(dag).order;
-        }
         result.cycles += simulateSchedule(dag, order, machine).cycles;
 
         final_prog.addLabel("B" + std::to_string(bb.begin));

@@ -44,6 +44,29 @@ struct BackendOptions
     /** DAG construction / memory model for both scheduling passes. */
     BuilderKind builder = BuilderKind::TableForward;
     AliasPolicy memPolicy = AliasPolicy::BaseOffset;
+
+    // --- Robustness (docs/ROBUSTNESS.md), mirroring PipelineOptions -
+
+    /** Re-check every prepass/postpass schedule against its DAG. */
+    bool verify = true;
+
+    /**
+     * Per-block fault containment: any exception out of one block's
+     * prepass scheduling, allocation, or postpass reschedule —
+     * including a verifier rejection or a budget cancellation —
+     * degrades that block to its original (respectively allocated)
+     * instruction order instead of failing the whole program.  The
+     * incident lands in BackendResult::blockIssues.  Off = fail fast.
+     */
+    bool containFaults = true;
+
+    /** n**2 -> table builder fallback threshold (the paper's F1/F2
+     * ladder); 0 disables, no effect on table builders. */
+    int maxBlockInsts = 0;
+
+    /** Per-block wall-clock budget in seconds, enforced mid-loop via
+     * a cancellation token (support/cancellation.hh); 0 disables. */
+    double maxBlockSeconds = 0.0;
 };
 
 /** Backend outcome. */
@@ -57,6 +80,21 @@ struct BackendResult
 
     /** Simulated cycles of the rewritten program (sum over blocks). */
     long long cycles = 0;
+
+    // --- Robustness outcomes ----------------------------------------
+
+    /** Blocks that kept their incoming order after a contained fault
+     * (prepass and postpass counted separately). */
+    std::size_t blocksDegraded = 0;
+
+    /** Oversized blocks switched from an n**2 builder to table
+     * building — the block still scheduled normally. */
+    std::size_t builderFallbacks = 0;
+
+    /** Per-block incidents, in processing order.  Stages: "sched" /
+     * "budget" / "alloc" (phase 1), "postpass" (phase 2),
+     * "fallback". */
+    std::vector<ProgramResult::BlockIssue> blockIssues;
 };
 
 /**

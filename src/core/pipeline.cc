@@ -1,6 +1,7 @@
 #include "core/pipeline.hh"
 
 #include <numeric>
+#include <optional>
 #include <sstream>
 
 #include "dag/table_forward.hh"
@@ -10,6 +11,7 @@
 #include "obs/trace.hh"
 #include "sched/list_scheduler.hh"
 #include "sched/verifier.hh"
+#include "support/cancellation.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
 #include "support/worker_context.hh"
@@ -188,6 +190,8 @@ runPipeline(Program &prog, const MachineModel &machine,
                     BuildOptions gt_opts = opts.build;
                     gt_opts.preventTransitive = false;
                     gt_opts.maintainReachMaps = false;
+                    // Never under the (possibly fired) block token.
+                    gt_opts.cancel = nullptr;
                     Dag gt = TableForwardBuilder().build(block, machine,
                                                          gt_opts);
                     out.cyclesOriginal =
@@ -215,6 +219,20 @@ runPipeline(Program &prog, const MachineModel &machine,
             }
         };
 
+        // Cooperative mid-loop budget enforcement: one token per
+        // block, armed with the whole-block budget and polled inside
+        // the builder and scheduler loops.  The phase-boundary
+        // checkBudget() calls remain for the phases that do not poll
+        // (heuristics, verification).
+        std::optional<CancellationToken> token;
+        if (opts.maxBlockSeconds > 0.0) {
+            token.emplace(opts.maxBlockSeconds);
+            std::ostringstream os;
+            os << "block exceeded " << opts.maxBlockSeconds
+               << "s budget (cancelled mid-loop)";
+            token->setReason(os.str());
+        }
+
         const char *stage = "build";
         try {
             DagBuilder *use_builder = builder.get();
@@ -226,8 +244,12 @@ runPipeline(Program &prog, const MachineModel &machine,
                 obs::ev::robustBuilderFallbacks.inc();
             }
 
+            BuildOptions build_opts = opts.build;
+            if (token)
+                build_opts.cancel = &*token;
+
             obs::ScopedPhase build_phase("build");
-            Dag dag = use_builder->build(block, machine, opts.build);
+            Dag dag = use_builder->build(block, machine, build_opts);
             out.buildSeconds = build_phase.stop();
             tracer.phaseDone("build", build_phase.seconds());
             spent += build_phase.seconds();
@@ -243,7 +265,8 @@ runPipeline(Program &prog, const MachineModel &machine,
 
             stage = "sched";
             obs::ScopedPhase sched_phase("sched");
-            out.sched = scheduler.run(dag);
+            out.sched =
+                scheduler.run(dag, nullptr, token ? &*token : nullptr);
             out.schedSeconds = sched_phase.stop();
             tracer.phaseDone("sched", sched_phase.seconds());
 
@@ -308,6 +331,14 @@ runPipeline(Program &prog, const MachineModel &machine,
             }
         } catch (const BlockAbort &a) {
             degrade(a.stage, a.reason);
+        } catch (const CancelledError &e) {
+            // Mid-loop budget cancellation is the budget rung of the
+            // ladder, honored even under --strict (same as the
+            // phase-boundary BlockAbort above): a block that asked
+            // for a bounded run and got one is not a fault.
+            obs::ev::robustBudgetExceeded.inc();
+            obs::ev::cancelBlocksCancelled.inc();
+            degrade("budget", e.what());
         } catch (const std::exception &e) {
             if (!opts.containFaults)
                 throw;
@@ -418,8 +449,23 @@ scheduleBlock(const BlockView &block, const MachineModel &machine,
     AlgorithmSpec spec = algorithmSpec(opts.algorithm);
     std::unique_ptr<DagBuilder> builder = makeBuilder(opts.builder);
 
+    // Same mid-loop budget enforcement as runPipeline, but the
+    // CancelledError propagates: single-block callers own their
+    // fallback policy just as they own verifier rejections.
+    std::optional<CancellationToken> token;
+    if (opts.maxBlockSeconds > 0.0) {
+        token.emplace(opts.maxBlockSeconds);
+        std::ostringstream os;
+        os << "block exceeded " << opts.maxBlockSeconds
+           << "s budget (cancelled mid-loop)";
+        token->setReason(os.str());
+    }
+    BuildOptions build_opts = opts.build;
+    if (token)
+        build_opts.cancel = &*token;
+
     obs::ScopedPhase build_phase("build");
-    Dag dag = builder->build(block, machine, opts.build);
+    Dag dag = builder->build(block, machine, build_opts);
     build_phase.stop();
 
     obs::ScopedPhase heur_phase("heur");
@@ -428,7 +474,8 @@ scheduleBlock(const BlockView &block, const MachineModel &machine,
 
     ListScheduler scheduler(spec.config, machine);
     obs::ScopedPhase sched_phase("sched");
-    Schedule sched = scheduler.run(dag);
+    Schedule sched =
+        scheduler.run(dag, nullptr, token ? &*token : nullptr);
     sched_phase.stop();
 
     if (opts.verify) {

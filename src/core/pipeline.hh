@@ -119,11 +119,15 @@ struct PipelineOptions
     int maxBlockInsts = 0;
 
     /**
-     * Per-block wall-clock budget in seconds, checked at phase
-     * boundaries (a phase in flight is never preempted).  Overrun
-     * degrades the block to original order.  0 disables.  Note that
-     * budget outcomes depend on machine load, so runs using this knob
-     * trade the byte-identical determinism guarantee for liveness.
+     * Per-block wall-clock budget in seconds.  A CancellationToken
+     * armed with this budget is polled inside the DAG-builder and
+     * list-scheduler loops (support/cancellation.hh), so even a
+     * single pathological n**2 build is cancelled mid-loop; phases
+     * that do not poll (heuristics, verification) are still checked
+     * at their boundaries.  Overrun degrades the block to original
+     * order.  0 disables.  Note that budget outcomes depend on
+     * machine load, so runs using this knob trade the byte-identical
+     * determinism guarantee for liveness.
      */
     double maxBlockSeconds = 0.0;
 };
@@ -178,6 +182,13 @@ struct ProgramResult
     std::size_t builderFallbacks = 0;   ///< n**2 -> table switches
     std::size_t verifierRejections = 0; ///< schedules the verifier refused
     std::vector<BlockIssue> blockIssues; ///< block order, possibly empty
+
+    /** Front-end diagnostic counts for the input that produced this
+     * run.  The pipeline itself never parses; callers that own the
+     * parse (the CLI) fill these so `--stats-json` carries the whole
+     * robustness picture, warnings included. */
+    std::size_t parseErrors = 0;
+    std::size_t parseWarnings = 0;
 };
 
 /**
@@ -200,6 +211,8 @@ struct BlockScheduleResult
  * is set (the default) the schedule is re-checked against the DAG and
  * a rejection throws PanicError — single-block callers own their
  * fallback policy (the CLI degrades to original order per block).
+ * Likewise PipelineOptions::maxBlockSeconds arms a per-call
+ * cancellation token whose CancelledError propagates to the caller.
  */
 BlockScheduleResult scheduleBlock(const BlockView &block,
                                   const MachineModel &machine,

@@ -24,6 +24,7 @@
 #include "dag/dag.hh"
 #include "dag/memdep.hh"
 #include "machine/machine_model.hh"
+#include "support/cancellation.hh"
 
 namespace sched91
 {
@@ -53,6 +54,16 @@ struct BuildOptions
      * scheduled" (Section 2).
      */
     bool anchorBranch = true;
+
+    /**
+     * Cooperative cancellation: when non-null, the builders poll this
+     * token inside their arc-insertion loops and abandon the build
+     * with CancelledError once it fires.  The pipeline arms one per
+     * block from --max-block-seconds so a pathological n**2 build is
+     * bounded mid-loop, not just at the next phase boundary.  The
+     * token must outlive the build() call; not owned.
+     */
+    const CancellationToken *cancel = nullptr;
 };
 
 /** Abstract DAG construction algorithm. */

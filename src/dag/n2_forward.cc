@@ -12,8 +12,11 @@ N2ForwardBuilder::addArcs(Dag &dag, const BlockView &block,
     std::uint32_t n = block.size();
     for (std::uint32_t j = 1; j < n; ++j) {
         dag.beginArcGroup(j);
-        for (std::uint32_t i = 0; i < j; ++i)
+        for (std::uint32_t i = 0; i < j; ++i) {
+            if (opts.cancel)
+                opts.cancel->poll();
             addPairwiseArcs(dag, i, j, machine, mem);
+        }
     }
 }
 
@@ -25,8 +28,11 @@ N2BackwardBuilder::addArcs(Dag &dag, const BlockView &block,
     MemDisambiguator mem(opts.memPolicy);
     for (std::uint32_t i = block.size(); i-- > 0;) {
         dag.beginArcGroup(i);
-        for (std::uint32_t j = i + 1; j < block.size(); ++j)
+        for (std::uint32_t j = i + 1; j < block.size(); ++j) {
+            if (opts.cancel)
+                opts.cancel->poll();
             addPairwiseArcs(dag, i, j, machine, mem);
+        }
     }
 }
 

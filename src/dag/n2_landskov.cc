@@ -21,8 +21,11 @@ N2LandskovBuilder::addArcs(Dag &dag, const BlockView &block,
         // Most recent first ("examines leaves first"): arcs through an
         // intermediate node are established before the older direct
         // dependence is examined, so the ancestor test prunes it.
-        for (std::uint32_t i = j; i-- > 0;)
+        for (std::uint32_t i = j; i-- > 0;) {
+            if (opts.cancel)
+                opts.cancel->poll();
             addPairwiseArcs(dag, i, j, machine, mem);
+        }
     }
 }
 

@@ -40,6 +40,8 @@ TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
     std::uint64_t probes = 0;
 
     for (std::uint32_t j = block.size(); j-- > 0;) {
+        if (opts.cancel)
+            opts.cancel->poll();
         const Instruction &inst = block.inst(j);
         dag.beginArcGroup(j);
 

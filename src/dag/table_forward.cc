@@ -41,6 +41,10 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
 
     std::uint32_t n = block.size();
     for (std::uint32_t j = 0; j < n; ++j) {
+        // One poll per instruction bounds the overrun to a single
+        // row's table work (the rows are O(ops + live mem exprs)).
+        if (opts.cancel)
+            opts.cancel->poll();
         const Instruction &inst = block.inst(j);
         dag.beginArcGroup(j);
 

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Standalone driver for the fuzz targets when the toolchain has no
+ * -fsanitize=fuzzer runtime (the stock GCC container).  Implements
+ * enough of the libFuzzer command line for tools/run_fuzz.sh to pass
+ * the same flags in both modes:
+ *
+ *   fuzz_target [options] [seed-file-or-dir ...]
+ *     -max_total_time=N   keep mutating the seed corpus for N seconds
+ *     -runs=N             at most N executions (default unbounded)
+ *     (other -flags are accepted and ignored)
+ *
+ * With no time budget it replays the seeds once and exits — the
+ * regression-replay mode CI uses for crash corpora.  Mutations are
+ * deterministic (seeded splitmix64), so a failure found by the driver
+ * reproduces by rerunning the same command.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t>
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+/** splitmix64; local so the driver has no library dependencies. */
+std::uint64_t
+nextRand(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** One byte-level mutation: flip, overwrite, insert, or erase. */
+void
+mutate(std::vector<std::uint8_t> &data, std::uint64_t &state)
+{
+    switch (nextRand(state) % 4) {
+    case 0:
+        if (!data.empty())
+            data[nextRand(state) % data.size()] ^=
+                static_cast<std::uint8_t>(1u << (nextRand(state) % 8));
+        break;
+    case 1:
+        if (!data.empty())
+            data[nextRand(state) % data.size()] =
+                static_cast<std::uint8_t>(nextRand(state));
+        break;
+    case 2:
+        data.insert(data.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            nextRand(state) % (data.size() + 1)),
+                    static_cast<std::uint8_t>(nextRand(state)));
+        break;
+    default:
+        if (!data.empty())
+            data.erase(data.begin() +
+                       static_cast<std::ptrdiff_t>(nextRand(state) %
+                                                   data.size()));
+        break;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    long max_seconds = 0;
+    long max_runs = -1;
+    std::vector<fs::path> seed_paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "-max_total_time=", 16) == 0)
+            max_seconds = std::atol(arg + 16);
+        else if (std::strncmp(arg, "-runs=", 6) == 0)
+            max_runs = std::atol(arg + 6);
+        else if (arg[0] == '-')
+            continue; // unknown libFuzzer flag: ignore
+        else
+            seed_paths.emplace_back(arg);
+    }
+
+    // Collect the seed corpus (files listed directly plus directory
+    // contents, sorted for determinism).
+    std::vector<std::vector<std::uint8_t>> corpus;
+    std::vector<fs::path> files;
+    for (const fs::path &p : seed_paths) {
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (const auto &entry : fs::directory_iterator(p, ec))
+                if (entry.is_regular_file())
+                    files.push_back(entry.path());
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(p);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path &f : files)
+        corpus.push_back(readFile(f));
+    if (corpus.empty())
+        corpus.push_back({}); // always at least the empty input
+
+    long runs = 0;
+    // Pass 1: replay every seed verbatim.
+    for (const auto &seed : corpus) {
+        LLVMFuzzerTestOneInput(seed.data(), seed.size());
+        ++runs;
+    }
+
+    // Pass 2: deterministic mutation loop under the time budget.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(max_seconds);
+    std::uint64_t state = 0x5eed'0000'cafe'f00dULL;
+    while (max_seconds > 0 &&
+           std::chrono::steady_clock::now() < deadline &&
+           (max_runs < 0 || runs < max_runs)) {
+        std::vector<std::uint8_t> input =
+            corpus[nextRand(state) % corpus.size()];
+        std::uint64_t stacked = 1 + nextRand(state) % 8;
+        for (std::uint64_t m = 0; m < stacked; ++m)
+            mutate(input, state);
+        LLVMFuzzerTestOneInput(input.data(), input.size());
+        ++runs;
+    }
+
+    std::printf("driver: %ld runs, %zu seed inputs, clean exit\n", runs,
+                corpus.size());
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * libFuzzer target: raw bytes -> lenient assembly parser.
+ *
+ * The property under test: the parser never crashes, never corrupts
+ * memory, and the only exception it is allowed to surface in lenient
+ * mode is the documented error-cap FatalError.  Seed with
+ * tests/corpus/malformed/.  Builds either with -fsanitize=fuzzer or
+ * against fuzz/driver_main.cc (see src/fuzz/CMakeLists.txt and
+ * docs/FUZZING.md).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "ir/parser.hh"
+#include "support/diagnostics.hh"
+#include "support/logging.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::string_view text(reinterpret_cast<const char *>(data), size);
+    sched91::DiagnosticEngine diags; // lenient, default error cap
+    try {
+        sched91::Program prog =
+            sched91::parseAssembly(text, diags, "<fuzz>");
+        (void)prog;
+    } catch (const sched91::FatalError &) {
+        // Error-cap overflow on garbage input: documented behaviour.
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * libFuzzer target: bytes -> generator parameters -> differential
+ * oracle.
+ *
+ * The fuzzer explores the *parameter space* of the random program
+ * generator rather than raw text (fuzz_parser covers that): every
+ * input maps to a syntactically plausible — possibly corrupted —
+ * program, which the oracle then pushes through all three DAG
+ * builders, both heuristic pass implementations, and every scheduling
+ * algorithm, asserting the differential properties of
+ * fuzz/differential.hh.  Any violation aborts, which libFuzzer (or
+ * the standalone driver) reports as a finding.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fuzz/differential.hh"
+#include "fuzz/program_gen.hh"
+#include "machine/machine_model.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace sched91;
+
+    fuzz::GenParams params = fuzz::paramsFromBytes(data, size);
+    // Keep a single iteration bounded: the oracle is O(blocks *
+    // size**3) in the worst case (closure comparison).
+    params.maxBlockSize = std::min(params.maxBlockSize, 48);
+    std::string source = fuzz::generateSource(params);
+
+    static const MachineModel machine;
+    fuzz::OracleReport report = fuzz::checkSource(source, machine);
+    if (!report.ok) {
+        std::fprintf(stderr,
+                     "sched91 differential oracle failure: %s\n"
+                     "--- generated program ---\n%s",
+                     report.failure.c_str(), source.c_str());
+        std::abort();
+    }
+    return 0;
+}

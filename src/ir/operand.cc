@@ -102,7 +102,9 @@ MemOperand::parse(std::string_view text, std::uint8_t width)
 
     for (std::string_view piece : pieces) {
         bool negative = false;
-        if (!piece.empty() && piece[0] == '-' && piece.size() > 1 &&
+        if (piece.empty())
+            return std::nullopt; // dangling operator: "[%g1 +]"
+        if (piece[0] == '-' && piece.size() > 1 &&
             !std::isdigit(static_cast<unsigned char>(piece[1]))) {
             return std::nullopt; // -%reg makes no sense
         }
@@ -122,6 +124,11 @@ MemOperand::parse(std::string_view text, std::uint8_t width)
             else
                 return std::nullopt;
             continue;
+        }
+        if (piece[0] == '%') {
+            // Register-like token that is not a known register (and
+            // not %lo(...)): "[%q5 + 4]" is a typo, not a symbol.
+            return std::nullopt;
         }
         if (auto v = parsePlainInt(piece)) {
             out.offset += negative ? -*v : *v;

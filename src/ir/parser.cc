@@ -1,5 +1,6 @@
 #include "ir/parser.hh"
 
+#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -108,13 +109,61 @@ requireReg(std::string_view tok, std::string_view raw)
     return r;
 }
 
+/** SPARC simm13: the signed 13-bit immediate field of ALU-style ops. */
+constexpr std::int64_t kSimm13Min = -4096;
+constexpr std::int64_t kSimm13Max = 4095;
+
+/**
+ * Parseable-but-suspicious findings on one line, handed back to the
+ * caller as Severity::Warning diagnostics.  Same shape as LineError
+ * but collected, not thrown.
+ */
+using LineWarnings = std::vector<LineError>;
+
+/**
+ * Warn when a *literal* immediate token exceeds the 13-bit signed
+ * field.  %hi()/%lo() relocations synthesize values by design and
+ * sethi's field is 22 bits wide, so only plain numeric tokens in
+ * simm13 positions qualify.
+ */
+void
+warnSimm13(LineWarnings *warnings, std::string_view tok,
+           std::string_view raw, std::int64_t value)
+{
+    if (!warnings || tok.empty() || tok[0] == '%')
+        return;
+    if (value < kSimm13Min || value > kSimm13Max) {
+        std::ostringstream os;
+        os << "immediate " << value
+           << " outside the signed 13-bit range [-4096, 4095]";
+        warnings->push_back(LineError{columnOf(raw, tok), os.str()});
+    }
+}
+
+/** Same check for the accumulated literal offset of a memory operand. */
+void
+warnMemOffset(LineWarnings *warnings, std::string_view tok,
+              std::string_view raw, const MemOperand &mem)
+{
+    if (!warnings)
+        return;
+    if (mem.offset < kSimm13Min || mem.offset > kSimm13Max) {
+        std::ostringstream os;
+        os << "memory offset " << mem.offset
+           << " outside the signed 13-bit range [-4096, 4095]";
+        warnings->push_back(LineError{columnOf(raw, tok), os.str()});
+    }
+}
+
 /**
  * Parse one non-empty, non-label, non-directive source line into an
  * Instruction.  Throws LineError on any malformed piece; the caller
- * owns recovery policy.
+ * owns recovery policy.  Suspicious-but-parseable findings are
+ * appended to @p warnings (when non-null) instead of thrown.
  */
 Instruction
-parseInstructionLine(std::string_view line, std::string_view raw)
+parseInstructionLine(std::string_view line, std::string_view raw,
+                     LineWarnings *warnings = nullptr)
 {
     // Split mnemonic from operand list.
     std::size_t sp = line.find_first_of(" \t");
@@ -151,10 +200,12 @@ parseInstructionLine(std::string_view line, std::string_view raw)
         Resource rs1 = requireReg(ops[0], raw);
         Resource rs2;
         std::int64_t imm = 0;
-        if (auto v = parseImmediate(ops[1]))
+        if (auto v = parseImmediate(ops[1])) {
             imm = *v;
-        else
+            warnSimm13(warnings, ops[1], raw, imm);
+        } else {
             rs2 = requireReg(ops[1], raw);
+        }
         Resource rd = requireReg(ops[2], raw);
         inst = makeInstruction(op, rs1, rs2, rd, std::nullopt, imm);
         break;
@@ -164,10 +215,12 @@ parseInstructionLine(std::string_view line, std::string_view raw)
         Resource rs1 = requireReg(ops[0], raw);
         Resource rs2;
         std::int64_t imm = 0;
-        if (auto v = parseImmediate(ops[1]))
+        if (auto v = parseImmediate(ops[1])) {
             imm = *v;
-        else
+            warnSimm13(warnings, ops[1], raw, imm);
+        } else {
             rs2 = requireReg(ops[1], raw);
+        }
         inst = makeInstruction(op, rs1, rs2, Resource(), std::nullopt,
                                imm);
         break;
@@ -176,10 +229,12 @@ parseInstructionLine(std::string_view line, std::string_view raw)
         need(2);
         Resource rs1;
         std::int64_t imm = 0;
-        if (auto v = parseImmediate(ops[0]))
+        if (auto v = parseImmediate(ops[0])) {
             imm = *v;
-        else
+            warnSimm13(warnings, ops[0], raw, imm);
+        } else {
             rs1 = requireReg(ops[0], raw);
+        }
         Resource rd = requireReg(ops[1], raw);
         inst = makeInstruction(op, rs1, Resource(), rd, std::nullopt,
                                imm);
@@ -204,6 +259,7 @@ parseInstructionLine(std::string_view line, std::string_view raw)
         if (!mem)
             lineError(columnOf(raw, ops[0]), "bad address '", ops[0],
                       "'");
+        warnMemOffset(warnings, ops[0], raw, *mem);
         inst = makeInstruction(real_op, Resource(), Resource(), rd,
                                std::move(mem));
         break;
@@ -216,6 +272,7 @@ parseInstructionLine(std::string_view line, std::string_view raw)
         if (!mem)
             lineError(columnOf(raw, ops[1]), "bad address '", ops[1],
                       "'");
+        warnMemOffset(warnings, ops[1], raw, *mem);
         inst = makeInstruction(real_op, rs, Resource(), Resource(),
                                std::move(mem));
         break;
@@ -305,6 +362,7 @@ parseAssembly(std::string_view text, DiagnosticEngine &diags,
 
     std::size_t pos = 0;
     int lineno = 0;
+    std::set<std::string, std::less<>> seen_labels;
     while (pos <= text.size()) {
         std::size_t nl = text.find('\n', pos);
         if (nl == std::string_view::npos)
@@ -319,7 +377,16 @@ parseAssembly(std::string_view text, DiagnosticEngine &diags,
 
         // Labels (possibly several on one conceptual position).
         if (line.back() == ':') {
-            prog.addLabel(std::string(line.substr(0, line.size() - 1)));
+            std::string label(line.substr(0, line.size() - 1));
+            if (!seen_labels.insert(label).second) {
+                // Parseable but almost certainly a mistake: a branch
+                // to this label is ambiguous.
+                obs::ev::robustParseWarnings.inc();
+                diags.warning(filename, lineno, 1,
+                              "label '" + label +
+                                  "' defined more than once");
+            }
+            prog.addLabel(std::move(label));
             continue;
         }
 
@@ -328,7 +395,12 @@ parseAssembly(std::string_view text, DiagnosticEngine &diags,
             continue;
 
         try {
-            prog.append(parseInstructionLine(line, raw));
+            LineWarnings warnings;
+            prog.append(parseInstructionLine(line, raw, &warnings));
+            for (const LineError &w : warnings) {
+                obs::ev::robustParseWarnings.inc();
+                diags.warning(filename, lineno, w.col, w.message);
+            }
         } catch (const LineError &e) {
             // Lenient recovery: drop this instruction, keep parsing.
             // (A strict engine throws out of report() instead.)

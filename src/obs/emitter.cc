@@ -107,7 +107,11 @@ programResultJson(const ProgramResult &result, const RunMeta &meta,
         .key("builder_fallbacks")
         .value(static_cast<std::uint64_t>(result.builderFallbacks))
         .key("verifier_rejections")
-        .value(static_cast<std::uint64_t>(result.verifierRejections));
+        .value(static_cast<std::uint64_t>(result.verifierRejections))
+        .key("parse_errors")
+        .value(static_cast<std::uint64_t>(result.parseErrors))
+        .key("parse_warnings")
+        .value(static_cast<std::uint64_t>(result.parseWarnings));
     w.key("block_issues").beginArray();
     for (const ProgramResult::BlockIssue &issue : result.blockIssues) {
         w.beginObject()

@@ -84,6 +84,11 @@ inline Counter schedDepUpdates{"sched.dep_updates"};
 /** Malformed assembly lines recovered from by the lenient parser. */
 inline Counter robustParseErrors{"robust.parse_errors"};
 
+/** Parseable-but-suspicious lines flagged with a Severity::Warning
+ * diagnostic (immediate outside the 13-bit signed range, doubly
+ * defined labels). */
+inline Counter robustParseWarnings{"robust.parse_warnings"};
+
 /** Blocks degraded to their original instruction order after a fault,
  * budget overrun, or verifier rejection. */
 inline Counter robustBlocksDegraded{"robust.blocks_degraded"};
@@ -104,6 +109,30 @@ inline Counter robustBudgetExceeded{"robust.block_budget_exceeded"};
  * first (only the first rethrows; the rest are counted here and in
  * the rethrown message). */
 inline Counter robustPoolSuppressed{"robust.pool_suppressed_errors"};
+
+// --- Cooperative cancellation (support/cancellation.hh) -------------
+
+/** Blocks whose build/sched phase was interrupted mid-loop by a
+ * cancellation token (subset of robust.block_budget_exceeded when the
+ * token came from --max-block-seconds). */
+inline Counter cancelBlocksCancelled{"cancel.blocks_cancelled"};
+
+// --- Adversarial harness (src/fuzz/) --------------------------------
+
+/** Programs synthesized by the fuzz generator. */
+inline Counter fuzzProgramsGenerated{"fuzz.programs_generated"};
+
+/** Source lines mutated by injected syntax corruption. */
+inline Counter fuzzCorruptedLines{"fuzz.corrupted_lines"};
+
+/** Differential-oracle runs (fuzz/differential.cc). */
+inline Counter fuzzOracleRuns{"fuzz.oracle_runs"};
+
+/** Oracle runs that found a divergence or verifier rejection. */
+inline Counter fuzzOracleFailures{"fuzz.oracle_failures"};
+
+/** Candidate reductions attempted by the minimizing reducer. */
+inline Counter fuzzReducerSteps{"fuzz.reducer_steps"};
 
 } // namespace sched91::obs::ev
 

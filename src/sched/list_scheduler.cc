@@ -218,14 +218,16 @@ ListScheduler::ListScheduler(SchedulerConfig config,
 }
 
 Schedule
-ListScheduler::run(Dag &dag, DecisionStats *stats) const
+ListScheduler::run(Dag &dag, DecisionStats *stats,
+                   const CancellationToken *cancel) const
 {
     // DecisionStats needs the explicit winnowing pass, so the heap
     // fast path only serves plain scheduling runs.
-    Schedule sched = (rankingStatic_ && !stats)
-                         ? runHeap(dag)
-                         : (config_.forward ? runForward(dag, stats)
-                                            : runBackward(dag, stats));
+    Schedule sched =
+        (rankingStatic_ && !stats)
+            ? runHeap(dag, cancel)
+            : (config_.forward ? runForward(dag, stats, cancel)
+                               : runBackward(dag, stats, cancel));
     if (config_.postpassFixup)
         applyPostpassFixup(dag, sched);
     fillTiming(dag, sched);
@@ -233,7 +235,7 @@ ListScheduler::run(Dag &dag, DecisionStats *stats) const
 }
 
 Schedule
-ListScheduler::runHeap(Dag &dag) const
+ListScheduler::runHeap(Dag &dag, const CancellationToken *cancel) const
 {
     initDynamicState(dag);
 
@@ -288,6 +290,8 @@ ListScheduler::runHeap(Dag &dag) const
     int time = 0;
 
     while (!ready.empty()) {
+        if (cancel)
+            cancel->poll();
         obs::ev::schedNodeVisits.inc();
         obs::ev::schedReadyListPeak.max(ready.size());
         std::uint32_t n = ready.pop();
@@ -324,7 +328,8 @@ ListScheduler::runHeap(Dag &dag) const
 }
 
 Schedule
-ListScheduler::runForward(Dag &dag, DecisionStats *stats) const
+ListScheduler::runForward(Dag &dag, DecisionStats *stats,
+                          const CancellationToken *cancel) const
 {
     initDynamicState(dag);
 
@@ -346,6 +351,8 @@ ListScheduler::runForward(Dag &dag, DecisionStats *stats) const
     int time = 0;
 
     while (!candidates.empty()) {
+        if (cancel)
+            cancel->poll();
         obs::ev::schedNodeVisits.inc();
         obs::ev::schedReadyListPeak.max(candidates.size());
         ctx.time = time;
@@ -378,7 +385,8 @@ ListScheduler::runForward(Dag &dag, DecisionStats *stats) const
 }
 
 Schedule
-ListScheduler::runBackward(Dag &dag, DecisionStats *stats) const
+ListScheduler::runBackward(Dag &dag, DecisionStats *stats,
+                           const CancellationToken *cancel) const
 {
     initDynamicState(dag);
 
@@ -397,6 +405,8 @@ ListScheduler::runBackward(Dag &dag, DecisionStats *stats) const
     sched.order.reserve(dag.size());
 
     while (!candidates.empty()) {
+        if (cancel)
+            cancel->poll();
         obs::ev::schedNodeVisits.inc();
         obs::ev::schedReadyListPeak.max(candidates.size());
         std::size_t best =

@@ -29,6 +29,7 @@
 #include "heuristics/heuristic.hh"
 #include "machine/machine_model.hh"
 #include "sched/schedule.hh"
+#include "support/cancellation.hh"
 
 namespace sched91
 {
@@ -118,16 +119,24 @@ class ListScheduler
      * produced schedules are identical to the scan's.  Rankings with
      * dynamic ('v') heuristics, whose values change as nodes issue,
      * keep the scan.
+     *
+     * When @p cancel is non-null the main scheduling loop polls it
+     * once per extracted node and abandons the pass with
+     * CancelledError once it fires (cooperative budget enforcement;
+     * see support/cancellation.hh).
      */
-    Schedule run(Dag &dag, DecisionStats *stats = nullptr) const;
+    Schedule run(Dag &dag, DecisionStats *stats = nullptr,
+                 const CancellationToken *cancel = nullptr) const;
 
     /** Whether this configuration's ranking qualifies for the heap. */
     bool rankingStatic() const { return rankingStatic_; }
 
   private:
-    Schedule runForward(Dag &dag, DecisionStats *stats) const;
-    Schedule runBackward(Dag &dag, DecisionStats *stats) const;
-    Schedule runHeap(Dag &dag) const;
+    Schedule runForward(Dag &dag, DecisionStats *stats,
+                        const CancellationToken *cancel) const;
+    Schedule runBackward(Dag &dag, DecisionStats *stats,
+                         const CancellationToken *cancel) const;
+    Schedule runHeap(Dag &dag, const CancellationToken *cancel) const;
 
     SchedulerConfig config_;
     const MachineModel &machine_;

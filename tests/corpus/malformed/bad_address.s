@@ -9,5 +9,7 @@ addr:
 	ld	[], %g3		! empty address
 	ld	[%g1 +], %g3	! dangling operator
 	ld	[%q5 + 4], %g3	! bad base register
+	ld	[%g1 + + 4], %g3	! doubled operator
+	ld	[%x9], %g3	! register-like token, no %x bank
 	ld	[%g1 + 12], %g3
 	nop

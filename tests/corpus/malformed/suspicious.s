@@ -1,0 +1,14 @@
+! Suspicious but well-formed: immediates outside the signed 13-bit
+! field and doubly defined labels are warnings, not errors — every
+! instruction here survives a lenient *and* a strict parse.
+.text
+top:
+	add	%g1, 5000, %g2		! simm13 overflow: warning
+	mov	-4097, %g3		! simm13 underflow: warning
+	cmp	%g2, 123456		! simm13 overflow: warning
+	ld	[%g1 + 8192], %g4	! offset overflow: warning
+	st	%g4, [%g1 + 16]
+	sethi	%hi(buf), %g5		! 22-bit field: no warning
+	add	%g1, 4095, %g6		! boundary value: no warning
+top:
+	nop

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Random program generator tests (fuzz/program_gen.hh): determinism,
+ * parameter clamping, and parseability of the clean output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "fuzz/program_gen.hh"
+#include "ir/basic_block.hh"
+#include "ir/parser.hh"
+#include "support/diagnostics.hh"
+
+namespace sched91
+{
+namespace
+{
+
+TEST(ProgramGen, SameSeedIsByteIdentical)
+{
+    fuzz::GenParams p;
+    p.seed = 0xfeedULL;
+    p.numBlocks = 4;
+    p.corruption = 0.2;
+    EXPECT_EQ(fuzz::generateSource(p), fuzz::generateSource(p));
+}
+
+TEST(ProgramGen, DifferentSeedsDiffer)
+{
+    fuzz::GenParams a, b;
+    a.seed = 1;
+    b.seed = 2;
+    EXPECT_NE(fuzz::generateSource(a), fuzz::generateSource(b));
+}
+
+TEST(ProgramGen, SanitizeClampsEveryKnob)
+{
+    fuzz::GenParams p;
+    p.numBlocks = -5;
+    p.maxBlockSize = 100000;
+    p.fpMix = 7.0;
+    p.memMix = -1.0;
+    p.storeBias = 2.0;
+    p.branchProb = -0.5;
+    p.intRegPool = 0;
+    p.fpRegPool = 999;
+    p.memExprPool = -3;
+    p.symbolMix = 1e9;
+    p.bigImmMix = -2.0;
+    p.corruption = 3.0;
+    fuzz::GenParams s = fuzz::sanitizeParams(p);
+    EXPECT_EQ(s.numBlocks, 1);
+    EXPECT_EQ(s.maxBlockSize, 256);
+    EXPECT_EQ(s.fpMix, 1.0);
+    EXPECT_EQ(s.memMix, 0.0);
+    EXPECT_EQ(s.storeBias, 1.0);
+    EXPECT_EQ(s.branchProb, 0.0);
+    EXPECT_EQ(s.intRegPool, 1);
+    EXPECT_EQ(s.memExprPool, 1);
+    EXPECT_EQ(s.symbolMix, 1.0);
+    EXPECT_EQ(s.bigImmMix, 0.0);
+    EXPECT_EQ(s.corruption, 1.0);
+}
+
+TEST(ProgramGen, UncorruptedOutputParsesClean)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        fuzz::GenParams p;
+        p.seed = seed;
+        p.numBlocks = 3;
+        p.corruption = 0.0;
+        p.bigImmMix = 0.0;
+        std::string src = fuzz::generateSource(p);
+        DiagnosticEngine diags;
+        Program prog = parseAssembly(src, diags, "<gen>");
+        EXPECT_EQ(diags.errorCount(), 0u)
+            << "seed " << seed << ":\n"
+            << diags.render() << src;
+        EXPECT_GT(prog.size(), 0u);
+    }
+}
+
+TEST(ProgramGen, CorruptedOutputStaysRecoverable)
+{
+    // Corruption produces diagnostics, never a lenient-parse throw.
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        fuzz::GenParams p;
+        p.seed = seed;
+        p.numBlocks = 3;
+        p.corruption = 0.5;
+        std::string src = fuzz::generateSource(p);
+        DiagnosticEngine::Options dopts;
+        dopts.maxErrors = 0;
+        DiagnosticEngine diags(dopts);
+        EXPECT_NO_THROW(parseAssembly(src, diags, "<gen>"))
+            << "seed " << seed;
+    }
+}
+
+TEST(ProgramGen, BigImmMixTriggersWarnings)
+{
+    fuzz::GenParams p;
+    p.seed = 7;
+    p.numBlocks = 4;
+    p.maxBlockSize = 64;
+    p.memMix = 0.0;
+    p.fpMix = 0.0;
+    p.bigImmMix = 1.0;
+    std::string src = fuzz::generateSource(p);
+    DiagnosticEngine diags;
+    parseAssembly(src, diags, "<gen>");
+    EXPECT_EQ(diags.errorCount(), 0u) << diags.render();
+    EXPECT_GT(diags.warningCount(), 0u) << src;
+}
+
+TEST(ProgramGen, ParamsFromBytesIsDeterministicAndClamped)
+{
+    std::array<std::uint8_t, 24> bytes{};
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        bytes[i] = static_cast<std::uint8_t>(0xa0 + 5 * i);
+
+    fuzz::GenParams a = fuzz::paramsFromBytes(bytes.data(), bytes.size());
+    fuzz::GenParams b = fuzz::paramsFromBytes(bytes.data(), bytes.size());
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(fuzz::generateSource(a), fuzz::generateSource(b));
+
+    EXPECT_GE(a.numBlocks, 1);
+    EXPECT_LE(a.numBlocks, 16);
+    EXPECT_GE(a.maxBlockSize, 1);
+    EXPECT_LE(a.maxBlockSize, 256);
+    EXPECT_GE(a.corruption, 0.0);
+    EXPECT_LE(a.corruption, 1.0);
+
+    // Short and empty inputs are fine too.
+    EXPECT_NO_THROW(fuzz::paramsFromBytes(nullptr, 0));
+    EXPECT_NO_THROW(fuzz::paramsFromBytes(bytes.data(), 3));
+}
+
+} // namespace
+} // namespace sched91

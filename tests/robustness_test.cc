@@ -23,6 +23,8 @@
 #include "ir/parser.hh"
 #include "machine/presets.hh"
 #include "obs/counters.hh"
+#include "obs/emitter.hh"
+#include "sched/delay_slot.hh"
 #include "sched/registry.hh"
 #include "sched/reservation.hh"
 #include "sched/verifier.hh"
@@ -63,8 +65,9 @@ struct CorpusCase
 
 const CorpusCase kCorpus[] = {
     {"bad_mnemonic.s", 4, 5},      {"truncated_operands.s", 5, 5},
-    {"garbage.s", 10, 1},          {"register_typos.s", 4, 6},
-    {"bad_address.s", 3, 6},       {"oversized_block.s", 0, 601},
+    {"garbage.s", 10, 1},          {"register_typos.s", 5, 5},
+    {"bad_address.s", 7, 4},       {"oversized_block.s", 0, 601},
+    {"suspicious.s", 0, 8},
 };
 
 // --- Diagnostics engine --------------------------------------------
@@ -480,6 +483,153 @@ TEST(Pipeline, DegradationIsDeterministicAcrossThreadCounts)
     ASSERT_EQ(one.size(), four.size());
     for (std::size_t b = 0; b < one.size(); ++b)
         EXPECT_EQ(one[b].order, four[b].order) << "block " << b;
+}
+
+// --- Parser warning channel ----------------------------------------
+
+TEST(ParserWarnings, OutOfRangeImmediateWarnsButParses)
+{
+    DiagnosticEngine diags;
+    Program prog =
+        parseAssembly("add %g1, 5000, %g2\n", diags, "imm.s");
+    EXPECT_EQ(diags.errorCount(), 0u);
+    ASSERT_EQ(diags.warningCount(), 1u);
+    EXPECT_NE(diags.render().find("13-bit"), std::string::npos);
+    EXPECT_EQ(prog.size(), 1u); // the instruction survives
+}
+
+TEST(ParserWarnings, OutOfRangeMemoryOffsetWarns)
+{
+    DiagnosticEngine diags;
+    parseAssembly("ld [%g1 + 8192], %g2\n", diags, "mem.s");
+    EXPECT_EQ(diags.errorCount(), 0u);
+    EXPECT_EQ(diags.warningCount(), 1u);
+    EXPECT_NE(diags.render().find("memory offset"), std::string::npos);
+}
+
+TEST(ParserWarnings, BoundaryImmediatesAndSethiAreClean)
+{
+    DiagnosticEngine diags;
+    parseAssembly("add %g1, 4095, %g2\n"
+                  "add %g1, -4096, %g3\n"
+                  "sethi %hi(buf), %g4\n", // 22-bit field, not simm13
+                  diags, "edge.s");
+    EXPECT_EQ(diags.errorCount(), 0u);
+    EXPECT_EQ(diags.warningCount(), 0u) << diags.render();
+}
+
+TEST(ParserWarnings, DoublyDefinedLabelWarns)
+{
+    DiagnosticEngine diags;
+    Program prog = parseAssembly("top:\n"
+                                 "    nop\n"
+                                 "top:\n"
+                                 "    nop\n",
+                                 diags, "dup.s");
+    EXPECT_EQ(diags.errorCount(), 0u);
+    ASSERT_EQ(diags.warningCount(), 1u);
+    EXPECT_NE(diags.render().find("defined more than once"),
+              std::string::npos);
+    EXPECT_EQ(prog.size(), 2u);
+}
+
+TEST(ParserWarnings, StrictModeDoesNotThrowOnWarnings)
+{
+    DiagnosticEngine::Options dopts;
+    dopts.strict = true;
+    DiagnosticEngine diags(dopts);
+    Program prog;
+    EXPECT_NO_THROW(prog = parseAssembly("add %g1, 99999, %g2\n",
+                                         diags, "warn.s"));
+    EXPECT_EQ(diags.warningCount(), 1u);
+    EXPECT_EQ(prog.size(), 1u);
+}
+
+TEST(ParserWarnings, SurfaceInStatsJson)
+{
+    ProgramResult r;
+    r.parseErrors = 1;
+    r.parseWarnings = 5;
+    obs::RunMeta meta;
+    std::string json =
+        obs::programResultJson(r, meta, obs::CounterSet{});
+    EXPECT_NE(json.find("\"parse_errors\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"parse_warnings\":5"), std::string::npos);
+}
+
+// --- Delay-slot schedules through the verifier ---------------------
+
+struct BlockScheduleFixture
+{
+    Program prog;
+    std::vector<BasicBlock> blocks;
+};
+
+/** A block whose delay slot fills: independent add, cmp feeding the
+ * block-ending branch. */
+BlockScheduleFixture
+delaySlotFixture()
+{
+    BlockScheduleFixture fx;
+    fx.prog = parseAssembly("ld [%o0], %g1\n"
+                            "add %g2, %g3, %g4\n"
+                            "cmp %g1, 0\n"
+                            "bne out\n");
+    fx.blocks = partitionBlocks(fx.prog);
+    return fx;
+}
+
+TEST(VerifierDelaySlot, AcceptsFilledScheduleInDelaySlotMode)
+{
+    BlockScheduleFixture fx = delaySlotFixture();
+    MachineModel machine = sparcstation2();
+    Dag dag = TableForwardBuilder().build(
+        BlockView(fx.prog, fx.blocks[0]), machine, BuildOptions{});
+    Schedule sched = originalOrderSchedule(dag);
+    ASSERT_TRUE(fillBranchDelaySlot(dag, sched).filled);
+
+    // Default mode: the filler behind the branch is a violation.
+    VerifyResult strict = verifySchedule(dag, sched, machine);
+    EXPECT_FALSE(strict.ok());
+
+    // Delay-slot mode: the same order is legal.
+    VerifyOptions vopts;
+    vopts.allowDelaySlot = true;
+    VerifyResult relaxed = verifySchedule(dag, sched, machine, vopts);
+    EXPECT_TRUE(relaxed.ok()) << relaxed.summary();
+}
+
+TEST(VerifierDelaySlot, RejectsDataViolationEvenInDelaySlotMode)
+{
+    BlockScheduleFixture fx = delaySlotFixture();
+    MachineModel machine = sparcstation2();
+    Dag dag = TableForwardBuilder().build(
+        BlockView(fx.prog, fx.blocks[0]), machine, BuildOptions{});
+    Schedule sched = originalOrderSchedule(dag);
+    ASSERT_TRUE(fillBranchDelaySlot(dag, sched).filled);
+
+    // Corrupt the filled order: put the cmp (which feeds the branch
+    // through a data arc) into the slot instead.  allowDelaySlot only
+    // relaxes the advisory control anchor, never data dependence.
+    std::swap(sched.order[sched.order.size() - 1],
+              sched.order[sched.order.size() - 3]);
+    sched.issueCycle.clear(); // orders only, no timing claim
+    VerifyOptions vopts;
+    vopts.allowDelaySlot = true;
+    EXPECT_FALSE(verifySchedule(dag, sched, machine, vopts).ok());
+}
+
+TEST(VerifierDelaySlot, UnfilledScheduleStillVerifiesInBothModes)
+{
+    BlockScheduleFixture fx = delaySlotFixture();
+    MachineModel machine = sparcstation2();
+    Dag dag = TableForwardBuilder().build(
+        BlockView(fx.prog, fx.blocks[0]), machine, BuildOptions{});
+    Schedule sched = originalOrderSchedule(dag);
+    EXPECT_TRUE(verifySchedule(dag, sched, machine).ok());
+    VerifyOptions vopts;
+    vopts.allowDelaySlot = true;
+    EXPECT_TRUE(verifySchedule(dag, sched, machine, vopts).ok());
 }
 
 } // namespace

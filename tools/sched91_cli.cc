@@ -381,7 +381,8 @@ class ObsSession
 };
 
 Program
-loadInput(const CliOptions &opts)
+loadInput(const CliOptions &opts, std::size_t *parseErrors = nullptr,
+          std::size_t *parseWarnings = nullptr)
 {
     if (!opts.kernel.empty())
         return kernelProgram(opts.kernel);
@@ -408,6 +409,10 @@ loadInput(const CliOptions &opts)
                      "scheduling the rest\n",
                      diags.errorCount(),
                      diags.errorCount() == 1 ? "" : "s");
+    if (parseErrors)
+        *parseErrors = diags.errorCount();
+    if (parseWarnings)
+        *parseWarnings = diags.warningCount();
     stampMemGenerations(prog);
     return prog;
 }
@@ -431,7 +436,8 @@ int
 cmdSchedule(const CliOptions &opts)
 {
     ObsSession session(opts);
-    Program prog = loadInput(opts);
+    std::size_t parse_errors = 0, parse_warnings = 0;
+    Program prog = loadInput(opts, &parse_errors, &parse_warnings);
     MachineModel machine = presetByName(opts.machineName);
     PartitionOptions popts;
     popts.window = opts.window;
@@ -448,6 +454,8 @@ cmdSchedule(const CliOptions &opts)
     ProgramResult agg;
     agg.numBlocks = blocks.size();
     agg.numInsts = prog.size();
+    agg.parseErrors = parse_errors;
+    agg.parseWarnings = parse_warnings;
 
     long long before = 0, after = 0;
     std::printf("! scheduled by sched91 (%s, %s)\n",
@@ -607,6 +615,10 @@ cmdCompile(const CliOptions &opts)
     bopts.prepass = opts.algorithm;
     bopts.builder = opts.builder;
     bopts.memPolicy = opts.policy;
+    bopts.verify = opts.verify;
+    bopts.containFaults = !opts.strict;
+    bopts.maxBlockInsts = opts.maxBlockInsts;
+    bopts.maxBlockSeconds = opts.maxBlockSeconds;
     BackendResult result = compileProgram(prog, machine, bopts);
     session.finishCountersOnly();
     std::fputs(result.program.toString().c_str(), stdout);
@@ -615,6 +627,16 @@ cmdCompile(const CliOptions &opts)
                  "reloads, %lld cycles\n",
                  result.blocks, result.allocatedBlocks,
                  result.spillStores, result.spillLoads, result.cycles);
+    if (result.blocksDegraded || result.builderFallbacks)
+        std::fprintf(stderr,
+                     "! robustness: %zu degraded, %zu builder "
+                     "fallbacks\n",
+                     result.blocksDegraded, result.builderFallbacks);
+    for (const ProgramResult::BlockIssue &issue : result.blockIssues)
+        std::fprintf(stderr, "!   block %zu [%s]%s: %s\n", issue.block,
+                     issue.stage.c_str(),
+                     issue.degraded ? " degraded" : "",
+                     issue.reason.c_str());
     return 0;
 }
 
