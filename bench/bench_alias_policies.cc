@@ -24,6 +24,7 @@ main()
 {
     banner("Memory disambiguation ladder (paper Section 2)");
 
+    BenchReporter rep("alias-policies");
     MachineModel machine = sparcstation2();
     const AliasPolicy policies[] = {
         AliasPolicy::SerializeAll,
@@ -50,7 +51,10 @@ main()
             opts.algorithm = AlgorithmKind::Krishnamurthy;
             opts.build.memPolicy = policy;
             opts.evaluate = true;
-            ProgramResult r = timedPipeline(w, machine, opts, 3);
+            ProgramResult r = rep.timed(
+                w, machine, opts, 3,
+                w.display + "/" +
+                    std::string(aliasPolicyName(policy)));
 
             double gain =
                 r.cyclesOriginal

@@ -44,6 +44,7 @@ main()
     banner("Heuristic performance vs block attributes "
            "(paper future work)");
 
+    BenchReporter rep("block-attributes");
     MachineModel machine = sparcstation2();
     const int sizes[] = {8, 16, 32, 64, 128, 256};
     const double fps[] = {0.0, 0.3, 0.7};
@@ -97,15 +98,28 @@ main()
                 }
             }
 
+            BenchRecord rec;
+            rec.workload = "fp" +
+                           std::to_string(static_cast<int>(fp * 100)) +
+                           "/size" + std::to_string(size);
+            rec.addScalar("orig_cycles",
+                          static_cast<double>(orig_total));
             std::vector<std::string> row{std::to_string(size),
                                          std::to_string(orig_total)};
+            std::size_t a = 0;
             for (long long t : totals) {
                 double gain = orig_total
                                   ? 100.0 * (orig_total - t) /
                                         static_cast<double>(orig_total)
                                   : 0.0;
+                rec.addScalar(
+                    std::string(
+                        algorithmName(publishedAlgorithms()[a++])) +
+                        "_gain_pct",
+                    gain);
                 row.push_back(formatFixed(gain, 1) + "%");
             }
+            rep.write(rec);
             printCells(row, widths);
         }
     }

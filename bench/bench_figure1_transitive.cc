@@ -98,6 +98,7 @@ main()
     printCells({"workload", "table-built", "landskov-built", "loss"},
                w2);
     printRule(w2);
+    BenchReporter rep("figure1-transitive");
     for (const Workload &w :
          {Workload{"linpack", "linpack", 0}, Workload{"lloops", "lloops", 0},
           Workload{"tomcatv", "tomcatv", 0}}) {
@@ -105,11 +106,13 @@ main()
         topts.builder = BuilderKind::TableForward;
         topts.algorithm = AlgorithmKind::Krishnamurthy;
         topts.evaluate = true;
-        ProgramResult tr = timedPipeline(w, sparc, topts, 1);
+        ProgramResult tr =
+            rep.timed(w, sparc, topts, 1, w.display + "/table");
 
         PipelineOptions lopts = topts;
         lopts.builder = BuilderKind::N2Landskov;
-        ProgramResult lr = timedPipeline(w, sparc, lopts, 1);
+        ProgramResult lr =
+            rep.timed(w, sparc, lopts, 1, w.display + "/landskov");
 
         double loss = 100.0 * (lr.cyclesScheduled - tr.cyclesScheduled) /
                       static_cast<double>(tr.cyclesScheduled);

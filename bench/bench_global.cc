@@ -63,6 +63,7 @@ main()
     banner("Benefit of inherited cross-block latencies "
            "(paper future work)");
 
+    BenchReporter rep("global");
     MachineModel machine = sparcstation2();
     std::vector<int> widths{11, 13, 13, 9};
     printCells({"workload", "local", "global-aware", "gain"}, widths);
@@ -81,6 +82,12 @@ main()
                           ? 100.0 * (local - aware) /
                                 static_cast<double>(local)
                           : 0.0;
+        BenchRecord rec;
+        rec.workload = w.display;
+        rec.addScalar("local_cycles", static_cast<double>(local));
+        rec.addScalar("global_cycles", static_cast<double>(aware));
+        rec.addScalar("gain_pct", gain);
+        rep.write(rec);
         printCells({w.display, std::to_string(local),
                     std::to_string(aware),
                     formatFixed(gain, 2) + "%"},

@@ -27,6 +27,7 @@ main()
 {
     banner("Heuristic calculation step: level lists vs reverse walk");
 
+    BenchReporter rep("heuristic-pass");
     MachineModel machine = sparcstation2();
     std::vector<int> widths{11, 14, 14, 8};
     printCells({"workload", "rev-walk(ms)", "lvl-list(ms)", "ratio"},
@@ -51,15 +52,24 @@ main()
         constexpr int kRuns = 5;
         PassImpl impls[2] = {PassImpl::ReverseWalk,
                              PassImpl::LevelLists};
+        BenchRecord rec;
+        rec.workload = w.display;
+        rec.repetitions = kRuns;
+        const char *metric_names[2] = {"reverse_walk_seconds",
+                                       "level_lists_seconds"};
         for (int v = 0; v < 2; ++v) {
             for (int run = 0; run < kRuns; ++run) {
                 obs::ScopedPhase t("heur-pass");
                 for (Dag &dag : dags)
                     runAllStaticPasses(dag, impls[v]);
-                times[v] += t.stop();
+                double s = t.stop();
+                rec.metric(metric_names[v]).add(s);
+                times[v] += s;
             }
             times[v] /= kRuns;
         }
+        rec.addScalar("level_over_walk_ratio", times[1] / times[0]);
+        rep.write(rec);
 
         printCells({w.display, formatFixed(times[0] * 1e3, 2),
                     formatFixed(times[1] * 1e3, 2),
@@ -85,10 +95,12 @@ main()
         fwd.builder = BuilderKind::TableForward;
         fwd.build.memPolicy = AliasPolicy::SymbolicExpr;
         fwd.algorithm = AlgorithmKind::SimpleForward;
-        ProgramResult rf = timedPipeline(w, machine, fwd, 3);
+        ProgramResult rf =
+            rep.timed(w, machine, fwd, 3, w.display + "/fwd");
         PipelineOptions bwd = fwd;
         bwd.builder = BuilderKind::TableBackward;
-        ProgramResult rb = timedPipeline(w, machine, bwd, 3);
+        ProgramResult rb =
+            rep.timed(w, machine, bwd, 3, w.display + "/bwd");
         printCells({w.display, formatFixed(rf.buildSeconds * 1e3, 2),
                     formatFixed(rb.buildSeconds * 1e3, 2),
                     formatFixed(rf.totalSeconds() * 1e3, 2),

@@ -95,6 +95,7 @@ main()
     banner("Integrated scheduling x register allocation "
            "(paper Section 3, refs [2,5])");
 
+    BenchReporter rep("integrated");
     MachineModel machine = sparcstation2();
     SchedulerConfig latency =
         algorithmSpec(AlgorithmKind::Krishnamurthy).config;
@@ -154,6 +155,17 @@ main()
             const char *labels[3] = {"postpass-only",
                                      "prepass-latency",
                                      "pre+post (liveness)"};
+            BenchRecord rec;
+            rec.workload =
+                w.display + "/pairs" + std::to_string(pairs);
+            const char *keys[3] = {"postpass", "prepass", "prepost"};
+            for (int f = 0; f < 3; ++f) {
+                rec.addScalar(std::string(keys[f]) + "_cycles",
+                              static_cast<double>(cyc[f]));
+                rec.addScalar(std::string(keys[f]) + "_spills",
+                              static_cast<double>(spill[f]));
+            }
+            rep.write(rec);
             for (int f = 0; f < 3; ++f)
                 printCells({labels[f], std::to_string(cyc[f]),
                             std::to_string(spill[f])},

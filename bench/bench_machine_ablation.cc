@@ -70,6 +70,7 @@ main()
                widths);
     printRule(widths);
 
+    BenchReporter rep("machine-ablation");
     long long base_cycles = 0;
     for (const Variant &v : variants) {
         long long delays = 0;
@@ -91,6 +92,11 @@ main()
         }
         if (base_cycles == 0)
             base_cycles = cycles;
+        BenchRecord rec;
+        rec.workload = v.machine.name;
+        rec.addScalar("arc_delays", static_cast<double>(delays));
+        rec.addScalar("cycles", static_cast<double>(cycles));
+        rep.write(rec);
         printCells({v.label, std::to_string(delays),
                     std::to_string(cycles),
                     formatFixed(100.0 * (cycles - base_cycles) /
@@ -125,6 +131,11 @@ main()
             auto r2 = scheduleBlock(block, dual, opts);
             c2 += simulateSchedule(r2.dag, r2.sched.order, dual).cycles;
         }
+        BenchRecord rec;
+        rec.workload = w.display + "/superscalar";
+        rec.addScalar("single_issue_cycles", static_cast<double>(c1));
+        rec.addScalar("dual_issue_cycles", static_cast<double>(c2));
+        rep.write(rec);
         printCells({w.display, std::to_string(c1), std::to_string(c2),
                     formatFixed(static_cast<double>(c1) / c2, 2) + "x"},
                    w2);

@@ -8,7 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/sched91.hh"
+#include "bench_util.hh"
 #include "workload/generator.hh"
 
 using namespace sched91;
@@ -153,6 +153,56 @@ BM_ListScheduler(benchmark::State &state)
 }
 BENCHMARK(BM_ListScheduler)->Arg(64)->Arg(256)->Arg(1024);
 
+/**
+ * Console output plus one versioned record per benchmark run in
+ * BENCH_micro-dag.json (bench_util.hh): the per-iteration wall time
+ * is the regression metric; gbench's own iteration count stands in
+ * for repetitions.
+ */
+class RecordingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit RecordingReporter(sched91::bench::BenchReporter &rep)
+        : rep_(rep)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            sched91::bench::BenchRecord rec;
+            rec.workload = run.benchmark_name();
+            rec.repetitions = 1;
+            double per_iter =
+                run.iterations > 0
+                    ? run.real_accumulated_time /
+                          static_cast<double>(run.iterations)
+                    : 0.0;
+            rec.metric("wall_seconds").add(per_iter);
+            rec.addScalar("iterations",
+                          static_cast<double>(run.iterations));
+            rep_.write(rec);
+        }
+    }
+
+  private:
+    sched91::bench::BenchReporter &rep_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    sched91::bench::BenchReporter rep("micro-dag");
+    RecordingReporter console(rep);
+    benchmark::RunSpecifiedBenchmarks(&console);
+    return 0;
+}

@@ -97,6 +97,7 @@ main()
                widths);
     printRule(widths);
 
+    BenchReporter rep("optimal");
     for (AlgorithmKind kind : publishedAlgorithms()) {
         for (const Workload &w : workloads) {
             const Tally &t = tallies[kind][w.display];
@@ -104,6 +105,15 @@ main()
                              ? 100.0 * (t.heuristic - t.optimal) /
                                    static_cast<double>(t.optimal)
                              : 0.0;
+            BenchRecord rec;
+            rec.workload =
+                w.display + "/" + std::string(algorithmName(kind));
+            rec.addScalar("blocks", t.blocks);
+            rec.addScalar("matched_optimal", t.matched);
+            rec.addScalar("extra_cycles",
+                          static_cast<double>(t.heuristic - t.optimal));
+            rec.addScalar("gap_pct", gap);
+            rep.write(rec);
             printCells({std::string(algorithmName(kind)), w.display,
                         std::to_string(t.blocks),
                         std::to_string(t.matched),

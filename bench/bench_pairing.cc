@@ -25,6 +25,7 @@ main()
     banner("Construction direction x scheduling direction "
            "(conclusion 6)");
 
+    BenchReporter rep("pairing");
     MachineModel machine = sparcstation2();
 
     struct Combo
@@ -58,7 +59,8 @@ main()
             opts.builder = combo.builder;
             opts.algorithm = combo.algorithm;
             opts.build.memPolicy = AliasPolicy::SymbolicExpr;
-            ProgramResult r = timedPipeline(w, machine, opts, 3);
+            ProgramResult r = rep.timed(w, machine, opts, 3,
+                                        w.display + "/" + combo.label);
             printCells({w.display, combo.label,
                         formatFixed(r.buildSeconds * 1e3, 2),
                         formatFixed(r.heurSeconds * 1e3, 2),

@@ -11,9 +11,10 @@
  * runPipeline call itself.  The printed speedups are relative to the
  * serial (--threads 1) run of the same workload.
  *
- * Machine-readable output: one JSON line per workload/thread-count in
- * BENCH_pipeline.json (wall seconds, speedup, thread count, plus the
- * usual phase-seconds fields).
+ * Machine-readable output: one versioned record per
+ * workload/thread-count in BENCH_parallel-pipeline.json (wall-seconds
+ * samples, speedup, per-phase seconds, and the counter deltas of a
+ * counted run — the timed runs keep counters off).
  */
 
 #include <algorithm>
@@ -28,12 +29,14 @@ using namespace sched91::bench;
 namespace
 {
 
-/** Fastest-of-N wall-clock runPipeline time for one configuration. */
+/** Fastest-of-N wall-clock runPipeline time for one configuration;
+ * every sample also lands in @p rec for the emitted record. */
 double
 wallSeconds(const Workload &w, const MachineModel &machine,
-            PipelineOptions opts, ProgramResult *out, int runs = 3)
+            PipelineOptions opts, BenchRecord &rec, int runs = 3)
 {
     opts.partition.window = w.window;
+    rec.repetitions = runs;
     double best = 0.0;
     for (int r = 0; r < runs; ++r) {
         Program prog = loadProgram(w);
@@ -41,11 +44,10 @@ wallSeconds(const Workload &w, const MachineModel &machine,
         ProgramResult res = runPipeline(prog, machine, opts);
         auto t1 = std::chrono::steady_clock::now();
         double s = std::chrono::duration<double>(t1 - t0).count();
-        if (r == 0 || s < best) {
+        rec.metric("wall_seconds").add(s);
+        rec.addPhases(res);
+        if (r == 0 || s < best)
             best = s;
-            if (out)
-                *out = res;
-        }
     }
     return best;
 }
@@ -77,8 +79,7 @@ main()
     printCells(header, widths);
     printRule(widths);
 
-    std::FILE *json = std::fopen("BENCH_pipeline.json", "w");
-
+    BenchReporter rep("parallel-pipeline");
     MachineModel machine = sparcstation2();
     for (const Workload &w : allWorkloads()) {
         PipelineOptions opts;
@@ -90,25 +91,24 @@ main()
         double serial = 0.0;
         for (std::size_t i = 0; i < lanes.size(); ++i) {
             opts.threads = lanes[i];
-            ProgramResult res;
-            double s = wallSeconds(w, machine, opts, &res);
+            BenchRecord rec;
+            rec.workload = w.display;
+            rec.threads = lanes[i];
+            double s = wallSeconds(w, machine, opts, rec);
             if (i == 0)
                 serial = s;
+            rec.addScalar("speedup", i == 0 ? 1.0 : serial / s);
+            // One counted run per cell so the record carries real
+            // counter deltas (the timed runs keep counters off).
+            rec.counters =
+                countedPipeline(w, machine, opts).counters;
+            rep.write(rec);
             cells.push_back(formatFixed(s * 1e3, 1));
             if (i > 0)
                 cells.push_back(formatFixed(serial / s, 2));
-            if (json)
-                emitBenchJsonLine(
-                    json, "parallel-pipeline", w.display, res,
-                    {{"threads", static_cast<double>(lanes[i])},
-                     {"wall_seconds", s},
-                     {"speedup", i == 0 ? 1.0 : serial / s}});
         }
         printCells(cells, widths);
     }
-
-    if (json)
-        std::fclose(json);
 
     std::printf("\nShape check: (1) per-phase seconds and all "
                 "statistics are identical at\nevery thread count (the "

@@ -61,6 +61,7 @@ main()
     banner("Prepass register pressure vs postpass latency "
            "(register-usage heuristics)");
 
+    BenchReporter rep("prepass");
     MachineModel machine = sparcstation2();
     const int reg_files[] = {8, 12, 16};
 
@@ -98,6 +99,14 @@ main()
                                                        reg_files[k]);
             }
 
+            BenchRecord rec;
+            rec.workload = w.display + "/" + c.config.name;
+            rec.addScalar("cycles", static_cast<double>(cycles));
+            for (int k = 0; k < 3; ++k)
+                rec.addScalar("spills_at_" +
+                                  std::to_string(reg_files[k]),
+                              static_cast<double>(spills[k]));
+            rep.write(rec);
             printCells({c.label, std::to_string(cycles),
                         std::to_string(spills[0]),
                         std::to_string(spills[1]),

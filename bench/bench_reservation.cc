@@ -68,6 +68,7 @@ main()
     heavy.fuDesc(FuKind::FpAdd).pipelined = false;
     heavy.fuDesc(FuKind::FpMul).pipelined = false;
 
+    BenchReporter rep("reservation");
     for (const MachineModel &machine : {sparcstation2(), heavy}) {
         std::printf("\n-- machine: %s --\n", machine.name.c_str());
         std::vector<int> widths{11, 12, 13, 13, 13};
@@ -99,16 +100,25 @@ main()
                 }
             }
 
-            printCells(
-                {w.display, std::to_string(orig),
-                 std::to_string(
-                     listCycles(prog, machine,
-                                AlgorithmKind::Krishnamurthy)),
-                 std::to_string(
-                     listCycles(prog, machine,
-                                AlgorithmKind::ShiehPapachristou)),
-                 std::to_string(reservationCycles(prog, machine))},
-                widths);
+            long long krish = listCycles(
+                prog, machine, AlgorithmKind::Krishnamurthy);
+            long long shieh = listCycles(
+                prog, machine, AlgorithmKind::ShiehPapachristou);
+            long long resv = reservationCycles(prog, machine);
+            BenchRecord rec;
+            rec.workload = w.display + "/" + machine.name;
+            rec.addScalar("orig_cycles", static_cast<double>(orig));
+            rec.addScalar("krishnamurthy_cycles",
+                          static_cast<double>(krish));
+            rec.addScalar("shieh_papachristou_cycles",
+                          static_cast<double>(shieh));
+            rec.addScalar("reservation_cycles",
+                          static_cast<double>(resv));
+            rep.write(rec);
+            printCells({w.display, std::to_string(orig),
+                        std::to_string(krish), std::to_string(shieh),
+                        std::to_string(resv)},
+                       widths);
         }
     }
 

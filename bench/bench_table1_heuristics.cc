@@ -55,6 +55,7 @@ main()
     std::vector<int> w2{34, 10, 10};
     printCells({"heuristic (summed over nodes)", "n**2", "table"}, w2);
     printRule(w2);
+    BenchReporter rep("table1-heuristics");
     for (Heuristic h :
          {Heuristic::NumChildren, Heuristic::NumParents,
           Heuristic::DelaysToChildren, Heuristic::DelaysFromParents,
@@ -65,6 +66,12 @@ main()
             a += staticValue(n2.node(i), h);
             b += staticValue(table.node(i), h);
         }
+        BenchRecord rec;
+        rec.workload =
+            "daxpy/" + std::string(heuristicInfo(h).name);
+        rec.addScalar("n2_sum", static_cast<double>(a));
+        rec.addScalar("table_sum", static_cast<double>(b));
+        rep.write(rec);
         printCells({std::string(heuristicInfo(h).name),
                     std::to_string(a), std::to_string(b)},
                    w2);

@@ -84,6 +84,7 @@ main()
                widths);
     printRule(widths);
 
+    BenchReporter rep("table2-schedulers");
     for (AlgorithmKind kind : publishedAlgorithms()) {
         AlgorithmSpec spec = algorithmSpec(kind);
         for (const Workload &w : workloads) {
@@ -91,7 +92,9 @@ main()
             opts.algorithm = kind;
             opts.builder = spec.preferredBuilder;
             opts.evaluate = true;
-            ProgramResult r = timedPipeline(w, machine, opts, 3);
+            ProgramResult r = rep.timed(
+                w, machine, opts, 3,
+                w.display + "/" + std::string(algorithmName(kind)));
 
             double gain =
                 r.cyclesOriginal > 0

@@ -25,6 +25,7 @@ main()
     printCells({"", "", "", "max", "avg", "max", "avg"}, widths);
     printRule(widths);
 
+    BenchReporter rep("table3-structure");
     auto paper = paperTable3();
     for (const Workload &w : allWorkloads()) {
         Program prog = loadProgram(w);
@@ -32,6 +33,16 @@ main()
         popts.window = w.window;
         auto blocks = partitionBlocks(prog, popts);
         auto s = measureStructure(prog, blocks);
+
+        BenchRecord rec;
+        rec.workload = w.display;
+        rec.addScalar("blocks", static_cast<double>(s.numBlocks));
+        rec.addScalar("insts", static_cast<double>(s.numInsts));
+        rec.addScalar("insts_per_block_max", s.instsPerBlock.max());
+        rec.addScalar("insts_per_block_avg", s.instsPerBlock.avg());
+        rec.addScalar("mem_exprs_per_block_avg",
+                      s.memExprsPerBlock.avg());
+        rep.write(rec);
 
         printCells({w.display, std::to_string(s.numBlocks),
                     std::to_string(s.numInsts),

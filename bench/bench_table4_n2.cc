@@ -64,6 +64,7 @@ main()
     auto workloads = baseWorkloads();
     workloads.push_back({"fpppp-1000", "fpppp", 1000});
 
+    BenchReporter rep("table4-n2");
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         const Workload &w = workloads[i];
         PipelineOptions opts;
@@ -72,7 +73,7 @@ main()
         opts.algorithm = AlgorithmKind::SimpleForward;
         // fpppp-1000 n**2 is heavy; a single timing run suffices there.
         int runs = w.window > 0 ? 1 : 5;
-        ProgramResult r = timedPipeline(w, machine, opts, runs);
+        ProgramResult r = rep.timed(w, machine, opts, runs);
 
         printCells(
             {w.display, formatFixed(r.totalSeconds() * 1e3, 1),

@@ -64,6 +64,7 @@ main()
     MachineModel machine = sparcstation2();
     auto workloads = allWorkloads();
 
+    BenchReporter rep("table5-table");
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         const Workload &w = workloads[i];
 
@@ -71,11 +72,13 @@ main()
         fwd.builder = BuilderKind::TableForward;
         fwd.build.memPolicy = AliasPolicy::SymbolicExpr;
         fwd.algorithm = AlgorithmKind::SimpleForward;
-        ProgramResult rf = timedPipeline(w, machine, fwd);
+        ProgramResult rf =
+            rep.timed(w, machine, fwd, 5, w.display + "/fwd");
 
         PipelineOptions bwd = fwd;
         bwd.builder = BuilderKind::TableBackward;
-        ProgramResult rb = timedPipeline(w, machine, bwd);
+        ProgramResult rb =
+            rep.timed(w, machine, bwd, 5, w.display + "/bwd");
 
         printCells(
             {w.display, formatFixed(rf.totalSeconds() * 1e3, 1),
@@ -106,6 +109,13 @@ main()
         fwd.build.memPolicy = AliasPolicy::SymbolicExpr;
         fwd.algorithm = AlgorithmKind::SimpleForward;
         ProgramResult rc = countedPipeline(w, machine, fwd);
+        BenchRecord rec;
+        rec.workload = w.display + "/counted";
+        rec.addScalar("build_seconds", rc.buildSeconds);
+        rec.addScalar("heur_seconds", rc.heurSeconds);
+        rec.addScalar("sched_seconds", rc.schedSeconds);
+        rec.counters = rc.counters;
+        rep.write(rec);
         std::uint64_t probes = rc.counters.value("dag.table_probes");
         std::uint64_t arcs = rc.counters.value("dag.arcs_added");
         std::uint64_t dups = rc.counters.value("dag.arcs_duplicate");
@@ -116,7 +126,6 @@ main()
                                      : 0.0,
                                 2)},
                    cwidths);
-        emitBenchJsonLine(stderr, "table5-fwd", w.display, rc);
     }
 
     std::printf("\nShape check: (1) no instruction window needed even "

@@ -3,12 +3,17 @@
  * Shared helpers for the table-reproduction benches: workload loading
  * (including the fpppp instruction-window variants), repeated-run
  * timing in the paper's style ("average of user+sys over five runs"),
- * and fixed-width table printing.
+ * fixed-width table printing, and the versioned BenchRecord schema
+ * every bench target emits for the regression harness
+ * (tools/bench_compare.cc, docs/PERFORMANCE.md).
  */
 
 #ifndef SCHED91_BENCH_BENCH_UTIL_HH
 #define SCHED91_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -103,35 +108,201 @@ countedPipeline(const Workload &w, const MachineModel &machine,
     return res;
 }
 
-/**
- * Emit one bench observation as a JSON line on @p out (one object per
- * workload/config: name, phase seconds, optional bench-specific
- * numeric fields, and nonzero counter deltas).  Machine-readable
- * companion to the printed tables.
- */
-inline void
-emitBenchJsonLine(std::FILE *out, const std::string &bench,
-                  const std::string &workload, const ProgramResult &res,
-                  const std::vector<std::pair<std::string, double>>
-                      &extra = {})
+// --- Versioned bench records (the regression-harness contract) ------
+//
+// Every bench target writes BENCH_<bench>.json: one self-describing
+// JSON object per line, schema id "sched91.bench.v2".  A record is
+// keyed by (bench, workload, threads); its metrics carry median and
+// p90 over the record's repetitions so tools/bench_compare.cc can
+// diff two runs (or directories of runs) without knowing any bench's
+// internals.  Bump the schema id when a field changes meaning —
+// bench_compare refuses to diff records with mismatched schemas.
+
+inline constexpr const char *kBenchSchemaId = "sched91.bench.v2";
+
+/** Toolchain-stamped source revision (set by bench/CMakeLists.txt). */
+inline const char *
+benchGitDescribe()
 {
-    obs::JsonWriter w;
-    w.beginObject()
-        .key("bench").value(bench)
-        .key("workload").value(workload)
-        .key("build_seconds").value(res.buildSeconds)
-        .key("heur_seconds").value(res.heurSeconds)
-        .key("sched_seconds").value(res.schedSeconds);
-    for (const auto &[name, value] : extra)
-        w.key(name).value(value);
-    w.key("counters");
-    obs::CounterSet nz = res.counters.nonzero();
-    w.beginObject();
-    for (const auto &[name, value] : nz.items())
-        w.key(name).value(value);
-    w.endObject().endObject();
-    std::fprintf(out, "%s\n", w.take().c_str());
+#ifdef SCHED91_GIT_DESCRIBE
+    return SCHED91_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
 }
+
+/** Order statistics over repeated measurements of one metric. */
+class Samples
+{
+  public:
+    void add(double x) { v_.push_back(x); }
+    std::size_t count() const { return v_.size(); }
+
+    /** Empirical quantile (lower element, no interpolation): the
+     * value at sorted index floor(q * (n-1)).  Deterministic and
+     * robust for the tiny sample counts benches use (1..10 reps). */
+    double
+    quantile(double q) const
+    {
+        if (v_.empty())
+            return 0.0;
+        std::vector<double> s = v_;
+        std::sort(s.begin(), s.end());
+        double pos = q * static_cast<double>(s.size() - 1);
+        std::size_t idx = static_cast<std::size_t>(pos);
+        return s[idx];
+    }
+
+    double median() const { return quantile(0.5); }
+    double p90() const { return quantile(0.9); }
+
+  private:
+    std::vector<double> v_;
+};
+
+/** One bench observation: a (bench, workload, threads) cell with
+ * repeated metric samples and the counter deltas of a counted run. */
+struct BenchRecord
+{
+    std::string workload;  ///< row label, may carry a config suffix
+    unsigned threads = 0;  ///< requested lanes (0 = auto)
+    int repetitions = 1;   ///< timing repetitions behind the samples
+    std::vector<std::pair<std::string, Samples>> metrics;
+    obs::CounterSet counters;
+
+    /** Sample accumulator for @p name (appends on first use). */
+    Samples &
+    metric(const std::string &name)
+    {
+        for (auto &[n, s] : metrics)
+            if (n == name)
+                return s;
+        metrics.emplace_back(name, Samples{});
+        return metrics.back().second;
+    }
+
+    /** Record a derived scalar (speedup, ratio): one-sample metric. */
+    void addScalar(const std::string &name, double value)
+    {
+        metric(name).add(value);
+    }
+
+    /** Record the per-phase seconds of one pipeline run. */
+    void
+    addPhases(const ProgramResult &res)
+    {
+        metric("build_seconds").add(res.buildSeconds);
+        metric("heur_seconds").add(res.heurSeconds);
+        metric("sched_seconds").add(res.schedSeconds);
+        metric("total_seconds").add(res.totalSeconds());
+    }
+};
+
+/**
+ * Writes BENCH_<bench>.json in the current directory, one versioned
+ * record per line.  Construct once per bench main(); records flow
+ * through write() or the timed() convenience wrapper.
+ */
+class BenchReporter
+{
+  public:
+    explicit BenchReporter(std::string bench)
+        : bench_(std::move(bench)),
+          out_(std::fopen(("BENCH_" + bench_ + ".json").c_str(), "w"))
+    {
+    }
+
+    ~BenchReporter()
+    {
+        if (out_)
+            std::fclose(out_);
+    }
+
+    BenchReporter(const BenchReporter &) = delete;
+    BenchReporter &operator=(const BenchReporter &) = delete;
+
+    const std::string &bench() const { return bench_; }
+
+    void
+    write(const BenchRecord &rec)
+    {
+        if (!out_)
+            return;
+        obs::JsonWriter w;
+        w.beginObject()
+            .key("schema").value(kBenchSchemaId)
+            .key("bench").value(bench_)
+            .key("workload").value(rec.workload)
+            .key("git").value(benchGitDescribe())
+            .key("threads")
+            .value(static_cast<std::uint64_t>(rec.threads))
+            .key("repetitions")
+            .value(static_cast<std::uint64_t>(
+                rec.repetitions > 0 ? rec.repetitions : 1));
+        w.key("metrics").beginObject();
+        for (const auto &[name, s] : rec.metrics) {
+            w.key(name).beginObject()
+                .key("median").value(s.median())
+                .key("p90").value(s.p90())
+                .endObject();
+        }
+        w.endObject();
+        w.key("counters");
+        obs::CounterSet nz = rec.counters.nonzero();
+        w.beginObject();
+        for (const auto &[name, value] : nz.items())
+            w.key(name).value(value);
+        w.endObject().endObject();
+        std::fprintf(out_, "%s\n", w.take().c_str());
+    }
+
+    /**
+     * Drop-in replacement for timedPipeline that also emits a record:
+     * times @p runs repetitions (wall + per-phase seconds), attaches
+     * the counter deltas of one extra observability-enabled run, and
+     * returns the run-averaged result for the printed tables.  Pass
+     * @p label when one workload appears under several configurations
+     * ("fpppp/bwd"); it defaults to the workload display name.
+     */
+    ProgramResult
+    timed(const Workload &w, const MachineModel &machine,
+          PipelineOptions opts, int runs = 5,
+          const std::string &label = "")
+    {
+        opts.partition.window = w.window;
+        BenchRecord rec;
+        rec.workload = label.empty() ? w.display : label;
+        rec.threads = opts.threads;
+        rec.repetitions = runs;
+        ProgramResult avg{};
+        for (int r = 0; r < runs; ++r) {
+            Program prog = loadProgram(w);
+            auto t0 = std::chrono::steady_clock::now();
+            ProgramResult res = runPipeline(prog, machine, opts);
+            auto t1 = std::chrono::steady_clock::now();
+            rec.metric("wall_seconds")
+                .add(std::chrono::duration<double>(t1 - t0).count());
+            rec.addPhases(res);
+            if (r == 0)
+                avg = res;
+            else {
+                avg.buildSeconds += res.buildSeconds;
+                avg.heurSeconds += res.heurSeconds;
+                avg.schedSeconds += res.schedSeconds;
+            }
+        }
+        avg.buildSeconds /= runs;
+        avg.heurSeconds /= runs;
+        avg.schedSeconds /= runs;
+        rec.counters = countedPipeline(w, machine, opts).counters;
+        write(rec);
+        return avg;
+    }
+
+  private:
+    std::string bench_;
+    std::FILE *out_;
+};
 
 /** printf a row of right-aligned cells. */
 inline void

@@ -22,6 +22,7 @@ main()
     banner("Instruction-window sweep: n**2 vs table building "
            "(conclusions 1 & 2)");
 
+    BenchReporter rep("window-sweep");
     MachineModel machine = sparcstation2();
     const int windows[] = {50, 100, 200, 300, 400, 800, 1000, 2000};
 
@@ -48,11 +49,13 @@ main()
             n2.build.memPolicy = AliasPolicy::SymbolicExpr;
             n2.algorithm = AlgorithmKind::SimpleForward;
             n2.partition.window = window;
-            ProgramResult rn = timedPipeline(w, machine, n2, 2);
+            ProgramResult rn =
+                rep.timed(w, machine, n2, 2, w.display + "/n2");
 
             PipelineOptions table = n2;
             table.builder = BuilderKind::TableForward;
-            ProgramResult rt = timedPipeline(w, machine, table, 2);
+            ProgramResult rt =
+                rep.timed(w, machine, table, 2, w.display + "/table");
 
             printCells({std::to_string(window),
                         std::to_string(rn.numBlocks),
@@ -70,7 +73,8 @@ main()
         table.builder = BuilderKind::TableForward;
         table.algorithm = AlgorithmKind::SimpleForward;
         table.build.memPolicy = AliasPolicy::SymbolicExpr;
-        ProgramResult rt = timedPipeline(w, machine, table, 2);
+        ProgramResult rt = rep.timed(w, machine, table, 2,
+                                     w.display + "-none/table");
         printCells({"none", std::to_string(rt.numBlocks), "-",
                     formatFixed(rt.totalSeconds() * 1e3, 2), "-"},
                    widths);

@@ -26,6 +26,7 @@ main()
     banner("Winnowing decisiveness per heuristic rank "
            "(paper Section 5)");
 
+    BenchReporter rep("winnowing");
     MachineModel machine = sparcstation2();
     std::vector<Workload> workloads{
         {"grep", "grep", 0},       {"cccp", "cccp", 0},
@@ -61,6 +62,19 @@ main()
                     std::string(algorithmName(kind)).c_str(),
                     stats.totalPicks, stats.trivialPicks);
         long long contested = stats.totalPicks - stats.trivialPicks;
+        BenchRecord rec;
+        rec.workload = std::string(algorithmName(kind));
+        rec.addScalar("total_picks",
+                      static_cast<double>(stats.totalPicks));
+        rec.addScalar("trivial_picks",
+                      static_cast<double>(stats.trivialPicks));
+        rec.addScalar("original_order_ties",
+                      static_cast<double>(stats.originalOrderTies));
+        for (std::size_t r = 0; r < stats.decidedAtRank.size(); ++r)
+            rec.addScalar(
+                "decided_at_rank_" + std::to_string(r + 1),
+                static_cast<double>(stats.decidedAtRank[r]));
+        rep.write(rec);
         for (std::size_t r = 0; r < stats.decidedAtRank.size(); ++r) {
             double pct = contested
                              ? 100.0 * stats.decidedAtRank[r] /

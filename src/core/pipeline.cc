@@ -1,5 +1,8 @@
 #include "core/pipeline.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <numeric>
 #include <optional>
 #include <sstream>
@@ -7,6 +10,8 @@
 #include "dag/table_forward.hh"
 #include "heuristics/register_pressure.hh"
 #include "obs/events.hh"
+#include "obs/histogram.hh"
+#include "obs/memory.hh"
 #include "obs/phase.hh"
 #include "obs/trace.hh"
 #include "sched/list_scheduler.hh"
@@ -47,8 +52,9 @@ class BlockTracer
 {
   public:
     BlockTracer(obs::TraceSink *sink, std::size_t block,
-                const BasicBlock &bb)
-        : sink_(obs::enabled() ? sink : nullptr), block_(block), bb_(bb)
+                const BasicBlock &bb, unsigned worker)
+        : sink_(obs::enabled() ? sink : nullptr), block_(block), bb_(bb),
+          worker_(worker)
     {
         if (sink_)
             before_ = obs::activeSnapshot();
@@ -65,6 +71,7 @@ class BlockTracer
         ev.size = bb_.size();
         ev.phase = phase;
         ev.seconds = seconds;
+        ev.worker = worker_;
         ev.counters = obs::activeDeltaSince(before_);
         sink_->event(ev);
         before_ = obs::activeSnapshot();
@@ -74,6 +81,7 @@ class BlockTracer
     obs::TraceSink *sink_;
     std::size_t block_;
     const BasicBlock &bb_;
+    unsigned worker_;
     obs::CounterSet before_;
 };
 
@@ -84,6 +92,7 @@ struct BlockOutput
     double buildSeconds = 0.0;
     double heurSeconds = 0.0;
     double schedSeconds = 0.0;
+    double verifySeconds = 0.0;
     DagStructure dagStats;
     long long cyclesOriginal = 0;
     long long cyclesScheduled = 0;
@@ -115,6 +124,9 @@ struct WorkerState
     /** Run-lifetime accumulation, flushed to the registry post-join. */
     obs::CounterShard accum{obs::CounterRegistry::global()};
     obs::PhaseProfiler profiler;
+    /** Per-block latency/size distributions; merged post-join (bucket
+     * addition is associative, so lane assignment cannot show). */
+    obs::HistogramSet hists;
 };
 
 } // namespace
@@ -161,11 +173,22 @@ runPipeline(Program &prog, const MachineModel &machine,
     std::vector<BlockOutput> outputs(blocks.size());
     std::vector<WorkerState> workers(threads);
 
-    auto processBlock = [&](std::size_t b) {
+    // Whole-run budget bookkeeping: blocks not yet *started*, shared
+    // across lanes so each starting block can claim its fair share of
+    // whatever wall-clock remains.
+    const auto run_start = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> blocks_unstarted{blocks.size()};
+    auto elapsedSeconds = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - run_start)
+            .count();
+    };
+
+    auto processBlock = [&](unsigned w, std::size_t b) {
         const BasicBlock &bb = blocks[b];
         BlockView block(prog, bb);
         BlockOutput &out = outputs[b];
-        BlockTracer tracer(tracing ? &out.trace : nullptr, b, bb);
+        BlockTracer tracer(tracing ? &out.trace : nullptr, b, bb, w);
 
         // Ladder rung two (last resort): the block keeps its original
         // instruction order — trivially valid, zero claimed speedup.
@@ -206,35 +229,72 @@ runPipeline(Program &prog, const MachineModel &machine,
             tracer.phaseDone("degrade", 0.0);
         };
 
+        // Effective per-block budget: the per-block cap, tightened by
+        // a fair share of whatever the whole-run budget has left —
+        // (maxRunSeconds - elapsed) / blocks-not-yet-started.  Early
+        // blocks that finish under their share donate the surplus to
+        // later blocks; an exhausted run budget degrades every
+        // remaining block immediately, so the run always ends in
+        // bounded time with all blocks accounted for.
+        double budget = opts.maxBlockSeconds;
+        bool from_run_budget = false;
+        bool run_exhausted = false;
+        if (opts.maxRunSeconds > 0.0) {
+            const std::size_t remaining = blocks_unstarted.fetch_sub(
+                1, std::memory_order_relaxed); // includes this block
+            const double left = opts.maxRunSeconds - elapsedSeconds();
+            if (left <= 0.0) {
+                run_exhausted = true;
+            } else {
+                const double share =
+                    left / static_cast<double>(remaining ? remaining : 1);
+                if (budget <= 0.0 || share < budget) {
+                    budget = share;
+                    from_run_budget = true;
+                }
+            }
+        }
+
         double spent = 0.0;
         auto checkBudget = [&](const char *stage) {
-            if (opts.maxBlockSeconds <= 0.0)
+            if (budget <= 0.0)
                 return;
-            if (spent > opts.maxBlockSeconds) {
+            if (spent > budget) {
                 obs::ev::robustBudgetExceeded.inc();
+                if (from_run_budget)
+                    obs::ev::cancelRunBudgetExhausted.inc();
                 std::ostringstream os;
-                os << stage << " phase pushed block past "
-                   << opts.maxBlockSeconds << "s budget";
+                os << stage << " phase pushed block past " << budget
+                   << "s budget";
                 throw BlockAbort{"budget", os.str()};
             }
         };
 
         // Cooperative mid-loop budget enforcement: one token per
-        // block, armed with the whole-block budget and polled inside
+        // block, armed with the effective budget and polled inside
         // the builder and scheduler loops.  The phase-boundary
         // checkBudget() calls remain for the phases that do not poll
         // (heuristics, verification).
         std::optional<CancellationToken> token;
-        if (opts.maxBlockSeconds > 0.0) {
-            token.emplace(opts.maxBlockSeconds);
+        if (budget > 0.0 && !run_exhausted) {
+            token.emplace(budget);
             std::ostringstream os;
-            os << "block exceeded " << opts.maxBlockSeconds
+            os << "block exceeded " << budget
                << "s budget (cancelled mid-loop)";
             token->setReason(os.str());
         }
 
         const char *stage = "build";
         try {
+            if (run_exhausted) {
+                obs::ev::robustBudgetExceeded.inc();
+                obs::ev::cancelRunBudgetExhausted.inc();
+                std::ostringstream os;
+                os << "run budget of " << opts.maxRunSeconds
+                   << "s exhausted before block started";
+                throw BlockAbort{"budget", os.str()};
+            }
+
             DagBuilder *use_builder = builder.get();
             if (fallback_builder != nullptr &&
                 bb.size() >
@@ -274,7 +334,7 @@ runPipeline(Program &prog, const MachineModel &machine,
                 stage = "verify";
                 obs::ScopedPhase verify_phase("verify");
                 VerifyResult vr = verifySchedule(dag, out.sched, machine);
-                verify_phase.stop();
+                out.verifySeconds = verify_phase.stop();
                 tracer.phaseDone("verify", verify_phase.seconds());
                 if (!vr.ok()) {
                     obs::ev::robustVerifierRejections.inc();
@@ -338,6 +398,8 @@ runPipeline(Program &prog, const MachineModel &machine,
             // for a bounded run and got one is not a fault.
             obs::ev::robustBudgetExceeded.inc();
             obs::ev::cancelBlocksCancelled.inc();
+            if (from_run_budget)
+                obs::ev::cancelRunBudgetExhausted.inc();
             degrade("budget", e.what());
         } catch (const std::exception &e) {
             if (!opts.containFaults)
@@ -361,13 +423,28 @@ runPipeline(Program &prog, const MachineModel &machine,
             for (std::size_t b = begin; b < end; ++b) {
                 ws.blockShard.clear();
                 ws.ctx.beginBlock();
-                processBlock(b);
+                processBlock(w, b);
                 ws.blockShard.flushInto(ws.accum);
+                // Per-block distributions, while the block's arena
+                // allocations are still accounted (the arena resets
+                // at the next beginBlock).
+                const BlockOutput &out = outputs[b];
+                ws.hists.record("block.insts", blocks[b].size());
+                ws.hists.record("block.arena_bytes",
+                                ws.ctx.arena().bytesInUse());
+                ws.hists.record("lat.build_ns",
+                                obs::secondsToNs(out.buildSeconds));
+                ws.hists.record("lat.heur_ns",
+                                obs::secondsToNs(out.heurSeconds));
+                ws.hists.record("lat.sched_ns",
+                                obs::secondsToNs(out.schedSeconds));
+                ws.hists.record("lat.verify_ns",
+                                obs::secondsToNs(out.verifySeconds));
             }
         } else {
             for (std::size_t b = begin; b < end; ++b) {
                 ws.ctx.beginBlock();
-                processBlock(b);
+                processBlock(w, b);
             }
         }
     };
@@ -415,6 +492,24 @@ runPipeline(Program &prog, const MachineModel &machine,
         }
     }
 
+    // Memory telemetry (obs/memory.hh).  The deterministic gauges are
+    // per-block sums/maxima in disguise — summing (or maxing) over
+    // workers equals summing over blocks, so they are identical at
+    // every thread count; the environmental ones are not and stay out
+    // of the counter set.
+    for (WorkerState &ws : workers) {
+        Arena &arena = ws.ctx.arena();
+        result.memory.arenaBytesAllocated += arena.totalBytesAllocated();
+        result.memory.arenaHighWaterBytes =
+            std::max<std::uint64_t>(result.memory.arenaHighWaterBytes,
+                                    arena.highWaterBytes());
+        result.memory.arenaReservedBytes += arena.bytesReserved();
+        result.memory.arenaChunks += arena.numChunks();
+    }
+    result.memory.dagArcs = result.dagStats.totalArcs;
+    result.memory.dagArcBytes = result.memory.dagArcs * sizeof(Arc);
+    result.memory.peakRssBytes = obs::currentPeakRssBytes();
+
     // ... and worker order for the thread-private shards and phase
     // trees (both merges are kind-aware, so the result is independent
     // of how blocks were distributed over lanes).
@@ -425,7 +520,20 @@ runPipeline(Program &prog, const MachineModel &machine,
         for (WorkerState &ws : workers) {
             ws.accum.flushInto(run_total);
             profiler.mergeFrom(ws.profiler);
+            result.histograms.merge(ws.hists);
         }
+        // Deterministic memory gauges join the run's counters through
+        // the merged shard, so the Sum entries land in the registry
+        // delta and the Max gauge rides the peak-override below.
+        run_total.add(
+            registry.getOrAdd(obs::ev::memArenaBytesAllocated.name()),
+            result.memory.arenaBytesAllocated);
+        run_total.recordMax(
+            registry.getOrAdd(obs::ev::memArenaHighWater.name(),
+                              obs::CounterKind::Max),
+            result.memory.arenaHighWaterBytes);
+        run_total.add(registry.getOrAdd(obs::ev::memDagArcBytes.name()),
+                      result.memory.dagArcBytes);
         run_total.flushInto(registry);
         result.counters = registry.deltaSince(run_before);
         // Registry-level subtraction cannot express a per-run peak: a

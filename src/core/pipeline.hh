@@ -36,6 +36,8 @@
 #include "ir/basic_block.hh"
 #include "machine/machine_model.hh"
 #include "obs/counters.hh"
+#include "obs/histogram.hh"
+#include "obs/memory.hh"
 #include "sched/pipeline_sim.hh"
 #include "sched/registry.hh"
 
@@ -130,6 +132,22 @@ struct PipelineOptions
      * determinism guarantee for liveness.
      */
     double maxBlockSeconds = 0.0;
+
+    /**
+     * Whole-run wall-clock budget in seconds, divided fair-share
+     * across the blocks still to run: a block starting at elapsed
+     * time t with r blocks remaining gets (maxRunSeconds - t) / r
+     * seconds (further capped by maxBlockSeconds when both are set),
+     * enforced through the same per-block CancellationToken.  Once
+     * the budget is spent entirely, every remaining block degrades
+     * immediately to original order.  Either way the run ends in
+     * bounded time with every block accounted for.  Blocks cancelled
+     * or skipped because of the *run* budget count
+     * `cancel.run_budget_exhausted` (on top of the per-block budget
+     * counters).  0 disables.  Same determinism trade-off as
+     * maxBlockSeconds.
+     */
+    double maxRunSeconds = 0.0;
 };
 
 /** Aggregated outcome of scheduling a whole program. */
@@ -162,6 +180,19 @@ struct ProgramResult
      * was enabled for the run.
      */
     obs::CounterSet counters;
+
+    /**
+     * Per-block distributions, merged from the per-worker shards:
+     * phase latencies (`lat.build_ns`, `lat.heur_ns`, `lat.sched_ns`,
+     * `lat.verify_ns`, nanoseconds per block) and sizes
+     * (`block.insts`, `block.arena_bytes`).  Empty unless the
+     * observability layer was enabled for the run.
+     */
+    obs::HistogramSet histograms;
+
+    /** Memory footprint of the run (filled regardless of
+     * observability — the quantities are free at run end). */
+    obs::MemoryStats memory;
 
     // --- Robustness outcomes (filled regardless of observability) ---
 

@@ -1,0 +1,55 @@
+#include "obs/chrome_trace.hh"
+
+#include <map>
+
+#include "obs/json.hh"
+
+namespace sched91::obs
+{
+
+void
+ChromeTraceSink::event(const TraceEvent &ev)
+{
+    events_.push_back(ev);
+}
+
+void
+ChromeTraceSink::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+    // Synthetic per-lane clocks in microseconds: events arrive in
+    // block order, so stacking them end to end per lane reconstructs
+    // each lane's share of the run.
+    std::map<unsigned, double> clocks;
+    for (const TraceEvent &ev : events_) {
+        const unsigned tid = zeroTimes_ ? 0 : ev.worker;
+        const double dur = zeroTimes_ ? 0.0 : ev.seconds * 1e6;
+        double &clock = clocks[tid];
+        w.beginObject()
+            .key("name").value(ev.phase)
+            .key("cat").value("block")
+            .key("ph").value("X")
+            .key("ts").value(clock)
+            .key("dur").value(dur)
+            .key("pid").value(std::uint64_t{0})
+            .key("tid").value(static_cast<std::uint64_t>(tid));
+        w.key("args").beginObject()
+            .key("block").value(static_cast<std::uint64_t>(ev.block))
+            .key("begin").value(ev.begin)
+            .key("insts").value(ev.size)
+            .endObject();
+        w.endObject();
+        clock += dur;
+    }
+    w.endArray().endObject();
+    *out_ << w.take() << '\n';
+}
+
+} // namespace sched91::obs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Chrome Trace Event Format sink: serializes the pipeline's per-block
+ * phase events as a JSON document loadable in `about://tracing`,
+ * Perfetto, or speedscope — one `ph:"X"` complete event per phase,
+ * `pid` = run, `tid` = worker lane, args carrying block id and size.
+ *
+ * Format reference: the "Trace Event Format" document (JSON Object
+ * Format variant: `{"traceEvents": [...]}`).
+ *
+ * The pipeline delivers events post-join in block order (via
+ * BufferedTraceSink replay), not in wall-clock order, so the sink
+ * synthesizes timestamps: each lane carries a cumulative clock and an
+ * event occupies [clock, clock + duration) on its lane.  The visual
+ * result is a compact per-lane timeline of where the run's time went
+ * — the paper's Tables 4/5 phase asymmetry, one box per phase.
+ *
+ * With zero_times the lane is forced to 0 and durations to 0 (lane
+ * assignment and wall-clock both vary run to run), making the whole
+ * document byte-comparable across runs and thread counts — the same
+ * contract JSONL traces honor under `--zero-times`.
+ */
+
+#ifndef SCHED91_OBS_CHROME_TRACE_HH
+#define SCHED91_OBS_CHROME_TRACE_HH
+
+#include <ostream>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace sched91::obs
+{
+
+/** Buffers trace events and writes one Trace Event Format JSON
+ * document on close() (or destruction). */
+class ChromeTraceSink final : public TraceSink
+{
+  public:
+    /** @p out must outlive the sink. */
+    explicit ChromeTraceSink(std::ostream &out, bool zero_times = false)
+        : out_(&out), zeroTimes_(zero_times)
+    {
+    }
+
+    ~ChromeTraceSink() override { close(); }
+
+    void event(const TraceEvent &ev) override;
+
+    /** Write the buffered document.  Idempotent; called by the
+     * destructor if the owner did not. */
+    void close();
+
+    std::size_t eventsBuffered() const { return events_.size(); }
+
+  private:
+    std::ostream *out_;
+    bool zeroTimes_;
+    bool closed_ = false;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace sched91::obs
+
+#endif // SCHED91_OBS_CHROME_TRACE_HH

@@ -33,6 +33,36 @@ writeCounterSet(JsonWriter &w, const CounterSet &counters)
 }
 
 void
+writeHistogram(JsonWriter &w, const Histogram &h, bool zero_values)
+{
+    // zero_values: a duration histogram under zeroTimes — the event
+    // *count* is deterministic, the nanosecond values are wall-clock
+    // noise, so only the count survives.
+    w.beginObject()
+        .key("count").value(h.count())
+        .key("sum").value(zero_values ? 0 : h.sum())
+        .key("min").value(zero_values ? 0 : h.min())
+        .key("max").value(zero_values ? 0 : h.max())
+        .key("mean").value(zero_values ? 0.0 : h.mean())
+        .key("p50").value(zero_values ? 0 : h.percentile(50))
+        .key("p90").value(zero_values ? 0 : h.percentile(90))
+        .key("p99").value(zero_values ? 0 : h.percentile(99));
+    w.key("buckets").beginArray();
+    if (!zero_values) {
+        for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            if (h.bucketCount(i) == 0)
+                continue;
+            w.beginObject()
+                .key("lo").value(Histogram::bucketLo(i))
+                .key("hi").value(Histogram::bucketHi(i))
+                .key("count").value(h.bucketCount(i))
+                .endObject();
+        }
+    }
+    w.endArray().endObject();
+}
+
+void
 writePhaseTree(JsonWriter &w, const PhaseStats &node, bool zero_times)
 {
     w.beginObject()
@@ -125,6 +155,30 @@ programResultJson(const ProgramResult &result, const RunMeta &meta,
 
     w.key("counters");
     writeCounterSet(w, counters);
+
+    w.key("histograms").beginObject();
+    for (const auto &[name, hist] : result.histograms.items()) {
+        w.key(name);
+        writeHistogram(w, hist,
+                       opts.zeroTimes && isTimeHistogram(name));
+    }
+    w.endObject();
+
+    // The deterministic/environmental split (obs/memory.hh): the
+    // environmental gauges vary with lane assignment and process
+    // history, so zeroTimes zeroes them the way it zeroes seconds.
+    const MemoryStats &m = result.memory;
+    w.key("memory").beginObject()
+        .key("arena_bytes_allocated").value(m.arenaBytesAllocated)
+        .key("arena_high_water_bytes").value(m.arenaHighWaterBytes)
+        .key("dag_arcs").value(m.dagArcs)
+        .key("dag_arc_bytes").value(m.dagArcBytes)
+        .key("arena_reserved_bytes")
+        .value(opts.zeroTimes ? 0 : m.arenaReservedBytes)
+        .key("arena_chunks").value(opts.zeroTimes ? 0 : m.arenaChunks)
+        .key("peak_rss_bytes")
+        .value(opts.zeroTimes ? 0 : m.peakRssBytes)
+        .endObject();
 
     if (phases) {
         w.key("phase_tree").beginArray();

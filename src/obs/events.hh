@@ -117,6 +117,27 @@ inline Counter robustPoolSuppressed{"robust.pool_suppressed_errors"};
  * token came from --max-block-seconds). */
 inline Counter cancelBlocksCancelled{"cancel.blocks_cancelled"};
 
+/** Blocks degraded because the whole-run --max-run-seconds budget ran
+ * out: cancelled while running on a fair-share allowance, or skipped
+ * outright once nothing remained. */
+inline Counter cancelRunBudgetExhausted{"cancel.run_budget_exhausted"};
+
+// --- Memory telemetry (obs/memory.hh) -------------------------------
+// Deterministic gauges only: each is a function of the input program,
+// so runs stay byte-identical across thread counts.  Environmental
+// quantities (peak RSS, arena chunk reservations) live in the
+// stats-JSON "memory" section instead, never in counters.
+
+/** Cumulative bytes handed out by all worker arenas over the run. */
+inline Counter memArenaBytesAllocated{"mem.arena_bytes_allocated"};
+
+/** Largest arena working set any single block reached (Max gauge). */
+inline Counter memArenaHighWater{"mem.arena_high_water_bytes",
+                                 CounterKind::Max};
+
+/** Bytes of DAG arc records built over the run (arcs * sizeof(Arc)). */
+inline Counter memDagArcBytes{"mem.dag_arc_bytes"};
+
 // --- Adversarial harness (src/fuzz/) --------------------------------
 
 /** Programs synthesized by the fuzz generator. */

@@ -1,0 +1,29 @@
+#include "obs/memory.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace sched91::obs
+{
+
+std::uint64_t
+currentPeakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes.
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+    // Linux (and the BSDs) report kilobytes.
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+#else
+    return 0;
+#endif
+}
+
+} // namespace sched91::obs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Memory telemetry for the scheduling pipeline: where a run's bytes
+ * go (worker arenas, DAG arcs) and what the process paid for them
+ * (peak RSS).  The paper's F2 point — table building handling fpppp's
+ * 11750-instruction block — is as much a memory claim as a time
+ * claim; this module makes the footprint measurable.
+ *
+ * Two classes of quantity, with different determinism guarantees:
+ *
+ *  - *deterministic* gauges, functions of the input program alone —
+ *    cumulative arena bytes, the largest single-block arena working
+ *    set, DAG arc count/bytes.  These also surface as `mem.*`
+ *    counters and are byte-identical at every thread count;
+ *  - *environmental* gauges — arena chunk reservations (dependent on
+ *    block-to-worker assignment) and process peak RSS (monotonic over
+ *    process lifetime).  These appear only in the `"memory"`
+ *    stats-JSON section and are zeroed under `--zero-times`, keeping
+ *    whole-document byte-comparability intact.
+ */
+
+#ifndef SCHED91_OBS_MEMORY_HH
+#define SCHED91_OBS_MEMORY_HH
+
+#include <cstdint>
+
+namespace sched91::obs
+{
+
+/** One run's memory footprint (ProgramResult::memory). */
+struct MemoryStats
+{
+    // Deterministic: functions of the input program.
+    std::uint64_t arenaBytesAllocated = 0; ///< cumulative, all workers
+    std::uint64_t arenaHighWaterBytes = 0; ///< largest one-block set
+    std::uint64_t dagArcs = 0;             ///< arcs across all blocks
+    std::uint64_t dagArcBytes = 0;         ///< dagArcs * sizeof(Arc)
+
+    // Environmental: depend on lane assignment / process history.
+    std::uint64_t arenaReservedBytes = 0; ///< chunk storage, all workers
+    std::uint64_t arenaChunks = 0;        ///< chunk count, all workers
+    std::uint64_t peakRssBytes = 0;       ///< getrusage ru_maxrss
+
+    friend bool
+    operator==(const MemoryStats &a, const MemoryStats &b)
+    {
+        return a.arenaBytesAllocated == b.arenaBytesAllocated &&
+               a.arenaHighWaterBytes == b.arenaHighWaterBytes &&
+               a.dagArcs == b.dagArcs && a.dagArcBytes == b.dagArcBytes &&
+               a.arenaReservedBytes == b.arenaReservedBytes &&
+               a.arenaChunks == b.arenaChunks &&
+               a.peakRssBytes == b.peakRssBytes;
+    }
+};
+
+/**
+ * Process peak resident set in bytes (getrusage RUSAGE_SELF
+ * ru_maxrss).  Monotonic over the process lifetime; 0 where the
+ * platform cannot report it.
+ */
+std::uint64_t currentPeakRssBytes();
+
+} // namespace sched91::obs
+
+#endif // SCHED91_OBS_MEMORY_HH

@@ -30,6 +30,11 @@ struct TraceEvent
     std::uint32_t size = 0;    ///< instructions in the block
     const char *phase = "";    ///< "build", "heur", "sched", ...
     double seconds = 0.0;
+    /** Pipeline lane that processed the block.  Consumed by the
+     * Chrome-trace sink (`tid`); deliberately *not* serialized by
+     * JsonlTraceSink — lane assignment varies with thread count, and
+     * JSONL traces are byte-compared across thread counts. */
+    unsigned worker = 0;
     CounterSet counters;       ///< event deltas within the phase
 };
 

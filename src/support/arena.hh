@@ -56,6 +56,7 @@ class Arena
             return allocateSlow(bytes, align);
         cursor_ = p + bytes;
         bytesInUse_ += bytes;
+        totalAllocated_ += bytes;
         return reinterpret_cast<void *>(p);
     }
 
@@ -75,6 +76,8 @@ class Arena
     void
     reset()
     {
+        if (bytesInUse_ > highWater_)
+            highWater_ = bytesInUse_;
         bytesInUse_ = 0;
         chunkIndex_ = 0;
         if (chunks_.empty()) {
@@ -87,6 +90,19 @@ class Arena
 
     /** Live bytes handed out since the last reset (without padding). */
     std::size_t bytesInUse() const { return bytesInUse_; }
+
+    /** Cumulative bytes handed out over the arena's lifetime, across
+     * resets (without padding).  Deterministic for a given block
+     * sequence, so it can back `mem.*` counters. */
+    std::size_t totalBytesAllocated() const { return totalAllocated_; }
+
+    /** Largest bytesInUse() any single reset cycle (block) reached,
+     * including the current one — the per-worker working-set peak. */
+    std::size_t
+    highWaterBytes() const
+    {
+        return bytesInUse_ > highWater_ ? bytesInUse_ : highWater_;
+    }
 
     /** Total chunk storage owned by the arena. */
     std::size_t
@@ -121,6 +137,7 @@ class Arena
             if (p + bytes <= limit_) {
                 cursor_ = p + bytes;
                 bytesInUse_ += bytes;
+                totalAllocated_ += bytes;
                 return reinterpret_cast<void *>(p);
             }
         }
@@ -136,6 +153,7 @@ class Arena
         std::uintptr_t p = (cursor_ + (align - 1)) & ~(align - 1);
         cursor_ = p + bytes;
         bytesInUse_ += bytes;
+        totalAllocated_ += bytes;
         return reinterpret_cast<void *>(p);
     }
 
@@ -145,6 +163,8 @@ class Arena
     std::uintptr_t cursor_ = 0;
     std::uintptr_t limit_ = 0;
     std::size_t bytesInUse_ = 0;
+    std::size_t totalAllocated_ = 0;
+    std::size_t highWater_ = 0;
 };
 
 /**

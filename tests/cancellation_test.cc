@@ -11,10 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "core/backend.hh"
 #include "core/pipeline.hh"
+#include "obs/counters.hh"
 #include "dag/n2_forward.hh"
 #include "ir/basic_block.hh"
 #include "ir/parser.hh"
@@ -179,6 +181,87 @@ TEST(Cancellation, GenerousBudgetDoesNotDegrade)
     ProgramResult result = runPipeline(prog, machine, opts);
     EXPECT_EQ(result.blocksDegraded, 0u);
     EXPECT_TRUE(result.blockIssues.empty());
+}
+
+// --- Whole-run budget (PipelineOptions::maxRunSeconds) -------------
+
+/** Several branch-separated blocks, so the run budget has more than
+ * one block to account for. */
+std::string
+multiBlockSource(int blocks, int insts_per_block)
+{
+    std::string src;
+    for (int b = 0; b < blocks; ++b) {
+        src += "blk" + std::to_string(b) + ":\n";
+        for (int i = 0; i < insts_per_block; ++i)
+            src += "    add %g1, %g2, %g3\n";
+        if (b + 1 < blocks)
+            src += "    ba blk" + std::to_string(b + 1) + "\n    nop\n";
+    }
+    return src;
+}
+
+TEST(Cancellation, RunBudgetDegradesEveryBlockAndCounts)
+{
+    obs::setEnabled(true);
+    obs::CounterRegistry::global().resetAll();
+
+    Program prog = parseAssembly(multiBlockSource(4, 50));
+    MachineModel machine;
+    PipelineOptions opts;
+    opts.maxRunSeconds = 1e-9; // exhausted before any block starts
+    opts.threads = 1;
+
+    ProgramResult result = runPipeline(prog, machine, opts);
+    obs::setEnabled(false);
+    obs::CounterRegistry::global().resetAll();
+
+    EXPECT_EQ(result.blocksDegraded, result.numBlocks);
+    ASSERT_EQ(result.blockIssues.size(), result.numBlocks);
+    for (const ProgramResult::BlockIssue &issue : result.blockIssues) {
+        EXPECT_EQ(issue.stage, "budget");
+        EXPECT_TRUE(issue.degraded);
+        EXPECT_NE(issue.reason.find("run budget"), std::string::npos);
+    }
+    // The run-budget rung of the ladder is attributed distinctly
+    // from the per-block budget.
+    EXPECT_GE(result.counters.value("cancel.run_budget_exhausted"),
+              static_cast<std::uint64_t>(result.numBlocks));
+}
+
+TEST(Cancellation, GenerousRunBudgetDoesNotDegrade)
+{
+    obs::setEnabled(true);
+    obs::CounterRegistry::global().resetAll();
+
+    Program prog = parseAssembly(multiBlockSource(4, 50));
+    MachineModel machine;
+    PipelineOptions opts;
+    opts.maxRunSeconds = 3600.0;
+    opts.threads = 1;
+
+    ProgramResult result = runPipeline(prog, machine, opts);
+    obs::setEnabled(false);
+    obs::CounterRegistry::global().resetAll();
+
+    EXPECT_EQ(result.blocksDegraded, 0u);
+    EXPECT_TRUE(result.blockIssues.empty());
+    EXPECT_EQ(result.counters.value("cancel.run_budget_exhausted"), 0u);
+}
+
+TEST(Cancellation, RunBudgetTightensPerBlockShare)
+{
+    // A whole-run budget smaller than the (huge) per-block cap must
+    // win: the fair share, not maxBlockSeconds, is what expires.
+    Program prog = parseAssembly(multiBlockSource(2, 50));
+    MachineModel machine;
+    PipelineOptions opts;
+    opts.maxBlockSeconds = 3600.0;
+    opts.maxRunSeconds = 1e-9;
+    opts.threads = 1;
+
+    ProgramResult result = runPipeline(prog, machine, opts);
+    EXPECT_EQ(result.blocksDegraded, result.numBlocks);
 }
 
 // --- Backend (compileProgram) budget threading ---------------------

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Histogram layer tests (obs/histogram.hh): log2 bucket geometry,
+ * pinned percentile values, the associative/commutative merge the
+ * per-worker shard design depends on, HistogramSet name ordering,
+ * and the `_ns` duration-naming convention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hh"
+
+namespace sched91::obs
+{
+namespace
+{
+
+// --- Bucket geometry -----------------------------------------------
+
+TEST(Histogram, BucketGeometry)
+{
+    // Bucket index == bit width: 0 -> 0, [2^(i-1), 2^i - 1] -> i.
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), 64u);
+
+    EXPECT_EQ(Histogram::bucketLo(0), 0u);
+    EXPECT_EQ(Histogram::bucketHi(0), 0u);
+    for (std::size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+        // Every value in [lo, hi] maps back to bucket i, and the
+        // buckets tile the range with no gap.
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLo(i)), i);
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketHi(i)), i);
+        EXPECT_EQ(Histogram::bucketLo(i),
+                  Histogram::bucketHi(i - 1) + 1);
+    }
+    EXPECT_EQ(Histogram::bucketHi(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, EmptyIsAllZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(50), 0u);
+    EXPECT_EQ(h.percentile(100), 0u);
+}
+
+TEST(Histogram, RecordBasicStats)
+{
+    Histogram h;
+    for (std::uint64_t v : {5u, 0u, 20u, 5u})
+        h.record(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 30u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 20u);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketOf(0)), 1u);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketOf(5)), 2u);
+    EXPECT_EQ(h.bucketCount(Histogram::bucketOf(20)), 1u);
+}
+
+// --- Pinned percentiles --------------------------------------------
+
+TEST(Histogram, PercentileSingleValue)
+{
+    Histogram h;
+    h.record(7);
+    // One sample: every percentile is that sample (bucket hi == 7
+    // happens to be exact here, and the max clamp covers the rest).
+    EXPECT_EQ(h.percentile(0), 7u);
+    EXPECT_EQ(h.percentile(50), 7u);
+    EXPECT_EQ(h.percentile(90), 7u);
+    EXPECT_EQ(h.percentile(99), 7u);
+    EXPECT_EQ(h.percentile(100), 7u);
+}
+
+TEST(Histogram, PercentilePinnedPowersOfTwo)
+{
+    Histogram h;
+    for (std::uint64_t v : {1u, 2u, 4u, 8u})
+        h.record(v);
+    // p50: rank ceil(0.5*4) = 2 -> second sample's bucket is
+    // [2,3] -> reported as its inclusive upper bound 3.
+    EXPECT_EQ(h.percentile(50), 3u);
+    // p75: rank 3 -> bucket [4,7] -> 7.
+    EXPECT_EQ(h.percentile(75), 7u);
+    // p90/p99: rank 4 -> bucket [8,15], clamped to the observed max.
+    EXPECT_EQ(h.percentile(90), 8u);
+    EXPECT_EQ(h.percentile(99), 8u);
+    EXPECT_EQ(h.percentile(0), 1u) << "p0 is the minimum";
+    EXPECT_EQ(h.percentile(100), 8u) << "p100 is the exact maximum";
+}
+
+TEST(Histogram, PercentileSkewedTail)
+{
+    // 1000 fast events and one huge outlier: p50/p99 must not be
+    // dragged up by the tail, p100 must report it exactly.
+    Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.record(1);
+    h.record(1000000);
+    EXPECT_EQ(h.percentile(50), 1u);
+    EXPECT_EQ(h.percentile(99), 1u); // rank 991 of 1001 is still a 1
+    EXPECT_EQ(h.percentile(100), 1000000u);
+    EXPECT_EQ(h.max(), 1000000u);
+}
+
+TEST(Histogram, PercentileNeverOverstatesMax)
+{
+    // A lone value just above a power of two: the bucket's upper
+    // bound (1023) exceeds the sample, so the clamp must kick in.
+    Histogram h;
+    h.record(513);
+    EXPECT_EQ(h.percentile(50), 513u);
+    EXPECT_EQ(h.percentile(99), 513u);
+}
+
+// --- Merge algebra -------------------------------------------------
+
+Histogram
+fromValues(const std::vector<std::uint64_t> &values)
+{
+    Histogram h;
+    for (std::uint64_t v : values)
+        h.record(v);
+    return h;
+}
+
+TEST(Histogram, MergeEqualsSingleStream)
+{
+    // Merging per-worker shards must equal recording the whole
+    // stream into one histogram, regardless of the split.
+    std::vector<std::uint64_t> all{0, 1, 3, 9, 100, 4096, 9, 77};
+    Histogram whole = fromValues(all);
+
+    Histogram a = fromValues({0, 1, 3});
+    Histogram b = fromValues({9, 100});
+    Histogram c = fromValues({4096, 9, 77});
+    a.merge(b);
+    a.merge(c);
+    EXPECT_EQ(a, whole);
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative)
+{
+    Histogram a = fromValues({1, 2, 3});
+    Histogram b = fromValues({10, 20});
+    Histogram c = fromValues({0, 500});
+
+    Histogram ab_c = a;
+    ab_c.merge(b);
+    ab_c.merge(c);
+
+    Histogram bc = b;
+    bc.merge(c);
+    Histogram a_bc = a;
+    a_bc.merge(bc);
+    EXPECT_EQ(ab_c, a_bc) << "merge is associative";
+
+    Histogram ba = b;
+    ba.merge(a);
+    Histogram ab = a;
+    ab.merge(b);
+    EXPECT_EQ(ab, ba) << "merge is commutative";
+}
+
+TEST(Histogram, MergeEmptyIsIdentity)
+{
+    Histogram a = fromValues({4, 5});
+    Histogram empty;
+    Histogram merged = a;
+    merged.merge(empty);
+    EXPECT_EQ(merged, a);
+
+    // Empty-into-nonempty must not poison min with the empty's 0.
+    Histogram onto;
+    onto.merge(a);
+    EXPECT_EQ(onto, a);
+    EXPECT_EQ(onto.min(), 4u);
+}
+
+// --- HistogramSet --------------------------------------------------
+
+TEST(HistogramSet, GetCreatesAndKeepsNameOrder)
+{
+    HistogramSet set;
+    set.record("z.last", 1);
+    set.record("a.first", 2);
+    set.record("m.mid", 3);
+    set.record("a.first", 4);
+
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set.items()[0].first, "a.first");
+    EXPECT_EQ(set.items()[1].first, "m.mid");
+    EXPECT_EQ(set.items()[2].first, "z.last");
+    EXPECT_EQ(set.items()[0].second.count(), 2u);
+
+    ASSERT_NE(set.find("m.mid"), nullptr);
+    EXPECT_EQ(set.find("m.mid")->sum(), 3u);
+    EXPECT_EQ(set.find("absent"), nullptr);
+}
+
+TEST(HistogramSet, MergeByName)
+{
+    HistogramSet a, b;
+    a.record("shared", 1);
+    a.record("only_a", 2);
+    b.record("shared", 3);
+    b.record("only_b", 4);
+
+    a.merge(b);
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.find("shared")->count(), 2u);
+    EXPECT_EQ(a.find("shared")->sum(), 4u);
+    EXPECT_EQ(a.find("only_a")->count(), 1u);
+    EXPECT_EQ(a.find("only_b")->count(), 1u);
+}
+
+// --- Conventions and rendering -------------------------------------
+
+TEST(Histogram, TimeHistogramNaming)
+{
+    EXPECT_TRUE(isTimeHistogram("lat.build_ns"));
+    EXPECT_TRUE(isTimeHistogram("x_ns"));
+    EXPECT_FALSE(isTimeHistogram("block.insts"));
+    EXPECT_FALSE(isTimeHistogram("ns"));
+    EXPECT_FALSE(isTimeHistogram("_nsx"));
+}
+
+TEST(Histogram, SecondsToNs)
+{
+    EXPECT_EQ(secondsToNs(0.0), 0u);
+    EXPECT_EQ(secondsToNs(-1.0), 0u);
+    EXPECT_EQ(secondsToNs(1.5), 1500000000u);
+    EXPECT_EQ(secondsToNs(2e-9), 2u);
+}
+
+TEST(Histogram, RenderTable)
+{
+    HistogramSet set;
+    for (std::uint64_t v : {1u, 2u, 4u, 8u})
+        set.record("lat.demo_ns", v);
+    std::string table = renderHistograms(set);
+    EXPECT_NE(table.find("lat.demo_ns"), std::string::npos);
+    EXPECT_NE(table.find("count"), std::string::npos);
+    EXPECT_NE(table.find("p99"), std::string::npos);
+    EXPECT_NE(table.find("4"), std::string::npos); // the count column
+}
+
+} // namespace
+} // namespace sched91::obs

@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -378,6 +380,67 @@ TEST(JsonWriter, EscapesAndNesting)
     EXPECT_EQ(v.at("xs").array().size(), 2u);
 }
 
+TEST(JsonWriter, NumberFormats)
+{
+    // Pinned textual forms: integers must print as integers (no
+    // double rounding past 2^53), doubles locale-independently via
+    // %.9g, non-finite values as null.
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("u64max").value(~std::uint64_t{0})
+        .key("i64min").value(std::int64_t{-9223372036854775807LL - 1})
+        .key("tenth").value(0.1)
+        .key("big").value(1e300)
+        .key("negzero").value(-0.0)
+        .key("nan").value(std::nan(""))
+        .key("inf").value(std::numeric_limits<double>::infinity())
+        .endObject();
+    std::string text = w.take();
+
+    EXPECT_NE(text.find("\"u64max\":18446744073709551615"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"i64min\":-9223372036854775808"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"tenth\":0.1"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"big\":1e+300"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"nan\":null"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"inf\":null"), std::string::npos) << text;
+}
+
+TEST(JsonWriter, ControlCharacterEscapes)
+{
+    // The named short escapes plus the \u00xx fallback for the rest
+    // of the C0 range; DEL and non-ASCII bytes pass through.
+    EXPECT_EQ(obs::jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(obs::jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::jsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+    EXPECT_EQ(obs::jsonEscape(std::string_view("\x01\x1f", 2)),
+              "\\u0001\\u001f");
+    EXPECT_EQ(obs::jsonEscape("\x7f"), "\x7f");
+
+    obs::JsonWriter w;
+    w.beginObject().key("k\n").value("v\x02").endObject();
+    JsonValue v = JsonParser(w.take()).parse();
+    EXPECT_EQ(v.at("k\n").str(), std::string("v\x02"));
+}
+
+TEST(JsonWriter, EmptyContainersAndNesting)
+{
+    obs::JsonWriter w;
+    w.beginObject()
+        .key("eo").beginObject().endObject()
+        .key("ea").beginArray().endArray()
+        .key("aa").beginArray()
+        .beginArray().value(1).endArray()
+        .beginArray().endArray()
+        .endArray()
+        .endObject();
+    std::string text = w.take();
+    EXPECT_EQ(text, "{\"eo\":{},\"ea\":[],\"aa\":[[1],[]]}");
+}
+
 TEST(Emitter, ProgramResultJsonRoundTrips)
 {
     ObsStateGuard guard;
@@ -418,6 +481,80 @@ TEST(Emitter, ProgramResultJsonRoundTrips)
         }
     }
     EXPECT_TRUE(saw_build);
+}
+
+TEST(Emitter, HistogramAndMemorySectionsRoundTrip)
+{
+    ObsStateGuard guard;
+    obs::setEnabled(true);
+
+    Program prog = kernelProgram("daxpy");
+    PipelineOptions opts;
+    ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+
+    obs::RunMeta meta;
+    meta.command = "test";
+    std::string text = obs::programResultJson(r, meta, r.counters,
+                                              nullptr);
+    JsonValue v = JsonParser(text).parse();
+
+    // Deterministic size histogram: one sample per block, bucket
+    // counts summing to the total, percentiles within [min, max].
+    ASSERT_TRUE(v.at("histograms").has("block.insts"));
+    const JsonValue &bi = v.at("histograms").at("block.insts");
+    EXPECT_EQ(bi.at("count").number(),
+              static_cast<double>(r.numBlocks));
+    double bucket_total = 0.0;
+    for (const JsonValue &b : bi.at("buckets").array()) {
+        EXPECT_LE(b.at("lo").number(), b.at("hi").number());
+        bucket_total += b.at("count").number();
+    }
+    EXPECT_EQ(bucket_total, bi.at("count").number());
+    EXPECT_LE(bi.at("min").number(), bi.at("p50").number());
+    EXPECT_LE(bi.at("p50").number(), bi.at("p99").number());
+    EXPECT_LE(bi.at("p99").number(), bi.at("max").number());
+
+    // Duration histograms follow the _ns convention and see one
+    // event per block too.
+    ASSERT_TRUE(v.at("histograms").has("lat.build_ns"));
+    EXPECT_EQ(v.at("histograms").at("lat.build_ns").at("count").number(),
+              static_cast<double>(r.numBlocks));
+
+    // Memory telemetry: the deterministic gauges must be real.
+    const JsonValue &m = v.at("memory");
+    EXPECT_GT(m.at("arena_bytes_allocated").number(), 0.0);
+    EXPECT_GE(m.at("arena_high_water_bytes").number(),
+              m.at("arena_bytes_allocated").number() /
+                  static_cast<double>(r.numBlocks));
+    EXPECT_GT(m.at("dag_arcs").number(), 0.0);
+    // dag_arc_bytes is dag_arcs * sizeof(Arc): an exact multiple,
+    // strictly larger than the arc count.
+    EXPECT_GT(m.at("dag_arc_bytes").number(), m.at("dag_arcs").number());
+    EXPECT_EQ(std::fmod(m.at("dag_arc_bytes").number(),
+                        m.at("dag_arcs").number()),
+              0.0);
+
+    // zeroTimes: duration histogram values and environmental memory
+    // gauges go to zero, but deterministic counts survive.
+    obs::EmitOptions zt;
+    zt.zeroTimes = true;
+    JsonValue z = JsonParser(
+                      obs::programResultJson(r, meta, r.counters,
+                                             nullptr, zt))
+                      .parse();
+    const JsonValue &zlat = z.at("histograms").at("lat.build_ns");
+    EXPECT_EQ(zlat.at("count").number(),
+              static_cast<double>(r.numBlocks));
+    EXPECT_EQ(zlat.at("sum").number(), 0.0);
+    EXPECT_EQ(zlat.at("p99").number(), 0.0);
+    EXPECT_TRUE(zlat.at("buckets").array().empty());
+    EXPECT_EQ(z.at("histograms").at("block.insts").at("sum").number(),
+              bi.at("sum").number())
+        << "size histograms are deterministic, not zeroed";
+    EXPECT_EQ(z.at("memory").at("peak_rss_bytes").number(), 0.0);
+    EXPECT_EQ(z.at("memory").at("arena_reserved_bytes").number(), 0.0);
+    EXPECT_EQ(z.at("memory").at("arena_bytes_allocated").number(),
+              m.at("arena_bytes_allocated").number());
 }
 
 TEST(Trace, JsonlLinesParse)

@@ -2,7 +2,7 @@
 # Build and run the fuzz targets (docs/FUZZING.md) for a short,
 # CI-friendly budget.
 #
-# Usage: tools/run_fuzz.sh [seconds-per-target] [build-dir]
+# Usage: tools/run_fuzz.sh [seconds-per-target] [build-dir] [corpus-dir]
 #
 # Configures a dedicated build with -DSCHED91_FUZZ=ON and ASan+UBSan.
 # With a libFuzzer-capable compiler (clang) the targets fuzz with the
@@ -11,12 +11,22 @@
 # the same command line.  Either way the contract is identical: both
 # targets must survive the budget over the malformed-corpus seeds
 # with zero crashes.
+#
+# corpus-dir (default fuzz-corpus/, override with $SCHED91_FUZZ_CORPUS)
+# is the *persistent* corpus: each target seeds from its subdirectory
+# in addition to the checked-in malformed corpus, and libFuzzer writes
+# every coverage-increasing input back to it (the first corpus
+# directory on the command line is the writable one).  CI caches this
+# directory across runs keyed on the generator sources, so successive
+# short smoke budgets compound instead of restarting from scratch.
+# The GCC fallback driver treats the directory as seed-only.
 set -eu
 
 budget=${1:-60}
 build=${2:-build-fuzz}
 src=$(cd "$(dirname "$0")/.." && pwd)
 corpus="$src/tests/corpus/malformed"
+persist=${3:-${SCHED91_FUZZ_CORPUS:-fuzz-corpus}}
 
 cmake -B "$build" -S "$src" \
     -DSCHED91_FUZZ=ON \
@@ -24,13 +34,21 @@ cmake -B "$build" -S "$src" \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g"
 cmake --build "$build" -j --target fuzz_parser fuzz_pipeline
 
+mkdir -p "$persist"
+persist=$(cd "$persist" && pwd)
+
 fails=0
 for target in fuzz_parser fuzz_pipeline; do
-    echo "=== $target: ${budget}s over $corpus ==="
-    if ! "$build/src/$target" -max_total_time="$budget" "$corpus"; then
+    mkdir -p "$persist/$target"
+    saved=$(ls "$persist/$target" | wc -l)
+    echo "=== $target: ${budget}s over $corpus + $saved saved input(s) ==="
+    if ! "$build/src/$target" -max_total_time="$budget" \
+            -artifact_prefix="$persist/$target/crash-" \
+            "$persist/$target" "$corpus"; then
         echo "FAIL: $target crashed" >&2
         fails=$((fails + 1))
     fi
+    echo "    corpus now $(ls "$persist/$target" | wc -l) input(s)"
 done
 
 if [ "$fails" -ne 0 ]; then

@@ -31,18 +31,23 @@
  *                           seconds, DAG structure, event counters,
  *                           phase tree); "-" for stdout.  schedule
  *                           and profile only.
- *     --trace <path>        write a JSONL trace with counter deltas
+ *     --trace <path>        write a trace with counter deltas
  *                           ("-" for stdout): one event per block per
  *                           phase under profile, one per block under
  *                           schedule
+ *     --trace-format <f>    jsonl (default) | chrome (Trace Event
+ *                           Format for about://tracing / Perfetto)
  *     --counters            print nonzero event counters to stderr
  *                           (any command)
+ *     --histograms          print per-block latency/size histograms
+ *                           to stderr (profile)
  *
  * Robustness options (docs/ROBUSTNESS.md):
  *     --strict              fail fast on parse errors / block faults
  *     --verify/--no-verify  schedule verifier (default on)
  *     --max-block-insts <N> n**2 -> table builder fallback threshold
  *     --max-block-seconds <S>  per-block wall-clock budget
+ *     --max-run-seconds <S>    whole-run budget, fair-shared
  *
  * Exit codes: 0 success (including lenient recovery), 1 runtime
  * error, 2 usage error.
@@ -54,13 +59,16 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 
 #include "core/sched91.hh"
 #include "dag/dot_export.hh"
+#include "obs/chrome_trace.hh"
 #include "obs/events.hh"
+#include "obs/histogram.hh"
 #include "sched/report.hh"
 #include "core/backend.hh"
 #include "sched/timeline.hh"
@@ -103,7 +111,9 @@ struct CliOptions
     unsigned threads = 0;  ///< --threads (0 = hardware concurrency)
     std::string statsJson; ///< --stats-json path ("-" = stdout)
     std::string tracePath; ///< --trace path ("-" = stdout)
+    std::string traceFormat = "jsonl"; ///< --trace-format=chrome|jsonl
     bool counters = false; ///< --counters
+    bool histograms = false; ///< --histograms
     bool zeroTimes = false; ///< --zero-times
 
     // Robustness (docs/ROBUSTNESS.md).
@@ -111,11 +121,13 @@ struct CliOptions
     bool verify = true;       ///< --no-verify turns the checker off
     int maxBlockInsts = 400;  ///< --max-block-insts (0 = off)
     double maxBlockSeconds = 0.0; ///< --max-block-seconds (0 = off)
+    double maxRunSeconds = 0.0;   ///< --max-run-seconds (0 = off)
 
     bool
     observing() const
     {
-        return !statsJson.empty() || !tracePath.empty() || counters;
+        return !statsJson.empty() || !tracePath.empty() || counters ||
+               histograms;
     }
 };
 
@@ -192,10 +204,14 @@ const char kUsage[] =
     "observability (docs/OBSERVABILITY.md):\n"
     "  --stats-json <path>  run result as JSON, \"-\" for stdout\n"
     "                       (schedule and profile)\n"
-    "  --trace <path>       JSONL trace with per-block counter deltas\n"
+    "  --trace <path>       trace with per-block counter deltas\n"
     "                       (per phase under profile)\n"
+    "  --trace-format <f>   jsonl (default) | chrome: Trace Event\n"
+    "                       Format JSON for about://tracing/Perfetto\n"
     "  --counters           nonzero event counters on stderr (any\n"
     "                       command)\n"
+    "  --histograms         per-block latency/size histograms on\n"
+    "                       stderr (profile: p50/p90/p99/max)\n"
     "  --zero-times         write all seconds fields as 0 in\n"
     "                       --stats-json/--trace output (byte-\n"
     "                       comparable across runs and thread counts)\n"
@@ -213,6 +229,10 @@ const char kUsage[] =
     "  --max-block-seconds <S>  per-block wall-clock budget; overrun\n"
     "                       degrades the block to original order\n"
     "                       (default off)\n"
+    "  --max-run-seconds <S>  whole-run wall-clock budget, divided\n"
+    "                       fair-share across remaining blocks; once\n"
+    "                       spent, remaining blocks degrade to\n"
+    "                       original order (default off)\n"
     "\n"
     "exit codes: 0 success (including lenient recovery), 1 runtime\n"
     "error, 2 usage error\n";
@@ -257,8 +277,16 @@ parseArgs(int argc, char **argv)
             opts.statsJson = next();
         else if (arg == "--trace")
             opts.tracePath = next();
-        else if (arg == "--counters")
+        else if (arg == "--trace-format") {
+            opts.traceFormat = next();
+            if (opts.traceFormat != "jsonl" &&
+                opts.traceFormat != "chrome")
+                usageError("unknown trace format '", opts.traceFormat,
+                           "' (expected jsonl or chrome)");
+        } else if (arg == "--counters")
             opts.counters = true;
+        else if (arg == "--histograms")
+            opts.histograms = true;
         else if (arg == "--zero-times")
             opts.zeroTimes = true;
         else if (arg == "--strict")
@@ -271,6 +299,8 @@ parseArgs(int argc, char **argv)
             opts.maxBlockInsts = std::atoi(next().c_str());
         else if (arg == "--max-block-seconds")
             opts.maxBlockSeconds = std::atof(next().c_str());
+        else if (arg == "--max-run-seconds")
+            opts.maxRunSeconds = std::atof(next().c_str());
         else if (!arg.empty() && arg[0] != '-')
             opts.input = arg;
         else
@@ -288,6 +318,7 @@ applyRobustness(PipelineOptions &pipeline, const CliOptions &opts)
     pipeline.containFaults = !opts.strict;
     pipeline.maxBlockInsts = opts.maxBlockInsts;
     pipeline.maxBlockSeconds = opts.maxBlockSeconds;
+    pipeline.maxRunSeconds = opts.maxRunSeconds;
 }
 
 /**
@@ -306,18 +337,23 @@ class ObsSession
         obs::PhaseProfiler::global().clear();
         before_ = obs::CounterRegistry::global().snapshot();
         if (!opts.tracePath.empty()) {
-            if (opts.tracePath == "-") {
-                sink_.emplace(std::cout, opts.zeroTimes);
-            } else {
+            std::ostream *stream = &std::cout;
+            if (opts.tracePath != "-") {
                 traceFile_.open(opts.tracePath);
                 if (!traceFile_)
                     fatal("cannot open '", opts.tracePath, "'");
-                sink_.emplace(traceFile_, opts.zeroTimes);
+                stream = &traceFile_;
             }
+            if (opts.traceFormat == "chrome")
+                sink_ = std::make_unique<obs::ChromeTraceSink>(
+                    *stream, opts.zeroTimes);
+            else
+                sink_ = std::make_unique<obs::JsonlTraceSink>(
+                    *stream, opts.zeroTimes);
         }
     }
 
-    obs::TraceSink *trace() { return sink_ ? &*sink_ : nullptr; }
+    obs::TraceSink *trace() { return sink_.get(); }
 
     obs::RunMeta
     meta(const CliOptions &opts) const
@@ -347,6 +383,16 @@ class ObsSession
         obs::CounterSet delta = deltas();
         if (opts_.counters)
             std::fputs(obs::renderCounters(delta).c_str(), stderr);
+        if (opts_.histograms) {
+            if (result.histograms.empty())
+                std::fputs("(no histograms: this command does not run "
+                           "the block pipeline)\n",
+                           stderr);
+            else
+                std::fputs(
+                    obs::renderHistograms(result.histograms).c_str(),
+                    stderr);
+        }
         if (opts_.statsJson.empty())
             return;
         obs::EmitOptions emit;
@@ -376,7 +422,9 @@ class ObsSession
   private:
     const CliOptions &opts_;
     std::ofstream traceFile_;
-    std::optional<obs::JsonlTraceSink> sink_;
+    /** Declared after traceFile_ so it is destroyed first — the
+     * Chrome sink writes its buffered document on destruction. */
+    std::unique_ptr<obs::TraceSink> sink_;
     obs::CounterSet before_;
 };
 
