@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <numeric>
 #include <optional>
 #include <sstream>
 
 #include "dag/table_forward.hh"
+#include "heuristics/heuristic.hh"
 #include "heuristics/register_pressure.hh"
 #include "obs/events.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/histogram.hh"
 #include "obs/memory.hh"
 #include "obs/phase.hh"
@@ -17,6 +20,7 @@
 #include "sched/list_scheduler.hh"
 #include "sched/verifier.hh"
 #include "support/cancellation.hh"
+#include "support/log.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
 #include "support/worker_context.hh"
@@ -99,6 +103,9 @@ struct BlockOutput
     Schedule sched;
     obs::BufferedTraceSink trace; ///< used only when tracing
 
+    /** Decision log, only for the --explain-block target. */
+    std::unique_ptr<DecisionTrace> decisions;
+
     // Robustness outcomes (reduced into ProgramResult post-join).
     bool fallback = false;       ///< n**2 -> table builder switch
     bool degraded = false;       ///< schedule is original order
@@ -127,7 +134,25 @@ struct WorkerState
     /** Per-block latency/size distributions; merged post-join (bucket
      * addition is associative, so lane assignment cannot show). */
     obs::HistogramSet hists;
+    /** Flight-recorder ring, claimed lazily on first chunk. */
+    obs::flight::Recorder *flight = nullptr;
+    /** Buffered log records, replayed post-join in block order. */
+    log::LogBuffer logBuf;
+    /** Lane-local top-K outliers; merged post-join. */
+    std::unique_ptr<obs::OutlierTracker> outliers;
 };
+
+/** Lines of @p block's instructions, for a forensic bundle. */
+std::string
+blockSourceText(const BlockView &block)
+{
+    std::string out;
+    for (std::uint32_t i = 0; i < block.size(); ++i) {
+        out += block.inst(i).toString();
+        out += '\n';
+    }
+    return out;
+}
 
 } // namespace
 
@@ -173,6 +198,30 @@ runPipeline(Program &prog, const MachineModel &machine,
     std::vector<BlockOutput> outputs(blocks.size());
     std::vector<WorkerState> workers(threads);
 
+    // Outlier capture rides the counter shards (the score is a counter
+    // sum), so it requires the observability layer.
+    const bool capture =
+        obs_on && opts.captureOutliers > 0 && !blocks.empty();
+    if (capture)
+        for (WorkerState &ws : workers)
+            ws.outliers = std::make_unique<obs::OutlierTracker>(
+                static_cast<std::size_t>(opts.captureOutliers));
+
+    // Flight-recorder bracket: the caller's thread owns the first ring
+    // (run begin/end, post-join events); lanes claim theirs on first
+    // chunk.  Payloads are properties of the input, never of the lane
+    // layout, so dumps stay byte-identical across thread counts.
+    const bool flight_on = obs::flight::enabled();
+    std::optional<obs::flight::ScopedRecorder> flight_scope;
+    if (flight_on) {
+        obs::flight::beginRun();
+        obs::flight::setGauge(obs::flight::Gauge::BlocksTotal,
+                              blocks.size());
+        flight_scope.emplace(obs::flight::claim());
+        obs::flight::record(obs::flight::EventKind::RunBegin, "run", {},
+                            blocks.size(), prog.size());
+    }
+
     // Whole-run budget bookkeeping: blocks not yet *started*, shared
     // across lanes so each starting block can claim its fair share of
     // whatever wall-clock remains.
@@ -193,9 +242,13 @@ runPipeline(Program &prog, const MachineModel &machine,
         // Ladder rung two (last resort): the block keeps its original
         // instruction order — trivially valid, zero claimed speedup.
         auto degrade = [&](const char *stage, std::string reason) {
+            obs::flight::record(obs::flight::EventKind::Diag, stage,
+                                reason);
+            log::info("block ", b, " degraded at ", stage, ": ", reason);
             out.degraded = true;
             out.stage = stage;
             out.reason = std::move(reason);
+            out.decisions.reset();
             out.sched = Schedule{};
             out.sched.order.resize(bb.size());
             std::iota(out.sched.order.begin(), out.sched.order.end(),
@@ -312,6 +365,8 @@ runPipeline(Program &prog, const MachineModel &machine,
             Dag dag = use_builder->build(block, machine, build_opts);
             out.buildSeconds = build_phase.stop();
             tracer.phaseDone("build", build_phase.seconds());
+            obs::flight::record(obs::flight::EventKind::PhaseEnd,
+                                "build", {}, dag.size(), dag.numArcs());
             spent += build_phase.seconds();
             checkBudget("build");
 
@@ -320,15 +375,43 @@ runPipeline(Program &prog, const MachineModel &machine,
             runNeededPasses(dag, spec.config, opts.passImpl);
             out.heurSeconds = heur_phase.stop();
             tracer.phaseDone("heur", heur_phase.seconds());
+            obs::flight::record(obs::flight::EventKind::PhaseEnd, "heur");
             spent += heur_phase.seconds();
             checkBudget("heur");
 
             stage = "sched";
+            // --explain-block: record this block's full decision log
+            // through the explicit winnowing selection path.
+            DecisionStats decision_stats;
+            DecisionStats *stats_ptr = nullptr;
+            if (opts.explainBlock >= 0 &&
+                b == static_cast<std::size_t>(opts.explainBlock)) {
+                decision_stats.recordLog = true;
+                stats_ptr = &decision_stats;
+            }
             obs::ScopedPhase sched_phase("sched");
             out.sched =
-                scheduler.run(dag, nullptr, token ? &*token : nullptr);
+                scheduler.run(dag, stats_ptr, token ? &*token : nullptr);
             out.schedSeconds = sched_phase.stop();
             tracer.phaseDone("sched", sched_phase.seconds());
+            obs::flight::record(obs::flight::EventKind::PhaseEnd,
+                                "sched", {}, out.sched.order.size(),
+                                static_cast<std::uint64_t>(
+                                    out.sched.makespan < 0
+                                        ? 0
+                                        : out.sched.makespan));
+            if (stats_ptr) {
+                out.decisions = std::make_unique<DecisionTrace>();
+                out.decisions->block = static_cast<int>(b);
+                out.decisions->algorithm = spec.config.name;
+                for (const RankedHeuristic &rh : spec.config.ranking)
+                    out.decisions->rankNames.push_back(
+                        heuristicInfo(rh.heuristic).name);
+                out.decisions->stats = std::move(decision_stats);
+                for (std::uint32_t i = 0; i < block.size(); ++i)
+                    out.decisions->insts.push_back(
+                        block.inst(i).toString());
+            }
 
             if (opts.verify) {
                 stage = "verify";
@@ -336,6 +419,8 @@ runPipeline(Program &prog, const MachineModel &machine,
                 VerifyResult vr = verifySchedule(dag, out.sched, machine);
                 out.verifySeconds = verify_phase.stop();
                 tracer.phaseDone("verify", verify_phase.seconds());
+                obs::flight::record(obs::flight::EventKind::PhaseEnd,
+                                    "verify", {}, vr.ok() ? 1 : 0);
                 if (!vr.ok()) {
                     obs::ev::robustVerifierRejections.inc();
                     out.verifyRejected = true;
@@ -388,6 +473,10 @@ runPipeline(Program &prog, const MachineModel &machine,
                 }
                 eval_phase.stop();
                 tracer.phaseDone("evaluate", eval_phase.seconds());
+                obs::flight::record(
+                    obs::flight::EventKind::PhaseEnd, "evaluate", {},
+                    static_cast<std::uint64_t>(out.cyclesOriginal),
+                    static_cast<std::uint64_t>(out.cyclesScheduled));
             }
         } catch (const BlockAbort &a) {
             degrade(a.stage, a.reason);
@@ -400,6 +489,8 @@ runPipeline(Program &prog, const MachineModel &machine,
             obs::ev::cancelBlocksCancelled.inc();
             if (from_run_budget)
                 obs::ev::cancelRunBudgetExhausted.inc();
+            obs::flight::record(obs::flight::EventKind::Cancel, "budget",
+                                e.what());
             degrade("budget", e.what());
         } catch (const std::exception &e) {
             if (!opts.containFaults)
@@ -413,6 +504,34 @@ runPipeline(Program &prog, const MachineModel &machine,
     auto runChunk = [&](unsigned w, std::size_t begin, std::size_t end) {
         WorkerState &ws = workers[w];
         WorkerContext::Scope ctx_scope(ws.ctx);
+        // One log buffer and (lazily claimed) flight ring per lane;
+        // both key their records by block id, so the post-join merge
+        // order is independent of the lane layout.
+        log::ScopedLogBuffer log_scope(&ws.logBuf);
+        if (flight_on && !ws.flight)
+            ws.flight = obs::flight::claim();
+        std::optional<obs::flight::ScopedRecorder> lane_flight;
+        if (flight_on)
+            lane_flight.emplace(ws.flight);
+
+        auto blockBegin = [&](std::size_t b) {
+            ws.logBuf.setBlock(b);
+            obs::flight::setBlock(b);
+            obs::flight::record(obs::flight::EventKind::BlockBegin,
+                                "block", {}, blocks[b].size(),
+                                blocks[b].begin);
+        };
+        auto blockEnd = [&](std::size_t b) {
+            obs::flight::record(obs::flight::EventKind::BlockEnd,
+                                "block",
+                                outputs[b].degraded
+                                    ? std::string_view{"degraded"}
+                                    : std::string_view{},
+                                blocks[b].size());
+            if (flight_on)
+                obs::flight::addGauge(obs::flight::Gauge::BlocksDone, 1);
+        };
+
         if (obs_on) {
             // Even a single-lane run routes through the shard: the
             // per-block clear is what gives Max gauges history-free
@@ -423,6 +542,7 @@ runPipeline(Program &prog, const MachineModel &machine,
             for (std::size_t b = begin; b < end; ++b) {
                 ws.blockShard.clear();
                 ws.ctx.beginBlock();
+                blockBegin(b);
                 processBlock(w, b);
                 ws.blockShard.flushInto(ws.accum);
                 // Per-block distributions, while the block's arena
@@ -440,11 +560,45 @@ runPipeline(Program &prog, const MachineModel &machine,
                                 obs::secondsToNs(out.schedSeconds));
                 ws.hists.record("lat.verify_ns",
                                 obs::secondsToNs(out.verifySeconds));
+
+                // Deterministic work score: what the outlier ranking
+                // and the CounterSnap flight event report.
+                const std::uint64_t score =
+                    obs::shardWorkScore(ws.blockShard);
+                obs::flight::record(
+                    obs::flight::EventKind::CounterSnap, "work", {},
+                    score);
+                if (ws.outliers && ws.outliers->admits(score, b)) {
+                    obs::OutlierRecord rec;
+                    rec.block = b;
+                    rec.score = score;
+                    rec.begin = blocks[b].begin;
+                    rec.size = blocks[b].size();
+                    rec.dagNodes = out.dagStats.totalNodes;
+                    rec.dagArcs = out.dagStats.totalArcs;
+                    rec.buildSeconds = out.buildSeconds;
+                    rec.heurSeconds = out.heurSeconds;
+                    rec.schedSeconds = out.schedSeconds;
+                    rec.verifySeconds = out.verifySeconds;
+                    rec.counters = ws.blockShard.snapshot().nonzero();
+                    rec.stage = out.fallback && !out.degraded
+                                    ? "fallback"
+                                    : out.stage;
+                    rec.reason = out.reason;
+                    rec.degraded = out.degraded;
+                    rec.fallback = out.fallback;
+                    rec.source =
+                        blockSourceText(BlockView(prog, blocks[b]));
+                    ws.outliers->insert(std::move(rec));
+                }
+                blockEnd(b);
             }
         } else {
             for (std::size_t b = begin; b < end; ++b) {
                 ws.ctx.beginBlock();
+                blockBegin(b);
                 processBlock(w, b);
+                blockEnd(b);
             }
         }
     };
@@ -471,6 +625,8 @@ runPipeline(Program &prog, const MachineModel &machine,
         result.cyclesScheduled += out.cyclesScheduled;
         if (opts.schedules)
             (*opts.schedules)[b] = std::move(out.sched);
+        if (out.decisions)
+            result.decisions = std::move(*out.decisions);
         if (tracing)
             out.trace.replayInto(*opts.trace);
         if (out.fallback) {
@@ -545,6 +701,40 @@ runPipeline(Program &prog, const MachineModel &machine,
                 run_total.value(id) != 0)
                 result.counters.set(registry.name(id),
                                     run_total.value(id));
+    }
+
+    // Lane-local top-K trackers merge into the global top-K: a block
+    // in the global top-K is necessarily in its own lane's, so the
+    // merged set is independent of the lane layout.
+    if (capture) {
+        obs::OutlierTracker merged(
+            static_cast<std::size_t>(opts.captureOutliers));
+        for (WorkerState &ws : workers)
+            if (ws.outliers)
+                merged.merge(*ws.outliers);
+        result.outliers = merged.byBlock();
+    }
+
+    // Replay buffered log records through the sink in block order —
+    // the only way worker-side diagnostics reach the user, so output
+    // can never interleave and never depends on the thread count.
+    {
+        std::vector<const log::LogBuffer *> log_bufs;
+        log_bufs.reserve(workers.size());
+        for (WorkerState &ws : workers)
+            log_bufs.push_back(&ws.logBuf);
+        log::replay(log_bufs);
+    }
+
+    if (flight_on) {
+        obs::flight::setGauge(obs::flight::Gauge::ArenaHighWaterBytes,
+                              result.memory.arenaHighWaterBytes);
+        obs::flight::setGauge(obs::flight::Gauge::DagArcBytes,
+                              result.memory.dagArcBytes);
+        obs::flight::setPostRun();
+        obs::flight::record(obs::flight::EventKind::RunEnd, "run", {},
+                            result.blocksDegraded,
+                            result.verifierRejections);
     }
 
     return result;

@@ -38,6 +38,8 @@
 #include "obs/counters.hh"
 #include "obs/histogram.hh"
 #include "obs/memory.hh"
+#include "obs/outliers.hh"
+#include "sched/list_scheduler.hh"
 #include "sched/pipeline_sim.hh"
 #include "sched/registry.hh"
 
@@ -148,6 +150,25 @@ struct PipelineOptions
      * maxBlockSeconds.
      */
     double maxRunSeconds = 0.0;
+
+    // --- Forensics (docs/FORENSICS.md) ------------------------------
+
+    /**
+     * Keep the K most expensive blocks (by deterministic work score:
+     * the sum of the block's Sum-kind counter deltas) and fill
+     * ProgramResult::outliers with their forensic records.  Requires
+     * the observability layer (obs::setEnabled) — the score is made of
+     * counters.  0 disables.
+     */
+    int captureOutliers = 0;
+
+    /**
+     * Record the full per-pick decision log for this block id and
+     * fill ProgramResult::decisions.  Forces the explicit winnowing
+     * selection path for that block (same schedule, slightly
+     * different heuristic-evaluation counts).  -1 disables.
+     */
+    int explainBlock = -1;
 };
 
 /** Aggregated outcome of scheduling a whole program. */
@@ -220,6 +241,16 @@ struct ProgramResult
      * robustness picture, warnings included. */
     std::size_t parseErrors = 0;
     std::size_t parseWarnings = 0;
+
+    // --- Forensics (docs/FORENSICS.md) ------------------------------
+
+    /** Captured outlier blocks in block-id order (empty unless
+     * PipelineOptions::captureOutliers). */
+    std::vector<obs::OutlierRecord> outliers;
+
+    /** Decision log for PipelineOptions::explainBlock (empty() unless
+     * requested and the block scheduled normally). */
+    DecisionTrace decisions;
 };
 
 /**

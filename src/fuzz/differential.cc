@@ -338,12 +338,73 @@ minimizeLines(const std::string &source,
 }
 
 std::string
+minimizeOperands(const std::string &source,
+                 const std::function<bool(const std::string &)> &stillFails,
+                 int maxChecks)
+{
+    std::vector<std::string> lines;
+    {
+        std::istringstream in(source);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+
+    auto join = [](const std::vector<std::string> &ls) {
+        std::string out;
+        for (const std::string &l : ls) {
+            out += l;
+            out += '\n';
+        }
+        return out;
+    };
+
+    int checks = 0;
+    auto failsOn = [&](const std::vector<std::string> &ls) {
+        ++checks;
+        obs::ev::fuzzReducerSteps.inc();
+        return stillFails(join(ls));
+    };
+
+    // Truncate one line at its last comma (dropping the trailing
+    // operand), to a per-line fixpoint, sweeping until a whole pass
+    // changes nothing.
+    bool any = true;
+    while (any && checks < maxChecks) {
+        any = false;
+        for (std::size_t i = 0; i < lines.size() && checks < maxChecks;
+             ++i) {
+            for (;;) {
+                std::size_t comma = lines[i].rfind(',');
+                if (comma == std::string::npos || checks >= maxChecks)
+                    break;
+                std::string truncated = lines[i].substr(0, comma);
+                while (!truncated.empty() &&
+                       (truncated.back() == ' ' ||
+                        truncated.back() == '\t'))
+                    truncated.pop_back();
+                std::vector<std::string> candidate = lines;
+                candidate[i] = truncated;
+                if (failsOn(candidate)) {
+                    lines[i] = std::move(truncated);
+                    any = true;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    return join(lines);
+}
+
+std::string
 minimizeSource(const std::string &source, const MachineModel &machine,
                const OracleOptions &opts)
 {
-    return minimizeLines(source, [&](const std::string &candidate) {
+    auto fails = [&](const std::string &candidate) {
         return !checkSource(candidate, machine, opts).ok;
-    });
+    };
+    return minimizeOperands(minimizeLines(source, fails), fails);
 }
 
 } // namespace sched91::fuzz

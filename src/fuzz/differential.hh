@@ -91,8 +91,22 @@ minimizeLines(const std::string &source,
               int maxChecks = 512);
 
 /**
+ * Within-line operand reducer: for each surviving line, repeatedly
+ * drop the last comma-separated operand while @p stillFails keeps
+ * returning true, to a fixpoint or @p maxChecks predicate calls.
+ * Run after minimizeLines() — whole-line removal shrinks much faster;
+ * this pass then trims the lines that must stay.  Counts predicate
+ * calls in `fuzz.reducer_steps`.
+ */
+std::string minimizeOperands(
+    const std::string &source,
+    const std::function<bool(const std::string &)> &stillFails,
+    int maxChecks = 256);
+
+/**
  * Reducer preconfigured with the oracle as predicate: shrink
- * @p source while it still fails checkSource().
+ * @p source while it still fails checkSource() — whole lines first,
+ * then trailing operands within the surviving lines.
  */
 std::string minimizeSource(const std::string &source,
                            const MachineModel &machine,

@@ -16,13 +16,13 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "fuzz/differential.hh"
 #include "fuzz/program_gen.hh"
 #include "machine/machine_model.hh"
+#include "support/log.hh"
 
 extern "C" int
 LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
@@ -38,10 +38,9 @@ LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
     static const MachineModel machine;
     fuzz::OracleReport report = fuzz::checkSource(source, machine);
     if (!report.ok) {
-        std::fprintf(stderr,
-                     "sched91 differential oracle failure: %s\n"
-                     "--- generated program ---\n%s",
-                     report.failure.c_str(), source.c_str());
+        log::error("sched91 differential oracle failure: ",
+                   report.failure, "\n--- generated program ---\n",
+                   source);
         std::abort();
     }
     return 0;

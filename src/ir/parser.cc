@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/events.hh"
+#include "support/log.hh"
 #include "support/logging.hh"
 #include "support/string_util.hh"
 
@@ -405,6 +406,8 @@ parseAssembly(std::string_view text, DiagnosticEngine &diags,
             // Lenient recovery: drop this instruction, keep parsing.
             // (A strict engine throws out of report() instead.)
             obs::ev::robustParseErrors.inc();
+            log::debug("parser: recovered from malformed line ", lineno,
+                       " of ", filename);
             diags.error(filename, lineno, e.col, e.message);
         }
     }

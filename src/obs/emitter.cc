@@ -62,6 +62,87 @@ writeHistogram(JsonWriter &w, const Histogram &h, bool zero_values)
     w.endArray().endObject();
 }
 
+/** Human name of a DecisionRecord's deciding rank. */
+std::string_view
+decidedByName(const DecisionTrace &trace, std::int32_t rank)
+{
+    if (rank == DecisionStats::kDecidedTrivial)
+        return "trivial";
+    if (rank == DecisionStats::kDecidedOriginalOrder)
+        return "original-order";
+    if (rank >= 0 &&
+        static_cast<std::size_t>(rank) < trace.rankNames.size())
+        return trace.rankNames[static_cast<std::size_t>(rank)];
+    return "?";
+}
+
+void
+writeDecisions(JsonWriter &w, const DecisionTrace &trace)
+{
+    const DecisionStats &s = trace.stats;
+    w.beginObject()
+        .key("block").value(trace.block)
+        .key("algorithm").value(trace.algorithm)
+        .key("total_picks").value(s.totalPicks)
+        .key("trivial_picks").value(s.trivialPicks)
+        .key("original_order_ties").value(s.originalOrderTies);
+    w.key("ranks").beginArray();
+    for (std::size_t r = 0; r < trace.rankNames.size(); ++r) {
+        w.beginObject()
+            .key("name").value(trace.rankNames[r])
+            .key("decided")
+            .value(r < s.decidedAtRank.size() ? s.decidedAtRank[r] : 0)
+            .endObject();
+    }
+    w.endArray();
+    w.key("log").beginArray();
+    for (const DecisionRecord &rec : s.log) {
+        w.beginObject()
+            .key("pick").value(rec.pick)
+            .key("node").value(rec.node)
+            .key("ready").value(rec.readySize)
+            .key("decided_by").value(decidedByName(trace, rec.decidedRank))
+            .key("time").value(rec.time)
+            .key("inst")
+            .value(rec.node < trace.insts.size() ? trace.insts[rec.node]
+                                                 : std::string{})
+            .endObject();
+    }
+    w.endArray().endObject();
+}
+
+/** The outlier fields shared by the stats section and the bundle. */
+void
+writeOutlierBody(JsonWriter &w, const OutlierRecord &r,
+                 const EmitOptions &opts, bool with_source)
+{
+    const double zt = opts.zeroTimes ? 0.0 : 1.0;
+    w.key("block").value(static_cast<std::uint64_t>(r.block))
+        .key("score").value(r.score)
+        .key("begin").value(r.begin)
+        .key("insts").value(r.size);
+    w.key("dag").beginObject()
+        .key("nodes").value(r.dagNodes)
+        .key("arcs").value(r.dagArcs)
+        .endObject();
+    w.key("seconds").beginObject()
+        .key("build").value(zt * r.buildSeconds)
+        .key("heur").value(zt * r.heurSeconds)
+        .key("sched").value(zt * r.schedSeconds)
+        .key("verify").value(zt * r.verifySeconds)
+        .endObject();
+    w.key("counters");
+    writeCounterSet(w, r.counters);
+    w.key("issue").beginObject()
+        .key("stage").value(r.stage)
+        .key("reason").value(r.reason)
+        .key("degraded").value(r.degraded)
+        .key("fallback").value(r.fallback)
+        .endObject();
+    if (with_source)
+        w.key("source").value(r.source);
+}
+
 void
 writePhaseTree(JsonWriter &w, const PhaseStats &node, bool zero_times)
 {
@@ -93,8 +174,10 @@ programResultJson(const ProgramResult &result, const RunMeta &meta,
         .key("input").value(meta.input)
         .key("builder").value(meta.builder)
         .key("algorithm").value(meta.algorithm)
-        .key("machine").value(meta.machine)
-        .endObject();
+        .key("machine").value(meta.machine);
+    if (!meta.policy.empty())
+        w.key("policy").value(meta.policy);
+    w.endObject();
 
     w.key("blocks").value(static_cast<std::uint64_t>(result.numBlocks))
         .key("instructions")
@@ -153,6 +236,23 @@ programResultJson(const ProgramResult &result, const RunMeta &meta,
     }
     w.endArray().endObject();
 
+    if (!result.decisions.empty()) {
+        w.key("decisions");
+        writeDecisions(w, result.decisions);
+    }
+
+    if (!result.outliers.empty()) {
+        w.key("outliers").beginArray();
+        for (const OutlierRecord &r : result.outliers) {
+            // No source text in the stats document — the per-block
+            // bundles carry it; here it would dwarf everything else.
+            w.beginObject();
+            writeOutlierBody(w, r, opts, false);
+            w.endObject();
+        }
+        w.endArray();
+    }
+
     w.key("counters");
     writeCounterSet(w, counters);
 
@@ -210,6 +310,89 @@ renderCounters(const CounterSet &counters)
     for (const auto &[name, value] : nz.items()) {
         out += padRight(name, width + 2);
         out += std::to_string(value);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+outlierBundleJson(const OutlierRecord &record, const RunMeta &meta,
+                  const EmitOptions &opts)
+{
+    JsonWriter w;
+    w.beginObject().key("sched91_outlier").value(1);
+    w.key("meta").beginObject()
+        .key("tool").value("sched91")
+        .key("command").value(meta.command)
+        .key("input").value(meta.input)
+        .key("builder").value(meta.builder)
+        .key("algorithm").value(meta.algorithm)
+        .key("machine").value(meta.machine);
+    if (!meta.policy.empty())
+        w.key("policy").value(meta.policy);
+    w.endObject();
+    writeOutlierBody(w, record, opts, true);
+    w.endObject();
+    return w.take();
+}
+
+std::string
+renderDecisionTrace(const DecisionTrace &trace)
+{
+    if (trace.empty())
+        return {};
+    const DecisionStats &s = trace.stats;
+    std::string out;
+    out += "block " + std::to_string(trace.block) + "  algorithm " +
+           trace.algorithm + "  picks " + std::to_string(s.totalPicks) +
+           "  (trivial " + std::to_string(s.trivialPicks) +
+           ", original-order " + std::to_string(s.originalOrderTies) +
+           ")\n";
+
+    std::size_t name_width = std::string_view{"decided-by"}.size();
+    for (const std::string &name : trace.rankNames)
+        name_width = std::max(name_width, name.size());
+    for (std::size_t r = 0; r < trace.rankNames.size(); ++r) {
+        long long decided =
+            r < s.decidedAtRank.size() ? s.decidedAtRank[r] : 0;
+        out += "  rank " + std::to_string(r) + "  " +
+               padRight(trace.rankNames[r], name_width + 2) +
+               std::to_string(decided) + "\n";
+    }
+
+    out += padRight("pick", 6) + padRight("time", 6) +
+           padRight("ready", 7) + padRight("decided-by", name_width + 2) +
+           "inst\n";
+    for (const DecisionRecord &rec : s.log) {
+        out += padRight(std::to_string(rec.pick), 6);
+        out += padRight(std::to_string(rec.time), 6);
+        out += padRight(std::to_string(rec.readySize), 7);
+        out += padRight(std::string(decidedByName(trace, rec.decidedRank)),
+                        name_width + 2);
+        out += rec.node < trace.insts.size() ? trace.insts[rec.node]
+                                             : std::string{};
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+renderOutliers(const std::vector<OutlierRecord> &outliers)
+{
+    if (outliers.empty())
+        return {};
+    std::string out = padRight("block", 7) + padRight("score", 12) +
+                      padRight("insts", 7) + padRight("arcs", 8) +
+                      "issue\n";
+    for (const OutlierRecord &r : outliers) {
+        out += padRight(std::to_string(r.block), 7);
+        out += padRight(std::to_string(r.score), 12);
+        out += padRight(std::to_string(r.size), 7);
+        out += padRight(std::to_string(r.dagArcs), 8);
+        if (r.stage.empty())
+            out += "-";
+        else
+            out += r.stage + (r.reason.empty() ? "" : ": " + r.reason);
         out += '\n';
     }
     return out;

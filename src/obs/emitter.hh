@@ -28,6 +28,7 @@ struct RunMeta
     std::string builder;
     std::string algorithm;
     std::string machine;
+    std::string policy;    ///< alias policy (emitted when non-empty)
 };
 
 /** Serialization knobs. */
@@ -55,6 +56,23 @@ std::string counterSetJson(const CounterSet &counters);
 
 /** Fixed-width text table of nonzero counters (for `--counters`). */
 std::string renderCounters(const CounterSet &counters);
+
+/**
+ * Serialize one captured outlier as a standalone forensic bundle
+ * (docs/FORENSICS.md): run meta, block identity, DAG shape, per-phase
+ * seconds (zeroed under opts.zeroTimes), counter deltas, degradation
+ * attribution, and the block's source text.  Marked with
+ * `"sched91_outlier": 1` so `sched91 explain` can validate its input.
+ */
+std::string outlierBundleJson(const OutlierRecord &record,
+                              const RunMeta &meta,
+                              const EmitOptions &opts = {});
+
+/** Text rendering of a decision log (for `--explain-block`). */
+std::string renderDecisionTrace(const DecisionTrace &trace);
+
+/** Text summary of captured outliers (for `--capture-outliers`). */
+std::string renderOutliers(const std::vector<OutlierRecord> &outliers);
 
 } // namespace sched91::obs
 

@@ -103,6 +103,15 @@ renderHistograms(const HistogramSet &hists)
     out += '\n';
     for (const auto &[name, h] : hists.items()) {
         out += padRight(name, width + 2);
+        if (h.count() == 0) {
+            // Zero samples: every statistic is 0 by definition.  Print
+            // a plain 0 in each column rather than trusting the
+            // percentile/mean math with an empty distribution.
+            for (int col = 0; col < 6; ++col)
+                out += padLeft("0", kCol);
+            out += '\n';
+            continue;
+        }
         out += padLeft(std::to_string(h.count()), kCol);
         out += padLeft(std::to_string(h.percentile(50)), kCol);
         out += padLeft(std::to_string(h.percentile(90)), kCol);

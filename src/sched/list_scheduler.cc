@@ -131,8 +131,24 @@ selectBest(const Dag &dag, const std::vector<std::uint32_t> &candidates,
 
     ++stats->totalPicks;
     stats->decidedAtRank.resize(config.ranking.size(), 0);
+
+    // Optional decision log: one record per pick, filed at the
+    // winning return point with the rank that decided it.
+    auto logPick = [&](std::size_t idx, std::int32_t rank) {
+        if (!stats->recordLog)
+            return;
+        DecisionRecord rec;
+        rec.pick = static_cast<std::uint32_t>(stats->totalPicks - 1);
+        rec.node = candidates[idx];
+        rec.readySize = static_cast<std::uint32_t>(candidates.size());
+        rec.decidedRank = rank;
+        rec.time = ctx.time;
+        stats->log.push_back(rec);
+    };
+
     if (candidates.size() == 1) {
         ++stats->trivialPicks;
+        logPick(0, DecisionStats::kDecidedTrivial);
         return 0;
     }
 
@@ -161,6 +177,7 @@ selectBest(const Dag &dag, const std::vector<std::uint32_t> &candidates,
         alive = std::move(kept);
         if (alive.size() == 1) {
             ++stats->decidedAtRank[r];
+            logPick(alive[0], static_cast<std::int32_t>(r));
             return alive[0];
         }
     }
@@ -173,6 +190,7 @@ selectBest(const Dag &dag, const std::vector<std::uint32_t> &candidates,
         if (wins)
             best = k;
     }
+    logPick(best, DecisionStats::kDecidedOriginalOrder);
     return best;
 }
 

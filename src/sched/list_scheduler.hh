@@ -22,6 +22,7 @@
 #ifndef SCHED91_SCHED_LIST_SCHEDULER_HH
 #define SCHED91_SCHED_LIST_SCHEDULER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -83,8 +84,31 @@ struct SchedulerConfig
  * possibly be omitted or replaced with little effect because it is
  * the last heuristic to be applied"); these counters measure that.
  */
+/**
+ * One entry of the optional per-pick decision log: which node won,
+ * how crowded the ready list was, and which rank of the winnowing
+ * chain broke the tie.
+ */
+struct DecisionRecord
+{
+    std::uint32_t pick = 0;      ///< 0-based pick index within the block.
+    std::uint32_t node = 0;      ///< Winning DAG node (program index).
+    std::uint32_t readySize = 0; ///< Candidates at this pick.
+
+    /** Deciding rank: an index into the ranking, or a sentinel. */
+    std::int32_t decidedRank = 0;
+
+    int time = 0; ///< Scheduler clock (0 in a backward pass).
+};
+
 struct DecisionStats
 {
+    /** decidedRank sentinel: a single candidate, no decision needed. */
+    static constexpr std::int32_t kDecidedTrivial = -2;
+
+    /** decidedRank sentinel: every rank tied; program order decided. */
+    static constexpr std::int32_t kDecidedOriginalOrder = -1;
+
     /** Picks resolved at each rank of the winnowing chain. */
     std::vector<long long> decidedAtRank;
 
@@ -95,6 +119,27 @@ struct DecisionStats
     long long trivialPicks = 0;
 
     long long totalPicks = 0;
+
+    /** When set, every pick appends a DecisionRecord to log. */
+    bool recordLog = false;
+    std::vector<DecisionRecord> log;
+};
+
+/**
+ * A rendered decision log for one block: the raw records plus enough
+ * naming context (algorithm, rank names, instruction text) to print or
+ * export without the DAG in hand.  Produced by the pipeline for
+ * `--explain-block` and exported as the `"decisions"` stats section.
+ */
+struct DecisionTrace
+{
+    int block = -1;
+    std::string algorithm;
+    std::vector<std::string> rankNames; ///< One per ranking entry.
+    DecisionStats stats;
+    std::vector<std::string> insts; ///< Text of the block's instructions.
+
+    bool empty() const { return block < 0; }
 };
 
 /** The generic engine. */

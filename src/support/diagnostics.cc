@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "support/log.hh"
 #include "support/logging.hh"
 
 namespace sched91
@@ -45,6 +46,10 @@ DiagnosticEngine::report(Diag d)
               ": too many errors (", errors_, "; cap ", opts_.maxErrors,
               "), giving up");
     }
+    if (opts_.echoToLog)
+        log::write(stored.severity == Severity::Error ? log::Level::Error
+                                                      : log::Level::Warn,
+                   stored.render());
 }
 
 void

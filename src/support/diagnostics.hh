@@ -69,6 +69,12 @@ class DiagnosticEngine
          * are recorded the engine gives up with FatalError ("too many
          * errors").  0 = unlimited. */
         std::size_t maxErrors = 64;
+
+        /** Forward each recovered (non-throwing) diagnostic to the
+         * leveled logger (support/log.hh) as it is reported: errors at
+         * Error, warnings at Warn.  Diagnostics that throw are not
+         * echoed — the catch site prints the carried rendering. */
+        bool echoToLog = false;
     };
 
     DiagnosticEngine() = default;

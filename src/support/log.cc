@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Leveled logger implementation: threshold/sink state, buffered
+ * record storage, and the deterministic post-join replay.
+ */
+
+#include "support/log.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace sched91::log
+{
+
+namespace
+{
+/** Sink override; stderr when null (resolved at write time so tests
+ * that swap stderr early still work). */
+std::FILE *g_sink = nullptr;
+} // namespace
+
+std::string_view
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Error:
+        return "error";
+      case Level::Warn:
+        return "warn";
+      case Level::Info:
+        return "info";
+      case Level::Debug:
+        return "debug";
+    }
+    return "?";
+}
+
+Level
+parseLevel(std::string_view name)
+{
+    if (name == "error")
+        return Level::Error;
+    if (name == "warn" || name == "warning")
+        return Level::Warn;
+    if (name == "info")
+        return Level::Info;
+    if (name == "debug")
+        return Level::Debug;
+    fatal("unknown log level '", name,
+          "' (expected error, warn, info, or debug)");
+}
+
+void
+setThreshold(Level level)
+{
+    detail::g_threshold = level;
+}
+
+std::FILE *
+sink()
+{
+    return g_sink ? g_sink : stderr;
+}
+
+void
+setSink(std::FILE *stream)
+{
+    g_sink = stream;
+}
+
+void
+LogBuffer::append(Level level, std::string text)
+{
+    records_.push_back(Record{level, key_, seq_++, std::move(text)});
+}
+
+void
+LogBuffer::clear()
+{
+    key_ = 0;
+    seq_ = 0;
+    records_.clear();
+}
+
+namespace
+{
+
+void
+emit(const std::string_view text)
+{
+    std::FILE *out = sink();
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fputc('\n', out);
+}
+
+} // namespace
+
+void
+write(Level level, std::string_view text)
+{
+    if (!enabled(level))
+        return;
+    if (detail::t_buffer) {
+        detail::t_buffer->append(level, std::string(text));
+        return;
+    }
+    emit(text);
+}
+
+void
+replay(const std::vector<const LogBuffer *> &buffers)
+{
+    std::vector<const Record *> all;
+    for (const LogBuffer *buf : buffers) {
+        if (!buf)
+            continue;
+        for (const Record &r : buf->records())
+            all.push_back(&r);
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Record *a, const Record *b) {
+                         if (a->blockKey != b->blockKey)
+                             return a->blockKey < b->blockKey;
+                         return a->seq < b->seq;
+                     });
+    for (const Record *r : all)
+        emit(r->text);
+}
+
+} // namespace sched91::log

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Leveled structured logger (docs/FORENSICS.md).
+ *
+ * One deterministic sink for everything the library and the CLI used
+ * to fprintf at stderr ad hoc.  Two delivery modes:
+ *
+ *  - direct: a thread with no installed buffer writes straight to the
+ *    process sink (stderr by default), gated by the global threshold —
+ *    the CLI front end and tests use this;
+ *  - buffered: the pipeline installs one LogBuffer per worker lane
+ *    (ScopedLogBuffer).  Each record is tagged with the block being
+ *    processed and a per-block sequence number, and after the parallel
+ *    region the buffers are replayed through the sink sorted by
+ *    (block, seq) — so worker output can never interleave and the
+ *    bytes are identical at every thread count.
+ *
+ * The sink format is deliberately bare: the message, a newline,
+ * nothing else.  Producers that want a prefix put it in the message
+ * (the assembly diagnostics carry their own `file:line: error:`
+ * rendering), which keeps the routed output byte-identical to the
+ * historical fprintf sites.
+ */
+
+#ifndef SCHED91_SUPPORT_LOG_HH
+#define SCHED91_SUPPORT_LOG_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace sched91::log
+{
+
+/** Severity, most to least severe.  The threshold admits a level when
+ * it is numerically <= the threshold (Warn admits Error and Warn). */
+enum class Level : std::uint8_t
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** "error" / "warn" / "info" / "debug". */
+std::string_view levelName(Level level);
+
+/** Parse a --log-level value; throws FatalError on an unknown name. */
+Level parseLevel(std::string_view name);
+
+namespace detail
+{
+/** Global threshold; records above it are dropped at the call site. */
+inline Level g_threshold = Level::Warn;
+} // namespace detail
+
+/** Current threshold (default Warn: errors and warnings print). */
+inline Level threshold() { return detail::g_threshold; }
+
+void setThreshold(Level level);
+
+/** Whether a record at @p level would currently be admitted. */
+inline bool
+enabled(Level level)
+{
+    return static_cast<std::uint8_t>(level) <=
+           static_cast<std::uint8_t>(detail::g_threshold);
+}
+
+/** Where direct and replayed records go (stderr by default). */
+std::FILE *sink();
+
+/** Redirect the sink (tests); nullptr restores stderr. */
+void setSink(std::FILE *stream);
+
+/** One buffered record.  blockKey 0 = before any block; block b maps
+ * to key b + 1, so keys sort records into block order. */
+struct Record
+{
+    Level level = Level::Info;
+    std::uint64_t blockKey = 0;
+    std::uint32_t seq = 0;
+    std::string text;
+};
+
+/**
+ * Per-worker record buffer.  The owning lane calls setBlock() at each
+ * block boundary; every appended record inherits the current block key
+ * and a per-block sequence number, which makes the post-join merge a
+ * total order (blocks are disjoint across lanes).
+ */
+class LogBuffer
+{
+  public:
+    /** Tag subsequent records with block @p block. */
+    void
+    setBlock(std::uint64_t block)
+    {
+        key_ = block + 1;
+        seq_ = 0;
+    }
+
+    void append(Level level, std::string text);
+
+    const std::vector<Record> &records() const { return records_; }
+    void clear();
+
+  private:
+    std::uint64_t key_ = 0;
+    std::uint32_t seq_ = 0;
+    std::vector<Record> records_;
+};
+
+namespace detail
+{
+/** Buffer the calling thread's records divert into (none by default). */
+inline thread_local LogBuffer *t_buffer = nullptr;
+} // namespace detail
+
+/** RAII installer: route this thread's records into @p buffer. */
+class ScopedLogBuffer
+{
+  public:
+    explicit ScopedLogBuffer(LogBuffer *buffer) : prev_(detail::t_buffer)
+    {
+        detail::t_buffer = buffer;
+    }
+
+    ~ScopedLogBuffer() { detail::t_buffer = prev_; }
+
+    ScopedLogBuffer(const ScopedLogBuffer &) = delete;
+    ScopedLogBuffer &operator=(const ScopedLogBuffer &) = delete;
+
+  private:
+    LogBuffer *prev_;
+};
+
+/**
+ * Emit one record: dropped when above the threshold, else appended to
+ * the thread's installed buffer, else written to the sink.
+ */
+void write(Level level, std::string_view text);
+
+/**
+ * Replay buffered records through the sink in (block, seq) order.
+ * Deterministic for the pipeline's buffers: each lane's block keys
+ * are strictly increasing and no two lanes share a block, so the
+ * sorted order is independent of how blocks were distributed.
+ */
+void replay(const std::vector<const LogBuffer *> &buffers);
+
+namespace detail
+{
+
+template <typename... Args>
+void
+writeJoined(Level level, const Args &...args)
+{
+    if (!enabled(level))
+        return;
+    std::ostringstream os;
+    ::sched91::detail::appendAll(os, args...);
+    write(level, os.str());
+}
+
+} // namespace detail
+
+template <typename... Args>
+void
+error(const Args &...args)
+{
+    detail::writeJoined(Level::Error, args...);
+}
+
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    detail::writeJoined(Level::Warn, args...);
+}
+
+template <typename... Args>
+void
+info(const Args &...args)
+{
+    detail::writeJoined(Level::Info, args...);
+}
+
+template <typename... Args>
+void
+debug(const Args &...args)
+{
+    detail::writeJoined(Level::Debug, args...);
+}
+
+} // namespace sched91::log
+
+#endif // SCHED91_SUPPORT_LOG_HH

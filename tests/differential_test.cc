@@ -146,5 +146,58 @@ TEST(Differential, MinimizeLinesRespectsCheckBudget)
     EXPECT_FALSE(reduced.empty());
 }
 
+TEST(Differential, MinimizeOperandsDropsTrailingOperands)
+{
+    // Line-level ddmin cannot shrink a single culprit line; the
+    // operand pass peels trailing operands as long as the failure
+    // reproduces, leaving a strictly smaller repro.
+    std::string source = "add %r1, %r2, %r3\nBUG %x, %y\n";
+    auto predicate = [](const std::string &candidate) {
+        return candidate.find("BUG") != std::string::npos;
+    };
+    std::string reduced = fuzz::minimizeOperands(source, predicate);
+    EXPECT_EQ(reduced, "add %r1\nBUG %x\n");
+    EXPECT_LT(reduced.size(), source.size());
+}
+
+TEST(Differential, MinimizeOperandsKeepsLoadBearingOperand)
+{
+    std::string source = "add %r1, %r2, %r3\n";
+    auto predicate = [](const std::string &candidate) {
+        return candidate.find("%r3") != std::string::npos;
+    };
+    std::string reduced = fuzz::minimizeOperands(source, predicate);
+    EXPECT_EQ(reduced, source) << "dropping %r3 no longer fails";
+}
+
+TEST(Differential, MinimizeOperandsRespectsCheckBudget)
+{
+    std::string source;
+    for (int i = 0; i < 32; ++i)
+        source += "op a, b, c, d, e, f, g, h\n";
+    int calls = 0;
+    auto predicate = [&](const std::string &) {
+        ++calls;
+        return true;
+    };
+    fuzz::minimizeOperands(source, predicate, 12);
+    EXPECT_LE(calls, 12);
+}
+
+TEST(Differential, LineThenOperandPassesCompose)
+{
+    // The minimizeSource pipeline order: whole-line ddmin first, then
+    // trailing-operand trimming on the survivors.
+    std::string source =
+        "aaa 1, 2\nBUG %x, %y, %z\nbbb 3, 4\nccc 5, 6\n";
+    auto predicate = [](const std::string &candidate) {
+        return candidate.find("BUG") != std::string::npos;
+    };
+    std::string reduced = fuzz::minimizeOperands(
+        fuzz::minimizeLines(source, predicate), predicate);
+    EXPECT_EQ(reduced, "BUG %x\n")
+        << "lines dropped first, then trailing operands";
+}
+
 } // namespace
 } // namespace sched91

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -257,6 +258,36 @@ TEST(Histogram, RenderTable)
     EXPECT_NE(table.find("count"), std::string::npos);
     EXPECT_NE(table.find("p99"), std::string::npos);
     EXPECT_NE(table.find("4"), std::string::npos); // the count column
+}
+
+TEST(Histogram, RenderTableEmptyHistogramPrintsZeros)
+{
+    // A named-but-never-recorded histogram (a run where every block
+    // skipped a phase, say) must render as plain zeros, not NaN or
+    // garbage from percentile math over an empty distribution.
+    HistogramSet set;
+    set.get("lat.never_ns");
+    std::string table = renderHistograms(set);
+    EXPECT_NE(table.find("lat.never_ns"), std::string::npos);
+    EXPECT_EQ(table.find("nan"), std::string::npos);
+    EXPECT_EQ(table.find("inf"), std::string::npos);
+    EXPECT_EQ(table.find("-"), std::string::npos);
+
+    // Exactly one data row, and its six columns are all "0".
+    std::size_t header_end = table.find('\n');
+    ASSERT_NE(header_end, std::string::npos);
+    std::string row = table.substr(header_end + 1);
+    ASSERT_FALSE(row.empty());
+    std::istringstream is(row);
+    std::string name, cell;
+    is >> name;
+    EXPECT_EQ(name, "lat.never_ns");
+    int cells = 0;
+    while (is >> cell) {
+        EXPECT_EQ(cell, "0");
+        ++cells;
+    }
+    EXPECT_EQ(cells, 6);
 }
 
 } // namespace

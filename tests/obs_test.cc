@@ -25,7 +25,9 @@
 #include "obs/counters.hh"
 #include "obs/emitter.hh"
 #include "obs/events.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/json.hh"
+#include "obs/json_parse.hh"
 #include "obs/phase.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
@@ -655,6 +657,97 @@ TEST(ObsPipeline, DisabledRunCountsNothing)
     EXPECT_TRUE(reg.deltaSince(before).nonzero().empty());
     EXPECT_TRUE(r.counters.empty());
     EXPECT_GE(r.totalSeconds(), 0.0) << "timing still works";
+}
+
+// ---------------------------------------------------------------------
+// Forensic documents round-trip through the real reader (json_parse)
+// ---------------------------------------------------------------------
+
+TEST(Emitter, DecisionsSectionRoundTrips)
+{
+    ObsStateGuard guard;
+    obs::setEnabled(true);
+
+    Program prog = kernelProgram("daxpy");
+    PipelineOptions opts;
+    opts.explainBlock = 0;
+    ProgramResult r = runPipeline(prog, sparcstation2(), opts);
+    ASSERT_FALSE(r.decisions.empty());
+
+    obs::RunMeta meta;
+    meta.command = "profile";
+    meta.policy = "base-offset";
+    obs::EmitOptions emit;
+    emit.zeroTimes = true;
+    std::string json = obs::programResultJson(r, meta, r.counters,
+                                              nullptr, emit);
+
+    obs::JsonValue doc = obs::parseJson(json);
+    EXPECT_EQ(doc.at("meta").strOr("policy", ""), "base-offset");
+    ASSERT_TRUE(doc.has("decisions"));
+    const obs::JsonValue &dec = doc.at("decisions");
+    EXPECT_EQ(dec.numberOr("block", -1), 0);
+    EXPECT_EQ(dec.at("algorithm").str(), r.decisions.algorithm);
+    EXPECT_EQ(dec.numberOr("total_picks", -1),
+              static_cast<double>(r.decisions.stats.totalPicks));
+    const obs::JsonValue::Array &ranks = dec.at("ranks").array();
+    ASSERT_EQ(ranks.size(), r.decisions.rankNames.size());
+    const obs::JsonValue::Array &log = dec.at("log").array();
+    ASSERT_EQ(log.size(), r.decisions.stats.log.size());
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        EXPECT_EQ(log[i].numberOr("pick", -1),
+                  static_cast<double>(i));
+        EXPECT_GE(log[i].numberOr("ready", 0), 1.0);
+        EXPECT_FALSE(log[i].at("decided_by").str().empty());
+        EXPECT_FALSE(log[i].at("inst").str().empty());
+    }
+}
+
+TEST(FlightDump, CrashDocumentRoundTrips)
+{
+    namespace flight = obs::flight;
+    flight::setEnabled(true);
+    flight::beginRun();
+    {
+        flight::Recorder *rec = flight::claim();
+        ASSERT_NE(rec, nullptr);
+        flight::ScopedRecorder scope(rec);
+        flight::record(flight::EventKind::RunBegin, "run", "", 2, 10);
+        flight::setBlock(0);
+        flight::record(flight::EventKind::BlockBegin, "block",
+                       "kernel \"daxpy\"\\n", 5);
+        flight::record(flight::EventKind::PhaseEnd, "build", "", 5, 7);
+        flight::record(flight::EventKind::BlockEnd, "block");
+        flight::setPostRun();
+        flight::record(flight::EventKind::RunEnd, "run");
+    }
+    flight::setGauge(flight::Gauge::BlocksTotal, 2);
+    flight::DumpInfo info;
+    info.crashed = true;
+    info.signal = 6;
+    info.reason = "test crash";
+    info.zeroTimes = true;
+    std::string doc = flight::dumpJson(info);
+    flight::setEnabled(false);
+    flight::beginRun();
+
+    obs::JsonValue v = obs::parseJson(doc);
+    EXPECT_EQ(v.numberOr("sched91_flight", 0), 1);
+    EXPECT_TRUE(v.at("crashed").boolean());
+    EXPECT_EQ(v.numberOr("signal", 0), 6);
+    EXPECT_EQ(v.at("reason").str(), "test crash");
+    EXPECT_EQ(v.numberOr("events_total", 0), 5);
+    const obs::JsonValue::Array &events = v.at("events").array();
+    ASSERT_EQ(events.size(), 5u);
+    EXPECT_EQ(events[0].at("kind").str(), "run_begin");
+    EXPECT_EQ(events[0].numberOr("block", 0), -1);
+    EXPECT_EQ(events[1].at("kind").str(), "block_begin");
+    EXPECT_EQ(events[1].numberOr("block", -9), 0);
+    // The quote and backslash were sanitized at record time, so the
+    // document needed no escaping to stay well-formed JSON.
+    EXPECT_EQ(events[1].at("detail").str().find('"'), std::string::npos);
+    EXPECT_EQ(events[4].numberOr("block", 0), -2);
+    EXPECT_EQ(v.at("memory").numberOr("blocks_total", 0), 2);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
  *     sched91 report   <file.s>             worst-scheduled blocks
  *     sched91 timeline <file.s> --block N   FU occupancy chart
  *     sched91 compile  <file.s>             prepass+allocate+postpass
+ *     sched91 explain  <bundle.json>        replay an outlier bundle
  *     sched91 kernels                       list built-in kernels
  *
  * Common options:
@@ -42,6 +43,17 @@
  *     --histograms          print per-block latency/size histograms
  *                           to stderr (profile)
  *
+ * Forensics options (docs/FORENSICS.md):
+ *     --capture-outliers <K>  track the K most expensive blocks and
+ *                           print a forensic table (profile)
+ *     --outlier-dir <dir>   write one replayable JSON bundle per
+ *                           captured outlier block into <dir>
+ *     --explain-block <N>   print block N's per-pick decision trace
+ *     --log-level <level>   error | warn (default) | info | debug
+ *     --flight-recorder     per-worker ring of recent pipeline events,
+ *                           dumped as JSON on crash
+ *     --crash-dump <path>   crash-dump destination ("-" = stderr)
+ *
  * Robustness options (docs/ROBUSTNESS.md):
  *     --strict              fail fast on parse errors / block faults
  *     --verify/--no-verify  schedule verifier (default on)
@@ -67,12 +79,16 @@
 #include "core/sched91.hh"
 #include "dag/dot_export.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/emitter.hh"
 #include "obs/events.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/histogram.hh"
+#include "obs/json_parse.hh"
 #include "sched/report.hh"
 #include "core/backend.hh"
 #include "sched/timeline.hh"
 #include "support/diagnostics.hh"
+#include "support/log.hh"
 #include "support/logging.hh"
 
 using namespace sched91;
@@ -123,11 +139,19 @@ struct CliOptions
     double maxBlockSeconds = 0.0; ///< --max-block-seconds (0 = off)
     double maxRunSeconds = 0.0;   ///< --max-run-seconds (0 = off)
 
+    // Forensics (docs/FORENSICS.md).
+    int captureOutliers = 0;     ///< --capture-outliers K (0 = off)
+    std::string outlierDir;      ///< --outlier-dir: bundle files
+    int explainBlock = -1;       ///< --explain-block N (-1 = off)
+    bool flightRecorder = false; ///< --flight-recorder
+    std::string crashDump;       ///< --crash-dump path ("-" = stderr)
+    std::string injectPanic;     ///< --inject-panic run|abort (tests)
+
     bool
     observing() const
     {
         return !statsJson.empty() || !tracePath.empty() || counters ||
-               histograms;
+               histograms || captureOutliers > 0 || explainBlock >= 0;
     }
 };
 
@@ -183,6 +207,7 @@ const char kUsage[] =
     "  report   <file.s>   worst-scheduled blocks\n"
     "  timeline <file.s>   FU occupancy chart (--block N)\n"
     "  compile  <file.s>   prepass+allocate+postpass\n"
+    "  explain  <bundle>   replay an outlier bundle's decision trace\n"
     "  kernels             list built-in kernels\n"
     "\n"
     "options:\n"
@@ -215,6 +240,23 @@ const char kUsage[] =
     "  --zero-times         write all seconds fields as 0 in\n"
     "                       --stats-json/--trace output (byte-\n"
     "                       comparable across runs and thread counts)\n"
+    "\n"
+    "forensics (docs/FORENSICS.md):\n"
+    "  --capture-outliers <K>  track the K most expensive blocks\n"
+    "                       (deterministic work score) and print a\n"
+    "                       forensic table on stderr (profile)\n"
+    "  --outlier-dir <dir>  also write one replayable JSON bundle per\n"
+    "                       captured block into <dir> (sched91 explain\n"
+    "                       re-runs one)\n"
+    "  --explain-block <N>  record block N's per-pick decision trace,\n"
+    "                       print it on stdout, and add a \"decisions\"\n"
+    "                       section to --stats-json (profile)\n"
+    "  --log-level <level>  stderr log threshold: error | warn\n"
+    "                       (default) | info | debug\n"
+    "  --flight-recorder    keep a per-worker ring of recent pipeline\n"
+    "                       events, dumped as JSON if the run crashes\n"
+    "  --crash-dump <path>  write the crash dump there instead of\n"
+    "                       stderr (implies --flight-recorder)\n"
     "\n"
     "robustness (docs/ROBUSTNESS.md):\n"
     "  --strict             fail fast: parse errors and per-block\n"
@@ -295,7 +337,34 @@ parseArgs(int argc, char **argv)
             opts.verify = true;
         else if (arg == "--no-verify")
             opts.verify = false;
-        else if (arg == "--max-block-insts")
+        else if (arg == "--capture-outliers") {
+            opts.captureOutliers = std::atoi(next().c_str());
+            if (opts.captureOutliers <= 0)
+                usageError("--capture-outliers needs a positive K");
+        } else if (arg == "--outlier-dir")
+            opts.outlierDir = next();
+        else if (arg == "--explain-block") {
+            opts.explainBlock = std::atoi(next().c_str());
+            if (opts.explainBlock < 0)
+                usageError("--explain-block needs a block id >= 0");
+        } else if (arg == "--log-level") {
+            try {
+                log::setThreshold(log::parseLevel(next()));
+            } catch (const FatalError &e) {
+                usageError(e.what());
+            }
+        } else if (arg == "--flight-recorder")
+            opts.flightRecorder = true;
+        else if (arg == "--crash-dump")
+            opts.crashDump = next();
+        else if (arg == "--inject-panic") {
+            // Undocumented: CI's crash-dump self-test injects a
+            // failure after the run so the dump path is exercised
+            // without a real bug.
+            opts.injectPanic = next();
+            if (opts.injectPanic != "run" && opts.injectPanic != "abort")
+                usageError("--inject-panic expects 'run' or 'abort'");
+        } else if (arg == "--max-block-insts")
             opts.maxBlockInsts = std::atoi(next().c_str());
         else if (arg == "--max-block-seconds")
             opts.maxBlockSeconds = std::atof(next().c_str());
@@ -364,6 +433,7 @@ class ObsSession
         m.builder = builderKindName(opts.builder);
         m.algorithm = algorithmName(opts.algorithm);
         m.machine = opts.machineName;
+        m.policy = aliasPolicyName(opts.policy);
         return m;
     }
 
@@ -443,20 +513,19 @@ loadInput(const CliOptions &opts, std::size_t *parseErrors = nullptr,
     text << in.rdbuf();
 
     // Lenient by default: malformed lines become source-located
-    // diagnostics on stderr and the rest of the file still schedules.
-    // --strict restores fail-fast (the engine throws on first error).
+    // diagnostics on stderr (via the leveled logger, so --log-level
+    // error can silence parse warnings) and the rest of the file
+    // still schedules.  --strict restores fail-fast (the engine
+    // throws on first error).
     DiagnosticEngine::Options dopts;
     dopts.strict = opts.strict;
+    dopts.echoToLog = true;
     DiagnosticEngine diags(dopts);
     Program prog = parseAssembly(text.str(), diags, opts.input);
-    if (!diags.diags().empty())
-        std::fputs(diags.render().c_str(), stderr);
     if (diags.hasErrors())
-        std::fprintf(stderr,
-                     "sched91: %zu malformed line%s dropped; "
-                     "scheduling the rest\n",
-                     diags.errorCount(),
-                     diags.errorCount() == 1 ? "" : "s");
+        log::error("sched91: ", diags.errorCount(), " malformed line",
+                   diags.errorCount() == 1 ? "" : "s",
+                   " dropped; scheduling the rest");
     if (parseErrors)
         *parseErrors = diags.errorCount();
     if (parseWarnings)
@@ -756,6 +825,25 @@ cmdReport(const CliOptions &opts)
     return 0;
 }
 
+/** One replayable JSON bundle per captured outlier, written into
+ * --outlier-dir as outlier-block<id>.json. */
+void
+writeOutlierBundles(const std::vector<obs::OutlierRecord> &outliers,
+                    const obs::RunMeta &meta, const CliOptions &opts)
+{
+    obs::EmitOptions emit;
+    emit.zeroTimes = opts.zeroTimes;
+    for (const obs::OutlierRecord &rec : outliers) {
+        std::string path = opts.outlierDir + "/outlier-block" +
+                           std::to_string(rec.block) + ".json";
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open '", path, "'");
+        out << obs::outlierBundleJson(rec, meta, emit) << '\n';
+        std::fprintf(stderr, "sched91: wrote %s\n", path.c_str());
+    }
+}
+
 int
 cmdProfile(const CliOptions &opts)
 {
@@ -771,12 +859,34 @@ cmdProfile(const CliOptions &opts)
     pipeline.partition.window = opts.window;
     pipeline.evaluate = true;
     pipeline.threads = opts.threads;
+    pipeline.captureOutliers = opts.captureOutliers;
+    pipeline.explainBlock = opts.explainBlock;
     applyRobustness(pipeline, opts);
 
     ObsSession session(opts);
     pipeline.trace = session.trace();
     ProgramResult r = runPipeline(prog, machine, pipeline);
     session.finish(r);
+
+    if (opts.explainBlock >= 0) {
+        if (r.decisions.empty())
+            std::fprintf(stderr,
+                         "sched91: no decision trace for block %d "
+                         "(out of range or degraded)\n",
+                         opts.explainBlock);
+        else
+            std::fputs(obs::renderDecisionTrace(r.decisions).c_str(),
+                       stdout);
+    }
+    if (opts.captureOutliers > 0) {
+        std::fputs(obs::renderOutliers(r.outliers).c_str(), stderr);
+        if (!opts.outlierDir.empty())
+            writeOutlierBundles(r.outliers, session.meta(opts), opts);
+    }
+    if (opts.injectPanic == "run")
+        panic("injected failure (--inject-panic run)");
+    if (opts.injectPanic == "abort")
+        std::abort();
 
     std::printf("profile %s: %zu blocks, %zu insts\n",
                 opts.input.c_str(), r.numBlocks, r.numInsts);
@@ -809,6 +919,133 @@ cmdProfile(const CliOptions &opts)
     return 0;
 }
 
+// Outlier bundles carry the *display* names emitted by the stats
+// writer (builderKindName / aliasPolicyName), which differ from the
+// CLI option tokens ("n**2 fwd" vs "n2-fwd") — map them back by
+// asking each enum value for its name.  A mismatch is a data error
+// (exit 1), not a usage error.
+
+BuilderKind
+builderFromDisplayName(const std::string &name)
+{
+    static const BuilderKind kinds[] = {
+        BuilderKind::N2Forward,    BuilderKind::N2Backward,
+        BuilderKind::N2Landskov,   BuilderKind::TableForward,
+        BuilderKind::TableBackward,
+    };
+    for (BuilderKind kind : kinds)
+        if (builderKindName(kind) == name)
+            return kind;
+    fatal("unknown builder '", name, "' in bundle meta");
+}
+
+AliasPolicy
+policyFromDisplayName(const std::string &name)
+{
+    static const AliasPolicy policies[] = {
+        AliasPolicy::SerializeAll,
+        AliasPolicy::BaseOffset,
+        AliasPolicy::StorageClassed,
+        AliasPolicy::SymbolicExpr,
+    };
+    for (AliasPolicy policy : policies)
+        if (aliasPolicyName(policy) == name)
+            return policy;
+    fatal("unknown alias policy '", name, "' in bundle meta");
+}
+
+AlgorithmKind
+algorithmFromDisplayName(const std::string &name)
+{
+    for (AlgorithmKind kind : allAlgorithms())
+        if (algorithmName(kind) == name)
+            return kind;
+    fatal("unknown algorithm '", name, "' in bundle meta");
+}
+
+/**
+ * Replay a forensic bundle written by --outlier-dir: re-parse its
+ * captured source, re-run the single block under the configuration
+ * recorded in its meta section, and print the per-pick decision
+ * trace.  The replay is deterministic, so the reconstructed schedule
+ * is the one the original run emitted.
+ */
+int
+cmdExplain(const CliOptions &opts)
+{
+    if (opts.input.empty())
+        fatal("usage: sched91 explain <bundle.json>");
+    std::ifstream in(opts.input);
+    if (!in)
+        fatal("cannot open '", opts.input, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    obs::JsonValue doc = obs::parseJson(text.str());
+    if (!doc.has("sched91_outlier"))
+        fatal("'", opts.input,
+              "' is not a sched91 outlier bundle (missing "
+              "sched91_outlier marker)");
+    if (!doc.has("source") || !doc.at("source").isString())
+        fatal("'", opts.input, "' carries no source text to replay");
+
+    // Capture configuration: bundle meta wins; CLI options fill any
+    // gaps (old bundles without a policy field, say).
+    AlgorithmKind algorithm = opts.algorithm;
+    BuilderKind builder = opts.builder;
+    AliasPolicy policy = opts.policy;
+    std::string machineName = opts.machineName;
+    if (doc.has("meta")) {
+        const obs::JsonValue &meta = doc.at("meta");
+        std::string name = meta.strOr("algorithm", "");
+        if (!name.empty())
+            algorithm = algorithmFromDisplayName(name);
+        name = meta.strOr("builder", "");
+        if (!name.empty())
+            builder = builderFromDisplayName(name);
+        name = meta.strOr("policy", "");
+        if (!name.empty())
+            policy = policyFromDisplayName(name);
+        machineName = meta.strOr("machine", machineName);
+    }
+
+    const long long block =
+        static_cast<long long>(doc.numberOr("block", -1));
+    std::printf("bundle %s: block %lld, score %.0f, %.0f insts\n",
+                opts.input.c_str(), block, doc.numberOr("score", 0),
+                doc.numberOr("insts", 0));
+    if (doc.has("issue")) {
+        const obs::JsonValue &issue = doc.at("issue");
+        std::string stage = issue.strOr("stage", "");
+        if (!stage.empty())
+            std::printf("issue: [%s] %s\n", stage.c_str(),
+                        issue.strOr("reason", "").c_str());
+    }
+
+    // The captured source is one block's instructions (Inst::toString
+    // round-trips through the parser); replay it as block 0.
+    DiagnosticEngine diags;
+    Program prog =
+        parseAssembly(doc.at("source").str(), diags, opts.input);
+    if (diags.hasErrors())
+        fatal("bundle source does not re-parse:\n", diags.render());
+    stampMemGenerations(prog);
+    MachineModel machine = presetByName(machineName);
+
+    PipelineOptions pipeline;
+    pipeline.algorithm = algorithm;
+    pipeline.builder = builder;
+    pipeline.build.memPolicy = policy;
+    pipeline.threads = 1;
+    pipeline.explainBlock = 0;
+    applyRobustness(pipeline, opts);
+    ProgramResult r = runPipeline(prog, machine, pipeline);
+    if (r.decisions.empty())
+        fatal("replay produced no decision trace (block degraded: ",
+              r.blocksDegraded, ")");
+    std::fputs(obs::renderDecisionTrace(r.decisions).c_str(), stdout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -816,6 +1053,11 @@ main(int argc, char **argv)
 {
     try {
         CliOptions opts = parseArgs(argc, argv);
+        if (opts.flightRecorder || !opts.crashDump.empty()) {
+            obs::flight::setEnabled(true);
+            obs::flight::setCrashDump(opts.crashDump, opts.zeroTimes);
+            obs::flight::installCrashHandlers();
+        }
         if (opts.command == "schedule")
             return cmdSchedule(opts);
         if (opts.command == "dag")
@@ -832,6 +1074,8 @@ main(int argc, char **argv)
             return cmdTimeline(opts);
         if (opts.command == "compile")
             return cmdCompile(opts);
+        if (opts.command == "explain")
+            return cmdExplain(opts);
         if (opts.command == "kernels") {
             for (const std::string &name : kernelNames())
                 std::printf("%s\n", name.c_str());
@@ -847,7 +1091,11 @@ main(int argc, char **argv)
         return 2;
     } catch (const PanicError &e) {
         // Internal invariant violation — still a clean exit, never an
-        // abort (docs/ROBUSTNESS.md exit-code contract).
+        // abort (docs/ROBUSTNESS.md exit-code contract).  With the
+        // flight recorder on, the last-events dump lands first so the
+        // forensics survive the exit.
+        if (obs::flight::enabled())
+            obs::flight::writeCrashDump(e.what());
         std::fprintf(stderr, "sched91: internal error: %s\n", e.what());
         return 1;
     } catch (const FatalError &e) {
