@@ -45,7 +45,7 @@ main()
                         arc.delay);
         std::printf("\n%-14s max delay to leaf(node 1) = %d   "
                     "suppressed = %zu\n",
-                    "", dag.node(0).ann.maxDelayToLeaf,
+                    "", dag.ann().maxDelayToLeaf[0],
                     dag.suppressedCount());
     }
     std::printf("\nTable building retains the 20-cycle transitive RAW "

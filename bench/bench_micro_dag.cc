@@ -114,7 +114,7 @@ BM_StaticPasses(benchmark::State &state, PassImpl impl)
                                           BuildOptions{});
     for (auto _ : state) {
         runAllStaticPasses(dag, impl);
-        benchmark::DoNotOptimize(dag.node(0).ann.maxDelayToLeaf);
+        benchmark::DoNotOptimize(dag.ann().maxDelayToLeaf[0]);
     }
 }
 

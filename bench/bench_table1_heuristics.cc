@@ -63,8 +63,8 @@ main()
           Heuristic::NumDescendants}) {
         long long a = 0, b = 0;
         for (std::uint32_t i = 0; i < n2.size(); ++i) {
-            a += staticValue(n2.node(i), h);
-            b += staticValue(table.node(i), h);
+            a += staticValue(n2, i, h);
+            b += staticValue(table, i, h);
         }
         BenchRecord rec;
         rec.workload =

@@ -33,7 +33,7 @@ main()
     ReservationResult res = scheduleWithReservationTable(res_dag, machine);
     for (std::uint32_t i = 0; i < res_dag.size(); ++i)
         std::printf("  cycle %2d: %s\n", res.cycle[i],
-                    res_dag.node(i).inst->toString().c_str());
+                    res_dag.inst(i).toString().c_str());
     std::printf("  makespan %d cycles — the ALU work back-fills the "
                 "divider's shadow\n\n",
                 res.makespan);
@@ -53,7 +53,7 @@ main()
     DelaySlotResult ds = fillBranchDelaySlot(ds_dag, ds_sched);
     std::printf("  filled: %s\n", ds.filled ? "yes" : "no");
     for (std::uint32_t n : ds_sched.order)
-        std::printf("    %s\n", ds_dag.node(n).inst->toString().c_str());
+        std::printf("    %s\n", ds_dag.inst(n).toString().c_str());
     std::printf("  (the independent add now occupies the slot a "
                 "compiler fills with nop)\n\n");
 
@@ -85,7 +85,7 @@ main()
     Schedule aware_sched = aware.run(b1);
     std::printf("  aware schedule of block 1:\n");
     for (std::uint32_t n : aware_sched.order)
-        std::printf("    %s\n", b1.node(n).inst->toString().c_str());
+        std::printf("    %s\n", b1.inst(n).toString().c_str());
     std::printf("  (the %%f4 consumer sinks below the independent "
                 "loads)\n\n");
 

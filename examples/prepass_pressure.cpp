@@ -51,11 +51,11 @@ main()
     computeRegisterPressure(gt);
 
     std::printf("per-instruction register pressure annotations:\n");
+    const NodeAnnotations &a = gt.ann();
     for (std::uint32_t i = 0; i < gt.size(); ++i) {
-        const NodeAnnotations &a = gt.node(i).ann;
         std::printf("  %-18s born %d  killed %d  liveness %+d\n",
-                    block.inst(i).toString().c_str(), a.regsBorn,
-                    a.regsKilled, a.liveness);
+                    block.inst(i).toString().c_str(), a.regsBorn[i],
+                    a.regsKilled[i], a.liveness[i]);
     }
 
     struct Contender

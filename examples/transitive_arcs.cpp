@@ -41,7 +41,7 @@ main()
         runAllStaticPasses(dag);
         std::printf("%-14s: %zu arcs, divide's max delay to leaf = %d",
                     std::string(builderKindName(kind)).c_str(),
-                    dag.numArcs(), dag.node(0).ann.maxDelayToLeaf);
+                    dag.numArcs(), dag.ann().maxDelayToLeaf[0]);
         if (dag.suppressedCount() > 0)
             std::printf("  (suppressed %zu transitive arc attempts!)",
                         dag.suppressedCount());
@@ -59,7 +59,7 @@ main()
         onScheduledForward(dag, 1, 1);
         std::printf("  %-14s EET(node 3) = %d  (truth: 20)\n",
                     std::string(builderKindName(kind)).c_str(),
-                    dag.node(2).ann.earliestExecTime);
+                    dag.ann().earliestExecTime[2]);
     }
 
     std::printf("\nConclusion 3 of the paper: do not prune transitive "

@@ -28,11 +28,11 @@ DagBuilder::build(const BlockView &block, const MachineModel &machine,
     }
 
     // Node-time ('a') annotations that need the machine model.
+    NodeAnnotations &ann = dag.ann();
     for (std::uint32_t i = 0; i < dag.size(); ++i) {
-        NodeAnnotations &ann = dag.node(i).ann;
-        const Instruction &inst = *dag.node(i).inst;
-        ann.execTime = machine.latency(inst.cls());
-        ann.altType = static_cast<int>(inst.group());
+        const Instruction &inst = dag.inst(i);
+        ann.execTime[i] = machine.latency(inst.cls());
+        ann.altType[i] = static_cast<int>(inst.group());
     }
 
     addArcs(dag, block, machine, opts);
@@ -41,11 +41,11 @@ DagBuilder::build(const BlockView &block, const MachineModel &machine,
     // it is scheduled last.
     if (opts.anchorBranch && dag.size() > 1) {
         std::uint32_t last = dag.size() - 1;
-        const Instruction &tail = *dag.node(last).inst;
+        const Instruction &tail = dag.inst(last);
         if (isControlTransfer(tail.cls()) ||
             tail.cls() == InstClass::WindowOp) {
             dag.beginArcGroup(last);
-            std::vector<std::uint32_t> leaves = dag.leaves();
+            ArcIdxVec leaves = dag.leaves();
             bool added = false;
             for (std::uint32_t leaf : leaves) {
                 if (leaf != last &&
@@ -72,41 +72,68 @@ DagBuilder::build(const BlockView &block, const MachineModel &machine,
     return dag;
 }
 
+PairMasks::PairMasks(const Dag &dag)
+    : def_(ArenaAllocator<Words>(dag.arena())),
+      use_(ArenaAllocator<Words>(dag.arena())),
+      mem_(ArenaAllocator<std::uint8_t>(dag.arena()))
+{
+    static_assert(Resource::kNumSlots <= 128,
+                  "pair masks assume two words of resource slots");
+    std::uint32_t n = dag.size();
+    def_.assign(n, Words{});
+    use_.assign(n, Words{});
+    mem_.assign(n, 0);
+    auto set_bit = [](Words &w, int slot) {
+        if (slot < 64)
+            w.lo |= std::uint64_t{1} << slot;
+        else
+            w.hi |= std::uint64_t{1} << (slot - 64);
+    };
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Instruction &inst = dag.inst(i);
+        for (Resource r : inst.defs())
+            set_bit(def_[i], r.slot());
+        for (Resource r : inst.uses())
+            set_bit(use_[i], r.slot());
+        if (inst.mem().has_value())
+            mem_[i] |= 1;
+        if (inst.isStore())
+            mem_[i] |= 2;
+    }
+}
+
 void
 addPairwiseArcs(Dag &dag, std::uint32_t i, std::uint32_t j,
-                const MachineModel &machine, const MemDisambiguator &mem)
+                const DelayCalc &delays, const MemDisambiguator &mem)
 {
-    obs::ev::dagPairwiseCompares.inc();
-    const Instruction &earlier = *dag.node(i).inst;
-    const Instruction &later = *dag.node(j).inst;
+    const Instruction &earlier = dag.inst(i);
+    const Instruction &later = dag.inst(j);
 
     // Register-like resources.
     for (Resource r : later.uses())
         if (earlier.definesResource(r))
-            dag.addArc(i, j, DepKind::RAW,
-                       machine.depDelay(earlier, later, DepKind::RAW, r), r);
+            dag.addArc(i, j, DepKind::RAW, delays.raw(i, j, r), r);
     for (Resource r : later.defs()) {
         if (earlier.usesResource(r))
-            dag.addArc(i, j, DepKind::WAR,
-                       machine.depDelay(earlier, later, DepKind::WAR, r), r);
+            dag.addArc(i, j, DepKind::WAR, delays.war(), r);
         if (earlier.definesResource(r))
-            dag.addArc(i, j, DepKind::WAW,
-                       machine.depDelay(earlier, later, DepKind::WAW, r), r);
+            dag.addArc(i, j, DepKind::WAW, delays.waw(i, j), r);
     }
 
-    // Memory.
+    // Memory: store-store is WAW, store-load RAW, load-store WAR.
     if (earlier.mem().has_value() && later.mem().has_value()) {
         bool e_store = earlier.isStore();
         bool l_store = later.isStore();
         if (e_store || l_store) {
             AliasResult rel = mem.alias(*earlier.mem(), *later.mem());
             if (rel != AliasResult::NoAlias) {
-                DepKind kind = e_store
-                                   ? (l_store ? DepKind::WAW : DepKind::RAW)
-                                   : DepKind::WAR;
-                dag.addArc(i, j, kind,
-                           machine.depDelay(earlier, later, kind,
-                                            Resource()));
+                if (e_store && l_store)
+                    dag.addArc(i, j, DepKind::WAW, delays.waw(i, j));
+                else if (e_store)
+                    dag.addArc(i, j, DepKind::RAW,
+                               delays.raw(i, j, Resource()));
+                else
+                    dag.addArc(i, j, DepKind::WAR, delays.war());
             }
         }
     }

@@ -108,13 +108,102 @@ std::vector<BuilderKind> allBuilderKinds();
 std::string_view builderKindName(BuilderKind kind);
 
 /**
+ * Precomputed dependence-arc delay calculator for one block.
+ *
+ * The builders' inner loops resolve every arc kind at the call site,
+ * so delay lookup needs no per-element branch on kind: WAR and CTRL
+ * delays are constants, WAW folds to a latency difference, and RAW —
+ * on machine models without per-operand quirks (pair skew, asymmetric
+ * bypass, store bypass) — is just the parent's precomputed latency.
+ * Quirky models fall back to MachineModel::depDelay so delays stay
+ * exactly equal to the unoptimized path.
+ *
+ * Requires the DAG's execTime annotations to be filled (DagBuilder::
+ * build() does this before calling addArcs()).
+ */
+class DelayCalc
+{
+  public:
+    DelayCalc(const MachineModel &machine, const Dag &dag)
+        : machine_(machine), dag_(dag), exec_(dag.ann().execTime.data()),
+          warDelay_(machine.warDelay > 1 ? machine.warDelay : 1),
+          uniformRaw_(!machine.pairSkew && !machine.asymmetricBypass &&
+                      machine.storeBypassSaving == 0)
+    {
+    }
+
+    int
+    raw(std::uint32_t from, std::uint32_t to, Resource res) const
+    {
+        if (uniformRaw_)
+            return exec_[from] > 1 ? exec_[from] : 1;
+        return machine_.depDelay(dag_.inst(from), dag_.inst(to),
+                                 DepKind::RAW, res);
+    }
+
+    int war() const { return warDelay_; }
+
+    int
+    waw(std::uint32_t from, std::uint32_t to) const
+    {
+        int d = exec_[from] - exec_[to] + 1;
+        return d > 1 ? d : 1;
+    }
+
+  private:
+    const MachineModel &machine_;
+    const Dag &dag_;
+    const int *exec_;
+    int warDelay_;
+    bool uniformRaw_;
+};
+
+/**
+ * Two-word def/use resource masks per node, the n² builders' cheap
+ * pair filter: most instruction pairs share no resource and no memory
+ * relation, so three word-ANDs decide "no interaction" without
+ * touching the per-operand loops or the disambiguator.
+ */
+class PairMasks
+{
+  public:
+    explicit PairMasks(const Dag &dag);
+
+    /** May (i earlier, j later) produce any dependence arc? */
+    bool
+    mayInteract(std::uint32_t i, std::uint32_t j) const
+    {
+        const Words &di = def_[i];
+        const Words &ui = use_[i];
+        const Words &dj = def_[j];
+        const Words &uj = use_[j];
+        std::uint64_t reg = (di.lo & (uj.lo | dj.lo)) | (ui.lo & dj.lo) |
+                            (di.hi & (uj.hi | dj.hi)) | (ui.hi & dj.hi);
+        bool mem_pair = (mem_[i] & mem_[j] & 1) != 0 &&
+                        ((mem_[i] | mem_[j]) & 2) != 0;
+        return reg != 0 || mem_pair;
+    }
+
+  private:
+    struct Words
+    {
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+    };
+
+    ArenaVector<Words> def_;
+    ArenaVector<Words> use_;
+    ArenaVector<std::uint8_t> mem_; ///< bit 0: has mem op, bit 1: store
+};
+
+/**
  * Add every pairwise dependence arc between earlier instruction @p i
  * and later instruction @p j.  Shared by the compare-against-all
- * builders and by the ground-truth DAG used in validation.
+ * builders and by the ground-truth DAG used in validation.  The
+ * per-pair compare counter is incremented by the callers' loops.
  */
 void addPairwiseArcs(Dag &dag, std::uint32_t i, std::uint32_t j,
-                     const MachineModel &machine,
-                     const MemDisambiguator &mem);
+                     const DelayCalc &delays, const MemDisambiguator &mem);
 
 } // namespace sched91
 

@@ -8,24 +8,95 @@
 namespace sched91
 {
 
+NodeAnnotations::NodeAnnotations(Arena *arena)
+    : execTime(ArenaAllocator<int>(arena)),
+      interlockWithChild(ArenaAllocator<std::uint8_t>(arena)),
+      sumDelaysToChildren(ArenaAllocator<int>(arena)),
+      maxDelayToChild(ArenaAllocator<int>(arena)),
+      sumDelaysFromParents(ArenaAllocator<int>(arena)),
+      maxDelayFromParents(ArenaAllocator<int>(arena)),
+      altType(ArenaAllocator<int>(arena)),
+      regsBorn(ArenaAllocator<int>(arena)),
+      regsKilled(ArenaAllocator<int>(arena)),
+      liveness(ArenaAllocator<int>(arena)),
+      maxPathFromRoot(ArenaAllocator<int>(arena)),
+      maxDelayFromRoot(ArenaAllocator<int>(arena)),
+      earliestStart(ArenaAllocator<int>(arena)),
+      maxPathToLeaf(ArenaAllocator<int>(arena)),
+      maxDelayToLeaf(ArenaAllocator<int>(arena)),
+      latestStart(ArenaAllocator<int>(arena)),
+      numDescendants(ArenaAllocator<int>(arena)),
+      sumExecOfDescendants(ArenaAllocator<long long>(arena)),
+      slack(ArenaAllocator<int>(arena)),
+      inheritedEet(ArenaAllocator<int>(arena)),
+      earliestExecTime(ArenaAllocator<int>(arena)),
+      unscheduledParents(ArenaAllocator<int>(arena)),
+      unscheduledChildren(ArenaAllocator<int>(arena)),
+      priorityBoost(ArenaAllocator<double>(arena)),
+      scheduled(ArenaAllocator<std::uint8_t>(arena))
+{
+}
+
+void
+NodeAnnotations::resize(std::uint32_t n)
+{
+    execTime.assign(n, 0);
+    interlockWithChild.assign(n, 0);
+    sumDelaysToChildren.assign(n, 0);
+    maxDelayToChild.assign(n, 0);
+    sumDelaysFromParents.assign(n, 0);
+    maxDelayFromParents.assign(n, 0);
+    altType.assign(n, 0);
+    regsBorn.assign(n, 0);
+    regsKilled.assign(n, 0);
+    liveness.assign(n, 0);
+    maxPathFromRoot.assign(n, 0);
+    maxDelayFromRoot.assign(n, 0);
+    earliestStart.assign(n, 0);
+    maxPathToLeaf.assign(n, 0);
+    maxDelayToLeaf.assign(n, 0);
+    latestStart.assign(n, 0);
+    numDescendants.assign(n, 0);
+    sumExecOfDescendants.assign(n, 0);
+    slack.assign(n, 0);
+    inheritedEet.assign(n, 0);
+    earliestExecTime.assign(n, 0);
+    unscheduledParents.assign(n, 0);
+    unscheduledChildren.assign(n, 0);
+    priorityBoost.assign(n, 0.0);
+    scheduled.assign(n, 0);
+}
+
 Dag::Dag(const BlockView &block, Arena *arena)
-    : block_(block), dupStamp_(ArenaAllocator<std::uint32_t>(arena)),
-      dupArc_(ArenaAllocator<std::uint32_t>(arena))
+    : block_(block), arena_(arena),
+      inst_(ArenaAllocator<const Instruction *>(arena)),
+      level_(ArenaAllocator<int>(arena)),
+      numChildren_(ArenaAllocator<int>(arena)),
+      numParents_(ArenaAllocator<int>(arena)),
+      arcs_(ArenaAllocator<Arc>(arena)), ann_(arena), reach_(arena),
+      dupStamp_(ArenaAllocator<std::uint32_t>(arena)),
+      dupArc_(ArenaAllocator<std::uint32_t>(arena)),
+      succOff_(ArenaAllocator<std::uint32_t>(arena)),
+      predOff_(ArenaAllocator<std::uint32_t>(arena)),
+      succArc_(ArenaAllocator<std::uint32_t>(arena)),
+      predArc_(ArenaAllocator<std::uint32_t>(arena)),
+      succTo_(ArenaAllocator<std::uint32_t>(arena)),
+      predFrom_(ArenaAllocator<std::uint32_t>(arena)),
+      succDelay_(ArenaAllocator<std::int32_t>(arena)),
+      predDelay_(ArenaAllocator<std::int32_t>(arena)),
+      predKind_(ArenaAllocator<DepKind>(arena)), levelLists_(arena)
 {
     std::uint32_t n = block.size();
-    nodes_.resize(n);
+    numNodes_ = n;
+    inst_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        inst_[i] = &block.inst(i);
+    level_.assign(n, 0);
+    numChildren_.assign(n, 0);
+    numParents_.assign(n, 0);
+    ann_.resize(n);
     dupStamp_.assign(n, 0);
     dupArc_.assign(n, 0);
-    ArenaAllocator<std::uint32_t> alloc(arena);
-    for (std::uint32_t i = 0; i < n; ++i) {
-        nodes_[i].inst = &block.inst(i);
-        if (arena) {
-            // Move-assignment propagates the arena allocator into the
-            // default-constructed (heap-allocator) node vectors.
-            nodes_[i].succArcs = ArcIdxVec(alloc);
-            nodes_[i].predArcs = ArcIdxVec(alloc);
-        }
-    }
 }
 
 void
@@ -34,12 +105,12 @@ Dag::enableReachMaps(ReachMode mode)
     SCHED91_ASSERT(arcs_.empty(), "reach maps must precede arcs");
     reachMode_ = mode;
     if (mode == ReachMode::None) {
-        reach_.clear();
+        reach_.reset(0, 0);
         return;
     }
-    reach_.assign(nodes_.size(), Bitmap(nodes_.size()));
-    for (std::uint32_t i = 0; i < nodes_.size(); ++i)
-        reach_[i].set(i); // "each node's map ... can reach itself"
+    reach_.reset(numNodes_, numNodes_);
+    for (std::uint32_t i = 0; i < numNodes_; ++i)
+        reach_.row(i).set(i); // "each node's map ... can reach itself"
 }
 
 void
@@ -61,8 +132,10 @@ Dag::beginArcGroup(std::uint32_t node)
 std::uint32_t
 Dag::findArc(std::uint32_t from, std::uint32_t to) const
 {
-    for (std::uint32_t a : nodes_[from].succArcs)
-        if (arcs_[a].to == to)
+    // Only reached by ungrouped addArc calls (manual DAG assembly);
+    // builders always key duplicate detection on the arc group.
+    for (std::uint32_t a = 0; a < arcs_.size(); ++a)
+        if (arcs_[a].from == from && arcs_[a].to == to)
             return a;
     return ~std::uint32_t{0};
 }
@@ -71,12 +144,13 @@ Dag::AddArcResult
 Dag::addArc(std::uint32_t from, std::uint32_t to, DepKind kind, int delay,
             Resource res)
 {
-    SCHED91_ASSERT(from < nodes_.size() && to < nodes_.size());
+    SCHED91_ASSERT(from < numNodes_ && to < numNodes_);
     SCHED91_ASSERT(from != to, "self arc");
     levelListsValid_ = false;
+    csrValid_ = false;
 
     // Duplicate detection: O(1) when one endpoint is the current arc
-    // group's node, linear scan of the successor list otherwise.
+    // group's node, linear scan of the arc array otherwise.
     std::uint32_t existing = ~std::uint32_t{0};
     bool keyed = from == groupNode_ || to == groupNode_;
     std::uint32_t other = from == groupNode_ ? to : from;
@@ -109,8 +183,8 @@ Dag::addArc(std::uint32_t from, std::uint32_t to, DepKind kind, int delay,
     // Transitive-arc prevention (the Landskov-style behaviour).
     if (preventTransitive_) {
         bool reachable = reachMode_ == ReachMode::Descendants
-                             ? reach_[from].test(to)
-                             : reach_[to].test(from);
+                             ? reach_.row(from).test(to)
+                             : reach_.row(to).test(from);
         if (reachable) {
             ++suppressed_;
             obs::ev::dagArcsSuppressed.inc();
@@ -121,10 +195,8 @@ Dag::addArc(std::uint32_t from, std::uint32_t to, DepKind kind, int delay,
     obs::ev::dagArcsAdded.inc();
     std::uint32_t id = static_cast<std::uint32_t>(arcs_.size());
     arcs_.push_back(Arc{from, to, kind, delay, res});
-    nodes_[from].succArcs.push_back(id);
-    nodes_[to].predArcs.push_back(id);
-    ++nodes_[from].numChildren;
-    ++nodes_[to].numParents;
+    ++numChildren_[from];
+    ++numParents_[to];
 
     if (keyed) {
         dupStamp_[other] = epoch_;
@@ -132,95 +204,166 @@ Dag::addArc(std::uint32_t from, std::uint32_t to, DepKind kind, int delay,
     }
 
     // 'a'-class heuristic bookkeeping (Table 1, legend "a").
-    NodeAnnotations &fa = nodes_[from].ann;
-    NodeAnnotations &ta = nodes_[to].ann;
-    fa.sumDelaysToChildren += delay;
-    fa.maxDelayToChild = std::max(fa.maxDelayToChild, delay);
-    ta.sumDelaysFromParents += delay;
-    ta.maxDelayFromParents = std::max(ta.maxDelayFromParents, delay);
+    ann_.sumDelaysToChildren[from] += delay;
+    ann_.maxDelayToChild[from] =
+        std::max(ann_.maxDelayToChild[from], delay);
+    ann_.sumDelaysFromParents[to] += delay;
+    ann_.maxDelayFromParents[to] =
+        std::max(ann_.maxDelayFromParents[to], delay);
     if (delay > 1)
-        fa.interlockWithChild = true;
+        ann_.interlockWithChild[from] = 1;
 
     // Level maintenance.
     if (levelOrigin_ == LevelOrigin::Roots)
-        nodes_[to].level = std::max(nodes_[to].level, nodes_[from].level + 1);
+        level_[to] = std::max(level_[to], level_[from] + 1);
     else
-        nodes_[from].level =
-            std::max(nodes_[from].level, nodes_[to].level + 1);
+        level_[from] = std::max(level_[from], level_[to] + 1);
 
-    // Reachability maps.
+    // Reachability maps: word-granular OR within the slab.
     if (reachMode_ == ReachMode::Descendants)
-        reach_[from].orWith(reach_[to]);
+        reach_.orRows(from, to);
     else if (reachMode_ == ReachMode::Ancestors)
-        reach_[to].orWith(reach_[from]);
+        reach_.orRows(to, from);
 
     return AddArcResult::Added;
+}
+
+void
+Dag::ensureCsr() const
+{
+    if (!csrValid_)
+        buildCsr();
+}
+
+void
+Dag::buildCsr() const
+{
+    const std::uint32_t n = numNodes_;
+    const std::uint32_t e = static_cast<std::uint32_t>(arcs_.size());
+
+    succOff_.assign(n + 1, 0);
+    predOff_.assign(n + 1, 0);
+    for (const Arc &arc : arcs_) {
+        ++succOff_[arc.from + 1];
+        ++predOff_[arc.to + 1];
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+        succOff_[i + 1] += succOff_[i];
+        predOff_[i + 1] += predOff_[i];
+    }
+
+    succArc_.resize(e);
+    predArc_.resize(e);
+    succTo_.resize(e);
+    predFrom_.resize(e);
+    succDelay_.resize(e);
+    predDelay_.resize(e);
+    predKind_.resize(e);
+
+    // Fill in ascending arc-id order: per-node lists come out in
+    // insertion order, matching the old per-node push_back lists
+    // exactly (schedule tie-breaking depends on this order).
+    std::vector<std::uint32_t> scur(n), pcur(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        scur[i] = succOff_[i];
+        pcur[i] = predOff_[i];
+    }
+    for (std::uint32_t a = 0; a < e; ++a) {
+        const Arc &arc = arcs_[a];
+        std::uint32_t s = scur[arc.from]++;
+        succArc_[s] = a;
+        succTo_[s] = arc.to;
+        succDelay_[s] = arc.delay;
+        std::uint32_t p = pcur[arc.to]++;
+        predArc_[p] = a;
+        predFrom_[p] = arc.from;
+        predDelay_[p] = arc.delay;
+        predKind_[p] = arc.kind;
+    }
+    csrValid_ = true;
 }
 
 void
 Dag::recomputeLevels()
 {
     levelListsValid_ = false;
-    for (auto &node : nodes_)
-        node.level = 0;
+    ensureCsr();
+    std::fill(level_.begin(), level_.end(), 0);
     if (levelOrigin_ == LevelOrigin::Roots) {
-        for (std::uint32_t i = 0; i < nodes_.size(); ++i)
-            for (std::uint32_t a : nodes_[i].succArcs) {
-                DagNode &to = nodes_[arcs_[a].to];
-                to.level = std::max(to.level, nodes_[i].level + 1);
-            }
+        for (std::uint32_t i = 0; i < numNodes_; ++i) {
+            int base = level_[i] + 1;
+            for (std::uint32_t to : succTo(i))
+                level_[to] = std::max(level_[to], base);
+        }
     } else {
-        for (std::uint32_t i = size(); i-- > 0;)
-            for (std::uint32_t a : nodes_[i].succArcs)
-                nodes_[i].level = std::max(
-                    nodes_[i].level, nodes_[arcs_[a].to].level + 1);
+        for (std::uint32_t i = numNodes_; i-- > 0;) {
+            int lvl = level_[i];
+            for (std::uint32_t to : succTo(i))
+                lvl = std::max(lvl, level_[to] + 1);
+            level_[i] = lvl;
+        }
     }
 }
 
-std::vector<std::uint32_t>
+ArcIdxVec
 Dag::roots() const
 {
-    std::vector<std::uint32_t> out;
-    for (std::uint32_t i = 0; i < nodes_.size(); ++i)
-        if (nodes_[i].numParents == 0)
+    ArcIdxVec out((ArenaAllocator<std::uint32_t>(arena_)));
+    for (std::uint32_t i = 0; i < numNodes_; ++i)
+        if (numParents_[i] == 0)
             out.push_back(i);
     return out;
 }
 
-std::vector<std::uint32_t>
+ArcIdxVec
 Dag::leaves() const
 {
-    std::vector<std::uint32_t> out;
-    for (std::uint32_t i = 0; i < nodes_.size(); ++i)
-        if (nodes_[i].numChildren == 0)
+    ArcIdxVec out((ArenaAllocator<std::uint32_t>(arena_)));
+    for (std::uint32_t i = 0; i < numNodes_; ++i)
+        if (numChildren_[i] == 0)
             out.push_back(i);
     return out;
 }
 
-const std::vector<std::vector<std::uint32_t>> &
+const LevelLists &
 Dag::levelLists() const
 {
     if (!levelListsValid_) {
-        levelLists_.clear();
         int max_level = 0;
-        for (const auto &n : nodes_)
-            max_level = std::max(max_level, n.level);
-        levelLists_.resize(static_cast<std::size_t>(max_level) + 1);
-        for (std::uint32_t i = 0; i < nodes_.size(); ++i)
-            levelLists_[nodes_[i].level].push_back(i);
+        for (std::uint32_t i = 0; i < numNodes_; ++i)
+            max_level = std::max(max_level, level_[i]);
+        std::uint32_t levels =
+            numNodes_ == 0 ? 0 : static_cast<std::uint32_t>(max_level) + 1;
+
+        // Counting pass, then fill in ascending node order so each
+        // level's span preserves the old push_back order.
+        levelLists_.off_.assign(levels + 1, 0);
+        for (std::uint32_t i = 0; i < numNodes_; ++i)
+            ++levelLists_.off_[static_cast<std::uint32_t>(level_[i]) + 1];
+        for (std::uint32_t l = 0; l < levels; ++l)
+            levelLists_.off_[l + 1] += levelLists_.off_[l];
+        levelLists_.nodes_.resize(numNodes_);
+        std::vector<std::uint32_t> cur(levelLists_.off_.begin(),
+                                       levelLists_.off_.end());
+        for (std::uint32_t i = 0; i < numNodes_; ++i)
+            levelLists_.nodes_[cur[static_cast<std::uint32_t>(
+                level_[i])]++] = i;
         levelListsValid_ = true;
     }
     return levelLists_;
 }
 
-std::vector<Bitmap>
+BitMatrix
 Dag::computeDescendantMaps() const
 {
-    std::vector<Bitmap> desc(nodes_.size(), Bitmap(nodes_.size()));
-    for (std::uint32_t i = size(); i-- > 0;) {
-        desc[i].set(i);
-        for (std::uint32_t a : nodes_[i].succArcs)
-            desc[i].orWith(desc[arcs_[a].to]);
+    ensureCsr();
+    BitMatrix desc(arena_);
+    desc.reset(numNodes_, numNodes_);
+    for (std::uint32_t i = numNodes_; i-- > 0;) {
+        BitRow row = desc.row(i);
+        row.set(i);
+        for (std::uint32_t to : succTo(i))
+            desc.orRows(i, to);
     }
     return desc;
 }
@@ -229,7 +372,7 @@ std::size_t
 Dag::countForestTrees() const
 {
     // Union-find over undirected connectivity.
-    std::vector<std::uint32_t> parent(nodes_.size());
+    std::vector<std::uint32_t> parent(numNodes_);
     for (std::uint32_t i = 0; i < parent.size(); ++i)
         parent[i] = i;
     auto find = [&parent](std::uint32_t x) {
@@ -251,14 +394,13 @@ Dag::countForestTrees() const
 std::size_t
 Dag::countTransitiveArcs() const
 {
-    std::vector<Bitmap> desc = computeDescendantMaps();
+    BitMatrix desc = computeDescendantMaps();
     std::size_t count = 0;
-    for (const auto &node : nodes_) {
-        for (std::uint32_t a : node.succArcs) {
-            std::uint32_t b = arcs_[a].to;
-            for (std::uint32_t a2 : node.succArcs) {
-                std::uint32_t c = arcs_[a2].to;
-                if (c != b && desc[c].test(b)) {
+    for (std::uint32_t i = 0; i < numNodes_; ++i) {
+        std::span<const std::uint32_t> children = succTo(i);
+        for (std::uint32_t b : children) {
+            for (std::uint32_t c : children) {
+                if (c != b && desc.row(c).test(b)) {
                     ++count;
                     break;
                 }

@@ -14,12 +14,29 @@
  * maps — used either to *prevent* transitive arcs (the Landskov-style
  * behaviour the paper recommends against) or merely to enable the O(1)
  * #descendants population count of Section 3.
+ *
+ * Storage is data-oriented:
+ *
+ *  - Topology and annotations are struct-of-arrays: one dense array
+ *    per field (NodeAnnotations holds one ArenaVector per Table 1
+ *    slot), so the static passes and the scheduler's dynamic-update
+ *    loops stream over contiguous ints instead of striding 100+-byte
+ *    node records.
+ *  - Adjacency is CSR (compressed sparse row): builders only append to
+ *    the flat arc array; the per-node [begin,end) ranges plus flat
+ *    arc-id slabs are finalized lazily by one counting pass the first
+ *    time adjacency is queried.  Filling in ascending arc-id order
+ *    reproduces exactly the per-node insertion order the old
+ *    linked-list representation had, so schedules are byte-identical.
+ *  - Reachability maps are one words × nodes BitMatrix slab with
+ *    word-granular OR-merge on arc insertion.
  */
 
 #ifndef SCHED91_DAG_DAG_HH
 #define SCHED91_DAG_DAG_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ir/basic_block.hh"
@@ -33,10 +50,9 @@ namespace sched91
 {
 
 /**
- * Arc-index list.  Per-node arc lists are the DAG's dominant source of
- * small allocations, so they can draw from a worker's block-lifetime
- * Arena; with no arena attached the allocator is plain heap and the
- * type behaves exactly like std::vector<uint32_t>.
+ * Arc-index list.  Arena-backed where a worker context is installed;
+ * with no arena attached the allocator is plain heap and the type
+ * behaves exactly like std::vector<uint32_t>.
  */
 using ArcIdxVec = ArenaVector<std::uint32_t>;
 
@@ -74,59 +90,53 @@ struct Arc
 };
 
 /**
- * Per-node heuristic annotations (all 26 heuristics of Table 1 draw on
- * these slots).  The 'a' fields are filled during DAG construction,
- * the 'f'/'b' fields by the intermediate heuristic pass, and the
- * dynamic fields evolve during scheduling.
+ * Per-node heuristic annotation slots (all 26 heuristics of Table 1
+ * draw on these), stored struct-of-arrays: each field is a dense
+ * array indexed by node id.  The 'a' fields are filled during DAG
+ * construction, the 'f'/'b' fields by the intermediate heuristic
+ * pass, and the dynamic fields evolve during scheduling.
  */
 struct NodeAnnotations
 {
+    explicit NodeAnnotations(Arena *arena = nullptr);
+
+    /** Size every array to @p n zero-filled entries. */
+    void resize(std::uint32_t n);
+
     // --- 'a': determined when the node / arc is added ---------------
-    int execTime = 0;             ///< operation latency
-    bool interlockWithChild = false;
-    int sumDelaysToChildren = 0;  ///< phi=sum delays to children
-    int maxDelayToChild = 0;      ///< phi=max delays to children
-    int sumDelaysFromParents = 0; ///< phi=sum delays from parents
-    int maxDelayFromParents = 0;  ///< phi=max delays from parents
-    int altType = 0;              ///< issue group (alternate type)
-    int regsBorn = 0;
-    int regsKilled = 0;
-    int liveness = 0;             ///< Warren-style kills - births
+    ArenaVector<int> execTime;             ///< operation latency
+    ArenaVector<std::uint8_t> interlockWithChild;
+    ArenaVector<int> sumDelaysToChildren;  ///< phi=sum delays to children
+    ArenaVector<int> maxDelayToChild;      ///< phi=max delays to children
+    ArenaVector<int> sumDelaysFromParents; ///< phi=sum delays from parents
+    ArenaVector<int> maxDelayFromParents;  ///< phi=max delays from parents
+    ArenaVector<int> altType;              ///< issue group (alternate type)
+    ArenaVector<int> regsBorn;
+    ArenaVector<int> regsKilled;
+    ArenaVector<int> liveness;             ///< Warren-style kills - births
 
     // --- 'f': forward heuristic pass ---------------------------------
-    int maxPathFromRoot = 0;
-    int maxDelayFromRoot = 0;
-    int earliestStart = 0;        ///< EST (node-latency based, [12])
+    ArenaVector<int> maxPathFromRoot;
+    ArenaVector<int> maxDelayFromRoot;
+    ArenaVector<int> earliestStart;        ///< EST (node-latency, [12])
 
     // --- 'b': backward heuristic pass ---------------------------------
-    int maxPathToLeaf = 0;
-    int maxDelayToLeaf = 0;
-    int latestStart = 0;          ///< LST (node-latency based, [12])
-    int numDescendants = 0;
-    long long sumExecOfDescendants = 0;
+    ArenaVector<int> maxPathToLeaf;
+    ArenaVector<int> maxDelayToLeaf;
+    ArenaVector<int> latestStart;          ///< LST (node-latency, [12])
+    ArenaVector<int> numDescendants;
+    ArenaVector<long long> sumExecOfDescendants;
 
     // --- derived -------------------------------------------------------
-    int slack = 0;                ///< LST - EST
+    ArenaVector<int> slack;                ///< LST - EST
 
     // --- 'v': dynamic scheduling state ---------------------------------
-    int inheritedEet = 0;         ///< cross-block latency floor
-    int earliestExecTime = 0;
-    int unscheduledParents = 0;
-    int unscheduledChildren = 0;
-    double priorityBoost = 0.0;   ///< Tiemann birthing adjustment
-    bool scheduled = false;
-};
-
-/** One DAG node. */
-struct DagNode
-{
-    const Instruction *inst = nullptr; ///< null only for dummy nodes
-    ArcIdxVec succArcs; ///< indices into Dag::arcs()
-    ArcIdxVec predArcs;
-    int numChildren = 0;  ///< unique child count (deduped arcs)
-    int numParents = 0;
-    int level = 0;
-    NodeAnnotations ann;
+    ArenaVector<int> inheritedEet;         ///< cross-block latency floor
+    ArenaVector<int> earliestExecTime;
+    ArenaVector<int> unscheduledParents;
+    ArenaVector<int> unscheduledChildren;
+    ArenaVector<double> priorityBoost;     ///< Tiemann birthing adjustment
+    ArenaVector<std::uint8_t> scheduled;
 };
 
 /** Reachability-map maintenance mode. */
@@ -134,6 +144,39 @@ enum class ReachMode : std::uint8_t {
     None,         ///< no maps
     Descendants,  ///< map[i] = nodes reachable from i (backward builds)
     Ancestors,    ///< map[i] = nodes reaching i (forward builds)
+};
+
+/**
+ * Node lists bucketed by level (Section 4's level algorithm data
+ * structure), flattened into one node slab plus per-level offsets.
+ */
+class LevelLists
+{
+  public:
+    explicit LevelLists(Arena *arena = nullptr)
+        : off_(ArenaAllocator<std::uint32_t>(arena)),
+          nodes_(ArenaAllocator<std::uint32_t>(arena))
+    {
+    }
+
+    /** Number of levels. */
+    std::size_t
+    size() const
+    {
+        return off_.empty() ? 0 : off_.size() - 1;
+    }
+
+    /** Nodes on level @p l, ascending node id. */
+    std::span<const std::uint32_t>
+    operator[](std::size_t l) const
+    {
+        return {nodes_.data() + off_[l], nodes_.data() + off_[l + 1]};
+    }
+
+  private:
+    friend class Dag;
+    ArenaVector<std::uint32_t> off_;   ///< size() + 1 offsets
+    ArenaVector<std::uint32_t> nodes_; ///< all nodes, level-major
 };
 
 /** The dependence DAG for one basic block. */
@@ -149,9 +192,10 @@ class Dag
 
     /**
      * Create one node per block instruction, in program order.  With
-     * a non-null @p arena the per-node arc lists and duplicate-
-     * detection scratch allocate from it, tying the DAG's lifetime to
-     * the arena's reset cycle (the pipeline resets per block).
+     * a non-null @p arena every internal array (annotations, CSR
+     * slabs, reach maps, scratch) allocates from it, tying the DAG's
+     * lifetime to the arena's reset cycle (the pipeline resets per
+     * block).
      */
     explicit Dag(const BlockView &block, Arena *arena = nullptr);
 
@@ -190,19 +234,89 @@ class Dag
     AddArcResult addArc(std::uint32_t from, std::uint32_t to, DepKind kind,
                         int delay, Resource res = Resource());
 
-    std::uint32_t size() const
+    std::uint32_t size() const { return numNodes_; }
+
+    // --- topology (struct-of-arrays) ---------------------------------
+
+    const Instruction &inst(std::uint32_t i) const { return *inst_[i]; }
+    const Instruction *instPtr(std::uint32_t i) const { return inst_[i]; }
+
+    int level(std::uint32_t i) const { return level_[i]; }
+    int numChildren(std::uint32_t i) const { return numChildren_[i]; }
+    int numParents(std::uint32_t i) const { return numParents_[i]; }
+
+    /** Heuristic annotation arrays (index by node id). */
+    NodeAnnotations &ann() { return ann_; }
+    const NodeAnnotations &ann() const { return ann_; }
+
+    // --- CSR adjacency (finalized lazily; see ensureCsr) --------------
+
+    /** Arc ids leaving @p i, in insertion order (ascending arc id). */
+    std::span<const std::uint32_t>
+    succs(std::uint32_t i) const
     {
-        return static_cast<std::uint32_t>(nodes_.size());
+        ensureCsr();
+        return {succArc_.data() + succOff_[i],
+                succArc_.data() + succOff_[i + 1]};
     }
 
-    DagNode &node(std::uint32_t i) { return nodes_[i]; }
-    const DagNode &node(std::uint32_t i) const { return nodes_[i]; }
+    /** Arc ids entering @p i, in insertion order (ascending arc id). */
+    std::span<const std::uint32_t>
+    preds(std::uint32_t i) const
+    {
+        ensureCsr();
+        return {predArc_.data() + predOff_[i],
+                predArc_.data() + predOff_[i + 1]};
+    }
 
-    const std::vector<DagNode> &nodes() const { return nodes_; }
-    std::vector<DagNode> &nodes() { return nodes_; }
+    /** Successor node ids, parallel to succs(i). */
+    std::span<const std::uint32_t>
+    succTo(std::uint32_t i) const
+    {
+        ensureCsr();
+        return {succTo_.data() + succOff_[i],
+                succTo_.data() + succOff_[i + 1]};
+    }
+
+    /** Successor arc delays, parallel to succs(i). */
+    std::span<const std::int32_t>
+    succDelay(std::uint32_t i) const
+    {
+        ensureCsr();
+        return {succDelay_.data() + succOff_[i],
+                succDelay_.data() + succOff_[i + 1]};
+    }
+
+    /** Predecessor node ids, parallel to preds(i). */
+    std::span<const std::uint32_t>
+    predFrom(std::uint32_t i) const
+    {
+        ensureCsr();
+        return {predFrom_.data() + predOff_[i],
+                predFrom_.data() + predOff_[i + 1]};
+    }
+
+    /** Predecessor arc delays, parallel to preds(i). */
+    std::span<const std::int32_t>
+    predDelay(std::uint32_t i) const
+    {
+        ensureCsr();
+        return {predDelay_.data() + predOff_[i],
+                predDelay_.data() + predOff_[i + 1]};
+    }
+
+    /** Predecessor arc kinds, parallel to preds(i). */
+    std::span<const DepKind>
+    predKind(std::uint32_t i) const
+    {
+        ensureCsr();
+        return {predKind_.data() + predOff_[i],
+                predKind_.data() + predOff_[i + 1]};
+    }
 
     const Arc &arc(std::uint32_t i) const { return arcs_[i]; }
-    const std::vector<Arc> &arcs() const { return arcs_; }
+
+    std::span<const Arc> arcs() const { return {arcs_.data(), arcs_.size()}; }
 
     /** Unique arcs added (excludes duplicates and suppressed arcs). */
     std::size_t numArcs() const { return arcs_.size(); }
@@ -213,32 +327,29 @@ class Dag
     /** Arcs dropped by transitive prevention. */
     std::size_t suppressedCount() const { return suppressed_; }
 
-    /** Nodes with no parents. */
-    std::vector<std::uint32_t> roots() const;
+    /** Nodes with no parents (arena-backed where available). */
+    ArcIdxVec roots() const;
 
-    /** Nodes with no children. */
-    std::vector<std::uint32_t> leaves() const;
+    /** Nodes with no children (arena-backed where available). */
+    ArcIdxVec leaves() const;
 
     /** Reachability map of a node (requires enableReachMaps). */
-    const Bitmap &reachMap(std::uint32_t i) const { return reach_[i]; }
+    ConstBitRow reachMap(std::uint32_t i) const { return reach_.row(i); }
 
     /** Mutable reachability map (builders' late fix-ups only). */
-    Bitmap &reachMapMutable(std::uint32_t i) { return reach_[i]; }
+    BitRow reachMapMutable(std::uint32_t i) { return reach_.row(i); }
 
     ReachMode reachMode() const { return reachMode_; }
 
-    /**
-     * Node lists bucketed by level (Section 4's level algorithm data
-     * structure), built on demand.
-     */
-    const std::vector<std::vector<std::uint32_t>> &levelLists() const;
+    /** Per-level node lists, built on demand. */
+    const LevelLists &levelLists() const;
 
     /**
      * Compute descendant bitmaps by a reverse-topological sweep
      * (program order is topological).  Used for #descendants when the
      * builder did not maintain maps, and by countTransitiveArcs().
      */
-    std::vector<Bitmap> computeDescendantMaps() const;
+    BitMatrix computeDescendantMaps() const;
 
     /**
      * Count arcs that are transitive, i.e. whose endpoints are also
@@ -257,15 +368,26 @@ class Dag
 
     const BlockView &block() const { return block_; }
 
+    /** Arena the DAG allocates from (null = heap). */
+    Arena *arena() const { return arena_; }
+
   private:
     BlockView block_;
-    std::vector<DagNode> nodes_;
-    std::vector<Arc> arcs_;
+    Arena *arena_ = nullptr;
+    std::uint32_t numNodes_ = 0;
+
+    // Topology, struct-of-arrays.
+    ArenaVector<const Instruction *> inst_;
+    ArenaVector<int> level_;
+    ArenaVector<int> numChildren_;
+    ArenaVector<int> numParents_;
+    ArenaVector<Arc> arcs_;
+    NodeAnnotations ann_;
 
     ReachMode reachMode_ = ReachMode::None;
     bool preventTransitive_ = false;
     LevelOrigin levelOrigin_ = LevelOrigin::Roots;
-    std::vector<Bitmap> reach_;
+    BitMatrix reach_;
 
     std::size_t duplicates_ = 0;
     std::size_t suppressed_ = 0;
@@ -276,8 +398,28 @@ class Dag
     ArcIdxVec dupStamp_;
     ArcIdxVec dupArc_;
 
-    mutable std::vector<std::vector<std::uint32_t>> levelLists_;
+    // CSR adjacency, rebuilt lazily after arc insertion.  In the
+    // pipeline every builder appends all arcs first and adjacency is
+    // queried afterwards, so the counting pass runs exactly once per
+    // block.  The companion to/delay/kind slabs let hot loops stream
+    // without touching the (wider) Arc records.
+    mutable bool csrValid_ = false;
+    mutable ArenaVector<std::uint32_t> succOff_;  ///< n + 1 offsets
+    mutable ArenaVector<std::uint32_t> predOff_;
+    mutable ArenaVector<std::uint32_t> succArc_;  ///< arc ids
+    mutable ArenaVector<std::uint32_t> predArc_;
+    mutable ArenaVector<std::uint32_t> succTo_;
+    mutable ArenaVector<std::uint32_t> predFrom_;
+    mutable ArenaVector<std::int32_t> succDelay_;
+    mutable ArenaVector<std::int32_t> predDelay_;
+    mutable ArenaVector<DepKind> predKind_;
+
+    mutable LevelLists levelLists_;
     mutable bool levelListsValid_ = false;
+
+    /** Counting-pass CSR finalization (no-op when already valid). */
+    void ensureCsr() const;
+    void buildCsr() const;
 
     /** Find an existing (from,to) arc; returns arc id or ~0. */
     std::uint32_t findArc(std::uint32_t from, std::uint32_t to) const;

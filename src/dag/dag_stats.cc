@@ -6,8 +6,8 @@ namespace sched91
 void
 DagStructure::accumulate(const Dag &dag)
 {
-    for (const auto &node : dag.nodes())
-        childrenPerInst.add(node.numChildren);
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        childrenPerInst.add(dag.numChildren(i));
     arcsPerBlock.add(static_cast<double>(dag.numArcs()));
     treesPerBlock.add(static_cast<double>(dag.countForestTrees()));
     totalArcs += dag.numArcs();

@@ -45,11 +45,11 @@ toDot(const Dag &dag, const DotOptions &opts)
 
     for (std::uint32_t i = 0; i < dag.size(); ++i) {
         os << "  n" << i << " [label=\"" << i << ": "
-           << escape(dag.node(i).inst->toString());
+           << escape(dag.inst(i).toString());
         if (opts.showHeuristics) {
-            os << "\\nd2l=" << dag.node(i).ann.maxDelayToLeaf
-               << " est=" << dag.node(i).ann.earliestStart
-               << " slk=" << dag.node(i).ann.slack;
+            os << "\\nd2l=" << dag.ann().maxDelayToLeaf[i]
+               << " est=" << dag.ann().earliestStart[i]
+               << " slk=" << dag.ann().slack[i];
         }
         os << "\"];\n";
     }

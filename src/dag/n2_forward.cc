@@ -1,5 +1,7 @@
 #include "dag/n2_forward.hh"
 
+#include "obs/events.hh"
+
 namespace sched91
 {
 
@@ -9,13 +11,17 @@ N2ForwardBuilder::addArcs(Dag &dag, const BlockView &block,
                           const BuildOptions &opts) const
 {
     MemDisambiguator mem(opts.memPolicy);
+    DelayCalc delays(machine, dag);
+    PairMasks masks(dag);
     std::uint32_t n = block.size();
     for (std::uint32_t j = 1; j < n; ++j) {
         dag.beginArcGroup(j);
         for (std::uint32_t i = 0; i < j; ++i) {
             if (opts.cancel)
                 opts.cancel->poll();
-            addPairwiseArcs(dag, i, j, machine, mem);
+            obs::ev::dagPairwiseCompares.inc();
+            if (masks.mayInteract(i, j))
+                addPairwiseArcs(dag, i, j, delays, mem);
         }
     }
 }
@@ -26,12 +32,16 @@ N2BackwardBuilder::addArcs(Dag &dag, const BlockView &block,
                            const BuildOptions &opts) const
 {
     MemDisambiguator mem(opts.memPolicy);
+    DelayCalc delays(machine, dag);
+    PairMasks masks(dag);
     for (std::uint32_t i = block.size(); i-- > 0;) {
         dag.beginArcGroup(i);
         for (std::uint32_t j = i + 1; j < block.size(); ++j) {
             if (opts.cancel)
                 opts.cancel->poll();
-            addPairwiseArcs(dag, i, j, machine, mem);
+            obs::ev::dagPairwiseCompares.inc();
+            if (masks.mayInteract(i, j))
+                addPairwiseArcs(dag, i, j, delays, mem);
         }
     }
 }

@@ -1,5 +1,7 @@
 #include "dag/n2_landskov.hh"
 
+#include "obs/events.hh"
+
 namespace sched91
 {
 
@@ -15,6 +17,8 @@ N2LandskovBuilder::addArcs(Dag &dag, const BlockView &block,
     dag.setPreventTransitive(true);
 
     MemDisambiguator mem(opts.memPolicy);
+    DelayCalc delays(machine, dag);
+    PairMasks masks(dag);
     std::uint32_t n = block.size();
     for (std::uint32_t j = 1; j < n; ++j) {
         dag.beginArcGroup(j);
@@ -24,7 +28,9 @@ N2LandskovBuilder::addArcs(Dag &dag, const BlockView &block,
         for (std::uint32_t i = j; i-- > 0;) {
             if (opts.cancel)
                 opts.cancel->poll();
-            addPairwiseArcs(dag, i, j, machine, mem);
+            obs::ev::dagPairwiseCompares.inc();
+            if (masks.mayInteract(i, j))
+                addPairwiseArcs(dag, i, j, delays, mem);
         }
     }
 }

@@ -26,6 +26,7 @@ TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
                               const BuildOptions &opts) const
 {
     MemDisambiguator disamb(opts.memPolicy);
+    DelayCalc delays(machine, dag);
     std::array<SlotEntry, Resource::kNumSlots> table{};
     if (Arena *arena = WorkerContext::currentArena()) {
         // Per-slot use lists join the worker arena's block lifetime.
@@ -51,14 +52,10 @@ TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
             SlotEntry &e = table[r.slot()];
             if (e.def >= 0 && e.uses.empty()) {
                 std::uint32_t d = static_cast<std::uint32_t>(e.def);
-                dag.addArc(j, d, DepKind::WAW,
-                           machine.depDelay(inst, block.inst(d),
-                                            DepKind::WAW, r), r);
+                dag.addArc(j, d, DepKind::WAW, delays.waw(j, d), r);
             }
             for (std::uint32_t u : e.uses)
-                dag.addArc(j, u, DepKind::RAW,
-                           machine.depDelay(inst, block.inst(u),
-                                            DepKind::RAW, r), r);
+                dag.addArc(j, u, DepKind::RAW, delays.raw(j, u, r), r);
             e.uses.clear();
             e.def = j;
         }
@@ -73,14 +70,11 @@ TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
                     continue;
                 if (e.def >= 0 && e.uses.empty()) {
                     std::uint32_t d = static_cast<std::uint32_t>(e.def);
-                    dag.addArc(j, d, DepKind::WAW,
-                               machine.depDelay(inst, block.inst(d),
-                                                DepKind::WAW, Resource()));
+                    dag.addArc(j, d, DepKind::WAW, delays.waw(j, d));
                 }
                 for (std::uint32_t u : e.uses)
                     dag.addArc(j, u, DepKind::RAW,
-                               machine.depDelay(inst, block.inst(u),
-                                                DepKind::RAW, Resource()));
+                               delays.raw(j, u, Resource()));
                 if (rel == AliasResult::MustAlias) {
                     e.uses.clear();
                     e.def = j;
@@ -97,9 +91,7 @@ TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
             SlotEntry &e = table[r.slot()];
             if (e.def >= 0 && e.def != j) {
                 std::uint32_t d = static_cast<std::uint32_t>(e.def);
-                dag.addArc(j, d, DepKind::WAR,
-                           machine.depDelay(inst, block.inst(d),
-                                            DepKind::WAR, r), r);
+                dag.addArc(j, d, DepKind::WAR, delays.war(), r);
             }
             e.uses.push_back(j);
         }
@@ -114,9 +106,7 @@ TableBackwardBuilder::addArcs(Dag &dag, const BlockView &block,
                     continue;
                 if (e.def >= 0 && e.def != static_cast<std::int64_t>(j)) {
                     std::uint32_t d = static_cast<std::uint32_t>(e.def);
-                    dag.addArc(j, d, DepKind::WAR,
-                               machine.depDelay(inst, block.inst(d),
-                                                DepKind::WAR, Resource()));
+                    dag.addArc(j, d, DepKind::WAR, delays.war());
                 }
                 if (rel == AliasResult::MustAlias) {
                     e.uses.push_back(j);

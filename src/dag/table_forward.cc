@@ -26,6 +26,7 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
                              const BuildOptions &opts) const
 {
     MemDisambiguator disamb(opts.memPolicy);
+    DelayCalc delays(machine, dag);
     std::array<SlotEntry, Resource::kNumSlots> table{};
     if (Arena *arena = WorkerContext::currentArena()) {
         // Per-slot use lists join the worker arena's block lifetime.
@@ -54,9 +55,7 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
             SlotEntry &e = table[r.slot()];
             if (e.def >= 0) {
                 std::uint32_t d = static_cast<std::uint32_t>(e.def);
-                dag.addArc(d, j, DepKind::RAW,
-                           machine.depDelay(block.inst(d), inst,
-                                            DepKind::RAW, r), r);
+                dag.addArc(d, j, DepKind::RAW, delays.raw(d, j, r), r);
             }
             e.uses.push_back(j);
         }
@@ -72,8 +71,7 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
                 if (e.def >= 0) {
                     std::uint32_t d = static_cast<std::uint32_t>(e.def);
                     dag.addArc(d, j, DepKind::RAW,
-                               machine.depDelay(block.inst(d), inst,
-                                                DepKind::RAW, Resource()));
+                               delays.raw(d, j, Resource()));
                 }
                 if (rel == AliasResult::MustAlias) {
                     e.uses.push_back(j);
@@ -91,15 +89,11 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
             if (!e.uses.empty()) {
                 for (std::uint32_t u : e.uses)
                     if (u != j)
-                        dag.addArc(u, j, DepKind::WAR,
-                                   machine.depDelay(block.inst(u), inst,
-                                                    DepKind::WAR, r), r);
+                        dag.addArc(u, j, DepKind::WAR, delays.war(), r);
                 e.uses.clear();
             } else if (e.def >= 0) {
                 std::uint32_t d = static_cast<std::uint32_t>(e.def);
-                dag.addArc(d, j, DepKind::WAW,
-                           machine.depDelay(block.inst(d), inst,
-                                            DepKind::WAW, r), r);
+                dag.addArc(d, j, DepKind::WAW, delays.waw(d, j), r);
             }
             e.def = j;
         }
@@ -115,15 +109,10 @@ TableForwardBuilder::addArcs(Dag &dag, const BlockView &block,
                 if (!e.uses.empty()) {
                     for (std::uint32_t u : e.uses)
                         if (u != j)
-                            dag.addArc(u, j, DepKind::WAR,
-                                       machine.depDelay(block.inst(u), inst,
-                                                        DepKind::WAR,
-                                                        Resource()));
+                            dag.addArc(u, j, DepKind::WAR, delays.war());
                 } else if (e.def >= 0) {
                     std::uint32_t d = static_cast<std::uint32_t>(e.def);
-                    dag.addArc(d, j, DepKind::WAW,
-                               machine.depDelay(block.inst(d), inst,
-                                                DepKind::WAW, Resource()));
+                    dag.addArc(d, j, DepKind::WAW, delays.waw(d, j));
                 }
                 if (rel == AliasResult::MustAlias) {
                     e.def = j;

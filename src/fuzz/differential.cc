@@ -42,11 +42,12 @@ closureDelays(const Dag &dag)
         dist[i][i] = 0;
         for (std::uint32_t j = i + 1; j < n; ++j) {
             int best = -1;
-            for (std::uint32_t arc_id : dag.node(j).predArcs) {
-                const Arc &arc = dag.arc(arc_id);
-                if (arc.from < i || dist[i][arc.from] < 0)
+            std::span<const std::uint32_t> from = dag.predFrom(j);
+            std::span<const std::int32_t> delay = dag.predDelay(j);
+            for (std::size_t k = 0; k < from.size(); ++k) {
+                if (from[k] < i || dist[i][from[k]] < 0)
                     continue;
-                best = std::max(best, dist[i][arc.from] + arc.delay);
+                best = std::max(best, dist[i][from[k]] + delay[k]);
             }
             dist[i][j] = best;
         }
@@ -107,13 +108,13 @@ snapshotHeuristics(const Dag &dag)
 {
     std::vector<HeurRow> rows;
     rows.reserve(dag.size());
-    for (const DagNode &node : dag.nodes()) {
-        const NodeAnnotations &a = node.ann;
-        rows.push_back(HeurRow{a.earliestStart, a.maxPathFromRoot,
-                               a.maxDelayFromRoot, a.latestStart,
-                               a.maxPathToLeaf, a.maxDelayToLeaf, a.slack,
-                               a.numDescendants,
-                               a.sumExecOfDescendants});
+    const NodeAnnotations &a = dag.ann();
+    for (std::uint32_t i = 0; i < dag.size(); ++i) {
+        rows.push_back(HeurRow{a.earliestStart[i], a.maxPathFromRoot[i],
+                               a.maxDelayFromRoot[i], a.latestStart[i],
+                               a.maxPathToLeaf[i], a.maxDelayToLeaf[i],
+                               a.slack[i], a.numDescendants[i],
+                               a.sumExecOfDescendants[i]});
     }
     return rows;
 }
@@ -191,6 +192,53 @@ checkProgram(Program &prog, const MachineModel &machine,
                     fail(mismatch(b, kBuilders[0], kBuilders[k],
                                   "transitive reduction mismatch"));
                     break;
+                }
+            }
+            if (!report.ok)
+                break;
+
+            // Property 1b: alias-policy refinement.  Along the chain
+            // SerializeAll -> BaseOffset -> StorageClassed each step
+            // only removes memory dependences, so the coarser
+            // policy's closure must contain the finer one's: every
+            // pair the fine policy connects, the coarse policy
+            // connects with at least as large an accumulated delay.
+            if (opts.checkAliasRefinement) {
+                static constexpr AliasPolicy kChain[] = {
+                    AliasPolicy::SerializeAll,
+                    AliasPolicy::BaseOffset,
+                    AliasPolicy::StorageClassed,
+                };
+                std::vector<std::vector<std::vector<int>>> closures;
+                for (AliasPolicy policy : kChain) {
+                    BuildOptions copts;
+                    copts.memPolicy = policy;
+                    Dag d = makeBuilder(BuilderKind::TableForward)
+                                ->build(block, machine, copts);
+                    closures.push_back(closureDelays(d));
+                }
+                for (std::size_t k = 1;
+                     k < std::size(kChain) && report.ok; ++k) {
+                    const auto &coarse = closures[k - 1];
+                    const auto &fine = closures[k];
+                    for (std::size_t i = 0;
+                         i < fine.size() && report.ok; ++i) {
+                        for (std::size_t j = 0; j < fine.size(); ++j) {
+                            if (fine[i][j] < 0 ||
+                                coarse[i][j] >= fine[i][j])
+                                continue;
+                            std::ostringstream os;
+                            os << "block " << b
+                               << ": alias refinement violated, "
+                               << aliasPolicyName(kChain[k - 1])
+                               << " closure does not contain "
+                               << aliasPolicyName(kChain[k]) << ": ("
+                               << i << " -> " << j << ") delay "
+                               << coarse[i][j] << " < " << fine[i][j];
+                            fail(os.str());
+                            break;
+                        }
+                    }
                 }
             }
             if (!report.ok)

@@ -48,6 +48,17 @@ struct OracleOptions
 
     /** Compare path-class heuristics across builders and PassImpls. */
     bool checkHeuristics = true;
+
+    /**
+     * Check alias-policy refinement: along the chain
+     * SerializeAll -> BaseOffset -> StorageClassed each policy only
+     * *removes* memory dependences, so the coarser policy's transitive
+     * closure must contain the finer one's — every connected pair
+     * stays connected, with at least as large an accumulated delay.
+     * A violation means a policy invented a dependence (or dropped a
+     * delay) instead of merely refining.
+     */
+    bool checkAliasRefinement = true;
 };
 
 /** Oracle outcome: ok == all properties held on all blocks. */

@@ -10,49 +10,48 @@ namespace sched91
 void
 initDynamicState(Dag &dag)
 {
-    for (auto &node : dag.nodes()) {
-        NodeAnnotations &a = node.ann;
-        a.earliestExecTime = a.inheritedEet;
-        a.unscheduledParents = node.numParents;
-        a.unscheduledChildren = node.numChildren;
-        a.priorityBoost = 0.0;
-        a.scheduled = false;
+    NodeAnnotations &a = dag.ann();
+    for (std::uint32_t i = 0; i < dag.size(); ++i) {
+        a.earliestExecTime[i] = a.inheritedEet[i];
+        a.unscheduledParents[i] = dag.numParents(i);
+        a.unscheduledChildren[i] = dag.numChildren(i);
+        a.priorityBoost[i] = 0.0;
+        a.scheduled[i] = 0;
     }
 }
 
 int
 numSingleParentChildren(const Dag &dag, std::uint32_t n)
 {
+    const int *unsched_parents = dag.ann().unscheduledParents.data();
     int count = 0;
-    for (std::uint32_t arc_id : dag.node(n).succArcs)
-        if (dag.node(dag.arc(arc_id).to).ann.unscheduledParents == 1)
-            ++count;
+    for (std::uint32_t c : dag.succTo(n))
+        count += unsched_parents[c] == 1;
     return count;
 }
 
 int
 sumDelaysToSingleParentChildren(const Dag &dag, std::uint32_t n)
 {
+    const int *unsched_parents = dag.ann().unscheduledParents.data();
+    std::span<const std::uint32_t> to = dag.succTo(n);
+    std::span<const std::int32_t> delay = dag.succDelay(n);
     int sum = 0;
-    for (std::uint32_t arc_id : dag.node(n).succArcs) {
-        const Arc &arc = dag.arc(arc_id);
-        if (dag.node(arc.to).ann.unscheduledParents == 1)
-            sum += arc.delay;
-    }
+    for (std::size_t k = 0; k < to.size(); ++k)
+        if (unsched_parents[to[k]] == 1)
+            sum += delay[k];
     return sum;
 }
 
 int
 numUncoveredChildren(const Dag &dag, std::uint32_t n)
 {
+    const int *unsched_parents = dag.ann().unscheduledParents.data();
+    std::span<const std::uint32_t> to = dag.succTo(n);
+    std::span<const std::int32_t> delay = dag.succDelay(n);
     int count = 0;
-    for (std::uint32_t arc_id : dag.node(n).succArcs) {
-        const Arc &arc = dag.arc(arc_id);
-        if (arc.delay == 1 &&
-            dag.node(arc.to).ann.unscheduledParents == 1) {
-            ++count;
-        }
-    }
+    for (std::size_t k = 0; k < to.size(); ++k)
+        count += delay[k] == 1 && unsched_parents[to[k]] == 1;
     return count;
 }
 
@@ -62,10 +61,11 @@ interlocksWithPrevious(const Dag &dag, std::uint32_t candidate,
 {
     if (last_scheduled < 0)
         return false;
-    for (std::uint32_t arc_id : dag.node(candidate).predArcs) {
-        const Arc &arc = dag.arc(arc_id);
-        if (arc.from == static_cast<std::uint32_t>(last_scheduled) &&
-            arc.delay > 1) {
+    std::span<const std::uint32_t> from = dag.predFrom(candidate);
+    std::span<const std::int32_t> delay = dag.predDelay(candidate);
+    for (std::size_t k = 0; k < from.size(); ++k) {
+        if (from[k] == static_cast<std::uint32_t>(last_scheduled) &&
+            delay[k] > 1) {
             return true;
         }
     }
@@ -75,15 +75,17 @@ interlocksWithPrevious(const Dag &dag, std::uint32_t candidate,
 void
 onScheduledForward(Dag &dag, std::uint32_t n, int issue_time)
 {
-    DagNode &node = dag.node(n);
-    node.ann.scheduled = true;
-    obs::ev::schedDepUpdates.inc(node.succArcs.size());
-    for (std::uint32_t arc_id : node.succArcs) {
-        const Arc &arc = dag.arc(arc_id);
-        NodeAnnotations &c = dag.node(arc.to).ann;
-        --c.unscheduledParents;
-        c.earliestExecTime =
-            std::max(c.earliestExecTime, issue_time + arc.delay);
+    NodeAnnotations &a = dag.ann();
+    a.scheduled[n] = 1;
+    std::span<const std::uint32_t> to = dag.succTo(n);
+    std::span<const std::int32_t> delay = dag.succDelay(n);
+    obs::ev::schedDepUpdates.inc(to.size());
+    int *unsched_parents = a.unscheduledParents.data();
+    int *eet = a.earliestExecTime.data();
+    for (std::size_t k = 0; k < to.size(); ++k) {
+        std::uint32_t c = to[k];
+        --unsched_parents[c];
+        eet[c] = std::max(eet[c], issue_time + delay[k]);
     }
 }
 
@@ -91,15 +93,18 @@ void
 onScheduledBackward(Dag &dag, std::uint32_t n, bool birthing,
                     double birthing_boost)
 {
-    DagNode &node = dag.node(n);
-    node.ann.scheduled = true;
-    obs::ev::schedDepUpdates.inc(node.predArcs.size());
-    for (std::uint32_t arc_id : node.predArcs) {
-        const Arc &arc = dag.arc(arc_id);
-        NodeAnnotations &p = dag.node(arc.from).ann;
-        --p.unscheduledChildren;
-        if (birthing && arc.kind == DepKind::RAW)
-            p.priorityBoost += birthing_boost;
+    NodeAnnotations &a = dag.ann();
+    a.scheduled[n] = 1;
+    std::span<const std::uint32_t> from = dag.predFrom(n);
+    std::span<const DepKind> kind = dag.predKind(n);
+    obs::ev::schedDepUpdates.inc(from.size());
+    int *unsched_children = a.unscheduledChildren.data();
+    double *boost = a.priorityBoost.data();
+    for (std::size_t k = 0; k < from.size(); ++k) {
+        std::uint32_t p = from[k];
+        --unsched_children[p];
+        if (birthing && kind[k] == DepKind::RAW)
+            boost[p] += birthing_boost;
     }
 }
 

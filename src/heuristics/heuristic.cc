@@ -122,52 +122,53 @@ calcPassName(CalcPass pass)
 }
 
 long long
-staticValue(const DagNode &node, Heuristic h)
+staticValue(const Dag &dag, std::uint32_t n, Heuristic h)
 {
-    const NodeAnnotations &a = node.ann;
+    const NodeAnnotations &a = dag.ann();
     switch (h) {
       case Heuristic::InterlockWithPrevious: return 0;
-      case Heuristic::EarliestExecutionTime: return a.earliestExecTime;
-      case Heuristic::InterlockWithChild: return a.interlockWithChild;
-      case Heuristic::ExecutionTime: return a.execTime;
-      case Heuristic::AlternateType: return a.altType;
+      case Heuristic::EarliestExecutionTime: return a.earliestExecTime[n];
+      case Heuristic::InterlockWithChild: return a.interlockWithChild[n];
+      case Heuristic::ExecutionTime: return a.execTime[n];
+      case Heuristic::AlternateType: return a.altType[n];
       case Heuristic::FpuBusyTimes: return 0;
-      case Heuristic::MaxPathToLeaf: return a.maxPathToLeaf;
-      case Heuristic::MaxDelayToLeaf: return a.maxDelayToLeaf;
-      case Heuristic::MaxPathFromRoot: return a.maxPathFromRoot;
-      case Heuristic::MaxDelayFromRoot: return a.maxDelayFromRoot;
-      case Heuristic::EarliestStartTime: return a.earliestStart;
-      case Heuristic::LatestStartTime: return a.latestStart;
-      case Heuristic::Slack: return a.slack;
-      case Heuristic::NumChildren: return node.numChildren;
-      case Heuristic::DelaysToChildren: return a.sumDelaysToChildren;
+      case Heuristic::MaxPathToLeaf: return a.maxPathToLeaf[n];
+      case Heuristic::MaxDelayToLeaf: return a.maxDelayToLeaf[n];
+      case Heuristic::MaxPathFromRoot: return a.maxPathFromRoot[n];
+      case Heuristic::MaxDelayFromRoot: return a.maxDelayFromRoot[n];
+      case Heuristic::EarliestStartTime: return a.earliestStart[n];
+      case Heuristic::LatestStartTime: return a.latestStart[n];
+      case Heuristic::Slack: return a.slack[n];
+      case Heuristic::NumChildren: return dag.numChildren(n);
+      case Heuristic::DelaysToChildren: return a.sumDelaysToChildren[n];
       case Heuristic::NumSingleParentChildren: return 0;
       case Heuristic::SumDelaysToSingleParentChildren: return 0;
       case Heuristic::NumUncoveredChildren: return 0;
-      case Heuristic::NumParents: return node.numParents;
-      case Heuristic::DelaysFromParents: return a.sumDelaysFromParents;
-      case Heuristic::NumDescendants: return a.numDescendants;
+      case Heuristic::NumParents: return dag.numParents(n);
+      case Heuristic::DelaysFromParents: return a.sumDelaysFromParents[n];
+      case Heuristic::NumDescendants: return a.numDescendants[n];
       case Heuristic::SumExecTimesOfDescendants:
-        return a.sumExecOfDescendants;
-      case Heuristic::RegistersBorn: return a.regsBorn;
-      case Heuristic::RegistersKilled: return a.regsKilled;
-      case Heuristic::Liveness: return a.liveness;
+        return a.sumExecOfDescendants[n];
+      case Heuristic::RegistersBorn: return a.regsBorn[n];
+      case Heuristic::RegistersKilled: return a.regsKilled[n];
+      case Heuristic::Liveness: return a.liveness[n];
       case Heuristic::BirthingInstruction:
-        return static_cast<long long>(a.priorityBoost);
+        return static_cast<long long>(a.priorityBoost[n]);
       default:
         return 0;
     }
 }
 
 long long
-staticValueMax(const DagNode &node, Heuristic h)
+staticValueMax(const Dag &dag, std::uint32_t n, Heuristic h)
 {
     switch (h) {
-      case Heuristic::DelaysToChildren: return node.ann.maxDelayToChild;
+      case Heuristic::DelaysToChildren:
+        return dag.ann().maxDelayToChild[n];
       case Heuristic::DelaysFromParents:
-        return node.ann.maxDelayFromParents;
+        return dag.ann().maxDelayFromParents[n];
       default:
-        return staticValue(node, h);
+        return staticValue(dag, n, h);
     }
 }
 

@@ -102,19 +102,20 @@ std::string_view heuristicCategoryName(HeuristicCategory cat);
 std::string_view calcPassName(CalcPass pass);
 
 /**
- * Value of a *static* heuristic from a node's annotations, as filled
- * by DAG construction and the static passes.  Dynamic ("v") heuristics
- * are evaluated by the scheduler (see heuristics/dynamic.hh); querying
- * one here returns the value of its scheduling-state slot when
- * meaningful (e.g. EarliestExecutionTime) and 0 otherwise.
+ * Value of a *static* heuristic from node @p n's annotation slots, as
+ * filled by DAG construction and the static passes.  Dynamic ("v")
+ * heuristics are evaluated by the scheduler (see heuristics/
+ * dynamic.hh); querying one here returns the value of its
+ * scheduling-state slot when meaningful (e.g. EarliestExecutionTime)
+ * and 0 otherwise.
  *
  * For the phi heuristics this returns the sum form; staticValueMax()
  * returns the max form.
  */
-long long staticValue(const DagNode &node, Heuristic h);
+long long staticValue(const Dag &dag, std::uint32_t n, Heuristic h);
 
 /** phi = max variant for DelaysToChildren / DelaysFromParents. */
-long long staticValueMax(const DagNode &node, Heuristic h);
+long long staticValueMax(const Dag &dag, std::uint32_t n, Heuristic h);
 
 } // namespace sched91
 

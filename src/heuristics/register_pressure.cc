@@ -43,7 +43,7 @@ extractChains(const Dag &dag)
     };
 
     for (std::uint32_t i = 0; i < dag.size(); ++i) {
-        const Instruction &inst = *dag.node(i).inst;
+        const Instruction &inst = dag.inst(i);
         for (Resource r : inst.uses()) {
             if (!allocatable(r))
                 continue;
@@ -66,22 +66,23 @@ extractChains(const Dag &dag)
 void
 computeRegisterPressure(Dag &dag)
 {
-    for (auto &node : dag.nodes()) {
-        node.ann.regsBorn = 0;
-        node.ann.regsKilled = 0;
+    NodeAnnotations &ann = dag.ann();
+    for (std::uint32_t i = 0; i < dag.size(); ++i) {
+        ann.regsBorn[i] = 0;
+        ann.regsKilled[i] = 0;
     }
 
     for (const Chain &chain : extractChains(dag)) {
         if (chain.def != kNoNode)
-            ++dag.node(static_cast<std::uint32_t>(chain.def)).ann.regsBorn;
+            ++ann.regsBorn[static_cast<std::uint32_t>(chain.def)];
         if (!chain.uses.empty()) {
             // Program order makes the final entry the last use.
-            ++dag.node(chain.uses.back()).ann.regsKilled;
+            ++ann.regsKilled[chain.uses.back()];
         }
     }
 
-    for (auto &node : dag.nodes())
-        node.ann.liveness = node.ann.regsKilled - node.ann.regsBorn;
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        ann.liveness[i] = ann.regsKilled[i] - ann.regsBorn[i];
 }
 
 int

@@ -27,14 +27,14 @@ forEachTopo(const Dag &dag, PassImpl impl, F &&fn)
             fn(i);
         return;
     }
-    const auto &lists = dag.levelLists();
+    const LevelLists &lists = dag.levelLists();
     if (dag.levelOrigin() == Dag::LevelOrigin::Roots) {
-        for (const auto &level : lists)
-            for (std::uint32_t n : level)
+        for (std::size_t l = 0; l < lists.size(); ++l)
+            for (std::uint32_t n : lists[l])
                 fn(n);
     } else {
-        for (auto it = lists.rbegin(); it != lists.rend(); ++it)
-            for (std::uint32_t n : *it)
+        for (std::size_t l = lists.size(); l-- > 0;)
+            for (std::uint32_t n : lists[l])
                 fn(n);
     }
 }
@@ -49,14 +49,14 @@ forEachReverseTopo(const Dag &dag, PassImpl impl, F &&fn)
             fn(i);
         return;
     }
-    const auto &lists = dag.levelLists();
+    const LevelLists &lists = dag.levelLists();
     if (dag.levelOrigin() == Dag::LevelOrigin::Roots) {
-        for (auto it = lists.rbegin(); it != lists.rend(); ++it)
-            for (std::uint32_t n : *it)
+        for (std::size_t l = lists.size(); l-- > 0;)
+            for (std::uint32_t n : lists[l])
                 fn(n);
     } else {
-        for (const auto &level : lists)
-            for (std::uint32_t n : level)
+        for (std::size_t l = 0; l < lists.size(); ++l)
+            for (std::uint32_t n : lists[l])
                 fn(n);
     }
 }
@@ -74,22 +74,30 @@ runForwardPass(Dag &dag, PassImpl impl)
 {
     obs::ScopedPhase phase("heur-fwd");
     obs::ev::heurForwardVisits.inc(dag.size());
-    forEachTopo(dag, impl, [&dag](std::uint32_t i) {
-        DagNode &node = dag.node(i);
-        NodeAnnotations &a = node.ann;
-        a.maxPathFromRoot = 0;
-        a.maxDelayFromRoot = 0;
-        a.earliestStart = 0;
-        for (std::uint32_t arc_id : node.predArcs) {
-            const Arc &arc = dag.arc(arc_id);
-            const NodeAnnotations &p = dag.node(arc.from).ann;
-            a.maxPathFromRoot =
-                std::max(a.maxPathFromRoot, p.maxPathFromRoot + 1);
-            a.maxDelayFromRoot = std::max(a.maxDelayFromRoot,
-                                          p.maxDelayFromRoot + arc.delay);
-            a.earliestStart =
-                std::max(a.earliestStart, p.earliestStart + p.execTime);
+
+    // Hoist the annotation columns: the pass streams over dense int
+    // arrays, indexed only by the CSR predecessor slabs.
+    NodeAnnotations &ann = dag.ann();
+    int *max_path = ann.maxPathFromRoot.data();
+    int *max_delay = ann.maxDelayFromRoot.data();
+    int *est = ann.earliestStart.data();
+    const int *exec = ann.execTime.data();
+
+    forEachTopo(dag, impl, [&](std::uint32_t i) {
+        std::span<const std::uint32_t> from = dag.predFrom(i);
+        std::span<const std::int32_t> delay = dag.predDelay(i);
+        int mp = 0;
+        int md = 0;
+        int start = 0;
+        for (std::size_t k = 0; k < from.size(); ++k) {
+            std::uint32_t p = from[k];
+            mp = std::max(mp, max_path[p] + 1);
+            md = std::max(md, max_delay[p] + delay[k]);
+            start = std::max(start, est[p] + exec[p]);
         }
+        max_path[i] = mp;
+        max_delay[i] = md;
+        est[i] = start;
     });
 }
 
@@ -102,59 +110,59 @@ runBackwardPass(Dag &dag, PassImpl impl, bool compute_descendants)
     // Descendant maps: reuse the builder's when it maintained
     // descendant-mode maps (backward table building), else compute them
     // with one sweep.
-    std::vector<Bitmap> local_maps;
-    const std::vector<Bitmap> *maps = nullptr;
-    if (compute_descendants) {
-        if (dag.reachMode() == ReachMode::Descendants) {
-            // Builder-maintained; accessed per node below.
-        } else {
-            obs::ev::heurDescendantSweeps.inc();
-            local_maps = dag.computeDescendantMaps();
-            maps = &local_maps;
-        }
+    BitMatrix local_maps;
+    bool use_local = false;
+    if (compute_descendants && dag.reachMode() != ReachMode::Descendants) {
+        obs::ev::heurDescendantSweeps.inc();
+        local_maps = dag.computeDescendantMaps();
+        use_local = true;
     }
+
+    NodeAnnotations &ann = dag.ann();
+    int *max_path = ann.maxPathToLeaf.data();
+    int *max_delay = ann.maxDelayToLeaf.data();
+    int *lst = ann.latestStart.data();
+    const int *est = ann.earliestStart.data();
+    const int *exec = ann.execTime.data();
 
     // Block finish time: the EST the paper's block-terminating dummy
     // node would receive (max over leaves of EST + latency).  LST of a
     // leaf is then finish - latency, i.e. dummy-node semantics without
     // materializing the dummy.
     int finish = 0;
-    for (const auto &node : dag.nodes())
-        if (node.succArcs.empty())
-            finish = std::max(finish,
-                              node.ann.earliestStart + node.ann.execTime);
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        if (dag.numChildren(i) == 0)
+            finish = std::max(finish, est[i] + exec[i]);
 
     forEachReverseTopo(dag, impl, [&](std::uint32_t i) {
-        DagNode &node = dag.node(i);
-        NodeAnnotations &a = node.ann;
-        a.maxPathToLeaf = 0;
-        a.maxDelayToLeaf = 0;
-        bool leaf = node.succArcs.empty();
+        std::span<const std::uint32_t> to = dag.succTo(i);
+        std::span<const std::int32_t> delay = dag.succDelay(i);
+        int mp = 0;
+        int md = 0;
+        bool leaf = to.empty();
         int min_child_lst = std::numeric_limits<int>::max();
-        for (std::uint32_t arc_id : node.succArcs) {
-            const Arc &arc = dag.arc(arc_id);
-            const NodeAnnotations &c = dag.node(arc.to).ann;
-            a.maxPathToLeaf = std::max(a.maxPathToLeaf, c.maxPathToLeaf + 1);
-            a.maxDelayToLeaf =
-                std::max(a.maxDelayToLeaf, c.maxDelayToLeaf + arc.delay);
-            min_child_lst = std::min(min_child_lst, c.latestStart);
+        for (std::size_t k = 0; k < to.size(); ++k) {
+            std::uint32_t c = to[k];
+            mp = std::max(mp, max_path[c] + 1);
+            md = std::max(md, max_delay[c] + delay[k]);
+            min_child_lst = std::min(min_child_lst, lst[c]);
         }
+        max_path[i] = mp;
+        max_delay[i] = md;
         // LST(leaf) derives from the dummy node's EST; otherwise min
         // over children minus own latency ([12]).
-        a.latestStart =
-            leaf ? finish - a.execTime : min_child_lst - a.execTime;
+        lst[i] = leaf ? finish - exec[i] : min_child_lst - exec[i];
 
         if (compute_descendants) {
-            const Bitmap &map =
-                maps ? (*maps)[i] : dag.reachMap(i);
-            a.numDescendants = static_cast<int>(map.count()) - 1;
+            ConstBitRow map =
+                use_local ? local_maps.row(i) : dag.reachMap(i);
+            ann.numDescendants[i] = static_cast<int>(map.count()) - 1;
             long long sum = 0;
             map.forEachSet([&](std::size_t bit) {
                 if (bit != i)
-                    sum += dag.node(static_cast<std::uint32_t>(bit))
-                               .ann.execTime;
+                    sum += exec[bit];
             });
-            a.sumExecOfDescendants = sum;
+            ann.sumExecOfDescendants[i] = sum;
         }
     });
 }
@@ -163,8 +171,12 @@ void
 computeSlack(Dag &dag)
 {
     obs::ev::heurSlackComputes.inc(dag.size());
-    for (auto &node : dag.nodes())
-        node.ann.slack = node.ann.latestStart - node.ann.earliestStart;
+    NodeAnnotations &ann = dag.ann();
+    const int *lst = ann.latestStart.data();
+    const int *est = ann.earliestStart.data();
+    int *slack = ann.slack.data();
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        slack[i] = lst[i] - est[i];
 }
 
 void

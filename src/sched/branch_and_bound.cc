@@ -27,19 +27,18 @@ class Search
         unschedParents_.resize(n_);
         scheduled_.assign(n_, false);
         for (std::uint32_t i = 0; i < n_; ++i)
-            unschedParents_[i] = dag.node(i).numParents;
+            unschedParents_[i] = dag.numParents(i);
 
         // Critical tail per node: cycles from the node's issue to
         // block completion along the worst path (arc delays, closing
         // with the final node's latency).  The search's lower bound.
         tail_.assign(n_, 0);
         for (std::uint32_t i = n_; i-- > 0;) {
-            const DagNode &node = dag.node(i);
-            int t = node.ann.execTime;
-            for (std::uint32_t arc_id : node.succArcs) {
-                const Arc &arc = dag.arc(arc_id);
-                t = std::max(t, arc.delay + tail_[arc.to]);
-            }
+            int t = dag.ann().execTime[i];
+            std::span<const std::uint32_t> to = dag.succTo(i);
+            std::span<const std::int32_t> delay = dag.succDelay(i);
+            for (std::size_t k = 0; k < to.size(); ++k)
+                t = std::max(t, delay[k] + tail_[to[k]]);
             tail_[i] = t;
         }
     }
@@ -119,26 +118,26 @@ class Search
                   });
 
         for (std::uint32_t c : candidates) {
-            const DagNode &node = dag_.node(c);
-            InstClass cls = node.inst->cls();
+            InstClass cls = dag_.inst(c).cls();
             int issue = std::max({time, eet_[c],
                                   fus_.earliestFree(machine_.fuFor(cls),
                                                     time)});
             int new_finish =
-                std::max(finish, issue + node.ann.execTime);
+                std::max(finish, issue + dag_.ann().execTime[c]);
             if (new_finish >= best_)
                 continue;
 
             // Apply.
             scheduled_[c] = true;
             order_.push_back(c);
+            std::span<const std::uint32_t> to = dag_.succTo(c);
+            std::span<const std::int32_t> delay = dag_.succDelay(c);
             std::vector<int> saved_eet;
-            for (std::uint32_t arc_id : node.succArcs) {
-                const Arc &arc = dag_.arc(arc_id);
-                saved_eet.push_back(eet_[arc.to]);
-                --unschedParents_[arc.to];
-                eet_[arc.to] =
-                    std::max(eet_[arc.to], issue + arc.delay);
+            for (std::size_t k = 0; k < to.size(); ++k) {
+                saved_eet.push_back(eet_[to[k]]);
+                --unschedParents_[to[k]];
+                eet_[to[k]] =
+                    std::max(eet_[to[k]], issue + delay[k]);
             }
             FuState saved_fus = fus_;
             fus_.occupy(cls, issue);
@@ -148,11 +147,9 @@ class Search
 
             // Undo.
             fus_ = saved_fus;
-            std::size_t k = 0;
-            for (std::uint32_t arc_id : node.succArcs) {
-                const Arc &arc = dag_.arc(arc_id);
-                ++unschedParents_[arc.to];
-                eet_[arc.to] = saved_eet[k++];
+            for (std::size_t k = 0; k < to.size(); ++k) {
+                ++unschedParents_[to[k]];
+                eet_[to[k]] = saved_eet[k];
             }
             order_.pop_back();
             scheduled_[c] = false;

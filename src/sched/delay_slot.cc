@@ -15,12 +15,12 @@ bool
 onlyControlToBranch(const Dag &dag, std::uint32_t node,
                     std::uint32_t branch)
 {
-    for (std::uint32_t arc_id : dag.node(node).succArcs) {
+    for (std::uint32_t arc_id : dag.succs(node)) {
         const Arc &arc = dag.arc(arc_id);
         if (arc.to != branch || arc.kind != DepKind::CTRL)
             return false;
     }
-    return !dag.node(node).succArcs.empty();
+    return !dag.succs(node).empty();
 }
 
 } // namespace
@@ -33,7 +33,7 @@ fillBranchDelaySlot(const Dag &dag, Schedule &sched)
         return result;
 
     std::uint32_t branch = dag.size() - 1;
-    const Instruction &tail = *dag.node(branch).inst;
+    const Instruction &tail = dag.inst(branch);
     if (!isControlTransfer(tail.cls()) || sched.order.back() != branch)
         return result;
 

@@ -23,7 +23,7 @@ applyPostpassFixup(const Dag &dag, Schedule &sched)
 
     std::vector<int> dep_ready(dag.size(), 0);
     for (std::uint32_t i = 0; i < dag.size(); ++i)
-        dep_ready[i] = dag.node(i).ann.inheritedEet;
+        dep_ready[i] = dag.ann().inheritedEet[i];
     int moved = 0;
     int time = 0;
 
@@ -40,9 +40,8 @@ applyPostpassFixup(const Dag &dag, Schedule &sched)
                 if (dep_ready[cand] > time)
                     continue;
                 bool parents_placed = true;
-                for (std::uint32_t arc_id : dag.node(cand).predArcs) {
-                    if (pos[dag.arc(arc_id).from] >=
-                        static_cast<int>(p)) {
+                for (std::uint32_t from : dag.predFrom(cand)) {
+                    if (pos[from] >= static_cast<int>(p)) {
                         parents_placed = false;
                         break;
                     }
@@ -66,10 +65,11 @@ applyPostpassFixup(const Dag &dag, Schedule &sched)
             }
         }
 
-        for (std::uint32_t arc_id : dag.node(node).succArcs) {
-            const Arc &arc = dag.arc(arc_id);
-            dep_ready[arc.to] =
-                std::max(dep_ready[arc.to], issue + arc.delay);
+        std::span<const std::uint32_t> to = dag.succTo(node);
+        std::span<const std::int32_t> delay = dag.succDelay(node);
+        for (std::size_t k = 0; k < to.size(); ++k) {
+            dep_ready[to[k]] =
+                std::max(dep_ready[to[k]], issue + delay[k]);
         }
         time = issue + 1;
     }

@@ -20,7 +20,7 @@ computeOutgoingLatencies(const Dag &dag, const Schedule &sched,
     int next_issue = sched.issueCycle.back() + 1;
     std::array<int, Resource::kNumSlots> settle{};
     for (std::size_t p = 0; p < sched.order.size(); ++p) {
-        const Instruction &inst = *dag.node(sched.order[p]).inst;
+        const Instruction &inst = dag.inst(sched.order[p]);
         int done = sched.issueCycle[p] + machine.latency(inst.cls());
         for (Resource r : inst.defs())
             settle[r.slot()] = std::max(settle[r.slot()], done);
@@ -33,13 +33,15 @@ computeOutgoingLatencies(const Dag &dag, const Schedule &sched,
 void
 applyInheritedLatencies(Dag &dag, const InheritedLatencies &in)
 {
-    for (auto &node : dag.nodes()) {
+    NodeAnnotations &ann = dag.ann();
+    for (std::uint32_t i = 0; i < dag.size(); ++i) {
+        const Instruction &inst = dag.inst(i);
         int floor = 0;
-        for (Resource r : node.inst->uses())
+        for (Resource r : inst.uses())
             floor = std::max(floor, in.ready[r.slot()]);
-        for (Resource r : node.inst->defs())
+        for (Resource r : inst.defs())
             floor = std::max(floor, in.ready[r.slot()]);
-        node.ann.inheritedEet = floor;
+        ann.inheritedEet[i] = floor;
     }
 }
 
@@ -48,7 +50,7 @@ inheritedReadyTimes(const Dag &dag, const InheritedLatencies &in)
 {
     std::vector<int> ready(dag.size(), 0);
     for (std::uint32_t i = 0; i < dag.size(); ++i) {
-        const Instruction &inst = *dag.node(i).inst;
+        const Instruction &inst = dag.inst(i);
         int floor = 0;
         for (Resource r : inst.uses())
             floor = std::max(floor, in.ready[r.slot()]);

@@ -56,7 +56,7 @@ evaluate(const Dag &dag, std::uint32_t n, const RankedHeuristic &rh,
          const EvalContext &ctx, const MachineModel &machine)
 {
     obs::ev::schedHeuristicEvals.inc();
-    const DagNode &node = dag.node(n);
+    const NodeAnnotations &ann = dag.ann();
     switch (rh.heuristic) {
       case Heuristic::InterlockWithPrevious:
         return interlocksWithPrevious(dag, n, ctx.last) ? 1 : 0;
@@ -64,15 +64,15 @@ evaluate(const Dag &dag, std::uint32_t n, const RankedHeuristic &rh,
         // EET acts as admission: every candidate already issueable at
         // the current time ranks equally (the paper admits nodes with
         // "EET <= current time"); later heuristics break the tie.
-        return std::max<long long>(node.ann.earliestExecTime, ctx.time);
+        return std::max<long long>(ann.earliestExecTime[n], ctx.time);
       case Heuristic::FpuBusyTimes: {
         if (!ctx.fus)
             return 0;
-        FuKind fu = machine.fuFor(node.inst->cls());
+        FuKind fu = machine.fuFor(dag.inst(n).cls());
         return std::max(0, ctx.fus->earliestFree(fu, ctx.time) - ctx.time);
       }
       case Heuristic::AlternateType:
-        return node.ann.altType != ctx.lastGroup ? 1 : 0;
+        return ann.altType[n] != ctx.lastGroup ? 1 : 0;
       case Heuristic::NumSingleParentChildren:
         return numSingleParentChildren(dag, n);
       case Heuristic::SumDelaysToSingleParentChildren:
@@ -80,10 +80,10 @@ evaluate(const Dag &dag, std::uint32_t n, const RankedHeuristic &rh,
       case Heuristic::NumUncoveredChildren:
         return numUncoveredChildren(dag, n);
       case Heuristic::BirthingInstruction:
-        return static_cast<long long>(node.ann.priorityBoost);
+        return static_cast<long long>(ann.priorityBoost[n]);
       default:
-        return rh.phiMax ? staticValueMax(node, rh.heuristic)
-                         : staticValue(node, rh.heuristic);
+        return rh.phiMax ? staticValueMax(dag, n, rh.heuristic)
+                         : staticValue(dag, n, rh.heuristic);
     }
 }
 
@@ -204,8 +204,9 @@ fillTiming(const Dag &dag, Schedule &sched)
     std::vector<int> local_dep;
     std::vector<int> &dep_ready = wc ? wc->depReady : local_dep;
     dep_ready.assign(dag.size(), 0);
+    const NodeAnnotations &ann = dag.ann();
     for (std::uint32_t i = 0; i < dag.size(); ++i)
-        dep_ready[i] = dag.node(i).ann.inheritedEet;
+        dep_ready[i] = ann.inheritedEet[i];
     sched.issueCycle.assign(sched.order.size(), 0);
     int time = 0;
     sched.makespan = 0;
@@ -213,13 +214,14 @@ fillTiming(const Dag &dag, Schedule &sched)
         std::uint32_t n = sched.order[p];
         int issue = std::max(time, dep_ready[n]);
         sched.issueCycle[p] = issue;
-        for (std::uint32_t arc_id : dag.node(n).succArcs) {
-            const Arc &arc = dag.arc(arc_id);
-            dep_ready[arc.to] =
-                std::max(dep_ready[arc.to], issue + arc.delay);
+        std::span<const std::uint32_t> to = dag.succTo(n);
+        std::span<const std::int32_t> delay = dag.succDelay(n);
+        for (std::size_t k = 0; k < to.size(); ++k) {
+            dep_ready[to[k]] =
+                std::max(dep_ready[to[k]], issue + delay[k]);
         }
         sched.makespan =
-            std::max(sched.makespan, issue + dag.node(n).ann.execTime);
+            std::max(sched.makespan, issue + ann.execTime[n]);
         time = issue + 1;
     }
 }
@@ -270,12 +272,11 @@ ListScheduler::runHeap(Dag &dag, const CancellationToken *cancel) const
     // Each node enters the ready list exactly once, so its ranked
     // tuple is evaluated exactly once, at admission.
     auto computeKey = [&](std::uint32_t n) {
-        const DagNode &node = dag.node(n);
         for (std::size_t r = 0; r < ranks; ++r) {
             const RankedHeuristic &rh = config_.ranking[r];
             keys[n * ranks + r] =
-                rh.phiMax ? staticValueMax(node, rh.heuristic)
-                          : staticValue(node, rh.heuristic);
+                rh.phiMax ? staticValueMax(dag, n, rh.heuristic)
+                          : staticValue(dag, n, rh.heuristic);
         }
         obs::ev::schedHeuristicEvals.inc(ranks);
     };
@@ -295,8 +296,8 @@ ListScheduler::runHeap(Dag &dag, const CancellationToken *cancel) const
 
     DaryHeap<std::uint32_t, decltype(outranks)> ready(outranks, &store);
     for (std::uint32_t i = 0; i < dag.size(); ++i) {
-        bool root = forward ? dag.node(i).numParents == 0
-                            : dag.node(i).numChildren == 0;
+        bool root = forward ? dag.numParents(i) == 0
+                            : dag.numChildren(i) == 0;
         if (root) {
             computeKey(i);
             ready.push(i);
@@ -316,11 +317,10 @@ ListScheduler::runHeap(Dag &dag, const CancellationToken *cancel) const
         sched.order.push_back(n);
 
         if (forward) {
-            int issue = std::max(time, dag.node(n).ann.earliestExecTime);
+            int issue = std::max(time, dag.ann().earliestExecTime[n]);
             onScheduledForward(dag, n, issue);
-            for (std::uint32_t arc_id : dag.node(n).succArcs) {
-                std::uint32_t c = dag.arc(arc_id).to;
-                if (dag.node(c).ann.unscheduledParents == 0) {
+            for (std::uint32_t c : dag.succTo(n)) {
+                if (dag.ann().unscheduledParents[c] == 0) {
                     computeKey(c);
                     ready.push(c);
                 }
@@ -328,9 +328,8 @@ ListScheduler::runHeap(Dag &dag, const CancellationToken *cancel) const
             time = issue + 1;
         } else {
             onScheduledBackward(dag, n, config_.birthing);
-            for (std::uint32_t arc_id : dag.node(n).predArcs) {
-                std::uint32_t p = dag.arc(arc_id).from;
-                if (dag.node(p).ann.unscheduledChildren == 0) {
+            for (std::uint32_t p : dag.predFrom(n)) {
+                if (dag.ann().unscheduledChildren[p] == 0) {
                     computeKey(p);
                     ready.push(p);
                 }
@@ -357,7 +356,7 @@ ListScheduler::runForward(Dag &dag, DecisionStats *stats,
         wc ? wc->readyList : local_candidates;
     candidates.clear();
     for (std::uint32_t i = 0; i < dag.size(); ++i)
-        if (dag.node(i).numParents == 0)
+        if (dag.numParents(i) == 0)
             candidates.push_back(i);
 
     FuState fus(machine_);
@@ -381,20 +380,18 @@ ListScheduler::runForward(Dag &dag, DecisionStats *stats,
         candidates.erase(candidates.begin() +
                          static_cast<std::ptrdiff_t>(best));
 
-        int issue = std::max(time, dag.node(n).ann.earliestExecTime);
+        int issue = std::max(time, dag.ann().earliestExecTime[n]);
         sched.order.push_back(n);
-        fus.occupy(dag.node(n).inst->cls(), issue);
+        fus.occupy(dag.inst(n).cls(), issue);
         onScheduledForward(dag, n, issue);
 
-        for (std::uint32_t arc_id : dag.node(n).succArcs) {
-            std::uint32_t c = dag.arc(arc_id).to;
-            if (dag.node(c).ann.unscheduledParents == 0)
+        for (std::uint32_t c : dag.succTo(n))
+            if (dag.ann().unscheduledParents[c] == 0)
                 candidates.push_back(c);
-        }
 
         time = issue + 1;
         ctx.last = n;
-        ctx.lastGroup = dag.node(n).ann.altType;
+        ctx.lastGroup = dag.ann().altType[n];
     }
 
     SCHED91_ASSERT(sched.order.size() == dag.size(),
@@ -414,7 +411,7 @@ ListScheduler::runBackward(Dag &dag, DecisionStats *stats,
         wc ? wc->readyList : local_candidates;
     candidates.clear();
     for (std::uint32_t i = 0; i < dag.size(); ++i)
-        if (dag.node(i).numChildren == 0)
+        if (dag.numChildren(i) == 0)
             candidates.push_back(i);
 
     EvalContext ctx; // no FU / time context in a backward pass
@@ -437,14 +434,12 @@ ListScheduler::runBackward(Dag &dag, DecisionStats *stats,
         sched.order.push_back(n);
         onScheduledBackward(dag, n, config_.birthing);
 
-        for (std::uint32_t arc_id : dag.node(n).predArcs) {
-            std::uint32_t p = dag.arc(arc_id).from;
-            if (dag.node(p).ann.unscheduledChildren == 0)
+        for (std::uint32_t p : dag.predFrom(n))
+            if (dag.ann().unscheduledChildren[p] == 0)
                 candidates.push_back(p);
-        }
 
         ctx.last = n;
-        ctx.lastGroup = dag.node(n).ann.altType;
+        ctx.lastGroup = dag.ann().altType[n];
     }
 
     SCHED91_ASSERT(sched.order.size() == dag.size(),

@@ -31,9 +31,9 @@ simulateSchedule(const Dag &ground_truth,
     int prev_issue = -1;
 
     for (std::uint32_t n : order) {
-        const DagNode &node = ground_truth.node(n);
-        InstClass cls = node.inst->cls();
-        unsigned group_bit = 1u << static_cast<unsigned>(node.inst->group());
+        const Instruction &inst = ground_truth.inst(n);
+        InstClass cls = inst.cls();
+        unsigned group_bit = 1u << static_cast<unsigned>(inst.group());
 
         int earliest = std::max(dep_ready[n],
                                 fus.earliestFree(machine.fuFor(cls), 0));
@@ -65,10 +65,11 @@ simulateSchedule(const Dag &ground_truth,
         prev_issue = issue;
         result.lastIssue = issue;
 
-        for (std::uint32_t arc_id : node.succArcs) {
-            const Arc &arc = ground_truth.arc(arc_id);
-            dep_ready[arc.to] =
-                std::max(dep_ready[arc.to], issue + arc.delay);
+        std::span<const std::uint32_t> to = ground_truth.succTo(n);
+        std::span<const std::int32_t> delay = ground_truth.succDelay(n);
+        for (std::size_t k = 0; k < to.size(); ++k) {
+            dep_ready[to[k]] =
+                std::max(dep_ready[to[k]], issue + delay[k]);
         }
     }
 

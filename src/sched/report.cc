@@ -63,11 +63,11 @@ reportProgram(Program &prog, const MachineModel &machine,
         std::vector<int> tail(gt.size(), 0);
         int critical = 0;
         for (std::uint32_t i = gt.size(); i-- > 0;) {
-            tail[i] = gt.node(i).ann.execTime;
-            for (std::uint32_t arc_id : gt.node(i).succArcs) {
-                const Arc &arc = gt.arc(arc_id);
-                tail[i] = std::max(tail[i], arc.delay + tail[arc.to]);
-            }
+            tail[i] = gt.ann().execTime[i];
+            std::span<const std::uint32_t> to = gt.succTo(i);
+            std::span<const std::int32_t> delay = gt.succDelay(i);
+            for (std::size_t k = 0; k < to.size(); ++k)
+                tail[i] = std::max(tail[i], delay[k] + tail[to[k]]);
             critical = std::max(critical, tail[i]);
         }
 

@@ -97,17 +97,16 @@ scheduleWithReservationTable(Dag &dag, const MachineModel &machine)
     ReservationTable table(machine);
     std::vector<int> unplaced_parents(n);
     for (std::uint32_t i = 0; i < n; ++i)
-        unplaced_parents[i] = dag.node(i).numParents;
+        unplaced_parents[i] = dag.numParents(i);
 
     // Ready set ordered by priority: critical path (max delay to a
     // leaf) first, then execution time, then original order.
     auto priority_less = [&dag](std::uint32_t a, std::uint32_t b) {
-        const NodeAnnotations &x = dag.node(a).ann;
-        const NodeAnnotations &y = dag.node(b).ann;
-        if (x.maxDelayToLeaf != y.maxDelayToLeaf)
-            return x.maxDelayToLeaf > y.maxDelayToLeaf;
-        if (x.execTime != y.execTime)
-            return x.execTime > y.execTime;
+        const NodeAnnotations &ann = dag.ann();
+        if (ann.maxDelayToLeaf[a] != ann.maxDelayToLeaf[b])
+            return ann.maxDelayToLeaf[a] > ann.maxDelayToLeaf[b];
+        if (ann.execTime[a] != ann.execTime[b])
+            return ann.execTime[a] > ann.execTime[b];
         return a < b;
     };
 
@@ -125,21 +124,20 @@ scheduleWithReservationTable(Dag &dag, const MachineModel &machine)
 
         // Operand dependences set the floor; the table sets the slot.
         int floor = 0;
-        for (std::uint32_t arc_id : dag.node(node_id).predArcs) {
-            const Arc &arc = dag.arc(arc_id);
-            floor = std::max(floor, result.cycle[arc.from] + arc.delay);
-        }
+        std::span<const std::uint32_t> from = dag.predFrom(node_id);
+        std::span<const std::int32_t> pdelay = dag.predDelay(node_id);
+        for (std::size_t k = 0; k < from.size(); ++k)
+            floor = std::max(floor, result.cycle[from[k]] + pdelay[k]);
         auto pattern =
-            reservationPattern(machine, dag.node(node_id).inst->cls());
+            reservationPattern(machine, dag.inst(node_id).cls());
         int slot = table.earliestFit(pattern, floor);
         table.place(pattern, slot);
         result.cycle[node_id] = slot;
         result.makespan = std::max(
-            result.makespan, slot + dag.node(node_id).ann.execTime);
+            result.makespan, slot + dag.ann().execTime[node_id]);
         ++placed;
 
-        for (std::uint32_t arc_id : dag.node(node_id).succArcs) {
-            std::uint32_t child = dag.arc(arc_id).to;
+        for (std::uint32_t child : dag.succTo(node_id)) {
             if (--unplaced_parents[child] == 0)
                 ready.push_back(child);
         }

@@ -54,7 +54,7 @@ renderTimeline(const Dag &dag, const std::vector<std::uint32_t> &order,
 
     std::vector<int> dep_ready(dag.size(), 0);
     for (std::uint32_t i = 0; i < dag.size(); ++i)
-        dep_ready[i] = dag.node(i).ann.inheritedEet;
+        dep_ready[i] = dag.ann().inheritedEet[i];
     FuState fus(machine);
     int cycle = 0;
     int issued = 0;
@@ -63,9 +63,8 @@ renderTimeline(const Dag &dag, const std::vector<std::uint32_t> &order,
 
     for (std::size_t p = 0; p < order.size(); ++p) {
         std::uint32_t n = order[p];
-        InstClass cls = dag.node(n).inst->cls();
-        unsigned bit = 1u << static_cast<unsigned>(dag.node(n).inst
-                                                       ->group());
+        InstClass cls = dag.inst(n).cls();
+        unsigned bit = 1u << static_cast<unsigned>(dag.inst(n).group());
         int t = std::max({cycle, dep_ready[n],
                           fus.earliestFree(machine.fuFor(cls), 0)});
         if (t > cycle) {
@@ -87,10 +86,11 @@ renderTimeline(const Dag &dag, const std::vector<std::uint32_t> &order,
                                        positionMark(p)});
         last_cycle = std::max(last_cycle,
                               cycle + machine.fuBusyCycles(cls));
-        for (std::uint32_t arc_id : dag.node(n).succArcs) {
-            const Arc &arc = dag.arc(arc_id);
-            dep_ready[arc.to] =
-                std::max(dep_ready[arc.to], cycle + arc.delay);
+        std::span<const std::uint32_t> to = dag.succTo(n);
+        std::span<const std::int32_t> delay = dag.succDelay(n);
+        for (std::size_t k = 0; k < to.size(); ++k) {
+            dep_ready[to[k]] =
+                std::max(dep_ready[to[k]], cycle + delay[k]);
         }
     }
 

@@ -69,8 +69,8 @@ blockEndsInControl(const Dag &dag)
 {
     if (dag.size() == 0)
         return false;
-    const DagNode &tail = dag.node(dag.size() - 1);
-    return tail.inst != nullptr && tail.inst->endsBlock();
+    const Instruction *tail = dag.instPtr(dag.size() - 1);
+    return tail != nullptr && tail->endsBlock();
 }
 
 /** Is this arc the advisory control anchor into the final branch? */
@@ -198,10 +198,10 @@ verifyReservation(const Dag &dag, const ReservationResult &res,
     // Reservation conflicts: replay every pattern into a fresh table.
     ReservationTable table(machine);
     for (std::uint32_t n : res.sched.order) {
-        const DagNode &node = dag.node(n);
-        if (node.inst == nullptr)
+        const Instruction *inst = dag.instPtr(n);
+        if (inst == nullptr)
             continue;
-        auto pattern = reservationPattern(machine, node.inst->cls());
+        auto pattern = reservationPattern(machine, inst->cls());
         int start = res.cycle[n];
         if (!table.fits(pattern, start)) {
             fail(r, concat("node ", n, " reservation pattern conflicts "

@@ -13,9 +13,12 @@
 #ifndef SCHED91_SUPPORT_BITMAP_HH
 #define SCHED91_SUPPORT_BITMAP_HH
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "support/arena.hh"
 
 namespace sched91
 {
@@ -82,6 +85,169 @@ class Bitmap
 
     std::vector<std::uint64_t> words_;
     std::size_t numBits_ = 0;
+};
+
+/**
+ * Read-only view of one fixed-width row inside a BitMatrix (or any
+ * word array).  Same query surface as Bitmap — test / count /
+ * forEachSet — but with no ownership and no growth.
+ */
+class ConstBitRow
+{
+  public:
+    ConstBitRow() = default;
+
+    ConstBitRow(const std::uint64_t *words, std::size_t num_bits)
+        : words_(words), numBits_(num_bits)
+    {
+    }
+
+    std::size_t size() const { return numBits_; }
+
+    bool
+    test(std::size_t idx) const
+    {
+        if (idx >= numBits_)
+            return false;
+        return (words_[idx / 64] >> (idx % 64)) & 1u;
+    }
+
+    /** Number of set bits (word-parallel popcount). */
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (std::size_t w = 0; w < numWords(); ++w)
+            n += static_cast<std::size_t>(std::popcount(words_[w]));
+        return n;
+    }
+
+    bool
+    none() const
+    {
+        for (std::size_t w = 0; w < numWords(); ++w)
+            if (words_[w])
+                return false;
+        return true;
+    }
+
+    const std::uint64_t *words() const { return words_; }
+    std::size_t numWords() const { return (numBits_ + 63) / 64; }
+
+    /** Invoke @p fn with the index of every set bit, ascending. */
+    template <typename F>
+    void
+    forEachSet(F &&fn) const
+    {
+        for (std::size_t w = 0; w < numWords(); ++w) {
+            std::uint64_t bits = words_[w];
+            while (bits) {
+                unsigned b =
+                    static_cast<unsigned>(std::countr_zero(bits));
+                fn(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+  protected:
+    const std::uint64_t *words_ = nullptr;
+    std::size_t numBits_ = 0;
+};
+
+/** Mutable row view: adds set() and word-granular OR-merge. */
+class BitRow : public ConstBitRow
+{
+  public:
+    BitRow() = default;
+
+    BitRow(std::uint64_t *words, std::size_t num_bits)
+        : ConstBitRow(words, num_bits)
+    {
+    }
+
+    void
+    set(std::size_t idx)
+    {
+        wordsMutable()[idx / 64] |= std::uint64_t{1} << (idx % 64);
+    }
+
+    /** this |= other over the common word span (one dense loop). */
+    void
+    orWith(ConstBitRow other)
+    {
+        std::size_t n = std::min(numWords(), other.numWords());
+        std::uint64_t *dst = wordsMutable();
+        const std::uint64_t *src = other.words();
+        for (std::size_t w = 0; w < n; ++w)
+            dst[w] |= src[w];
+    }
+
+    std::uint64_t *
+    wordsMutable()
+    {
+        return const_cast<std::uint64_t *>(words_);
+    }
+};
+
+/**
+ * Dense rows × bits bit matrix in one contiguous slab — the DAG's
+ * reachability maps live here so the per-arc OR-merge and the
+ * #descendants popcount stream one allocation instead of chasing
+ * per-node Bitmap headers.  Optionally arena-backed.
+ */
+class BitMatrix
+{
+  public:
+    BitMatrix() = default;
+
+    explicit BitMatrix(Arena *arena)
+        : words_(ArenaAllocator<std::uint64_t>(arena))
+    {
+    }
+
+    /** Resize to @p rows rows of @p bits bits, all clear. */
+    void
+    reset(std::size_t rows, std::size_t bits)
+    {
+        rows_ = rows;
+        numBits_ = bits;
+        rowWords_ = (bits + 63) / 64;
+        words_.assign(rows_ * rowWords_, 0);
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t bits() const { return numBits_; }
+    std::size_t rowWords() const { return rowWords_; }
+    bool empty() const { return rows_ == 0; }
+
+    BitRow
+    row(std::size_t r)
+    {
+        return BitRow(words_.data() + r * rowWords_, numBits_);
+    }
+
+    ConstBitRow
+    row(std::size_t r) const
+    {
+        return ConstBitRow(words_.data() + r * rowWords_, numBits_);
+    }
+
+    /** row(dst) |= row(src): word loop within the slab. */
+    void
+    orRows(std::size_t dst, std::size_t src)
+    {
+        std::uint64_t *d = words_.data() + dst * rowWords_;
+        const std::uint64_t *s = words_.data() + src * rowWords_;
+        for (std::size_t w = 0; w < rowWords_; ++w)
+            d[w] |= s[w];
+    }
+
+  private:
+    ArenaVector<std::uint64_t> words_;
+    std::size_t rows_ = 0;
+    std::size_t numBits_ = 0;
+    std::size_t rowWords_ = 0;
 };
 
 } // namespace sched91

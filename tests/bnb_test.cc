@@ -41,7 +41,7 @@ bruteForceOptimum(const Dag &dag, const MachineModel &machine)
     std::vector<bool> used(dag.size(), false);
     std::vector<int> parents(dag.size());
     for (std::uint32_t i = 0; i < dag.size(); ++i)
-        parents[i] = dag.node(i).numParents;
+        parents[i] = dag.numParents(i);
 
     int best = std::numeric_limits<int>::max();
     auto rec = [&](auto &&self) -> void {
@@ -55,11 +55,11 @@ bruteForceOptimum(const Dag &dag, const MachineModel &machine)
                 continue;
             used[i] = true;
             order.push_back(i);
-            for (std::uint32_t a : dag.node(i).succArcs)
-                --parents[dag.arc(a).to];
+            for (std::uint32_t c : dag.succTo(i))
+                --parents[c];
             self(self);
-            for (std::uint32_t a : dag.node(i).succArcs)
-                ++parents[dag.arc(a).to];
+            for (std::uint32_t c : dag.succTo(i))
+                ++parents[c];
             order.pop_back();
             used[i] = false;
         }

@@ -39,7 +39,7 @@ longestDelays(const Dag &dag)
     std::vector<std::vector<int>> d(n, std::vector<int>(n, -1));
     for (std::uint32_t i = n; i-- > 0;) {
         d[i][i] = 0;
-        for (std::uint32_t arc_id : dag.node(i).succArcs) {
+        for (std::uint32_t arc_id : dag.succs(i)) {
             const Arc &arc = dag.arc(arc_id);
             for (std::uint32_t j = 0; j < n; ++j) {
                 if (d[arc.to][j] >= 0)
@@ -324,10 +324,10 @@ TEST(Builders, DescendantMapsDuringBackwardBuild)
     Dag dag = TableBackwardBuilder().build(BlockView(prog, blocks[0]),
                                            machine, opts);
     ASSERT_EQ(dag.reachMode(), ReachMode::Descendants);
-    auto maps = dag.computeDescendantMaps();
+    BitMatrix maps = dag.computeDescendantMaps();
     for (std::uint32_t i = 0; i < dag.size(); ++i)
         for (std::uint32_t j = 0; j < dag.size(); ++j)
-            EXPECT_EQ(dag.reachMap(i).test(j), maps[i].test(j));
+            EXPECT_EQ(dag.reachMap(i).test(j), maps.row(i).test(j));
 }
 
 } // namespace

@@ -40,7 +40,7 @@ TEST(Dag, NodesMatchBlock)
     Dag dag(f.view());
     EXPECT_EQ(dag.size(), 5u);
     for (std::uint32_t i = 0; i < 5; ++i)
-        EXPECT_EQ(dag.node(i).inst->index(), i);
+        EXPECT_EQ(dag.inst(i).index(), i);
 }
 
 TEST(Dag, AddArcUpdatesCounters)
@@ -49,12 +49,12 @@ TEST(Dag, AddArcUpdatesCounters)
     Dag dag(f.view());
     dag.addArc(0, 1, DepKind::RAW, 4, Resource::intReg(3));
     dag.addArc(0, 2, DepKind::RAW, 2, Resource::intReg(3));
-    EXPECT_EQ(dag.node(0).numChildren, 2);
-    EXPECT_EQ(dag.node(1).numParents, 1);
-    EXPECT_EQ(dag.node(0).ann.sumDelaysToChildren, 6);
-    EXPECT_EQ(dag.node(0).ann.maxDelayToChild, 4);
-    EXPECT_EQ(dag.node(2).ann.sumDelaysFromParents, 2);
-    EXPECT_EQ(dag.node(2).ann.maxDelayFromParents, 2);
+    EXPECT_EQ(dag.numChildren(0), 2);
+    EXPECT_EQ(dag.numParents(1), 1);
+    EXPECT_EQ(dag.ann().sumDelaysToChildren[0], 6);
+    EXPECT_EQ(dag.ann().maxDelayToChild[0], 4);
+    EXPECT_EQ(dag.ann().sumDelaysFromParents[2], 2);
+    EXPECT_EQ(dag.ann().maxDelayFromParents[2], 2);
 }
 
 TEST(Dag, InterlockWithChildFlag)
@@ -62,9 +62,9 @@ TEST(Dag, InterlockWithChildFlag)
     Fixture f(3);
     Dag dag(f.view());
     dag.addArc(0, 1, DepKind::RAW, 1);
-    EXPECT_FALSE(dag.node(0).ann.interlockWithChild);
+    EXPECT_FALSE(dag.ann().interlockWithChild[0]);
     dag.addArc(0, 2, DepKind::RAW, 2);
-    EXPECT_TRUE(dag.node(0).ann.interlockWithChild);
+    EXPECT_TRUE(dag.ann().interlockWithChild[0]);
 }
 
 TEST(Dag, DuplicateKeepsMaxDelay)
@@ -79,7 +79,7 @@ TEST(Dag, DuplicateKeepsMaxDelay)
     EXPECT_EQ(dag.arc(0).kind, DepKind::RAW);
     EXPECT_EQ(dag.duplicateCount(), 1u);
     // Counters reflect unique arcs only.
-    EXPECT_EQ(dag.node(0).numChildren, 1);
+    EXPECT_EQ(dag.numChildren(0), 1);
 }
 
 TEST(Dag, DuplicateDetectionWithArcGroup)
@@ -103,8 +103,12 @@ TEST(Dag, RootsAndLeaves)
     dag.addArc(0, 2, DepKind::RAW, 1);
     dag.addArc(1, 2, DepKind::RAW, 1);
     dag.addArc(2, 3, DepKind::RAW, 1);
-    EXPECT_EQ(dag.roots(), (std::vector<std::uint32_t>{0, 1}));
-    EXPECT_EQ(dag.leaves(), (std::vector<std::uint32_t>{3}));
+    ArcIdxVec roots = dag.roots();
+    ArcIdxVec leaves = dag.leaves();
+    EXPECT_EQ(std::vector<std::uint32_t>(roots.begin(), roots.end()),
+              (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(std::vector<std::uint32_t>(leaves.begin(), leaves.end()),
+              (std::vector<std::uint32_t>{3}));
 }
 
 TEST(Dag, LevelsFromRoots)
@@ -115,15 +119,51 @@ TEST(Dag, LevelsFromRoots)
     dag.addArc(0, 1, DepKind::RAW, 1);
     dag.addArc(1, 3, DepKind::RAW, 1);
     dag.addArc(2, 3, DepKind::RAW, 1);
-    EXPECT_EQ(dag.node(0).level, 0);
-    EXPECT_EQ(dag.node(1).level, 1);
-    EXPECT_EQ(dag.node(2).level, 0);
-    EXPECT_EQ(dag.node(3).level, 2);
+    EXPECT_EQ(dag.level(0), 0);
+    EXPECT_EQ(dag.level(1), 1);
+    EXPECT_EQ(dag.level(2), 0);
+    EXPECT_EQ(dag.level(3), 2);
 
     const auto &lists = dag.levelLists();
     ASSERT_EQ(lists.size(), 3u);
-    EXPECT_EQ(lists[0], (std::vector<std::uint32_t>{0, 2}));
-    EXPECT_EQ(lists[2], (std::vector<std::uint32_t>{3}));
+    auto list_vec = [&](std::size_t l) {
+        return std::vector<std::uint32_t>(lists[l].begin(),
+                                          lists[l].end());
+    };
+    EXPECT_EQ(list_vec(0), (std::vector<std::uint32_t>{0, 2}));
+    EXPECT_EQ(list_vec(2), (std::vector<std::uint32_t>{3}));
+}
+
+TEST(Dag, LevelListsInvalidatedByLateArcs)
+{
+    // Interleave level-list queries with arc insertion: the flattened
+    // lists are cached lazily, so every addArc (and recomputeLevels)
+    // must drop the cache or a stale snapshot leaks out.
+    Fixture f(4);
+    Dag dag(f.view());
+    dag.setLevelOrigin(Dag::LevelOrigin::Roots);
+    dag.addArc(0, 1, DepKind::RAW, 1);
+
+    const auto &first = dag.levelLists();
+    ASSERT_EQ(first.size(), 2u);
+    EXPECT_EQ(first[0].size(), 3u); // 0, 2, 3 at level 0
+
+    // Late arcs deepen the graph; a stale cache would still say 2.
+    dag.addArc(1, 3, DepKind::RAW, 1);
+    dag.addArc(2, 3, DepKind::RAW, 1);
+    const auto &lists = dag.levelLists();
+    ASSERT_EQ(lists.size(), 3u);
+    EXPECT_EQ(lists[0].size(), 2u); // 0, 2
+    EXPECT_EQ(lists[1].size(), 1u); // 1
+    EXPECT_EQ(lists[2].size(), 1u); // 3
+    EXPECT_EQ(dag.level(3), 2);
+
+    // recomputeLevels (used after late branch-anchoring arcs in
+    // backward builds) must also invalidate.
+    dag.recomputeLevels();
+    const auto &again = dag.levelLists();
+    ASSERT_EQ(again.size(), 3u);
+    EXPECT_EQ(again[2].size(), 1u);
 }
 
 TEST(Dag, LevelsFromLeaves)
@@ -134,9 +174,9 @@ TEST(Dag, LevelsFromLeaves)
     // Backward construction order: arcs from earlier nodes added last.
     dag.addArc(1, 2, DepKind::RAW, 1);
     dag.addArc(0, 1, DepKind::RAW, 1);
-    EXPECT_EQ(dag.node(2).level, 0);
-    EXPECT_EQ(dag.node(1).level, 1);
-    EXPECT_EQ(dag.node(0).level, 2);
+    EXPECT_EQ(dag.level(2), 0);
+    EXPECT_EQ(dag.level(1), 1);
+    EXPECT_EQ(dag.level(0), 2);
 }
 
 TEST(Dag, DescendantReachMaps)
@@ -191,10 +231,10 @@ TEST(Dag, ComputeDescendantMapsMatchesMaintained)
     dag.addArc(2, 4, DepKind::RAW, 1);
     dag.addArc(1, 3, DepKind::RAW, 1);
     dag.addArc(0, 1, DepKind::RAW, 1);
-    auto maps = dag.computeDescendantMaps();
+    BitMatrix maps = dag.computeDescendantMaps();
     for (std::uint32_t i = 0; i < dag.size(); ++i)
         for (std::uint32_t j = 0; j < dag.size(); ++j)
-            EXPECT_EQ(maps[i].test(j), dag.reachMap(i).test(j))
+            EXPECT_EQ(maps.row(i).test(j), dag.reachMap(i).test(j))
                 << i << "->" << j;
 }
 

@@ -43,10 +43,10 @@ TEST(Figure1, TableComputesCorrectTimingHeuristics)
     Dag dag = buildFigure1(BuilderKind::TableForward, prog);
     // "sum of arc weights from node 1 to 3" — the retained transitive
     // arc makes the divide's delay-to-leaf the full 20 cycles.
-    EXPECT_EQ(dag.node(0).ann.maxDelayToLeaf, 20);
+    EXPECT_EQ(dag.ann().maxDelayToLeaf[0], 20);
     // Node-latency EST ([12]) is conservative through the WAR path:
     // EST(2) = EST(1) + lat(1) = 20 + 4.
-    EXPECT_EQ(dag.node(2).ann.earliestStart, 24);
+    EXPECT_EQ(dag.ann().earliestStart[2], 24);
 }
 
 TEST(Figure1, LandskovMiscomputesTimingHeuristics)
@@ -55,7 +55,7 @@ TEST(Figure1, LandskovMiscomputesTimingHeuristics)
     Dag dag = buildFigure1(BuilderKind::N2Landskov, prog);
     // Without the transitive arc the WAR-then-RAW path (1 + 4) is all
     // that remains: the divide's delay-to-leaf collapses from 20 to 5.
-    EXPECT_EQ(dag.node(0).ann.maxDelayToLeaf, 5);
+    EXPECT_EQ(dag.ann().maxDelayToLeaf[0], 5);
 }
 
 TEST(Figure1, EarliestExecutionTimeWrongWithoutTransitiveArc)
@@ -72,7 +72,7 @@ TEST(Figure1, EarliestExecutionTimeWrongWithoutTransitiveArc)
         initDynamicState(dag);
         onScheduledForward(dag, 0, 0);
         onScheduledForward(dag, 1, 1);
-        return dag.node(2).ann.earliestExecTime;
+        return dag.ann().earliestExecTime[2];
     };
 
     EXPECT_EQ(eet_after_schedule(BuilderKind::TableForward), 20);
@@ -122,7 +122,7 @@ TEST(Figure1, BackwardTableRetainsArcEvenWithPrevention)
                                            figure1Machine(), opts);
     EXPECT_EQ(dag.numArcs(), 3u);
     runAllStaticPasses(dag);
-    EXPECT_EQ(dag.node(0).ann.maxDelayToLeaf, 20);
+    EXPECT_EQ(dag.ann().maxDelayToLeaf[0], 20);
 }
 
 TEST(Figure1, PreventionOnN2BackwardLosesArc)

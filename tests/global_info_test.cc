@@ -70,12 +70,12 @@ TEST(GlobalInfo, AppliedFloorsRaiseEet)
     Dag dag1 = TableForwardBuilder().build(t.view(1), t.machine,
                                            BuildOptions{});
     applyInheritedLatencies(dag1, out);
-    EXPECT_GT(dag1.node(0).ann.inheritedEet, 0);  // uses %f4
-    EXPECT_EQ(dag1.node(1).ann.inheritedEet, 0);  // independent
+    EXPECT_GT(dag1.ann().inheritedEet[0], 0);  // uses %f4
+    EXPECT_EQ(dag1.ann().inheritedEet[1], 0);  // independent
 
     initDynamicState(dag1);
-    EXPECT_EQ(dag1.node(0).ann.earliestExecTime,
-              dag1.node(0).ann.inheritedEet);
+    EXPECT_EQ(dag1.ann().earliestExecTime[0],
+              dag1.ann().inheritedEet[0]);
 }
 
 TEST(GlobalInfo, AwareSchedulerHidesCarriedLatency)
@@ -162,7 +162,7 @@ TEST(GlobalInfo, FixupRespectsInheritedFloors)
     // The %f4 consumer (node 0) must be scheduled last, at its floor.
     EXPECT_EQ(sched.order.back(), 0u);
     EXPECT_GE(sched.issueCycle.back(),
-              dag.node(0).ann.inheritedEet);
+              dag.ann().inheritedEet[0]);
 }
 
 TEST(GlobalInfo, NoCarriedLatencyIsNeutral)

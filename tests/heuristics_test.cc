@@ -98,19 +98,19 @@ TEST(StaticPasses, HandBuiltDiamond)
                                           sparcstation2(), BuildOptions{});
     runAllStaticPasses(dag);
 
-    EXPECT_EQ(dag.node(0).ann.maxPathToLeaf, 2);
-    EXPECT_EQ(dag.node(3).ann.maxPathToLeaf, 0);
-    EXPECT_EQ(dag.node(0).ann.maxPathFromRoot, 0);
-    EXPECT_EQ(dag.node(3).ann.maxPathFromRoot, 2);
+    EXPECT_EQ(dag.ann().maxPathToLeaf[0], 2);
+    EXPECT_EQ(dag.ann().maxPathToLeaf[3], 0);
+    EXPECT_EQ(dag.ann().maxPathFromRoot[0], 0);
+    EXPECT_EQ(dag.ann().maxPathFromRoot[3], 2);
 
     // Delays: 0->1 RAW 2, 0->2 RAW 2, 1->3 RAW 1, 2->3 RAW 5.
-    EXPECT_EQ(dag.node(0).ann.maxDelayToLeaf, 7);
-    EXPECT_EQ(dag.node(3).ann.maxDelayFromRoot, 7);
+    EXPECT_EQ(dag.ann().maxDelayToLeaf[0], 7);
+    EXPECT_EQ(dag.ann().maxDelayFromRoot[3], 7);
 
     // EST uses node latencies: EST(3) = EST(2) + lat(2) = 2 + 5.
-    EXPECT_EQ(dag.node(0).ann.earliestStart, 0);
-    EXPECT_EQ(dag.node(2).ann.earliestStart, 2);
-    EXPECT_EQ(dag.node(3).ann.earliestStart, 7);
+    EXPECT_EQ(dag.ann().earliestStart[0], 0);
+    EXPECT_EQ(dag.ann().earliestStart[2], 2);
+    EXPECT_EQ(dag.ann().earliestStart[3], 7);
 }
 
 TEST(StaticPasses, SlackInvariants)
@@ -120,11 +120,12 @@ TEST(StaticPasses, SlackInvariants)
     runAllStaticPasses(dag);
 
     bool found_zero = false;
-    for (const auto &node : dag.nodes()) {
-        EXPECT_GE(node.ann.slack, 0);
-        EXPECT_EQ(node.ann.slack,
-                  node.ann.latestStart - node.ann.earliestStart);
-        if (node.ann.slack == 0)
+    const NodeAnnotations &ann = dag.ann();
+    for (std::uint32_t i = 0; i < dag.size(); ++i) {
+        EXPECT_GE(ann.slack[i], 0);
+        EXPECT_EQ(ann.slack[i],
+                  ann.latestStart[i] - ann.earliestStart[i]);
+        if (ann.slack[i] == 0)
             found_zero = true;
     }
     // Some node lies on the critical path.
@@ -143,8 +144,8 @@ TEST(StaticPasses, EstNeverBelowArcDelayPath)
     Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
                                           sparcstation2(), BuildOptions{});
     runAllStaticPasses(dag);
-    EXPECT_EQ(dag.node(2).ann.earliestStart,
-              dag.node(2).ann.maxDelayFromRoot);
+    EXPECT_EQ(dag.ann().earliestStart[2],
+              dag.ann().maxDelayFromRoot[2]);
 }
 
 TEST(StaticPasses, LevelListsMatchReverseWalk)
@@ -159,16 +160,16 @@ TEST(StaticPasses, LevelListsMatchReverseWalk)
             Dag b = buildKernelDag(kernel, prog2, kind);
             runAllStaticPasses(a, PassImpl::ReverseWalk, true);
             runAllStaticPasses(b, PassImpl::LevelLists, true);
+            const NodeAnnotations &x = a.ann();
+            const NodeAnnotations &y = b.ann();
             for (std::uint32_t i = 0; i < a.size(); ++i) {
-                const auto &x = a.node(i).ann;
-                const auto &y = b.node(i).ann;
-                EXPECT_EQ(x.maxPathToLeaf, y.maxPathToLeaf);
-                EXPECT_EQ(x.maxDelayToLeaf, y.maxDelayToLeaf);
-                EXPECT_EQ(x.maxPathFromRoot, y.maxPathFromRoot);
-                EXPECT_EQ(x.maxDelayFromRoot, y.maxDelayFromRoot);
-                EXPECT_EQ(x.earliestStart, y.earliestStart);
-                EXPECT_EQ(x.latestStart, y.latestStart);
-                EXPECT_EQ(x.numDescendants, y.numDescendants);
+                EXPECT_EQ(x.maxPathToLeaf[i], y.maxPathToLeaf[i]);
+                EXPECT_EQ(x.maxDelayToLeaf[i], y.maxDelayToLeaf[i]);
+                EXPECT_EQ(x.maxPathFromRoot[i], y.maxPathFromRoot[i]);
+                EXPECT_EQ(x.maxDelayFromRoot[i], y.maxDelayFromRoot[i]);
+                EXPECT_EQ(x.earliestStart[i], y.earliestStart[i]);
+                EXPECT_EQ(x.latestStart[i], y.latestStart[i]);
+                EXPECT_EQ(x.numDescendants[i], y.numDescendants[i]);
             }
         }
     }
@@ -186,10 +187,10 @@ TEST(StaticPasses, DescendantsPopcount)
                                           sparcstation2(), BuildOptions{});
     runAllStaticPasses(dag, PassImpl::ReverseWalk, true);
     // Node 0 reaches 1,2,3; the diamond must not double count node 3.
-    EXPECT_EQ(dag.node(0).ann.numDescendants, 3);
-    EXPECT_EQ(dag.node(3).ann.numDescendants, 0);
+    EXPECT_EQ(dag.ann().numDescendants[0], 3);
+    EXPECT_EQ(dag.ann().numDescendants[3], 0);
     // sum of exec times of {1,2,3} = 1+1+1.
-    EXPECT_EQ(dag.node(0).ann.sumExecOfDescendants, 3);
+    EXPECT_EQ(dag.ann().sumExecOfDescendants[0], 3);
 }
 
 TEST(StaticPasses, DescendantsFromMaintainedMaps)
@@ -207,8 +208,8 @@ TEST(StaticPasses, DescendantsFromMaintainedMaps)
     runAllStaticPasses(bwd, PassImpl::ReverseWalk, true);
 
     for (std::uint32_t i = 0; i < dag.size(); ++i)
-        EXPECT_EQ(dag.node(i).ann.numDescendants,
-                  bwd.node(i).ann.numDescendants)
+        EXPECT_EQ(dag.ann().numDescendants[i],
+                  bwd.ann().numDescendants[i])
             << i;
 }
 
@@ -243,8 +244,8 @@ TEST(Dynamic, EarliestExecTimeUpdates)
                                           sparcstation2(), BuildOptions{});
     initDynamicState(dag);
     onScheduledForward(dag, 0, 3);
-    EXPECT_EQ(dag.node(1).ann.earliestExecTime, 5); // 3 + load latency 2
-    EXPECT_EQ(dag.node(1).ann.unscheduledParents, 0);
+    EXPECT_EQ(dag.ann().earliestExecTime[1], 5); // 3 + load latency 2
+    EXPECT_EQ(dag.ann().unscheduledParents[1], 0);
 }
 
 TEST(Dynamic, InterlockWithPrevious)
@@ -272,7 +273,7 @@ TEST(Dynamic, BirthingBoostsRawParents)
                                           sparcstation2(), BuildOptions{});
     initDynamicState(dag);
     onScheduledBackward(dag, 1, /*birthing=*/true);
-    EXPECT_GT(dag.node(0).ann.priorityBoost, 0.0);
+    EXPECT_GT(dag.ann().priorityBoost[0], 0.0);
 }
 
 TEST(RegisterPressure, BornAndKilled)
@@ -285,11 +286,11 @@ TEST(RegisterPressure, BornAndKilled)
     Dag dag = TableForwardBuilder().build(BlockView(prog, blocks[0]),
                                           sparcstation2(), BuildOptions{});
     computeRegisterPressure(dag);
-    EXPECT_EQ(dag.node(0).ann.regsBorn, 1);
-    EXPECT_EQ(dag.node(2).ann.regsKilled, 2);
-    EXPECT_EQ(dag.node(2).ann.regsBorn, 1);
-    EXPECT_EQ(dag.node(2).ann.liveness, 1);
-    EXPECT_EQ(dag.node(1).ann.regsKilled, 0); // g1 still used later
+    EXPECT_EQ(dag.ann().regsBorn[0], 1);
+    EXPECT_EQ(dag.ann().regsKilled[2], 2);
+    EXPECT_EQ(dag.ann().regsBorn[2], 1);
+    EXPECT_EQ(dag.ann().liveness[2], 1);
+    EXPECT_EQ(dag.ann().regsKilled[1], 0); // g1 still used later
 }
 
 TEST(RegisterPressure, MaxLiveRegisters)
@@ -330,13 +331,14 @@ TEST(StaticValue, ReadsAnnotations)
     Program prog;
     Dag dag = buildKernelDag("daxpy", prog);
     runAllStaticPasses(dag, PassImpl::ReverseWalk, true);
-    const DagNode &n = dag.node(0);
-    EXPECT_EQ(staticValue(n, Heuristic::ExecutionTime), n.ann.execTime);
-    EXPECT_EQ(staticValue(n, Heuristic::NumChildren), n.numChildren);
-    EXPECT_EQ(staticValue(n, Heuristic::MaxDelayToLeaf),
-              n.ann.maxDelayToLeaf);
-    EXPECT_EQ(staticValueMax(n, Heuristic::DelaysToChildren),
-              n.ann.maxDelayToChild);
+    EXPECT_EQ(staticValue(dag, 0, Heuristic::ExecutionTime),
+              dag.ann().execTime[0]);
+    EXPECT_EQ(staticValue(dag, 0, Heuristic::NumChildren),
+              dag.numChildren(0));
+    EXPECT_EQ(staticValue(dag, 0, Heuristic::MaxDelayToLeaf),
+              dag.ann().maxDelayToLeaf[0]);
+    EXPECT_EQ(staticValueMax(dag, 0, Heuristic::DelaysToChildren),
+              dag.ann().maxDelayToChild[0]);
 }
 
 } // namespace

@@ -33,7 +33,7 @@ snapshot(const Dag &dag)
     for (const HeuristicInfo &info : allHeuristics()) {
         std::vector<long long> values;
         for (std::uint32_t i = 0; i < dag.size(); ++i)
-            values.push_back(staticValue(dag.node(i), info.heuristic));
+            values.push_back(staticValue(dag, i, info.heuristic));
         snap[info.heuristic] = std::move(values);
     }
     return snap;
@@ -103,8 +103,8 @@ TEST(PassContract, SlackRequiresBothPasses)
     runBackwardPass(dag);
     computeSlack(dag);
     bool nonzero = false;
-    for (const auto &node : dag.nodes())
-        if (node.ann.slack != 0)
+    for (std::uint32_t i = 0; i < dag.size(); ++i)
+        if (dag.ann().slack[i] != 0)
             nonzero = true;
     EXPECT_TRUE(nonzero) << "daxpy has off-critical-path nodes";
 }

@@ -58,12 +58,12 @@ TEST_P(SeedSweep, TimingEquivalenceAcrossBuilders)
             runAllStaticPasses(a);
             runAllStaticPasses(b);
             for (std::uint32_t i = 0; i < a.size(); ++i) {
-                EXPECT_EQ(a.node(i).ann.maxDelayToLeaf,
-                          b.node(i).ann.maxDelayToLeaf);
-                EXPECT_EQ(a.node(i).ann.maxDelayFromRoot,
-                          b.node(i).ann.maxDelayFromRoot);
-                EXPECT_EQ(a.node(i).ann.earliestStart,
-                          b.node(i).ann.earliestStart);
+                EXPECT_EQ(a.ann().maxDelayToLeaf[i],
+                          b.ann().maxDelayToLeaf[i]);
+                EXPECT_EQ(a.ann().maxDelayFromRoot[i],
+                          b.ann().maxDelayFromRoot[i]);
+                EXPECT_EQ(a.ann().earliestStart[i],
+                          b.ann().earliestStart[i]);
             }
         }
     }
@@ -117,8 +117,8 @@ TEST_P(SeedSweep, CycleBounds)
         std::vector<int> tail(dag.size(), 0);
         int critical = 0;
         for (std::uint32_t i = dag.size(); i-- > 0;) {
-            tail[i] = dag.node(i).ann.execTime;
-            for (std::uint32_t arc_id : dag.node(i).succArcs) {
+            tail[i] = dag.ann().execTime[i];
+            for (std::uint32_t arc_id : dag.succs(i)) {
                 const Arc &arc = dag.arc(arc_id);
                 tail[i] = std::max(tail[i], arc.delay + tail[arc.to]);
             }
@@ -145,10 +145,11 @@ TEST_P(SeedSweep, SlackInvariantsHold)
                                               machine, BuildOptions{});
         runAllStaticPasses(dag);
         bool critical_found = false;
-        for (const auto &node : dag.nodes()) {
-            EXPECT_GE(node.ann.slack, 0);
-            EXPECT_LE(node.ann.earliestStart, node.ann.latestStart);
-            if (node.ann.slack == 0)
+        const NodeAnnotations &ann = dag.ann();
+        for (std::uint32_t i = 0; i < dag.size(); ++i) {
+            EXPECT_GE(ann.slack[i], 0);
+            EXPECT_LE(ann.earliestStart[i], ann.latestStart[i]);
+            if (ann.slack[i] == 0)
                 critical_found = true;
         }
         EXPECT_TRUE(critical_found);

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Run a command under `perf stat` with the counter set that matters for
+# the data-oriented DAG core: cycles, instructions (IPC), and cache
+# misses (the CSR/SoA layout exists to cut the last one).
+#
+# Usage:
+#   tools/perf_stat.sh ./build/bench/bench_micro_dag --benchmark_filter=Table
+#   tools/perf_stat.sh -r 5 ./build/bench/bench_table4_n2   # 5 repeats
+#
+# Containers and locked-down kernels frequently lack perf or deny
+# perf_event_open; in that case the command still runs, un-instrumented,
+# and a note goes to stderr — so CI can call this unconditionally.
+set -eu
+
+repeats=1
+if [ "${1:-}" = "-r" ]; then
+    repeats=$2
+    shift 2
+fi
+
+if [ $# -eq 0 ]; then
+    echo "usage: tools/perf_stat.sh [-r N] <command> [args...]" >&2
+    exit 2
+fi
+
+events="cycles,instructions,cache-references,cache-misses,branches,branch-misses"
+
+if ! command -v perf > /dev/null 2>&1; then
+    echo "perf_stat.sh: perf not found; running un-instrumented" >&2
+    exec "$@"
+fi
+
+# Probe that the kernel actually lets us count (paranoid settings or
+# missing PMU access make perf fail even when installed).
+if ! perf stat -e cycles true > /dev/null 2>&1; then
+    echo "perf_stat.sh: perf_event_open unavailable; running" \
+         "un-instrumented" >&2
+    exec "$@"
+fi
+
+exec perf stat -e "$events" -r "$repeats" -- "$@"

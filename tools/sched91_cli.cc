@@ -706,13 +706,13 @@ cmdDag(const CliOptions &opts, bool dot)
                 opts.block, dag.size(), dag.numArcs(),
                 dag.duplicateCount());
     for (std::uint32_t i = 0; i < dag.size(); ++i) {
-        const DagNode &node = dag.node(i);
         std::printf("%3u: %-30s d2l=%-3d est=%-3d slack=%-3d "
                     "children=%d\n",
-                    i, node.inst->toString().c_str(),
-                    node.ann.maxDelayToLeaf, node.ann.earliestStart,
-                    node.ann.slack, node.numChildren);
-        for (std::uint32_t arc_id : node.succArcs) {
+                    i, dag.inst(i).toString().c_str(),
+                    dag.ann().maxDelayToLeaf[i],
+                    dag.ann().earliestStart[i], dag.ann().slack[i],
+                    dag.numChildren(i));
+        for (std::uint32_t arc_id : dag.succs(i)) {
             const Arc &arc = dag.arc(arc_id);
             std::printf("       -> %u %s d=%d\n", arc.to,
                         std::string(depKindName(arc.kind)).c_str(),
