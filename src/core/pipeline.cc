@@ -4,9 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "dag/table_forward.hh"
 #include "heuristics/heuristic.hh"
@@ -20,6 +22,7 @@
 #include "sched/list_scheduler.hh"
 #include "sched/verifier.hh"
 #include "support/cancellation.hh"
+#include "support/fault_inject.hh"
 #include "support/log.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
@@ -154,6 +157,24 @@ blockSourceText(const BlockView &block)
     return out;
 }
 
+/**
+ * Serializes the global counter-registry bracket (start snapshot,
+ * post-join flush, delta) across concurrent runPipeline calls — the
+ * daemon runs one pipeline per worker.  All per-event counting inside
+ * the parallel region goes through thread-installed shards and never
+ * touches the registry, so this lock is taken twice per *run*, not
+ * per event.  Under concurrency the registry delta attributes
+ * overlapping runs' work to whichever run reads it first; per-request
+ * counter attribution is therefore approximate in the daemon (the
+ * global totals stay exact).
+ */
+std::mutex &
+registryBracketMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 } // namespace
 
 ProgramResult
@@ -184,8 +205,10 @@ runPipeline(Program &prog, const MachineModel &machine,
     const bool tracing = obs_on && opts.trace != nullptr;
 
     obs::CounterSet run_before;
-    if (obs_on)
+    if (obs_on) {
+        std::lock_guard<std::mutex> lock(registryBracketMutex());
         run_before = obs::CounterRegistry::global().snapshot();
+    }
 
     unsigned threads = opts.threads != 0
                            ? opts.threads
@@ -211,9 +234,16 @@ runPipeline(Program &prog, const MachineModel &machine,
     // (run begin/end, post-join events); lanes claim theirs on first
     // chunk.  Payloads are properties of the input, never of the lane
     // layout, so dumps stay byte-identical across thread counts.
+    // When a long-lived host (the daemon) manages the rings, the
+    // bracket is skipped entirely: beginRun() would wipe concurrent
+    // requests' history, and claim() would leak slots.  record()
+    // still flows through whatever recorder the host installed on
+    // this thread.
     const bool flight_on = obs::flight::enabled();
+    const bool flight_bracket =
+        flight_on && !obs::flight::externallyManaged();
     std::optional<obs::flight::ScopedRecorder> flight_scope;
-    if (flight_on) {
+    if (flight_bracket) {
         obs::flight::beginRun();
         obs::flight::setGauge(obs::flight::Gauge::BlocksTotal,
                               blocks.size());
@@ -337,8 +367,30 @@ runPipeline(Program &prog, const MachineModel &machine,
             token->setReason(os.str());
         }
 
+        // Deterministic fault-injection key: a pure function of the
+        // block *content*, so the same payload fails the same way at
+        // every thread count and on every replay.
+        std::uint64_t fault_key = 0;
+        const bool fault_on = fault::enabled();
+        if (fault_on)
+            fault_key = fault::fnv1a64(blockSourceText(block));
+
         const char *stage = "build";
         try {
+            // Graceful drain: a fired interrupt token degrades every
+            // block that has not yet started (in-flight blocks
+            // finish), so SIGINT still produces a complete, truthful
+            // stats document.  Checked before the budget rung — a
+            // drain is not a budget overrun.
+            if (opts.interrupt && opts.interrupt->cancelled()) {
+                obs::ev::cancelRunInterrupted.inc();
+                obs::flight::record(obs::flight::EventKind::Cancel,
+                                    "interrupt", "drain requested");
+                throw BlockAbort{
+                    "interrupt",
+                    "run interrupted: block kept original order"};
+            }
+
             if (run_exhausted) {
                 obs::ev::robustBudgetExceeded.inc();
                 obs::ev::cancelRunBudgetExhausted.inc();
@@ -361,7 +413,36 @@ runPipeline(Program &prog, const MachineModel &machine,
             if (token)
                 build_opts.cancel = &*token;
 
+            // Injection points at the build boundary
+            // (support/fault_inject.hh).  The slow-block stall is
+            // charged to build time, so it drives the budget/deadline
+            // rungs exactly like a genuinely pathological block; the
+            // throw points exercise the containment (or, under
+            // --strict / the daemon ladder, propagation) paths.
             obs::ScopedPhase build_phase("build");
+            if (fault_on) {
+                if (fault::shouldFire(fault::Point::SlowBlock,
+                                      fault_key, opts.faultSalt)) {
+                    obs::flight::record(obs::flight::EventKind::Diag,
+                                        "inject", "slow-block");
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            fault::activeConfig().slowBlockMs));
+                }
+                if (fault::shouldFire(fault::Point::AllocFail,
+                                      fault_key, opts.faultSalt)) {
+                    obs::flight::record(obs::flight::EventKind::Diag,
+                                        "inject", "alloc-fail");
+                    throw std::bad_alloc();
+                }
+                if (fault::shouldFire(fault::Point::BuilderThrow,
+                                      fault_key, opts.faultSalt)) {
+                    obs::flight::record(obs::flight::EventKind::Diag,
+                                        "inject", "builder-throw");
+                    fatal("injected fault: builder-throw (key ",
+                          fault_key, ")");
+                }
+            }
             Dag dag = use_builder->build(block, machine, build_opts);
             out.buildSeconds = build_phase.stop();
             tracer.phaseDone("build", build_phase.seconds());
@@ -419,16 +500,26 @@ runPipeline(Program &prog, const MachineModel &machine,
                 VerifyResult vr = verifySchedule(dag, out.sched, machine);
                 out.verifySeconds = verify_phase.stop();
                 tracer.phaseDone("verify", verify_phase.seconds());
+                // An injected rejection takes the real rejection path
+                // end to end; it only substitutes the verdict.
+                bool inject_reject =
+                    fault_on &&
+                    fault::shouldFire(fault::Point::VerifierReject,
+                                      fault_key, opts.faultSalt);
                 obs::flight::record(obs::flight::EventKind::PhaseEnd,
-                                    "verify", {}, vr.ok() ? 1 : 0);
-                if (!vr.ok()) {
+                                    "verify", {},
+                                    vr.ok() && !inject_reject ? 1 : 0);
+                if (!vr.ok() || inject_reject) {
+                    std::string summary =
+                        vr.ok() ? "injected fault: verifier-reject"
+                                : vr.summary();
                     obs::ev::robustVerifierRejections.inc();
                     out.verifyRejected = true;
                     if (!opts.containFaults)
                         panic("block ", b,
                               ": schedule verification failed: ",
-                              vr.summary());
-                    throw BlockAbort{"verify", vr.summary()};
+                              summary);
+                    throw BlockAbort{"verify", summary};
                 }
             }
 
@@ -508,10 +599,10 @@ runPipeline(Program &prog, const MachineModel &machine,
         // both key their records by block id, so the post-join merge
         // order is independent of the lane layout.
         log::ScopedLogBuffer log_scope(&ws.logBuf);
-        if (flight_on && !ws.flight)
+        if (flight_bracket && !ws.flight)
             ws.flight = obs::flight::claim();
         std::optional<obs::flight::ScopedRecorder> lane_flight;
-        if (flight_on)
+        if (flight_bracket)
             lane_flight.emplace(ws.flight);
 
         auto blockBegin = [&](std::size_t b) {
@@ -543,7 +634,16 @@ runPipeline(Program &prog, const MachineModel &machine,
                 ws.blockShard.clear();
                 ws.ctx.beginBlock();
                 blockBegin(b);
-                processBlock(w, b);
+                try {
+                    processBlock(w, b);
+                } catch (...) {
+                    // Propagating fault (containFaults off): keep the
+                    // partial block's counts — the exception path
+                    // below flushes the lane accumulators into the
+                    // registry.
+                    ws.blockShard.flushInto(ws.accum);
+                    throw;
+                }
                 ws.blockShard.flushInto(ws.accum);
                 // Per-block distributions, while the block's arena
                 // allocations are still accounted (the arena resets
@@ -609,7 +709,25 @@ runPipeline(Program &prog, const MachineModel &machine,
             blocks.size() / (static_cast<std::size_t>(threads) * 8);
         if (chunk == 0)
             chunk = 1;
-        pool.parallelFor(blocks.size(), chunk, runChunk);
+        try {
+            pool.parallelFor(blocks.size(), chunk, runChunk);
+        } catch (...) {
+            // A propagating fault (containFaults off) must not lose
+            // the events already counted: parallelFor drains every
+            // chunk before rethrowing, so the lane accumulators are
+            // quiescent — flush them into the registry so a retrying
+            // caller (the daemon's ladder) still sees exact global
+            // totals, including the injected fault that killed this
+            // attempt.
+            if (obs_on) {
+                std::lock_guard<std::mutex> lock(registryBracketMutex());
+                obs::CounterRegistry &registry =
+                    obs::CounterRegistry::global();
+                for (WorkerState &ws : workers)
+                    ws.accum.flushInto(registry);
+            }
+            throw;
+        }
     }
 
     // Deterministic reduction: block order for per-block outputs...
@@ -670,6 +788,7 @@ runPipeline(Program &prog, const MachineModel &machine,
     // trees (both merges are kind-aware, so the result is independent
     // of how blocks were distributed over lanes).
     if (obs_on) {
+        std::lock_guard<std::mutex> lock(registryBracketMutex());
         obs::CounterRegistry &registry = obs::CounterRegistry::global();
         obs::PhaseProfiler &profiler = obs::PhaseProfiler::active();
         obs::CounterShard run_total(registry);
@@ -726,12 +845,18 @@ runPipeline(Program &prog, const MachineModel &machine,
         log::replay(log_bufs);
     }
 
-    if (flight_on) {
+    if (flight_bracket) {
         obs::flight::setGauge(obs::flight::Gauge::ArenaHighWaterBytes,
                               result.memory.arenaHighWaterBytes);
         obs::flight::setGauge(obs::flight::Gauge::DagArcBytes,
                               result.memory.dagArcBytes);
         obs::flight::setPostRun();
+        obs::flight::record(obs::flight::EventKind::RunEnd, "run", {},
+                            result.blocksDegraded,
+                            result.verifierRejections);
+    } else if (flight_on) {
+        // Externally managed rings: no gauge/bracket writes, but the
+        // host's recorder still gets the run's closing line.
         obs::flight::record(obs::flight::EventKind::RunEnd, "run", {},
                             result.blocksDegraded,
                             result.verifierRejections);

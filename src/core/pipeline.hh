@@ -51,6 +51,8 @@ namespace obs
 class TraceSink;
 } // namespace obs
 
+class CancellationToken;
+
 /** Pipeline configuration. */
 struct PipelineOptions
 {
@@ -150,6 +152,27 @@ struct PipelineOptions
      * maxBlockSeconds.
      */
     double maxRunSeconds = 0.0;
+
+    /**
+     * Graceful-drain interrupt (SIGINT/SIGTERM): an already-fired
+     * external token checked as each block *starts*.  In-flight
+     * blocks finish normally; blocks not yet started degrade to
+     * original order (counted in `cancel.run_interrupted`) — so the
+     * run still ends with every block accounted for and a complete
+     * stats document.  Honored even under --strict, like the budget
+     * rungs: an interrupted run that was asked to drain is not a
+     * fault.  The token outlives the run; null disables.
+     */
+    const CancellationToken *interrupt = nullptr;
+
+    /**
+     * Retry-attempt salt forwarded to the deterministic fault
+     * injector (support/fault_inject.hh): decisions are pure
+     * functions of (seed, point, block-content-key, faultSalt), so a
+     * service ladder re-running a failed payload with salt+1 can see
+     * the fault clear — or persist — reproducibly.
+     */
+    std::uint64_t faultSalt = 0;
 
     // --- Forensics (docs/FORENSICS.md) ------------------------------
 

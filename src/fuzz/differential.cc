@@ -1,6 +1,7 @@
 #include "fuzz/differential.hh"
 
 #include <array>
+#include <chrono>
 #include <sstream>
 #include <vector>
 
@@ -326,7 +327,7 @@ checkSource(const std::string &source, const MachineModel &machine,
 std::string
 minimizeLines(const std::string &source,
               const std::function<bool(const std::string &)> &stillFails,
-              int maxChecks)
+              int maxChecks, double maxSeconds)
 {
     std::vector<std::string> lines;
     {
@@ -345,6 +346,15 @@ minimizeLines(const std::string &source,
         return out;
     };
 
+    const auto start = std::chrono::steady_clock::now();
+    auto expired = [&] {
+        if (maxSeconds <= 0.0)
+            return false;
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count() >= maxSeconds;
+    };
+
     int checks = 0;
     auto failsOn = [&](const std::vector<std::string> &ls) {
         ++checks;
@@ -353,15 +363,17 @@ minimizeLines(const std::string &source,
     };
 
     // ddmin-lite: drop windows of shrinking size while the predicate
-    // keeps holding.
+    // keeps holding.  Both the check budget and the wall-clock cap
+    // stop the search, never the result: `lines` always holds the
+    // smallest reproducer confirmed so far.
     for (std::size_t chunk = std::max<std::size_t>(lines.size() / 2, 1);
          chunk >= 1; chunk /= 2) {
         bool any = true;
-        while (any && checks < maxChecks) {
+        while (any && checks < maxChecks && !expired()) {
             any = false;
             for (std::size_t i = 0;
                  i + 1 <= lines.size() && lines.size() > 1 &&
-                 checks < maxChecks;) {
+                 checks < maxChecks && !expired();) {
                 std::vector<std::string> candidate;
                 candidate.reserve(lines.size());
                 for (std::size_t j = 0; j < lines.size(); ++j)
@@ -388,7 +400,7 @@ minimizeLines(const std::string &source,
 std::string
 minimizeOperands(const std::string &source,
                  const std::function<bool(const std::string &)> &stillFails,
-                 int maxChecks)
+                 int maxChecks, double maxSeconds)
 {
     std::vector<std::string> lines;
     {
@@ -414,17 +426,27 @@ minimizeOperands(const std::string &source,
         return stillFails(join(ls));
     };
 
+    const auto start = std::chrono::steady_clock::now();
+    auto expired = [&] {
+        if (maxSeconds <= 0.0)
+            return false;
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count() >= maxSeconds;
+    };
+
     // Truncate one line at its last comma (dropping the trailing
     // operand), to a per-line fixpoint, sweeping until a whole pass
     // changes nothing.
     bool any = true;
-    while (any && checks < maxChecks) {
+    while (any && checks < maxChecks && !expired()) {
         any = false;
         for (std::size_t i = 0; i < lines.size() && checks < maxChecks;
              ++i) {
             for (;;) {
                 std::size_t comma = lines[i].rfind(',');
-                if (comma == std::string::npos || checks >= maxChecks)
+                if (comma == std::string::npos ||
+                    checks >= maxChecks || expired())
                     break;
                 std::string truncated = lines[i].substr(0, comma);
                 while (!truncated.empty() &&
@@ -447,12 +469,26 @@ minimizeOperands(const std::string &source,
 
 std::string
 minimizeSource(const std::string &source, const MachineModel &machine,
-               const OracleOptions &opts)
+               const OracleOptions &opts, double maxSeconds)
 {
     auto fails = [&](const std::string &candidate) {
         return !checkSource(candidate, machine, opts).ok;
     };
-    return minimizeOperands(minimizeLines(source, fails), fails);
+    if (maxSeconds <= 0.0)
+        return minimizeOperands(minimizeLines(source, fails), fails);
+
+    // One budget across both passes: whatever the line pass leaves
+    // unspent goes to the operand pass.
+    const auto start = std::chrono::steady_clock::now();
+    std::string reduced = minimizeLines(source, fails, 512, maxSeconds);
+    const double spent =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double left = maxSeconds - spent;
+    if (left <= 0.0)
+        return reduced;
+    return minimizeOperands(reduced, fails, 256, left);
 }
 
 } // namespace sched91::fuzz

@@ -95,11 +95,16 @@ OracleReport checkSource(const std::string &source,
  * shrinking size while @p stillFails keeps returning true, bounded by
  * @p maxChecks predicate evaluations.  Returns the reduced source.
  * Counts each predicate call in `fuzz.reducer_steps`.
+ *
+ * @p maxSeconds > 0 adds a wall-clock cap measured from entry: once
+ * it expires the reducer stops trying candidates and returns the best
+ * reduction found so far (the current survivor is always a valid
+ * reproducer — candidates are only adopted when they still fail).
  */
 std::string
 minimizeLines(const std::string &source,
               const std::function<bool(const std::string &)> &stillFails,
-              int maxChecks = 512);
+              int maxChecks = 512, double maxSeconds = 0.0);
 
 /**
  * Within-line operand reducer: for each surviving line, repeatedly
@@ -107,21 +112,24 @@ minimizeLines(const std::string &source,
  * returning true, to a fixpoint or @p maxChecks predicate calls.
  * Run after minimizeLines() — whole-line removal shrinks much faster;
  * this pass then trims the lines that must stay.  Counts predicate
- * calls in `fuzz.reducer_steps`.
+ * calls in `fuzz.reducer_steps`.  @p maxSeconds as in minimizeLines.
  */
 std::string minimizeOperands(
     const std::string &source,
     const std::function<bool(const std::string &)> &stillFails,
-    int maxChecks = 256);
+    int maxChecks = 256, double maxSeconds = 0.0);
 
 /**
  * Reducer preconfigured with the oracle as predicate: shrink
  * @p source while it still fails checkSource() — whole lines first,
- * then trailing operands within the surviving lines.
+ * then trailing operands within the surviving lines.  @p maxSeconds
+ * > 0 caps total wall-clock across both passes, returning the best
+ * reduction found when it expires.
  */
 std::string minimizeSource(const std::string &source,
                            const MachineModel &machine,
-                           const OracleOptions &opts = {});
+                           const OracleOptions &opts = {},
+                           double maxSeconds = 0.0);
 
 } // namespace sched91::fuzz
 

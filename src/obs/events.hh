@@ -122,6 +122,51 @@ inline Counter cancelBlocksCancelled{"cancel.blocks_cancelled"};
  * outright once nothing remained. */
 inline Counter cancelRunBudgetExhausted{"cancel.run_budget_exhausted"};
 
+/** Blocks degraded because the run was interrupted (SIGINT/SIGTERM
+ * drain): in-flight blocks finish, the rest degrade to original
+ * order. */
+inline Counter cancelRunInterrupted{"cancel.run_interrupted"};
+
+// --- Fault injection (support/fault_inject.hh) ----------------------
+
+/** Faults fired by the deterministic injection layer (any point). */
+inline Counter faultInjected{"fault.injected"};
+
+// --- Scheduling service (src/service/, docs/ROBUSTNESS.md) ----------
+
+/** Requests admitted into the daemon's bounded queue. */
+inline Counter svcRequestsAccepted{"svc.requests_accepted"};
+
+/** Requests shed at admission: queue full or daemon draining. */
+inline Counter svcRequestsRejected{"svc.requests_rejected"};
+
+/** Requests answered "ok" (scheduled normally, possibly on retry). */
+inline Counter svcRequestsOk{"svc.requests_ok"};
+
+/** Requests answered "degraded" (any block on original order, or the
+ * whole request on the ladder's last rung). */
+inline Counter svcRequestsDegraded{"svc.requests_degraded"};
+
+/** Requests answered "error" (malformed request JSON). */
+inline Counter svcRequestsError{"svc.requests_error"};
+
+/** Ladder retries: a failed attempt re-run on the table builder. */
+inline Counter svcRetries{"svc.retries"};
+
+/** Requests that exhausted both real attempts and fell to
+ * original-order degradation (the ladder's last rung). */
+inline Counter svcDegradedFallbacks{"svc.degraded_fallbacks"};
+
+/** Payloads added to the quarantine table after failing twice. */
+inline Counter svcQuarantineAdds{"svc.quarantine_adds"};
+
+/** Requests short-circuited to degraded output by a quarantine hit. */
+inline Counter svcQuarantineHits{"svc.quarantine_hits"};
+
+/** Requests whose deadline expired in the queue (rejected) or that
+ * ran out of deadline mid-run (blocks degraded via the budget rung). */
+inline Counter svcDeadlineExpired{"svc.deadline_expired"};
+
 // --- Memory telemetry (obs/memory.hh) -------------------------------
 // Deterministic gauges only: each is a function of the input program,
 // so runs stay byte-identical across thread counts.  Environmental

@@ -147,6 +147,23 @@ beginRun()
     g_epoch = std::chrono::steady_clock::now();
 }
 
+namespace
+{
+std::atomic<bool> g_external{false};
+} // namespace
+
+void
+setExternallyManaged(bool on)
+{
+    g_external.store(on, std::memory_order_relaxed);
+}
+
+bool
+externallyManaged()
+{
+    return g_external.load(std::memory_order_relaxed);
+}
+
 Recorder *
 claim()
 {

@@ -127,6 +127,18 @@ void setEnabled(bool on);
  */
 void beginRun();
 
+/**
+ * Hand ring ownership to an outer host (the scheduling daemon).
+ * beginRun() resets *every* recorder slot, which is correct for the
+ * one-run CLI but destroys concurrent requests' history in a
+ * long-lived process.  While externally managed, runPipeline skips
+ * its begin/claim/run-bracket entirely; record() still flows through
+ * whatever recorder the host installed on the calling thread, so
+ * per-request events land in the host's rings.
+ */
+void setExternallyManaged(bool on);
+bool externallyManaged();
+
 /** Claim a recorder slot; nullptr once kMaxRecorders are claimed. */
 Recorder *claim();
 

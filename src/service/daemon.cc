@@ -1,0 +1,476 @@
+#include "service/daemon.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/flight_recorder.hh"
+#include "obs/json.hh"
+#include "obs/phase.hh"
+#include "support/fault_inject.hh"
+#include "support/log.hh"
+#include "support/logging.hh"
+#include "support/thread_pool.hh"
+
+namespace sched91::service
+{
+
+namespace
+{
+
+/** Reader poll interval: the latency bound on noticing a drain. */
+constexpr int kPollMs = 200;
+
+/** Request lines larger than this are a protocol violation, answered
+ * with an error and a closed connection — the admission path must
+ * never buffer unboundedly. */
+constexpr std::size_t kMaxLineBytes = 8u << 20;
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
+
+/** One client connection: the fd plus a write lock so concurrent
+ * workers (and the reader's error path) never interleave response
+ * bytes.  Owned by shared_ptr — queued requests keep the fd alive
+ * after the reader exits, so a draining daemon can still answer
+ * everything it admitted. */
+struct Daemon::Connection
+{
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    /** Send one response line; EPIPE and friends are ignored (the
+     * client hung up — its responses have nowhere to go). */
+    void
+    writeLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(writeMu);
+        std::string framed = line;
+        framed += '\n';
+        std::size_t off = 0;
+        while (off < framed.size()) {
+            ssize_t n = ::send(fd, framed.data() + off,
+                               framed.size() - off, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+    }
+
+    int fd;
+    std::mutex writeMu;
+};
+
+/** Per-worker-lane observability kit, set up before the lanes start
+ * and reduced after they join. */
+struct Daemon::WorkerSlot
+{
+    obs::CounterShard shard{obs::CounterRegistry::global()};
+    obs::PhaseProfiler profiler;
+    obs::HistogramSet hists;
+    obs::flight::Recorder *flight = nullptr;
+};
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)), engine_(config_.engine),
+      queue_(config_.queueCapacity)
+{
+}
+
+Daemon::~Daemon()
+{
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    for (int fd : wakePipe_)
+        if (fd >= 0)
+            ::close(fd);
+}
+
+void
+Daemon::requestDrain()
+{
+    // Async-signal-safe: relaxed store + one write(2).  Everything
+    // heavier (queue close, joins, stats) happens on normal threads
+    // that this write wakes up.
+    drain_.store(true, std::memory_order_relaxed);
+    char byte = 'd';
+    if (wakePipe_[1] >= 0)
+        (void)!::write(wakePipe_[1], &byte, 1);
+}
+
+int
+Daemon::run()
+{
+    // --- Socket setup -----------------------------------------------
+    if (config_.socketPath.empty())
+        fatal("serve: --socket path must not be empty");
+    if (config_.socketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+        fatal("serve: socket path '", config_.socketPath,
+              "' too long for AF_UNIX");
+    ::unlink(config_.socketPath.c_str());
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        fatal("serve: socket(): ", std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        fatal("serve: bind('", config_.socketPath,
+              "'): ", std::strerror(errno));
+    if (::listen(listenFd_, 64) < 0)
+        fatal("serve: listen(): ", std::strerror(errno));
+    if (::pipe(wakePipe_) < 0)
+        fatal("serve: pipe(): ", std::strerror(errno));
+
+    unsigned lanes = config_.workers != 0
+                         ? config_.workers
+                         : ThreadPool::hardwareConcurrency();
+    if (lanes == 0)
+        lanes = 1;
+
+    // --- Observability: the daemon owns the flight rings ------------
+    const bool flight_on = obs::flight::enabled();
+    if (flight_on) {
+        obs::flight::beginRun();
+        obs::flight::setExternallyManaged(true);
+    }
+    if (obs::enabled())
+        statsBefore_ = obs::CounterRegistry::global().snapshot();
+
+    slots_.clear();
+    for (unsigned i = 0; i < lanes; ++i) {
+        slots_.push_back(std::make_unique<WorkerSlot>());
+        if (flight_on)
+            slots_.back()->flight = obs::flight::claim();
+    }
+
+    log::info("sched91 serve: listening on ", config_.socketPath,
+              " (", lanes, " worker", lanes == 1 ? "" : "s",
+              ", queue depth ", queue_.capacity(), ")");
+
+    // --- Serve ------------------------------------------------------
+    std::thread acceptor([this] { acceptLoop(); });
+    {
+        // Worker lanes on the repo's own pool.  Each chunk is one
+        // long-running lane loop; lanes exit when the queue is closed
+        // *and* drained, so parallelFor returning is the "all
+        // admitted work answered" barrier.
+        ThreadPool pool(lanes);
+        pool.parallelFor(lanes, 1,
+                         [this](unsigned, std::size_t begin,
+                                std::size_t end) {
+                             for (std::size_t lane = begin; lane < end;
+                                  ++lane)
+                                 workerLoop(
+                                     static_cast<unsigned>(lane));
+                         });
+    }
+    acceptor.join();
+    {
+        std::lock_guard<std::mutex> lock(readersMu_);
+        for (std::thread &t : readers_)
+            t.join();
+        readers_.clear();
+    }
+
+    // --- Final accounting (single-threaded from here) ---------------
+    if (obs::enabled()) {
+        engine_.counters().flushToRegistry();
+        obs::CounterRegistry &registry = obs::CounterRegistry::global();
+        for (auto &slot : slots_)
+            slot->shard.flushInto(registry);
+    }
+    if (flight_on)
+        obs::flight::setExternallyManaged(false);
+
+    emitFinalStats();
+
+    ::unlink(config_.socketPath.c_str());
+    log::info("sched91 serve: drained cleanly (",
+              engine_.counters().ok.load() +
+                  engine_.counters().degraded.load(),
+              " answered, ", engine_.counters().rejected.load(),
+              " shed)");
+    return 0;
+}
+
+void
+Daemon::acceptLoop()
+{
+    while (!draining()) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0},
+                         {wakePipe_[0], POLLIN, 0}};
+        int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            log::error("serve: poll(): ", std::strerror(errno));
+            requestDrain();
+            break;
+        }
+        if (draining())
+            break;
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            log::error("serve: accept(): ", std::strerror(errno));
+            requestDrain();
+            break;
+        }
+        auto conn = std::make_shared<Connection>(fd);
+        std::lock_guard<std::mutex> lock(readersMu_);
+        readers_.emplace_back(
+            [this, conn] { readerLoop(std::move(conn)); });
+    }
+    // Drain: stop admitting.  Closing the queue is the barrier that
+    // lets workers finish everything already accepted, then exit.
+    queue_.close();
+}
+
+void
+Daemon::handleLine(const std::shared_ptr<Connection> &conn,
+                   std::string line)
+{
+    if (line.empty())
+        return;
+    std::string error;
+    std::optional<RequestSpec> spec = parseRequestLine(line, error);
+    if (!spec) {
+        engine_.counters().error.fetch_add(1,
+                                           std::memory_order_relaxed);
+        conn->writeLine(errorLine("", error));
+        return;
+    }
+    Request req;
+    req.spec = std::move(*spec);
+    req.conn = conn;
+    req.arrival = std::chrono::steady_clock::now();
+    req.deadlineMs = req.spec.deadlineMs > 0.0
+                         ? req.spec.deadlineMs
+                         : config_.engine.defaultDeadlineMs;
+    const std::string id = req.spec.id;
+    if (!queue_.tryPush(std::move(req))) {
+        engine_.counters().rejected.fetch_add(
+            1, std::memory_order_relaxed);
+        conn->writeLine(rejectedLine(
+            id, draining() ? "draining" : "overloaded"));
+        return;
+    }
+    engine_.counters().accepted.fetch_add(1,
+                                          std::memory_order_relaxed);
+}
+
+void
+Daemon::readerLoop(std::shared_ptr<Connection> conn)
+{
+    std::string buffer;
+    while (!draining()) {
+        pollfd pfd{conn->fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, kPollMs);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (rc == 0)
+            continue; // timeout: re-check the drain flag
+        char chunk[65536];
+        ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+        if (n == 0)
+            break; // client closed
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            return;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl;
+             (nl = buffer.find('\n', start)) != std::string::npos;
+             start = nl + 1)
+            handleLine(conn, buffer.substr(start, nl - start));
+        buffer.erase(0, start);
+        if (buffer.size() > kMaxLineBytes) {
+            engine_.counters().error.fetch_add(
+                1, std::memory_order_relaxed);
+            conn->writeLine(
+                errorLine("", "request line exceeds 8 MiB"));
+            return;
+        }
+    }
+    // EOF with an unterminated trailing line: lenient, treat it as a
+    // request (a drain, by contrast, just stops reading).
+    if (!draining() && !buffer.empty())
+        handleLine(conn, std::move(buffer));
+}
+
+void
+Daemon::workerLoop(unsigned lane)
+{
+    WorkerSlot &slot = *slots_[lane];
+    // The lane's observability kit: all counter/profiler/flight
+    // traffic from the pipelines this lane runs lands in lane-private
+    // state, reduced single-threaded after the join.
+    std::optional<obs::ScopedCounterShard> shard_scope;
+    std::optional<obs::ScopedProfiler> prof_scope;
+    if (obs::enabled()) {
+        shard_scope.emplace(slot.shard);
+        prof_scope.emplace(slot.profiler);
+    }
+    std::optional<obs::flight::ScopedRecorder> flight_scope;
+    if (slot.flight != nullptr)
+        flight_scope.emplace(slot.flight);
+
+    while (std::optional<Request> req = queue_.pop()) {
+        const double waited = elapsedSeconds(req->arrival);
+        slot.hists.record("svc.queue_wait_ns",
+                          obs::secondsToNs(waited));
+
+        double remaining = 0.0;
+        if (req->deadlineMs > 0.0) {
+            remaining = req->deadlineMs / 1000.0 - waited;
+            if (remaining <= 0.0) {
+                // Expired while queued: shedding it now is cheaper
+                // and more honest than starting doomed work.
+                engine_.counters().deadlineExpired.fetch_add(
+                    1, std::memory_order_relaxed);
+                engine_.counters().rejected.fetch_add(
+                    1, std::memory_order_relaxed);
+                req->conn->writeLine(
+                    rejectedLine(req->spec.id, "deadline"));
+                continue;
+            }
+        }
+
+        obs::flight::setBlock(lane); // key events by lane
+        const auto started = std::chrono::steady_clock::now();
+        std::string response;
+        try {
+            response = engine_.process(req->spec, remaining);
+        } catch (const std::exception &e) {
+            // The engine contract is "never throws"; this is the
+            // daemon's own last-resort containment.
+            engine_.counters().error.fetch_add(
+                1, std::memory_order_relaxed);
+            response = errorLine(req->spec.id, e.what());
+        }
+        slot.hists.record("svc.request_ns",
+                          obs::secondsToNs(elapsedSeconds(started)));
+        req->conn->writeLine(response);
+    }
+}
+
+void
+Daemon::emitFinalStats()
+{
+    if (config_.statsPath.empty())
+        return;
+
+    obs::HistogramSet hists;
+    for (auto &slot : slots_)
+        hists.merge(slot->hists);
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("sched91_serve_stats").value(1);
+    w.key("meta").beginObject();
+    w.key("command").value("serve");
+    w.key("socket").value(config_.socketPath);
+    w.key("workers")
+        .value(static_cast<std::uint64_t>(slots_.size()));
+    w.key("queue_capacity")
+        .value(static_cast<std::uint64_t>(queue_.capacity()));
+    w.key("machine").value(config_.engine.machineName);
+    if (fault::enabled())
+        w.key("fault_inject")
+            .value(fault::specString(fault::activeConfig()));
+    w.endObject();
+
+    const SvcCounters &c = engine_.counters();
+    w.key("service").beginObject();
+    w.key("accepted").value(c.accepted.load());
+    w.key("rejected").value(c.rejected.load());
+    w.key("ok").value(c.ok.load());
+    w.key("degraded").value(c.degraded.load());
+    w.key("error").value(c.error.load());
+    w.key("retries").value(c.retries.load());
+    w.key("degraded_fallbacks").value(c.degradedFallbacks.load());
+    w.key("quarantine_adds").value(c.quarantineAdds.load());
+    w.key("quarantine_hits").value(c.quarantineHits.load());
+    w.key("deadline_expired").value(c.deadlineExpired.load());
+    w.endObject();
+
+    if (obs::enabled()) {
+        w.key("counters").beginObject();
+        obs::CounterSet delta = obs::CounterRegistry::global()
+                                    .deltaSince(statsBefore_)
+                                    .nonzero();
+        for (const auto &[name, value] : delta.items())
+            w.key(name).value(value);
+        w.endObject();
+    }
+
+    w.key("histograms").beginObject();
+    for (const auto &[name, hist] : hists.items()) {
+        const bool zero =
+            config_.zeroTimes && obs::isTimeHistogram(name);
+        w.key(name).beginObject();
+        w.key("count").value(hist.count());
+        w.key("mean").value(zero ? 0.0 : hist.mean());
+        w.key("p50").value(zero ? 0 : hist.percentile(50));
+        w.key("p90").value(zero ? 0 : hist.percentile(90));
+        w.key("p99").value(zero ? 0 : hist.percentile(99));
+        w.key("max").value(zero ? 0 : hist.max());
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+
+    std::string doc = w.take();
+    doc += '\n';
+    if (config_.statsPath == "-") {
+        std::fputs(doc.c_str(), stdout);
+        std::fflush(stdout);
+        return;
+    }
+    std::ofstream out(config_.statsPath);
+    if (!out) {
+        log::error("serve: cannot write stats to '",
+                   config_.statsPath, "'");
+        return;
+    }
+    out << doc;
+}
+
+} // namespace sched91::service

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * `sched91 serve`: a long-lived scheduling daemon over a local
+ * (AF_UNIX) stream socket, newline-delimited JSON in both directions
+ * (service/protocol.hh).
+ *
+ * Structure (docs/ROBUSTNESS.md):
+ *
+ *  - an acceptor thread poll()s the listening socket and a self-pipe;
+ *  - one reader thread per connection parses request lines and admits
+ *    them through a bounded MPMC queue (service/bounded_queue.hh) —
+ *    a full queue is answered "rejected"/overloaded immediately, the
+ *    daemon never buffers unboundedly;
+ *  - worker lanes run on the repo's own ThreadPool, each popping
+ *    requests and running them through the Engine's resilience
+ *    ladder; responses go back over the connection under a per-
+ *    connection write lock, so concurrent workers never interleave
+ *    bytes;
+ *  - requestDrain() — async-signal-safe: one relaxed store plus one
+ *    write(2) to the self-pipe — stops admission (later lines are
+ *    answered "rejected"/draining), lets workers finish everything
+ *    already admitted, then emits one final stats document.  Zero
+ *    accepted requests are lost on SIGINT/SIGTERM.
+ *
+ * Observability in a long-lived process: the daemon owns the flight-
+ * recorder rings (obs::flight::setExternallyManaged), claims one per
+ * worker lane, and installs per-lane counter shards and profilers;
+ * runPipeline detects external management and skips its own run
+ * bracket.  Request latency and queue-wait distributions land in
+ * `svc.request_ns` / `svc.queue_wait_ns` histograms; svc.* counters
+ * are flushed into the global registry at drain.
+ */
+
+#ifndef SCHED91_SERVICE_DAEMON_HH
+#define SCHED91_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.hh"
+#include "obs/histogram.hh"
+#include "service/bounded_queue.hh"
+#include "service/engine.hh"
+
+namespace sched91::service
+{
+
+struct DaemonConfig
+{
+    std::string socketPath = "/tmp/sched91.sock";
+
+    /** Worker lanes; 0 = hardware concurrency. */
+    unsigned workers = 0;
+
+    /** Admission-queue depth (requests waiting for a worker). */
+    std::size_t queueCapacity = 64;
+
+    EngineConfig engine;
+
+    /** Final stats document destination: "-" = stdout, "" = none. */
+    std::string statsPath = "-";
+
+    /** Zero wall-clock fields in the final stats (determinism
+     * tests). */
+    bool zeroTimes = false;
+};
+
+class Daemon
+{
+  public:
+    struct Connection;
+
+    /** One admitted request, queued between reader and worker. */
+    struct Request
+    {
+        RequestSpec spec;
+        std::shared_ptr<Connection> conn;
+        std::chrono::steady_clock::time_point arrival;
+        double deadlineMs = 0.0; ///< resolved (request or default)
+    };
+
+    explicit Daemon(DaemonConfig config);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Bind, listen, serve, drain.  Blocks until requestDrain() (or a
+     * fatal socket error) and returns the exit code for main():
+     * 0 = clean drain.  Throws FatalError on setup errors.
+     */
+    int run();
+
+    /** Begin graceful drain.  Async-signal-safe. */
+    void requestDrain();
+
+    bool draining() const
+    {
+        return drain_.load(std::memory_order_relaxed);
+    }
+
+    /** Service tallies (tests). */
+    SvcCounters &counters() { return engine_.counters(); }
+
+  private:
+    struct WorkerSlot;
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Connection> conn);
+    void workerLoop(unsigned lane);
+    void handleLine(const std::shared_ptr<Connection> &conn,
+                    std::string line);
+    void emitFinalStats();
+
+    DaemonConfig config_;
+    Engine engine_;
+    BoundedQueue<Request> queue_;
+
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::atomic<bool> drain_{false};
+
+    std::mutex readersMu_;
+    std::vector<std::thread> readers_;
+
+    std::vector<std::unique_ptr<WorkerSlot>> slots_;
+    obs::CounterSet statsBefore_;
+};
+
+} // namespace sched91::service
+
+#endif // SCHED91_SERVICE_DAEMON_HH

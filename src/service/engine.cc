@@ -1,0 +1,276 @@
+#include "service/engine.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "dag/memdep.hh"
+#include "ir/parser.hh"
+#include "obs/emitter.hh"
+#include "obs/events.hh"
+#include "obs/flight_recorder.hh"
+#include "support/diagnostics.hh"
+#include "support/fault_inject.hh"
+#include "support/log.hh"
+
+namespace sched91::service
+{
+
+namespace
+{
+
+/** Scheduled (or original-order) instruction text, block by block. */
+std::vector<std::string>
+scheduleText(Program &prog, const std::vector<BasicBlock> &blocks,
+             const std::vector<Schedule> *schedules)
+{
+    std::vector<std::string> lines;
+    lines.reserve(prog.size());
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        BlockView block(prog, blocks[b]);
+        if (schedules != nullptr) {
+            for (std::uint32_t pos : (*schedules)[b].order)
+                lines.push_back(block.inst(pos).toString());
+        } else {
+            for (std::uint32_t i = 0; i < block.size(); ++i)
+                lines.push_back(block.inst(i).toString());
+        }
+    }
+    return lines;
+}
+
+} // namespace
+
+void
+SvcCounters::flushToRegistry() const
+{
+    obs::ev::svcRequestsAccepted.inc(accepted.load());
+    obs::ev::svcRequestsRejected.inc(rejected.load());
+    obs::ev::svcRequestsOk.inc(ok.load());
+    obs::ev::svcRequestsDegraded.inc(degraded.load());
+    obs::ev::svcRequestsError.inc(error.load());
+    obs::ev::svcRetries.inc(retries.load());
+    obs::ev::svcDegradedFallbacks.inc(degradedFallbacks.load());
+    obs::ev::svcQuarantineAdds.inc(quarantineAdds.load());
+    obs::ev::svcQuarantineHits.inc(quarantineHits.load());
+    obs::ev::svcDeadlineExpired.inc(deadlineExpired.load());
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)),
+      machine_(presetByName(config_.machineName))
+{
+}
+
+bool
+Engine::isQuarantined(std::uint64_t key) const
+{
+    if (config_.quarantineCapacity == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(quarantineMu_);
+    return quarantine_.count(key) != 0;
+}
+
+void
+Engine::addToQuarantine(std::uint64_t key)
+{
+    if (config_.quarantineCapacity == 0)
+        return;
+    std::lock_guard<std::mutex> lock(quarantineMu_);
+    // Bounded: a full table stops admitting rather than evicting —
+    // losing an old entry would let a known-bad payload back onto the
+    // failing path, the worse trade for a daemon.
+    if (quarantine_.size() >= config_.quarantineCapacity)
+        return;
+    if (quarantine_.insert(key).second)
+        counters_.quarantineAdds.fetch_add(1,
+                                           std::memory_order_relaxed);
+}
+
+std::size_t
+Engine::quarantineSize() const
+{
+    std::lock_guard<std::mutex> lock(quarantineMu_);
+    return quarantine_.size();
+}
+
+void
+Engine::writeOutlierBundles(const RequestSpec &spec,
+                            const ProgramResult &result,
+                            const PipelineOptions &popts,
+                            std::uint64_t key) const
+{
+    // Display-name meta, exactly what the CLI writes, so the daemon's
+    // bundles replay verbatim through `sched91 explain`.
+    obs::RunMeta meta;
+    meta.command = "serve";
+    meta.input = spec.id.empty() ? "request" : spec.id;
+    meta.builder = std::string(builderKindName(popts.builder));
+    meta.algorithm = std::string(algorithmName(popts.algorithm));
+    meta.machine = spec.machine.value_or(config_.machineName);
+    meta.policy = std::string(aliasPolicyName(popts.build.memPolicy));
+
+    char keyHex[17];
+    std::snprintf(keyHex, sizeof keyHex, "%016llx",
+                  static_cast<unsigned long long>(key));
+    for (const obs::OutlierRecord &rec : result.outliers) {
+        std::ostringstream path;
+        path << config_.outlierDir << "/outlier-req" << keyHex
+             << "-block" << rec.block << ".json";
+        std::ofstream out(path.str());
+        if (!out) {
+            log::warn("cannot write outlier bundle '", path.str(),
+                      "'");
+            return;
+        }
+        out << obs::outlierBundleJson(rec, meta) << '\n';
+    }
+}
+
+std::string
+Engine::process(const RequestSpec &spec, double remainingSeconds)
+{
+    const std::uint64_t key = fault::fnv1a64(spec.source);
+
+    // Per-request machine override.
+    const MachineModel *machine = &machine_;
+    MachineModel requested;
+    if (spec.machine) {
+        try {
+            requested = presetByName(*spec.machine);
+            machine = &requested;
+        } catch (const std::exception &e) {
+            counters_.error.fetch_add(1, std::memory_order_relaxed);
+            return errorLine(spec.id, e.what());
+        }
+    }
+
+    // The parse is shared by every rung: even the last-resort
+    // degradation needs the block structure to answer truthfully.
+    DiagnosticEngine::Options dopts;
+    dopts.strict = false;
+    dopts.echoToLog = false;
+    DiagnosticEngine diags(dopts);
+    Program prog = parseAssembly(spec.source, diags, "request");
+    stampMemGenerations(prog);
+    std::vector<BasicBlock> blocks = partitionBlocks(prog, {});
+
+    ResponseBody body;
+    body.blocks = blocks.size();
+    body.insts = prog.size();
+    body.parseErrors = diags.errorCount();
+    body.parseWarnings = diags.warningCount();
+
+    auto lastRung = [&](bool fromQuarantine, int attempts) {
+        body.status = "degraded";
+        body.attempts = attempts;
+        body.quarantined = fromQuarantine;
+        body.degradedBlocks = blocks.size();
+        if (spec.emitSchedule)
+            body.schedule = scheduleText(prog, blocks, nullptr);
+        counters_.degraded.fetch_add(1, std::memory_order_relaxed);
+        return responseLine(spec.id, body);
+    };
+
+    if (isQuarantined(key)) {
+        counters_.quarantineHits.fetch_add(1,
+                                           std::memory_order_relaxed);
+        obs::flight::record(obs::flight::EventKind::Diag, "svc",
+                            "quarantine hit", key);
+        return lastRung(/*fromQuarantine=*/true, /*attempts=*/0);
+    }
+
+    // Attempts 0 (requested builder) and 1 (table-forward downgrade).
+    const BuilderKind requested_builder =
+        spec.builder.value_or(config_.builder);
+    std::string firstFailure;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        PipelineOptions popts;
+        popts.builder = attempt == 0 ? requested_builder
+                                     : BuilderKind::TableForward;
+        popts.algorithm = spec.algorithm.value_or(config_.algorithm);
+        popts.build.memPolicy = spec.policy.value_or(config_.policy);
+        popts.threads = 1; // concurrency comes from daemon workers
+        popts.evaluate = spec.evaluate;
+        popts.verify = true;
+        // Failures must reach the ladder, not vanish into per-block
+        // degradation.  The budget/deadline and interrupt rungs still
+        // degrade in-pipeline — by design (see pipeline.hh).
+        popts.containFaults = false;
+        popts.maxBlockInsts = config_.maxBlockInsts;
+        if (remainingSeconds > 0.0)
+            popts.maxRunSeconds = remainingSeconds;
+        popts.faultSalt = static_cast<std::uint64_t>(attempt);
+        if (config_.captureOutliers > 0)
+            popts.captureOutliers = config_.captureOutliers;
+
+        std::vector<Schedule> schedules;
+        if (spec.emitSchedule)
+            popts.schedules = &schedules;
+
+        try {
+            ProgramResult result = runPipeline(prog, *machine, popts);
+
+            body.status = result.blocksDegraded > 0 ? "degraded" : "ok";
+            body.degradedBlocks = result.blocksDegraded;
+            body.builderFallbacks = result.builderFallbacks;
+            body.verifierRejections = result.verifierRejections;
+            body.attempts = attempt + 1;
+            body.downgradedBuilder =
+                attempt > 0 &&
+                requested_builder != BuilderKind::TableForward;
+            if (spec.evaluate) {
+                body.haveCycles = true;
+                body.cyclesOriginal = result.cyclesOriginal;
+                body.cyclesScheduled = result.cyclesScheduled;
+            }
+            if (spec.emitSchedule)
+                body.schedule = scheduleText(prog, blocks, &schedules);
+
+            bool deadline_hit = false;
+            for (const ProgramResult::BlockIssue &issue :
+                 result.blockIssues)
+                deadline_hit = deadline_hit || issue.stage == "budget";
+            if (deadline_hit)
+                counters_.deadlineExpired.fetch_add(
+                    1, std::memory_order_relaxed);
+
+            if (result.blocksDegraded > 0)
+                counters_.degraded.fetch_add(1,
+                                             std::memory_order_relaxed);
+            else
+                counters_.ok.fetch_add(1, std::memory_order_relaxed);
+
+            if (config_.captureOutliers > 0 &&
+                !config_.outlierDir.empty() && !result.outliers.empty())
+                writeOutlierBundles(spec, result, popts, key);
+
+            return responseLine(spec.id, body);
+        } catch (const std::exception &e) {
+            if (attempt == 0) {
+                firstFailure = e.what();
+                counters_.retries.fetch_add(1,
+                                            std::memory_order_relaxed);
+                obs::flight::record(obs::flight::EventKind::Diag,
+                                    "svc", "retry: table builder",
+                                    key);
+                log::info("request ", spec.id.empty() ? "?" : spec.id,
+                          ": attempt 0 failed (", e.what(),
+                          "); retrying on table builder");
+            } else {
+                obs::flight::record(obs::flight::EventKind::Diag,
+                                    "svc", "quarantine add", key);
+                log::info("request ", spec.id.empty() ? "?" : spec.id,
+                          ": attempt 1 failed (", e.what(),
+                          "); degrading to original order");
+            }
+        }
+    }
+
+    // Both real attempts failed: quarantine and answer the last rung.
+    addToQuarantine(key);
+    counters_.degradedFallbacks.fetch_add(1, std::memory_order_relaxed);
+    return lastRung(/*fromQuarantine=*/false, /*attempts=*/3);
+}
+
+} // namespace sched91::service

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Request engine of the scheduling daemon: one request through the
+ * resilience ladder (docs/ROBUSTNESS.md).
+ *
+ * The ladder, in order:
+ *
+ *  0. quarantine check — a payload that already failed twice is
+ *     answered degraded (original order) without touching the
+ *     pipeline again;
+ *  1. attempt 0: the requested builder, fault containment *off* so
+ *     failures surface here instead of silently degrading per block;
+ *     the per-request deadline rides PipelineOptions::maxRunSeconds,
+ *     so overruns come back as degraded blocks, not errors;
+ *  2. attempt 1 (retry with downgrade): the table-forward builder —
+ *     the construction that handled fpppp's 11750-instruction block —
+ *     with the fault-injection salt advanced, so a transient injected
+ *     fault clears deterministically;
+ *  3. last rung: degrade the whole request to original instruction
+ *     order (always possible — it needs only the parse), and
+ *     quarantine the payload by content hash.
+ *
+ * Thread safety: process() is called concurrently by the daemon's
+ * workers.  Each call runs its pipeline single-threaded (threads=1)
+ * on the calling worker, whose thread-installed counter shard, phase
+ * profiler, and flight recorder absorb all per-event traffic; the
+ * engine's own tallies are atomics (SvcCounters).  The quarantine
+ * table is the only shared mutable state and sits behind a mutex.
+ */
+
+#ifndef SCHED91_SERVICE_ENGINE_HH
+#define SCHED91_SERVICE_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "core/pipeline.hh"
+#include "machine/presets.hh"
+#include "service/protocol.hh"
+
+namespace sched91::service
+{
+
+/** Daemon-side defaults a request can override. */
+struct EngineConfig
+{
+    BuilderKind builder = BuilderKind::TableForward;
+    AlgorithmKind algorithm = AlgorithmKind::SimpleForward;
+    AliasPolicy policy = AliasPolicy::BaseOffset;
+    std::string machineName = "sparcstation2";
+
+    /** Default per-request deadline in ms; 0 = none. */
+    double defaultDeadlineMs = 0.0;
+
+    /** F1/F2 window: oversized blocks fall back to table building. */
+    int maxBlockInsts = 0;
+
+    /** Payloads quarantined at most (hash-set entries); 0 disables
+     * quarantine entirely. */
+    std::size_t quarantineCapacity = 256;
+
+    /** Per-request forensic bundles: keep the K most expensive blocks
+     * of each successful request and write replayable bundles into
+     * outlierDir (empty = off).  Bundles replay with
+     * `sched91 explain`. */
+    int captureOutliers = 0;
+    std::string outlierDir;
+};
+
+/** Service-layer tallies; atomics because every daemon thread
+ * (readers, workers, acceptor) bumps them.  Flushed into the global
+ * counter registry once, at drain, by the daemon's main thread. */
+struct SvcCounters
+{
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> degraded{0};
+    std::atomic<std::uint64_t> error{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> degradedFallbacks{0};
+    std::atomic<std::uint64_t> quarantineAdds{0};
+    std::atomic<std::uint64_t> quarantineHits{0};
+    std::atomic<std::uint64_t> deadlineExpired{0};
+
+    /** Fold the tallies into the obs::ev::svc* registry counters
+     * (call single-threaded, with observability enabled). */
+    void flushToRegistry() const;
+};
+
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig config);
+
+    /**
+     * Run one parsed request through the ladder and return the
+     * response line (no trailing newline).  @p remainingSeconds is
+     * what is left of the request's deadline at pick-up time
+     * (<= 0 = no deadline).  Never throws.
+     */
+    std::string process(const RequestSpec &spec,
+                        double remainingSeconds);
+
+    SvcCounters &counters() { return counters_; }
+    const EngineConfig &config() const { return config_; }
+
+    /** Payloads currently quarantined (tests). */
+    std::size_t quarantineSize() const;
+
+  private:
+    bool isQuarantined(std::uint64_t key) const;
+    void addToQuarantine(std::uint64_t key);
+    void writeOutlierBundles(const RequestSpec &spec,
+                             const ProgramResult &result,
+                             const PipelineOptions &popts,
+                             std::uint64_t key) const;
+
+    EngineConfig config_;
+    MachineModel machine_;
+    SvcCounters counters_;
+
+    mutable std::mutex quarantineMu_;
+    std::unordered_set<std::uint64_t> quarantine_;
+};
+
+} // namespace sched91::service
+
+#endif // SCHED91_SERVICE_ENGINE_HH

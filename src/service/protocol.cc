@@ -1,0 +1,190 @@
+#include "service/protocol.hh"
+
+#include "dag/memdep.hh"
+#include "obs/json.hh"
+#include "obs/json_parse.hh"
+#include "support/logging.hh"
+
+namespace sched91::service
+{
+
+namespace
+{
+
+/** Accept both the CLI token and the stats-JSON display name, so a
+ * request can be assembled from either a command line or a captured
+ * meta section. */
+template <typename Kind, std::size_t N>
+std::optional<Kind>
+lookup(const std::string &name,
+       const std::pair<const char *, Kind> (&tokens)[N],
+       std::string_view (*displayName)(Kind))
+{
+    for (const auto &entry : tokens)
+        if (name == entry.first)
+            return entry.second;
+    for (const auto &entry : tokens)
+        if (displayName(entry.second) == name)
+            return entry.second;
+    return std::nullopt;
+}
+
+constexpr std::pair<const char *, BuilderKind> kBuilderTokens[] = {
+    {"n2-fwd", BuilderKind::N2Forward},
+    {"n2-bwd", BuilderKind::N2Backward},
+    {"landskov", BuilderKind::N2Landskov},
+    {"table-fwd", BuilderKind::TableForward},
+    {"table-bwd", BuilderKind::TableBackward},
+};
+
+constexpr std::pair<const char *, AliasPolicy> kPolicyTokens[] = {
+    {"serialize", AliasPolicy::SerializeAll},
+    {"base-offset", AliasPolicy::BaseOffset},
+    {"storage", AliasPolicy::StorageClassed},
+    {"symbolic", AliasPolicy::SymbolicExpr},
+};
+
+} // namespace
+
+AlgorithmKind
+algorithmFromToken(const std::string &name)
+{
+    for (AlgorithmKind kind : allAlgorithms())
+        if (algorithmName(kind) == name)
+            return kind;
+    fatal("unknown algorithm '", name, "'");
+}
+
+BuilderKind
+builderFromToken(const std::string &name)
+{
+    if (auto kind = lookup(name, kBuilderTokens, builderKindName))
+        return *kind;
+    fatal("unknown builder '", name, "'");
+}
+
+AliasPolicy
+policyFromToken(const std::string &name)
+{
+    if (auto kind = lookup(name, kPolicyTokens, aliasPolicyName))
+        return *kind;
+    fatal("unknown alias policy '", name, "'");
+}
+
+std::optional<RequestSpec>
+parseRequestLine(const std::string &line, std::string &error)
+{
+    obs::JsonValue doc;
+    try {
+        doc = obs::parseJson(line);
+    } catch (const std::exception &e) {
+        error = e.what();
+        return std::nullopt;
+    }
+    if (!doc.isObject()) {
+        error = "request is not a JSON object";
+        return std::nullopt;
+    }
+
+    RequestSpec spec;
+    spec.id = doc.strOr("id", "");
+    try {
+        if (!doc.has("source") || !doc.at("source").isString()) {
+            error = "request has no string 'source' field";
+            return std::nullopt;
+        }
+        spec.source = doc.at("source").str();
+        if (doc.has("algorithm"))
+            spec.algorithm =
+                algorithmFromToken(doc.at("algorithm").str());
+        if (doc.has("builder"))
+            spec.builder = builderFromToken(doc.at("builder").str());
+        if (doc.has("policy"))
+            spec.policy = policyFromToken(doc.at("policy").str());
+        if (doc.has("machine"))
+            spec.machine = doc.at("machine").str();
+        spec.deadlineMs = doc.numberOr("deadline_ms", 0.0);
+        if (spec.deadlineMs < 0.0) {
+            error = "deadline_ms must be >= 0";
+            return std::nullopt;
+        }
+        if (doc.has("evaluate"))
+            spec.evaluate = doc.at("evaluate").boolean();
+        if (doc.has("emit")) {
+            const std::string emit = doc.at("emit").str();
+            if (emit == "schedule")
+                spec.emitSchedule = true;
+            else if (emit != "none") {
+                error = "unknown emit mode '" + emit + "'";
+                return std::nullopt;
+            }
+        }
+    } catch (const std::exception &e) {
+        // Wrong-typed field (std::get), unknown token (FatalError).
+        error = e.what();
+        return std::nullopt;
+    }
+    return spec;
+}
+
+std::string
+responseLine(const std::string &id, const ResponseBody &body)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("id").value(id);
+    w.key("status").value(body.status);
+    w.key("blocks").value(static_cast<std::uint64_t>(body.blocks));
+    w.key("insts").value(static_cast<std::uint64_t>(body.insts));
+    w.key("degraded_blocks")
+        .value(static_cast<std::uint64_t>(body.degradedBlocks));
+    w.key("builder_fallbacks")
+        .value(static_cast<std::uint64_t>(body.builderFallbacks));
+    w.key("verifier_rejections")
+        .value(static_cast<std::uint64_t>(body.verifierRejections));
+    w.key("parse_errors")
+        .value(static_cast<std::uint64_t>(body.parseErrors));
+    w.key("parse_warnings")
+        .value(static_cast<std::uint64_t>(body.parseWarnings));
+    w.key("attempts").value(body.attempts);
+    w.key("downgraded_builder").value(body.downgradedBuilder);
+    w.key("quarantined").value(body.quarantined);
+    if (body.haveCycles) {
+        w.key("cycles_original").value(body.cyclesOriginal);
+        w.key("cycles_scheduled").value(body.cyclesScheduled);
+    }
+    if (!body.schedule.empty()) {
+        w.key("schedule").beginArray();
+        for (const std::string &line : body.schedule)
+            w.value(line);
+        w.endArray();
+    }
+    w.endObject();
+    return w.take();
+}
+
+std::string
+rejectedLine(const std::string &id, const std::string &reason)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("id").value(id);
+    w.key("status").value("rejected");
+    w.key("reason").value(reason);
+    w.endObject();
+    return w.take();
+}
+
+std::string
+errorLine(const std::string &id, const std::string &message)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("id").value(id);
+    w.key("status").value("error");
+    w.key("error").value(message);
+    w.endObject();
+    return w.take();
+}
+
+} // namespace sched91::service

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Wire protocol of the scheduling daemon (`sched91 serve`): one JSON
+ * object per line in each direction, over a local stream socket.
+ *
+ * Request line:
+ *
+ *     {"id": "r1", "source": "add %r1, %r2, %r3\n...",
+ *      "algorithm": "warren", "builder": "table-fwd",
+ *      "policy": "base-offset", "machine": "sparcstation2",
+ *      "deadline_ms": 250, "evaluate": true, "emit": "schedule"}
+ *
+ * Only `source` is required; every other field falls back to the
+ * daemon's configured defaults.  Configuration tokens are the CLI's
+ * (`--algorithm`/`--builder`/`--policy` spellings); the display names
+ * used by stats-JSON meta sections are accepted too, so a captured
+ * bundle's meta can be replayed verbatim.
+ *
+ * Response line: `{"id": ..., "status": ...}` plus status-specific
+ * fields.  `status` is one of:
+ *
+ *  - "ok"        scheduled normally (possibly after a ladder retry);
+ *  - "degraded"  some or all blocks kept original order (deadline,
+ *                contained fault, quarantine, or last-rung fallback);
+ *  - "rejected"  not processed: queue full, daemon draining, or the
+ *                deadline expired before a worker picked it up
+ *                (`reason` says which) — the 429 of this protocol;
+ *  - "error"     the request itself was malformed (bad JSON, bad
+ *                config token); `error` carries the message.
+ *
+ * The reader (obs/json_parse) and writer (obs/json) are the repo's
+ * own; the protocol deliberately stays within what they emit/accept.
+ */
+
+#ifndef SCHED91_SERVICE_PROTOCOL_HH
+#define SCHED91_SERVICE_PROTOCOL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dag/builder.hh"
+#include "sched/registry.hh"
+
+namespace sched91::service
+{
+
+/** Parsed request, before defaults are applied. */
+struct RequestSpec
+{
+    std::string id;     ///< echoed back; may be empty
+    std::string source; ///< assembly text (required)
+
+    /** Optional overrides; nullopt = daemon default. */
+    std::optional<AlgorithmKind> algorithm;
+    std::optional<BuilderKind> builder;
+    std::optional<AliasPolicy> policy;
+    std::optional<std::string> machine;
+
+    /** Per-request deadline in milliseconds; 0 = daemon default. */
+    double deadlineMs = 0.0;
+
+    /** Simulate original vs scheduled cycles (adds simulator time). */
+    bool evaluate = false;
+
+    /** Include the scheduled instruction text in the response. */
+    bool emitSchedule = false;
+};
+
+/**
+ * Parse one request line.  Returns the spec, or sets @p error and
+ * returns nullopt on malformed JSON / unknown tokens (the caller
+ * answers status "error").
+ */
+std::optional<RequestSpec> parseRequestLine(const std::string &line,
+                                            std::string &error);
+
+/** Outcome summary serialized into ok/degraded responses. */
+struct ResponseBody
+{
+    std::string status = "ok"; ///< "ok" | "degraded"
+    std::size_t blocks = 0;
+    std::size_t insts = 0;
+    std::size_t degradedBlocks = 0;
+    std::size_t builderFallbacks = 0;
+    std::size_t verifierRejections = 0;
+    std::size_t parseErrors = 0;
+    std::size_t parseWarnings = 0;
+    int attempts = 1;         ///< ladder attempts consumed (1..3)
+    bool downgradedBuilder = false; ///< answered by the retry rung
+    bool quarantined = false; ///< short-circuited by quarantine
+    long long cyclesOriginal = 0;  ///< only when evaluate
+    long long cyclesScheduled = 0; ///< only when evaluate
+    bool haveCycles = false;
+    std::vector<std::string> schedule; ///< only when emitSchedule
+};
+
+/** Serialize an ok/degraded response (no trailing newline). */
+std::string responseLine(const std::string &id, const ResponseBody &body);
+
+/** Serialize a rejection: reason is "overloaded" | "draining" |
+ * "deadline". */
+std::string rejectedLine(const std::string &id, const std::string &reason);
+
+/** Serialize a request-level error. */
+std::string errorLine(const std::string &id, const std::string &message);
+
+/** CLI/display token parsers shared with `sched91 serve` defaults;
+ * throw FatalError on unknown names. */
+AlgorithmKind algorithmFromToken(const std::string &name);
+BuilderKind builderFromToken(const std::string &name);
+AliasPolicy policyFromToken(const std::string &name);
+
+} // namespace sched91::service
+
+#endif // SCHED91_SERVICE_PROTOCOL_HH

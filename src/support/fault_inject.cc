@@ -1,0 +1,168 @@
+#include "support/fault_inject.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/events.hh"
+#include "support/logging.hh"
+#include "support/string_util.hh"
+
+namespace sched91::fault
+{
+
+namespace
+{
+
+Config g_config;
+
+/** splitmix64: the repo's standard cheap mixer (cf. support/prng.hh). */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::string_view
+pointName(Point p)
+{
+    switch (p) {
+    case Point::BuilderThrow:
+        return "builder-throw";
+    case Point::VerifierReject:
+        return "verifier-reject";
+    case Point::SlowBlock:
+        return "slow-block";
+    case Point::AllocFail:
+        return "alloc-fail";
+    case Point::Count_:
+        break;
+    }
+    return "?";
+}
+
+Config
+parseSpec(std::string_view spec)
+{
+    Config config;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = spec.size();
+        std::string_view token = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        std::size_t eq = token.find('=');
+        if (eq == std::string_view::npos)
+            fatal("fault-inject: token '", std::string(token),
+                  "' is not key=value");
+        std::string key(token.substr(0, eq));
+        std::string value(token.substr(eq + 1));
+        if (key == "seed") {
+            config.seed = std::strtoull(value.c_str(), nullptr, 10);
+            continue;
+        }
+        if (key == "slow-ms") {
+            config.slowBlockMs = std::atoi(value.c_str());
+            if (config.slowBlockMs < 0)
+                fatal("fault-inject: slow-ms must be >= 0");
+            continue;
+        }
+        bool matched = false;
+        for (std::size_t i = 0; i < kNumPoints; ++i) {
+            if (pointName(static_cast<Point>(i)) == key) {
+                double rate = std::atof(value.c_str());
+                if (rate < 0.0 || rate > 1.0)
+                    fatal("fault-inject: rate for '", key,
+                          "' must be in [0, 1], got '", value, "'");
+                config.rate[i] = rate;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            fatal("fault-inject: unknown key '", key,
+                  "' (expected seed, slow-ms, builder-throw, "
+                  "verifier-reject, slow-block, or alloc-fail)");
+    }
+    return config;
+}
+
+void
+configure(const Config &config)
+{
+    g_config = config;
+    bool any = false;
+    for (double r : config.rate)
+        any = any || r > 0.0;
+    enabledFlag().store(any, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    enabledFlag().store(false, std::memory_order_relaxed);
+    g_config = Config{};
+}
+
+const Config &
+activeConfig()
+{
+    return g_config;
+}
+
+bool
+shouldFire(Point point, std::uint64_t key, std::uint64_t salt)
+{
+    if (!enabled())
+        return false;
+    const double rate =
+        g_config.rate[static_cast<std::size_t>(point)];
+    if (rate <= 0.0)
+        return false;
+    std::uint64_t h = mix64(g_config.seed +
+                            0x100001b3ULL *
+                                (static_cast<std::uint64_t>(point) + 1));
+    h = mix64(h ^ key);
+    h = mix64(h ^ (salt * 0x9e3779b97f4a7c15ULL));
+    // 53 uniform bits -> [0, 1).
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= rate)
+        return false;
+    obs::ev::faultInjected.inc();
+    return true;
+}
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+specString(const Config &config)
+{
+    std::ostringstream os;
+    os << "seed=" << config.seed;
+    for (std::size_t i = 0; i < kNumPoints; ++i)
+        if (config.rate[i] > 0.0)
+            os << ',' << pointName(static_cast<Point>(i)) << '='
+               << config.rate[i];
+    if (config.slowBlockMs != Config{}.slowBlockMs)
+        os << ",slow-ms=" << config.slowBlockMs;
+    return os.str();
+}
+
+} // namespace sched91::fault

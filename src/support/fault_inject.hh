@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic fault injection (docs/ROBUSTNESS.md).
+ *
+ * Every rung of the containment/degradation ladder needs a test, and
+ * "wait for a real bug" is not a test plan.  This layer plants seeded
+ * injection points at the pipeline's failure boundaries — builder
+ * throw, verifier reject, slow block, allocation failure — so each
+ * failure path can be driven on demand, reproducibly, from the CLI
+ * (`--fault-inject`) and the daemon (`sched91 serve --fault-inject`).
+ *
+ * Determinism contract: whether a point fires is a pure function of
+ * (seed, point, key, salt), where the key is derived from the *block
+ * content* (support's FNV-1a over the instruction text), never from
+ * wall clock, thread id, or arrival order.  The same input therefore
+ * fails the same way at every thread count and on every replay —
+ * which is what lets the soak client assert exact outcomes against a
+ * fault-injecting daemon.  The salt distinguishes retry attempts, so
+ * a resilience ladder can be driven through "fails once, succeeds on
+ * retry" as well as "fails every attempt".
+ *
+ * Cost when disabled: one relaxed atomic load per injection point.
+ */
+
+#ifndef SCHED91_SUPPORT_FAULT_INJECT_HH
+#define SCHED91_SUPPORT_FAULT_INJECT_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sched91::fault
+{
+
+/** Where a fault can be injected. */
+enum class Point : unsigned
+{
+    BuilderThrow,   ///< DAG build throws FatalError
+    VerifierReject, ///< independent verifier reports a rejection
+    SlowBlock,      ///< block stalls (drives deadline/budget rungs)
+    AllocFail,      ///< allocation failure (std::bad_alloc) at build
+    Count_,
+};
+
+inline constexpr std::size_t kNumPoints =
+    static_cast<std::size_t>(Point::Count_);
+
+/** Spec token for a point: "builder-throw", "verifier-reject",
+ * "slow-block", "alloc-fail". */
+std::string_view pointName(Point p);
+
+/** Injection configuration. */
+struct Config
+{
+    /** Decision seed; same seed + same inputs = same faults. */
+    std::uint64_t seed = 1;
+
+    /** Per-point firing probability in [0, 1]. */
+    std::array<double, kNumPoints> rate{};
+
+    /** How long an injected slow block stalls. */
+    int slowBlockMs = 25;
+};
+
+/**
+ * Parse a `--fault-inject` spec: comma-separated `key=value` tokens,
+ * e.g. "seed=42,builder-throw=0.25,slow-block=0.1,slow-ms=40".
+ * Accepted keys: `seed`, `slow-ms`, and one per pointName().  Throws
+ * FatalError on unknown keys or rates outside [0, 1].
+ */
+Config parseSpec(std::string_view spec);
+
+/** Whether any injection is armed (one relaxed load). */
+inline std::atomic<bool> &
+enabledFlag()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
+}
+
+inline bool
+enabled()
+{
+    return enabledFlag().load(std::memory_order_relaxed);
+}
+
+/** Arm the injector.  Not thread-safe against in-flight decisions:
+ * configure before starting pipeline/daemon work. */
+void configure(const Config &config);
+
+/** Disarm and clear (tests call this between cases). */
+void reset();
+
+/** The active configuration (meaningful only while enabled()). */
+const Config &activeConfig();
+
+/**
+ * Should @p point fire for work unit @p key on attempt @p salt?
+ * Pure function of (seed, point, key, salt); counts
+ * `fault.injected` when it fires.  Always false while disabled.
+ */
+bool shouldFire(Point point, std::uint64_t key, std::uint64_t salt = 0);
+
+/** FNV-1a 64-bit content hash (also used for quarantine keys). */
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/** Render @p config back to its spec string (for logs/stats). */
+std::string specString(const Config &config);
+
+} // namespace sched91::fault
+
+#endif // SCHED91_SUPPORT_FAULT_INJECT_HH

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Daemon smoke test (docs/ROBUSTNESS.md): bring up `sched91 serve`
+# with deterministic fault injection armed, replay a generated corpus
+# through the soak client, then SIGINT the daemon and assert the
+# graceful-drain contract:
+#
+#   - the soak client exits 0: zero lost responses, zero duplicated
+#     ids, every status within the ladder (ok/degraded/rejected);
+#   - the daemon exits 0 on SIGINT (drain is not a failure) and
+#     leaves one valid final stats document with every answered
+#     request accounted for (accepted == ok + degraded + error);
+#   - the same (daemon seed, corpus seed) pair produces the same
+#     ok/degraded/rejected tallies on a fresh daemon — fault decisions
+#     are pure functions of (seed, block content), never of timing.
+#
+# Runs the whole matrix at two injection seeds.  Usage:
+#
+#   tools/run_daemon_smoke.sh [builddir]     # default: build
+set -u
+
+builddir=${1:-build}
+cli=$builddir/tools/sched91
+soak=$builddir/tools/soak_client
+workdir=$(mktemp -d /tmp/sched91-smoke.XXXXXX)
+fails=0
+
+[ -x "$cli" ] || { echo "FAIL: $cli not built" >&2; exit 1; }
+[ -x "$soak" ] || { echo "FAIL: $soak not built" >&2; exit 1; }
+
+cleanup() {
+    [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+check() {
+    local desc=$1 want=$2 got=$3
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $desc: exit $got, want $want" >&2
+        fails=$((fails + 1))
+    else
+        echo "ok: $desc (exit $got)"
+    fi
+}
+
+wait_for_socket() {
+    local sock=$1 tries=100
+    while [ "$tries" -gt 0 ] && [ ! -S "$sock" ]; do
+        sleep 0.05
+        tries=$((tries - 1))
+    done
+    [ -S "$sock" ]
+}
+
+# One full cycle: serve (fault-injected) -> soak -> SIGINT drain.
+# Prints the soak summary line so callers can diff runs.
+run_cycle() {
+    local seed=$1 tag=$2
+    local sock=$workdir/serve-$tag.sock
+    local stats=$workdir/stats-$tag.json
+    local spec="seed=$seed,builder-throw=0.2,verifier-reject=0.15"
+    spec="$spec,slow-block=0.1,alloc-fail=0.1,slow-ms=20"
+
+    "$cli" serve --socket "$sock" --queue-capacity 32 \
+        --fault-inject "$spec" --stats-json "$stats" \
+        2>"$workdir/serve-$tag.err" &
+    daemon_pid=$!
+
+    if ! wait_for_socket "$sock"; then
+        echo "FAIL: daemon (seed $seed) never bound $sock" >&2
+        cat "$workdir/serve-$tag.err" >&2
+        fails=$((fails + 1))
+        kill "$daemon_pid" 2>/dev/null
+        wait "$daemon_pid" 2>/dev/null
+        daemon_pid=
+        return
+    fi
+
+    "$soak" --socket "$sock" --requests 48 --connections 4 \
+        --pipeline 4 --seed 7 >"$workdir/soak-$tag.out"
+    check "soak contract (daemon seed $seed)" 0 $?
+
+    kill -INT "$daemon_pid"
+    wait "$daemon_pid"
+    check "daemon drain on SIGINT (seed $seed)" 0 $?
+    daemon_pid=
+
+    python3 - "$stats" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['sched91_serve_stats'] == 1
+assert 'fault_inject' in d['meta'], 'fault injection was not armed'
+s = d['service']
+assert s['accepted'] == s['ok'] + s['degraded'] + s['error'], \
+    f"accepted {s['accepted']} != answered " \
+    f"{s['ok'] + s['degraded'] + s['error']}: a request was lost"
+assert s['error'] == 0, f"{s['error']} well-formed requests errored"
+assert s['degraded'] > 0, 'fault injection degraded nothing'
+assert d['histograms']['svc.request_ns']['count'] == s['accepted']
+print(f"ok: stats document (accepted {s['accepted']}, "
+      f"ok {s['ok']}, degraded {s['degraded']}, "
+      f"rejected {s['rejected']}, retries {s['retries']}, "
+      f"quarantined {s['quarantine_adds']})")
+EOF
+    check "stats document (seed $seed)" 0 $?
+
+    grep '^soak_client:' "$workdir/soak-$tag.out"
+}
+
+for seed in 42 1337; do
+    run_cycle "$seed" "$seed"
+done
+
+# Determinism: a fresh daemon at seed 42 must reproduce the first
+# run's tallies exactly.
+run_cycle 42 42-replay
+if ! diff <(grep '^soak_client:' "$workdir/soak-42.out") \
+          <(grep '^soak_client:' "$workdir/soak-42-replay.out"); then
+    echo "FAIL: seed 42 tallies differ between runs" >&2
+    fails=$((fails + 1))
+else
+    echo "ok: seed 42 tallies reproduce exactly"
+fi
+
+if [ "$fails" -ne 0 ]; then
+    echo "daemon smoke: $fails failure(s)" >&2
+    exit 1
+fi
+echo "daemon smoke: all checks passed"

@@ -11,6 +11,8 @@
  *     sched91 timeline <file.s> --block N   FU occupancy chart
  *     sched91 compile  <file.s>             prepass+allocate+postpass
  *     sched91 explain  <bundle.json>        replay an outlier bundle
+ *     sched91 serve                         scheduling daemon (unix socket)
+ *     sched91 reduce   <file.s>             shrink an oracle-failing source
  *     sched91 kernels                       list built-in kernels
  *
  * Common options:
@@ -60,11 +62,20 @@
  *     --max-block-insts <N> n**2 -> table builder fallback threshold
  *     --max-block-seconds <S>  per-block wall-clock budget
  *     --max-run-seconds <S>    whole-run budget, fair-shared
+ *     --fault-inject <spec> deterministic fault injection
+ *     --reduce-seconds <S>  wall-clock cap for `reduce`
+ *
+ * Service options (sched91 serve, docs/ROBUSTNESS.md):
+ *     --socket <path>       AF_UNIX socket (default /tmp/sched91.sock)
+ *     --queue-capacity <N>  admission queue depth (default 64)
+ *     --deadline-ms <ms>    default per-request deadline (0 = none)
  *
  * Exit codes: 0 success (including lenient recovery), 1 runtime
  * error, 2 usage error.
  */
 
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,6 +89,7 @@
 
 #include "core/sched91.hh"
 #include "dag/dot_export.hh"
+#include "fuzz/differential.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/emitter.hh"
 #include "obs/events.hh"
@@ -87,7 +99,10 @@
 #include "sched/report.hh"
 #include "core/backend.hh"
 #include "sched/timeline.hh"
+#include "service/daemon.hh"
+#include "support/cancellation.hh"
 #include "support/diagnostics.hh"
+#include "support/fault_inject.hh"
 #include "support/log.hh"
 #include "support/logging.hh"
 
@@ -146,6 +161,15 @@ struct CliOptions
     bool flightRecorder = false; ///< --flight-recorder
     std::string crashDump;       ///< --crash-dump path ("-" = stderr)
     std::string injectPanic;     ///< --inject-panic run|abort (tests)
+
+    // Fault injection and the reducer (docs/ROBUSTNESS.md).
+    std::string faultInject;    ///< --fault-inject spec ("" = off)
+    double reduceSeconds = 0.0; ///< --reduce-seconds cap (0 = off)
+
+    // Service (sched91 serve).
+    std::string socketPath = "/tmp/sched91.sock"; ///< --socket
+    int queueCapacity = 64; ///< --queue-capacity
+    double deadlineMs = 0.0; ///< --deadline-ms (0 = none)
 
     bool
     observing() const
@@ -208,6 +232,12 @@ const char kUsage[] =
     "  timeline <file.s>   FU occupancy chart (--block N)\n"
     "  compile  <file.s>   prepass+allocate+postpass\n"
     "  explain  <bundle>   replay an outlier bundle's decision trace\n"
+    "  serve               scheduling daemon on an AF_UNIX socket;\n"
+    "                      newline-delimited JSON requests/responses,\n"
+    "                      SIGINT/SIGTERM drains gracefully\n"
+    "  reduce   <file.s>   ddmin-shrink a source that fails the\n"
+    "                      differential oracle; reduced source on\n"
+    "                      stdout\n"
     "  kernels             list built-in kernels\n"
     "\n"
     "options:\n"
@@ -275,9 +305,29 @@ const char kUsage[] =
     "                       fair-share across remaining blocks; once\n"
     "                       spent, remaining blocks degrade to\n"
     "                       original order (default off)\n"
+    "  --fault-inject <spec>  deterministic fault injection at the\n"
+    "                       pipeline's failure boundaries, e.g.\n"
+    "                       \"seed=42,builder-throw=0.25,slow-ms=40\"\n"
+    "                       (keys: seed, slow-ms, builder-throw,\n"
+    "                       verifier-reject, slow-block, alloc-fail;\n"
+    "                       rates in [0,1]; schedule/profile/serve)\n"
+    "  --reduce-seconds <S> wall-clock cap for reduce: return the\n"
+    "                       best reduction found when it expires\n"
     "\n"
-    "exit codes: 0 success (including lenient recovery), 1 runtime\n"
-    "error, 2 usage error\n";
+    "service (sched91 serve):\n"
+    "  --socket <path>      AF_UNIX socket path (default\n"
+    "                       /tmp/sched91.sock)\n"
+    "  --queue-capacity <N> admission queue depth (default 64); a\n"
+    "                       full queue answers rejected/overloaded\n"
+    "  --deadline-ms <ms>   default per-request deadline; expired\n"
+    "                       in queue = rejected/deadline, expired\n"
+    "                       mid-run = degraded blocks (0 = none)\n"
+    "  --threads <N>        worker lanes (0 = hardware concurrency)\n"
+    "  --stats-json <path>  final stats document at drain (default\n"
+    "                       stdout)\n"
+    "\n"
+    "exit codes: 0 success (including lenient recovery and a clean\n"
+    "drain), 1 runtime error, 2 usage error\n";
 
 CliOptions
 parseArgs(int argc, char **argv)
@@ -370,7 +420,28 @@ parseArgs(int argc, char **argv)
             opts.maxBlockSeconds = std::atof(next().c_str());
         else if (arg == "--max-run-seconds")
             opts.maxRunSeconds = std::atof(next().c_str());
-        else if (!arg.empty() && arg[0] != '-')
+        else if (arg == "--fault-inject") {
+            opts.faultInject = next();
+            try {
+                (void)fault::parseSpec(opts.faultInject);
+            } catch (const FatalError &e) {
+                usageError(e.what());
+            }
+        } else if (arg == "--reduce-seconds") {
+            opts.reduceSeconds = std::atof(next().c_str());
+            if (opts.reduceSeconds <= 0.0)
+                usageError("--reduce-seconds needs a positive budget");
+        } else if (arg == "--socket")
+            opts.socketPath = next();
+        else if (arg == "--queue-capacity") {
+            opts.queueCapacity = std::atoi(next().c_str());
+            if (opts.queueCapacity <= 0)
+                usageError("--queue-capacity needs a positive depth");
+        } else if (arg == "--deadline-ms") {
+            opts.deadlineMs = std::atof(next().c_str());
+            if (opts.deadlineMs < 0.0)
+                usageError("--deadline-ms must be >= 0");
+        } else if (!arg.empty() && arg[0] != '-')
             opts.input = arg;
         else
             usageError("unknown option '", arg,
@@ -389,6 +460,58 @@ applyRobustness(PipelineOptions &pipeline, const CliOptions &opts)
     pipeline.maxBlockSeconds = opts.maxBlockSeconds;
     pipeline.maxRunSeconds = opts.maxRunSeconds;
 }
+
+// --- Graceful shutdown (docs/ROBUSTNESS.md) --------------------------
+//
+// Two commands share SIGINT/SIGTERM for graceful shutdown, and both
+// handlers are async-signal-safe (a relaxed atomic store, plus one
+// write(2) to the daemon's self-pipe):
+//
+//  - `serve` drains: stop admitting, answer everything already
+//    accepted, emit the final stats document, exit 0;
+//  - `schedule`/`profile` cancel an interrupt token the pipeline
+//    checks at each block start, so remaining blocks degrade to their
+//    original order and the run still finishes its accounting, stats
+//    output, and exit-0 path.
+
+CancellationToken g_interrupt;
+service::Daemon *g_daemon = nullptr;
+
+void
+onInterruptSignal(int)
+{
+    g_interrupt.requestCancel();
+}
+
+void
+onDaemonSignal(int)
+{
+    if (g_daemon != nullptr)
+        g_daemon->requestDrain();
+}
+
+/** Route SIGINT/SIGTERM to @p handler for the scope's lifetime. */
+class SignalScope
+{
+  public:
+    explicit SignalScope(void (*handler)(int))
+        : prevInt_(std::signal(SIGINT, handler)),
+          prevTerm_(std::signal(SIGTERM, handler))
+    {
+    }
+    ~SignalScope()
+    {
+        std::signal(SIGINT, prevInt_);
+        std::signal(SIGTERM, prevTerm_);
+    }
+
+    SignalScope(const SignalScope &) = delete;
+    SignalScope &operator=(const SignalScope &) = delete;
+
+  private:
+    void (*prevInt_)(int);
+    void (*prevTerm_)(int);
+};
 
 /**
  * Observability bracket for one CLI run: enables the layer when any
@@ -552,6 +675,7 @@ selectBlock(Program &prog, const CliOptions &opts,
 int
 cmdSchedule(const CliOptions &opts)
 {
+    SignalScope signals(onInterruptSignal);
     ObsSession session(opts);
     std::size_t parse_errors = 0, parse_warnings = 0;
     Program prog = loadInput(opts, &parse_errors, &parse_warnings);
@@ -589,21 +713,34 @@ cmdSchedule(const CliOptions &opts)
 
         // Per-block containment: a fault degrades this block to its
         // original instruction order and the run continues (--strict
-        // propagates instead; see docs/ROBUSTNESS.md).
+        // propagates instead; see docs/ROBUSTNESS.md).  A SIGINT/
+        // SIGTERM drain degrades every remaining block the same way —
+        // the accounting and stats output below still run and the
+        // process exits 0, so an interrupted run leaves a complete,
+        // well-formed record.
         std::optional<BlockScheduleResult> result;
-        try {
-            result = scheduleBlock(block, machine, popeline);
-        } catch (const std::exception &e) {
-            if (opts.strict)
-                throw;
-            std::fprintf(stderr,
-                         "sched91: block %zu degraded to original "
-                         "order: %s\n",
-                         b, e.what());
+        if (g_interrupt.cancelled()) {
+            obs::ev::cancelRunInterrupted.inc();
             obs::ev::robustBlocksDegraded.inc();
             ++agg.blocksDegraded;
             agg.blockIssues.push_back(ProgramResult::BlockIssue{
-                b, "sched", e.what(), true});
+                b, "interrupt",
+                "run interrupted: block kept original order", true});
+        } else {
+            try {
+                result = scheduleBlock(block, machine, popeline);
+            } catch (const std::exception &e) {
+                if (opts.strict)
+                    throw;
+                std::fprintf(stderr,
+                             "sched91: block %zu degraded to original "
+                             "order: %s\n",
+                             b, e.what());
+                obs::ev::robustBlocksDegraded.inc();
+                ++agg.blocksDegraded;
+                agg.blockIssues.push_back(ProgramResult::BlockIssue{
+                    b, "sched", e.what(), true});
+            }
         }
 
         if (session.trace()) {
@@ -849,6 +986,7 @@ cmdProfile(const CliOptions &opts)
 {
     if (opts.input.empty())
         fatal("usage: sched91 profile <name>");
+    SignalScope signals(onInterruptSignal);
     MachineModel machine = presetByName(opts.machineName);
     Program prog = cachedProgram(opts.input);
 
@@ -861,6 +999,7 @@ cmdProfile(const CliOptions &opts)
     pipeline.threads = opts.threads;
     pipeline.captureOutliers = opts.captureOutliers;
     pipeline.explainBlock = opts.explainBlock;
+    pipeline.interrupt = &g_interrupt;
     applyRobustness(pipeline, opts);
 
     ObsSession session(opts);
@@ -1046,6 +1185,100 @@ cmdExplain(const CliOptions &opts)
     return 0;
 }
 
+/**
+ * Long-lived scheduling daemon (service/daemon.hh): newline-delimited
+ * JSON requests over an AF_UNIX socket, each run through the
+ * admission-control + deadline + retry/degradation ladder.
+ * SIGINT/SIGTERM drains gracefully and the final stats document (the
+ * drain contract) goes to --stats-json, default stdout.
+ */
+int
+cmdServe(const CliOptions &opts)
+{
+    // The daemon always observes: the per-request histograms and
+    // counter deltas in the final stats document are part of the
+    // drain contract, not an opt-in.
+    obs::setEnabled(true);
+    obs::PhaseProfiler::global().clear();
+
+    service::DaemonConfig cfg;
+    cfg.socketPath = opts.socketPath;
+    cfg.workers = opts.threads;
+    cfg.queueCapacity = static_cast<std::size_t>(opts.queueCapacity);
+    cfg.statsPath = opts.statsJson.empty() ? "-" : opts.statsJson;
+    cfg.zeroTimes = opts.zeroTimes;
+    cfg.engine.builder = opts.builder;
+    cfg.engine.algorithm = opts.algorithm;
+    cfg.engine.policy = opts.policy;
+    cfg.engine.machineName = opts.machineName;
+    cfg.engine.defaultDeadlineMs = opts.deadlineMs;
+    cfg.engine.maxBlockInsts = opts.maxBlockInsts;
+    cfg.engine.captureOutliers = opts.captureOutliers;
+    cfg.engine.outlierDir = opts.outlierDir;
+
+    service::Daemon daemon(cfg);
+    g_daemon = &daemon;
+    SignalScope signals(onDaemonSignal);
+    int rc = daemon.run();
+    g_daemon = nullptr;
+    return rc;
+}
+
+/**
+ * Shrink a source that fails the differential oracle to a near-
+ * minimal reproducer (fuzz/differential.hh): whole lines first, then
+ * trailing operands.  --reduce-seconds caps the search wall-clock and
+ * returns the best reduction found so far.  An input that passes the
+ * oracle is a data error (exit 1) — there is nothing to reduce.
+ */
+int
+cmdReduce(const CliOptions &opts)
+{
+    std::string source;
+    if (!opts.kernel.empty()) {
+        source = kernelProgram(opts.kernel).toString();
+    } else {
+        if (opts.input.empty())
+            fatal("usage: sched91 reduce <file.s> "
+                  "[--reduce-seconds S]");
+        std::ifstream in(opts.input);
+        if (!in)
+            fatal("cannot open '", opts.input, "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        source = text.str();
+    }
+
+    MachineModel machine = presetByName(opts.machineName);
+    fuzz::OracleOptions oopts;
+    oopts.memPolicy = opts.policy;
+
+    ObsSession session(opts);
+    fuzz::OracleReport report =
+        fuzz::checkSource(source, machine, oopts);
+    if (report.ok)
+        fatal("input passes the differential oracle (",
+              report.blocksChecked, " blocks, ",
+              report.schedulesChecked,
+              " schedules checked); nothing to reduce");
+    std::fprintf(stderr, "sched91: oracle failure: %s\n",
+                 report.failure.c_str());
+
+    std::string reduced = fuzz::minimizeSource(source, machine, oopts,
+                                               opts.reduceSeconds);
+    auto lineCount = [](const std::string &text) {
+        return static_cast<std::size_t>(
+            std::count(text.begin(), text.end(), '\n'));
+    };
+    std::fprintf(stderr, "sched91: reduced %zu -> %zu lines%s\n",
+                 lineCount(source), lineCount(reduced),
+                 opts.reduceSeconds > 0.0 ? " (wall-clock capped)"
+                                          : "");
+    session.finishCountersOnly();
+    std::fputs(reduced.c_str(), stdout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1058,6 +1291,8 @@ main(int argc, char **argv)
             obs::flight::setCrashDump(opts.crashDump, opts.zeroTimes);
             obs::flight::installCrashHandlers();
         }
+        if (!opts.faultInject.empty())
+            fault::configure(fault::parseSpec(opts.faultInject));
         if (opts.command == "schedule")
             return cmdSchedule(opts);
         if (opts.command == "dag")
@@ -1076,6 +1311,10 @@ main(int argc, char **argv)
             return cmdCompile(opts);
         if (opts.command == "explain")
             return cmdExplain(opts);
+        if (opts.command == "serve")
+            return cmdServe(opts);
+        if (opts.command == "reduce")
+            return cmdReduce(opts);
         if (opts.command == "kernels") {
             for (const std::string &name : kernelNames())
                 std::printf("%s\n", name.c_str());

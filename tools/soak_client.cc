@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Soak client for `sched91 serve` (docs/ROBUSTNESS.md).
+ *
+ * Replays a deterministic generated corpus (fuzz/program_gen) against
+ * a running daemon and asserts the response contract:
+ *
+ *  - zero lost responses: every request line sent gets an answer;
+ *  - zero duplicated responses: each id is answered exactly once;
+ *  - every status is within the ladder ("ok" | "degraded" |
+ *    "rejected"), and every rejection carries a known reason
+ *    ("overloaded" | "draining" | "deadline") — the client only sends
+ *    well-formed requests, so a "status":"error" is a violation;
+ *  - the empty program answers "ok" with zero blocks.
+ *
+ * Requests are pipelined (bounded in-flight window per connection)
+ * across several concurrent connections, so the daemon's admission
+ * queue, worker lanes, and per-connection write lock all see real
+ * contention.  With `--fault-inject` armed on the daemon, fault
+ * decisions are a pure function of (seed, block content), so the same
+ * corpus fails the same way on every run — which is what makes these
+ * assertions possible at all.
+ *
+ * Exit codes: 0 contract held, 1 violations (printed to stderr),
+ * 2 usage.
+ */
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "fuzz/program_gen.hh"
+#include "obs/json.hh"
+#include "obs/json_parse.hh"
+
+using namespace sched91;
+
+namespace
+{
+
+struct Options
+{
+    std::string socketPath = "/tmp/sched91.sock";
+    int requests = 64;
+    int connections = 4;
+    int pipeline = 4; ///< in-flight window per connection
+    std::uint64_t seed = 1;
+    double corruption = 0.0;
+    double deadlineMs = 0.0;
+    bool evaluate = false;
+    bool includeEmpty = true;
+    int timeoutMs = 30000; ///< silence this long = lost responses
+};
+
+const char kUsage[] =
+    "usage: soak_client [--socket <path>] [--requests N]\n"
+    "                   [--connections C] [--pipeline K] [--seed S]\n"
+    "                   [--corrupt R] [--deadline-ms MS] [--evaluate]\n"
+    "                   [--no-empty] [--timeout-ms MS]\n";
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "soak_client: missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            opts.socketPath = next();
+        else if (arg == "--requests")
+            opts.requests = std::atoi(next());
+        else if (arg == "--connections")
+            opts.connections = std::atoi(next());
+        else if (arg == "--pipeline")
+            opts.pipeline = std::atoi(next());
+        else if (arg == "--seed")
+            opts.seed = static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--corrupt")
+            opts.corruption = std::atof(next());
+        else if (arg == "--deadline-ms")
+            opts.deadlineMs = std::atof(next());
+        else if (arg == "--evaluate")
+            opts.evaluate = true;
+        else if (arg == "--no-empty")
+            opts.includeEmpty = false;
+        else if (arg == "--timeout-ms")
+            opts.timeoutMs = std::atoi(next());
+        else {
+            std::fputs(kUsage, stderr);
+            std::exit(2);
+        }
+    }
+    if (opts.requests < 1 || opts.connections < 1 || opts.pipeline < 1) {
+        std::fputs(kUsage, stderr);
+        std::exit(2);
+    }
+    if (opts.connections > opts.requests)
+        opts.connections = opts.requests;
+    return opts;
+}
+
+/** One request line; id "q<index>" is globally unique, so duplicate
+ * and loss detection needs no coordination between connections. */
+std::string
+requestLine(const Options &opts, int index)
+{
+    std::string source;
+    if (!(opts.includeEmpty && index == 0)) {
+        fuzz::GenParams params;
+        params.seed = opts.seed + static_cast<std::uint64_t>(index);
+        params.numBlocks = 1 + index % 4;
+        params.maxBlockSize = 8 + (index % 5) * 12;
+        params.corruption = opts.corruption;
+        source = fuzz::generateSource(params);
+    }
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("id").value("q" + std::to_string(index));
+    w.key("source").value(source);
+    if (opts.deadlineMs > 0.0)
+        w.key("deadline_ms").value(opts.deadlineMs);
+    if (opts.evaluate)
+        w.key("evaluate").value(true);
+    w.endObject();
+    std::string line = w.take();
+    line += '\n';
+    return line;
+}
+
+/** Shared tallies and the violation log. */
+struct Outcome
+{
+    std::atomic<std::uint64_t> ok{0}, degraded{0}, rejected{0};
+    std::mutex mu;
+    std::vector<std::string> violations;
+
+    void
+    violation(std::string what)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        violations.push_back(std::move(what));
+    }
+};
+
+int
+connectTo(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Check one response line against the contract; returns the id it
+ * answered (empty = violation already recorded). */
+std::string
+checkResponse(const std::string &line, Outcome &out)
+{
+    try {
+        obs::JsonValue doc = obs::parseJson(line);
+        std::string id = doc.strOr("id", "");
+        std::string status = doc.strOr("status", "");
+        if (status == "ok") {
+            out.ok.fetch_add(1, std::memory_order_relaxed);
+        } else if (status == "degraded") {
+            out.degraded.fetch_add(1, std::memory_order_relaxed);
+        } else if (status == "rejected") {
+            std::string reason = doc.strOr("reason", "");
+            if (reason != "overloaded" && reason != "draining" &&
+                reason != "deadline")
+                out.violation("unknown rejection reason '" + reason +
+                              "' for " + id);
+            out.rejected.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            out.violation("status '" + status + "' outside the ladder "
+                          "for " + id + ": " + line);
+        }
+        if (id == "q0" && status != "ok")
+            out.violation("empty program answered '" + status +
+                          "', expected ok");
+        if (id.empty())
+            out.violation("response without an id: " + line);
+        return id;
+    } catch (const std::exception &e) {
+        out.violation(std::string("unparseable response (") + e.what() +
+                      "): " + line);
+        return "";
+    }
+}
+
+/**
+ * Drive one connection: send its request slice with a bounded
+ * in-flight window, read newline-delimited responses (they may come
+ * back in any order — workers finish when they finish), and account
+ * every id exactly once.
+ */
+void
+runConnection(const Options &opts, const std::vector<int> &indices,
+              Outcome &out)
+{
+    int fd = connectTo(opts.socketPath);
+    if (fd < 0) {
+        out.violation("cannot connect to '" + opts.socketPath +
+                      "': " + std::strerror(errno));
+        return;
+    }
+
+    std::set<std::string> pending; // sent, not yet answered
+    std::size_t next = 0;
+    std::string buffer;
+    bool dead = false;
+
+    while (!dead && (next < indices.size() || !pending.empty())) {
+        while (next < indices.size() &&
+               pending.size() <
+                   static_cast<std::size_t>(opts.pipeline)) {
+            int index = indices[next++];
+            if (!sendAll(fd, requestLine(opts, index))) {
+                out.violation("send failed: " +
+                              std::string(std::strerror(errno)));
+                dead = true;
+                break;
+            }
+            pending.insert("q" + std::to_string(index));
+        }
+        if (dead || pending.empty())
+            break;
+
+        pollfd pfd{fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, opts.timeoutMs);
+        if (rc == 0) {
+            out.violation(std::to_string(pending.size()) +
+                          " responses lost (read timeout)");
+            break;
+        }
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            out.violation(std::string("poll failed: ") +
+                          std::strerror(errno));
+            break;
+        }
+        char chunk[65536];
+        ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n == 0) {
+            out.violation(std::to_string(pending.size()) +
+                          " responses lost (daemon closed the "
+                          "connection)");
+            break;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            out.violation(std::string("recv failed: ") +
+                          std::strerror(errno));
+            break;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl;
+             (nl = buffer.find('\n', start)) != std::string::npos;
+             start = nl + 1) {
+            std::string id =
+                checkResponse(buffer.substr(start, nl - start), out);
+            if (id.empty())
+                continue;
+            if (pending.erase(id) == 0)
+                out.violation("duplicate or unexpected response id '" +
+                              id + "'");
+        }
+        buffer.erase(0, start);
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parseArgs(argc, argv);
+
+    // Round-robin the corpus over the connections.
+    std::vector<std::vector<int>> slices(
+        static_cast<std::size_t>(opts.connections));
+    for (int i = 0; i < opts.requests; ++i)
+        slices[static_cast<std::size_t>(i % opts.connections)]
+            .push_back(i);
+
+    Outcome out;
+    std::vector<std::thread> drivers;
+    for (const std::vector<int> &slice : slices)
+        drivers.emplace_back(
+            [&opts, &slice, &out] { runConnection(opts, slice, out); });
+    for (std::thread &t : drivers)
+        t.join();
+
+    const std::uint64_t answered = out.ok.load() + out.degraded.load() +
+                                   out.rejected.load();
+    std::printf("soak_client: %d requests over %d connections: "
+                "%llu ok, %llu degraded, %llu rejected\n",
+                opts.requests, opts.connections,
+                static_cast<unsigned long long>(out.ok.load()),
+                static_cast<unsigned long long>(out.degraded.load()),
+                static_cast<unsigned long long>(out.rejected.load()));
+    if (answered != static_cast<std::uint64_t>(opts.requests))
+        out.violations.push_back(
+            "answered " + std::to_string(answered) + " of " +
+            std::to_string(opts.requests) + " requests");
+    if (out.violations.empty())
+        return 0;
+    for (const std::string &v : out.violations)
+        std::fprintf(stderr, "soak_client: CONTRACT VIOLATION: %s\n",
+                     v.c_str());
+    return 1;
+}
