@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <numeric>
@@ -33,6 +35,11 @@ namespace sched91
 
 namespace
 {
+
+/** Salt bit separating the arena alloc-fail draw from the boundary
+ * alloc-fail draw (attempt salts are small integers, so the high bit
+ * can never collide with a real retry salt). */
+constexpr std::uint64_t kArenaAllocFailSalt = 1ULL << 63;
 
 /** Run the static heuristic passes an algorithm declares it needs. */
 void
@@ -421,6 +428,52 @@ runPipeline(Program &prog, const MachineModel &machine,
             // --strict / the daemon ladder, propagation) paths.
             obs::ScopedPhase build_phase("build");
             if (fault_on) {
+                // Signal-grade points first (docs/ROBUSTNESS.md):
+                // they take the whole process down — the failure mode
+                // they simulate.  Survivable only when this pipeline
+                // runs inside a sandbox worker
+                // (`sched91 serve --isolate=process`), whose
+                // supervisor converts the death into the ladder's
+                // degradation rung.
+                if (fault::shouldFire(fault::Point::CrashSegv,
+                                      fault_key, opts.faultSalt)) {
+                    obs::flight::record(obs::flight::EventKind::Diag,
+                                        "inject", "crash-segv");
+                    std::raise(SIGSEGV);
+                }
+                if (fault::shouldFire(fault::Point::CrashAbort,
+                                      fault_key, opts.faultSalt)) {
+                    obs::flight::record(obs::flight::EventKind::Diag,
+                                        "inject", "crash-abort");
+                    std::abort();
+                }
+                if (fault::shouldFire(fault::Point::SpinForever,
+                                      fault_key, opts.faultSalt)) {
+                    obs::flight::record(obs::flight::EventKind::Diag,
+                                        "inject", "spin-forever");
+                    // A genuinely runaway loop: no cancellation poll,
+                    // no sleep — only SIGKILL (watchdog) or RLIMIT_CPU
+                    // ends it.
+                    for (volatile std::uint64_t spin = 0;;)
+                        ++spin;
+                }
+                // The arena rung of alloc-fail: arm the worker's
+                // arena so std::bad_alloc surfaces from inside the
+                // builder's own allocations (a different unwind than
+                // the boundary throw below).  A distinct salt bit
+                // keeps the draw independent of the boundary draw
+                // while staying a pure function of (seed, content).
+                if (fault::shouldFire(fault::Point::AllocFail,
+                                      fault_key,
+                                      opts.faultSalt ^
+                                          kArenaAllocFailSalt)) {
+                    if (Arena *arena = WorkerContext::currentArena()) {
+                        obs::flight::record(
+                            obs::flight::EventKind::Diag, "inject",
+                            "alloc-fail-arena");
+                        arena->armAllocFailure();
+                    }
+                }
                 if (fault::shouldFire(fault::Point::SlowBlock,
                                       fault_key, opts.faultSalt)) {
                     obs::flight::record(obs::flight::EventKind::Diag,

@@ -167,6 +167,22 @@ inline Counter svcQuarantineHits{"svc.quarantine_hits"};
  * ran out of deadline mid-run (blocks degraded via the budget rung). */
 inline Counter svcDeadlineExpired{"svc.deadline_expired"};
 
+/** Sandbox workers (`serve --isolate=process`) that died mid-request
+ * — signal, rlimit kill, or unexpected exit.  The victim request is
+ * answered degraded by the supervisor's ladder. */
+inline Counter svcWorkerCrashes{"svc.worker_crashes"};
+
+/** Subset of crashes inflicted by the supervisor's hung-worker
+ * watchdog (SIGKILL past the deadline grace). */
+inline Counter svcWorkerKills{"svc.worker_kills"};
+
+/** Replacement sandbox workers spawned after a death. */
+inline Counter svcWorkerRespawns{"svc.worker_respawns"};
+
+/** Sandbox workers that never came up (exec failure or death before
+ * the ready banner). */
+inline Counter svcWorkerSpawnFailures{"svc.worker_spawn_failures"};
+
 // --- Memory telemetry (obs/memory.hh) -------------------------------
 // Deterministic gauges only: each is a function of the input program,
 // so runs stay byte-identical across thread counts.  Environmental

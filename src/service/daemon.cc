@@ -15,6 +15,7 @@
 #include "obs/flight_recorder.hh"
 #include "obs/json.hh"
 #include "obs/phase.hh"
+#include "service/supervisor.hh"
 #include "support/fault_inject.hh"
 #include "support/log.hh"
 #include "support/logging.hh"
@@ -172,6 +173,23 @@ Daemon::run()
             slots_.back()->flight = obs::flight::claim();
     }
 
+    // --- Process isolation: one sandbox worker per lane -------------
+    if (config_.isolateProcess) {
+        SupervisorConfig scfg;
+        scfg.workers = lanes;
+        scfg.engine = config_.engine;
+        scfg.workerExe = config_.sandboxWorkerExe;
+        if (fault::enabled())
+            scfg.faultSpec = fault::specString(fault::activeConfig());
+        scfg.rlimitCpuSeconds = config_.isolateRlimitCpu;
+        scfg.rlimitAsMb = config_.isolateRlimitAsMb;
+        scfg.hangTimeoutMs = config_.isolateHangMs;
+        scfg.crashDir = config_.engine.outlierDir;
+        supervisor_ =
+            std::make_unique<Supervisor>(std::move(scfg), engine_);
+        supervisor_->start();
+    }
+
     log::info("sched91 serve: listening on ", config_.socketPath,
               " (", lanes, " worker", lanes == 1 ? "" : "s",
               ", queue depth ", queue_.capacity(), ")");
@@ -200,6 +218,8 @@ Daemon::run()
             t.join();
         readers_.clear();
     }
+    if (supervisor_)
+        supervisor_->stop(); // every lane is idle: clean pool drain
 
     // --- Final accounting (single-threaded from here) ---------------
     if (obs::enabled()) {
@@ -377,7 +397,10 @@ Daemon::workerLoop(unsigned lane)
         const auto started = std::chrono::steady_clock::now();
         std::string response;
         try {
-            response = engine_.process(req->spec, remaining);
+            response = supervisor_
+                           ? supervisor_->process(lane, req->spec,
+                                                  remaining)
+                           : engine_.process(req->spec, remaining);
         } catch (const std::exception &e) {
             // The engine contract is "never throws"; this is the
             // daemon's own last-resort containment.
@@ -412,6 +435,8 @@ Daemon::emitFinalStats()
     w.key("queue_capacity")
         .value(static_cast<std::uint64_t>(queue_.capacity()));
     w.key("machine").value(config_.engine.machineName);
+    if (config_.isolateProcess)
+        w.key("isolate").value("process");
     if (fault::enabled())
         w.key("fault_inject")
             .value(fault::specString(fault::activeConfig()));
@@ -429,6 +454,13 @@ Daemon::emitFinalStats()
     w.key("quarantine_adds").value(c.quarantineAdds.load());
     w.key("quarantine_hits").value(c.quarantineHits.load());
     w.key("deadline_expired").value(c.deadlineExpired.load());
+    if (config_.isolateProcess) {
+        w.key("worker_crashes").value(c.workerCrashes.load());
+        w.key("worker_kills").value(c.workerKills.load());
+        w.key("worker_respawns").value(c.workerRespawns.load());
+        w.key("worker_spawn_failures")
+            .value(c.workerSpawnFailures.load());
+    }
     w.endObject();
 
     if (obs::enabled()) {

@@ -68,7 +68,27 @@ struct DaemonConfig
     /** Zero wall-clock fields in the final stats (determinism
      * tests). */
     bool zeroTimes = false;
+
+    // --- Process isolation (`--isolate=process`) --------------------
+    /** Run ladder attempts in pre-forked sandbox subprocesses
+     * (service/supervisor.hh) instead of in-process. */
+    bool isolateProcess = false;
+
+    /** Watchdog bound for deadline-less requests, ms. */
+    int isolateHangMs = 10'000;
+
+    /** Per-worker RLIMIT_CPU seconds; 0 = unlimited. */
+    int isolateRlimitCpu = 0;
+
+    /** Per-worker RLIMIT_AS MiB; 0 = unlimited (keep 0 under
+     * sanitizers). */
+    std::size_t isolateRlimitAsMb = 0;
+
+    /** Sandbox worker executable override; empty = /proc/self/exe. */
+    std::string sandboxWorkerExe;
 };
+
+class Supervisor;
 
 class Daemon
 {
@@ -121,6 +141,7 @@ class Daemon
     DaemonConfig config_;
     Engine engine_;
     BoundedQueue<Request> queue_;
+    std::unique_ptr<Supervisor> supervisor_; ///< only under --isolate
 
     int listenFd_ = -1;
     int wakePipe_[2] = {-1, -1};

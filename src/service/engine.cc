@@ -54,7 +54,21 @@ SvcCounters::flushToRegistry() const
     obs::ev::svcQuarantineAdds.inc(quarantineAdds.load());
     obs::ev::svcQuarantineHits.inc(quarantineHits.load());
     obs::ev::svcDeadlineExpired.inc(deadlineExpired.load());
+    obs::ev::svcWorkerCrashes.inc(workerCrashes.load());
+    obs::ev::svcWorkerKills.inc(workerKills.load());
+    obs::ev::svcWorkerRespawns.inc(workerRespawns.load());
+    obs::ev::svcWorkerSpawnFailures.inc(workerSpawnFailures.load());
 }
+
+/** The parse every rung shares: even the last-resort degradation
+ * needs the block structure to answer truthfully. */
+struct Engine::Parsed
+{
+    Program prog;
+    std::vector<BasicBlock> blocks;
+    ResponseBody body; ///< blocks/insts/parse tallies pre-filled
+    std::optional<MachineModel> overrideMachine;
+};
 
 Engine::Engine(EngineConfig config)
     : config_(std::move(config)),
@@ -127,128 +141,179 @@ Engine::writeOutlierBundles(const RequestSpec &spec,
     }
 }
 
+Engine::Parsed
+Engine::parseRequest(const RequestSpec &spec) const
+{
+    Parsed parsed;
+    if (spec.machine)
+        parsed.overrideMachine = presetByName(*spec.machine);
+
+    DiagnosticEngine::Options dopts;
+    dopts.strict = false;
+    dopts.echoToLog = false;
+    DiagnosticEngine diags(dopts);
+    parsed.prog = parseAssembly(spec.source, diags, "request");
+    stampMemGenerations(parsed.prog);
+    parsed.blocks = partitionBlocks(parsed.prog, {});
+
+    parsed.body.blocks = parsed.blocks.size();
+    parsed.body.insts = parsed.prog.size();
+    parsed.body.parseErrors = diags.errorCount();
+    parsed.body.parseWarnings = diags.warningCount();
+    return parsed;
+}
+
+Engine::AttemptOutcome
+Engine::runAttempt(Parsed &parsed, const RequestSpec &spec,
+                   BuilderKind builder, int attempt, bool downgraded,
+                   double remainingSeconds)
+{
+    PipelineOptions popts;
+    popts.builder = builder;
+    popts.algorithm = spec.algorithm.value_or(config_.algorithm);
+    popts.build.memPolicy = spec.policy.value_or(config_.policy);
+    popts.threads = 1; // concurrency comes from daemon workers
+    popts.evaluate = spec.evaluate;
+    popts.verify = true;
+    // Failures must reach the ladder, not vanish into per-block
+    // degradation.  The budget/deadline and interrupt rungs still
+    // degrade in-pipeline — by design (see pipeline.hh).
+    popts.containFaults = false;
+    popts.maxBlockInsts = config_.maxBlockInsts;
+    if (remainingSeconds > 0.0)
+        popts.maxRunSeconds = remainingSeconds;
+    popts.faultSalt = static_cast<std::uint64_t>(attempt);
+    if (config_.captureOutliers > 0)
+        popts.captureOutliers = config_.captureOutliers;
+
+    std::vector<Schedule> schedules;
+    if (spec.emitSchedule)
+        popts.schedules = &schedules;
+
+    const MachineModel *machine = parsed.overrideMachine
+                                      ? &*parsed.overrideMachine
+                                      : &machine_;
+    ProgramResult result = runPipeline(parsed.prog, *machine, popts);
+
+    ResponseBody body = parsed.body;
+    body.status = result.blocksDegraded > 0 ? "degraded" : "ok";
+    body.degradedBlocks = result.blocksDegraded;
+    body.builderFallbacks = result.builderFallbacks;
+    body.verifierRejections = result.verifierRejections;
+    body.attempts = attempt + 1;
+    body.downgradedBuilder = downgraded;
+    if (spec.evaluate) {
+        body.haveCycles = true;
+        body.cyclesOriginal = result.cyclesOriginal;
+        body.cyclesScheduled = result.cyclesScheduled;
+    }
+    if (spec.emitSchedule)
+        body.schedule =
+            scheduleText(parsed.prog, parsed.blocks, &schedules);
+    for (const ProgramResult::BlockIssue &issue : result.blockIssues)
+        body.deadlineHit = body.deadlineHit || issue.stage == "budget";
+
+    if (config_.captureOutliers > 0 && !config_.outlierDir.empty() &&
+        !result.outliers.empty())
+        writeOutlierBundles(spec, result, popts,
+                            fault::fnv1a64(spec.source));
+
+    AttemptOutcome out;
+    out.degraded = result.blocksDegraded > 0;
+    out.deadlineHit = body.deadlineHit;
+    out.line = responseLine(spec.id, body);
+    return out;
+}
+
+std::string
+Engine::lastRungLine(Parsed &parsed, const RequestSpec &spec,
+                     bool fromQuarantine, int attempts)
+{
+    ResponseBody body = parsed.body;
+    body.status = "degraded";
+    body.attempts = attempts;
+    body.quarantined = fromQuarantine;
+    body.degradedBlocks = parsed.blocks.size();
+    if (spec.emitSchedule)
+        body.schedule =
+            scheduleText(parsed.prog, parsed.blocks, nullptr);
+    counters_.degraded.fetch_add(1, std::memory_order_relaxed);
+    return responseLine(spec.id, body);
+}
+
+std::string
+Engine::attemptLine(const RequestSpec &spec, int attempt,
+                    bool downgraded, double remainingSeconds)
+{
+    Parsed parsed = parseRequest(spec);
+    return runAttempt(parsed, spec,
+                      spec.builder.value_or(config_.builder), attempt,
+                      downgraded, remainingSeconds)
+        .line;
+}
+
+std::string
+Engine::degradedLine(const RequestSpec &spec, bool fromQuarantine,
+                     int attempts)
+{
+    std::optional<Parsed> parsed;
+    try {
+        parsed.emplace(parseRequest(spec));
+    } catch (const std::exception &e) {
+        counters_.error.fetch_add(1, std::memory_order_relaxed);
+        return errorLine(spec.id, e.what());
+    }
+    return lastRungLine(*parsed, spec, fromQuarantine, attempts);
+}
+
 std::string
 Engine::process(const RequestSpec &spec, double remainingSeconds)
 {
     const std::uint64_t key = fault::fnv1a64(spec.source);
 
-    // Per-request machine override.
-    const MachineModel *machine = &machine_;
-    MachineModel requested;
-    if (spec.machine) {
-        try {
-            requested = presetByName(*spec.machine);
-            machine = &requested;
-        } catch (const std::exception &e) {
-            counters_.error.fetch_add(1, std::memory_order_relaxed);
-            return errorLine(spec.id, e.what());
-        }
+    std::optional<Parsed> parsed;
+    try {
+        parsed.emplace(parseRequest(spec));
+    } catch (const std::exception &e) {
+        // Unknown machine override (the parse itself is lenient).
+        counters_.error.fetch_add(1, std::memory_order_relaxed);
+        return errorLine(spec.id, e.what());
     }
-
-    // The parse is shared by every rung: even the last-resort
-    // degradation needs the block structure to answer truthfully.
-    DiagnosticEngine::Options dopts;
-    dopts.strict = false;
-    dopts.echoToLog = false;
-    DiagnosticEngine diags(dopts);
-    Program prog = parseAssembly(spec.source, diags, "request");
-    stampMemGenerations(prog);
-    std::vector<BasicBlock> blocks = partitionBlocks(prog, {});
-
-    ResponseBody body;
-    body.blocks = blocks.size();
-    body.insts = prog.size();
-    body.parseErrors = diags.errorCount();
-    body.parseWarnings = diags.warningCount();
-
-    auto lastRung = [&](bool fromQuarantine, int attempts) {
-        body.status = "degraded";
-        body.attempts = attempts;
-        body.quarantined = fromQuarantine;
-        body.degradedBlocks = blocks.size();
-        if (spec.emitSchedule)
-            body.schedule = scheduleText(prog, blocks, nullptr);
-        counters_.degraded.fetch_add(1, std::memory_order_relaxed);
-        return responseLine(spec.id, body);
-    };
 
     if (isQuarantined(key)) {
         counters_.quarantineHits.fetch_add(1,
                                            std::memory_order_relaxed);
         obs::flight::record(obs::flight::EventKind::Diag, "svc",
                             "quarantine hit", key);
-        return lastRung(/*fromQuarantine=*/true, /*attempts=*/0);
+        return lastRungLine(*parsed, spec, /*fromQuarantine=*/true,
+                            /*attempts=*/0);
     }
 
     // Attempts 0 (requested builder) and 1 (table-forward downgrade).
     const BuilderKind requested_builder =
         spec.builder.value_or(config_.builder);
-    std::string firstFailure;
     for (int attempt = 0; attempt < 2; ++attempt) {
-        PipelineOptions popts;
-        popts.builder = attempt == 0 ? requested_builder
-                                     : BuilderKind::TableForward;
-        popts.algorithm = spec.algorithm.value_or(config_.algorithm);
-        popts.build.memPolicy = spec.policy.value_or(config_.policy);
-        popts.threads = 1; // concurrency comes from daemon workers
-        popts.evaluate = spec.evaluate;
-        popts.verify = true;
-        // Failures must reach the ladder, not vanish into per-block
-        // degradation.  The budget/deadline and interrupt rungs still
-        // degrade in-pipeline — by design (see pipeline.hh).
-        popts.containFaults = false;
-        popts.maxBlockInsts = config_.maxBlockInsts;
-        if (remainingSeconds > 0.0)
-            popts.maxRunSeconds = remainingSeconds;
-        popts.faultSalt = static_cast<std::uint64_t>(attempt);
-        if (config_.captureOutliers > 0)
-            popts.captureOutliers = config_.captureOutliers;
-
-        std::vector<Schedule> schedules;
-        if (spec.emitSchedule)
-            popts.schedules = &schedules;
-
+        const BuilderKind builder = attempt == 0
+                                        ? requested_builder
+                                        : BuilderKind::TableForward;
+        const bool downgraded =
+            attempt > 0 &&
+            requested_builder != BuilderKind::TableForward;
         try {
-            ProgramResult result = runPipeline(prog, *machine, popts);
-
-            body.status = result.blocksDegraded > 0 ? "degraded" : "ok";
-            body.degradedBlocks = result.blocksDegraded;
-            body.builderFallbacks = result.builderFallbacks;
-            body.verifierRejections = result.verifierRejections;
-            body.attempts = attempt + 1;
-            body.downgradedBuilder =
-                attempt > 0 &&
-                requested_builder != BuilderKind::TableForward;
-            if (spec.evaluate) {
-                body.haveCycles = true;
-                body.cyclesOriginal = result.cyclesOriginal;
-                body.cyclesScheduled = result.cyclesScheduled;
-            }
-            if (spec.emitSchedule)
-                body.schedule = scheduleText(prog, blocks, &schedules);
-
-            bool deadline_hit = false;
-            for (const ProgramResult::BlockIssue &issue :
-                 result.blockIssues)
-                deadline_hit = deadline_hit || issue.stage == "budget";
-            if (deadline_hit)
+            AttemptOutcome out =
+                runAttempt(*parsed, spec, builder, attempt, downgraded,
+                           remainingSeconds);
+            if (out.deadlineHit)
                 counters_.deadlineExpired.fetch_add(
                     1, std::memory_order_relaxed);
-
-            if (result.blocksDegraded > 0)
+            if (out.degraded)
                 counters_.degraded.fetch_add(1,
                                              std::memory_order_relaxed);
             else
                 counters_.ok.fetch_add(1, std::memory_order_relaxed);
-
-            if (config_.captureOutliers > 0 &&
-                !config_.outlierDir.empty() && !result.outliers.empty())
-                writeOutlierBundles(spec, result, popts, key);
-
-            return responseLine(spec.id, body);
+            return out.line;
         } catch (const std::exception &e) {
             if (attempt == 0) {
-                firstFailure = e.what();
                 counters_.retries.fetch_add(1,
                                             std::memory_order_relaxed);
                 obs::flight::record(obs::flight::EventKind::Diag,
@@ -270,7 +335,8 @@ Engine::process(const RequestSpec &spec, double remainingSeconds)
     // Both real attempts failed: quarantine and answer the last rung.
     addToQuarantine(key);
     counters_.degradedFallbacks.fetch_add(1, std::memory_order_relaxed);
-    return lastRung(/*fromQuarantine=*/false, /*attempts=*/3);
+    return lastRungLine(*parsed, spec, /*fromQuarantine=*/false,
+                        /*attempts=*/3);
 }
 
 } // namespace sched91::service

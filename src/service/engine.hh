@@ -86,6 +86,13 @@ struct SvcCounters
     std::atomic<std::uint64_t> quarantineHits{0};
     std::atomic<std::uint64_t> deadlineExpired{0};
 
+    // Process isolation (service/supervisor.hh); all zero when the
+    // daemon runs in-process.
+    std::atomic<std::uint64_t> workerCrashes{0};   ///< deaths mid-request
+    std::atomic<std::uint64_t> workerKills{0};     ///< watchdog SIGKILLs
+    std::atomic<std::uint64_t> workerRespawns{0};  ///< replacements spawned
+    std::atomic<std::uint64_t> workerSpawnFailures{0}; ///< spawns that died
+
     /** Fold the tallies into the obs::ev::svc* registry counters
      * (call single-threaded, with observability enabled). */
     void flushToRegistry() const;
@@ -105,6 +112,34 @@ class Engine
     std::string process(const RequestSpec &spec,
                         double remainingSeconds);
 
+    /**
+     * One ladder attempt in isolation — the sandbox worker's entry
+     * point (`--isolate=process`): parse @p spec, run the pipeline
+     * once with the spec's explicit configuration (the supervisor
+     * resolves daemon defaults before dispatch), and return the
+     * response line.  @p attempt sets the fault-injection salt and
+     * the reported attempts count; @p downgraded marks the response
+     * as answered by the builder-retry rung.  Throws when the attempt
+     * fails — the *caller* owns the ladder.  Does not touch the
+     * counters or the quarantine.
+     */
+    std::string attemptLine(const RequestSpec &spec, int attempt,
+                            bool downgraded, double remainingSeconds);
+
+    /**
+     * The ladder's last rung as a standalone answer — what the
+     * supervisor sends for a request whose worker died: the whole
+     * request degraded to original instruction order.  Counts one
+     * degraded response.  Never throws usefully beyond a malformed
+     * machine override (answered "error").
+     */
+    std::string degradedLine(const RequestSpec &spec,
+                             bool fromQuarantine, int attempts);
+
+    /** Quarantine table, shared with the supervisor's ladder. */
+    bool isQuarantined(std::uint64_t key) const;
+    void addToQuarantine(std::uint64_t key);
+
     SvcCounters &counters() { return counters_; }
     const EngineConfig &config() const { return config_; }
 
@@ -112,8 +147,22 @@ class Engine
     std::size_t quarantineSize() const;
 
   private:
-    bool isQuarantined(std::uint64_t key) const;
-    void addToQuarantine(std::uint64_t key);
+    struct Parsed;
+
+    /** Everything process()/the supervisor classify an attempt by. */
+    struct AttemptOutcome
+    {
+        std::string line;
+        bool degraded = false;
+        bool deadlineHit = false;
+    };
+
+    Parsed parseRequest(const RequestSpec &spec) const;
+    AttemptOutcome runAttempt(Parsed &parsed, const RequestSpec &spec,
+                              BuilderKind builder, int attempt,
+                              bool downgraded, double remainingSeconds);
+    std::string lastRungLine(Parsed &parsed, const RequestSpec &spec,
+                             bool fromQuarantine, int attempts);
     void writeOutlierBundles(const RequestSpec &spec,
                              const ProgramResult &result,
                              const PipelineOptions &popts,

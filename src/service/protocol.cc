@@ -149,6 +149,8 @@ responseLine(const std::string &id, const ResponseBody &body)
     w.key("attempts").value(body.attempts);
     w.key("downgraded_builder").value(body.downgradedBuilder);
     w.key("quarantined").value(body.quarantined);
+    if (body.deadlineHit)
+        w.key("deadline_hit").value(true);
     if (body.haveCycles) {
         w.key("cycles_original").value(body.cyclesOriginal);
         w.key("cycles_scheduled").value(body.cyclesScheduled);
@@ -161,6 +163,65 @@ responseLine(const std::string &id, const ResponseBody &body)
     }
     w.endObject();
     return w.take();
+}
+
+std::string
+sandboxEnvelopeLine(const SandboxEnvelope &env)
+{
+    const RequestSpec &spec = env.spec;
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("id").value(spec.id);
+    w.key("source").value(spec.source);
+    // Display-name spellings, which parseRequestLine() accepts; the
+    // supervisor resolved the daemon defaults, so every field is
+    // explicit on the wire.
+    if (spec.algorithm)
+        w.key("algorithm")
+            .value(std::string(algorithmName(*spec.algorithm)));
+    if (spec.builder)
+        w.key("builder")
+            .value(std::string(builderKindName(*spec.builder)));
+    if (spec.policy)
+        w.key("policy")
+            .value(std::string(aliasPolicyName(*spec.policy)));
+    if (spec.machine)
+        w.key("machine").value(*spec.machine);
+    if (spec.deadlineMs > 0.0)
+        w.key("deadline_ms").value(spec.deadlineMs);
+    if (spec.evaluate)
+        w.key("evaluate").value(true);
+    if (spec.emitSchedule)
+        w.key("emit").value("schedule");
+    w.key("attempt").value(env.attempt);
+    if (env.downgraded)
+        w.key("downgraded").value(true);
+    w.endObject();
+    return w.take();
+}
+
+std::optional<SandboxEnvelope>
+parseSandboxEnvelopeLine(const std::string &line, std::string &error)
+{
+    std::optional<RequestSpec> spec = parseRequestLine(line, error);
+    if (!spec)
+        return std::nullopt;
+    SandboxEnvelope env;
+    env.spec = std::move(*spec);
+    try {
+        obs::JsonValue doc = obs::parseJson(line);
+        env.attempt = static_cast<int>(doc.numberOr("attempt", 0.0));
+        if (doc.has("downgraded"))
+            env.downgraded = doc.at("downgraded").boolean();
+    } catch (const std::exception &e) {
+        error = e.what();
+        return std::nullopt;
+    }
+    if (env.attempt < 0) {
+        error = "attempt must be >= 0";
+        return std::nullopt;
+    }
+    return env;
 }
 
 std::string

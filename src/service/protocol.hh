@@ -89,6 +89,10 @@ struct ResponseBody
     int attempts = 1;         ///< ladder attempts consumed (1..3)
     bool downgradedBuilder = false; ///< answered by the retry rung
     bool quarantined = false; ///< short-circuited by quarantine
+    bool deadlineHit = false; ///< a block degraded on the budget rung
+                              ///< (emitted only when true; lets the
+                              ///< supervisor attribute deadline
+                              ///< expiry across the process boundary)
     long long cyclesOriginal = 0;  ///< only when evaluate
     long long cyclesScheduled = 0; ///< only when evaluate
     bool haveCycles = false;
@@ -110,6 +114,30 @@ std::string errorLine(const std::string &id, const std::string &message);
 AlgorithmKind algorithmFromToken(const std::string &name);
 BuilderKind builderFromToken(const std::string &name);
 AliasPolicy policyFromToken(const std::string &name);
+
+/**
+ * Supervisor -> sandbox-worker dispatch envelope
+ * (`sched91 serve --isolate=process`, docs/ROBUSTNESS.md): the wire
+ * request format with every daemon default already resolved by the
+ * supervisor, plus which ladder attempt the worker is carrying out.
+ * The extra fields ride as ordinary JSON keys that plain
+ * parseRequestLine() callers ignore, so the envelope *is* a valid
+ * request line.
+ */
+struct SandboxEnvelope
+{
+    RequestSpec spec; ///< deadlineMs = remaining seconds * 1000
+    int attempt = 0;  ///< ladder attempt (fault salt, attempts count)
+    bool downgraded = false; ///< answered by the builder-retry rung
+};
+
+/** Serialize an envelope (no trailing newline). */
+std::string sandboxEnvelopeLine(const SandboxEnvelope &env);
+
+/** Parse an envelope; sets @p error and returns nullopt when
+ * malformed (the worker answers status "error"). */
+std::optional<SandboxEnvelope>
+parseSandboxEnvelopeLine(const std::string &line, std::string &error);
 
 } // namespace sched91::service
 

@@ -1,0 +1,133 @@
+#include "service/sandbox_worker.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <new>
+#include <optional>
+#include <string>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "service/protocol.hh"
+#include "support/fault_inject.hh"
+
+namespace sched91::service
+{
+
+namespace
+{
+
+bool
+writeLine(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n =
+            ::write(fd, framed.data() + off, framed.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** One envelope -> one response line.  An attempt failure answers
+ * status "error" — the supervisor's ladder turns that into a retry or
+ * the degraded last rung; the worker itself never retries. */
+std::string
+answer(Engine &engine, const std::string &line)
+{
+    std::string error;
+    std::optional<SandboxEnvelope> env =
+        parseSandboxEnvelopeLine(line, error);
+    if (!env)
+        return errorLine("", error);
+
+    // A crash leaves the content hash and attempt number as the last
+    // ring event, so `sched91 explain` on the recovered ring says
+    // what the worker was chewing on.
+    obs::flight::record(obs::flight::EventKind::Diag, "sandbox",
+                        "attempt", fault::fnv1a64(env->spec.source),
+                        static_cast<std::uint64_t>(env->attempt));
+
+    const double remaining =
+        env->spec.deadlineMs > 0.0 ? env->spec.deadlineMs / 1000.0
+                                   : 0.0;
+    try {
+        return engine.attemptLine(env->spec, env->attempt,
+                                  env->downgraded, remaining);
+    } catch (const std::exception &e) {
+        return errorLine(env->spec.id, e.what());
+    }
+}
+
+} // namespace
+
+int
+runSandboxWorker(const SandboxWorkerConfig &config)
+{
+    // Lifecycle belongs to the supervisor: drain is request-pipe EOF,
+    // hangs end in SIGKILL.  Ignoring the terminal's signals keeps a
+    // ^C on the process group from racing the orderly drain.
+    std::signal(SIGINT, SIG_IGN);
+    std::signal(SIGTERM, SIG_IGN);
+
+    CrashRing *ring = nullptr;
+    if (config.ringFd >= 0) {
+        void *mem = ::mmap(nullptr, sizeof(CrashRing),
+                           PROT_READ | PROT_WRITE, MAP_SHARED,
+                           config.ringFd, 0);
+        if (mem != MAP_FAILED) {
+            ring = new (mem) CrashRing{};
+            ring->magic = kCrashRingMagic;
+        }
+    }
+
+    std::optional<obs::flight::ScopedRecorder> flight_scope;
+    if (ring != nullptr) {
+        obs::flight::setEnabled(true);
+        // The ring outlives any single pipeline run; keep runPipeline
+        // from resetting or re-claiming it (same contract as the
+        // daemon's lane rings).
+        obs::flight::setExternallyManaged(true);
+        flight_scope.emplace(&ring->recorder);
+    }
+
+    Engine engine(config.engine);
+
+    if (!writeLine(config.respFd, kWorkerReadyLine))
+        return 1;
+
+    std::string buffer;
+    char chunk[65536];
+    for (;;) {
+        const ssize_t n = ::read(config.reqFd, chunk, sizeof chunk);
+        if (n == 0)
+            return 0; // supervisor closed the pipe: clean drain
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return 1;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl;
+             (nl = buffer.find('\n', start)) != std::string::npos;
+             start = nl + 1) {
+            const std::string line = buffer.substr(start, nl - start);
+            if (line.empty())
+                continue;
+            if (!writeLine(config.respFd, answer(engine, line)))
+                return 1;
+        }
+        buffer.erase(0, start);
+    }
+}
+
+} // namespace sched91::service

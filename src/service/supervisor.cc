@@ -1,0 +1,702 @@
+#include "service/supervisor.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "obs/emitter.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/json.hh"
+#include "obs/json_parse.hh"
+#include "obs/outliers.hh"
+#include "service/sandbox_worker.hh"
+#include "support/fault_inject.hh"
+#include "support/log.hh"
+#include "support/logging.hh"
+
+namespace sched91::service
+{
+
+namespace
+{
+
+constexpr std::int64_t kMsNs = 1'000'000;
+
+/** Lane-side backstop slack past the watchdog's kill time: the lane
+ * only SIGKILLs itself when the watchdog thread is wedged. */
+constexpr std::int64_t kLaneSlackNs = 250 * kMsNs;
+
+std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+writeLineFd(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n =
+            ::write(fd, framed.data() + off, framed.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // EPIPE: the worker is gone
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+enum class ReadStatus
+{
+    Line,
+    Eof,
+    Timeout,
+};
+
+/** Read one '\n'-terminated line from @p fd into @p line, buffering
+ * partial reads in @p buffer, until the absolute steady-clock instant
+ * @p deadlineNs. */
+ReadStatus
+readLineFd(int fd, std::string &buffer, std::string &line,
+           std::int64_t deadlineNs)
+{
+    for (;;) {
+        const std::size_t nl = buffer.find('\n');
+        if (nl != std::string::npos) {
+            line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            return ReadStatus::Line;
+        }
+        const std::int64_t left = deadlineNs - nowNs();
+        if (left <= 0)
+            return ReadStatus::Timeout;
+        pollfd pfd{fd, POLLIN, 0};
+        const int waitMs = static_cast<int>(
+            left / kMsNs < 100 ? left / kMsNs + 1 : 100);
+        const int rc = ::poll(&pfd, 1, waitMs);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return ReadStatus::Eof;
+        }
+        if (rc == 0)
+            continue;
+        char chunk[65536];
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n == 0)
+            return ReadStatus::Eof;
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            return ReadStatus::Eof;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+/** The fields the ladder classifies a worker response by. */
+struct Classified
+{
+    std::string status;
+    std::string error;
+    bool deadlineHit = false;
+};
+
+Classified
+classifyResponse(const std::string &line)
+{
+    Classified c;
+    try {
+        obs::JsonValue doc = obs::parseJson(line);
+        c.status = doc.strOr("status", "");
+        c.error = doc.strOr("error", "");
+        c.deadlineHit = doc.has("deadline_hit");
+    } catch (const std::exception &) {
+        // Unparseable bytes from a worker are a worker fault.
+        c.status = "error";
+        c.error = "unparseable worker response";
+    }
+    return c;
+}
+
+std::string
+boundedString(const char *buf, std::size_t cap)
+{
+    return std::string(buf, ::strnlen(buf, cap));
+}
+
+} // namespace
+
+/** One lane's sandbox worker.  Owned and dispatched by exactly one
+ * lane thread; the watchdog touches only the atomics. */
+struct Supervisor::Worker
+{
+    unsigned lane = 0;
+    Subprocess proc;
+    int reqFd = -1;  ///< parent write end (envelopes out)
+    int respFd = -1; ///< parent read end (responses in)
+    int ringFd = -1; ///< crash-ring memfd
+    CrashRing *ring = nullptr; ///< parent-side mapping
+    std::string buffer;        ///< partial response line
+    bool live = false;
+    bool everLive = false; ///< distinguishes respawn from first spawn
+    bool laneKilled = false; ///< this lane's backstop fired
+
+    // Watchdog interface: killAtNs != 0 marks the worker busy and
+    // names the SIGKILL instant; livePid is what the watchdog may
+    // signal (never the Subprocess object — lane-owned).
+    std::atomic<std::int64_t> killAtNs{0};
+    std::atomic<pid_t> livePid{-1};
+    std::atomic<bool> watchdogKilled{false};
+};
+
+Supervisor::Supervisor(SupervisorConfig config, Engine &engine)
+    : config_(std::move(config)), engine_(engine)
+{
+}
+
+Supervisor::~Supervisor()
+{
+    stop();
+}
+
+void
+Supervisor::start()
+{
+    exe_ = config_.workerExe.empty() ? selfExePath()
+                                     : config_.workerExe;
+    if (exe_.empty())
+        fatal("serve --isolate=process: cannot resolve the worker "
+              "executable (no --isolate-exe and /proc/self/exe "
+              "unreadable)");
+
+    workers_.clear();
+    const unsigned n = config_.workers != 0 ? config_.workers : 1;
+    for (unsigned i = 0; i < n; ++i) {
+        workers_.push_back(std::make_unique<Worker>());
+        workers_.back()->lane = i;
+        // A failed pre-spawn is already counted; the lane retries
+        // lazily at its first dispatch.
+        spawnWorker(*workers_.back());
+    }
+    {
+        std::lock_guard<std::mutex> lock(stopMu_);
+        stopping_ = false;
+        started_ = true;
+    }
+    watchdog_ = std::thread([this] { watchdogLoop(); });
+    log::info("sched91 serve: process isolation on (", n,
+              " sandbox worker", n == 1 ? "" : "s", ", exe ", exe_,
+              ")");
+}
+
+void
+Supervisor::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stopMu_);
+        if (!started_)
+            return;
+        started_ = false;
+        stopping_ = true;
+    }
+    stopCv_.notify_all();
+    if (watchdog_.joinable())
+        watchdog_.join();
+
+    // Closing the request pipes is the drain signal: workers exit 0
+    // on EOF.  Close them all first so the pool drains in parallel.
+    for (auto &wp : workers_)
+        if (wp->reqFd >= 0) {
+            ::close(wp->reqFd);
+            wp->reqFd = -1;
+        }
+    for (auto &wp : workers_) {
+        Worker &w = *wp;
+        if (w.proc.valid()) {
+            bool reaped = false;
+            for (int i = 0; i < 200 && !reaped; ++i) {
+                if (w.proc.tryWait()) {
+                    reaped = true;
+                    break;
+                }
+                ::usleep(10'000);
+            }
+            if (!reaped) {
+                w.proc.kill(SIGKILL);
+                w.proc.wait();
+            }
+        }
+        w.live = false;
+        w.livePid.store(-1, std::memory_order_relaxed);
+        retireWorker(w);
+    }
+}
+
+void
+Supervisor::retireWorker(Worker &worker)
+{
+    if (worker.reqFd >= 0) {
+        ::close(worker.reqFd);
+        worker.reqFd = -1;
+    }
+    if (worker.respFd >= 0) {
+        ::close(worker.respFd);
+        worker.respFd = -1;
+    }
+    if (worker.ring != nullptr) {
+        ::munmap(worker.ring, sizeof(CrashRing));
+        worker.ring = nullptr;
+    }
+    if (worker.ringFd >= 0) {
+        ::close(worker.ringFd);
+        worker.ringFd = -1;
+    }
+    worker.buffer.clear();
+}
+
+bool
+Supervisor::spawnWorker(Worker &worker)
+{
+    retireWorker(worker);
+
+    int req[2] = {-1, -1};
+    int resp[2] = {-1, -1};
+    if (::pipe2(req, O_CLOEXEC) < 0) {
+        engine_.counters().workerSpawnFailures.fetch_add(
+            1, std::memory_order_relaxed);
+        return false;
+    }
+    if (::pipe2(resp, O_CLOEXEC) < 0) {
+        ::close(req[0]);
+        ::close(req[1]);
+        engine_.counters().workerSpawnFailures.fetch_add(
+            1, std::memory_order_relaxed);
+        return false;
+    }
+
+    // Crash ring: best-effort — a daemon on a kernel without memfd
+    // still isolates, it just loses killed-worker forensics.
+    int ringFd = ::memfd_create("sched91-crash-ring", MFD_CLOEXEC);
+    CrashRing *ring = nullptr;
+    if (ringFd >= 0) {
+        if (::ftruncate(ringFd, sizeof(CrashRing)) == 0) {
+            void *mem =
+                ::mmap(nullptr, sizeof(CrashRing),
+                       PROT_READ | PROT_WRITE, MAP_SHARED, ringFd, 0);
+            if (mem != MAP_FAILED)
+                ring = static_cast<CrashRing *>(mem);
+        }
+        if (ring == nullptr) {
+            ::close(ringFd);
+            ringFd = -1;
+        }
+    }
+
+    const EngineConfig &e = config_.engine;
+    SpawnSpec spec;
+    spec.argv = {exe_,
+                 "__sandbox-worker",
+                 "--req-fd",
+                 std::to_string(kWorkerReqFd),
+                 "--resp-fd",
+                 std::to_string(kWorkerRespFd)};
+    if (ringFd >= 0) {
+        spec.argv.push_back("--ring-fd");
+        spec.argv.push_back(std::to_string(kWorkerRingFd));
+    }
+    spec.argv.push_back("--builder");
+    spec.argv.push_back(std::string(builderKindName(e.builder)));
+    spec.argv.push_back("--algorithm");
+    spec.argv.push_back(std::string(algorithmName(e.algorithm)));
+    spec.argv.push_back("--policy");
+    spec.argv.push_back(std::string(aliasPolicyName(e.policy)));
+    spec.argv.push_back("--machine");
+    spec.argv.push_back(e.machineName);
+    if (e.maxBlockInsts > 0) {
+        spec.argv.push_back("--max-block-insts");
+        spec.argv.push_back(std::to_string(e.maxBlockInsts));
+    }
+    if (e.captureOutliers > 0 && !e.outlierDir.empty()) {
+        spec.argv.push_back("--capture-outliers");
+        spec.argv.push_back(std::to_string(e.captureOutliers));
+        spec.argv.push_back("--outlier-dir");
+        spec.argv.push_back(e.outlierDir);
+    }
+    if (!config_.faultSpec.empty()) {
+        spec.argv.push_back("--fault-inject");
+        spec.argv.push_back(config_.faultSpec);
+    }
+    spec.fds = {{kWorkerReqFd, req[0]}, {kWorkerRespFd, resp[1]}};
+    if (ringFd >= 0)
+        spec.fds.push_back({kWorkerRingFd, ringFd});
+    spec.limits.cpuSeconds = config_.rlimitCpuSeconds;
+    spec.limits.addressSpaceMb = config_.rlimitAsMb;
+
+    bool spawned = false;
+    try {
+        worker.proc = Subprocess::spawn(spec);
+        spawned = true;
+    } catch (const std::exception &e) {
+        log::warn("sandbox worker lane ", worker.lane,
+                  ": spawn failed: ", e.what());
+    }
+    ::close(req[0]);
+    ::close(resp[1]);
+    worker.reqFd = req[1];
+    worker.respFd = resp[0];
+    worker.ringFd = ringFd;
+    worker.ring = ring;
+    worker.buffer.clear();
+    if (!spawned) {
+        retireWorker(worker);
+        engine_.counters().workerSpawnFailures.fetch_add(
+            1, std::memory_order_relaxed);
+        return false;
+    }
+
+    // The ready banner bounds "came up"; its absence (exec failure,
+    // instant death, wedged init) is a spawn failure, not a crash.
+    std::string banner;
+    const ReadStatus st = readLineFd(
+        worker.respFd, worker.buffer, banner,
+        nowNs() + static_cast<std::int64_t>(config_.spawnTimeoutMs) *
+                      kMsNs);
+    if (st != ReadStatus::Line ||
+        banner.find("sandbox_ready") == std::string::npos) {
+        worker.proc.kill(SIGKILL);
+        const SpawnExit exit = worker.proc.wait();
+        log::warn("sandbox worker lane ", worker.lane,
+                  " never became ready (", exit.describe(), ")");
+        retireWorker(worker);
+        engine_.counters().workerSpawnFailures.fetch_add(
+            1, std::memory_order_relaxed);
+        return false;
+    }
+
+    worker.live = true;
+    worker.everLive = true;
+    worker.livePid.store(worker.proc.pid(),
+                         std::memory_order_relaxed);
+    return true;
+}
+
+void
+Supervisor::watchdogLoop()
+{
+    std::unique_lock<std::mutex> lock(stopMu_);
+    while (!stopping_) {
+        stopCv_.wait_for(lock, std::chrono::milliseconds(25));
+        if (stopping_)
+            break;
+        const std::int64_t now = nowNs();
+        for (auto &wp : workers_) {
+            Worker &w = *wp;
+            const std::int64_t killAt =
+                w.killAtNs.load(std::memory_order_acquire);
+            if (killAt == 0 || now <= killAt)
+                continue;
+            const pid_t pid =
+                w.livePid.load(std::memory_order_relaxed);
+            if (pid > 0) {
+                // Flag first so the lane's EOF attributes the kill.
+                w.watchdogKilled.store(true,
+                                       std::memory_order_relaxed);
+                ::kill(pid, SIGKILL);
+            }
+        }
+    }
+}
+
+void
+Supervisor::harvestCrash(Worker &worker, const RequestSpec &spec,
+                         std::uint64_t key, const SpawnExit &exit)
+{
+    obs::flight::record(obs::flight::EventKind::Diag, "svc",
+                        "worker crash", key,
+                        static_cast<std::uint64_t>(
+                            exit.signaled ? exit.sig : 0));
+    if (config_.crashDir.empty() || worker.ring == nullptr ||
+        worker.ring->magic != kCrashRingMagic)
+        return;
+
+    char keyHex[17];
+    std::snprintf(keyHex, sizeof keyHex, "%016llx",
+                  static_cast<unsigned long long>(key));
+
+    // 1. The recovered flight ring: what the worker was doing when it
+    //    died, pulled from shared memory — SIGKILL leaves no other
+    //    trace.
+    {
+        const obs::flight::Recorder &rec = worker.ring->recorder;
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("sched91_crash_ring").value(1);
+        w.key("lane").value(static_cast<std::uint64_t>(worker.lane));
+        w.key("worker_exit").value(exit.describe());
+        w.key("events_total").value(rec.total());
+        w.key("events").beginArray();
+        for (std::size_t i = 0; i < rec.kept(); ++i) {
+            const obs::flight::Event &ev = rec.keptAt(i);
+            w.beginObject();
+            w.key("kind").value(
+                std::string(obs::flight::eventKindName(ev.kind)));
+            w.key("tag").value(boundedString(ev.tag, sizeof ev.tag));
+            w.key("detail").value(
+                boundedString(ev.detail, sizeof ev.detail));
+            w.key("block_key").value(ev.blockKey);
+            w.key("seq").value(static_cast<std::uint64_t>(ev.seq));
+            w.key("a").value(ev.a);
+            w.key("b").value(ev.b);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        const std::string path = config_.crashDir +
+                                 "/crash-ring-req" + keyHex + ".json";
+        std::ofstream out(path);
+        if (out)
+            out << w.take() << '\n';
+        else
+            log::warn("cannot write crash ring '", path, "'");
+    }
+
+    // 2. A replayable bundle: the victim request's source under the
+    //    daemon's configuration, marked as an outlier bundle so
+    //    `sched91 explain` re-runs the killed payload in-process.
+    {
+        obs::OutlierRecord rec;
+        rec.stage = "crash";
+        rec.reason = exit.describe();
+        rec.degraded = true;
+        rec.source = spec.source;
+
+        obs::RunMeta meta;
+        meta.command = "serve";
+        meta.input = spec.id.empty() ? "request" : spec.id;
+        meta.builder = std::string(builderKindName(
+            spec.builder.value_or(config_.engine.builder)));
+        meta.algorithm = std::string(algorithmName(
+            spec.algorithm.value_or(config_.engine.algorithm)));
+        meta.machine = spec.machine.value_or(config_.engine.machineName);
+        meta.policy = std::string(aliasPolicyName(
+            spec.policy.value_or(config_.engine.policy)));
+
+        const std::string path =
+            config_.crashDir + "/crash-req" + keyHex + ".json";
+        std::ofstream out(path);
+        if (out)
+            out << obs::outlierBundleJson(rec, meta) << '\n';
+        else
+            log::warn("cannot write crash bundle '", path, "'");
+    }
+}
+
+Supervisor::DispatchResult
+Supervisor::dispatchAttempt(Worker &worker,
+                            const SandboxEnvelope &envelope,
+                            double remainingSeconds,
+                            std::string &line)
+{
+    const std::string request = sandboxEnvelopeLine(envelope);
+
+    // A dead pipe *before* dispatch means the worker died idle or
+    // never came up; the request has not reached any worker, so this
+    // is respawn territory, not the crash rung.
+    for (int spawnTry = 0;; ++spawnTry) {
+        if (!worker.live) {
+            const bool respawning = worker.everLive;
+            if (!spawnWorker(worker))
+                return DispatchResult::NoWorker;
+            if (respawning)
+                engine_.counters().workerRespawns.fetch_add(
+                    1, std::memory_order_relaxed);
+        }
+        if (writeLineFd(worker.reqFd, request))
+            break;
+        worker.live = false;
+        worker.livePid.store(-1, std::memory_order_relaxed);
+        worker.proc.kill(SIGKILL);
+        worker.proc.wait();
+        if (spawnTry == 1)
+            return DispatchResult::NoWorker;
+    }
+
+    // Arm the watchdog for this attempt.
+    worker.laneKilled = false;
+    worker.watchdogKilled.store(false, std::memory_order_relaxed);
+    const std::int64_t budgetNs =
+        remainingSeconds > 0.0
+            ? static_cast<std::int64_t>(
+                  std::llround(remainingSeconds * 1e9)) +
+                  static_cast<std::int64_t>(config_.deadlineGraceMs) *
+                      kMsNs
+            : static_cast<std::int64_t>(config_.hangTimeoutMs) * kMsNs;
+    const std::int64_t killAt = nowNs() + budgetNs;
+    worker.killAtNs.store(killAt, std::memory_order_release);
+
+    ReadStatus st = readLineFd(worker.respFd, worker.buffer, line,
+                               killAt + kLaneSlackNs);
+    if (st == ReadStatus::Timeout) {
+        // The watchdog is itself wedged (or this is a test with no
+        // watchdog margin): the lane is the backstop.
+        worker.laneKilled = true;
+        worker.proc.kill(SIGKILL);
+        st = ReadStatus::Eof;
+    }
+    worker.killAtNs.store(0, std::memory_order_relaxed);
+    if (st == ReadStatus::Line)
+        return DispatchResult::Answered;
+
+    // The worker died holding this request: reap, account, harvest
+    // forensics, respawn for the lane's next request.
+    worker.live = false;
+    worker.livePid.store(-1, std::memory_order_relaxed);
+    const SpawnExit exit = worker.proc.wait();
+    const bool killed =
+        worker.laneKilled ||
+        worker.watchdogKilled.load(std::memory_order_relaxed);
+    engine_.counters().workerCrashes.fetch_add(
+        1, std::memory_order_relaxed);
+    if (killed)
+        engine_.counters().workerKills.fetch_add(
+            1, std::memory_order_relaxed);
+    log::warn("sandbox worker lane ", worker.lane,
+              " died mid-request (", exit.describe(),
+              killed ? "; watchdog kill)" : ")");
+    harvestCrash(worker, envelope.spec,
+                 fault::fnv1a64(envelope.spec.source), exit);
+    if (spawnWorker(worker))
+        engine_.counters().workerRespawns.fetch_add(
+            1, std::memory_order_relaxed);
+    return DispatchResult::Crashed;
+}
+
+std::string
+Supervisor::process(unsigned lane, const RequestSpec &spec,
+                    double remainingSeconds)
+{
+    Worker &worker = *workers_[lane % workers_.size()];
+    const std::uint64_t key = fault::fnv1a64(spec.source);
+
+    // Validate a machine override in-parent, exactly where the
+    // in-process engine answers "error" — a bad token must not burn
+    // ladder attempts.
+    if (spec.machine) {
+        try {
+            presetByName(*spec.machine);
+        } catch (const std::exception &e) {
+            engine_.counters().error.fetch_add(
+                1, std::memory_order_relaxed);
+            return errorLine(spec.id, e.what());
+        }
+    }
+
+    if (engine_.isQuarantined(key)) {
+        engine_.counters().quarantineHits.fetch_add(
+            1, std::memory_order_relaxed);
+        obs::flight::record(obs::flight::EventKind::Diag, "svc",
+                            "quarantine hit", key);
+        return engine_.degradedLine(spec, /*fromQuarantine=*/true,
+                                    /*attempts=*/0);
+    }
+
+    const BuilderKind requested =
+        spec.builder.value_or(config_.engine.builder);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        SandboxEnvelope env;
+        env.spec = spec;
+        env.spec.builder = attempt == 0 ? requested
+                                        : BuilderKind::TableForward;
+        env.spec.algorithm =
+            spec.algorithm.value_or(config_.engine.algorithm);
+        env.spec.policy = spec.policy.value_or(config_.engine.policy);
+        env.spec.deadlineMs = remainingSeconds > 0.0
+                                  ? remainingSeconds * 1000.0
+                                  : 0.0;
+        env.attempt = attempt;
+        env.downgraded =
+            attempt > 0 && requested != BuilderKind::TableForward;
+
+        std::string line;
+        const DispatchResult r =
+            dispatchAttempt(worker, env, remainingSeconds, line);
+
+        if (r == DispatchResult::Answered) {
+            const Classified c = classifyResponse(line);
+            if (c.status == "ok" || c.status == "degraded") {
+                if (c.deadlineHit)
+                    engine_.counters().deadlineExpired.fetch_add(
+                        1, std::memory_order_relaxed);
+                if (c.status == "ok")
+                    engine_.counters().ok.fetch_add(
+                        1, std::memory_order_relaxed);
+                else
+                    engine_.counters().degraded.fetch_add(
+                        1, std::memory_order_relaxed);
+                return line;
+            }
+            // Status "error": the attempt failed inside the worker —
+            // same ladder as the in-process engine's catch blocks.
+            if (attempt == 0) {
+                engine_.counters().retries.fetch_add(
+                    1, std::memory_order_relaxed);
+                obs::flight::record(obs::flight::EventKind::Diag,
+                                    "svc", "retry: table builder",
+                                    key);
+                log::info("request ", spec.id.empty() ? "?" : spec.id,
+                          ": attempt 0 failed (", c.error,
+                          "); retrying on table builder");
+            } else {
+                obs::flight::record(obs::flight::EventKind::Diag,
+                                    "svc", "quarantine add", key);
+                log::info("request ", spec.id.empty() ? "?" : spec.id,
+                          ": attempt 1 failed (", c.error,
+                          "); degrading to original order");
+            }
+            continue;
+        }
+
+        if (r == DispatchResult::NoWorker) {
+            // Environment failure, not a payload failure: answer the
+            // degraded rung but do not quarantine the content.
+            log::warn("request ", spec.id.empty() ? "?" : spec.id,
+                      ": no sandbox worker on lane ", worker.lane,
+                      "; degrading to original order");
+            return engine_.degradedLine(spec, /*fromQuarantine=*/false,
+                                        attempt);
+        }
+
+        // Crashed: the worker-death rung.  The payload killed a
+        // process — quarantine it and answer original order; a retry
+        // would deterministically crash the replacement too.
+        engine_.addToQuarantine(key);
+        return engine_.degradedLine(spec, /*fromQuarantine=*/false,
+                                    attempt + 1);
+    }
+
+    // Both attempts answered "error": last rung, as in-process.
+    engine_.addToQuarantine(key);
+    engine_.counters().degradedFallbacks.fetch_add(
+        1, std::memory_order_relaxed);
+    return engine_.degradedLine(spec, /*fromQuarantine=*/false,
+                                /*attempts=*/3);
+}
+
+} // namespace sched91::service

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Parent-process side of `sched91 serve --isolate=process`
+ * (docs/ROBUSTNESS.md): a pool of pre-forked sandbox workers, one per
+ * daemon lane, each a subprocess of the CLI binary running the hidden
+ * `__sandbox-worker` command.
+ *
+ * Division of labor:
+ *
+ *  - The *supervisor* owns the resilience ladder — quarantine check,
+ *    attempt sequencing, builder downgrade, last-rung degradation —
+ *    and all service counters, so `--isolate=process` answers with
+ *    exactly the tallies the in-process engine would produce for the
+ *    same seed.
+ *  - A *worker* runs exactly one ladder attempt per dispatch envelope
+ *    (service/sandbox_worker.hh).  Anything that kills it — injected
+ *    SIGSEGV/abort, an rlimit, a watchdog SIGKILL — is contained to
+ *    the one request it was holding.
+ *
+ * Worker death is its own ladder rung: the victim request is answered
+ * degraded to original instruction order, its content hash is
+ * quarantined, `svc.worker_crashes` ticks, and a flight event records
+ * the cause.  Every accepted request is answered exactly once; the
+ * crashed worker is reaped and respawned before the lane takes its
+ * next request.
+ *
+ * Hang containment is layered: a watchdog thread SIGKILLs any worker
+ * busy past its deadline grace (or the idle hang bound when the
+ * request has no deadline); the dispatching lane's poll loop is the
+ * backstop when the watchdog itself is wedged; and RLIMIT_CPU, when
+ * configured, is the kernel's final word.
+ *
+ * Each worker also carries a crash ring — a flight-recorder ring in a
+ * shared memfd — that the supervisor harvests after a death, so even
+ * a SIGKILLed worker leaves `sched91 explain`-able forensics.
+ */
+
+#ifndef SCHED91_SERVICE_SUPERVISOR_HH
+#define SCHED91_SERVICE_SUPERVISOR_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/engine.hh"
+#include "service/protocol.hh"
+#include "support/subprocess.hh"
+
+namespace sched91::service
+{
+
+struct SupervisorConfig
+{
+    /** One worker per daemon lane; lane i talks only to worker i, so
+     * dispatch needs no pool lock. */
+    unsigned workers = 1;
+
+    /** Forwarded to each worker's engine via CLI flags. */
+    EngineConfig engine;
+
+    /** Worker executable; empty = /proc/self/exe.  Tests point this
+     * at the real CLI binary. */
+    std::string workerExe;
+
+    /** Fault-injection spec forwarded to workers (they inherit the
+     * daemon's faults; the supervisor process runs with them too). */
+    std::string faultSpec;
+
+    /** Per-worker RLIMIT_CPU seconds; 0 = unlimited. */
+    int rlimitCpuSeconds = 0;
+
+    /** Per-worker RLIMIT_AS MiB; 0 = unlimited.  Leave 0 under
+     * sanitizers (support/subprocess.hh). */
+    std::size_t rlimitAsMb = 0;
+
+    /** Watchdog bound for requests with no deadline, ms. */
+    int hangTimeoutMs = 10'000;
+
+    /** Watchdog grace past a request's deadline, ms: the in-process
+     * budget rung degrades at the deadline, so a worker healthy
+     * enough to do the same answers before the SIGKILL lands. */
+    int deadlineGraceMs = 500;
+
+    /** How long a fresh worker may take to print its ready banner. */
+    int spawnTimeoutMs = 10'000;
+
+    /** Where crash forensics go (ring dump + replayable bundle);
+     * empty = discard.  The daemon passes engine.outlierDir. */
+    std::string crashDir;
+};
+
+class Supervisor
+{
+  public:
+    /** @p engine is the daemon's in-parent engine: the supervisor
+     * uses its quarantine table, counters, and last-rung answer. */
+    Supervisor(SupervisorConfig config, Engine &engine);
+    ~Supervisor();
+
+    /** Spawn the pool and the watchdog.  A worker that fails to come
+     * up is counted (svc.worker_spawn_failures) and retried at its
+     * lane's first dispatch; start() itself only throws when no
+     * worker executable can be resolved. */
+    void start();
+
+    /** Drain: close request pipes (workers exit 0 on EOF), reap with
+     * a grace period, SIGKILL stragglers, stop the watchdog.
+     * Idempotent. */
+    void stop();
+
+    /**
+     * Run one request through the ladder, each attempt in lane @p
+     * lane's sandbox worker.  Same contract as Engine::process():
+     * returns the response line, never throws.
+     */
+    std::string process(unsigned lane, const RequestSpec &spec,
+                        double remainingSeconds);
+
+    /** Workers respawned so far (smoke/tests). */
+    std::uint64_t respawns() const
+    {
+        return engine_.counters().workerRespawns.load();
+    }
+
+  private:
+    struct Worker;
+
+    bool spawnWorker(Worker &worker);
+    void retireWorker(Worker &worker);
+    void watchdogLoop();
+
+    /** Outcome of one dispatched attempt. */
+    enum class DispatchResult
+    {
+        Answered, ///< got a response line (any status)
+        Crashed,  ///< worker died or was killed mid-attempt
+        NoWorker, ///< worker absent and respawn failed
+    };
+    DispatchResult dispatchAttempt(Worker &worker,
+                                   const SandboxEnvelope &envelope,
+                                   double remainingSeconds,
+                                   std::string &line);
+
+    void harvestCrash(Worker &worker, const RequestSpec &spec,
+                      std::uint64_t key, const SpawnExit &exit);
+
+    SupervisorConfig config_;
+    Engine &engine_;
+    std::string exe_; ///< resolved worker executable
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    std::thread watchdog_;
+    std::mutex stopMu_;
+    std::condition_variable stopCv_;
+    bool stopping_ = false;
+    bool started_ = false;
+};
+
+} // namespace sched91::service
+
+#endif // SCHED91_SERVICE_SUPERVISOR_HH

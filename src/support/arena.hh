@@ -80,12 +80,35 @@ class Arena
             highWater_ = bytesInUse_;
         bytesInUse_ = 0;
         chunkIndex_ = 0;
+        pendingAllocFailure_ = false;
         if (chunks_.empty()) {
             cursor_ = limit_ = 0;
             return;
         }
         cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[0].data.get());
         limit_ = cursor_ + chunks_[0].bytes;
+    }
+
+    /**
+     * Fault injection (support/fault_inject.hh, alloc-fail): make the
+     * next allocation throw std::bad_alloc from *inside* the arena —
+     * the same unwind an exhausted heap would produce mid-build, which
+     * is a different containment path than failing at the pipeline's
+     * build boundary.  Retained chunks make "a new chunk is needed"
+     * depend on which blocks this worker ran before, so firing there
+     * would break the (seed, content) determinism contract; arming at
+     * the block boundary and failing the first allocation keeps the
+     * decision a pure function of the block.  One-shot: the throw (or
+     * the next reset()) clears it and restores the arena to a clean
+     * start-of-block state.
+     */
+    void
+    armAllocFailure()
+    {
+        pendingAllocFailure_ = true;
+        // Force even the fast path through allocateSlow, where the
+        // armed flag is checked: zero hot-path cost when not armed.
+        cursor_ = limit_ = 0;
     }
 
     /** Live bytes handed out since the last reset (without padding). */
@@ -126,6 +149,21 @@ class Arena
     void *
     allocateSlow(std::size_t bytes, std::size_t align)
     {
+        if (pendingAllocFailure_) {
+            // armAllocFailure() zeroed the cursor to route the next
+            // allocation here; restore the start-of-block state so the
+            // degradation path can keep using the arena.
+            pendingAllocFailure_ = false;
+            chunkIndex_ = 0;
+            if (chunks_.empty()) {
+                cursor_ = limit_ = 0;
+            } else {
+                cursor_ = reinterpret_cast<std::uintptr_t>(
+                    chunks_[0].data.get());
+                limit_ = cursor_ + chunks_[0].bytes;
+            }
+            throw std::bad_alloc();
+        }
         // Advance through retained chunks first; grow only when none
         // of them fits (doubling so chunk count stays logarithmic).
         while (chunkIndex_ + 1 < chunks_.size()) {
@@ -165,6 +203,7 @@ class Arena
     std::size_t bytesInUse_ = 0;
     std::size_t totalAllocated_ = 0;
     std::size_t highWater_ = 0;
+    bool pendingAllocFailure_ = false;
 };
 
 /**

@@ -39,6 +39,12 @@ pointName(Point p)
         return "slow-block";
     case Point::AllocFail:
         return "alloc-fail";
+    case Point::CrashSegv:
+        return "crash-segv";
+    case Point::CrashAbort:
+        return "crash-abort";
+    case Point::SpinForever:
+        return "spin-forever";
     case Point::Count_:
         break;
     }
@@ -89,7 +95,8 @@ parseSpec(std::string_view spec)
         if (!matched)
             fatal("fault-inject: unknown key '", key,
                   "' (expected seed, slow-ms, builder-throw, "
-                  "verifier-reject, slow-block, or alloc-fail)");
+                  "verifier-reject, slow-block, alloc-fail, "
+                  "crash-segv, crash-abort, or spin-forever)");
     }
     return config;
 }

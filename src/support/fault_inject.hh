@@ -41,6 +41,15 @@ enum class Point : unsigned
     VerifierReject, ///< independent verifier reports a rejection
     SlowBlock,      ///< block stalls (drives deadline/budget rungs)
     AllocFail,      ///< allocation failure (std::bad_alloc) at build
+
+    // Signal-grade points: these kill (or hang) the process they fire
+    // in — by design, that is the failure being simulated.  They are
+    // survivable only under `sched91 serve --isolate=process`, where
+    // the blast radius is one sandbox worker and the supervisor
+    // answers the victim request degraded.
+    CrashSegv,   ///< raise(SIGSEGV) at the build boundary
+    CrashAbort,  ///< std::abort() at the build boundary
+    SpinForever, ///< runaway loop; only a watchdog SIGKILL ends it
     Count_,
 };
 
@@ -48,7 +57,8 @@ inline constexpr std::size_t kNumPoints =
     static_cast<std::size_t>(Point::Count_);
 
 /** Spec token for a point: "builder-throw", "verifier-reject",
- * "slow-block", "alloc-fail". */
+ * "slow-block", "alloc-fail", "crash-segv", "crash-abort",
+ * "spin-forever". */
 std::string_view pointName(Point p);
 
 /** Injection configuration. */

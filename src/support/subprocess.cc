@@ -1,0 +1,222 @@
+#include "support/subprocess.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace sched91
+{
+
+namespace
+{
+
+/** First fd used when re-homing remap sources out of the target
+ * range; high enough that no sane remap plan targets it. */
+constexpr int kScratchFdBase = 100;
+
+} // namespace
+
+std::string
+SpawnExit::describe() const
+{
+    std::ostringstream os;
+    if (execFailed)
+        os << "exec failed (exit " << code << ")";
+    else if (signaled)
+        os << "signal " << sig;
+    else
+        os << "exit " << code;
+    return os.str();
+}
+
+Subprocess::~Subprocess()
+{
+    if (execStatusFd_ >= 0)
+        ::close(execStatusFd_);
+}
+
+Subprocess &
+Subprocess::operator=(Subprocess &&other) noexcept
+{
+    if (this != &other) {
+        if (execStatusFd_ >= 0)
+            ::close(execStatusFd_);
+        pid_ = other.pid_;
+        execStatusFd_ = other.execStatusFd_;
+        other.pid_ = -1;
+        other.execStatusFd_ = -1;
+    }
+    return *this;
+}
+
+Subprocess
+Subprocess::spawn(const SpawnSpec &spec)
+{
+    if (spec.argv.empty())
+        fatal("subprocess: empty argv");
+
+    // Everything the child touches is materialized pre-fork: after
+    // fork() from a multi-threaded parent only async-signal-safe
+    // calls are legal until exec.
+    std::vector<char *> argvp;
+    argvp.reserve(spec.argv.size() + 1);
+    for (const std::string &arg : spec.argv)
+        argvp.push_back(const_cast<char *>(arg.c_str()));
+    argvp.push_back(nullptr);
+
+    int statusPipe[2];
+    if (::pipe2(statusPipe, O_CLOEXEC) < 0)
+        fatal("subprocess: pipe2(): ", std::strerror(errno));
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        const int err = errno;
+        ::close(statusPipe[0]);
+        ::close(statusPipe[1]);
+        fatal("subprocess: fork(): ", std::strerror(err));
+    }
+
+    if (pid == 0) {
+        // --- Child: async-signal-safe calls only -------------------
+        ::close(statusPipe[0]);
+
+        // Re-home every remap source above the target range so a
+        // source that collides with another mapping's target is not
+        // clobbered mid-plan.
+        int scratch[16];
+        const std::size_t n =
+            spec.fds.size() < 16 ? spec.fds.size() : 16;
+        bool failed = spec.fds.size() > 16;
+        for (std::size_t i = 0; i < n && !failed; ++i) {
+            scratch[i] =
+                ::fcntl(spec.fds[i].second, F_DUPFD, kScratchFdBase);
+            failed = scratch[i] < 0;
+        }
+        for (std::size_t i = 0; i < n && !failed; ++i) {
+            failed = ::dup2(scratch[i], spec.fds[i].first) < 0;
+            ::close(scratch[i]);
+        }
+
+        if (!failed && spec.limits.cpuSeconds > 0) {
+            rlimit rl{};
+            rl.rlim_cur = static_cast<rlim_t>(spec.limits.cpuSeconds);
+            rl.rlim_max =
+                static_cast<rlim_t>(spec.limits.cpuSeconds + 1);
+            failed = ::setrlimit(RLIMIT_CPU, &rl) < 0;
+        }
+        if (!failed && spec.limits.addressSpaceMb > 0) {
+            rlimit rl{};
+            rl.rlim_cur = rl.rlim_max = static_cast<rlim_t>(
+                spec.limits.addressSpaceMb * (1u << 20));
+            failed = ::setrlimit(RLIMIT_AS, &rl) < 0;
+        }
+
+        if (!failed)
+            ::execv(argvp[0], argvp.data());
+
+        // Setup or exec failed: report errno over the CLOEXEC pipe
+        // (a successful exec closes it silently) and die.
+        const int err = errno;
+        (void)!::write(statusPipe[1], &err, sizeof err);
+        ::_exit(127);
+    }
+
+    // --- Parent -----------------------------------------------------
+    ::close(statusPipe[1]);
+    Subprocess child;
+    child.pid_ = pid;
+    child.execStatusFd_ = statusPipe[0];
+    return child;
+}
+
+void
+Subprocess::kill(int sig) const
+{
+    if (valid())
+        (void)::kill(pid_, sig);
+}
+
+SpawnExit
+Subprocess::finishWait(int status)
+{
+    SpawnExit exit;
+    if (WIFEXITED(status)) {
+        exit.exited = true;
+        exit.code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+        exit.signaled = true;
+        exit.sig = WTERMSIG(status);
+    }
+    // A byte on the status pipe means execv never ran.
+    if (execStatusFd_ >= 0) {
+        int err = 0;
+        ssize_t n;
+        do {
+            n = ::read(execStatusFd_, &err, sizeof err);
+        } while (n < 0 && errno == EINTR);
+        exit.execFailed = n > 0;
+        ::close(execStatusFd_);
+        execStatusFd_ = -1;
+    }
+    pid_ = -1;
+    return exit;
+}
+
+SpawnExit
+Subprocess::wait()
+{
+    if (!valid())
+        return SpawnExit{};
+    int status = 0;
+    pid_t rc;
+    do {
+        rc = ::waitpid(pid_, &status, 0);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        // ECHILD etc.: nothing more to learn.
+        pid_ = -1;
+        return SpawnExit{};
+    }
+    return finishWait(status);
+}
+
+std::optional<SpawnExit>
+Subprocess::tryWait()
+{
+    if (!valid())
+        return SpawnExit{};
+    int status = 0;
+    pid_t rc;
+    do {
+        rc = ::waitpid(pid_, &status, WNOHANG);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0)
+        return std::nullopt;
+    if (rc < 0) {
+        pid_ = -1;
+        return SpawnExit{};
+    }
+    return finishWait(status);
+}
+
+std::string
+selfExePath()
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0)
+        return {};
+    buf[n] = '\0';
+    return buf;
+}
+
+} // namespace sched91

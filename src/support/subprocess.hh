@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Minimal fork/exec subprocess helper for the sandboxed scheduling
+ * service (docs/ROBUSTNESS.md).
+ *
+ * The supervisor pre-forks sandbox workers and must also respawn them
+ * later, from a heavily multi-threaded daemon.  fork() in that setting
+ * leaves the child with whatever locks other threads held, so between
+ * fork and exec the child may only make async-signal-safe calls.
+ * spawn() is built around that constraint: the argv vector, fd
+ * remapping plan, and rlimits are all materialized into plain arrays
+ * *before* the fork, and the child does nothing but dup2/setrlimit/
+ * execv/_exit.
+ *
+ * Exec failures are detected via a CLOEXEC status pipe: a successful
+ * exec closes it silently; a failed one writes errno before _exit, so
+ * the parent distinguishes "worker never came up" from "worker came up
+ * and died" without guessing at exit codes.
+ */
+
+#ifndef SCHED91_SUPPORT_SUBPROCESS_HH
+#define SCHED91_SUPPORT_SUBPROCESS_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace sched91
+{
+
+/** Per-child resource limits; 0 = leave unlimited. */
+struct SpawnLimits
+{
+    /** RLIMIT_CPU in seconds: a runaway worker gets SIGXCPU/SIGKILL
+     * from the kernel even if every watchdog is asleep. */
+    int cpuSeconds = 0;
+
+    /** RLIMIT_AS in MiB.  Caution: ASan reserves terabytes of shadow
+     * address space, so sanitizer builds must leave this 0. */
+    std::size_t addressSpaceMb = 0;
+};
+
+/** Everything spawn() needs, materialized before the fork. */
+struct SpawnSpec
+{
+    /** argv[0] is the executable path (execv, no PATH search). */
+    std::vector<std::string> argv;
+
+    /** fd remapping plan: each {childFd, parentFd} makes the parent's
+     * fd visible to the child *as* childFd (dup2 clears CLOEXEC).
+     * Parent fds are re-homed above the target range first, so plans
+     * whose sources collide with targets stay correct. */
+    std::vector<std::pair<int, int>> fds;
+
+    SpawnLimits limits;
+};
+
+/** How a child ended, from waitpid(2). */
+struct SpawnExit
+{
+    bool exited = false;   ///< normal _exit/exit
+    int code = 0;          ///< exit code when exited
+    bool signaled = false; ///< killed by a signal
+    int sig = 0;           ///< the signal when signaled
+    bool execFailed = false; ///< exec never happened (status pipe)
+
+    /** "exit 0" / "signal 9" / "exec failed: ..." for logs. */
+    std::string describe() const;
+};
+
+/** One spawned child.  Movable; the destructor does NOT kill or reap
+ * (the owner decides), it only closes the status-pipe fd. */
+class Subprocess
+{
+  public:
+    Subprocess() = default;
+    ~Subprocess();
+
+    Subprocess(Subprocess &&other) noexcept { *this = std::move(other); }
+    Subprocess &operator=(Subprocess &&other) noexcept;
+    Subprocess(const Subprocess &) = delete;
+    Subprocess &operator=(const Subprocess &) = delete;
+
+    /**
+     * Fork and exec.  Throws FatalError only for parent-side setup
+     * failures (pipe/fork); an exec failure in the child is reported
+     * through wait() (execFailed) instead, since it happens after the
+     * fork already succeeded.
+     */
+    static Subprocess spawn(const SpawnSpec &spec);
+
+    bool valid() const { return pid_ > 0; }
+    pid_t pid() const { return pid_; }
+
+    /** Send a signal; no-op when not valid(). */
+    void kill(int sig) const;
+
+    /** Blocking waitpid; marks the handle reaped. */
+    SpawnExit wait();
+
+    /** Non-blocking waitpid; nullopt while the child still runs. */
+    std::optional<SpawnExit> tryWait();
+
+  private:
+    SpawnExit finishWait(int status);
+
+    pid_t pid_ = -1;
+    int execStatusFd_ = -1; ///< CLOEXEC pipe read end; -1 once checked
+};
+
+/** /proc/self/exe, or empty when unreadable. */
+std::string selfExePath();
+
+} // namespace sched91
+
+#endif // SCHED91_SUPPORT_SUBPROCESS_HH

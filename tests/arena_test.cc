@@ -116,6 +116,50 @@ TEST(ArenaVector, GrowsInsideArena)
     EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0u), 999u * 1000u / 2u);
 }
 
+TEST(Arena, ArmedAllocFailureThrowsOnceThenRecovers)
+{
+    Arena arena(256);
+    // Warm the arena so recovery lands back in a retained chunk.
+    arena.allocate(64, 8);
+    arena.reset();
+
+    arena.armAllocFailure();
+    EXPECT_THROW(arena.allocate(16, 8), std::bad_alloc);
+
+    // One-shot: the throw restored a clean start-of-block state and
+    // the arena is immediately usable again.
+    void *p = arena.allocate(16, 8);
+    ASSERT_NE(p, nullptr);
+    EXPECT_THROW(
+        {
+            arena.armAllocFailure();
+            arena.allocate(1, 1);
+        },
+        std::bad_alloc);
+    EXPECT_NE(arena.allocate(32, 8), nullptr);
+}
+
+TEST(Arena, ResetDisarmsAllocFailure)
+{
+    Arena arena;
+    arena.armAllocFailure();
+    arena.reset();
+    // The armed failure must not leak into the next block.
+    EXPECT_NE(arena.allocate(8, 8), nullptr);
+}
+
+TEST(Arena, ArmedFailureOnVirginArenaLeavesItUsable)
+{
+    // No chunks exist yet: the recovery path must handle the empty
+    // case (cursor back to zero) and the next allocation grows a
+    // chunk normally.
+    Arena arena(128);
+    arena.armAllocFailure();
+    EXPECT_THROW(arena.allocate(8, 8), std::bad_alloc);
+    EXPECT_NE(arena.allocate(8, 8), nullptr);
+    EXPECT_EQ(arena.numChunks(), 1u);
+}
+
 TEST(ArenaVector, MoveAssignmentPropagatesAllocator)
 {
     // The DAG builders install arena storage by move-assigning an

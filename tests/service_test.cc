@@ -117,6 +117,31 @@ TEST(FaultInject, SpecRoundTripsAndValidates)
     EXPECT_THROW(fault::parseSpec("builder-throw=1.5"), FatalError);
 }
 
+TEST(FaultInject, SignalGradePointsParseAndRoundTrip)
+{
+    // The `--isolate=process` faults: these kill or wedge the whole
+    // worker process rather than throwing, so they are parsed and
+    // forwarded (via specString) to sandbox workers like any other
+    // point.
+    FaultGuard guard;
+    fault::Config config = fault::parseSpec(
+        "seed=9,crash-segv=0.5,crash-abort=0.25,spin-forever=0.1");
+    EXPECT_DOUBLE_EQ(
+        config.rate[static_cast<std::size_t>(fault::Point::CrashSegv)],
+        0.5);
+    EXPECT_DOUBLE_EQ(
+        config.rate[static_cast<std::size_t>(fault::Point::CrashAbort)],
+        0.25);
+    EXPECT_DOUBLE_EQ(
+        config.rate[static_cast<std::size_t>(
+            fault::Point::SpinForever)],
+        0.1);
+
+    fault::Config again = fault::parseSpec(fault::specString(config));
+    EXPECT_EQ(again.rate, config.rate);
+    EXPECT_EQ(again.seed, config.seed);
+}
+
 TEST(FaultInject, DecisionsAreDeterministicAndSaltSensitive)
 {
     FaultGuard guard;
@@ -276,6 +301,62 @@ TEST(Protocol, ResponseLinesRoundTripThroughTheJsonParser)
     doc = obs::parseJson(service::errorLine("", "bad token"));
     EXPECT_EQ(doc.strOr("status", ""), "error");
     EXPECT_EQ(doc.strOr("error", ""), "bad token");
+}
+
+TEST(Protocol, DeadlineHitIsEmittedOnlyWhenTrue)
+{
+    // The supervisor attributes deadline expiry across the process
+    // boundary from this field, so a degraded-on-budget response must
+    // carry it and the common case must not pay for the key.
+    service::ResponseBody body;
+    body.status = "degraded";
+    body.deadlineHit = true;
+    obs::JsonValue doc =
+        obs::parseJson(service::responseLine("r1", body));
+    EXPECT_TRUE(doc.at("deadline_hit").boolean());
+
+    body.deadlineHit = false;
+    doc = obs::parseJson(service::responseLine("r1", body));
+    EXPECT_FALSE(doc.has("deadline_hit"));
+}
+
+TEST(Protocol, SandboxEnvelopeRoundTripsAndStaysAValidRequest)
+{
+    service::SandboxEnvelope env;
+    env.spec.id = "e7";
+    env.spec.source = "add %g1, %g2, %g3\n";
+    env.spec.builder = BuilderKind::TableForward;
+    env.spec.algorithm = AlgorithmKind::SimpleForward;
+    env.spec.deadlineMs = 125.0;
+    env.spec.evaluate = true;
+    env.attempt = 1;
+    env.downgraded = true;
+
+    std::string line = service::sandboxEnvelopeLine(env);
+
+    std::string error;
+    std::optional<service::SandboxEnvelope> back =
+        service::parseSandboxEnvelopeLine(line, error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->spec.id, "e7");
+    EXPECT_EQ(back->spec.source, env.spec.source);
+    EXPECT_EQ(*back->spec.builder, BuilderKind::TableForward);
+    EXPECT_DOUBLE_EQ(back->spec.deadlineMs, 125.0);
+    EXPECT_TRUE(back->spec.evaluate);
+    EXPECT_EQ(back->attempt, 1);
+    EXPECT_TRUE(back->downgraded);
+
+    // The envelope is a plain request line plus extra keys: ordinary
+    // protocol consumers parse it and ignore the ladder fields.
+    std::optional<service::RequestSpec> asRequest =
+        service::parseRequestLine(line, error);
+    ASSERT_TRUE(asRequest.has_value()) << error;
+    EXPECT_EQ(asRequest->id, "e7");
+    EXPECT_EQ(*asRequest->builder, BuilderKind::TableForward);
+
+    // Malformed envelopes answer "error", not UB.
+    EXPECT_FALSE(service::parseSandboxEnvelopeLine("not json", error));
+    EXPECT_FALSE(error.empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -4,11 +4,18 @@
  * coverage of the index range at various thread/chunk geometries,
  * caller participation on the single-lane serial path, exception
  * propagation, and pool reuse across parallelFor calls.
+ *
+ * Also holds the BoundedQueue shutdown-ordering races (this binary is
+ * the one CI pins under ThreadSanitizer): producers hammering
+ * tryPush() while close() lands must never lose or duplicate an
+ * accepted item, and every blocked consumer must wake and drain.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -16,6 +23,7 @@
 
 #include "obs/counters.hh"
 #include "obs/events.hh"
+#include "service/bounded_queue.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
 
@@ -192,6 +200,106 @@ TEST(ThreadPool, ZeroThreadsClampsToOne)
 TEST(ThreadPool, HardwareConcurrencyNonZero)
 {
     EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+// --- BoundedQueue shutdown-ordering races ---------------------------
+//
+// The daemon's drain path closes the queue while connection readers
+// are still mid-tryPush and worker lanes are blocked in pop().  The
+// accounting contract under that race: every tryPush that returned
+// true is popped exactly once, every tryPush after close returns
+// false, and no consumer stays blocked.
+
+TEST(BoundedQueue, CloseRaceLosesNothingAccepted)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 2000;
+
+    for (int round = 0; round < 8; ++round) {
+        service::BoundedQueue<int> queue(16);
+        std::atomic<std::uint64_t> acceptedSum{0}, poppedSum{0};
+        std::atomic<std::uint64_t> accepted{0}, popped{0};
+        std::atomic<int> producersLive{kProducers};
+        std::atomic<bool> go{false};
+
+        std::vector<std::thread> producers;
+        for (int p = 0; p < kProducers; ++p)
+            producers.emplace_back([&, p] {
+                while (!go.load(std::memory_order_acquire)) {
+                }
+                for (int i = 0; i < kPerProducer; ++i) {
+                    int item = p * kPerProducer + i + 1;
+                    if (queue.tryPush(item)) {
+                        acceptedSum.fetch_add(
+                            static_cast<std::uint64_t>(item),
+                            std::memory_order_relaxed);
+                        accepted.fetch_add(1,
+                                           std::memory_order_relaxed);
+                    }
+                    // A rejected push after close must stay rejected.
+                    else if (queue.closed()) {
+                        EXPECT_FALSE(queue.tryPush(item));
+                    }
+                }
+                producersLive.fetch_sub(1, std::memory_order_relaxed);
+            });
+
+        std::vector<std::thread> consumers;
+        for (int c = 0; c < kConsumers; ++c)
+            consumers.emplace_back([&] {
+                while (std::optional<int> item = queue.pop()) {
+                    poppedSum.fetch_add(
+                        static_cast<std::uint64_t>(*item),
+                        std::memory_order_relaxed);
+                    popped.fetch_add(1, std::memory_order_relaxed);
+                }
+            });
+
+        go.store(true, std::memory_order_release);
+        // Land close() in the middle of the production burst so some
+        // producers see it mid-loop and some consumers are blocked in
+        // pop() when it arrives.  (Bail to close() early if rejects
+        // ate the burst — consumers would otherwise block forever.)
+        while (popped.load(std::memory_order_relaxed) <
+                   kPerProducer / 2 &&
+               producersLive.load(std::memory_order_relaxed) > 0) {
+        }
+        queue.close();
+
+        for (std::thread &t : producers)
+            t.join();
+        for (std::thread &t : consumers)
+            t.join();
+
+        // Whatever was accepted was delivered: exactly once, in full.
+        EXPECT_EQ(accepted.load(), popped.load());
+        EXPECT_EQ(acceptedSum.load(), poppedSum.load());
+        EXPECT_EQ(queue.size(), 0u);
+        EXPECT_FALSE(queue.tryPush(0));
+        EXPECT_EQ(queue.pop(), std::nullopt);
+    }
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers)
+{
+    service::BoundedQueue<int> queue(4);
+    constexpr int kConsumers = 6;
+    std::atomic<int> woke{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c)
+        consumers.emplace_back([&] {
+            while (queue.pop())
+            {
+            }
+            woke.fetch_add(1);
+        });
+    // All consumers are (eventually) blocked on an empty open queue;
+    // close() alone must release every one of them.
+    queue.close();
+    for (std::thread &t : consumers)
+        t.join();
+    EXPECT_EQ(woke.load(), kConsumers);
 }
 
 } // namespace

@@ -13,6 +13,12 @@
 #     ok/degraded/rejected tallies on a fresh daemon — fault decisions
 #     are pure functions of (seed, block content), never of timing.
 #
+# A third cycle reruns the soak under `--isolate=process` with
+# signal-grade faults armed (crash-segv, spin-forever): sandbox
+# workers die mid-request and the supervisor must still answer every
+# request exactly once (victims degraded), respawn the pool, and
+# reproduce the same tallies on a same-seed replay.
+#
 # Runs the whole matrix at two injection seeds.  Usage:
 #
 #   tools/run_daemon_smoke.sh [builddir]     # default: build
@@ -21,7 +27,11 @@ set -u
 builddir=${1:-build}
 cli=$builddir/tools/sched91
 soak=$builddir/tools/soak_client
-workdir=$(mktemp -d /tmp/sched91-smoke.XXXXXX)
+# AF_UNIX socket paths are capped near 108 bytes, so prefer a short
+# /tmp base; honor TMPDIR only when it stays within budget.
+tmpbase=${TMPDIR:-/tmp}
+[ ${#tmpbase} -gt 60 ] && tmpbase=/tmp
+workdir=$(mktemp -d "$tmpbase/sched91-smoke.XXXXXX")
 fails=0
 
 [ -x "$cli" ] || { echo "FAIL: $cli not built" >&2; exit 1; }
@@ -107,6 +117,65 @@ EOF
     grep '^soak_client:' "$workdir/soak-$tag.out"
 }
 
+# One crash cycle: serve --isolate=process with signal-grade faults
+# armed, soak (victims must come back degraded, never lost), SIGINT
+# drain, then assert the supervisor's isolation tallies.
+run_crash_cycle() {
+    local seed=$1 tag=$2
+    local sock=$workdir/crash-$tag.sock
+    local stats=$workdir/stats-crash-$tag.json
+    local spec="seed=$seed,crash-segv=0.25,spin-forever=0.08"
+    spec="$spec,alloc-fail=0.1"
+
+    "$cli" serve --socket "$sock" --queue-capacity 32 --threads 2 \
+        --isolate process --isolate-hang-ms 1500 \
+        --fault-inject "$spec" --stats-json "$stats" \
+        2>"$workdir/crash-$tag.err" &
+    daemon_pid=$!
+
+    if ! wait_for_socket "$sock"; then
+        echo "FAIL: isolated daemon (seed $seed) never bound $sock" >&2
+        cat "$workdir/crash-$tag.err" >&2
+        fails=$((fails + 1))
+        kill "$daemon_pid" 2>/dev/null
+        wait "$daemon_pid" 2>/dev/null
+        daemon_pid=
+        return
+    fi
+
+    "$soak" --socket "$sock" --requests 32 --connections 4 \
+        --pipeline 4 --seed 7 --expect-degraded \
+        --timeout-ms 60000 >"$workdir/crash-soak-$tag.out"
+    check "crash-soak contract (seed $seed)" 0 $?
+
+    kill -INT "$daemon_pid"
+    wait "$daemon_pid"
+    check "isolated daemon drain on SIGINT (seed $seed)" 0 $?
+    daemon_pid=
+
+    python3 - "$stats" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['sched91_serve_stats'] == 1
+assert d['meta'].get('isolate') == 'process', 'isolation was not armed'
+s = d['service']
+assert s['accepted'] == s['ok'] + s['degraded'] + s['error'], \
+    f"accepted {s['accepted']} != answered " \
+    f"{s['ok'] + s['degraded'] + s['error']}: a request was lost"
+assert s['error'] == 0, f"{s['error']} well-formed requests errored"
+assert s['worker_crashes'] > 0, 'no sandbox worker ever crashed'
+assert s['worker_respawns'] > 0, 'crashed workers were not respawned'
+assert s['degraded'] >= s['worker_crashes'] > 0, \
+    'crash victims were not answered degraded'
+print(f"ok: isolation stats (accepted {s['accepted']}, "
+      f"degraded {s['degraded']}, crashes {s['worker_crashes']}, "
+      f"kills {s['worker_kills']}, respawns {s['worker_respawns']})")
+EOF
+    check "isolation stats document (seed $seed)" 0 $?
+
+    grep '^soak_client:' "$workdir/crash-soak-$tag.out"
+}
+
 for seed in 42 1337; do
     run_cycle "$seed" "$seed"
 done
@@ -120,6 +189,20 @@ if ! diff <(grep '^soak_client:' "$workdir/soak-42.out") \
     fails=$((fails + 1))
 else
     echo "ok: seed 42 tallies reproduce exactly"
+fi
+
+# Crash isolation: the same contract must hold when the faults are
+# signal-grade and the ladder runs in sandboxed subprocesses, and a
+# same-seed replay must reproduce the tallies exactly even though
+# workers are crashing and respawning throughout.
+run_crash_cycle 42 42
+run_crash_cycle 42 42-replay
+if ! diff <(grep '^soak_client:' "$workdir/crash-soak-42.out") \
+          <(grep '^soak_client:' "$workdir/crash-soak-42-replay.out"); then
+    echo "FAIL: isolated seed 42 tallies differ between runs" >&2
+    fails=$((fails + 1))
+else
+    echo "ok: isolated seed 42 tallies reproduce exactly"
 fi
 
 if [ "$fails" -ne 0 ]; then

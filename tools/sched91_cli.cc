@@ -69,6 +69,10 @@
  *     --socket <path>       AF_UNIX socket (default /tmp/sched91.sock)
  *     --queue-capacity <N>  admission queue depth (default 64)
  *     --deadline-ms <ms>    default per-request deadline (0 = none)
+ *     --isolate <mode>      none | process: sandboxed worker
+ *                           subprocesses with supervisor respawn
+ *     --isolate-hang-ms / --isolate-rlimit-cpu /
+ *     --isolate-rlimit-as-mb   watchdog and rlimit bounds per worker
  *
  * Exit codes: 0 success (including lenient recovery), 1 runtime
  * error, 2 usage error.
@@ -100,6 +104,8 @@
 #include "core/backend.hh"
 #include "sched/timeline.hh"
 #include "service/daemon.hh"
+#include "service/protocol.hh"
+#include "service/sandbox_worker.hh"
 #include "support/cancellation.hh"
 #include "support/diagnostics.hh"
 #include "support/fault_inject.hh"
@@ -170,6 +176,13 @@ struct CliOptions
     std::string socketPath = "/tmp/sched91.sock"; ///< --socket
     int queueCapacity = 64; ///< --queue-capacity
     double deadlineMs = 0.0; ///< --deadline-ms (0 = none)
+
+    // Process isolation (sched91 serve --isolate=process).
+    std::string isolate = "none"; ///< --isolate none|process
+    int isolateHangMs = 10000;    ///< --isolate-hang-ms watchdog bound
+    int isolateRlimitCpu = 0;     ///< --isolate-rlimit-cpu seconds
+    int isolateRlimitAsMb = 0;    ///< --isolate-rlimit-as-mb MiB
+    std::string isolateExe;       ///< --isolate-exe worker binary
 
     bool
     observing() const
@@ -325,6 +338,18 @@ const char kUsage[] =
     "  --threads <N>        worker lanes (0 = hardware concurrency)\n"
     "  --stats-json <path>  final stats document at drain (default\n"
     "                       stdout)\n"
+    "  --isolate <mode>     none (default) | process: run ladder\n"
+    "                       attempts in pre-forked sandbox worker\n"
+    "                       subprocesses; a worker killed by a signal,\n"
+    "                       rlimit, or the hung-worker watchdog costs\n"
+    "                       only its one request (answered degraded,\n"
+    "                       payload quarantined) and is respawned\n"
+    "  --isolate-hang-ms <ms>  watchdog SIGKILL bound for requests\n"
+    "                       with no deadline (default 10000)\n"
+    "  --isolate-rlimit-cpu <s>  per-worker RLIMIT_CPU seconds\n"
+    "                       (0 = unlimited)\n"
+    "  --isolate-rlimit-as-mb <MiB>  per-worker RLIMIT_AS (0 =\n"
+    "                       unlimited; keep 0 under sanitizers)\n"
     "\n"
     "exit codes: 0 success (including lenient recovery and a clean\n"
     "drain), 1 runtime error, 2 usage error\n";
@@ -441,7 +466,25 @@ parseArgs(int argc, char **argv)
             opts.deadlineMs = std::atof(next().c_str());
             if (opts.deadlineMs < 0.0)
                 usageError("--deadline-ms must be >= 0");
-        } else if (!arg.empty() && arg[0] != '-')
+        } else if (arg == "--isolate") {
+            opts.isolate = next();
+            if (opts.isolate != "none" && opts.isolate != "process")
+                usageError("--isolate expects 'none' or 'process'");
+        } else if (arg == "--isolate-hang-ms") {
+            opts.isolateHangMs = std::atoi(next().c_str());
+            if (opts.isolateHangMs <= 0)
+                usageError("--isolate-hang-ms needs a positive bound");
+        } else if (arg == "--isolate-rlimit-cpu") {
+            opts.isolateRlimitCpu = std::atoi(next().c_str());
+            if (opts.isolateRlimitCpu < 0)
+                usageError("--isolate-rlimit-cpu must be >= 0");
+        } else if (arg == "--isolate-rlimit-as-mb") {
+            opts.isolateRlimitAsMb = std::atoi(next().c_str());
+            if (opts.isolateRlimitAsMb < 0)
+                usageError("--isolate-rlimit-as-mb must be >= 0");
+        } else if (arg == "--isolate-exe")
+            opts.isolateExe = next();
+        else if (!arg.empty() && arg[0] != '-')
             opts.input = arg;
         else
             usageError("unknown option '", arg,
@@ -1215,6 +1258,12 @@ cmdServe(const CliOptions &opts)
     cfg.engine.maxBlockInsts = opts.maxBlockInsts;
     cfg.engine.captureOutliers = opts.captureOutliers;
     cfg.engine.outlierDir = opts.outlierDir;
+    cfg.isolateProcess = opts.isolate == "process";
+    cfg.isolateHangMs = opts.isolateHangMs;
+    cfg.isolateRlimitCpu = opts.isolateRlimitCpu;
+    cfg.isolateRlimitAsMb =
+        static_cast<std::size_t>(opts.isolateRlimitAsMb);
+    cfg.sandboxWorkerExe = opts.isolateExe;
 
     service::Daemon daemon(cfg);
     g_daemon = &daemon;
@@ -1279,11 +1328,72 @@ cmdReduce(const CliOptions &opts)
     return 0;
 }
 
+/**
+ * Hidden command: the child side of `sched91 serve --isolate=process`
+ * (service/sandbox_worker.hh).  Spawned only by the supervisor, which
+ * generates exactly this flag set — so it parses its own argv (the
+ * fd-plumbing flags are not part of the public CLI) and never prints
+ * usage.
+ */
+int
+cmdSandboxWorker(int argc, char **argv)
+{
+    service::SandboxWorkerConfig cfg;
+    std::string faultSpec;
+    try {
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    fatal("missing value for ", arg);
+                return argv[++i];
+            };
+            if (arg == "--req-fd")
+                cfg.reqFd = std::atoi(next().c_str());
+            else if (arg == "--resp-fd")
+                cfg.respFd = std::atoi(next().c_str());
+            else if (arg == "--ring-fd")
+                cfg.ringFd = std::atoi(next().c_str());
+            else if (arg == "--builder")
+                cfg.engine.builder = service::builderFromToken(next());
+            else if (arg == "--algorithm")
+                cfg.engine.algorithm =
+                    service::algorithmFromToken(next());
+            else if (arg == "--policy")
+                cfg.engine.policy = service::policyFromToken(next());
+            else if (arg == "--machine")
+                cfg.engine.machineName = next();
+            else if (arg == "--max-block-insts")
+                cfg.engine.maxBlockInsts = std::atoi(next().c_str());
+            else if (arg == "--capture-outliers")
+                cfg.engine.captureOutliers = std::atoi(next().c_str());
+            else if (arg == "--outlier-dir")
+                cfg.engine.outlierDir = next();
+            else if (arg == "--fault-inject")
+                faultSpec = next();
+            else
+                fatal("unknown option '", arg, "'");
+        }
+        if (!faultSpec.empty())
+            fault::configure(fault::parseSpec(faultSpec));
+        return service::runSandboxWorker(cfg);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sched91 __sandbox-worker: %s\n",
+                     e.what());
+        return 1;
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Dispatched before parseArgs: the worker's fd-plumbing flags are
+    // internal, not public CLI surface.
+    if (argc >= 2 &&
+        std::strcmp(argv[1], "__sandbox-worker") == 0)
+        return cmdSandboxWorker(argc, argv);
     try {
         CliOptions opts = parseArgs(argc, argv);
         if (opts.flightRecorder || !opts.crashDump.empty()) {

@@ -61,6 +61,8 @@ struct Options
     double deadlineMs = 0.0;
     bool evaluate = false;
     bool includeEmpty = true;
+    bool expectDegraded = false; ///< a crash run with zero degraded
+                                 ///< answers means faults never landed
     int timeoutMs = 30000; ///< silence this long = lost responses
 };
 
@@ -68,7 +70,8 @@ const char kUsage[] =
     "usage: soak_client [--socket <path>] [--requests N]\n"
     "                   [--connections C] [--pipeline K] [--seed S]\n"
     "                   [--corrupt R] [--deadline-ms MS] [--evaluate]\n"
-    "                   [--no-empty] [--timeout-ms MS]\n";
+    "                   [--no-empty] [--expect-degraded]\n"
+    "                   [--timeout-ms MS]\n";
 
 Options
 parseArgs(int argc, char **argv)
@@ -102,6 +105,8 @@ parseArgs(int argc, char **argv)
             opts.evaluate = true;
         else if (arg == "--no-empty")
             opts.includeEmpty = false;
+        else if (arg == "--expect-degraded")
+            opts.expectDegraded = true;
         else if (arg == "--timeout-ms")
             opts.timeoutMs = std::atoi(next());
         else {
@@ -351,6 +356,10 @@ main(int argc, char **argv)
         out.violations.push_back(
             "answered " + std::to_string(answered) + " of " +
             std::to_string(opts.requests) + " requests");
+    if (opts.expectDegraded && out.degraded.load() == 0)
+        out.violations.push_back(
+            "--expect-degraded: no degraded responses — the injected "
+            "faults never fired");
     if (out.violations.empty())
         return 0;
     for (const std::string &v : out.violations)
