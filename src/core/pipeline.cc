@@ -164,6 +164,8 @@ blockSourceText(const BlockView &block)
     return out;
 }
 
+} // namespace
+
 /**
  * Serializes the global counter-registry bracket (start snapshot,
  * post-join flush, delta) across concurrent runPipeline calls — the
@@ -173,7 +175,9 @@ blockSourceText(const BlockView &block)
  * per event.  Under concurrency the registry delta attributes
  * overlapping runs' work to whichever run reads it first; per-request
  * counter attribution is therefore approximate in the daemon (the
- * global totals stay exact).
+ * global totals stay exact).  Exposed (core/pipeline.hh) so the
+ * daemon's live stats endpoint can snapshot the registry without
+ * racing a concurrent post-join flush.
  */
 std::mutex &
 registryBracketMutex()
@@ -181,8 +185,6 @@ registryBracketMutex()
     static std::mutex mu;
     return mu;
 }
-
-} // namespace
 
 ProgramResult
 runPipeline(Program &prog, const MachineModel &machine,
@@ -791,6 +793,7 @@ runPipeline(Program &prog, const MachineModel &machine,
         result.buildSeconds += out.buildSeconds;
         result.heurSeconds += out.heurSeconds;
         result.schedSeconds += out.schedSeconds;
+        result.verifySeconds += out.verifySeconds;
         result.dagStats.merge(out.dagStats);
         result.cyclesOriginal += out.cyclesOriginal;
         result.cyclesScheduled += out.cyclesScheduled;

@@ -27,6 +27,7 @@
 #define SCHED91_CORE_PIPELINE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -204,6 +205,7 @@ struct ProgramResult
     double buildSeconds = 0.0;
     double heurSeconds = 0.0;
     double schedSeconds = 0.0;
+    double verifySeconds = 0.0;
 
     double
     totalSeconds() const
@@ -282,6 +284,15 @@ struct ProgramResult
  */
 ProgramResult runPipeline(Program &prog, const MachineModel &machine,
                           const PipelineOptions &opts);
+
+/**
+ * Mutex serializing global counter-registry brackets (start snapshot,
+ * post-join flush) across concurrent runPipeline calls.  External
+ * hosts that snapshot the registry while pipelines may be running —
+ * the daemon's live `stats` endpoint — take the same lock so they
+ * never read a half-flushed reduction.
+ */
+std::mutex &registryBracketMutex();
 
 /** Single-block result: the annotated DAG and its schedule. */
 struct BlockScheduleResult

@@ -1,6 +1,9 @@
 #include "obs/chrome_trace.hh"
 
+#include <algorithm>
 #include <map>
+#include <tuple>
+#include <utility>
 
 #include "obs/json.hh"
 
@@ -50,6 +53,113 @@ ChromeTraceSink::close()
     }
     w.endArray().endObject();
     *out_ << w.take() << '\n';
+}
+
+// --- Service span log ------------------------------------------------
+
+void
+ServiceTraceLog::record(ServiceSpan span)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    spans_.push_back(std::move(span));
+}
+
+std::size_t
+ServiceTraceLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+}
+
+std::uint64_t
+ServiceTraceLog::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+std::string
+ServiceTraceLog::chromeJson(bool zeroTimes) const
+{
+    std::vector<ServiceSpan> spans;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        spans = spans_;
+    }
+    // Group each request's tree together, outermost span first.
+    std::stable_sort(
+        spans.begin(), spans.end(),
+        [](const ServiceSpan &a, const ServiceSpan &b) {
+            return std::tie(a.traceId, a.startNs, a.worker) <
+                   std::tie(b.traceId, b.startNs, b.worker);
+        });
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+    for (const ServiceSpan &s : spans) {
+        const double ts =
+            zeroTimes ? 0.0 : static_cast<double>(s.startNs) / 1e3;
+        const double dur =
+            zeroTimes ? 0.0 : static_cast<double>(s.durNs) / 1e3;
+        w.beginObject()
+            .key("name").value(s.name)
+            .key("cat").value("svc")
+            .key("ph").value("X")
+            .key("ts").value(ts)
+            .key("dur").value(dur)
+            .key("pid").value(std::uint64_t{0})
+            .key("tid").value(
+                static_cast<std::uint64_t>(zeroTimes ? 0 : s.lane));
+        w.key("args").beginObject();
+        w.key("trace_id").value(s.traceId);
+        if (s.rung >= 0)
+            w.key("rung").value(s.rung);
+        if (!s.note.empty())
+            w.key("note").value(s.note);
+        if (s.worker)
+            w.key("worker").value(true);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray().endObject();
+    return w.take();
+}
+
+std::uint64_t
+RequestTrace::nowNs() const
+{
+    const auto now = std::chrono::steady_clock::now();
+    if (now <= epoch)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                             epoch)
+            .count());
+}
+
+void
+RequestTrace::span(std::string_view name, int rung,
+                   std::uint64_t startNs, std::uint64_t endNs,
+                   std::string_view note, bool worker) const
+{
+    if (!log)
+        return;
+    ServiceSpan s;
+    s.traceId = traceId;
+    s.name = std::string(name);
+    s.note = std::string(note);
+    s.lane = lane;
+    s.rung = rung;
+    s.startNs = startNs;
+    s.durNs = endNs > startNs ? endNs - startNs : 0;
+    s.worker = worker;
+    log->record(std::move(s));
 }
 
 } // namespace sched91::obs

@@ -103,10 +103,8 @@ CounterRegistry::global()
 }
 
 std::size_t
-CounterRegistry::add(std::string_view name, CounterKind kind)
+CounterRegistry::addLocked(std::string_view name, CounterKind kind)
 {
-    if (index_.find(name) != index_.end())
-        panic("duplicate counter '", std::string(name), "'");
     std::size_t id = names_.size();
     names_.emplace_back(name);
     kinds_.push_back(kind);
@@ -116,17 +114,41 @@ CounterRegistry::add(std::string_view name, CounterKind kind)
 }
 
 std::size_t
-CounterRegistry::getOrAdd(std::string_view name, CounterKind kind)
+CounterRegistry::findLocked(std::string_view name) const
 {
     auto it = index_.find(name);
-    return it != index_.end() ? it->second : add(name, kind);
+    return it != index_.end() ? it->second : npos;
+}
+
+std::size_t
+CounterRegistry::add(std::string_view name, CounterKind kind)
+{
+    std::lock_guard<std::mutex> lock(regMu_);
+    if (index_.find(name) != index_.end())
+        panic("duplicate counter '", std::string(name), "'");
+    return addLocked(name, kind);
+}
+
+std::size_t
+CounterRegistry::getOrAdd(std::string_view name, CounterKind kind)
+{
+    std::lock_guard<std::mutex> lock(regMu_);
+    std::size_t id = findLocked(name);
+    return id != npos ? id : addLocked(name, kind);
 }
 
 std::size_t
 CounterRegistry::find(std::string_view name) const
 {
-    auto it = index_.find(name);
-    return it != index_.end() ? it->second : npos;
+    std::lock_guard<std::mutex> lock(regMu_);
+    return findLocked(name);
+}
+
+std::size_t
+CounterRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(regMu_);
+    return names_.size();
 }
 
 CounterKind
@@ -146,12 +168,14 @@ CounterRegistry::valueByName(std::string_view name) const
 void
 CounterRegistry::resetAll()
 {
+    std::lock_guard<std::mutex> lock(regMu_);
     std::fill(slots_.begin(), slots_.end(), 0);
 }
 
 CounterSet
 CounterRegistry::snapshot() const
 {
+    std::lock_guard<std::mutex> lock(regMu_);
     CounterSet out;
     for (std::size_t id = 0; id < names_.size(); ++id)
         out.set(names_[id], slots_[id]);
@@ -161,6 +185,7 @@ CounterRegistry::snapshot() const
 CounterSet
 CounterRegistry::deltaSince(const CounterSet &before) const
 {
+    std::lock_guard<std::mutex> lock(regMu_);
     CounterSet out;
     for (std::size_t id = 0; id < names_.size(); ++id)
         out.set(names_[id], slots_[id] - before.value(names_[id]));
@@ -223,6 +248,30 @@ CounterShard::flushInto(CounterRegistry &into) const
         else
             into.increment(id, slots_[id]);
     }
+}
+
+CounterSet
+counterSetDelta(const CounterSet &now, const CounterSet &before,
+                const CounterRegistry &registry)
+{
+    CounterSet out;
+    for (const auto &[name, value] : now.items()) {
+        std::uint64_t v = value;
+        if (registry.kindByName(name) == CounterKind::Sum) {
+            const std::uint64_t prev = before.value(name);
+            v = v > prev ? v - prev : 0;
+        }
+        out.set(name, v);
+    }
+    return out;
+}
+
+CounterSet
+SnapshotDeltaTracker::advance(const CounterSet &now)
+{
+    CounterSet delta = counterSetDelta(now, last_, *registry_);
+    last_ = now;
+    return delta;
 }
 
 // --- Thread-active helpers -------------------------------------------

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -117,6 +118,14 @@ class CounterSet
 /**
  * Registry of named counters.  One process-wide instance backs the
  * instrumented library; tests may create private instances.
+ *
+ * Registration and name-indexed reads are internally locked: handles
+ * bind lazily (function-local statics on whatever thread first uses
+ * an instrumented path), and a live telemetry scrape (`sched91
+ * serve`'s stats endpoint) may snapshot the registry at the same
+ * moment.  Id-indexed hot-path accessors (increment, value, kind,
+ * slotAddress) stay lock-free: every per-id container is a deque, so
+ * registration never relocates an existing slot.
  */
 class CounterRegistry
 {
@@ -144,7 +153,7 @@ class CounterRegistry
     /** Id by name, npos when absent. */
     std::size_t find(std::string_view name) const;
 
-    std::size_t size() const { return names_.size(); }
+    std::size_t size() const;
     const std::string &name(std::size_t id) const { return names_[id]; }
     CounterKind kind(std::size_t id) const { return kinds_[id]; }
     std::uint64_t value(std::size_t id) const { return slots_[id]; }
@@ -181,8 +190,14 @@ class CounterRegistry
     std::uint64_t *slotAddress(std::size_t id) { return &slots_[id]; }
 
   private:
-    std::vector<std::string> names_;
-    std::vector<CounterKind> kinds_;
+    std::size_t addLocked(std::string_view name, CounterKind kind);
+    std::size_t findLocked(std::string_view name) const;
+
+    /** Guards registration and the name index; by-id reads need no
+     * lock (deques keep existing elements in place on append). */
+    mutable std::mutex regMu_;
+    std::deque<std::string> names_;
+    std::deque<CounterKind> kinds_;
     std::deque<std::uint64_t> slots_; ///< deque: stable addresses
     std::map<std::string, std::size_t, std::less<>> index_;
 };
@@ -194,6 +209,41 @@ class CounterRegistry
  */
 void mergeCounterSets(CounterSet &into, const CounterSet &from,
                       const CounterRegistry &registry);
+
+/**
+ * Kind-aware delta between two successive snapshots of the same
+ * source: Sum counters subtract (clamped at zero, so a reset source
+ * never yields an underflowed delta), Max gauges report the current
+ * value as-is — a high-water mark has no meaningful subtraction.
+ * Names only present in @p before are dropped (their delta is zero or
+ * meaningless); names unknown to @p registry default to Sum.
+ */
+CounterSet counterSetDelta(const CounterSet &now,
+                           const CounterSet &before,
+                           const CounterRegistry &registry);
+
+/**
+ * Bookkeeping for periodic delta emission (`--snapshot-seconds`):
+ * remembers the previous observation and yields the kind-aware delta
+ * each time a new snapshot arrives.  The first advance() deltas
+ * against zero, so the first emitted snapshot covers everything since
+ * startup.
+ */
+class SnapshotDeltaTracker
+{
+  public:
+    explicit SnapshotDeltaTracker(const CounterRegistry &registry)
+        : registry_(&registry)
+    {
+    }
+
+    /** Delta of @p now against the previous call; remembers @p now. */
+    CounterSet advance(const CounterSet &now);
+
+  private:
+    const CounterRegistry *registry_;
+    CounterSet last_;
+};
 
 /**
  * Thread-private mirror of a registry's slots.  Instrumentation

@@ -177,6 +177,8 @@ programResultJson(const ProgramResult &result, const RunMeta &meta,
         .key("machine").value(meta.machine);
     if (!meta.policy.empty())
         w.key("policy").value(meta.policy);
+    if (!meta.traceId.empty())
+        w.key("trace_id").value(meta.traceId);
     w.endObject();
 
     w.key("blocks").value(static_cast<std::uint64_t>(result.numBlocks))
@@ -330,6 +332,8 @@ outlierBundleJson(const OutlierRecord &record, const RunMeta &meta,
         .key("machine").value(meta.machine);
     if (!meta.policy.empty())
         w.key("policy").value(meta.policy);
+    if (!meta.traceId.empty())
+        w.key("trace_id").value(meta.traceId);
     w.endObject();
     writeOutlierBody(w, record, opts, true);
     w.endObject();

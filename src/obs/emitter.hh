@@ -29,6 +29,10 @@ struct RunMeta
     std::string algorithm;
     std::string machine;
     std::string policy;    ///< alias policy (emitted when non-empty)
+    std::string traceId;   ///< originating service trace id (emitted
+                           ///< when non-empty; lets `sched91 explain`
+                           ///< cross-reference a daemon bundle with
+                           ///< its live trace)
 };
 
 /** Serialization knobs. */

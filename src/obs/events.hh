@@ -150,6 +150,11 @@ inline Counter svcRequestsDegraded{"svc.requests_degraded"};
 /** Requests answered "error" (malformed request JSON). */
 inline Counter svcRequestsError{"svc.requests_error"};
 
+/** Admitted requests shed at queue pickup (deadline already expired)
+ * — the piece that closes the conservation law `accepted == ok +
+ * degraded + error + rejected_after_admit` the soak client asserts. */
+inline Counter svcRejectedAfterAdmit{"svc.rejected_after_admit"};
+
 /** Ladder retries: a failed attempt re-run on the table builder. */
 inline Counter svcRetries{"svc.retries"};
 

@@ -12,8 +12,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "core/pipeline.hh"
+#include "obs/exposition.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/json.hh"
+#include "obs/memory.hh"
 #include "obs/phase.hh"
 #include "service/supervisor.hh"
 #include "support/fault_inject.hh"
@@ -41,6 +44,20 @@ elapsedSeconds(std::chrono::steady_clock::time_point since)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - since)
         .count();
+}
+
+/** Nanoseconds from @p epoch to @p tp, clamped at zero — the span
+ * timebase every trace event shares. */
+std::uint64_t
+nsSince(std::chrono::steady_clock::time_point epoch,
+        std::chrono::steady_clock::time_point tp)
+{
+    const auto d = tp - epoch;
+    if (d.count() <= 0)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+            .count());
 }
 
 } // namespace
@@ -93,7 +110,6 @@ struct Daemon::WorkerSlot
 {
     obs::CounterShard shard{obs::CounterRegistry::global()};
     obs::PhaseProfiler profiler;
-    obs::HistogramSet hists;
     obs::flight::Recorder *flight = nullptr;
 };
 
@@ -127,6 +143,8 @@ Daemon::requestDrain()
 int
 Daemon::run()
 {
+    startTime_ = std::chrono::steady_clock::now();
+
     // --- Socket setup -----------------------------------------------
     if (config_.socketPath.empty())
         fatal("serve: --socket path must not be empty");
@@ -194,6 +212,10 @@ Daemon::run()
               " (", lanes, " worker", lanes == 1 ? "" : "s",
               ", queue depth ", queue_.capacity(), ")");
 
+    // --- Periodic telemetry snapshots -------------------------------
+    if (config_.snapshotSeconds > 0.0 && !config_.snapshotPath.empty())
+        snapshotThread_ = std::thread([this] { snapshotLoop(); });
+
     // --- Serve ------------------------------------------------------
     std::thread acceptor([this] { acceptLoop(); });
     {
@@ -221,6 +243,17 @@ Daemon::run()
     if (supervisor_)
         supervisor_->stop(); // every lane is idle: clean pool drain
 
+    // Snapshot thread last among the live-telemetry producers: its
+    // final tick (emitted on stop) sees every answered request.
+    if (snapshotThread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(snapMu_);
+            snapStop_ = true;
+        }
+        snapCv_.notify_all();
+        snapshotThread_.join();
+    }
+
     // --- Final accounting (single-threaded from here) ---------------
     if (obs::enabled()) {
         engine_.counters().flushToRegistry();
@@ -232,6 +265,7 @@ Daemon::run()
         obs::flight::setExternallyManaged(false);
 
     emitFinalStats();
+    emitFinalTrace();
 
     ::unlink(config_.socketPath.c_str());
     log::info("sched91 serve: drained cleanly (",
@@ -284,6 +318,11 @@ Daemon::handleLine(const std::shared_ptr<Connection> &conn,
 {
     if (line.empty())
         return;
+    // Control lines bypass admission entirely: they are answered here
+    // on the reader thread, so `stats`/`health` stay responsive while
+    // every lane is busy and the queue is shedding.
+    if (handleControlLine(conn, line))
+        return;
     std::string error;
     std::optional<RequestSpec> spec = parseRequestLine(line, error);
     if (!spec) {
@@ -296,6 +335,12 @@ Daemon::handleLine(const std::shared_ptr<Connection> &conn,
     req.spec = std::move(*spec);
     req.conn = conn;
     req.arrival = std::chrono::steady_clock::now();
+    if (req.spec.traceId.empty())
+        req.spec.traceId =
+            "t" + std::to_string(
+                      traceSeq_.fetch_add(1,
+                                          std::memory_order_relaxed) +
+                      1);
     req.deadlineMs = req.spec.deadlineMs > 0.0
                          ? req.spec.deadlineMs
                          : config_.engine.defaultDeadlineMs;
@@ -309,6 +354,42 @@ Daemon::handleLine(const std::shared_ptr<Connection> &conn,
     }
     engine_.counters().accepted.fetch_add(1,
                                           std::memory_order_relaxed);
+}
+
+bool
+Daemon::handleControlLine(const std::shared_ptr<Connection> &conn,
+                          const std::string &line)
+{
+    const ControlRequest ctl = parseControlLine(line);
+    switch (ctl.type) {
+    case ControlType::None:
+        return false;
+    case ControlType::Invalid:
+        conn->writeLine(errorLine(ctl.id, ctl.error));
+        return true;
+    case ControlType::Stats:
+        if (ctl.format == "prometheus") {
+            obs::JsonWriter w;
+            w.beginObject();
+            if (!ctl.id.empty())
+                w.key("id").value(ctl.id);
+            w.key("status").value("ok");
+            w.key("format").value("prometheus");
+            w.key("exposition").value(prometheusDocument());
+            w.endObject();
+            conn->writeLine(w.take());
+        } else {
+            conn->writeLine(statsDocument(ctl.id, nullptr));
+        }
+        return true;
+    case ControlType::Health:
+        conn->writeLine(healthDocument(ctl.id));
+        return true;
+    case ControlType::TraceDump:
+        conn->writeLine(traceDumpDocument(ctl.id));
+        return true;
+    }
+    return false;
 }
 
 void
@@ -374,21 +455,43 @@ Daemon::workerLoop(unsigned lane)
 
     while (std::optional<Request> req = queue_.pop()) {
         const double waited = elapsedSeconds(req->arrival);
-        slot.hists.record("svc.queue_wait_ns",
-                          obs::secondsToNs(waited));
+        {
+            std::lock_guard<std::mutex> lock(publishMu_);
+            publishedHists_.record("svc.queue_wait_ns",
+                                   obs::secondsToNs(waited));
+        }
+
+        // The request's span tree: one timebase (daemon start) for
+        // the whole process group, so parent and worker spans nest.
+        obs::RequestTrace trace;
+        trace.log = &traceLog_;
+        trace.traceId = req->spec.traceId;
+        trace.lane = lane;
+        trace.epoch = startTime_;
+        const std::uint64_t arrivalNs =
+            nsSince(startTime_, req->arrival);
+        const std::uint64_t pickupNs = trace.nowNs();
+        trace.span("queue", -1, arrivalNs, pickupNs);
 
         double remaining = 0.0;
         if (req->deadlineMs > 0.0) {
             remaining = req->deadlineMs / 1000.0 - waited;
             if (remaining <= 0.0) {
                 // Expired while queued: shedding it now is cheaper
-                // and more honest than starting doomed work.
+                // and more honest than starting doomed work.  This is
+                // the admitted-then-shed leg of the conservation law
+                // (accepted == ok + degraded + error +
+                // rejected_after_admit) the soak client checks.
                 engine_.counters().deadlineExpired.fetch_add(
+                    1, std::memory_order_relaxed);
+                engine_.counters().rejectedAfterAdmit.fetch_add(
                     1, std::memory_order_relaxed);
                 engine_.counters().rejected.fetch_add(
                     1, std::memory_order_relaxed);
                 req->conn->writeLine(
                     rejectedLine(req->spec.id, "deadline"));
+                trace.span("request", -1, arrivalNs, trace.nowNs(),
+                           "shed: deadline");
                 continue;
             }
         }
@@ -399,8 +502,9 @@ Daemon::workerLoop(unsigned lane)
         try {
             response = supervisor_
                            ? supervisor_->process(lane, req->spec,
-                                                  remaining)
-                           : engine_.process(req->spec, remaining);
+                                                  remaining, &trace)
+                           : engine_.process(req->spec, remaining,
+                                             &trace);
         } catch (const std::exception &e) {
             // The engine contract is "never throws"; this is the
             // daemon's own last-resort containment.
@@ -408,33 +512,84 @@ Daemon::workerLoop(unsigned lane)
                 1, std::memory_order_relaxed);
             response = errorLine(req->spec.id, e.what());
         }
-        slot.hists.record("svc.request_ns",
-                          obs::secondsToNs(elapsedSeconds(started)));
+        {
+            std::lock_guard<std::mutex> lock(publishMu_);
+            publishedHists_.record(
+                "svc.request_ns",
+                obs::secondsToNs(elapsedSeconds(started)));
+        }
+        trace.span("request", -1, arrivalNs, trace.nowNs());
         req->conn->writeLine(response);
     }
 }
 
-void
-Daemon::emitFinalStats()
+obs::CounterSet
+Daemon::liveCounters()
 {
-    if (config_.statsPath.empty())
-        return;
+    obs::CounterSet set;
+    if (obs::enabled()) {
+        obs::CounterSet now;
+        {
+            // The pipeline's post-join reduction flushes shards into
+            // the global registry under this lock; taking it makes a
+            // mid-run snapshot consistent instead of half-reduced.
+            std::lock_guard<std::mutex> lock(registryBracketMutex());
+            now = obs::CounterRegistry::global().snapshot();
+        }
+        set = counterSetDelta(now, statsBefore_,
+                              obs::CounterRegistry::global());
+    }
+    // svc.* tallies live in plain atomics until the drain-time flush;
+    // overlay them so live scrapes and the final document agree.
+    const SvcCounters &c = engine_.counters();
+    set.set("svc.requests_accepted", c.accepted.load());
+    set.set("svc.requests_rejected", c.rejected.load());
+    set.set("svc.requests_ok", c.ok.load());
+    set.set("svc.requests_degraded", c.degraded.load());
+    set.set("svc.requests_error", c.error.load());
+    set.set("svc.rejected_after_admit", c.rejectedAfterAdmit.load());
+    set.set("svc.retries", c.retries.load());
+    set.set("svc.degraded_fallbacks", c.degradedFallbacks.load());
+    set.set("svc.quarantine_adds", c.quarantineAdds.load());
+    set.set("svc.quarantine_hits", c.quarantineHits.load());
+    set.set("svc.deadline_expired", c.deadlineExpired.load());
+    if (config_.isolateProcess) {
+        set.set("svc.worker_crashes", c.workerCrashes.load());
+        set.set("svc.worker_kills", c.workerKills.load());
+        set.set("svc.worker_respawns", c.workerRespawns.load());
+        set.set("svc.worker_spawn_failures",
+                c.workerSpawnFailures.load());
+    }
+    return set;
+}
 
+std::string
+Daemon::statsDocument(const std::string &id,
+                      const obs::CounterSet *delta)
+{
     obs::HistogramSet hists;
-    for (auto &slot : slots_)
-        hists.merge(slot->hists);
+    {
+        std::lock_guard<std::mutex> lock(publishMu_);
+        hists = publishedHists_;
+    }
 
     obs::JsonWriter w;
     w.beginObject();
     w.key("sched91_serve_stats").value(1);
+    if (!id.empty())
+        w.key("id").value(id);
     w.key("meta").beginObject();
     w.key("command").value("serve");
+    w.key("stats_schema").value(1);
     w.key("socket").value(config_.socketPath);
     w.key("workers")
         .value(static_cast<std::uint64_t>(slots_.size()));
     w.key("queue_capacity")
         .value(static_cast<std::uint64_t>(queue_.capacity()));
     w.key("machine").value(config_.engine.machineName);
+    w.key("uptime_seconds")
+        .value(config_.zeroTimes ? 0.0
+                                 : elapsedSeconds(startTime_));
     if (config_.isolateProcess)
         w.key("isolate").value("process");
     if (fault::enabled())
@@ -454,21 +609,53 @@ Daemon::emitFinalStats()
     w.key("quarantine_adds").value(c.quarantineAdds.load());
     w.key("quarantine_hits").value(c.quarantineHits.load());
     w.key("deadline_expired").value(c.deadlineExpired.load());
+    w.key("rejected_after_admit").value(c.rejectedAfterAdmit.load());
+    w.key("quarantine_size")
+        .value(static_cast<std::uint64_t>(engine_.quarantineSize()));
     if (config_.isolateProcess) {
         w.key("worker_crashes").value(c.workerCrashes.load());
         w.key("worker_kills").value(c.workerKills.load());
         w.key("worker_respawns").value(c.workerRespawns.load());
         w.key("worker_spawn_failures")
             .value(c.workerSpawnFailures.load());
+        w.key("workers_live")
+            .value(static_cast<std::uint64_t>(
+                supervisor_ ? supervisor_->liveWorkers() : 0));
     }
     w.endObject();
 
+    w.key("queue").beginObject();
+    w.key("depth").value(static_cast<std::uint64_t>(queue_.size()));
+    w.key("capacity")
+        .value(static_cast<std::uint64_t>(queue_.capacity()));
+    w.endObject();
+
+    w.key("memory").beginObject();
+    w.key("peak_rss_bytes")
+        .value(config_.zeroTimes ? std::uint64_t{0}
+                                 : obs::currentPeakRssBytes());
+    w.endObject();
+
+    w.key("trace").beginObject();
+    w.key("spans")
+        .value(static_cast<std::uint64_t>(traceLog_.size()));
+    w.key("dropped").value(traceLog_.dropped());
+    w.endObject();
+
     if (obs::enabled()) {
+        // Bind the set before iterating: items() is a view into its
+        // owner, and a temporary would be gone before the loop body.
+        const obs::CounterSet live = liveCounters().nonzero();
         w.key("counters").beginObject();
-        obs::CounterSet delta = obs::CounterRegistry::global()
-                                    .deltaSince(statsBefore_)
-                                    .nonzero();
-        for (const auto &[name, value] : delta.items())
+        for (const auto &[name, value] : live.items())
+            w.key(name).value(value);
+        w.endObject();
+    }
+
+    if (delta != nullptr) {
+        const obs::CounterSet changed = delta->nonzero();
+        w.key("delta").beginObject();
+        for (const auto &[name, value] : changed.items())
             w.key(name).value(value);
         w.endObject();
     }
@@ -488,8 +675,149 @@ Daemon::emitFinalStats()
     }
     w.endObject();
     w.endObject();
+    return w.take();
+}
 
+std::string
+Daemon::prometheusDocument()
+{
+    obs::HistogramSet hists;
+    {
+        std::lock_guard<std::mutex> lock(publishMu_);
+        hists = publishedHists_;
+    }
+    const obs::CounterSet counters = liveCounters().nonzero();
+
+    obs::PromDoc doc;
+    doc.counters = &counters;
+    doc.registry = &obs::CounterRegistry::global();
+    doc.histograms = &hists;
+    doc.gauges.push_back(
+        {"svc.uptime_seconds",
+         config_.zeroTimes ? 0.0 : elapsedSeconds(startTime_)});
+    doc.gauges.push_back(
+        {"svc.queue_depth", static_cast<double>(queue_.size())});
+    doc.gauges.push_back({"svc.queue_capacity",
+                          static_cast<double>(queue_.capacity())});
+    doc.gauges.push_back(
+        {"svc.quarantine_size",
+         static_cast<double>(engine_.quarantineSize())});
+    if (config_.isolateProcess)
+        doc.gauges.push_back(
+            {"svc.workers_live",
+             static_cast<double>(
+                 supervisor_ ? supervisor_->liveWorkers() : 0)});
+    doc.gauges.push_back(
+        {"mem.peak_rss_bytes",
+         config_.zeroTimes
+             ? 0.0
+             : static_cast<double>(obs::currentPeakRssBytes())});
+    doc.labels.emplace_back("machine", config_.engine.machineName);
+    return obs::prometheusExposition(doc);
+}
+
+std::string
+Daemon::healthDocument(const std::string &id)
+{
+    const SvcCounters &c = engine_.counters();
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("sched91_serve_health").value(1);
+    if (!id.empty())
+        w.key("id").value(id);
+    w.key("status").value(draining() ? "draining" : "ok");
+    w.key("uptime_seconds")
+        .value(config_.zeroTimes ? 0.0
+                                 : elapsedSeconds(startTime_));
+    w.key("workers")
+        .value(static_cast<std::uint64_t>(slots_.size()));
+    if (config_.isolateProcess)
+        w.key("workers_live")
+            .value(static_cast<std::uint64_t>(
+                supervisor_ ? supervisor_->liveWorkers() : 0));
+    w.key("queue_depth")
+        .value(static_cast<std::uint64_t>(queue_.size()));
+    w.key("queue_capacity")
+        .value(static_cast<std::uint64_t>(queue_.capacity()));
+    w.key("accepted").value(c.accepted.load());
+    w.key("rejected").value(c.rejected.load());
+    w.endObject();
+    return w.take();
+}
+
+std::string
+Daemon::traceDumpDocument(const std::string &id)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("sched91_serve_trace").value(1);
+    if (!id.empty())
+        w.key("id").value(id);
+    w.key("status").value("ok");
+    w.key("spans")
+        .value(static_cast<std::uint64_t>(traceLog_.size()));
+    w.key("dropped").value(traceLog_.dropped());
+    w.endObject();
+    // chromeJson() is itself one JSON document on one line; splice it
+    // in as the "trace" value so framing stays line-delimited.
     std::string doc = w.take();
+    doc.pop_back(); // trailing '}'
+    doc += ",\"trace\":";
+    doc += traceLog_.chromeJson(config_.zeroTimes);
+    doc += '}';
+    return doc;
+}
+
+void
+Daemon::snapshotLoop()
+{
+    obs::SnapshotDeltaTracker tracker(obs::CounterRegistry::global());
+    std::vector<std::string> lines;
+
+    const auto writeAll = [this, &lines] {
+        const std::string tmp = config_.snapshotPath + ".tmp";
+        {
+            std::ofstream out(tmp);
+            if (!out) {
+                log::error("serve: cannot write snapshot to '", tmp,
+                           "'");
+                return;
+            }
+            for (const std::string &line : lines)
+                out << line << '\n';
+        }
+        if (std::rename(tmp.c_str(),
+                        config_.snapshotPath.c_str()) != 0)
+            log::error("serve: rename('", tmp, "' -> '",
+                       config_.snapshotPath,
+                       "'): ", std::strerror(errno));
+    };
+
+    const auto interval =
+        std::chrono::duration<double>(config_.snapshotSeconds);
+    std::unique_lock<std::mutex> lock(snapMu_);
+    for (;;) {
+        const bool stopping = snapCv_.wait_for(
+            lock, interval, [this] { return snapStop_; });
+        lock.unlock();
+        // One tick per interval — and one final tick on stop, so the
+        // last snapshot line covers everything the daemon answered.
+        obs::CounterSet delta = tracker.advance(liveCounters());
+        lines.push_back(statsDocument("", &delta));
+        writeAll();
+        if (stopping)
+            return;
+        lock.lock();
+    }
+}
+
+void
+Daemon::emitFinalStats()
+{
+    if (config_.statsPath.empty())
+        return;
+
+    std::string doc = statsDocument("", nullptr);
     doc += '\n';
     if (config_.statsPath == "-") {
         std::fputs(doc.c_str(), stdout);
@@ -500,6 +828,28 @@ Daemon::emitFinalStats()
     if (!out) {
         log::error("serve: cannot write stats to '",
                    config_.statsPath, "'");
+        return;
+    }
+    out << doc;
+}
+
+void
+Daemon::emitFinalTrace()
+{
+    if (config_.tracePath.empty())
+        return;
+
+    std::string doc = traceLog_.chromeJson(config_.zeroTimes);
+    doc += '\n';
+    if (config_.tracePath == "-") {
+        std::fputs(doc.c_str(), stdout);
+        std::fflush(stdout);
+        return;
+    }
+    std::ofstream out(config_.tracePath);
+    if (!out) {
+        log::error("serve: cannot write trace to '",
+                   config_.tracePath, "'");
         return;
     }
     out << doc;

@@ -29,6 +29,26 @@
  * bracket.  Request latency and queue-wait distributions land in
  * `svc.request_ns` / `svc.queue_wait_ns` histograms; svc.* counters
  * are flushed into the global registry at drain.
+ *
+ * Live telemetry (docs/OBSERVABILITY.md):
+ *
+ *  - control lines (`{"type": "stats" | "health" | "trace-dump"}`)
+ *    are answered on the reader thread, *without* entering the
+ *    admission queue, so introspection works while the service is
+ *    saturated or shedding;
+ *  - `stats` returns the same document shape as the drain-time stats
+ *    file — one schema for live scrapes, periodic snapshots, and the
+ *    final document — or a Prometheus text exposition
+ *    (obs/exposition.hh) when `"format": "prometheus"`;
+ *  - every admitted request gets a trace id; workers report per-phase
+ *    spans back through the response envelope, and the daemon merges
+ *    queue/rung/respawn/phase spans into one Chrome-trace stream
+ *    (obs/chrome_trace.hh), dumpable live via `trace-dump` or at
+ *    drain via `--trace-json`;
+ *  - `--snapshot-seconds N` appends one stats document (with a
+ *    delta-since-last-snapshot section) to a JSONL file every N
+ *    seconds, written whole to a temp file and renamed, so readers
+ *    never see a torn write.
  */
 
 #ifndef SCHED91_SERVICE_DAEMON_HH
@@ -36,12 +56,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/chrome_trace.hh"
 #include "obs/counters.hh"
 #include "obs/histogram.hh"
 #include "service/bounded_queue.hh"
@@ -68,6 +90,18 @@ struct DaemonConfig
     /** Zero wall-clock fields in the final stats (determinism
      * tests). */
     bool zeroTimes = false;
+
+    /** Periodic telemetry snapshots: every N seconds append one stats
+     * document (with a delta-since-last-snapshot section) to
+     * snapshotPath, written temp-then-rename.  0 = off. */
+    double snapshotSeconds = 0.0;
+
+    /** JSONL file the periodic snapshots go to; empty = off. */
+    std::string snapshotPath;
+
+    /** Merged Chrome-trace destination at drain: "-" = stdout,
+     * "" = none.  (`trace-dump` serves the same stream live.) */
+    std::string tracePath;
 
     // --- Process isolation (`--isolate=process`) --------------------
     /** Run ladder attempts in pre-forked sandbox subprocesses
@@ -128,6 +162,9 @@ class Daemon
     /** Service tallies (tests). */
     SvcCounters &counters() { return engine_.counters(); }
 
+    /** Live span log for `trace-dump` / `--trace-json` (tests). */
+    const obs::ServiceTraceLog &traceLog() const { return traceLog_; }
+
   private:
     struct WorkerSlot;
 
@@ -136,7 +173,36 @@ class Daemon
     void workerLoop(unsigned lane);
     void handleLine(const std::shared_ptr<Connection> &conn,
                     std::string line);
+
+    /** Answer a control line on the reader thread; false when @p line
+     * is not a control request (take the scheduling path). */
+    bool handleControlLine(const std::shared_ptr<Connection> &conn,
+                           const std::string &line);
+
+    /**
+     * The one stats-document builder behind every consumer — the live
+     * `stats` endpoint, periodic snapshots, and the drain-time file —
+     * so all three share a schema.  @p id is echoed when non-empty;
+     * @p delta, when non-null, adds a "delta" section (snapshot
+     * mode).
+     */
+    std::string statsDocument(const std::string &id,
+                              const obs::CounterSet *delta);
+
+    /** Prometheus text exposition of the same telemetry. */
+    std::string prometheusDocument();
+
+    std::string healthDocument(const std::string &id);
+    std::string traceDumpDocument(const std::string &id);
+
+    /** Counter telemetry for stats/exposition: the registry delta
+     * since daemon start (bracket-locked against concurrent pipeline
+     * flushes) overlaid with the live svc.* service tallies. */
+    obs::CounterSet liveCounters();
+
+    void snapshotLoop();
     void emitFinalStats();
+    void emitFinalTrace();
 
     DaemonConfig config_;
     Engine engine_;
@@ -152,6 +218,23 @@ class Daemon
 
     std::vector<std::unique_ptr<WorkerSlot>> slots_;
     obs::CounterSet statsBefore_;
+
+    // --- Live telemetry ---------------------------------------------
+    obs::ServiceTraceLog traceLog_;
+    std::atomic<std::uint64_t> traceSeq_{0};
+    std::chrono::steady_clock::time_point startTime_{};
+
+    /** Guards the published histogram set: lanes record queue-wait /
+     * request latency here per request; control responses copy it.
+     * Two short-critical-section records per request — noise next to
+     * the scheduling work. */
+    std::mutex publishMu_;
+    obs::HistogramSet publishedHists_;
+
+    std::thread snapshotThread_;
+    std::mutex snapMu_;
+    std::condition_variable snapCv_;
+    bool snapStop_ = false;
 };
 
 } // namespace sched91::service

@@ -1,8 +1,10 @@
 #include "service/engine.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "dag/memdep.hh"
 #include "ir/parser.hh"
@@ -49,6 +51,7 @@ SvcCounters::flushToRegistry() const
     obs::ev::svcRequestsOk.inc(ok.load());
     obs::ev::svcRequestsDegraded.inc(degraded.load());
     obs::ev::svcRequestsError.inc(error.load());
+    obs::ev::svcRejectedAfterAdmit.inc(rejectedAfterAdmit.load());
     obs::ev::svcRetries.inc(retries.load());
     obs::ev::svcDegradedFallbacks.inc(degradedFallbacks.load());
     obs::ev::svcQuarantineAdds.inc(quarantineAdds.load());
@@ -68,7 +71,29 @@ struct Engine::Parsed
     std::vector<BasicBlock> blocks;
     ResponseBody body; ///< blocks/insts/parse tallies pre-filled
     std::optional<MachineModel> overrideMachine;
+    std::uint64_t parseNs = 0; ///< the shared parse's wall clock
 };
+
+void
+recordPhaseSpans(const obs::RequestTrace *trace, int rung,
+                 std::uint64_t rungStartNs, const PhaseSpans &spans,
+                 bool worker)
+{
+    if (trace == nullptr || trace->log == nullptr)
+        return;
+    const std::pair<const char *, std::uint64_t> phases[] = {
+        {"parse", spans.parseNs},   {"build", spans.buildNs},
+        {"heur", spans.heurNs},     {"sched", spans.schedNs},
+        {"verify", spans.verifyNs},
+    };
+    std::uint64_t at = rungStartNs;
+    for (const auto &[name, durNs] : phases) {
+        if (durNs == 0)
+            continue;
+        trace->span(name, rung, at, at + durNs, {}, worker);
+        at += durNs;
+    }
+}
 
 Engine::Engine(EngineConfig config)
     : config_(std::move(config)),
@@ -123,6 +148,7 @@ Engine::writeOutlierBundles(const RequestSpec &spec,
     meta.algorithm = std::string(algorithmName(popts.algorithm));
     meta.machine = spec.machine.value_or(config_.machineName);
     meta.policy = std::string(aliasPolicyName(popts.build.memPolicy));
+    meta.traceId = spec.traceId;
 
     char keyHex[17];
     std::snprintf(keyHex, sizeof keyHex, "%016llx",
@@ -144,6 +170,7 @@ Engine::writeOutlierBundles(const RequestSpec &spec,
 Engine::Parsed
 Engine::parseRequest(const RequestSpec &spec) const
 {
+    const auto t0 = std::chrono::steady_clock::now();
     Parsed parsed;
     if (spec.machine)
         parsed.overrideMachine = presetByName(*spec.machine);
@@ -160,6 +187,11 @@ Engine::parseRequest(const RequestSpec &spec) const
     parsed.body.insts = parsed.prog.size();
     parsed.body.parseErrors = diags.errorCount();
     parsed.body.parseWarnings = diags.warningCount();
+    parsed.body.traceId = spec.traceId;
+    parsed.parseNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     return parsed;
 }
 
@@ -212,6 +244,11 @@ Engine::runAttempt(Parsed &parsed, const RequestSpec &spec,
             scheduleText(parsed.prog, parsed.blocks, &schedules);
     for (const ProgramResult::BlockIssue &issue : result.blockIssues)
         body.deadlineHit = body.deadlineHit || issue.stage == "budget";
+    body.spans.parseNs = parsed.parseNs;
+    body.spans.buildNs = obs::secondsToNs(result.buildSeconds);
+    body.spans.heurNs = obs::secondsToNs(result.heurSeconds);
+    body.spans.schedNs = obs::secondsToNs(result.schedSeconds);
+    body.spans.verifyNs = obs::secondsToNs(result.verifySeconds);
 
     if (config_.captureOutliers > 0 && !config_.outlierDir.empty() &&
         !result.outliers.empty())
@@ -221,6 +258,7 @@ Engine::runAttempt(Parsed &parsed, const RequestSpec &spec,
     AttemptOutcome out;
     out.degraded = result.blocksDegraded > 0;
     out.deadlineHit = body.deadlineHit;
+    out.spans = body.spans;
     out.line = responseLine(spec.id, body);
     return out;
 }
@@ -234,6 +272,9 @@ Engine::lastRungLine(Parsed &parsed, const RequestSpec &spec,
     body.attempts = attempts;
     body.quarantined = fromQuarantine;
     body.degradedBlocks = parsed.blocks.size();
+    // The last rung's only real work is the shared parse; report it so
+    // even a crash-degraded answer carries a per-phase span.
+    body.spans.parseNs = parsed.parseNs;
     if (spec.emitSchedule)
         body.schedule =
             scheduleText(parsed.prog, parsed.blocks, nullptr);
@@ -267,9 +308,15 @@ Engine::degradedLine(const RequestSpec &spec, bool fromQuarantine,
 }
 
 std::string
-Engine::process(const RequestSpec &spec, double remainingSeconds)
+Engine::process(const RequestSpec &spec, double remainingSeconds,
+                const obs::RequestTrace *trace)
 {
     const std::uint64_t key = fault::fnv1a64(spec.source);
+    const auto rungSpan = [trace](int rung, std::uint64_t startNs,
+                                  std::string_view note) {
+        if (trace)
+            trace->span("rung", rung, startNs, trace->nowNs(), note);
+    };
 
     std::optional<Parsed> parsed;
     try {
@@ -281,12 +328,16 @@ Engine::process(const RequestSpec &spec, double remainingSeconds)
     }
 
     if (isQuarantined(key)) {
+        const std::uint64_t t0 = trace ? trace->nowNs() : 0;
         counters_.quarantineHits.fetch_add(1,
                                            std::memory_order_relaxed);
         obs::flight::record(obs::flight::EventKind::Diag, "svc",
                             "quarantine hit", key);
-        return lastRungLine(*parsed, spec, /*fromQuarantine=*/true,
-                            /*attempts=*/0);
+        std::string line = lastRungLine(*parsed, spec,
+                                        /*fromQuarantine=*/true,
+                                        /*attempts=*/0);
+        rungSpan(0, t0, "quarantine");
+        return line;
     }
 
     // Attempts 0 (requested builder) and 1 (table-forward downgrade).
@@ -299,6 +350,7 @@ Engine::process(const RequestSpec &spec, double remainingSeconds)
         const bool downgraded =
             attempt > 0 &&
             requested_builder != BuilderKind::TableForward;
+        const std::uint64_t t0 = trace ? trace->nowNs() : 0;
         try {
             AttemptOutcome out =
                 runAttempt(*parsed, spec, builder, attempt, downgraded,
@@ -311,8 +363,13 @@ Engine::process(const RequestSpec &spec, double remainingSeconds)
                                              std::memory_order_relaxed);
             else
                 counters_.ok.fetch_add(1, std::memory_order_relaxed);
+            rungSpan(attempt, t0, out.degraded ? "degraded" : "ok");
+            recordPhaseSpans(trace, attempt, t0, out.spans,
+                             /*worker=*/false);
             return out.line;
         } catch (const std::exception &e) {
+            rungSpan(attempt, t0,
+                     std::string("failed: ") + e.what());
             if (attempt == 0) {
                 counters_.retries.fetch_add(1,
                                             std::memory_order_relaxed);
@@ -333,10 +390,14 @@ Engine::process(const RequestSpec &spec, double remainingSeconds)
     }
 
     // Both real attempts failed: quarantine and answer the last rung.
+    const std::uint64_t t0 = trace ? trace->nowNs() : 0;
     addToQuarantine(key);
     counters_.degradedFallbacks.fetch_add(1, std::memory_order_relaxed);
-    return lastRungLine(*parsed, spec, /*fromQuarantine=*/false,
-                        /*attempts=*/3);
+    std::string line = lastRungLine(*parsed, spec,
+                                    /*fromQuarantine=*/false,
+                                    /*attempts=*/3);
+    rungSpan(2, t0, "last-rung");
+    return line;
 }
 
 } // namespace sched91::service

@@ -39,6 +39,7 @@
 
 #include "core/pipeline.hh"
 #include "machine/presets.hh"
+#include "obs/chrome_trace.hh"
 #include "service/protocol.hh"
 
 namespace sched91::service
@@ -86,6 +87,12 @@ struct SvcCounters
     std::atomic<std::uint64_t> quarantineHits{0};
     std::atomic<std::uint64_t> deadlineExpired{0};
 
+    /** Admitted, then shed at queue pickup with the deadline already
+     * expired — the "rejected-after-admit" leg of the conservation
+     * law `accepted == ok + degraded + error + rejectedAfterAdmit`
+     * the soak client asserts against live scrapes. */
+    std::atomic<std::uint64_t> rejectedAfterAdmit{0};
+
     // Process isolation (service/supervisor.hh); all zero when the
     // daemon runs in-process.
     std::atomic<std::uint64_t> workerCrashes{0};   ///< deaths mid-request
@@ -108,9 +115,14 @@ class Engine
      * response line (no trailing newline).  @p remainingSeconds is
      * what is left of the request's deadline at pick-up time
      * (<= 0 = no deadline).  Never throws.
+     *
+     * @p trace, when non-null, receives the request's span tree:
+     * one "rung" span per ladder attempt plus per-phase child spans
+     * (parse/build/heur/sched/verify) under the answering rung.
      */
     std::string process(const RequestSpec &spec,
-                        double remainingSeconds);
+                        double remainingSeconds,
+                        const obs::RequestTrace *trace = nullptr);
 
     /**
      * One ladder attempt in isolation — the sandbox worker's entry
@@ -155,6 +167,7 @@ class Engine
         std::string line;
         bool degraded = false;
         bool deadlineHit = false;
+        PhaseSpans spans; ///< per-phase timings of this attempt
     };
 
     Parsed parseRequest(const RequestSpec &spec) const;
@@ -175,6 +188,18 @@ class Engine
     mutable std::mutex quarantineMu_;
     std::unordered_set<std::uint64_t> quarantine_;
 };
+
+/**
+ * Stitch one attempt's per-phase timings into @p trace as child spans
+ * of the rung that ran it, laid out sequentially from
+ * @p rungStartNs (phase wall-clock is measured as durations, so the
+ * sequential layout reconstructs the attempt's internal timeline).
+ * @p worker marks spans measured inside a sandbox worker.  No-op when
+ * @p trace is null.
+ */
+void recordPhaseSpans(const obs::RequestTrace *trace, int rung,
+                      std::uint64_t rungStartNs,
+                      const PhaseSpans &spans, bool worker);
 
 } // namespace sched91::service
 

@@ -119,6 +119,7 @@ parseRequestLine(const std::string &line, std::string &error)
                 return std::nullopt;
             }
         }
+        spec.traceId = doc.strOr("trace_id", "");
     } catch (const std::exception &e) {
         // Wrong-typed field (std::get), unknown token (FatalError).
         error = e.what();
@@ -161,8 +162,44 @@ responseLine(const std::string &id, const ResponseBody &body)
             w.value(line);
         w.endArray();
     }
+    if (!body.traceId.empty())
+        w.key("trace_id").value(body.traceId);
+    if (body.spans.any()) {
+        w.key("spans").beginObject();
+        w.key("parse_ns").value(body.spans.parseNs);
+        w.key("build_ns").value(body.spans.buildNs);
+        w.key("heur_ns").value(body.spans.heurNs);
+        w.key("sched_ns").value(body.spans.schedNs);
+        w.key("verify_ns").value(body.spans.verifyNs);
+        w.endObject();
+    }
     w.endObject();
     return w.take();
+}
+
+PhaseSpans
+phaseSpansFromResponse(const std::string &line)
+{
+    PhaseSpans spans;
+    try {
+        obs::JsonValue doc = obs::parseJson(line);
+        if (!doc.has("spans") || !doc.at("spans").isObject())
+            return spans;
+        const obs::JsonValue &s = doc.at("spans");
+        auto ns = [&s](const char *key) {
+            const double v = s.numberOr(key, 0.0);
+            return v > 0.0 ? static_cast<std::uint64_t>(v) : 0;
+        };
+        spans.parseNs = ns("parse_ns");
+        spans.buildNs = ns("build_ns");
+        spans.heurNs = ns("heur_ns");
+        spans.schedNs = ns("sched_ns");
+        spans.verifyNs = ns("verify_ns");
+    } catch (const std::exception &) {
+        // Unparseable response: the caller already classified it as a
+        // worker fault; spans simply stay empty.
+    }
+    return spans;
 }
 
 std::string
@@ -193,6 +230,8 @@ sandboxEnvelopeLine(const SandboxEnvelope &env)
         w.key("evaluate").value(true);
     if (spec.emitSchedule)
         w.key("emit").value("schedule");
+    if (!spec.traceId.empty())
+        w.key("trace_id").value(spec.traceId);
     w.key("attempt").value(env.attempt);
     if (env.downgraded)
         w.key("downgraded").value(true);
@@ -244,6 +283,71 @@ errorLine(const std::string &id, const std::string &message)
     w.key("id").value(id);
     w.key("status").value("error");
     w.key("error").value(message);
+    w.endObject();
+    return w.take();
+}
+
+ControlRequest
+parseControlLine(const std::string &line)
+{
+    ControlRequest req;
+    obs::JsonValue doc;
+    try {
+        doc = obs::parseJson(line);
+    } catch (const std::exception &) {
+        return req; // malformed JSON: the scheduling path reports it
+    }
+    if (!doc.isObject() || !doc.has("type") ||
+        !doc.at("type").isString())
+        return req;
+
+    req.id = doc.strOr("id", "");
+    const std::string type = doc.at("type").str();
+    if (type == "stats")
+        req.type = ControlType::Stats;
+    else if (type == "health")
+        req.type = ControlType::Health;
+    else if (type == "trace-dump")
+        req.type = ControlType::TraceDump;
+    else {
+        req.type = ControlType::Invalid;
+        req.error = "unknown control type '" + type + "'";
+        return req;
+    }
+
+    req.format = doc.strOr("format", "json");
+    if (req.format != "json" && req.format != "prometheus") {
+        req.error = "unknown format '" + req.format + "'";
+        req.type = ControlType::Invalid;
+    }
+    return req;
+}
+
+std::string
+controlRequestLine(const ControlRequest &req)
+{
+    const char *type = "";
+    switch (req.type) {
+    case ControlType::Stats:
+        type = "stats";
+        break;
+    case ControlType::Health:
+        type = "health";
+        break;
+    case ControlType::TraceDump:
+        type = "trace-dump";
+        break;
+    case ControlType::None:
+    case ControlType::Invalid:
+        fatal("controlRequestLine: not a serializable control type");
+    }
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("type").value(type);
+    if (!req.id.empty())
+        w.key("id").value(req.id);
+    if (!req.format.empty() && req.format != "json")
+        w.key("format").value(req.format);
     w.endObject();
     return w.take();
 }

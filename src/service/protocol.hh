@@ -28,6 +28,27 @@
  *  - "error"     the request itself was malformed (bad JSON, bad
  *                config token); `error` carries the message.
  *
+ * Control lines (in-band introspection, served without entering the
+ * admission queue):
+ *
+ *     {"type": "stats", "id": "s1"}                      -> stats doc
+ *     {"type": "stats", "format": "prometheus"}          -> exposition
+ *     {"type": "health"}                                 -> health doc
+ *     {"type": "trace-dump"}                             -> span trees
+ *
+ * A line with a "type" key is a control request; everything else goes
+ * down the ordinary scheduling path.  Responses stay one JSON object
+ * per line: the Prometheus text exposition rides inside the JSON
+ * response as an "exposition" string so framing never changes.
+ *
+ * Tracing: the daemon stamps every admitted request with a trace id
+ * ("trace_id", client-suppliable).  The id rides through the sandbox
+ * envelope into workers, which echo it back along with per-phase span
+ * timings ("spans": parse/build/heur/sched/verify, nanoseconds), so
+ * the supervisor can stitch worker time into the request's span tree
+ * (docs/OBSERVABILITY.md).  Both keys are ordinary JSON fields that
+ * plain parsers ignore — the wire format stays backward compatible.
+ *
  * The reader (obs/json_parse) and writer (obs/json) are the repo's
  * own; the protocol deliberately stays within what they emit/accept.
  */
@@ -35,6 +56,7 @@
 #ifndef SCHED91_SERVICE_PROTOCOL_HH
 #define SCHED91_SERVICE_PROTOCOL_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,6 +87,11 @@ struct RequestSpec
 
     /** Include the scheduled instruction text in the response. */
     bool emitSchedule = false;
+
+    /** Trace id ("trace_id"): assigned by the daemon at admission
+     * when the client did not supply one; propagated through the
+     * sandbox envelope and echoed in responses. */
+    std::string traceId;
 };
 
 /**
@@ -74,6 +101,30 @@ struct RequestSpec
  */
 std::optional<RequestSpec> parseRequestLine(const std::string &line,
                                             std::string &error);
+
+/**
+ * Per-phase wall-clock spans of one attempt, in nanoseconds — the
+ * child spans a sandbox worker reports back ("spans" response key) so
+ * the supervisor can stitch them under the dispatching rung.
+ */
+struct PhaseSpans
+{
+    std::uint64_t parseNs = 0;
+    std::uint64_t buildNs = 0;
+    std::uint64_t heurNs = 0;
+    std::uint64_t schedNs = 0;
+    std::uint64_t verifyNs = 0;
+
+    bool
+    any() const
+    {
+        return (parseNs | buildNs | heurNs | schedNs | verifyNs) != 0;
+    }
+};
+
+/** Extract the "spans" object from a response line; all-zero spans
+ * when absent or unparseable (old workers, error lines). */
+PhaseSpans phaseSpansFromResponse(const std::string &line);
 
 /** Outcome summary serialized into ok/degraded responses. */
 struct ResponseBody
@@ -97,6 +148,9 @@ struct ResponseBody
     long long cyclesScheduled = 0; ///< only when evaluate
     bool haveCycles = false;
     std::vector<std::string> schedule; ///< only when emitSchedule
+
+    std::string traceId; ///< echoed when the request carried one
+    PhaseSpans spans;    ///< emitted when any phase was timed
 };
 
 /** Serialize an ok/degraded response (no trailing newline). */
@@ -108,6 +162,42 @@ std::string rejectedLine(const std::string &id, const std::string &reason);
 
 /** Serialize a request-level error. */
 std::string errorLine(const std::string &id, const std::string &message);
+
+/** Kind of an in-band introspection request. */
+enum class ControlType
+{
+    None,      ///< not a control line: take the scheduling path
+    Stats,     ///< full stats snapshot (JSON or Prometheus text)
+    Health,    ///< cheap liveness/pressure probe
+    TraceDump, ///< merged Chrome-trace span trees
+    Invalid,   ///< has a "type" key but it is unusable (see error)
+};
+
+/**
+ * An in-band introspection request (`{"type": ...}`) — answered by
+ * the daemon's reader thread directly, never admitted to the queue,
+ * so the endpoint stays responsive while the service is saturated.
+ */
+struct ControlRequest
+{
+    ControlType type = ControlType::None;
+    std::string id;            ///< echoed back; may be empty
+    std::string format;        ///< stats: "json" (default) |
+                               ///< "prometheus"
+    std::string error;         ///< set when type == Invalid
+};
+
+/**
+ * Classify one wire line.  Returns type None for anything without a
+ * "type" key (including malformed JSON — the scheduling path owns
+ * those errors); Invalid with @ref ControlRequest::error set for an
+ * unknown type or format.
+ */
+ControlRequest parseControlLine(const std::string &line);
+
+/** Serialize a control request (no trailing newline); empty id and
+ * format are omitted. */
+std::string controlRequestLine(const ControlRequest &req);
 
 /** CLI/display token parsers shared with `sched91 serve` defaults;
  * throw FatalError on unknown names. */

@@ -49,11 +49,17 @@ answer(Engine &engine, const std::string &line)
     if (!env)
         return errorLine("", error);
 
-    // A crash leaves the content hash and attempt number as the last
-    // ring event, so `sched91 explain` on the recovered ring says
-    // what the worker was chewing on.
+    // A crash leaves the content hash, attempt number, and trace id
+    // as the last ring event, so `sched91 explain` on the recovered
+    // ring says what the worker was chewing on — and which live trace
+    // the death belongs to.
+    std::string detail = "attempt";
+    if (!env->spec.traceId.empty()) {
+        detail += ' ';
+        detail += env->spec.traceId;
+    }
     obs::flight::record(obs::flight::EventKind::Diag, "sandbox",
-                        "attempt", fault::fnv1a64(env->spec.source),
+                        detail, fault::fnv1a64(env->spec.source),
                         static_cast<std::uint64_t>(env->attempt));
 
     const double remaining =

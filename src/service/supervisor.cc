@@ -116,6 +116,7 @@ struct Classified
     std::string status;
     std::string error;
     bool deadlineHit = false;
+    PhaseSpans spans; ///< the worker's per-phase child spans
 };
 
 Classified
@@ -127,6 +128,7 @@ classifyResponse(const std::string &line)
         c.status = doc.strOr("status", "");
         c.error = doc.strOr("error", "");
         c.deadlineHit = doc.has("deadline_hit");
+        c.spans = phaseSpansFromResponse(line);
     } catch (const std::exception &) {
         // Unparseable bytes from a worker are a worker fault.
         c.status = "error";
@@ -271,9 +273,46 @@ Supervisor::retireWorker(Worker &worker)
     worker.buffer.clear();
 }
 
-bool
-Supervisor::spawnWorker(Worker &worker)
+unsigned
+Supervisor::liveWorkers() const
 {
+    unsigned n = 0;
+    for (const auto &wp : workers_)
+        if (wp->livePid.load(std::memory_order_relaxed) > 0)
+            ++n;
+    return n;
+}
+
+bool
+Supervisor::spawnWorker(Worker &worker,
+                        const obs::RequestTrace *trace)
+{
+    // The respawn gap is part of the victim request's latency; record
+    // it as its own span so the trace shows where the time went.
+    class SpanGuard
+    {
+      public:
+        SpanGuard(const obs::RequestTrace *trace, bool &up)
+            : trace_(trace), up_(up),
+              t0_(trace ? trace->nowNs() : 0)
+        {
+        }
+        ~SpanGuard()
+        {
+            if (trace_)
+                trace_->span("respawn", -1, t0_, trace_->nowNs(),
+                             up_ ? "ok" : "failed");
+        }
+
+      private:
+        const obs::RequestTrace *trace_;
+        bool &up_;
+        std::uint64_t t0_;
+    };
+
+    bool up = false;
+    SpanGuard guard(trace, up);
+
     retireWorker(worker);
 
     int req[2] = {-1, -1};
@@ -394,6 +433,7 @@ Supervisor::spawnWorker(Worker &worker)
     worker.everLive = true;
     worker.livePid.store(worker.proc.pid(),
                          std::memory_order_relaxed);
+    up = true;
     return true;
 }
 
@@ -497,6 +537,7 @@ Supervisor::harvestCrash(Worker &worker, const RequestSpec &spec,
         meta.machine = spec.machine.value_or(config_.engine.machineName);
         meta.policy = std::string(aliasPolicyName(
             spec.policy.value_or(config_.engine.policy)));
+        meta.traceId = spec.traceId;
 
         const std::string path =
             config_.crashDir + "/crash-req" + keyHex + ".json";
@@ -512,9 +553,11 @@ Supervisor::DispatchResult
 Supervisor::dispatchAttempt(Worker &worker,
                             const SandboxEnvelope &envelope,
                             double remainingSeconds,
-                            std::string &line)
+                            std::string &line,
+                            const obs::RequestTrace *trace)
 {
     const std::string request = sandboxEnvelopeLine(envelope);
+    const std::uint64_t dispatch0 = trace ? trace->nowNs() : 0;
 
     // A dead pipe *before* dispatch means the worker died idle or
     // never came up; the request has not reached any worker, so this
@@ -522,7 +565,7 @@ Supervisor::dispatchAttempt(Worker &worker,
     for (int spawnTry = 0;; ++spawnTry) {
         if (!worker.live) {
             const bool respawning = worker.everLive;
-            if (!spawnWorker(worker))
+            if (!spawnWorker(worker, trace))
                 return DispatchResult::NoWorker;
             if (respawning)
                 engine_.counters().workerRespawns.fetch_add(
@@ -580,9 +623,13 @@ Supervisor::dispatchAttempt(Worker &worker,
     log::warn("sandbox worker lane ", worker.lane,
               " died mid-request (", exit.describe(),
               killed ? "; watchdog kill)" : ")");
+    if (trace)
+        trace->span("rung", envelope.attempt, dispatch0,
+                    trace->nowNs(),
+                    std::string("crash: ") + exit.describe());
     harvestCrash(worker, envelope.spec,
                  fault::fnv1a64(envelope.spec.source), exit);
-    if (spawnWorker(worker))
+    if (spawnWorker(worker, trace))
         engine_.counters().workerRespawns.fetch_add(
             1, std::memory_order_relaxed);
     return DispatchResult::Crashed;
@@ -590,10 +637,16 @@ Supervisor::dispatchAttempt(Worker &worker,
 
 std::string
 Supervisor::process(unsigned lane, const RequestSpec &spec,
-                    double remainingSeconds)
+                    double remainingSeconds,
+                    const obs::RequestTrace *trace)
 {
     Worker &worker = *workers_[lane % workers_.size()];
     const std::uint64_t key = fault::fnv1a64(spec.source);
+    const auto rungSpan = [trace](int rung, std::uint64_t startNs,
+                                  std::string_view note) {
+        if (trace)
+            trace->span("rung", rung, startNs, trace->nowNs(), note);
+    };
 
     // Validate a machine override in-parent, exactly where the
     // in-process engine answers "error" — a bad token must not burn
@@ -609,12 +662,16 @@ Supervisor::process(unsigned lane, const RequestSpec &spec,
     }
 
     if (engine_.isQuarantined(key)) {
+        const std::uint64_t t0 = trace ? trace->nowNs() : 0;
         engine_.counters().quarantineHits.fetch_add(
             1, std::memory_order_relaxed);
         obs::flight::record(obs::flight::EventKind::Diag, "svc",
                             "quarantine hit", key);
-        return engine_.degradedLine(spec, /*fromQuarantine=*/true,
-                                    /*attempts=*/0);
+        std::string line =
+            engine_.degradedLine(spec, /*fromQuarantine=*/true,
+                                 /*attempts=*/0);
+        rungSpan(0, t0, "quarantine");
+        return line;
     }
 
     const BuilderKind requested =
@@ -635,8 +692,10 @@ Supervisor::process(unsigned lane, const RequestSpec &spec,
             attempt > 0 && requested != BuilderKind::TableForward;
 
         std::string line;
+        const std::uint64_t t0 = trace ? trace->nowNs() : 0;
         const DispatchResult r =
-            dispatchAttempt(worker, env, remainingSeconds, line);
+            dispatchAttempt(worker, env, remainingSeconds, line,
+                            trace);
 
         if (r == DispatchResult::Answered) {
             const Classified c = classifyResponse(line);
@@ -650,10 +709,14 @@ Supervisor::process(unsigned lane, const RequestSpec &spec,
                 else
                     engine_.counters().degraded.fetch_add(
                         1, std::memory_order_relaxed);
+                rungSpan(attempt, t0, c.status);
+                recordPhaseSpans(trace, attempt, t0, c.spans,
+                                 /*worker=*/true);
                 return line;
             }
             // Status "error": the attempt failed inside the worker —
             // same ladder as the in-process engine's catch blocks.
+            rungSpan(attempt, t0, "failed: " + c.error);
             if (attempt == 0) {
                 engine_.counters().retries.fetch_add(
                     1, std::memory_order_relaxed);
@@ -679,24 +742,38 @@ Supervisor::process(unsigned lane, const RequestSpec &spec,
             log::warn("request ", spec.id.empty() ? "?" : spec.id,
                       ": no sandbox worker on lane ", worker.lane,
                       "; degrading to original order");
-            return engine_.degradedLine(spec, /*fromQuarantine=*/false,
-                                        attempt);
+            const std::uint64_t t1 = trace ? trace->nowNs() : 0;
+            std::string answer = engine_.degradedLine(
+                spec, /*fromQuarantine=*/false, attempt);
+            rungSpan(attempt, t1, "degrade: no-worker");
+            return answer;
         }
 
         // Crashed: the worker-death rung.  The payload killed a
         // process — quarantine it and answer original order; a retry
         // would deterministically crash the replacement too.
         engine_.addToQuarantine(key);
-        return engine_.degradedLine(spec, /*fromQuarantine=*/false,
-                                    attempt + 1);
+        const std::uint64_t t1 = trace ? trace->nowNs() : 0;
+        std::string answer = engine_.degradedLine(
+            spec, /*fromQuarantine=*/false, attempt + 1);
+        rungSpan(attempt + 1, t1, "degrade: crash");
+        // The in-parent degrade re-parsed the source; stitch that in
+        // so even a SIGKILLed request's tree has a phase child span.
+        recordPhaseSpans(trace, attempt + 1, t1,
+                         phaseSpansFromResponse(answer),
+                         /*worker=*/false);
+        return answer;
     }
 
     // Both attempts answered "error": last rung, as in-process.
     engine_.addToQuarantine(key);
     engine_.counters().degradedFallbacks.fetch_add(
         1, std::memory_order_relaxed);
-    return engine_.degradedLine(spec, /*fromQuarantine=*/false,
-                                /*attempts=*/3);
+    const std::uint64_t t1 = trace ? trace->nowNs() : 0;
+    std::string answer = engine_.degradedLine(
+        spec, /*fromQuarantine=*/false, /*attempts=*/3);
+    rungSpan(2, t1, "last-rung");
+    return answer;
 }
 
 } // namespace sched91::service

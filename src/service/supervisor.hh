@@ -116,10 +116,15 @@ class Supervisor
     /**
      * Run one request through the ladder, each attempt in lane @p
      * lane's sandbox worker.  Same contract as Engine::process():
-     * returns the response line, never throws.
+     * returns the response line, never throws.  @p trace, when
+     * non-null, receives the request's span tree: one "rung" span per
+     * dispatch (crashes annotated with the worker's exit), "respawn"
+     * spans for replacement workers, and the per-phase child spans
+     * the worker reported back in its response envelope.
      */
     std::string process(unsigned lane, const RequestSpec &spec,
-                        double remainingSeconds);
+                        double remainingSeconds,
+                        const obs::RequestTrace *trace = nullptr);
 
     /** Workers respawned so far (smoke/tests). */
     std::uint64_t respawns() const
@@ -127,10 +132,15 @@ class Supervisor
         return engine_.counters().workerRespawns.load();
     }
 
+    /** Lanes whose sandbox worker is currently alive (stats/health
+     * gauge; reads the watchdog atomics, so safe from any thread). */
+    unsigned liveWorkers() const;
+
   private:
     struct Worker;
 
-    bool spawnWorker(Worker &worker);
+    bool spawnWorker(Worker &worker,
+                     const obs::RequestTrace *trace = nullptr);
     void retireWorker(Worker &worker);
     void watchdogLoop();
 
@@ -144,7 +154,8 @@ class Supervisor
     DispatchResult dispatchAttempt(Worker &worker,
                                    const SandboxEnvelope &envelope,
                                    double remainingSeconds,
-                                   std::string &line);
+                                   std::string &line,
+                                   const obs::RequestTrace *trace);
 
     void harvestCrash(Worker &worker, const RequestSpec &spec,
                       std::uint64_t key, const SpawnExit &exit);

@@ -39,6 +39,7 @@
 #include "fuzz/program_gen.hh"
 #include "ir/parser.hh"
 #include "machine/presets.hh"
+#include "obs/chrome_trace.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/json_parse.hh"
 #include "service/bounded_queue.hh"
@@ -966,4 +967,317 @@ TEST(CliContract, SigintMidRunDrainsAndEmitsStats)
               1);
     ::unlink(input.c_str());
     ::unlink(stats.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Live telemetry (docs/OBSERVABILITY.md): control-line protocol,
+// trace propagation, the span log, and the in-band endpoints.
+
+TEST(Protocol, ControlLinesClassifyAndRoundTrip)
+{
+    // The three live endpoints.
+    service::ControlRequest req =
+        service::parseControlLine("{\"type\":\"stats\",\"id\":\"s1\"}");
+    EXPECT_EQ(req.type, service::ControlType::Stats);
+    EXPECT_EQ(req.id, "s1");
+    EXPECT_EQ(req.format, "json"); // the default format
+
+    req = service::parseControlLine(
+        "{\"type\":\"stats\",\"format\":\"prometheus\"}");
+    EXPECT_EQ(req.type, service::ControlType::Stats);
+    EXPECT_EQ(req.format, "prometheus");
+
+    req = service::parseControlLine("{\"type\":\"health\"}");
+    EXPECT_EQ(req.type, service::ControlType::Health);
+
+    req = service::parseControlLine("{\"type\":\"trace-dump\"}");
+    EXPECT_EQ(req.type, service::ControlType::TraceDump);
+
+    // Anything without a "type" string key takes the scheduling path
+    // — including malformed JSON, whose errors belong to that path.
+    EXPECT_EQ(service::parseControlLine(
+                  "{\"id\":\"q1\",\"source\":\"\"}")
+                  .type,
+              service::ControlType::None);
+    EXPECT_EQ(service::parseControlLine("not json at all").type,
+              service::ControlType::None);
+    EXPECT_EQ(service::parseControlLine("{\"type\":7}").type,
+              service::ControlType::None);
+
+    // A "type" we do not serve is Invalid (answered with an error),
+    // as is an unknown stats format.
+    req = service::parseControlLine("{\"type\":\"bogus\"}");
+    EXPECT_EQ(req.type, service::ControlType::Invalid);
+    EXPECT_FALSE(req.error.empty());
+    req = service::parseControlLine(
+        "{\"type\":\"stats\",\"format\":\"xml\"}");
+    EXPECT_EQ(req.type, service::ControlType::Invalid);
+    EXPECT_FALSE(req.error.empty());
+
+    // Serializer round trip.
+    service::ControlRequest out;
+    out.type = service::ControlType::Stats;
+    out.id = "rt";
+    out.format = "prometheus";
+    req = service::parseControlLine(service::controlRequestLine(out));
+    EXPECT_EQ(req.type, service::ControlType::Stats);
+    EXPECT_EQ(req.id, "rt");
+    EXPECT_EQ(req.format, "prometheus");
+}
+
+TEST(Protocol, TraceIdRidesRequestEnvelopeAndResponse)
+{
+    // Client-supplied trace id survives request parsing.
+    std::string error;
+    std::optional<service::RequestSpec> spec =
+        service::parseRequestLine("{\"id\":\"q1\",\"source\":\"\","
+                                  "\"trace_id\":\"t42\"}",
+                                  error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    EXPECT_EQ(spec->traceId, "t42");
+
+    // ... and the sandbox envelope round trip.
+    service::SandboxEnvelope env;
+    env.spec = *spec;
+    env.attempt = 2;
+    std::optional<service::SandboxEnvelope> back =
+        service::parseSandboxEnvelopeLine(
+            service::sandboxEnvelopeLine(env), error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->spec.traceId, "t42");
+    EXPECT_EQ(back->attempt, 2);
+
+    // Responses echo the id and carry the per-phase spans, which
+    // phaseSpansFromResponse() recovers on the supervisor side.
+    service::ResponseBody body;
+    body.traceId = "t42";
+    body.spans.parseNs = 10;
+    body.spans.buildNs = 20;
+    body.spans.schedNs = 30;
+    const std::string line = service::responseLine("q1", body);
+    obs::JsonValue doc = obs::parseJson(line);
+    EXPECT_EQ(doc.strOr("trace_id", ""), "t42");
+    service::PhaseSpans spans =
+        service::phaseSpansFromResponse(line);
+    EXPECT_EQ(spans.parseNs, 10u);
+    EXPECT_EQ(spans.buildNs, 20u);
+    EXPECT_EQ(spans.heurNs, 0u);
+    EXPECT_EQ(spans.schedNs, 30u);
+    EXPECT_TRUE(spans.any());
+
+    // Absent spans parse as all-zero (old workers, error lines).
+    body = service::ResponseBody{};
+    spans = service::phaseSpansFromResponse(
+        service::responseLine("q2", body));
+    EXPECT_FALSE(spans.any());
+}
+
+TEST(ServiceTraceLog, BoundedRecordingAndChromeRendering)
+{
+    obs::ServiceTraceLog log(3);
+    obs::RequestTrace trace;
+    trace.log = &log;
+    trace.traceId = "t1";
+    trace.lane = 2;
+    trace.epoch = std::chrono::steady_clock::now();
+
+    trace.span("queue", -1, 0, 50);
+    trace.span("rung", 1, 50, 90, "ok");
+    trace.span("request", -1, 0, 100);
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.dropped(), 0u);
+
+    // Full log counts drops instead of evicting history.
+    trace.span("request", -1, 0, 10);
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.dropped(), 1u);
+
+    // The rendered document is one parseable Chrome trace whose
+    // events carry the trace id and note under args.
+    obs::JsonValue doc = obs::parseJson(log.chromeJson(false));
+    ASSERT_TRUE(doc.has("traceEvents"));
+    const obs::JsonValue::Array &events = doc.at("traceEvents").array();
+    ASSERT_EQ(events.size(), 3u);
+    std::set<std::string> names;
+    for (const obs::JsonValue &ev : events) {
+        EXPECT_EQ(ev.strOr("ph", ""), "X");
+        names.insert(ev.strOr("name", ""));
+        ASSERT_TRUE(ev.has("args"));
+        EXPECT_EQ(ev.at("args").strOr("trace_id", ""), "t1");
+    }
+    EXPECT_TRUE(names.count("queue"));
+    EXPECT_TRUE(names.count("rung"));
+    EXPECT_TRUE(names.count("request"));
+
+    // zeroTimes yields a byte-stable document across runs.
+    EXPECT_EQ(log.chromeJson(true), log.chromeJson(true));
+
+    // A null log is a safe no-op sink.
+    obs::RequestTrace off;
+    off.span("request", -1, 0, 1);
+    EXPECT_EQ(log.size(), 3u); // nothing new was recorded anywhere
+}
+
+TEST(Daemon, ControlLinesAnswerInBandWithOneSchema)
+{
+    FaultGuard guard;
+    service::DaemonConfig config;
+    config.socketPath = testSocketPath("control");
+    config.workers = 2;
+    config.queueCapacity = 8;
+    config.statsPath = "";
+    ::unlink(config.socketPath.c_str());
+
+    service::Daemon daemon(config);
+    int rc = -1;
+    std::thread server([&] { rc = daemon.run(); });
+
+    int fd = connectWithRetry(config.socketPath);
+    ASSERT_GE(fd, 0) << "daemon did not come up";
+
+    // One real request first, so the tallies are non-trivial and the
+    // span log holds one finished request tree.
+    ASSERT_TRUE(sendAll(fd, "{\"id\":\"q0\",\"source\":\"add %g1, "
+                            "%g2, %g3\\n\"}\n"));
+    std::vector<std::string> lines = readLines(fd, 1);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(obs::parseJson(lines[0]).strOr("status", ""), "ok");
+
+    ASSERT_TRUE(sendAll(
+        fd,
+        "{\"type\":\"stats\",\"id\":\"s1\"}\n"
+        "{\"type\":\"stats\",\"id\":\"s2\",\"format\":"
+        "\"prometheus\"}\n"
+        "{\"type\":\"health\",\"id\":\"h1\"}\n"
+        "{\"type\":\"trace-dump\",\"id\":\"t1\"}\n"
+        "{\"type\":\"bogus\",\"id\":\"x1\"}\n"));
+    lines = readLines(fd, 5);
+    ASSERT_EQ(lines.size(), 5u);
+
+    // Stats: the same document shape as the drain-time file, and at
+    // quiesce the conservation law balances exactly.
+    obs::JsonValue stats = obs::parseJson(lines[0]);
+    EXPECT_EQ(stats.numberOr("sched91_serve_stats", 0), 1);
+    EXPECT_EQ(stats.strOr("id", ""), "s1");
+    ASSERT_TRUE(stats.has("meta"));
+    EXPECT_EQ(stats.at("meta").numberOr("stats_schema", 0), 1);
+    EXPECT_GE(stats.at("meta").numberOr("uptime_seconds", -1), 0);
+    ASSERT_TRUE(stats.has("service"));
+    const obs::JsonValue &svc = stats.at("service");
+    EXPECT_EQ(svc.numberOr("accepted", -1), 1);
+    EXPECT_EQ(svc.numberOr("accepted", -1),
+              svc.numberOr("ok", 0) + svc.numberOr("degraded", 0) +
+                  svc.numberOr("error", 0) +
+                  svc.numberOr("rejected_after_admit", 0));
+    ASSERT_TRUE(stats.has("queue"));
+    EXPECT_EQ(stats.at("queue").numberOr("capacity", 0), 8);
+    ASSERT_TRUE(stats.has("histograms"));
+    ASSERT_TRUE(stats.has("trace"));
+    EXPECT_GT(stats.at("trace").numberOr("spans", 0), 0);
+
+    // Prometheus: the text exposition rides inside the JSON line.
+    obs::JsonValue prom = obs::parseJson(lines[1]);
+    EXPECT_EQ(prom.strOr("id", ""), "s2");
+    EXPECT_EQ(prom.strOr("format", ""), "prometheus");
+    const std::string expo = prom.strOr("exposition", "");
+    EXPECT_NE(expo.find("# TYPE sched91_svc_uptime_seconds gauge\n"),
+              std::string::npos);
+    EXPECT_NE(expo.find("sched91_svc_queue_capacity"),
+              std::string::npos);
+    EXPECT_NE(expo.find("machine=\""), std::string::npos);
+
+    // Health: cheap liveness/pressure probe.
+    obs::JsonValue health = obs::parseJson(lines[2]);
+    EXPECT_EQ(health.numberOr("sched91_serve_health", 0), 1);
+    EXPECT_EQ(health.strOr("id", ""), "h1");
+    EXPECT_EQ(health.strOr("status", ""), "ok");
+    EXPECT_EQ(health.numberOr("accepted", -1), 1);
+    EXPECT_EQ(health.numberOr("queue_capacity", 0), 8);
+
+    // Trace dump: the answered request renders as one connected span
+    // tree — a request span plus its queue child, same trace id.
+    obs::JsonValue dump = obs::parseJson(lines[3]);
+    EXPECT_EQ(dump.numberOr("sched91_serve_trace", 0), 1);
+    ASSERT_TRUE(dump.has("trace"));
+    const obs::JsonValue::Array &events =
+        dump.at("trace").at("traceEvents").array();
+    ASSERT_FALSE(events.empty());
+    std::set<std::string> spanNames;
+    std::set<std::string> traceIds;
+    for (const obs::JsonValue &ev : events) {
+        spanNames.insert(ev.strOr("name", ""));
+        traceIds.insert(ev.at("args").strOr("trace_id", ""));
+    }
+    EXPECT_TRUE(spanNames.count("request"));
+    EXPECT_TRUE(spanNames.count("queue"));
+    EXPECT_EQ(traceIds.size(), 1u); // one request, one tree
+
+    // Unknown type: answered as an error, not dropped, not queued.
+    obs::JsonValue bad = obs::parseJson(lines[4]);
+    EXPECT_EQ(bad.strOr("status", ""), "error");
+    EXPECT_EQ(bad.strOr("id", ""), "x1");
+
+    daemon.requestDrain();
+    server.join();
+    EXPECT_EQ(rc, 0);
+    // Control lines never touch admission.
+    EXPECT_EQ(daemon.counters().accepted.load(), 1u);
+    EXPECT_EQ(daemon.counters().rejected.load(), 0u);
+    ::close(fd);
+}
+
+TEST(Daemon, PeriodicSnapshotsShareTheStatsSchema)
+{
+    FaultGuard guard;
+    service::DaemonConfig config;
+    config.socketPath = testSocketPath("snapshot");
+    config.workers = 1;
+    config.queueCapacity = 8;
+    config.statsPath = "";
+    config.snapshotSeconds = 0.05;
+    config.snapshotPath = "/tmp/sched91-test-snap-" +
+                          std::to_string(::getpid()) + ".jsonl";
+    ::unlink(config.socketPath.c_str());
+    ::unlink(config.snapshotPath.c_str());
+
+    service::Daemon daemon(config);
+    int rc = -1;
+    std::thread server([&] { rc = daemon.run(); });
+
+    int fd = connectWithRetry(config.socketPath);
+    ASSERT_GE(fd, 0) << "daemon did not come up";
+    ASSERT_TRUE(sendAll(fd, "{\"id\":\"q0\",\"source\":\"add %g1, "
+                            "%g2, %g3\\n\"}\n"));
+    ASSERT_EQ(readLines(fd, 1).size(), 1u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    daemon.requestDrain();
+    server.join();
+    EXPECT_EQ(rc, 0);
+    ::close(fd);
+
+    // Every line is one complete stats document (temp-then-rename
+    // writes mean a reader never sees a torn line) with the shared
+    // schema marker and a delta section.
+    std::ifstream in(config.snapshotPath);
+    ASSERT_TRUE(in.good()) << config.snapshotPath;
+    std::string line;
+    std::size_t count = 0;
+    double lastAccepted = 0.0;
+    while (std::getline(in, line)) {
+        obs::JsonValue doc = obs::parseJson(line);
+        EXPECT_EQ(doc.numberOr("sched91_serve_stats", 0), 1);
+        EXPECT_EQ(doc.at("meta").numberOr("stats_schema", 0), 1);
+        ASSERT_TRUE(doc.has("delta"));
+        const double accepted =
+            doc.at("service").numberOr("accepted", 0);
+        EXPECT_GE(accepted, lastAccepted); // snapshots are monotone
+        lastAccepted = accepted;
+        ++count;
+    }
+    EXPECT_GE(count, 1u);
+    // The final tick ran at drain, so the last snapshot accounts for
+    // everything this test sent.
+    EXPECT_EQ(lastAccepted, 1.0);
+    ::unlink(config.snapshotPath.c_str());
 }

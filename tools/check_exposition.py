@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition document (format 0.0.4).
+
+Used by tools/run_daemon_smoke.sh on the exposition scraped live from
+`sched91 serve`'s in-band stats endpoint, and usable standalone:
+
+    sched91 ... | python3 tools/check_exposition.py exposition.txt
+    python3 tools/check_exposition.py < exposition.txt
+
+Checks the subset of the format the daemon emits:
+
+  - every sample line is `name{labels} value` with a metric name
+    matching [a-zA-Z_:][a-zA-Z0-9_:]*, a parseable label block, and a
+    finite numeric value;
+  - every metric family has exactly one `# TYPE` line, of a known
+    type (counter | gauge | histogram), appearing before its samples;
+  - histogram families are complete: cumulative `_bucket{le=...}`
+    series with non-decreasing counts and non-decreasing bucket
+    bounds, closed by the mandatory `le="+Inf"` bucket, plus `_sum`
+    and `_count` samples; `_count` equals the `+Inf` bucket value;
+  - no duplicate sample (same name + same label set).
+
+Exit codes: 0 valid, 1 violations (printed to stderr), 2 usage.
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+TYPE_LINE = re.compile(
+    r"^# TYPE (?P<name>\S+) (?P<type>\S+)$"
+)
+KNOWN_TYPES = ("counter", "gauge", "histogram")
+
+
+def parse_labels(raw, errors, where):
+    """The `k="v",...` inside a label block -> dict (escapes kept)."""
+    labels = {}
+    i = 0
+    while i < len(raw):
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', raw[i:])
+        if not m:
+            errors.append(f"{where}: bad label block at '{raw[i:]}'")
+            return labels
+        key = m.group(1)
+        i += m.end()
+        value = []
+        while i < len(raw) and raw[i] != '"':
+            if raw[i] == "\\":
+                if i + 1 >= len(raw) or raw[i + 1] not in '\\"n':
+                    errors.append(f"{where}: bad escape in label {key}")
+                    return labels
+                value.append(raw[i : i + 2])
+                i += 2
+            else:
+                value.append(raw[i])
+                i += 1
+        if i >= len(raw):
+            errors.append(f"{where}: unterminated label value ({key})")
+            return labels
+        i += 1  # closing quote
+        if key in labels:
+            errors.append(f"{where}: duplicate label '{key}'")
+        labels[key] = "".join(value)
+        if i < len(raw):
+            if raw[i] != ",":
+                errors.append(f"{where}: expected ',' in label block")
+                return labels
+            i += 1
+    return labels
+
+
+def base_family(name):
+    """Family a sample belongs to (histogram suffixes stripped)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def check(text):
+    errors = []
+    types = {}  # family -> declared type
+    seen_samples = set()
+    # family -> {"buckets": [(le, value)], "sum": v, "count": v}
+    histograms = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"line {lineno}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = TYPE_LINE.match(line)
+            if not m:
+                # HELP and free comments are legal; only TYPE is
+                # structured.
+                if line.startswith("# TYPE"):
+                    errors.append(f"{where}: malformed TYPE line")
+                continue
+            name, typ = m.group("name"), m.group("type")
+            if not METRIC_NAME.match(name):
+                errors.append(f"{where}: bad metric name '{name}'")
+            if typ not in KNOWN_TYPES:
+                errors.append(f"{where}: unknown type '{typ}'")
+            if name in types:
+                errors.append(f"{where}: duplicate TYPE for '{name}'")
+            types[name] = typ
+            if typ == "histogram":
+                histograms[name] = {
+                    "buckets": [],
+                    "sum": None,
+                    "count": None,
+                }
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append(f"{where}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        labels = parse_labels(m.group("labels") or "", errors, where)
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(f"{where}: bad value {m.group('value')!r}")
+            continue
+        if not math.isfinite(value):
+            errors.append(f"{where}: non-finite value for '{name}'")
+
+        family, suffix = base_family(name)
+        declared = types.get(name) or types.get(family)
+        if declared is None:
+            errors.append(f"{where}: sample '{name}' without TYPE")
+            continue
+        if suffix and declared != "histogram":
+            # A plain counter may legitimately end in _count; only
+            # treat the suffix as structural under a histogram TYPE.
+            family, suffix = name, ""
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            errors.append(f"{where}: duplicate sample for '{name}'")
+        seen_samples.add(key)
+
+        if suffix == "_bucket":
+            le = labels.get("le")
+            if le is None:
+                errors.append(f"{where}: bucket without le label")
+                continue
+            bound = math.inf if le == "+Inf" else None
+            if bound is None:
+                try:
+                    bound = float(le)
+                except ValueError:
+                    errors.append(f"{where}: bad le value {le!r}")
+                    continue
+            histograms[family]["buckets"].append((bound, value, where))
+        elif suffix == "_sum":
+            histograms[family]["sum"] = value
+        elif suffix == "_count":
+            histograms[family]["count"] = value
+
+    for family, h in histograms.items():
+        buckets = h["buckets"]
+        if not buckets:
+            errors.append(f"histogram '{family}' has no buckets")
+            continue
+        if buckets[-1][0] != math.inf:
+            errors.append(
+                f"histogram '{family}' does not end with le=\"+Inf\"")
+        last_bound, last_value = -math.inf, -math.inf
+        for bound, value, where in buckets:
+            if bound <= last_bound:
+                errors.append(
+                    f"{where}: '{family}' bucket bounds not "
+                    f"increasing ({bound} after {last_bound})")
+            if value < last_value:
+                errors.append(
+                    f"{where}: '{family}' cumulative count decreased "
+                    f"({value} after {last_value})")
+            last_bound, last_value = bound, value
+        if h["sum"] is None:
+            errors.append(f"histogram '{family}' is missing _sum")
+        if h["count"] is None:
+            errors.append(f"histogram '{family}' is missing _count")
+        elif h["count"] != buckets[-1][1]:
+            errors.append(
+                f"histogram '{family}': _count {h['count']} != "
+                f"+Inf bucket {buckets[-1][1]}")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if len(argv) == 2:
+        with open(argv[1]) as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    errors = check(text)
+    if errors:
+        for e in errors:
+            print(f"check_exposition: {e}", file=sys.stderr)
+        return 1
+    families = len([t for t in text.splitlines()
+                    if t.startswith("# TYPE")])
+    print(f"check_exposition: ok ({families} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

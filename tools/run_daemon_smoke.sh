@@ -19,6 +19,14 @@
 # request exactly once (victims degraded), respawn the pool, and
 # reproduce the same tallies on a same-seed replay.
 #
+# Telemetry rides every cycle (docs/OBSERVABILITY.md): the soak
+# client interleaves `--scrape-every` stats reads with its own load,
+# a separate connection scrapes health/stats/prometheus while the
+# daemon is under fault-injected fire (exposition validated by
+# tools/check_exposition.py), and the crash cycle pulls a trace-dump
+# to assert a SIGKILLed worker's request still renders as one
+# connected span tree.
+#
 # Runs the whole matrix at two injection seeds.  Usage:
 #
 #   tools/run_daemon_smoke.sh [builddir]     # default: build
@@ -62,6 +70,89 @@ wait_for_socket() {
     [ -S "$sock" ]
 }
 
+# Scrape health + stats + prometheus over one fresh connection while
+# the daemon serves load; writes the exposition text to $2.
+scrape_live() {
+    python3 - "$1" "$2" <<'EOF'
+import json, socket, sys
+sock, expo_path = sys.argv[1], sys.argv[2]
+c = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+c.settimeout(30)
+c.connect(sock)
+f = c.makefile('rw')
+f.write('{"type":"health","id":"h"}\n'
+        '{"type":"stats","id":"s"}\n'
+        '{"type":"stats","format":"prometheus","id":"p"}\n')
+f.flush()
+health = json.loads(f.readline())
+stats = json.loads(f.readline())
+prom = json.loads(f.readline())
+c.close()
+
+assert health['sched91_serve_health'] == 1
+assert health['status'] in ('ok', 'draining'), health['status']
+assert health['queue_depth'] <= health['queue_capacity']
+
+assert stats['sched91_serve_stats'] == 1
+assert stats['meta']['stats_schema'] == 1
+s = stats['service']
+answered = s['ok'] + s['degraded'] + s['error'] + \
+    s['rejected_after_admit']
+assert answered <= s['accepted'], \
+    f"answered {answered} > accepted {s['accepted']} mid-flight"
+
+assert prom['status'] == 'ok' and prom['format'] == 'prometheus'
+expo = prom['exposition']
+assert expo.startswith('# TYPE'), 'exposition missing TYPE header'
+open(expo_path, 'w').write(expo)
+print(f"ok: live scrape (accepted {s['accepted']}, "
+      f"queue {health['queue_depth']}/{health['queue_capacity']}, "
+      f"status {health['status']})")
+EOF
+}
+
+# Pull a trace-dump from a live daemon and assert that a request
+# whose sandbox worker was killed mid-flight still forms one
+# connected span tree: its trace id must carry the request and queue
+# parent spans AND a crash-annotated rung span.
+assert_crash_trace() {
+    python3 - "$1" <<'EOF'
+import json, socket, sys
+c = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+c.settimeout(30)
+c.connect(sys.argv[1])
+f = c.makefile('rw')
+f.write('{"type":"trace-dump","id":"t"}\n')
+f.flush()
+d = json.loads(f.readline())
+c.close()
+
+assert d['sched91_serve_trace'] == 1
+assert d['status'] == 'ok'
+by_trace = {}
+for ev in d['trace']['traceEvents']:
+    tid = ev['args']['trace_id']
+    by_trace.setdefault(tid, []).append(ev)
+
+crashed = connected = 0
+for tid, evs in by_trace.items():
+    names = {ev['name'] for ev in evs}
+    notes = [ev['args'].get('note', '') for ev in evs
+             if ev['name'] == 'rung']
+    if not any(n.startswith('crash') for n in notes):
+        continue
+    crashed += 1
+    if {'request', 'queue', 'rung'} <= names:
+        connected += 1
+assert crashed > 0, 'no crash-annotated request in the trace dump'
+assert connected == crashed, \
+    f"{crashed - connected} killed-worker request(s) lost their " \
+    f"request/queue parent spans: the span tree is disconnected"
+print(f"ok: trace-dump ({len(by_trace)} traced requests, "
+      f"{crashed} with killed workers, all connected)")
+EOF
+}
+
 # One full cycle: serve (fault-injected) -> soak -> SIGINT drain.
 # Prints the soak summary line so callers can diff runs.
 run_cycle() {
@@ -87,7 +178,19 @@ run_cycle() {
     fi
 
     "$soak" --socket "$sock" --requests 48 --connections 4 \
-        --pipeline 4 --seed 7 >"$workdir/soak-$tag.out"
+        --pipeline 4 --seed 7 --scrape-every 4 \
+        >"$workdir/soak-$tag.out" &
+    local soak_pid=$!
+
+    # Scrape from a separate connection while the soak load (and the
+    # fault injector) is live, then validate the exposition text.
+    scrape_live "$sock" "$workdir/expo-$tag.txt"
+    check "live scrape under load (seed $seed)" 0 $?
+    python3 "$(dirname "$0")/check_exposition.py" \
+        "$workdir/expo-$tag.txt"
+    check "prometheus exposition (seed $seed)" 0 $?
+
+    wait "$soak_pid"
     check "soak contract (daemon seed $seed)" 0 $?
 
     kill -INT "$daemon_pid"
@@ -145,8 +248,14 @@ run_crash_cycle() {
 
     "$soak" --socket "$sock" --requests 32 --connections 4 \
         --pipeline 4 --seed 7 --expect-degraded \
-        --timeout-ms 60000 >"$workdir/crash-soak-$tag.out"
+        --timeout-ms 60000 --scrape-every 8 \
+        >"$workdir/crash-soak-$tag.out"
     check "crash-soak contract (seed $seed)" 0 $?
+
+    # Workers were SIGKILLed mid-request above; every such request
+    # must still render as one connected span tree.
+    assert_crash_trace "$sock"
+    check "killed-worker span tree (seed $seed)" 0 $?
 
     kill -INT "$daemon_pid"
     wait "$daemon_pid"

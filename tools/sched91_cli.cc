@@ -12,6 +12,7 @@
  *     sched91 compile  <file.s>             prepass+allocate+postpass
  *     sched91 explain  <bundle.json>        replay an outlier bundle
  *     sched91 serve                         scheduling daemon (unix socket)
+ *     sched91 top      [socket]             live daemon telemetry console
  *     sched91 reduce   <file.s>             shrink an oracle-failing source
  *     sched91 kernels                       list built-in kernels
  *
@@ -79,6 +80,8 @@
  */
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -90,6 +93,11 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "core/sched91.hh"
 #include "dag/dot_export.hh"
@@ -176,6 +184,13 @@ struct CliOptions
     std::string socketPath = "/tmp/sched91.sock"; ///< --socket
     int queueCapacity = 64; ///< --queue-capacity
     double deadlineMs = 0.0; ///< --deadline-ms (0 = none)
+    double snapshotSeconds = 0.0; ///< --snapshot-seconds (0 = off)
+    std::string snapshotJson;     ///< --snapshot-json JSONL path
+    std::string traceJson;        ///< --trace-json Chrome-trace path
+
+    // Live console (sched91 top).
+    int topIntervalMs = 1000; ///< --interval-ms between scrapes
+    int topIterations = 0;    ///< --iterations (0 = until ^C)
 
     // Process isolation (sched91 serve --isolate=process).
     std::string isolate = "none"; ///< --isolate none|process
@@ -248,6 +263,10 @@ const char kUsage[] =
     "  serve               scheduling daemon on an AF_UNIX socket;\n"
     "                      newline-delimited JSON requests/responses,\n"
     "                      SIGINT/SIGTERM drains gracefully\n"
+    "  top      [socket]   live telemetry console: polls the daemon's\n"
+    "                      in-band stats endpoint and renders RPS,\n"
+    "                      queue depth/wait, latency percentiles, rung\n"
+    "                      tallies, and worker health\n"
     "  reduce   <file.s>   ddmin-shrink a source that fails the\n"
     "                      differential oracle; reduced source on\n"
     "                      stdout\n"
@@ -338,6 +357,16 @@ const char kUsage[] =
     "  --threads <N>        worker lanes (0 = hardware concurrency)\n"
     "  --stats-json <path>  final stats document at drain (default\n"
     "                       stdout)\n"
+    "  --snapshot-seconds <S>  append one stats document (with delta\n"
+    "                       counters) to --snapshot-json every S\n"
+    "                       seconds, written temp-then-rename\n"
+    "  --snapshot-json <path>  periodic snapshot JSONL destination\n"
+    "  --trace-json <path>  merged Chrome-trace span stream at drain\n"
+    "                       (\"-\" = stdout); `trace-dump` control\n"
+    "                       lines serve the same stream live\n"
+    "  --interval-ms <ms>   top: scrape period (default 1000)\n"
+    "  --iterations <N>     top: render N frames then exit (0 = until\n"
+    "                       interrupted; useful for scripts/CI)\n"
     "  --isolate <mode>     none (default) | process: run ladder\n"
     "                       attempts in pre-forked sandbox worker\n"
     "                       subprocesses; a worker killed by a signal,\n"
@@ -466,6 +495,23 @@ parseArgs(int argc, char **argv)
             opts.deadlineMs = std::atof(next().c_str());
             if (opts.deadlineMs < 0.0)
                 usageError("--deadline-ms must be >= 0");
+        } else if (arg == "--snapshot-seconds") {
+            opts.snapshotSeconds = std::atof(next().c_str());
+            if (opts.snapshotSeconds <= 0.0)
+                usageError(
+                    "--snapshot-seconds needs a positive period");
+        } else if (arg == "--snapshot-json")
+            opts.snapshotJson = next();
+        else if (arg == "--trace-json")
+            opts.traceJson = next();
+        else if (arg == "--interval-ms") {
+            opts.topIntervalMs = std::atoi(next().c_str());
+            if (opts.topIntervalMs <= 0)
+                usageError("--interval-ms needs a positive period");
+        } else if (arg == "--iterations") {
+            opts.topIterations = std::atoi(next().c_str());
+            if (opts.topIterations < 0)
+                usageError("--iterations must be >= 0");
         } else if (arg == "--isolate") {
             opts.isolate = next();
             if (opts.isolate != "none" && opts.isolate != "process")
@@ -1195,6 +1241,15 @@ cmdExplain(const CliOptions &opts)
     std::printf("bundle %s: block %lld, score %.0f, %.0f insts\n",
                 opts.input.c_str(), block, doc.numberOr("score", 0),
                 doc.numberOr("insts", 0));
+    if (doc.has("meta")) {
+        // Daemon-captured bundles carry the request's live trace id,
+        // so a bundle cross-references its span tree in a
+        // `trace-dump` / --trace-json stream.
+        const std::string traceId =
+            doc.at("meta").strOr("trace_id", "");
+        if (!traceId.empty())
+            std::printf("trace id: %s\n", traceId.c_str());
+    }
     if (doc.has("issue")) {
         const obs::JsonValue &issue = doc.at("issue");
         std::string stage = issue.strOr("stage", "");
@@ -1244,12 +1299,18 @@ cmdServe(const CliOptions &opts)
     obs::setEnabled(true);
     obs::PhaseProfiler::global().clear();
 
+    if (opts.snapshotSeconds > 0.0 && opts.snapshotJson.empty())
+        fatal("serve: --snapshot-seconds needs --snapshot-json");
+
     service::DaemonConfig cfg;
     cfg.socketPath = opts.socketPath;
     cfg.workers = opts.threads;
     cfg.queueCapacity = static_cast<std::size_t>(opts.queueCapacity);
     cfg.statsPath = opts.statsJson.empty() ? "-" : opts.statsJson;
     cfg.zeroTimes = opts.zeroTimes;
+    cfg.snapshotSeconds = opts.snapshotSeconds;
+    cfg.snapshotPath = opts.snapshotJson;
+    cfg.tracePath = opts.traceJson;
     cfg.engine.builder = opts.builder;
     cfg.engine.algorithm = opts.algorithm;
     cfg.engine.policy = opts.policy;
@@ -1271,6 +1332,225 @@ cmdServe(const CliOptions &opts)
     int rc = daemon.run();
     g_daemon = nullptr;
     return rc;
+}
+
+/** Minimal line-oriented AF_UNIX client for `sched91 top`. */
+class UnixClient
+{
+  public:
+    explicit UnixClient(const std::string &path)
+    {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd_ < 0)
+            fatal("top: socket(): ", std::strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (path.size() >= sizeof(addr.sun_path))
+            fatal("top: socket path '", path,
+                  "' too long for AF_UNIX");
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) < 0)
+            fatal("top: connect('", path,
+                  "'): ", std::strerror(errno),
+                  " (is the daemon running?)");
+    }
+
+    ~UnixClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    UnixClient(const UnixClient &) = delete;
+    UnixClient &operator=(const UnixClient &) = delete;
+
+    void
+    sendLine(const std::string &line)
+    {
+        std::string framed = line;
+        framed += '\n';
+        std::size_t off = 0;
+        while (off < framed.size()) {
+            const ssize_t n = ::send(fd_, framed.data() + off,
+                                     framed.size() - off,
+                                     MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("top: send(): ", std::strerror(errno));
+            }
+            off += static_cast<std::size_t>(n);
+        }
+    }
+
+    /** Next response line; nullopt on daemon EOF. */
+    std::optional<std::string>
+    recvLine()
+    {
+        for (;;) {
+            const std::size_t nl = buffer_.find('\n');
+            if (nl != std::string::npos) {
+                std::string line = buffer_.substr(0, nl);
+                buffer_.erase(0, nl + 1);
+                return line;
+            }
+            char chunk[65536];
+            const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+            if (n == 0)
+                return std::nullopt;
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                fatal("top: recv(): ", std::strerror(errno));
+            }
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+/** Human-scaled duration from nanoseconds. */
+std::string
+fmtNs(double ns)
+{
+    char buf[64];
+    if (ns >= 1e9)
+        std::snprintf(buf, sizeof buf, "%.2fs", ns / 1e9);
+    else if (ns >= 1e6)
+        std::snprintf(buf, sizeof buf, "%.1fms", ns / 1e6);
+    else if (ns >= 1e3)
+        std::snprintf(buf, sizeof buf, "%.1fus", ns / 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.0fns", ns);
+    return buf;
+}
+
+/**
+ * `sched91 top [socket]`: poll the daemon's in-band `stats` endpoint
+ * and render a refreshing console frame — request rates, queue
+ * pressure, latency percentiles, ladder tallies, worker health.  The
+ * scrape path never enters the admission queue, so the console stays
+ * live while the daemon sheds load.  With --iterations N the view
+ * renders N frames without clearing the screen (scripts, CI).
+ */
+int
+cmdTop(const CliOptions &opts)
+{
+    const std::string socket =
+        !opts.input.empty() ? opts.input : opts.socketPath;
+    UnixClient client(socket);
+    const bool refresh =
+        opts.topIterations == 0 && ::isatty(STDOUT_FILENO) != 0;
+
+    double lastAccepted = -1.0;
+    for (int frame = 0;
+         opts.topIterations == 0 || frame < opts.topIterations;
+         ++frame) {
+        if (frame > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opts.topIntervalMs));
+        client.sendLine("{\"type\":\"stats\",\"id\":\"top\"}");
+        std::optional<std::string> line = client.recvLine();
+        if (!line)
+            fatal("top: daemon closed the connection (draining?)");
+        obs::JsonValue doc = obs::parseJson(*line);
+        if (!doc.has("sched91_serve_stats"))
+            fatal("top: unexpected response (not a stats document): ",
+                  line->substr(0, 120));
+
+        const obs::JsonValue &svc = doc.at("service");
+        const obs::JsonValue &meta = doc.at("meta");
+        const double accepted = svc.numberOr("accepted", 0);
+        const double rps =
+            lastAccepted >= 0.0
+                ? (accepted - lastAccepted) * 1000.0 /
+                      static_cast<double>(opts.topIntervalMs)
+                : 0.0;
+        lastAccepted = accepted;
+
+        auto pct = [&doc](const char *hist, const char *p) -> double {
+            if (!doc.has("histograms"))
+                return 0.0;
+            const obs::JsonValue &hists = doc.at("histograms");
+            if (!hists.has(hist))
+                return 0.0;
+            return hists.at(hist).numberOr(p, 0);
+        };
+
+        std::string frameText;
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "sched91 top — %s   uptime %.1fs   machine %s\n",
+                      socket.c_str(),
+                      meta.numberOr("uptime_seconds", 0),
+                      meta.strOr("machine", "?").c_str());
+        frameText += buf;
+        std::snprintf(
+            buf, sizeof buf,
+            "requests  accepted %.0f  ok %.0f  degraded %.0f  "
+            "error %.0f  rejected %.0f (after admit %.0f)\n",
+            accepted, svc.numberOr("ok", 0),
+            svc.numberOr("degraded", 0), svc.numberOr("error", 0),
+            svc.numberOr("rejected", 0),
+            svc.numberOr("rejected_after_admit", 0));
+        frameText += buf;
+        const obs::JsonValue &queue = doc.at("queue");
+        std::snprintf(
+            buf, sizeof buf,
+            "load      rps %.1f   queue %.0f/%.0f   wait p50 %s "
+            "p99 %s   latency p50 %s p99 %s\n",
+            rps, queue.numberOr("depth", 0),
+            queue.numberOr("capacity", 0),
+            fmtNs(pct("svc.queue_wait_ns", "p50")).c_str(),
+            fmtNs(pct("svc.queue_wait_ns", "p99")).c_str(),
+            fmtNs(pct("svc.request_ns", "p50")).c_str(),
+            fmtNs(pct("svc.request_ns", "p99")).c_str());
+        frameText += buf;
+        std::snprintf(
+            buf, sizeof buf,
+            "ladder    retries %.0f  fallbacks %.0f  quarantine %.0f "
+            "(adds %.0f, hits %.0f)  deadline %.0f\n",
+            svc.numberOr("retries", 0),
+            svc.numberOr("degraded_fallbacks", 0),
+            svc.numberOr("quarantine_size", 0),
+            svc.numberOr("quarantine_adds", 0),
+            svc.numberOr("quarantine_hits", 0),
+            svc.numberOr("deadline_expired", 0));
+        frameText += buf;
+        if (meta.strOr("isolate", "") == "process") {
+            std::snprintf(
+                buf, sizeof buf,
+                "workers   lanes %.0f  live %.0f  crashes %.0f  "
+                "kills %.0f  respawns %.0f  spawn-failures %.0f\n",
+                meta.numberOr("workers", 0),
+                svc.numberOr("workers_live", 0),
+                svc.numberOr("worker_crashes", 0),
+                svc.numberOr("worker_kills", 0),
+                svc.numberOr("worker_respawns", 0),
+                svc.numberOr("worker_spawn_failures", 0));
+            frameText += buf;
+        }
+        if (doc.has("trace")) {
+            std::snprintf(buf, sizeof buf,
+                          "trace     spans %.0f (dropped %.0f)\n",
+                          doc.at("trace").numberOr("spans", 0),
+                          doc.at("trace").numberOr("dropped", 0));
+            frameText += buf;
+        }
+
+        if (refresh)
+            std::fputs("\x1b[H\x1b[2J", stdout);
+        else if (frame > 0)
+            std::fputc('\n', stdout);
+        std::fputs(frameText.c_str(), stdout);
+        std::fflush(stdout);
+    }
+    return 0;
 }
 
 /**
@@ -1423,6 +1703,8 @@ main(int argc, char **argv)
             return cmdExplain(opts);
         if (opts.command == "serve")
             return cmdServe(opts);
+        if (opts.command == "top")
+            return cmdTop(opts);
         if (opts.command == "reduce")
             return cmdReduce(opts);
         if (opts.command == "kernels") {

@@ -30,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
@@ -64,6 +65,13 @@ struct Options
     bool expectDegraded = false; ///< a crash run with zero degraded
                                  ///< answers means faults never landed
     int timeoutMs = 30000; ///< silence this long = lost responses
+
+    /** Interleave a `{"type":"stats"}` control scrape after every N
+     * answered requests per connection (0 = off), asserting the
+     * telemetry contract under load: counters monotone across
+     * successive scrapes, and at quiesce the conservation law
+     * accepted == ok + degraded + error + rejected_after_admit. */
+    int scrapeEvery = 0;
 };
 
 const char kUsage[] =
@@ -71,7 +79,7 @@ const char kUsage[] =
     "                   [--connections C] [--pipeline K] [--seed S]\n"
     "                   [--corrupt R] [--deadline-ms MS] [--evaluate]\n"
     "                   [--no-empty] [--expect-degraded]\n"
-    "                   [--timeout-ms MS]\n";
+    "                   [--timeout-ms MS] [--scrape-every N]\n";
 
 Options
 parseArgs(int argc, char **argv)
@@ -109,6 +117,8 @@ parseArgs(int argc, char **argv)
             opts.expectDegraded = true;
         else if (arg == "--timeout-ms")
             opts.timeoutMs = std::atoi(next());
+        else if (arg == "--scrape-every")
+            opts.scrapeEvery = std::atoi(next());
         else {
             std::fputs(kUsage, stderr);
             std::exit(2);
@@ -237,11 +247,70 @@ checkResponse(const std::string &line, Outcome &out)
     }
 }
 
+/** Service counters a live scrape must never report going backwards
+ * (all Sum-kind; gauges like queue depth legitimately move both
+ * ways). */
+const char *const kMonotoneKeys[] = {
+    "accepted", "rejected", "ok",
+    "degraded", "error",    "retries",
+    "rejected_after_admit",
+};
+
+/** Per-connection memory of the previous scrape's counters. */
+using ScrapeState = std::map<std::string, double>;
+
+/**
+ * Check one in-band stats response against the telemetry contract:
+ * the document is well-formed, the monotone service counters never
+ * decrease between successive scrapes on this connection, and the
+ * answered tallies never exceed admissions (in-flight requests make
+ * `accepted` run ahead; it must never run behind).
+ */
+void
+checkScrape(const std::string &line, ScrapeState &last, Outcome &out)
+{
+    try {
+        obs::JsonValue doc = obs::parseJson(line);
+        if (!doc.has("service")) {
+            out.violation("stats response without a service section: " +
+                          line.substr(0, 120));
+            return;
+        }
+        const obs::JsonValue &svc = doc.at("service");
+        for (const char *key : kMonotoneKeys) {
+            const double now = svc.numberOr(key, 0);
+            auto it = last.find(key);
+            if (it != last.end() && now < it->second)
+                out.violation(
+                    "stats counter '" + std::string(key) +
+                    "' went backwards between scrapes (" +
+                    std::to_string(it->second) + " -> " +
+                    std::to_string(now) + ")");
+            last[key] = now;
+        }
+        const double accepted = svc.numberOr("accepted", 0);
+        const double answered = svc.numberOr("ok", 0) +
+                                svc.numberOr("degraded", 0) +
+                                svc.numberOr("error", 0) +
+                                svc.numberOr("rejected_after_admit", 0);
+        if (answered > accepted)
+            out.violation(
+                "scrape answered more than it admitted (accepted " +
+                std::to_string(accepted) + ", answered " +
+                std::to_string(answered) + ")");
+    } catch (const std::exception &e) {
+        out.violation(std::string("unparseable stats response (") +
+                      e.what() + "): " + line.substr(0, 120));
+    }
+}
+
 /**
  * Drive one connection: send its request slice with a bounded
  * in-flight window, read newline-delimited responses (they may come
  * back in any order — workers finish when they finish), and account
- * every id exactly once.
+ * every id exactly once.  With --scrape-every N, a stats control line
+ * is interleaved after every N answered requests — on the same
+ * connection, so the scrape contends with real load.
  */
 void
 runConnection(const Options &opts, const std::vector<int> &indices,
@@ -258,8 +327,12 @@ runConnection(const Options &opts, const std::vector<int> &indices,
     std::size_t next = 0;
     std::string buffer;
     bool dead = false;
+    int answeredHere = 0;  // request answers seen on this connection
+    int pendingScrapes = 0;
+    ScrapeState scrapeState;
 
-    while (!dead && (next < indices.size() || !pending.empty())) {
+    while (!dead && (next < indices.size() || !pending.empty() ||
+                     pendingScrapes > 0)) {
         while (next < indices.size() &&
                pending.size() <
                    static_cast<std::size_t>(opts.pipeline)) {
@@ -272,7 +345,7 @@ runConnection(const Options &opts, const std::vector<int> &indices,
             }
             pending.insert("q" + std::to_string(index));
         }
-        if (dead || pending.empty())
+        if (dead || (pending.empty() && pendingScrapes == 0))
             break;
 
         pollfd pfd{fd, POLLIN, 0};
@@ -309,13 +382,33 @@ runConnection(const Options &opts, const std::vector<int> &indices,
         for (std::size_t nl;
              (nl = buffer.find('\n', start)) != std::string::npos;
              start = nl + 1) {
-            std::string id =
-                checkResponse(buffer.substr(start, nl - start), out);
+            std::string respLine = buffer.substr(start, nl - start);
+            if (pendingScrapes > 0 &&
+                respLine.find("\"sched91_serve_stats\"") !=
+                    std::string::npos) {
+                checkScrape(respLine, scrapeState, out);
+                --pendingScrapes;
+                continue;
+            }
+            std::string id = checkResponse(respLine, out);
             if (id.empty())
                 continue;
-            if (pending.erase(id) == 0)
+            if (pending.erase(id) == 0) {
                 out.violation("duplicate or unexpected response id '" +
                               id + "'");
+                continue;
+            }
+            ++answeredHere;
+            if (opts.scrapeEvery > 0 &&
+                answeredHere % opts.scrapeEvery == 0) {
+                if (sendAll(fd, "{\"type\":\"stats\",\"id\":\"s" +
+                                    std::to_string(answeredHere) +
+                                    "\"}\n"))
+                    ++pendingScrapes;
+                else
+                    out.violation("scrape send failed: " +
+                                  std::string(std::strerror(errno)));
+            }
         }
         buffer.erase(0, start);
     }
@@ -343,6 +436,52 @@ main(int argc, char **argv)
             [&opts, &slice, &out] { runConnection(opts, slice, out); });
     for (std::thread &t : drivers)
         t.join();
+
+    // At quiesce (all drivers joined, nothing in flight) a fresh
+    // scrape must balance exactly: every admitted request was answered
+    // down the ladder or charged to rejected_after_admit.
+    if (opts.scrapeEvery > 0) {
+        int fd = connectTo(opts.socketPath);
+        if (fd < 0) {
+            out.violation("final scrape: cannot connect: " +
+                          std::string(std::strerror(errno)));
+        } else {
+            std::string line;
+            if (!sendAll(fd, "{\"type\":\"stats\",\"id\":\"sfinal\"}\n")) {
+                out.violation("final scrape: send failed");
+            } else {
+                char c;
+                ssize_t n;
+                while ((n = ::recv(fd, &c, 1, 0)) == 1 && c != '\n')
+                    line += c;
+                if (line.empty())
+                    out.violation("final scrape: no response");
+            }
+            ::close(fd);
+            if (!line.empty()) {
+                try {
+                    obs::JsonValue doc = obs::parseJson(line);
+                    const obs::JsonValue &svc = doc.at("service");
+                    const double accepted = svc.numberOr("accepted", 0);
+                    const double answeredSvc =
+                        svc.numberOr("ok", 0) +
+                        svc.numberOr("degraded", 0) +
+                        svc.numberOr("error", 0) +
+                        svc.numberOr("rejected_after_admit", 0);
+                    if (answeredSvc != accepted)
+                        out.violation(
+                            "conservation broken at quiesce: accepted " +
+                            std::to_string(accepted) +
+                            " != ok+degraded+error+rejected_after_admit " +
+                            std::to_string(answeredSvc));
+                } catch (const std::exception &e) {
+                    out.violation(
+                        std::string("final scrape unparseable (") +
+                        e.what() + ")");
+                }
+            }
+        }
+    }
 
     const std::uint64_t answered = out.ok.load() + out.degraded.load() +
                                    out.rejected.load();
